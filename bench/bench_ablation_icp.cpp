@@ -1,0 +1,70 @@
+// Ablation: ICP map merging vs raw dead reckoning, across drift severity.
+// (Paper §3, "Challenge, Positioning Error and Uniqueness": Tango's VSLAM
+// drifts; snapshots are merged into one coherent point cloud with ICP.)
+//
+// Expectation: at negligible drift ICP adds little (its own residual can
+// even dominate); as drift grows, the ICP-corrected map becomes
+// substantially better than dead reckoning — the regime the paper's
+// post-processing targets.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "scene/environments.hpp"
+#include "slam/map_merge.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vp;
+  using namespace vp::bench;
+  const double scale = parse_scale(argc, argv);
+  print_figure_header("Ablation", "ICP map merge vs dead reckoning drift");
+
+  Rng rng(321);
+  GalleryConfig gallery;
+  gallery.num_scenes = 6;
+  gallery.hall_length = 20.0 * std::min(1.5, scale + 0.5);
+  gallery.hall_width = 8.0;
+  const World world = build_gallery(gallery, rng);
+
+  Table table("Mean wardriving pose error (meters)");
+  table.header({"drift (m per m walked)", "dead reckoning", "with ICP merge",
+                "corrected snaps", "improvement"});
+
+  for (const double drift : {0.005, 0.02, 0.05, 0.10}) {
+    WardriveConfig cfg;
+    cfg.intrinsics = {200, 150, 1.15192};
+    cfg.stop_spacing = 2.5;
+    cfg.lane_spacing = 3.5;
+    cfg.views_per_stop = 3;
+    cfg.drift.pos_per_meter = drift;
+    cfg.drift.yaw_per_meter = drift / 10.0;
+    cfg.render.depth_downscale = 2;  // Tango-like depth density
+    Rng run_rng(static_cast<std::uint64_t>(drift * 1e4) + 5);
+    const auto snapshots = wardrive(world, cfg, run_rng);
+
+    MapMergeConfig icp_on;
+    icp_on.cloud_stride = 2;
+    MapMergeConfig icp_off;
+    icp_off.enabled = false;
+    const auto with = merge_snapshots(snapshots, icp_on);
+    const auto without = merge_snapshots(snapshots, icp_off);
+    const double err_raw = mean_pose_error(snapshots, without.corrected_poses);
+    const double err_icp = mean_pose_error(snapshots, with.corrected_poses);
+
+    char improvement[32];
+    std::snprintf(improvement, sizeof improvement, "%+.0f%%",
+                  100.0 * (err_raw - err_icp) / err_raw);
+    table.row({Table::num(drift, 3), Table::num(err_raw, 3),
+               Table::num(err_icp, 3),
+               std::to_string(with.snapshots_corrected) + "/" +
+                   std::to_string(snapshots.size()),
+               improvement});
+  }
+  table.print();
+
+  std::printf(
+      "\nexpected shape: ICP pays off increasingly as drift grows; at\n"
+      "near-zero drift its own residual makes it a wash.\n");
+  return 0;
+}

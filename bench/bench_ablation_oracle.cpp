@@ -1,0 +1,263 @@
+// Ablation of the uniqueness-oracle design choices (§3 challenges):
+// multiprobe (false-negative rescue), verification filter (false-positive
+// control), quantization width W (hotspots), counter saturation, table
+// count L, hash count K, and the client's top-k selection size.
+//
+// Workload: a synthetic descriptor population with known ground-truth
+// multiplicities (Zipf-like: a few very common features, many unique) —
+// the same structure the oracle must rank in real scenes. Metrics:
+//   * rank corr. — Spearman correlation between oracle count and true
+//     multiplicity on perturbed probes (higher = better ranking)
+//   * FN rate    — inserted-but-scored-zero probes
+//   * FP rate    — never-inserted descriptors scoring nonzero
+//   * memory     — oracle RAM
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/client.hpp"
+#include "core/retrieval.hpp"
+#include "hashing/oracle.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace vp;
+using namespace vp::bench;
+
+/// Synthetic descriptors matching real SIFT statistics: sparse (roughly a
+/// quarter of dimensions active), heavy-tailed magnitudes, L2 norm ≈ 512
+/// (the norm Lowe's normalize-clamp-quantize pipeline produces). Getting
+/// these statistics right matters: the W sweep below is only meaningful
+/// against the distance scale real descriptors live at.
+Descriptor random_descriptor(Rng& rng) {
+  double vals[kDescriptorDims] = {};
+  double norm2 = 0;
+  for (std::size_t i = 0; i < kDescriptorDims; ++i) {
+    if (rng.chance(0.28)) {
+      const double v = -std::log(1.0 - rng.uniform());  // Exp(1)
+      vals[i] = v;
+      norm2 += v * v;
+    }
+  }
+  const double scale = norm2 > 0 ? 512.0 / std::sqrt(norm2) : 0.0;
+  Descriptor d{};
+  for (std::size_t i = 0; i < kDescriptorDims; ++i) {
+    d[i] = static_cast<std::uint8_t>(
+        std::min(255.0, std::floor(vals[i] * scale)));
+  }
+  return d;
+}
+
+Descriptor perturb(const Descriptor& d, Rng& rng, int magnitude) {
+  Descriptor out = d;
+  for (auto& v : out) {
+    const int nv = static_cast<int>(v) +
+                   static_cast<int>(rng.uniform_int(-magnitude, magnitude));
+    v = static_cast<std::uint8_t>(std::clamp(nv, 0, 255));
+  }
+  return out;
+}
+
+double spearman(std::span<const double> a, std::span<const double> b) {
+  const std::size_t n = a.size();
+  auto ranks = [n](std::span<const double> v) {
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t i, std::size_t j) { return v[i] < v[j]; });
+    std::vector<double> rank(n);
+    for (std::size_t r = 0; r < n; ++r) rank[order[r]] = static_cast<double>(r);
+    return rank;
+  };
+  const auto ra = ranks(a);
+  const auto rb = ranks(b);
+  const double ma = mean(ra), mb = mean(rb);
+  double cov = 0, va = 0, vb = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cov += (ra[i] - ma) * (rb[i] - mb);
+    va += (ra[i] - ma) * (ra[i] - ma);
+    vb += (rb[i] - mb) * (rb[i] - mb);
+  }
+  return cov / std::sqrt(va * vb);
+}
+
+struct Workload {
+  std::vector<Descriptor> bases;       ///< distinct feature identities
+  std::vector<int> multiplicity;       ///< ground-truth insert count
+};
+
+Workload make_workload(std::size_t distinct, Rng& rng) {
+  Workload w;
+  for (std::size_t i = 0; i < distinct; ++i) {
+    w.bases.push_back(random_descriptor(rng));
+    // Zipf-ish multiplicities: rank 0 very common, tail unique.
+    w.multiplicity.push_back(
+        std::max(1, static_cast<int>(60.0 / static_cast<double>(i % 30 + 1))));
+  }
+  return w;
+}
+
+struct Metrics {
+  double rank_corr = 0;
+  double fn_rate = 0;
+  double fp_rate = 0;
+  std::size_t memory = 0;
+};
+
+Metrics evaluate(const OracleConfig& cfg, const Workload& w,
+                 std::uint64_t seed) {
+  UniquenessOracle oracle(cfg);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < w.bases.size(); ++i) {
+    for (int m = 0; m < w.multiplicity[i]; ++m) {
+      oracle.insert(perturb(w.bases[i], rng, 1));
+    }
+  }
+  Metrics out;
+  out.memory = oracle.byte_size();
+  // Probe with fresh perturbations of each base, slightly stronger than
+  // the insert-time jitter (magnitude 2 vs 1) — the regime where LSH
+  // quantization boundaries cause false negatives and multiprobe matters.
+  std::vector<double> truth, scored;
+  int fn = 0;
+  for (std::size_t i = 0; i < w.bases.size(); ++i) {
+    const Descriptor probe = perturb(w.bases[i], rng, 2);
+    const auto count = oracle.count(probe);
+    truth.push_back(static_cast<double>(w.multiplicity[i]));
+    scored.push_back(static_cast<double>(count));
+    fn += count == 0;
+  }
+  out.rank_corr = spearman(truth, scored);
+  out.fn_rate = static_cast<double>(fn) / static_cast<double>(w.bases.size());
+  int fp = 0;
+  const int fp_probes = 400;
+  for (int i = 0; i < fp_probes; ++i) {
+    fp += oracle.count(random_descriptor(rng)) > 0;
+  }
+  out.fp_rate = static_cast<double>(fp) / fp_probes;
+  return out;
+}
+
+OracleConfig base_config() {
+  OracleConfig cfg;
+  cfg.capacity = 60'000;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = parse_scale(argc, argv);
+  print_figure_header("Ablation", "uniqueness-oracle design choices");
+
+  Rng rng(3001);
+  const auto workload =
+      make_workload(static_cast<std::size_t>(400 * scale), rng);
+  std::size_t inserts = 0;
+  for (int m : workload.multiplicity) inserts += static_cast<std::size_t>(m);
+  std::printf("workload: %zu distinct features, %zu insertions\n\n",
+              workload.bases.size(), inserts);
+
+  Table table("Oracle ablations");
+  table.header({"variant", "rank corr", "FN rate", "FP rate", "memory"});
+  auto run = [&](const std::string& name, const OracleConfig& cfg) {
+    const Metrics m = evaluate(cfg, workload, 77);
+    table.row({name, Table::num(m.rank_corr, 3), Table::num(m.fn_rate, 3),
+               Table::num(m.fp_rate, 3),
+               Table::bytes_human(static_cast<double>(m.memory))});
+  };
+
+  run("paper defaults (L10 M7 W500 K8 10b)", base_config());
+
+  {
+    OracleConfig c = base_config();
+    c.multiprobe = false;
+    run("- multiprobe off", c);
+  }
+  {
+    OracleConfig c = base_config();
+    c.verification = false;
+    run("- verification off", c);
+  }
+  {
+    OracleConfig c = base_config();
+    c.multiprobe = false;
+    c.verification = false;
+    run("- both off", c);
+  }
+  for (const double w : {100.0, 250.0, 1000.0, 2000.0}) {
+    OracleConfig c = base_config();
+    c.lsh.width = w;
+    run("W = " + std::to_string(static_cast<int>(w)), c);
+  }
+  for (const std::size_t l : {5u, 20u}) {
+    OracleConfig c = base_config();
+    c.lsh.tables = l;
+    run("L = " + std::to_string(l), c);
+  }
+  for (const std::size_t k : {4u, 12u}) {
+    OracleConfig c = base_config();
+    c.hashes = k;
+    run("K = " + std::to_string(k), c);
+  }
+  for (const unsigned bits : {4u, 6u, 8u}) {
+    OracleConfig c = base_config();
+    c.counter_bits = bits;
+    run(std::to_string(bits) + "-bit counters", c);
+  }
+  {
+    OracleConfig c = base_config();
+    c.counters_override = BloomFilter::optimal_bits(c.capacity, 0.01) / 4;
+    run("undersized filter (hotspots)", c);
+  }
+  table.print();
+
+  // Top-k selection sweep on a small retrieval dataset: how many unique
+  // keypoints does a query actually need?
+  std::printf("\n");
+  DatasetConfig ds_cfg;
+  ds_cfg.num_scenes = static_cast<int>(16 * scale);
+  ds_cfg.num_distractors = static_cast<int>(40 * scale);
+  ds_cfg.queries_per_scene = 3;
+  ds_cfg.image_width = 320;
+  ds_cfg.image_height = 240;
+  const auto ds = build_retrieval_dataset(ds_cfg);
+
+  RetrievalConfig retrieval;
+  retrieval.min_votes = 4;
+  SceneDatabase database(retrieval);
+  OracleConfig oracle_cfg = base_config();
+  oracle_cfg.capacity = std::max<std::size_t>(60'000, ds.total_db_descriptors);
+  UniquenessOracle oracle(oracle_cfg);
+  for (const auto& img : ds.database) {
+    database.add_image(img.features, img.scene_id);
+    for (const auto& f : img.features) oracle.insert(f.descriptor);
+  }
+  VisualPrintClient client({});
+  client.install_oracle(UniquenessOracle::deserialize(oracle.serialize()));
+
+  Table topk("Top-k selection sweep (retrieval accuracy vs bytes)");
+  topk.header({"top-k", "accuracy", "bytes/query"});
+  for (const std::size_t k : {25u, 50u, 100u, 200u, 500u}) {
+    int correct = 0;
+    for (const auto& q : ds.queries) {
+      const auto sel = client.select_features(q.features, k);
+      const auto pred = database.predict(sel, MatcherKind::kLsh);
+      correct += pred && *pred == q.scene_id;
+    }
+    topk.row({std::to_string(k),
+              Table::num(static_cast<double>(correct) /
+                             static_cast<double>(ds.queries.size()),
+                         3),
+              Table::bytes_human(static_cast<double>(
+                  std::min<std::size_t>(k, static_cast<std::size_t>(
+                                               ds.mean_query_features)) *
+                  kFeatureWireBytes))});
+  }
+  topk.print();
+  return 0;
+}

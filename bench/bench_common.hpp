@@ -1,0 +1,88 @@
+// Shared dataset builders for the figure-reproduction benches.
+//
+// The paper's evaluation datasets are photographs: 100 scenes + 400
+// distractor images of the CSL building (Fig. 3/5/6/13), plus wardriven
+// office/cafeteria/grocery environments (Fig. 19/20). These helpers render
+// the synthetic equivalents at configurable scale — scale factors below
+// the paper's keep single-core runtimes sane; pass --paper-scale to a
+// bench to run closer to the paper's sizes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "features/sift.hpp"
+#include "scene/environments.hpp"
+#include "scene/render.hpp"
+#include "util/rng.hpp"
+
+namespace vp::bench {
+
+struct DatasetConfig {
+  int num_scenes = 40;          ///< paper: 100
+  int num_distractors = 160;    ///< paper: 400
+  int queries_per_scene = 5;    ///< paper: 5, "substantially different angles"
+  int image_width = 720;
+  int image_height = 540;
+  std::uint64_t seed = 2016;
+  SiftConfig sift{};
+  /// Hard query regime: wide, off-center, strongly angled, noisy shots in
+  /// which the target scene covers only part of the frame and repeated
+  /// content (floor/doors/plates) supplies most keypoints — the condition
+  /// under which keypoint subselection actually matters.
+  bool hard_queries = true;
+  double max_query_azimuth_deg = 60.0;
+  double max_query_distance = 5.5;
+  bool keep_images = false;  ///< retain rendered frames in LabeledImage
+};
+
+/// One image worth of extracted features with its ground-truth label.
+struct LabeledImage {
+  std::vector<Feature> features;
+  std::int32_t scene_id = -1;  ///< -1 for distractors
+  /// For queries: every scene actually visible in the frame (ground truth
+  /// for the paper's "frames containing scene k").
+  std::vector<int> visible_scenes;
+  /// Populated only when DatasetConfig::keep_images is set (used by the
+  /// alternate-descriptor ablation, which re-describes the same frames).
+  ImageF image;
+};
+
+/// The Fig. 13-style dataset: database images (scenes + distractors) and
+/// query views with truth labels.
+struct RetrievalDataset {
+  std::vector<LabeledImage> database;
+  std::vector<LabeledImage> queries;  ///< scene_id is the truth label
+  std::size_t total_db_descriptors = 0;
+  double mean_query_features = 0;
+};
+
+/// Render the gallery world and extract everything. Distractor images are
+/// close-ups of repeated content (floor, ceiling, doors, nameplates).
+RetrievalDataset build_retrieval_dataset(const DatasetConfig& config);
+
+/// Render `n` full frames along a walking path (for the codec benches).
+std::vector<ImageU8> render_walk_frames(int n, int width, int height,
+                                        std::uint64_t seed);
+
+/// Parse a "--scale=<f>" or "--paper-scale" argument (1.0 default).
+double parse_scale(int argc, char** argv);
+
+/// Results of the Fig. 19/20 localization experiment for one environment.
+struct LocalizationResult {
+  std::string name;
+  std::vector<double> errors;   ///< 3-D error per localized query, meters
+  std::vector<Vec3> per_axis;   ///< |dx|, |dy|, |dz| per localized query
+  int attempted = 0;
+  std::size_t mappings = 0;
+};
+
+/// Wardrive + ingest + query the three paper environments (office,
+/// cafeteria, grocery) and localize oblique views of each scene.
+std::vector<LocalizationResult> run_localization_experiment(double scale,
+                                                            std::uint64_t seed);
+
+/// Print a standard bench header naming the figure being reproduced.
+void print_figure_header(const std::string& figure, const std::string& what);
+
+}  // namespace vp::bench

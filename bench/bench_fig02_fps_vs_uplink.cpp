@@ -1,0 +1,72 @@
+// Figure 2: uplink bandwidth (Mbps) versus sustainable camera FPS, by
+// encoding (H264 / lossy JPEG / lossless PNG / RAW). Paper shape: at 10
+// FPS even H264 needs ~2 Mbps; PNG and RAW are 1-2 orders costlier —
+// making continuous frame offload infeasible on real uplinks.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "imaging/codec.hpp"
+#include "imaging/video_model.hpp"
+#include "net/link.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vp;
+  using namespace vp::bench;
+  const double scale = parse_scale(argc, argv);
+  print_figure_header("Fig. 2",
+                      "uplink bandwidth vs sustainable FPS by encoding");
+
+  const int width = scale >= 2 ? 1920 : 1280;
+  const int height = scale >= 2 ? 1080 : 720;
+  const int n_frames = static_cast<int>(16 * scale);
+  std::printf("frames: %d x (%dx%d) rendered along a walking path\n\n",
+              n_frames, width, height);
+  const auto frames = render_walk_frames(n_frames, width, height, 42);
+
+  // Per-encoding mean frame size, measured with real codecs. The paper's
+  // JPEG point is "lossy compress" at a quality matched to H264-like
+  // ratios; we use quality 60 (H264 intra model) and PNG default.
+  RunningStats raw, png, jpeg, h264;
+  H264SizeModel video({.gop_length = 30, .intra_jpeg_quality = 60});
+  for (const auto& f : frames) {
+    raw.add(static_cast<double>(f.byte_size()));
+    png.add(static_cast<double>(png_encode(f).size()));
+    jpeg.add(static_cast<double>(jpeg_encode(f, 60).size()));
+    h264.add(static_cast<double>(video.frame_bytes(f)));
+  }
+
+  Table sizes("Mean encoded frame size");
+  sizes.header({"encoding", "bytes/frame"});
+  sizes.row({"RAW", Table::bytes_human(raw.mean())});
+  sizes.row({"PNG (lossless)", Table::bytes_human(png.mean())});
+  sizes.row({"JPEG (lossy)", Table::bytes_human(jpeg.mean())});
+  sizes.row({"H264 (GOP 30)", Table::bytes_human(h264.mean())});
+  sizes.print();
+  std::printf("\n");
+
+  // The figure: FPS = bandwidth / bytes-per-frame at each uplink rate.
+  Table fig("Fig. 2 series: sustainable FPS by uplink (log-log in paper)");
+  fig.header({"uplink (Mbps)", "H264", "JPEG", "PNG", "RAW"});
+  for (const double mbps : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    auto fps = [&](double bytes) {
+      return Table::num(
+          SimulatedLink::sustainable_fps(mbps,
+                                         static_cast<std::size_t>(bytes)),
+          2);
+    };
+    fig.row({Table::num(mbps, 0), fps(h264.mean()), fps(jpeg.mean()),
+             fps(png.mean()), fps(raw.mean())});
+  }
+  fig.print();
+
+  const double h264_at_10fps =
+      10.0 * h264.mean() * 8.0 / 1e6;  // Mbps needed for 10 FPS
+  std::printf(
+      "\npaper claim: ~2 Mbps for 10 FPS H264 -> measured %.2f Mbps\n"
+      "paper shape: RAW/PNG >= 1-2 orders above H264 -> measured %.0fx / %.0fx\n",
+      h264_at_10fps, raw.mean() / h264.mean(), png.mean() / h264.mean());
+  return 0;
+}

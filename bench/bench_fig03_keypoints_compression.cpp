@@ -1,0 +1,77 @@
+// Figure 3: CDF of SIFT keypoint count per frame, PNG (lossless) versus
+// JPEG (lossy at the Fig. 2-matched ratio). Paper shape: compression
+// artifacts destroy a large fraction of extractable keypoints; lossless
+// frames are required for full extraction efficacy.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "features/sift.hpp"
+#include "imaging/codec.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vp;
+  using namespace vp::bench;
+  const double scale = parse_scale(argc, argv);
+  print_figure_header(
+      "Fig. 3", "CDF of SIFT keypoint count, PNG vs JPEG compression");
+
+  const int n_frames = static_cast<int>(30 * scale);
+  const auto frames = render_walk_frames(n_frames, 640, 360, 1234);
+  const int jpeg_quality = 35;  // matches the Fig. 2 "lossy" ratio regime
+
+  // Raw keypoint counts, plus "surviving" keypoints: JPEG keypoints that
+  // spatially coincide with a lossless-extraction keypoint. Compression
+  // both destroys true keypoints and invents spurious ones on block/ring
+  // artifacts; survival measures real extraction efficacy (the quantity
+  // that determines downstream matching).
+  std::vector<double> png_counts, jpeg_counts, surviving_counts;
+  for (const auto& frame : frames) {
+    const ImageU8 via_png = png_decode(png_encode(frame));
+    const auto png_kps = sift_detect_keypoints(to_gray(via_png));
+    const ImageU8 via_jpeg = jpeg_decode(jpeg_encode(frame, jpeg_quality));
+    const auto jpeg_kps = sift_detect_keypoints(to_gray(via_jpeg));
+    png_counts.push_back(static_cast<double>(png_kps.size()));
+    jpeg_counts.push_back(static_cast<double>(jpeg_kps.size()));
+    std::size_t survived = 0;
+    for (const auto& j : jpeg_kps) {
+      for (const auto& p : png_kps) {
+        if (std::abs(j.x - p.x) < 1.5 && std::abs(j.y - p.y) < 1.5) {
+          ++survived;
+          break;
+        }
+      }
+    }
+    surviving_counts.push_back(static_cast<double>(survived));
+  }
+
+  const EmpiricalCdf png_cdf(png_counts), jpeg_cdf(jpeg_counts),
+      surv_cdf(surviving_counts);
+  print_series("PNG", png_cdf.sample_points(15), "keypoints", "CDF");
+  print_series("JPEG (raw count)", jpeg_cdf.sample_points(15), "keypoints",
+               "CDF");
+  print_series("JPEG (surviving true keypoints)", surv_cdf.sample_points(15),
+               "keypoints", "CDF");
+
+  Table summary("Keypoint count summary");
+  summary.header({"encoding", "p25", "median", "p75", "mean"});
+  for (const auto& [name, counts] :
+       {std::pair<const char*, const std::vector<double>&>{"PNG", png_counts},
+        {"JPEG raw", jpeg_counts},
+        {"JPEG surviving", surviving_counts}}) {
+    const Summary s = summarize(counts);
+    summary.row({name, Table::num(s.q1, 0), Table::num(s.median, 0),
+                 Table::num(s.q3, 0), Table::num(s.mean, 0)});
+  }
+  summary.print();
+
+  const double loss = 1.0 - mean(surviving_counts) / mean(png_counts);
+  std::printf(
+      "\npaper shape: JPEG extraction efficacy drops substantially vs PNG\n"
+      "measured: %.0f%% of true keypoints lost at quality %d (raw JPEG\n"
+      "counts are inflated by spurious block-artifact keypoints)\n",
+      loss * 100.0, jpeg_quality);
+  return 0;
+}

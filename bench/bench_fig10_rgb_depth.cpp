@@ -1,0 +1,89 @@
+// Figure 10: Tango RGB + depth: "(a) original RGB image; (b) heat map of
+// depth from observer, red is farther away." Renders one wardriving
+// viewpoint's RGB frame and its depth map as a red-heat overlay image.
+// Writes fig10_rgb.png and fig10_depth_heat.png.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "bench_common.hpp"
+#include "imaging/codec.hpp"
+#include "imaging/pnm.hpp"
+#include "scene/environments.hpp"
+#include "slam/wardrive.hpp"
+
+namespace {
+
+void save_png(const vp::ImageU8& img, const char* path) {
+  const vp::Bytes png = vp::png_encode(img);
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(png.data()),
+            static_cast<std::streamsize>(png.size()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vp;
+  using namespace vp::bench;
+  (void)argc;
+  (void)argv;
+  print_figure_header("Fig. 10", "wardriving RGB frame + depth heat map");
+
+  Rng rng(10);
+  GalleryConfig gallery;
+  gallery.num_scenes = 6;
+  gallery.hall_length = 20;
+  const World world = build_gallery(gallery, rng);
+
+  WardriveConfig cfg;
+  cfg.intrinsics = {640, 480, 1.15192};
+  cfg.stop_spacing = 6.0;
+  cfg.views_per_stop = 1;
+  cfg.render.depth_downscale = 2;
+  const auto snaps = wardrive(world, cfg, rng);
+  // Pick the snapshot with the most depth variation (interesting view).
+  std::size_t best = 0;
+  double best_spread = -1;
+  for (std::size_t i = 0; i < snaps.size(); ++i) {
+    float lo = 1e9f, hi = 0;
+    for (float d : snaps[i].depth.pixels()) {
+      if (d > 0) {
+        lo = std::min(lo, d);
+        hi = std::max(hi, d);
+      }
+    }
+    if (hi - lo > best_spread) {
+      best_spread = hi - lo;
+      best = i;
+    }
+  }
+  const Snapshot& snap = snaps[best];
+
+  save_png(gray_to_rgb(to_u8(snap.image)), "fig10_rgb.png");
+
+  // Depth -> heat map: near = blue/dark, far = red (paper's convention).
+  float dmax = 0;
+  for (float d : snap.depth.pixels()) dmax = std::max(dmax, d);
+  ImageU8 heat(snap.depth.width(), snap.depth.height(), 3);
+  for (int y = 0; y < heat.height(); ++y) {
+    for (int x = 0; x < heat.width(); ++x) {
+      const float d = snap.depth(x, y);
+      if (d <= 0) {
+        heat(x, y, 0) = heat(x, y, 1) = heat(x, y, 2) = 0;
+        continue;
+      }
+      const double t = std::clamp(d / dmax, 0.0f, 1.0f);
+      heat(x, y, 0) = static_cast<std::uint8_t>(40 + 215 * t);        // red
+      heat(x, y, 1) = static_cast<std::uint8_t>(60 * (1 - t));        // green
+      heat(x, y, 2) = static_cast<std::uint8_t>(200 * (1 - t) + 20);  // blue
+    }
+  }
+  save_png(heat, "fig10_depth_heat.png");
+
+  std::printf("wrote fig10_rgb.png (%dx%d) and fig10_depth_heat.png "
+              "(%dx%d), max depth %.1f m\n",
+              snap.image.width(), snap.image.height(), heat.width(),
+              heat.height(), dmax);
+  return 0;
+}

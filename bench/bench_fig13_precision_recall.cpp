@@ -1,0 +1,177 @@
+// Figure 13: per-scene precision/recall CDFs for the five matching regimes
+// — Random-500, VisualPrint-200, VisualPrint-500, LSH (all keypoints), and
+// BruteForce (all keypoints, exact NN). Paper shape: VisualPrint-500 ~=
+// or > LSH; VisualPrint-200 roughly comparable; Random clearly worst;
+// BruteForce best recall but precision hurt by homogeneous keypoints.
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/client.hpp"
+#include "core/retrieval.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace vp;
+using namespace vp::bench;
+
+struct SchemeResult {
+  std::string name;
+  PrecisionRecall pr;       ///< paper definition: V_k = photos taken OF k
+  PrecisionRecall pr_sets;  ///< stricter: V_k = frames where k is visible
+  double mean_query_features = 0;
+  std::size_t query_bytes = 0;  ///< mean wire bytes per query
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = parse_scale(argc, argv);
+  print_figure_header("Fig. 13",
+                      "precision/recall CDFs across matching schemes");
+
+  DatasetConfig cfg;
+  cfg.num_scenes = static_cast<int>(40 * scale);
+  cfg.num_distractors = static_cast<int>(160 * scale);
+  cfg.queries_per_scene = 5;
+  Timer build_timer;
+  const auto ds = build_retrieval_dataset(cfg);
+  std::printf(
+      "database: %d scenes + %d distractors, %zu descriptors; "
+      "%zu queries (avg %.0f features) [built in %.0f s]\n\n",
+      cfg.num_scenes, cfg.num_distractors, ds.total_db_descriptors,
+      ds.queries.size(), ds.mean_query_features, build_timer.seconds());
+
+  // Server-side structures. Plain argmax voting (no margin filter): the
+  // evaluation measures raw matching quality, not deployment-tuned
+  // abstention.
+  RetrievalConfig retrieval;
+  retrieval.min_votes = 3;
+  retrieval.min_margin = 1.0;
+  ThreadPool pool;
+  SceneDatabase database(retrieval, &pool);
+  OracleConfig oracle_cfg;
+  oracle_cfg.capacity =
+      std::max<std::size_t>(100'000, ds.total_db_descriptors * 2);
+  UniquenessOracle oracle(oracle_cfg);
+  for (const auto& img : ds.database) {
+    database.add_image(img.features, img.scene_id);
+    for (const auto& f : img.features) oracle.insert(f.descriptor);
+  }
+
+  // Clients for the subselection schemes.
+  ClientConfig vp_client_cfg;
+  VisualPrintClient vp_client(vp_client_cfg);
+  vp_client.install_oracle(UniquenessOracle::deserialize(oracle.serialize()));
+  ClientConfig random_cfg;
+  random_cfg.policy = SelectionPolicy::kRandom;
+  VisualPrintClient random_client(random_cfg, 99);
+
+  // Two ground-truth readings: the paper's ("the query database consists
+  // of five additional photographs OF each scene" -> V_k = queries
+  // targeted at k) and a stricter visibility-set one (V_k = frames where
+  // scene k actually appears, possibly several per frame).
+  std::vector<std::optional<std::int32_t>> truth_targeted;
+  std::vector<std::vector<int>> truth_sets;
+  truth_targeted.reserve(ds.queries.size());
+  truth_sets.reserve(ds.queries.size());
+  for (const auto& q : ds.queries) {
+    truth_targeted.push_back(q.scene_id);
+    auto set = q.visible_scenes;
+    if (set.empty()) set.push_back(q.scene_id);  // targeted scene fallback
+    truth_sets.push_back(std::move(set));
+  }
+
+  struct Scheme {
+    std::string name;
+    std::size_t top_k;            // 0 = all features
+    bool use_oracle;              // VisualPrint vs random subselection
+    MatcherKind matcher;
+  };
+  const std::vector<Scheme> schemes{
+      {"Random-500", 500, false, MatcherKind::kLsh},
+      {"VisualPrint-200", 200, true, MatcherKind::kLsh},
+      {"VisualPrint-500", 500, true, MatcherKind::kLsh},
+      {"LSH", 0, false, MatcherKind::kLsh},
+      {"BruteForce", 0, false, MatcherKind::kBruteForce},
+  };
+
+  std::vector<SchemeResult> results;
+  for (const auto& scheme : schemes) {
+    Timer timer;
+    std::vector<std::optional<std::int32_t>> predicted;
+    predicted.reserve(ds.queries.size());
+    double feat_sum = 0, byte_sum = 0;
+    for (const auto& q : ds.queries) {
+      std::vector<Feature> selected = q.features;
+      if (scheme.top_k != 0) {
+        selected = scheme.use_oracle
+                       ? vp_client.select_features(std::move(selected),
+                                                   scheme.top_k)
+                       : random_client.select_features(std::move(selected),
+                                                       scheme.top_k);
+      }
+      feat_sum += static_cast<double>(selected.size());
+      byte_sum += static_cast<double>(selected.size() * kFeatureWireBytes);
+      predicted.push_back(database.predict(selected, scheme.matcher));
+    }
+    SchemeResult r;
+    r.name = scheme.name;
+    r.pr = precision_recall(truth_targeted, predicted, cfg.num_scenes);
+    r.pr_sets = precision_recall_sets(truth_sets, predicted, cfg.num_scenes);
+    r.mean_query_features = feat_sum / static_cast<double>(ds.queries.size());
+    r.query_bytes =
+        static_cast<std::size_t>(byte_sum / static_cast<double>(ds.queries.size()));
+    results.push_back(std::move(r));
+    std::printf("  %-16s done in %5.1f s\n", scheme.name.c_str(),
+                timer.seconds());
+  }
+  std::printf("\n");
+
+  // Per-scheme precision/recall CDFs (printed at deciles).
+  for (const auto& r : results) {
+    const EmpiricalCdf p_cdf(r.pr.precision), r_cdf(r.pr.recall);
+    print_series(r.name + " precision", p_cdf.sample_points(11), "precision",
+                 "CDF");
+    print_series(r.name + " recall", r_cdf.sample_points(11), "recall",
+                 "CDF");
+  }
+
+  Table summary("Fig. 13 summary (per-scene medians, paper truth definition)");
+  summary.header({"scheme", "median precision", "median recall",
+                  "features/query", "bytes/query"});
+  for (const auto& r : results) {
+    summary.row(
+        {r.name,
+         r.pr.precision.empty() ? "-" : Table::num(percentile(r.pr.precision, 50), 3),
+         r.pr.recall.empty() ? "-" : Table::num(percentile(r.pr.recall, 50), 3),
+         Table::num(r.mean_query_features, 0),
+         Table::bytes_human(static_cast<double>(r.query_bytes))});
+  }
+  summary.print();
+
+  Table strict("Secondary: visibility-set truth (a frame may contain "
+               "several scenes)");
+  strict.header({"scheme", "median precision", "median recall"});
+  for (const auto& r : results) {
+    strict.row({r.name,
+                r.pr_sets.precision.empty()
+                    ? "-"
+                    : Table::num(percentile(r.pr_sets.precision, 50), 3),
+                r.pr_sets.recall.empty()
+                    ? "-"
+                    : Table::num(percentile(r.pr_sets.recall, 50), 3)});
+  }
+  strict.print();
+
+  std::printf(
+      "\npaper shape to check: Random worst; VisualPrint-500 >= LSH;\n"
+      "VisualPrint-200 comparable to LSH at ~1/10 the bytes of whole\n"
+      "keypoint upload; BruteForce best recall, precision dented by\n"
+      "homogeneous keypoints.\n");
+  return 0;
+}

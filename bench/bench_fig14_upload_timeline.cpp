@@ -1,0 +1,113 @@
+// Figure 14: cumulative data uploaded over a 70 s AR session — VisualPrint
+// fingerprints versus whole-frame upload. Paper shape: at least one order
+// of magnitude less data for VisualPrint (51.2 KB vs 523 KB per frame).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/session.hpp"
+#include "scene/environments.hpp"
+#include "slam/map_merge.hpp"
+#include "slam/mapping.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vp;
+  using namespace vp::bench;
+  const double scale = parse_scale(argc, argv);
+  print_figure_header("Fig. 14",
+                      "cumulative upload over a session: VisualPrint vs frames");
+
+  Rng rng(14);
+  GalleryConfig gallery;
+  gallery.num_scenes = 8;
+  gallery.hall_length = 24;
+  const World world = build_gallery(gallery, rng);
+
+  WardriveConfig wardrive_cfg;
+  wardrive_cfg.intrinsics = {320, 240, 1.15192};
+  wardrive_cfg.stop_spacing = 3.0;
+  wardrive_cfg.views_per_stop = 2;
+  auto snapshots = wardrive(world, wardrive_cfg, rng);
+  const auto merged = merge_snapshots(snapshots, {});
+  ServerConfig server_cfg;
+  server_cfg.oracle.capacity = 400'000;
+  VisualPrintServer server(server_cfg);
+  server.ingest_wardrive(extract_mappings(snapshots, merged.corrected_poses));
+
+  const double duration = 70.0 * std::min(1.0, scale);
+  auto run_mode = [&](OffloadMode mode) {
+    SessionConfig cfg;
+    cfg.duration_s = duration;
+    cfg.camera_fps = 10.0;
+    cfg.intrinsics = {480, 270, 1.15192};
+    cfg.mode = mode;
+    cfg.client.top_k = 200;
+    cfg.client.blur_threshold = 2.0;
+    cfg.localize_on_server = false;
+    cfg.phone_slowdown = 8.0;
+    Session session(world, server, cfg);
+    return session.run();
+  };
+
+  const auto vp_stats = run_mode(OffloadMode::kVisualPrint);
+  const auto frame_stats = run_mode(OffloadMode::kFramePng);
+
+  auto print_curve = [](const char* name, const SessionStats& stats) {
+    const auto curve = stats.cumulative_upload();
+    std::vector<std::pair<double, double>> mb;
+    // Sample every ~5 s for readability.
+    double next_t = 0;
+    for (const auto& [t, bytes] : curve) {
+      if (t >= next_t) {
+        mb.emplace_back(t, bytes / 1e6);
+        next_t = t + 5.0;
+      }
+    }
+    if (!curve.empty()) {
+      mb.emplace_back(curve.back().first, curve.back().second / 1e6);
+    }
+    print_series(name, mb, "time (s)", "uploaded (MB)");
+  };
+  print_curve("VisualPrint", vp_stats);
+  print_curve("Frame Upload (PNG)", frame_stats);
+
+  auto sent_frames = [](const SessionStats& s) {
+    std::size_t n = 0;
+    for (const auto& f : s.frames) {
+      n += f.status == FrameResult::Status::kQueued;
+    }
+    return n;
+  };
+  const std::size_t vp_sent = sent_frames(vp_stats);
+  const std::size_t fr_sent = sent_frames(frame_stats);
+
+  Table summary("Fig. 14 summary");
+  summary.header({"mode", "total uploaded", "frames sent", "bytes/frame"});
+  summary.row({"VisualPrint",
+               Table::bytes_human(static_cast<double>(vp_stats.total_upload_bytes)),
+               std::to_string(vp_sent),
+               vp_sent ? Table::bytes_human(
+                             static_cast<double>(vp_stats.total_upload_bytes) /
+                             static_cast<double>(vp_sent))
+                       : "-"});
+  summary.row({"Frame upload",
+               Table::bytes_human(static_cast<double>(frame_stats.total_upload_bytes)),
+               std::to_string(fr_sent),
+               fr_sent ? Table::bytes_human(
+                             static_cast<double>(frame_stats.total_upload_bytes) /
+                             static_cast<double>(fr_sent))
+                       : "-"});
+  summary.print();
+
+  if (vp_sent && fr_sent) {
+    const double per_vp = static_cast<double>(vp_stats.total_upload_bytes) /
+                          static_cast<double>(vp_sent);
+    const double per_fr = static_cast<double>(frame_stats.total_upload_bytes) /
+                          static_cast<double>(fr_sent);
+    std::printf(
+        "\npaper claim: 51.2 KB vs 523 KB per frame (10.2x). measured: "
+        "%.1f KB vs %.1f KB (%.1fx)\n",
+        per_vp / 1e3, per_fr / 1e3, per_fr / per_vp);
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 19: CDF of 3-D localization error in three wardriven indoor
+// environments (office, cafeteria, grocery store). Paper shape: median
+// ~2.5 m overall, with a tail of failure cases (local minima of the
+// time-bounded differential evolution); repetition-heavy environments
+// (grocery) do worst.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vp;
+  using namespace vp::bench;
+  const double scale = parse_scale(argc, argv);
+  print_figure_header("Fig. 19",
+                      "CDF of 3-D localization error, 3 environments");
+
+  const auto results = run_localization_experiment(scale, 19);
+  std::printf("\n");
+
+  for (const auto& r : results) {
+    if (r.errors.empty()) continue;
+    const EmpiricalCdf cdf(r.errors);
+    print_series(r.name, cdf.sample_points(11), "error (m)", "CDF");
+  }
+
+  Table summary("Fig. 19 summary (3-D error, meters)");
+  summary.header({"environment", "median", "p75", "p90", "localized"});
+  std::vector<double> all;
+  for (const auto& r : results) {
+    if (r.errors.empty()) continue;
+    all.insert(all.end(), r.errors.begin(), r.errors.end());
+    summary.row({r.name, Table::num(percentile(r.errors, 50), 2),
+                 Table::num(percentile(r.errors, 75), 2),
+                 Table::num(percentile(r.errors, 90), 2),
+                 std::to_string(r.errors.size()) + "/" +
+                     std::to_string(r.attempted)});
+  }
+  summary.print();
+  if (!all.empty()) {
+    std::printf(
+        "\npaper: ~2.5 m median 3-D error. measured overall median: %.2f m\n",
+        percentile(all, 50));
+  }
+  return 0;
+}

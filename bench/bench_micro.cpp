@@ -1,0 +1,163 @@
+// Microbenchmarks (google-benchmark): the hot primitives of the pipeline —
+// Murmur3, Bloom operations, E2LSH projection, oracle insert/lookup,
+// descriptor distance, SIFT extraction, DE localization, ICP alignment.
+#include <benchmark/benchmark.h>
+
+#include "features/sift.hpp"
+#include "geometry/icp.hpp"
+#include "geometry/localize.hpp"
+#include "hashing/bloom.hpp"
+#include "hashing/lsh.hpp"
+#include "hashing/murmur3.hpp"
+#include "hashing/oracle.hpp"
+#include "index/lsh_index.hpp"
+#include "scene/texture.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace vp;
+
+Descriptor random_descriptor(Rng& rng) {
+  Descriptor d;
+  for (auto& v : d) v = static_cast<std::uint8_t>(rng.uniform_u64(80));
+  return d;
+}
+
+void BM_Murmur3_128_Descriptor(benchmark::State& state) {
+  Rng rng(1);
+  const Descriptor d = random_descriptor(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        murmur3_x64_128(std::span(d.data(), d.size()), 7));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 128);
+}
+BENCHMARK(BM_Murmur3_128_Descriptor);
+
+void BM_DescriptorDistance(benchmark::State& state) {
+  Rng rng(2);
+  const Descriptor a = random_descriptor(rng);
+  const Descriptor b = random_descriptor(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(descriptor_distance2(a, b));
+  }
+}
+BENCHMARK(BM_DescriptorDistance);
+
+void BM_CountingBloomIncrement(benchmark::State& state) {
+  CountingBloomFilter filter(1 << 20, 10);
+  Rng rng(3);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.increment(i));
+    i = (i * 2654435761u + 1) & ((1 << 20) - 1);
+  }
+}
+BENCHMARK(BM_CountingBloomIncrement);
+
+void BM_LshBucket(benchmark::State& state) {
+  const E2Lsh lsh(10, 7, 500.0, 42);
+  Rng rng(4);
+  const Descriptor d = random_descriptor(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lsh.bucket(d, 3));
+  }
+}
+BENCHMARK(BM_LshBucket);
+
+void BM_OracleInsert(benchmark::State& state) {
+  OracleConfig cfg;
+  cfg.capacity = 100'000;
+  UniquenessOracle oracle(cfg);
+  Rng rng(5);
+  for (auto _ : state) {
+    oracle.insert(random_descriptor(rng));
+  }
+}
+BENCHMARK(BM_OracleInsert);
+
+void BM_OracleCount(benchmark::State& state) {
+  OracleConfig cfg;
+  cfg.capacity = 100'000;
+  cfg.multiprobe = state.range(0) != 0;
+  UniquenessOracle oracle(cfg);
+  Rng rng(6);
+  for (int i = 0; i < 5'000; ++i) oracle.insert(random_descriptor(rng));
+  const Descriptor q = random_descriptor(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.count(q));
+  }
+  state.SetLabel(cfg.multiprobe ? "multiprobe" : "exact-only");
+}
+BENCHMARK(BM_OracleCount)->Arg(0)->Arg(1);
+
+void BM_LshIndexQuery(benchmark::State& state) {
+  LshIndex index;
+  Rng rng(7);
+  for (int i = 0; i < 20'000; ++i) index.insert(random_descriptor(rng));
+  const Descriptor q = random_descriptor(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.query(q, 2));
+  }
+}
+BENCHMARK(BM_LshIndexQuery);
+
+void BM_SiftDetect(benchmark::State& state) {
+  Rng rng(8);
+  const int side = static_cast<int>(state.range(0));
+  const ImageF img = painting_texture(side, side * 3 / 4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sift_detect(img));
+  }
+  state.SetLabel(std::to_string(side) + "x" + std::to_string(side * 3 / 4));
+}
+BENCHMARK(BM_SiftDetect)->Arg(160)->Arg(320)->Arg(640)->Unit(benchmark::kMillisecond);
+
+void BM_LocalizeSolve(benchmark::State& state) {
+  CameraIntrinsics intr{640, 480, 1.15};
+  const Pose pose = Pose::from_euler({3, 4, 1.5}, 0.4, 0.05, 0);
+  Rng rng(9);
+  std::vector<Observation> obs;
+  while (obs.size() < 30) {
+    const Vec3 body{rng.uniform(-1.5, 1.5), rng.uniform(-1.0, 1.0),
+                    rng.uniform(2.5, 7.0)};
+    if (const auto px = intr.project(body)) {
+      obs.push_back({*px, pose.to_world(body)});
+    }
+  }
+  LocalizeConfig cfg;
+  cfg.search_lo = {-10, -10, 0};
+  cfg.search_hi = {15, 15, 4};
+  cfg.de.time_budget_sec = 10.0;  // let generations, not time, bound it
+  cfg.de.max_generations = 120;
+  for (auto _ : state) {
+    Rng solver_rng(11);
+    benchmark::DoNotOptimize(localize(obs, intr, cfg, solver_rng));
+  }
+}
+BENCHMARK(BM_LocalizeSolve)->Unit(benchmark::kMillisecond);
+
+void BM_IcpAlign(benchmark::State& state) {
+  Rng rng(10);
+  std::vector<Vec3> target;
+  for (int i = 0; i < 2'000; ++i) {
+    if (i % 2 == 0) {
+      target.push_back({rng.uniform(0, 10), rng.uniform(0, 10), 0});
+    } else {
+      target.push_back({rng.uniform(0, 10), 0, rng.uniform(0, 3)});
+    }
+  }
+  const Pose truth = Pose::from_euler({0.2, -0.1, 0.05}, 0.03, 0, 0);
+  std::vector<Vec3> source;
+  const Pose inv = truth.inverse();
+  for (const auto& p : target) source.push_back(inv.to_world(p));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(icp_align(source, target, {}));
+  }
+}
+BENCHMARK(BM_IcpAlign)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Quickstart: the smallest end-to-end VisualPrint run.
+//
+//   1. Build a synthetic indoor world (a small gallery corridor).
+//   2. Wardrive it (simulated Tango: RGB + depth + drifting pose).
+//   3. Ingest keypoint-to-3D mappings into the cloud server.
+//   4. Download the uniqueness oracle to a client.
+//   5. Photograph a painting, ship only the ~200 most unique keypoints,
+//      and get a 3-D location back.
+//
+// Run:  ./quickstart
+#include <cstdio>
+
+#include "core/client.hpp"
+#include "core/server.hpp"
+#include "scene/environments.hpp"
+#include "slam/map_merge.hpp"
+#include "slam/mapping.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace vp;
+  Rng rng(2016);
+
+  // 1. A 20 m gallery hall with six unique paintings and repeated doors,
+  //    tiles, and nameplates.
+  std::printf("[1/5] building world...\n");
+  GalleryConfig gallery;
+  gallery.num_scenes = 6;
+  gallery.hall_length = 20.0;
+  const World world = build_gallery(gallery, rng);
+  std::printf("      %zu surfaces, %d unique scenes\n", world.quads().size(),
+              world.scene_count());
+
+  // 2. Wardrive: walk the hall, capture RGB + depth + (drifted) poses,
+  //    then correct drift with ICP map merging.
+  std::printf("[2/5] wardriving...\n");
+  WardriveConfig wardrive_cfg;
+  wardrive_cfg.intrinsics = {320, 240, 1.15192};
+  wardrive_cfg.stop_spacing = 2.0;
+  wardrive_cfg.views_per_stop = 2;
+  const auto snapshots = wardrive(world, wardrive_cfg, rng);
+  const auto merged = merge_snapshots(snapshots, {});
+  const auto mappings = extract_mappings(snapshots, merged.corrected_poses);
+  std::printf("      %zu snapshots -> %zu keypoint-to-3D mappings\n",
+              snapshots.size(), mappings.size());
+
+  // 3. Cloud ingest: every mapping updates the LSH lookup table and the
+  //    counting-Bloom uniqueness oracle, in constant time each.
+  std::printf("[3/5] ingesting into cloud service...\n");
+  ServerConfig server_cfg;
+  server_cfg.oracle.capacity = 200'000;  // sized for this small demo
+  world.bounds(server_cfg.localize.search_lo, server_cfg.localize.search_hi);
+  server_cfg.place_label = "Demo Gallery, Hall 1";
+  VisualPrintServer server(server_cfg);
+  server.ingest_wardrive(mappings);
+
+  // 4. Client boots: downloads the compressed oracle ("~10 MB" in the
+  //    paper; proportionally smaller here).
+  std::printf("[4/5] client downloads uniqueness oracle...\n");
+  const OracleDownload download = server.oracle_snapshot();
+  std::printf("      oracle: %s compressed (%s in RAM)\n",
+              Table::bytes_human(static_cast<double>(download.compressed.size())).c_str(),
+              Table::bytes_human(static_cast<double>(server.oracle().byte_size())).c_str());
+  ClientConfig client_cfg;
+  client_cfg.top_k = 200;
+  client_cfg.blur_threshold = 2.0;
+  VisualPrintClient client(client_cfg);
+  client.install_oracle(download);
+
+  // 5. Photograph painting #2 from an oblique angle and localize.
+  std::printf("[5/5] query: photographing a painting...\n");
+  const auto quads = scene_quads(world);
+  const Camera camera =
+      view_of_quad(world, quads[2], wardrive_cfg.intrinsics, 15.0, 2.2, rng);
+  RenderOptions render_opts;
+  auto photo = render(world, camera, render_opts, rng);
+
+  const FrameResult result = client.process_frame(photo.image, 0.0, 0.0);
+  if (result.status != FrameResult::Status::kQueued) {
+    std::printf("frame rejected (blur/stale/empty) - try another view\n");
+    return 1;
+  }
+  std::printf("      %zu keypoints extracted, %zu most-unique selected "
+              "(%s on the wire)\n",
+              result.total_keypoints, result.selected_keypoints,
+              Table::bytes_human(static_cast<double>(result.query->wire_size())).c_str());
+
+  Rng solver_rng(7);
+  const LocationResponse response =
+      server.localize_query(*result.query, solver_rng);
+  if (!response.found) {
+    std::printf("localization failed - database too sparse here\n");
+    return 1;
+  }
+  const Vec3 truth = camera.pose.translation;
+  std::printf("\nlocation: \"%s\"\n", response.place_label.c_str());
+  std::printf("estimated (%.2f, %.2f, %.2f) m, truth (%.2f, %.2f, %.2f) m, "
+              "error %.2f m, %u keypoints matched\n",
+              response.position.x, response.position.y, response.position.z,
+              truth.x, truth.y, truth.z, response.position.distance(truth),
+              response.matched_keypoints);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// RF fingerprinting: the paper's conclusion applied — "the VisualPrint
+// approach can be productively reapplied in other high-dimensional sensory
+// domains, such as wireless RF."
+//
+// A building is "wardriven" for WiFi RSSI fingerprints. Open areas near
+// many APs produce distinctive fingerprints; a long corridor segment far
+// from APs produces near-identical ones. The SAME uniqueness oracle that
+// ranks visual keypoints ranks these locations: a localization client
+// should spend its budget where the oracle says the RF environment is
+// distinctive, not in RF-bland corridors.
+//
+// Run:  ./rf_fingerprint
+#include <cstdio>
+
+#include "hashing/oracle.hpp"
+#include "rf/rssi.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace vp;
+  Rng rng(2022);
+
+  RfEnvironmentConfig env_cfg;
+  env_cfg.width = 60;
+  env_cfg.depth = 30;
+  env_cfg.num_aps = 24;
+  // APs live in the western wing only: the eastern wing is an RF desert
+  // (the maze-of-blank-walls analogue from the paper's intro).
+  env_cfg.ap_region_fraction = 0.45;
+  env_cfg.path_loss_exponent = 3.5;
+  const RfEnvironment env(env_cfg);
+  std::printf("building: %.0fx%.0f m, %d access points\n", env_cfg.width,
+              env_cfg.depth, env_cfg.num_aps);
+
+  // Wardrive: fingerprints on a 1.5 m survey grid, several visits each
+  // (an RF location's fingerprint recurs visit after visit, so common ==
+  // "this RF pattern exists in many survey cells").
+  OracleConfig oracle_cfg;
+  oracle_cfg.capacity = 200'000;
+  oracle_cfg.lsh.width = 120.0;  // finer than SIFT: RSSI vectors are low-energy
+  UniquenessOracle oracle(oracle_cfg);
+  std::size_t samples = 0;
+  for (double x = 1; x < env_cfg.width; x += 1.5) {
+    for (double y = 1; y < env_cfg.depth; y += 1.5) {
+      for (int visit = 0; visit < 3; ++visit) {
+        oracle.insert(env.fingerprint({x, y, 1.5}, rng));
+        ++samples;
+      }
+    }
+  }
+  std::printf("survey: %zu fingerprints ingested\n\n", samples);
+
+  // Probe a line across the building and score RF uniqueness. Locations
+  // whose fingerprint pattern recurs across many cells (bland RF) score
+  // high counts; distinctive spots score low.
+  Table table("RF uniqueness along a walk (y = 15 m)");
+  table.header({"x (m)", "oracle count", "APs audible", "verdict"});
+  std::vector<double> counts;
+  for (double x = 2; x <= env_cfg.width - 2; x += 4.0) {
+    const auto rssi = env.measure_rssi({x, 15.0, 1.5}, rng);
+    int audible = 0;
+    for (double r : rssi) audible += r > env_cfg.noise_floor_dbm;
+    const auto count = oracle.count(env.to_descriptor(rssi));
+    counts.push_back(static_cast<double>(count));
+    table.row({Table::num(x, 0), std::to_string(count),
+               std::to_string(audible),
+               count <= 9 ? "distinctive (fingerprint here)" : "common"});
+  }
+  table.print();
+
+  const double med = percentile(counts, 50);
+  std::printf(
+      "\nmedian recurrence count: %.0f — the oracle separates RF-distinctive\n"
+      "spots (low counts) from bland ones exactly as it separates unique\n"
+      "visual keypoints from ceiling tiles. Same data structure, different\n"
+      "sensory domain.\n",
+      med);
+  return 0;
+}

@@ -1,0 +1,97 @@
+// vp_client: the VisualPrint client as a real process, talking to
+// vp_server over TCP. Downloads the uniqueness oracle, "photographs" the
+// same demo gallery (the simulated camera), selects the most unique
+// keypoints, ships fingerprint queries, and prints the locations the
+// service returns against ground truth.
+//
+// Run:   ./vp_server         (first, in another terminal)
+//        ./vp_client [--port N] [--views N]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/client.hpp"
+#include "net/tcp.hpp"
+#include "scene/environments.hpp"
+#include "scene/render.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vp;
+  std::uint16_t port = 47001;
+  int views = 6;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--views") == 0 && i + 1 < argc) {
+      views = std::atoi(argv[++i]);
+    }
+  }
+
+  // The same demo gallery the server wardrove (seed-identical): this is
+  // the world the simulated camera photographs.
+  Rng rng(2016);
+  GalleryConfig gallery;
+  gallery.num_scenes = 8;
+  gallery.hall_length = 24;
+  const World world = build_gallery(gallery, rng);
+  const auto quads = scene_quads(world);
+  const CameraIntrinsics intr{480, 360, 1.15192};
+
+  Socket sock = tcp_connect("127.0.0.1", port);
+  std::printf("connected to 127.0.0.1:%u\n", port);
+
+  // First launch: fetch the uniqueness oracle.
+  sock.send_message(Bytes{'O'});
+  Bytes reply;
+  if (!sock.recv_message(reply)) {
+    std::printf("server hung up\n");
+    return 1;
+  }
+  const OracleDownload download = OracleDownload::decode(reply);
+  std::printf("oracle v%u downloaded: %s compressed\n", download.version,
+              Table::bytes_human(static_cast<double>(download.compressed.size())).c_str());
+
+  ClientConfig cfg;
+  cfg.top_k = 200;
+  cfg.blur_threshold = 2.0;
+  VisualPrintClient client(cfg);
+  client.install_oracle(download);
+
+  Table table("Localization over TCP");
+  table.header({"view", "uploaded", "server says", "truth", "error (m)"});
+  for (int v = 0; v < views; ++v) {
+    Rng view_rng(9100 + v);
+    const std::size_t scene = static_cast<std::size_t>(v) % quads.size();
+    const Camera cam = view_of_quad(world, quads[scene], intr,
+                                    view_rng.uniform(-20, 20), 2.4, view_rng);
+    auto photo = render(world, cam, {}, view_rng);
+    const auto fr = client.process_frame(photo.image, 0.0, 0.0);
+    if (fr.status != FrameResult::Status::kQueued) {
+      table.row({std::to_string(v), "-", "(frame rejected)", "-", "-"});
+      continue;
+    }
+    ByteWriter w;
+    w.u8('Q');
+    w.raw(fr.query->encode());
+    sock.send_message(w.bytes());
+    if (!sock.recv_message(reply)) break;
+    const LocationResponse resp = LocationResponse::decode(reply);
+
+    char est[64], truth[64];
+    std::snprintf(est, sizeof est, "(%.1f, %.1f, %.1f)", resp.position.x,
+                  resp.position.y, resp.position.z);
+    std::snprintf(truth, sizeof truth, "(%.1f, %.1f, %.1f)",
+                  cam.pose.translation.x, cam.pose.translation.y,
+                  cam.pose.translation.z);
+    table.row({std::to_string(v),
+               Table::bytes_human(static_cast<double>(fr.query->wire_size())),
+               resp.found ? std::string(est) : std::string("(no fix)"),
+               std::string(truth),
+               resp.found
+                   ? Table::num(resp.position.distance(cam.pose.translation), 2)
+                   : "-"});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,111 @@
+// vp_server: the VisualPrint cloud service as a real process.
+//
+// On first run it wardrives a synthetic gallery, ingests the mappings, and
+// saves the database; later runs load the database file directly. Then it
+// serves the wire protocol over TCP (loopback):
+//   request 'O'            -> OracleDownload (zlib'd uniqueness tables)
+//   request 'Q' + VPQ! ... -> LocationResponse
+//
+// Run:   ./vp_server [--port N] [--db FILE] [--once]
+// Pair:  ./vp_client (in another terminal)
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "core/server.hpp"
+#include "net/tcp.hpp"
+#include "scene/environments.hpp"
+#include "slam/map_merge.hpp"
+#include "slam/mapping.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+vp::VisualPrintServer build_demo_database(const std::string& db_path) {
+  using namespace vp;
+  std::printf("no database found; wardriving the demo gallery...\n");
+  Rng rng(2016);
+  GalleryConfig gallery;
+  gallery.num_scenes = 8;
+  gallery.hall_length = 24;
+  const World world = build_gallery(gallery, rng);
+
+  WardriveConfig wardrive_cfg;
+  wardrive_cfg.intrinsics = {320, 240, 1.15192};
+  wardrive_cfg.stop_spacing = 2.5;
+  wardrive_cfg.views_per_stop = 3;
+  auto snaps = wardrive(world, wardrive_cfg, rng);
+  const auto merged = merge_snapshots(snaps, {});
+  const auto mappings = extract_mappings(snaps, merged.corrected_poses);
+
+  ServerConfig cfg;
+  cfg.oracle.capacity =
+      std::max<std::size_t>(50'000, mappings.size() * 2);
+  world.bounds(cfg.localize.search_lo, cfg.localize.search_hi);
+  cfg.place_label = "Demo Gallery (vp_server)";
+  VisualPrintServer server(cfg);
+  server.ingest_wardrive(mappings);
+  server.save(db_path);
+  std::printf("database built: %zu keypoints, saved to %s\n",
+              server.keypoint_count(), db_path.c_str());
+  return server;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vp;
+  std::uint16_t port = 47001;
+  std::string db_path = "vp_demo.db";
+  bool once = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--db") == 0 && i + 1 < argc) {
+      db_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--once") == 0) {
+      once = true;  // serve a single connection then exit (used in tests)
+    }
+  }
+
+  VisualPrintServer server =
+      std::filesystem::exists(db_path)
+          ? VisualPrintServer::load(db_path)
+          : build_demo_database(db_path);
+  std::printf("database: %zu keypoints, oracle %s in RAM\n",
+              server.keypoint_count(),
+              Table::bytes_human(static_cast<double>(server.oracle().byte_size())).c_str());
+
+  TcpListener listener(port);
+  std::printf("listening on 127.0.0.1:%u ...\n", listener.port());
+
+  Rng solver_rng(7);
+  std::size_t served = 0;
+  bool done = false;
+  listener.serve(
+      [&](std::span<const std::uint8_t> request) -> Bytes {
+        if (request.empty()) throw DecodeError{"empty request"};
+        const std::uint8_t tag = request[0];
+        const auto body = request.subspan(1);
+        if (tag == 'O') {
+          std::printf("  -> oracle download\n");
+          return server.oracle_snapshot().encode();
+        }
+        if (tag == 'Q') {
+          const FingerprintQuery query = FingerprintQuery::decode(body);
+          const LocationResponse resp = server.localize_query(query, solver_rng);
+          std::printf("  -> query frame %u: %s (%u keypoints matched)\n",
+                      query.frame_id, resp.found ? "located" : "no fix",
+                      resp.matched_keypoints);
+          ++served;
+          return resp.encode();
+        }
+        throw DecodeError{"unknown request tag"};
+      },
+      [&] {
+        if (once && served > 0) done = true;
+        return !done;
+      });
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Wardrive-and-localize: the paper's §4 "Localization" experiment in
+// miniature, across the three environments (office, cafeteria, grocery).
+// Shows the full offline pipeline — drifting Tango poses, ICP map merge,
+// keypoint-to-3D extraction — then localizes fresh query photographs and
+// reports per-environment error, with and without ICP correction.
+//
+// Run:  ./wardrive_and_localize [--fast]
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/client.hpp"
+#include "core/server.hpp"
+#include "scene/environments.hpp"
+#include "slam/map_merge.hpp"
+#include "slam/mapping.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct EnvironmentRun {
+  std::string name;
+  vp::World world;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vp;
+  const bool fast = argc > 1 && std::strcmp(argv[1], "--fast") == 0;
+  Rng rng(88);
+
+  RoomConfig office{.width = fast ? 18.0 : 30.0, .depth = 10.0, .height = 3.0,
+                    .num_scenes = 6};
+  RoomConfig cafeteria = office;
+  RoomConfig grocery{.width = fast ? 20.0 : 34.0, .depth = 14.0, .height = 3.5,
+                     .num_scenes = 5};
+
+  std::vector<EnvironmentRun> envs;
+  envs.push_back({"office", build_office(office, rng)});
+  envs.push_back({"cafeteria", build_cafeteria(cafeteria, rng)});
+  envs.push_back({"grocery", build_grocery(grocery, rng)});
+
+  WardriveConfig wardrive_cfg;
+  wardrive_cfg.intrinsics = {320, 240, 1.15192};
+  wardrive_cfg.stop_spacing = 2.5;
+  wardrive_cfg.lane_spacing = 4.0;
+  wardrive_cfg.views_per_stop = 2;
+
+  Table table("Localization by environment (meters)");
+  table.header({"environment", "mappings", "wardrive err (raw)",
+                "wardrive err (ICP)", "median loc err", "p90 loc err",
+                "localized"});
+
+  for (auto& env : envs) {
+    Rng env_rng(std::hash<std::string>{}(env.name));
+    const auto snapshots = wardrive(env.world, wardrive_cfg, env_rng);
+
+    // Pose correction: with and without ICP merge.
+    MapMergeConfig icp_on;
+    MapMergeConfig icp_off;
+    icp_off.enabled = false;
+    const auto merged_on = merge_snapshots(snapshots, icp_on);
+    const auto merged_off = merge_snapshots(snapshots, icp_off);
+    const double raw_err = mean_pose_error(snapshots, merged_off.corrected_poses);
+    const double icp_err = mean_pose_error(snapshots, merged_on.corrected_poses);
+
+    const auto mappings = extract_mappings(snapshots, merged_on.corrected_poses);
+
+    ServerConfig server_cfg;
+    server_cfg.oracle.capacity = 400'000;
+    env.world.bounds(server_cfg.localize.search_lo,
+                     server_cfg.localize.search_hi);
+    server_cfg.localize.de.time_budget_sec = 0.3;
+    server_cfg.place_label = env.name;
+    VisualPrintServer server(server_cfg);
+    server.ingest_wardrive(mappings);
+
+    ClientConfig client_cfg;
+    client_cfg.top_k = 200;
+    client_cfg.blur_threshold = 2.0;
+    VisualPrintClient client(client_cfg);
+    client.install_oracle(server.oracle_snapshot());
+
+    // Query photos of each unique scene, from angles the wardrive never
+    // exactly visited.
+    const auto quads = scene_quads(env.world);
+    std::vector<double> errors;
+    int localized = 0, attempted = 0;
+    for (std::size_t s = 0; s < quads.size(); ++s) {
+      for (const double angle : {-20.0, 15.0}) {
+        Rng view_rng(1000 + static_cast<int>(s) * 7 +
+                     static_cast<int>(angle));
+        const Camera cam = view_of_quad(env.world, quads[s],
+                                        wardrive_cfg.intrinsics, angle, 2.5,
+                                        view_rng);
+        auto photo = render(env.world, cam, {}, view_rng);
+        const auto result = client.process_frame(photo.image, 0.0, 0.0);
+        if (result.status != FrameResult::Status::kQueued) continue;
+        ++attempted;
+        Rng solver_rng(2000 + static_cast<int>(s));
+        const auto resp = server.localize_query(*result.query, solver_rng);
+        if (!resp.found) continue;
+        ++localized;
+        errors.push_back(resp.position.distance(cam.pose.translation));
+      }
+    }
+
+    std::string med = "-", p90 = "-";
+    if (!errors.empty()) {
+      med = Table::num(percentile(errors, 50), 2);
+      p90 = Table::num(percentile(errors, 90), 2);
+    }
+    table.row({env.name, std::to_string(mappings.size()),
+               Table::num(raw_err, 3), Table::num(icp_err, 3), med, p90,
+               std::to_string(localized) + "/" + std::to_string(attempted)});
+  }
+  table.print();
+  std::printf(
+      "\nNote: the paper reports ~2.5 m median 3-D error (Fig. 19) on\n"
+      "full-building databases; this miniature run uses far sparser\n"
+      "wardriving, so expect the same order of magnitude, not equality.\n");
+  return 0;
+}

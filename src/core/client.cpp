@@ -1,0 +1,121 @@
+#include "core/client.hpp"
+
+#include <algorithm>
+
+#include "imaging/codec.hpp"
+#include "imaging/filters.hpp"
+#include "index/brute_force.hpp"  // random_subselect
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace vp {
+
+VisualPrintClient::VisualPrintClient(ClientConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  VP_REQUIRE(config.top_k >= 1, "top_k must be >= 1");
+}
+
+void VisualPrintClient::install_oracle(const OracleDownload& download) {
+  oracle_blob_ = zlib_decompress(download.compressed);
+  oracle_ = std::make_unique<UniquenessOracle>(
+      UniquenessOracle::deserialize(oracle_blob_));
+}
+
+void VisualPrintClient::install_oracle(UniquenessOracle oracle) {
+  oracle_ = std::make_unique<UniquenessOracle>(std::move(oracle));
+  oracle_blob_ = oracle_->serialize();
+}
+
+void VisualPrintClient::apply_oracle_diff(const OracleDiff& diff) {
+  VP_REQUIRE(oracle_ != nullptr, "no oracle installed to diff against");
+  Bytes updated = diff.apply(oracle_blob_);
+  oracle_ = std::make_unique<UniquenessOracle>(
+      UniquenessOracle::deserialize(updated));
+  oracle_blob_ = std::move(updated);
+}
+
+std::vector<Feature> VisualPrintClient::select_features(
+    std::vector<Feature> features, std::size_t k) {
+  if (features.size() <= k) return features;
+
+  switch (config_.policy) {
+    case SelectionPolicy::kAll:
+      return features;
+    case SelectionPolicy::kRandom: {
+      const auto ids = random_subselect(features.size(), k, rng_);
+      std::vector<Feature> out;
+      out.reserve(k);
+      for (std::size_t i : ids) out.push_back(std::move(features[i]));
+      return out;
+    }
+    case SelectionPolicy::kMostUnique:
+    default: {
+      VP_REQUIRE(oracle_ != nullptr,
+                 "uniqueness selection requires a downloaded oracle");
+      // Counting-filter lookups give each keypoint an estimated global
+      // occurrence count; the partial ordering ranks unique first.
+      std::vector<std::pair<std::uint32_t, std::size_t>> scored;
+      scored.reserve(features.size());
+      for (std::size_t i = 0; i < features.size(); ++i) {
+        scored.emplace_back(oracle_->count(features[i].descriptor), i);
+      }
+      std::nth_element(
+          scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(k - 1),
+          scored.end());
+      std::sort(scored.begin(),
+                scored.begin() + static_cast<std::ptrdiff_t>(k));
+      std::vector<Feature> out;
+      out.reserve(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        out.push_back(std::move(features[scored[i].second]));
+      }
+      return out;
+    }
+  }
+}
+
+FrameResult VisualPrintClient::process_frame(const ImageF& frame,
+                                             double capture_time, double now) {
+  FrameResult result;
+
+  // "It also rejects frames when processing falls behind the realtime
+  // stream. That is, the app only processes extremely recent frames."
+  if (now - capture_time > config_.stale_frame_budget_s) {
+    result.status = FrameResult::Status::kStale;
+    return result;
+  }
+
+  // Blur gate before any expensive work.
+  result.blur_metric = variance_of_laplacian(frame);
+  if (result.blur_metric < config_.blur_threshold) {
+    result.status = FrameResult::Status::kBlurRejected;
+    return result;
+  }
+
+  Timer sift_timer;
+  auto features = sift_detect(frame, config_.sift);
+  result.sift_ms = sift_timer.millis();
+  result.total_keypoints = features.size();
+  if (features.empty()) {
+    result.status = FrameResult::Status::kNoFeatures;
+    return result;
+  }
+
+  Timer score_timer;
+  auto selected = select_features(std::move(features), config_.top_k);
+  result.scoring_ms = score_timer.millis();
+  result.selected_keypoints = selected.size();
+
+  FingerprintQuery q;
+  q.frame_id = next_frame_id_++;
+  q.capture_time = capture_time;
+  q.image_width = static_cast<std::uint16_t>(frame.width());
+  q.image_height = static_cast<std::uint16_t>(frame.height());
+  q.fov_h = config_.fov_h;
+  q.features = std::move(selected);
+  result.query = std::move(q);
+  result.status = FrameResult::Status::kQueued;
+  return result;
+}
+
+}  // namespace vp

@@ -1,0 +1,103 @@
+// VisualPrint client library (paper §3, "Client Android App").
+//
+// Per frame: blur gate (variance of Laplacian) -> SIFT extraction ->
+// uniqueness scoring of every keypoint against the downloaded oracle ->
+// partial sort -> upload the top-k most unique descriptors. The client can
+// also run the baseline policies (random subselection, all keypoints,
+// whole-frame upload) so evaluation drives every scheme through one code
+// path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "features/sift.hpp"
+#include "hashing/oracle.hpp"
+#include "imaging/image.hpp"
+#include "net/wire.hpp"
+#include "util/rng.hpp"
+
+namespace vp {
+
+/// How the client chooses which visual data to ship.
+enum class SelectionPolicy : std::uint8_t {
+  kMostUnique = 0,  ///< VisualPrint: oracle-ranked top-k
+  kRandom = 1,      ///< Random-k strawman
+  kAll = 2,         ///< ship every keypoint (the Fig. 5 non-starter)
+};
+
+struct ClientConfig {
+  SiftConfig sift{};
+  double blur_threshold = 18.0;  ///< min variance-of-Laplacian to accept
+  std::size_t top_k = 200;       ///< keypoints per query (paper: 200/500)
+  SelectionPolicy policy = SelectionPolicy::kMostUnique;
+  float fov_h = 1.15192f;
+  double stale_frame_budget_s = 0.4;  ///< drop frames older than this when
+                                      ///< processing falls behind realtime
+};
+
+/// Outcome of feeding one frame to the client.
+struct FrameResult {
+  enum class Status : std::uint8_t {
+    kQueued,        ///< query produced and ready to upload
+    kBlurRejected,  ///< failed the blur gate
+    kStale,         ///< arrived too late; processing fell behind
+    kNoFeatures,    ///< SIFT found nothing usable
+  };
+  Status status = Status::kNoFeatures;
+  std::optional<FingerprintQuery> query;
+  std::size_t total_keypoints = 0;
+  std::size_t selected_keypoints = 0;
+  double blur_metric = 0;
+  double sift_ms = 0;     ///< measured extraction latency
+  double scoring_ms = 0;  ///< measured oracle lookup + sort latency
+};
+
+class VisualPrintClient {
+ public:
+  explicit VisualPrintClient(ClientConfig config, std::uint64_t seed = 17);
+
+  /// Install the oracle downloaded from the cloud (first launch / refresh).
+  void install_oracle(const OracleDownload& download);
+  void install_oracle(UniquenessOracle oracle);
+  bool has_oracle() const noexcept { return oracle_ != nullptr; }
+  const UniquenessOracle* oracle() const noexcept { return oracle_.get(); }
+
+  /// Incremental refresh: apply an XOR diff against the currently
+  /// installed snapshot (paper: "periodically refreshes its copy of the
+  /// Bloom filter"; the diff transfer is the paper's suggested-but-
+  /// unimplemented optimization). Requires a previously installed oracle.
+  void apply_oracle_diff(const OracleDiff& diff);
+
+  /// Serialized form of the installed oracle (the diff base).
+  const Bytes& oracle_blob() const noexcept { return oracle_blob_; }
+
+  /// Process one camera frame captured at `capture_time` (seconds since
+  /// session start); `now` models the realtime clock when processing
+  /// starts (stale-frame rejection). Grayscale [0,255] input.
+  FrameResult process_frame(const ImageF& frame, double capture_time,
+                            double now);
+
+  /// Rank features by uniqueness (ascending oracle count) and keep top-k.
+  /// Exposed for tests and benches; process_frame uses this internally.
+  std::vector<Feature> select_features(std::vector<Feature> features,
+                                       std::size_t k);
+
+  const ClientConfig& config() const noexcept { return config_; }
+
+  /// Client memory footprint attributable to VisualPrint (Fig. 15).
+  std::size_t oracle_byte_size() const noexcept {
+    return oracle_ ? oracle_->byte_size() : 0;
+  }
+
+ private:
+  ClientConfig config_;
+  std::unique_ptr<UniquenessOracle> oracle_;
+  Bytes oracle_blob_;  ///< serialized snapshot, kept as the diff base
+  Rng rng_;
+  std::uint32_t next_frame_id_ = 0;
+};
+
+}  // namespace vp

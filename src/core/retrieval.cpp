@@ -1,0 +1,123 @@
+#include "core/retrieval.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace vp {
+
+SceneDatabase::SceneDatabase(RetrievalConfig config, ThreadPool* pool)
+    : config_(config), index_(config.index), pool_(pool) {}
+
+void SceneDatabase::add_image(std::span<const Feature> features,
+                              std::int32_t scene_id) {
+  for (const auto& f : features) {
+    index_.insert(f.descriptor);
+    descriptors_.push_back(f.descriptor);
+    labels_.push_back(scene_id);
+  }
+  scene_count_ = std::max(scene_count_, scene_id + 1);
+  brute_.reset();  // rebuilt lazily over the enlarged database
+}
+
+std::vector<std::uint32_t> SceneDatabase::votes(std::span<const Feature> query,
+                                                MatcherKind kind) const {
+  std::vector<std::uint32_t> tally(
+      static_cast<std::size_t>(std::max(0, scene_count_)), 0);
+  if (labels_.empty() || query.empty()) return tally;
+
+  auto vote = [&](const Match& m) {
+    if (m.distance2 > config_.max_match_distance2) return;
+    const std::int32_t sid = labels_[m.id];
+    if (sid >= 0) ++tally[static_cast<std::size_t>(sid)];
+  };
+
+  if (kind == MatcherKind::kBruteForce) {
+    if (!brute_) {
+      brute_ = std::make_unique<BruteForceMatcher>(descriptors_, pool_);
+    }
+    std::vector<Descriptor> qd;
+    qd.reserve(query.size());
+    for (const auto& f : query) qd.push_back(f.descriptor);
+    for (const auto& m : brute_->nearest_batch(qd)) vote(m);
+  } else {
+    for (const auto& f : query) {
+      const auto matches = index_.query(f.descriptor, 1);
+      if (!matches.empty()) vote(matches[0]);
+    }
+  }
+  return tally;
+}
+
+std::optional<std::int32_t> SceneDatabase::predict(
+    std::span<const Feature> query, MatcherKind kind) const {
+  const auto tally = votes(query, kind);
+  if (tally.empty()) return std::nullopt;
+  std::size_t best = 0, second = 0;
+  for (std::size_t s = 1; s < tally.size(); ++s) {
+    if (tally[s] > tally[best]) {
+      second = best;
+      best = s;
+    } else if (tally[s] > tally[second] || second == best) {
+      second = s;
+    }
+  }
+  const std::uint32_t w = tally[best];
+  const std::uint32_t r = best == second ? 0 : tally[second];
+  if (w < config_.min_votes) return std::nullopt;
+  if (r > 0 && static_cast<double>(w) <
+                   config_.min_margin * static_cast<double>(r)) {
+    return std::nullopt;  // ambiguous between two scenes
+  }
+  return static_cast<std::int32_t>(best);
+}
+
+PrecisionRecall precision_recall_sets(
+    std::span<const std::vector<int>> truth_sets,
+    std::span<const std::optional<std::int32_t>> predicted, int scene_count) {
+  VP_REQUIRE(truth_sets.size() == predicted.size(),
+             "precision_recall_sets: size mismatch");
+  PrecisionRecall pr;
+  for (std::int32_t k = 0; k < scene_count; ++k) {
+    std::size_t v = 0, p = 0, vp = 0;
+    for (std::size_t i = 0; i < truth_sets.size(); ++i) {
+      const bool in_v = std::find(truth_sets[i].begin(), truth_sets[i].end(),
+                                  k) != truth_sets[i].end();
+      const bool in_p = predicted[i] && *predicted[i] == k;
+      v += in_v;
+      p += in_p;
+      vp += in_v && in_p;
+    }
+    if (v == 0) continue;
+    pr.precision.push_back(
+        p == 0 ? 0.0 : static_cast<double>(vp) / static_cast<double>(p));
+    pr.recall.push_back(static_cast<double>(vp) / static_cast<double>(v));
+  }
+  return pr;
+}
+
+PrecisionRecall precision_recall(
+    std::span<const std::optional<std::int32_t>> truth,
+    std::span<const std::optional<std::int32_t>> predicted, int scene_count) {
+  VP_REQUIRE(truth.size() == predicted.size(),
+             "precision_recall: size mismatch");
+  PrecisionRecall pr;
+  for (std::int32_t k = 0; k < scene_count; ++k) {
+    std::size_t v = 0, p = 0, vp = 0;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      const bool in_v = truth[i] && *truth[i] == k;
+      const bool in_p = predicted[i] && *predicted[i] == k;
+      v += in_v;
+      p += in_p;
+      vp += in_v && in_p;
+    }
+    if (v == 0) continue;  // scene never appears in the query set
+    pr.precision.push_back(
+        p == 0 ? 0.0 : static_cast<double>(vp) / static_cast<double>(p));
+    pr.recall.push_back(static_cast<double>(vp) / static_cast<double>(v));
+  }
+  return pr;
+}
+
+}  // namespace vp

@@ -1,0 +1,97 @@
+// Scene-retrieval evaluation machinery (Fig. 13).
+//
+// A SceneDatabase holds labeled database images' features (scene images
+// plus distractors). A query frame's features are matched by one of the
+// paper's five regimes — Random-500, VisualPrint-200/500, LSH, BruteForce —
+// and matched features vote for their database scene; the winning scene
+// (with enough votes) is the prediction. Precision/recall are computed per
+// scene with the paper's exact definitions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "features/keypoint.hpp"
+#include "index/brute_force.hpp"
+#include "index/lsh_index.hpp"
+#include "util/thread_pool.hpp"
+
+namespace vp {
+
+struct RetrievalConfig {
+  LshIndexConfig index{};             ///< LSH parameters for the index path
+  std::uint32_t max_match_distance2 = 60'000;  ///< NN acceptance threshold
+  std::uint32_t min_votes = 4;        ///< below this, predict "no scene"
+  double min_margin = 1.3;            ///< winner votes / runner-up votes
+};
+
+/// Which matcher answers nearest-neighbor queries.
+enum class MatcherKind : std::uint8_t {
+  kLsh = 0,        ///< approximate, LSH-indexed (server reality)
+  kBruteForce = 1, ///< exact (the paper's GPU SIMD baseline)
+};
+
+class SceneDatabase {
+ public:
+  explicit SceneDatabase(RetrievalConfig config = {},
+                         ThreadPool* pool = nullptr);
+
+  /// Add a database image's features under a scene label (-1 = distractor).
+  void add_image(std::span<const Feature> features, std::int32_t scene_id);
+
+  /// Votes per scene for a query feature set.
+  std::vector<std::uint32_t> votes(std::span<const Feature> query,
+                                   MatcherKind kind) const;
+
+  /// Predicted scene, or nullopt when votes are too few / too ambiguous.
+  std::optional<std::int32_t> predict(std::span<const Feature> query,
+                                      MatcherKind kind) const;
+
+  std::size_t descriptor_count() const noexcept { return labels_.size(); }
+  int scene_count() const noexcept { return scene_count_; }
+
+  /// Fig. 15 memory accounting.
+  std::size_t lsh_byte_size() const noexcept { return index_.byte_size(); }
+  std::size_t reference_lsh_byte_size() const noexcept {
+    return index_.reference_e2lsh_byte_size();
+  }
+  std::size_t brute_force_byte_size() const noexcept {
+    return descriptors_.size() * sizeof(Descriptor);
+  }
+
+  const RetrievalConfig& config() const noexcept { return config_; }
+
+ private:
+  RetrievalConfig config_;
+  LshIndex index_;
+  std::vector<Descriptor> descriptors_;  // brute-force view
+  std::vector<std::int32_t> labels_;
+  /// Lazily (re)built exact matcher; cache only, so mutable is honest.
+  mutable std::unique_ptr<BruteForceMatcher> brute_;
+  ThreadPool* pool_;
+  int scene_count_ = 0;
+};
+
+/// Per-scene precision/recall from (truth, prediction) pairs, using the
+/// paper's definitions: for scene k, V = frames truly capturing k, P =
+/// frames predicted as k; precision_k = |V∩P|/|P|, recall_k = |V∩P|/|V|.
+/// Scenes with an empty P get precision 0 (they were never predicted);
+/// scenes with empty V are skipped.
+struct PrecisionRecall {
+  std::vector<double> precision;  ///< one entry per scene with |V| > 0
+  std::vector<double> recall;
+};
+
+PrecisionRecall precision_recall(
+    std::span<const std::optional<std::int32_t>> truth,
+    std::span<const std::optional<std::int32_t>> predicted, int scene_count);
+
+/// Set-valued truth variant: a query frame may contain several scenes
+/// (V_k = frames whose truth set contains k); the prediction is still a
+/// single label per frame.
+PrecisionRecall precision_recall_sets(
+    std::span<const std::vector<int>> truth_sets,
+    std::span<const std::optional<std::int32_t>> predicted, int scene_count);
+
+}  // namespace vp

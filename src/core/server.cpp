@@ -1,0 +1,101 @@
+#include "core/server.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace vp {
+
+VisualPrintServer::VisualPrintServer(ServerConfig config)
+    : config_(config), index_(config.index), oracle_(config.oracle) {}
+
+void VisualPrintServer::ingest(const Feature& feature, Vec3 world_position,
+                               std::int32_t scene_id,
+                               std::uint32_t source_id) {
+  const std::uint32_t id = index_.insert(feature.descriptor);
+  VP_ASSERT(id == stored_.size());
+  stored_.push_back({world_position, scene_id, source_id});
+  oracle_.insert(feature.descriptor);
+  scene_count_ = std::max(scene_count_, scene_id + 1);
+  ++oracle_version_;
+}
+
+void VisualPrintServer::ingest_wardrive(
+    std::span<const KeypointMapping> mappings) {
+  for (const auto& m : mappings) {
+    ingest(m.feature, m.world_position, -1, m.snapshot);
+  }
+}
+
+LocationResponse VisualPrintServer::localize_query(
+    const FingerprintQuery& query, Rng& rng) const {
+  LocationResponse resp;
+  resp.frame_id = query.frame_id;
+  resp.place_label = config_.place_label;
+
+  // Retrieval: |K| * n candidate (pixel, 3-D point) pairs.
+  std::vector<Observation> candidates;
+  std::vector<Vec3> points;
+  for (const auto& f : query.features) {
+    const auto matches =
+        index_.query(f.descriptor, config_.neighbors_per_keypoint);
+    for (const auto& m : matches) {
+      if (m.distance2 > config_.max_match_distance2) continue;
+      candidates.push_back(
+          {{f.keypoint.x, f.keypoint.y}, stored_[m.id].position});
+      points.push_back(stored_[m.id].position);
+    }
+  }
+  if (candidates.size() < 3) return resp;  // found = false
+
+  // Largest spatial cluster; discard everything else (repetitions
+  // elsewhere in the building vote into other clusters).
+  const auto keep = largest_cluster(points, config_.clustering);
+  if (keep.size() < 3) return resp;
+  std::vector<Observation> obs;
+  obs.reserve(keep.size());
+  for (std::size_t i : keep) obs.push_back(candidates[i]);
+
+  CameraIntrinsics cam;
+  cam.width = query.image_width;
+  cam.height = query.image_height;
+  cam.fov_h = static_cast<double>(query.fov_h);
+  const auto result = localize(obs, cam, config_.localize, rng);
+  if (!result) return resp;
+
+  resp.found = true;
+  resp.position = result->pose.translation;
+  euler_zyx(result->pose.rotation, resp.yaw, resp.pitch, resp.roll);
+  resp.residual = result->residual;
+  resp.matched_keypoints = static_cast<std::uint32_t>(obs.size());
+  return resp;
+}
+
+std::vector<std::uint32_t> VisualPrintServer::scene_votes(
+    std::span<const Feature> features) const {
+  std::vector<std::uint32_t> votes(
+      static_cast<std::size_t>(std::max(0, scene_count_)), 0);
+  for (const auto& f : features) {
+    const auto matches = index_.query(f.descriptor, 1);
+    if (matches.empty()) continue;
+    if (matches[0].distance2 > config_.max_match_distance2) continue;
+    const std::int32_t sid = stored_[matches[0].id].scene_id;
+    if (sid >= 0 && static_cast<std::size_t>(sid) < votes.size()) {
+      ++votes[static_cast<std::size_t>(sid)];
+    }
+  }
+  return votes;
+}
+
+OracleDownload VisualPrintServer::oracle_snapshot() const {
+  return OracleDownload::pack(oracle_, oracle_version_);
+}
+
+OracleDiff VisualPrintServer::oracle_diff_from(
+    std::span<const std::uint8_t> old_blob) const {
+  const Bytes new_blob = oracle_.serialize();
+  // from_version is unknown to the server here; caller tracks versions.
+  return OracleDiff::make(old_blob, new_blob, 0, oracle_version_);
+}
+
+}  // namespace vp

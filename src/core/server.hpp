@@ -1,0 +1,102 @@
+// VisualPrint cloud service (paper §3, "Cloud Processing and 3D
+// Positioning"). Maintains the two server data structures:
+//   1. the LSH-indexed keypoint -> 3-D position lookup table, and
+//   2. the LSH-indexed counting Bloom filters (the uniqueness oracle)
+//      that clients download.
+// Ingest is constant time per mapping; queries run retrieval, spatial
+// clustering, and the localization solve, returning a LocationResponse.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/clustering.hpp"
+#include "geometry/localize.hpp"
+#include "hashing/oracle.hpp"
+#include "index/lsh_index.hpp"
+#include "net/wire.hpp"
+#include "slam/mapping.hpp"
+
+namespace vp {
+
+struct ServerConfig {
+  LshIndexConfig index{};        ///< keypoint->3D lookup table parameters
+  OracleConfig oracle{};         ///< uniqueness-oracle parameters
+  std::size_t neighbors_per_keypoint = 2;  ///< n in the |K|*n retrieval
+  std::uint32_t max_match_distance2 = 65'000;  ///< reject weak matches
+  /// Largest-cluster filter. Tighter than the generic default: with
+  /// wardriven floors/walls everywhere, a generous radius chains retrieved
+  /// points across the whole building into one meaningless mega-cluster.
+  ClusteringConfig clustering{.radius = 1.5, .min_points = 4};
+  LocalizeConfig localize{};     ///< Fig. 12 solver parameters
+  std::string place_label = "indoor";
+};
+
+/// Metadata stored per indexed descriptor.
+struct StoredKeypoint {
+  Vec3 position;
+  std::int32_t scene_id = -1;
+  std::uint32_t source_id = 0;  ///< wardriving snapshot or database image
+};
+
+class VisualPrintServer {
+ public:
+  explicit VisualPrintServer(ServerConfig config);
+
+  /// Ingest one keypoint-to-3D mapping from the wardriving app. Updates
+  /// both the lookup table and the oracle (constant time and memory).
+  void ingest(const Feature& feature, Vec3 world_position,
+              std::int32_t scene_id = -1, std::uint32_t source_id = 0);
+
+  /// Bulk ingest of a wardrive result.
+  void ingest_wardrive(std::span<const KeypointMapping> mappings);
+
+  /// Answer a localization query: LSH retrieval of |K|*n candidate 3-D
+  /// points, largest-cluster filtering, then the Fig. 12 pose solve.
+  LocationResponse localize_query(const FingerprintQuery& query, Rng& rng) const;
+
+  /// Scene votes for a set of query features (retrieval experiments):
+  /// vote[s] = number of query features whose accepted nearest neighbor
+  /// belongs to scene s. Index -1 votes are dropped.
+  std::vector<std::uint32_t> scene_votes(std::span<const Feature> features)
+      const;
+
+  /// Current oracle snapshot for client download.
+  OracleDownload oracle_snapshot() const;
+
+  /// Incremental oracle update from a previous serialized snapshot.
+  OracleDiff oracle_diff_from(std::span<const std::uint8_t> old_blob) const;
+
+  const UniquenessOracle& oracle() const noexcept { return oracle_; }
+  const LshIndex& index() const noexcept { return index_; }
+  std::size_t keypoint_count() const noexcept { return stored_.size(); }
+  const StoredKeypoint& stored(std::uint32_t id) const {
+    return stored_.at(id);
+  }
+  int scene_count() const noexcept { return scene_count_; }
+
+  /// Server-side memory footprint (the Fig. 15 "LSH" column).
+  std::size_t index_byte_size() const noexcept { return index_.byte_size(); }
+
+  /// Persist the full database (configuration, every stored keypoint with
+  /// its 3-D position and labels, and the oracle) to one file. The LSH
+  /// index is rebuilt on load from the stored descriptors, so the file
+  /// stays an order of magnitude smaller than resident memory.
+  void save(const std::string& path) const;
+  static VisualPrintServer load(const std::string& path);
+
+  /// In-memory equivalents of save/load (used by tests and by save/load).
+  Bytes serialize() const;
+  static VisualPrintServer deserialize(std::span<const std::uint8_t> data);
+
+ private:
+  ServerConfig config_;
+  LshIndex index_;
+  UniquenessOracle oracle_;
+  std::vector<StoredKeypoint> stored_;
+  std::uint32_t oracle_version_ = 0;
+  int scene_count_ = 0;
+};
+
+}  // namespace vp

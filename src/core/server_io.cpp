@@ -1,0 +1,123 @@
+// Persistence for VisualPrintServer: one self-describing file carrying the
+// structural configuration, every stored keypoint (descriptor + 3-D
+// position + labels), and the oracle. The LSH lookup table is rebuilt from
+// the stored descriptors on load — deterministic, since the projection
+// family is seeded — so the file stays far smaller than resident memory.
+#include <algorithm>
+#include <fstream>
+
+#include "core/server.hpp"
+#include "imaging/codec.hpp"
+#include "util/error.hpp"
+
+namespace vp {
+namespace {
+
+constexpr std::uint32_t kDbMagic = 0x56504442u;  // "VPDB"
+constexpr std::uint16_t kDbVersion = 1;
+
+}  // namespace
+
+Bytes VisualPrintServer::serialize() const {
+  ByteWriter w;
+  w.u32(kDbMagic);
+  w.u16(kDbVersion);
+  w.str(config_.place_label);
+
+  // Structural index configuration (the rebuild recipe).
+  w.u16(static_cast<std::uint16_t>(config_.index.lsh.tables));
+  w.u16(static_cast<std::uint16_t>(config_.index.lsh.projections));
+  w.f64(config_.index.lsh.width);
+  w.u64(config_.index.lsh.seed);
+  w.u8(config_.index.multiprobe ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(config_.index.max_candidates));
+  w.u32(static_cast<std::uint32_t>(config_.neighbors_per_keypoint));
+  w.u32(config_.max_match_distance2);
+
+  // Oracle (embeds its own full configuration), compressed.
+  const Bytes oracle_blob = zlib_compress(oracle_.serialize(), 6);
+  w.blob(oracle_blob);
+
+  // Stored keypoints.
+  w.u32(static_cast<std::uint32_t>(stored_.size()));
+  for (std::uint32_t id = 0; id < stored_.size(); ++id) {
+    const Descriptor& d = index_.descriptor(id);
+    w.raw(std::span<const std::uint8_t>(d.data(), d.size()));
+    const StoredKeypoint& s = stored_[id];
+    w.f64(s.position.x);
+    w.f64(s.position.y);
+    w.f64(s.position.z);
+    w.i32(s.scene_id);
+    w.u32(s.source_id);
+  }
+  w.u32(oracle_version_);
+  return w.take();
+}
+
+VisualPrintServer VisualPrintServer::deserialize(
+    std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  if (r.u32() != kDbMagic) throw DecodeError{"server db: bad magic"};
+  if (r.u16() != kDbVersion) throw DecodeError{"server db: bad version"};
+
+  ServerConfig cfg;
+  cfg.place_label = r.str();
+  cfg.index.lsh.tables = r.u16();
+  cfg.index.lsh.projections = r.u16();
+  cfg.index.lsh.width = r.f64();
+  cfg.index.lsh.seed = r.u64();
+  cfg.index.multiprobe = r.u8() != 0;
+  cfg.index.max_candidates = r.u32();
+  cfg.neighbors_per_keypoint = r.u32();
+  cfg.max_match_distance2 = r.u32();
+
+  const auto oracle_blob = r.blob();
+  const Bytes oracle_raw = zlib_decompress(oracle_blob);
+  UniquenessOracle oracle = UniquenessOracle::deserialize(oracle_raw);
+  cfg.oracle = oracle.config();
+
+  VisualPrintServer server(cfg);
+  server.oracle_ = std::move(oracle);
+
+  const std::uint32_t count = r.u32();
+  server.stored_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Descriptor d;
+    const auto raw = r.raw(kDescriptorDims);
+    std::copy(raw.begin(), raw.end(), d.begin());
+    const std::uint32_t id = server.index_.insert(d);
+    VP_ASSERT(id == i);
+    StoredKeypoint s;
+    s.position = {r.f64(), r.f64(), r.f64()};
+    s.scene_id = r.i32();
+    s.source_id = r.u32();
+    server.scene_count_ = std::max(server.scene_count_, s.scene_id + 1);
+    server.stored_.push_back(s);
+  }
+  server.oracle_version_ = r.u32();
+  if (!r.done()) throw DecodeError{"server db: trailing bytes"};
+  return server;
+}
+
+void VisualPrintServer::save(const std::string& path) const {
+  const Bytes blob = serialize();
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw IoError{"cannot open for write: " + path};
+  f.write(reinterpret_cast<const char*>(blob.data()),
+          static_cast<std::streamsize>(blob.size()));
+  if (!f) throw IoError{"short write: " + path};
+}
+
+VisualPrintServer VisualPrintServer::load(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) throw IoError{"cannot open for read: " + path};
+  const auto size = static_cast<std::size_t>(f.tellg());
+  f.seekg(0);
+  Bytes blob(size);
+  f.read(reinterpret_cast<char*>(blob.data()),
+         static_cast<std::streamsize>(size));
+  if (!f) throw IoError{"short read: " + path};
+  return deserialize(blob);
+}
+
+}  // namespace vp

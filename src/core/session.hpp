@@ -1,0 +1,90 @@
+// End-to-end session simulator: a user walks through a World pointing the
+// phone around; frames stream at camera FPS; the client pipeline (blur
+// gate, SIFT, oracle ranking) runs with modeled phone-speed compute; the
+// uplink carries fingerprint queries (or whole frames, for the baseline);
+// the server localizes each query. Produces everything Figs. 14, 16, 18
+// and 19/20 need from one run.
+#pragma once
+
+#include <vector>
+
+#include "core/client.hpp"
+#include "core/server.hpp"
+#include "energy/power.hpp"
+#include "net/link.hpp"
+#include "scene/render.hpp"
+#include "scene/world.hpp"
+
+namespace vp {
+
+/// What the client ships per accepted frame.
+enum class OffloadMode : std::uint8_t {
+  kVisualPrint = 0,   ///< top-k unique keypoints (fingerprint query)
+  kFramePng = 1,      ///< whole lossless frame
+  kFrameJpeg = 2,     ///< whole lossy frame (quality below)
+  kAllKeypoints = 3,  ///< every extracted keypoint (Fig. 5 strawman)
+};
+
+struct SessionConfig {
+  double duration_s = 70.0;       ///< Fig. 14/18 span
+  double camera_fps = 10.0;
+  CameraIntrinsics intrinsics{920, 540, 1.15192};  ///< Fig. 16 resolution
+  OffloadMode mode = OffloadMode::kVisualPrint;
+  int jpeg_quality = 80;
+  LinkConfig link{};
+  ClientConfig client{};
+  RenderOptions render{};
+  /// Host-to-phone compute scaling: the paper measures SIFT at ~3.3 s
+  /// median on a Galaxy S6 at 920x540; a desktop core is roughly this many
+  /// times faster. Applied to measured wall-clock to model phone latency.
+  double phone_slowdown = 15.0;
+  /// Walking speed and camera panning of the simulated user.
+  double walk_speed_mps = 0.7;
+  double pan_period_s = 9.0;
+  double pan_amplitude_rad = 1.0;
+  bool localize_on_server = true;
+  std::uint64_t seed = 99;
+};
+
+/// One processed-frame record.
+struct SessionFrame {
+  double capture_time = 0;
+  FrameResult::Status status = FrameResult::Status::kNoFeatures;
+  std::size_t payload_bytes = 0;     ///< bytes shipped (0 if dropped)
+  double phone_sift_ms = 0;          ///< modeled phone-side latency
+  double phone_scoring_ms = 0;
+  std::size_t total_keypoints = 0;
+  std::size_t selected_keypoints = 0;
+  /// Localization outcome (when localize_on_server):
+  bool localized = false;
+  Vec3 estimated_position;
+  Vec3 true_position;
+  double position_error = 0;
+};
+
+struct SessionStats {
+  std::vector<SessionFrame> frames;
+  std::vector<TransferRecord> uploads;
+  std::vector<ActivitySlot> activity;  ///< one per second, for PowerModel
+  std::size_t total_upload_bytes = 0;
+  double duration_s = 0;
+
+  /// Cumulative (time, bytes) curve — the Fig. 14 series.
+  std::vector<std::pair<double, double>> cumulative_upload() const;
+};
+
+class Session {
+ public:
+  Session(const World& world, VisualPrintServer& server, SessionConfig config);
+
+  /// Run the whole session. The client must already hold the oracle when
+  /// mode == kVisualPrint (Session installs it from the server otherwise).
+  SessionStats run();
+
+ private:
+  const World& world_;
+  VisualPrintServer& server_;
+  SessionConfig config_;
+};
+
+}  // namespace vp

@@ -1,0 +1,36 @@
+#include "energy/power.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace vp {
+
+double PowerModel::slot_power(const ActivitySlot& slot) const noexcept {
+  const double compute = std::clamp(slot.compute_fraction, 0.0, 1.0);
+  const double tx = std::clamp(slot.tx_fraction, 0.0, 1.0);
+  double w = coeffs_.idle_w;
+  if (slot.display_on) w += coeffs_.display_w;
+  if (slot.camera_on) w += coeffs_.camera_w;
+  w += compute * coeffs_.cpu_active_w;
+  w += tx * coeffs_.radio_tx_w + (1.0 - tx) * coeffs_.radio_idle_w;
+  return w;
+}
+
+std::vector<double> PowerModel::timeline(
+    std::span<const ActivitySlot> slots) const {
+  std::vector<double> out;
+  out.reserve(slots.size());
+  for (const auto& s : slots) out.push_back(slot_power(s));
+  return out;
+}
+
+double PowerModel::total_energy(std::span<const ActivitySlot> slots,
+                                double slot_seconds) const {
+  VP_REQUIRE(slot_seconds > 0, "slot duration must be positive");
+  double joules = 0;
+  for (const auto& s : slots) joules += slot_power(s) * slot_seconds;
+  return joules;
+}
+
+}  // namespace vp

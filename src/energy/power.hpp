@@ -1,0 +1,55 @@
+// Component power model (Fig. 18 substitute for the Monsoon power meter).
+//
+// Average power is modeled as a sum of component draws gated by activity:
+// display and camera are on for the whole session; CPU draw scales with
+// the fraction of each second spent computing (SIFT + Bloom lookups);
+// radio draw scales with the fraction spent transmitting. Coefficients
+// follow published smartphone measurements (LiKamWa et al., Carroll &
+// Heiser) and are calibrated so the complete VisualPrint pipeline lands
+// near the paper's ~6.5 W on a Galaxy-class device and whole-frame
+// offload near ~4.9 W.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace vp {
+
+struct PowerCoefficients {
+  double idle_w = 0.35;        ///< baseline device draw
+  double display_w = 0.85;     ///< screen on, medium brightness
+  double camera_w = 1.30;      ///< sensor + ISP streaming
+  double cpu_active_w = 2.60;  ///< full-core vision workload (SIFT)
+  double radio_tx_w = 1.55;    ///< WiFi transmit actively sending
+  double radio_idle_w = 0.10;  ///< WiFi associated, idle
+};
+
+/// Activity of one timeline slot (one second by convention).
+struct ActivitySlot {
+  double compute_fraction = 0;  ///< fraction of the slot the CPU crunched
+  double tx_fraction = 0;       ///< fraction of the slot the radio sent
+  bool display_on = true;
+  bool camera_on = true;
+};
+
+class PowerModel {
+ public:
+  explicit PowerModel(PowerCoefficients coeffs = {}) : coeffs_(coeffs) {}
+
+  /// Average power of one slot, watts.
+  double slot_power(const ActivitySlot& slot) const noexcept;
+
+  /// Power series for a whole session timeline, one value per slot.
+  std::vector<double> timeline(std::span<const ActivitySlot> slots) const;
+
+  /// Energy in joules for a timeline of `slot_seconds`-long slots.
+  double total_energy(std::span<const ActivitySlot> slots,
+                      double slot_seconds = 1.0) const;
+
+  const PowerCoefficients& coefficients() const noexcept { return coeffs_; }
+
+ private:
+  PowerCoefficients coeffs_;
+};
+
+}  // namespace vp

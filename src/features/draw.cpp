@@ -1,0 +1,64 @@
+#include "features/draw.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vp {
+namespace {
+
+void put(ImageU8& img, int x, int y, Rgb c) {
+  if (!img.in_bounds(x, y)) return;
+  img(x, y, 0) = c.r;
+  img(x, y, 1) = c.g;
+  img(x, y, 2) = c.b;
+}
+
+}  // namespace
+
+void draw_line(ImageU8& img, int x0, int y0, int x1, int y1, Rgb color) {
+  const int steps = std::max({std::abs(x1 - x0), std::abs(y1 - y0), 1});
+  for (int i = 0; i <= steps; ++i) {
+    const double t = static_cast<double>(i) / steps;
+    put(img, static_cast<int>(std::lround(x0 + t * (x1 - x0))),
+        static_cast<int>(std::lround(y0 + t * (y1 - y0))), color);
+  }
+}
+
+void draw_circle(ImageU8& img, int cx, int cy, int radius, Rgb color) {
+  if (radius <= 0) {
+    put(img, cx, cy, color);
+    return;
+  }
+  int x = radius, y = 0, err = 1 - radius;
+  while (x >= y) {
+    for (auto [dx, dy] : {std::pair{x, y}, {y, x}, {-y, x}, {-x, y},
+                          {-x, -y}, {-y, -x}, {y, -x}, {x, -y}}) {
+      put(img, cx + dx, cy + dy, color);
+    }
+    ++y;
+    if (err < 0) {
+      err += 2 * y + 1;
+    } else {
+      --x;
+      err += 2 * (y - x) + 1;
+    }
+  }
+}
+
+ImageU8 draw_keypoints(const ImageU8& base, std::span<const Keypoint> kps,
+                       Rgb color) {
+  ImageU8 canvas = base.channels() == 3 ? base : gray_to_rgb(base);
+  for (const auto& kp : kps) {
+    const int cx = static_cast<int>(std::lround(kp.x));
+    const int cy = static_cast<int>(std::lround(kp.y));
+    const int r = std::max(1, static_cast<int>(std::lround(kp.scale * 3)));
+    draw_circle(canvas, cx, cy, r, color);
+    draw_line(canvas, cx, cy,
+              cx + static_cast<int>(std::lround(r * std::cos(kp.orientation))),
+              cy + static_cast<int>(std::lround(r * std::sin(kp.orientation))),
+              color);
+  }
+  return canvas;
+}
+
+}  // namespace vp

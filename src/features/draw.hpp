@@ -1,0 +1,27 @@
+// Keypoint visualization (Fig. 4): each keypoint drawn as a circle whose
+// center is the location, radius the detection scale, and a radial segment
+// the orientation.
+#pragma once
+
+#include <span>
+
+#include "features/keypoint.hpp"
+#include "imaging/image.hpp"
+
+namespace vp {
+
+struct Rgb {
+  std::uint8_t r = 0, g = 0, b = 0;
+};
+
+/// Draw a line segment with simple DDA stepping (clipped to bounds).
+void draw_line(ImageU8& img, int x0, int y0, int x1, int y1, Rgb color);
+
+/// Draw a midpoint circle outline (clipped to bounds).
+void draw_circle(ImageU8& img, int cx, int cy, int radius, Rgb color);
+
+/// Render keypoints over a copy of `base` (grayscale is promoted to RGB).
+ImageU8 draw_keypoints(const ImageU8& base, std::span<const Keypoint> kps,
+                       Rgb color = {0, 255, 0});
+
+}  // namespace vp

@@ -1,0 +1,70 @@
+#include "features/keypoint.hpp"
+
+namespace vp {
+
+std::uint32_t descriptor_distance2(const Descriptor& a,
+                                   const Descriptor& b) noexcept {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i < kDescriptorDims; ++i) {
+    const std::int32_t d =
+        static_cast<std::int32_t>(a[i]) - static_cast<std::int32_t>(b[i]);
+    sum += static_cast<std::uint32_t>(d * d);
+  }
+  return sum;
+}
+
+void serialize_feature(const Feature& f, ByteWriter& w) {
+  w.f32(f.keypoint.x);
+  w.f32(f.keypoint.y);
+  w.f32(f.keypoint.scale);
+  w.f32(f.keypoint.orientation);
+  w.raw(std::span<const std::uint8_t>(f.descriptor.data(), kDescriptorDims));
+}
+
+Feature deserialize_feature(ByteReader& r) {
+  Feature f;
+  f.keypoint.x = r.f32();
+  f.keypoint.y = r.f32();
+  f.keypoint.scale = r.f32();
+  f.keypoint.orientation = r.f32();
+  const auto d = r.raw(kDescriptorDims);
+  std::copy(d.begin(), d.end(), f.descriptor.begin());
+  return f;
+}
+
+Bytes serialize_features(std::span<const Feature> features) {
+  ByteWriter w(4 + features.size() * kFeatureWireBytes);
+  w.u32(static_cast<std::uint32_t>(features.size()));
+  for (const auto& f : features) serialize_feature(f, w);
+  return w.take();
+}
+
+Bytes serialize_features_opencv_style(std::span<const Feature> features) {
+  ByteWriter w(4 + features.size() * kOpenCvFeatureBytes);
+  w.u32(static_cast<std::uint32_t>(features.size()));
+  for (const auto& f : features) {
+    w.f32(f.keypoint.x);
+    w.f32(f.keypoint.y);
+    w.f32(f.keypoint.scale);
+    w.f32(f.keypoint.orientation);
+    w.f32(f.keypoint.response);
+    w.f32(static_cast<float>(f.keypoint.octave));
+    w.f32(-1.0f);  // cv::KeyPoint::class_id
+    for (const std::uint8_t v : f.descriptor) {
+      w.f32(static_cast<float>(v));
+    }
+  }
+  return w.take();
+}
+
+std::vector<Feature> deserialize_features(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  const std::uint32_t n = r.u32();
+  std::vector<Feature> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(deserialize_feature(r));
+  if (!r.done()) throw DecodeError{"trailing bytes after feature list"};
+  return out;
+}
+
+}  // namespace vp

@@ -1,0 +1,64 @@
+// Keypoint and descriptor types.
+//
+// A SIFT descriptor is 128 one-byte integers (the paper relies on this for
+// its LSH construction: "each dimension being a one-byte integer value").
+// Distances are squared-Euclidean over the raw integer values.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace vp {
+
+inline constexpr std::size_t kDescriptorDims = 128;
+
+/// 128-dimensional unsigned-byte feature descriptor.
+using Descriptor = std::array<std::uint8_t, kDescriptorDims>;
+
+/// Squared Euclidean (L2^2) distance between descriptors.
+std::uint32_t descriptor_distance2(const Descriptor& a,
+                                   const Descriptor& b) noexcept;
+
+/// Detected interest point (position in pixels, detection scale, orientation
+/// in radians, DoG response magnitude).
+struct Keypoint {
+  float x = 0;
+  float y = 0;
+  float scale = 0;
+  float orientation = 0;
+  float response = 0;
+  std::int16_t octave = 0;
+};
+
+/// Keypoint plus its descriptor — the unit VisualPrint filters and ships.
+struct Feature {
+  Keypoint keypoint;
+  Descriptor descriptor{};
+};
+
+/// Serialized size of one feature on the wire: 2D coordinate (2 x f32),
+/// scale + orientation (2 x f32), and the 128-byte descriptor — the paper's
+/// "keypoint is typically represented using 2D pixel coordinate and a
+/// multi-dimensional feature description vector."
+inline constexpr std::size_t kFeatureWireBytes = 4 * 4 + kDescriptorDims;
+
+void serialize_feature(const Feature& f, ByteWriter& w);
+Feature deserialize_feature(ByteReader& r);
+
+/// Serialize a whole feature list (u32 count prefix).
+Bytes serialize_features(std::span<const Feature> features);
+std::vector<Feature> deserialize_features(std::span<const std::uint8_t> data);
+
+/// OpenCV-style serialization: descriptors as 128 float32 plus the 7-float
+/// cv::KeyPoint record — 540 bytes per feature. This is what the paper's
+/// Fig. 5 measures ("extracted keypoints typically require at least as
+/// much space as the image itself"); VisualPrint's compact u8 wire format
+/// (kFeatureWireBytes) is the optimized alternative.
+inline constexpr std::size_t kOpenCvFeatureBytes = kDescriptorDims * 4 + 7 * 4;
+Bytes serialize_features_opencv_style(std::span<const Feature> features);
+
+}  // namespace vp

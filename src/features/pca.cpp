@@ -1,0 +1,83 @@
+#include "features/pca.hpp"
+
+#include <algorithm>
+
+#include "geometry/eigen.hpp"
+#include "util/error.hpp"
+
+namespace vp {
+
+std::vector<Summary> dimension_difference_profile(
+    std::span<const std::pair<Descriptor, Descriptor>> matched_pairs) {
+  // Collect, per sorted rank, the squared differences across all pairs.
+  std::vector<std::vector<double>> per_rank(kDescriptorDims);
+  std::array<double, kDescriptorDims> diffs{};
+  for (const auto& [a, b] : matched_pairs) {
+    for (std::size_t d = 0; d < kDescriptorDims; ++d) {
+      const double delta =
+          static_cast<double>(a[d]) - static_cast<double>(b[d]);
+      diffs[d] = delta * delta;
+    }
+    std::sort(diffs.begin(), diffs.end(), std::greater<>());
+    for (std::size_t d = 0; d < kDescriptorDims; ++d) {
+      per_rank[d].push_back(diffs[d]);
+    }
+  }
+  std::vector<Summary> out;
+  out.reserve(kDescriptorDims);
+  for (const auto& rank : per_rank) out.push_back(summarize(rank));
+  return out;
+}
+
+std::vector<double> pca_normalized_eigenvalues(
+    std::span<const Descriptor> descriptors) {
+  VP_REQUIRE(descriptors.size() >= 2, "PCA needs at least two descriptors");
+  constexpr std::size_t n = kDescriptorDims;
+
+  // Mean.
+  std::vector<double> mu(n, 0.0);
+  for (const auto& d : descriptors) {
+    for (std::size_t i = 0; i < n; ++i) mu[i] += d[i];
+  }
+  for (auto& m : mu) m /= static_cast<double>(descriptors.size());
+
+  // Covariance (symmetric, accumulate upper triangle).
+  std::vector<double> cov(n * n, 0.0);
+  std::vector<double> centered(n);
+  for (const auto& d : descriptors) {
+    for (std::size_t i = 0; i < n; ++i) centered[i] = d[i] - mu[i];
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i; j < n; ++j) {
+        cov[i * n + j] += centered[i] * centered[j];
+      }
+    }
+  }
+  const double denom = static_cast<double>(descriptors.size() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      cov[i * n + j] /= denom;
+      cov[j * n + i] = cov[i * n + j];
+    }
+  }
+
+  const EigenSym es = jacobi_eigen_sym(cov, n);
+  std::vector<double> vals = es.values;
+  for (auto& v : vals) v = std::max(v, 0.0);
+  const double top = vals.empty() ? 0.0 : vals.front();
+  if (top > 0) {
+    for (auto& v : vals) v /= top;
+  }
+  return vals;
+}
+
+double pca_variance_captured(std::span<const double> normalized_eigenvalues,
+                             std::size_t k) {
+  double total = 0, head = 0;
+  for (std::size_t i = 0; i < normalized_eigenvalues.size(); ++i) {
+    total += normalized_eigenvalues[i];
+    if (i < k) head += normalized_eigenvalues[i];
+  }
+  return total > 0 ? head / total : 0.0;
+}
+
+}  // namespace vp

@@ -1,0 +1,31 @@
+// Descriptor-space analysis backing Fig. 6: per-dimension contribution of
+// nearest-neighbor distance, and PCA of the descriptor covariance showing
+// that a few dimensions account for most variance — the intuition behind
+// re-projecting descriptors to a low-dimensional LSH space.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "features/keypoint.hpp"
+#include "util/stats.hpp"
+
+namespace vp {
+
+/// For each (query, nearest-neighbor) descriptor pair, sort the squared
+/// per-dimension differences descending and accumulate a boxplot per rank
+/// — Fig. 6(a). Returns 128 summaries: entry r summarizes the r-th largest
+/// squared difference across all pairs.
+std::vector<Summary> dimension_difference_profile(
+    std::span<const std::pair<Descriptor, Descriptor>> matched_pairs);
+
+/// Eigenvalues of the descriptor covariance matrix, normalized so the
+/// largest is 1.0 and sorted descending — Fig. 6(b).
+std::vector<double> pca_normalized_eigenvalues(
+    std::span<const Descriptor> descriptors);
+
+/// Fraction of total variance captured by the top `k` PCA components.
+double pca_variance_captured(std::span<const double> normalized_eigenvalues,
+                             std::size_t k);
+
+}  // namespace vp

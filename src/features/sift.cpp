@@ -1,0 +1,495 @@
+#include "features/sift.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <optional>
+
+#include "imaging/filters.hpp"
+#include "util/error.hpp"
+
+namespace vp {
+namespace detail {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+// Pixel values are in [0,255]; Lowe's thresholds are stated for [0,1].
+constexpr double kValueScale = 255.0;
+
+int octave_count(int width, int height, const SiftConfig& cfg) {
+  const int min_side = std::min(width, height);
+  int n = 0;
+  int side = min_side;
+  while (side >= 2 * cfg.border + 8 && n < cfg.max_octaves) {
+    ++n;
+    side /= 2;
+  }
+  return std::max(1, n);
+}
+
+/// Solve the 3x3 system H * x = -g via Gaussian elimination with partial
+/// pivoting. Returns false when H is (near-)singular.
+bool solve_3x3(double h[3][3], const double g[3], double x[3]) {
+  double a[3][4] = {{h[0][0], h[0][1], h[0][2], -g[0]},
+                    {h[1][0], h[1][1], h[1][2], -g[1]},
+                    {h[2][0], h[2][1], h[2][2], -g[2]}};
+  for (int col = 0; col < 3; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < 3; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    if (std::abs(a[pivot][col]) < 1e-12) return false;
+    if (pivot != col) std::swap(a[pivot], a[col]);
+    for (int r = 0; r < 3; ++r) {
+      if (r == col) continue;
+      const double f = a[r][col] / a[col][col];
+      for (int c = col; c < 4; ++c) a[r][c] -= f * a[col][c];
+    }
+  }
+  for (int i = 0; i < 3; ++i) x[i] = a[i][3] / a[i][i];
+  return true;
+}
+
+struct RefinedExtremum {
+  float x_octv = 0;        ///< refined x within the octave's image
+  float y_octv = 0;
+  float interval = 0;      ///< refined (fractional) interval index
+  float response = 0;
+  int base_interval = 0;   ///< integer interval the refinement settled on
+};
+
+/// Quadratic subpixel refinement with contrast / edge rejection.
+/// Returns nullopt if the candidate is rejected.
+std::optional<RefinedExtremum> refine_extremum(
+    const std::vector<ImageF>& dogs, int interval, int x, int y,
+    const SiftConfig& cfg) {
+  const int max_interval = static_cast<int>(dogs.size()) - 2;
+  double xr = 0, xc = 0, xs = 0;  // offsets in y(row), x(col), sigma
+
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    const ImageF& prev = dogs[static_cast<std::size_t>(interval - 1)];
+    const ImageF& cur = dogs[static_cast<std::size_t>(interval)];
+    const ImageF& next = dogs[static_cast<std::size_t>(interval + 1)];
+
+    const double dx = 0.5 * (cur(x + 1, y) - cur(x - 1, y));
+    const double dy = 0.5 * (cur(x, y + 1) - cur(x, y - 1));
+    const double ds = 0.5 * (next(x, y) - prev(x, y));
+
+    const double v = cur(x, y);
+    const double dxx = cur(x + 1, y) + cur(x - 1, y) - 2 * v;
+    const double dyy = cur(x, y + 1) + cur(x, y - 1) - 2 * v;
+    const double dss = next(x, y) + prev(x, y) - 2 * v;
+    const double dxy = 0.25 * (cur(x + 1, y + 1) - cur(x - 1, y + 1) -
+                               cur(x + 1, y - 1) + cur(x - 1, y - 1));
+    const double dxs = 0.25 * (next(x + 1, y) - next(x - 1, y) -
+                               prev(x + 1, y) + prev(x - 1, y));
+    const double dys = 0.25 * (next(x, y + 1) - next(x, y - 1) -
+                               prev(x, y + 1) + prev(x, y - 1));
+
+    double h[3][3] = {{dxx, dxy, dxs}, {dxy, dyy, dys}, {dxs, dys, dss}};
+    const double g[3] = {dx, dy, ds};
+    double off[3];
+    if (!solve_3x3(h, g, off)) return std::nullopt;
+    xc = off[0];
+    xr = off[1];
+    xs = off[2];
+
+    if (std::abs(xc) < 0.5 && std::abs(xr) < 0.5 && std::abs(xs) < 0.5) {
+      // Converged: final contrast check at the interpolated extremum.
+      const double contrast = v + 0.5 * (dx * xc + dy * xr + ds * xs);
+      const double min_contrast =
+          kValueScale * cfg.contrast_threshold / cfg.intervals;
+      if (std::abs(contrast) < min_contrast) return std::nullopt;
+
+      // Edge rejection: ratio of principal curvatures of the 2x2 spatial
+      // Hessian must be below the threshold.
+      const double tr = dxx + dyy;
+      const double det = dxx * dyy - dxy * dxy;
+      const double r = cfg.edge_threshold;
+      if (det <= 0 || tr * tr * r >= (r + 1) * (r + 1) * det) {
+        return std::nullopt;
+      }
+
+      RefinedExtremum out;
+      out.x_octv = static_cast<float>(x + xc);
+      out.y_octv = static_cast<float>(y + xr);
+      out.interval = static_cast<float>(interval + xs);
+      out.response = static_cast<float>(std::abs(contrast));
+      out.base_interval = interval;
+      return out;
+    }
+
+    // Step to the neighboring sample and retry.
+    x += static_cast<int>(std::lround(xc));
+    y += static_cast<int>(std::lround(xr));
+    interval += static_cast<int>(std::lround(xs));
+    if (interval < 1 || interval > max_interval || x < cfg.border ||
+        x >= cur.width() - cfg.border || y < cfg.border ||
+        y >= cur.height() - cfg.border) {
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;  // did not converge
+}
+
+/// 36-bin gradient-orientation histogram around a keypoint; returns all
+/// orientations whose (smoothed, parabola-refined) peak is >= 80% of max.
+std::vector<float> dominant_orientations(const ImageF& gauss, int x, int y,
+                                         double scale_octv) {
+  constexpr int kBins = 36;
+  double hist[kBins] = {};
+  const int radius = static_cast<int>(std::lround(4.5 * scale_octv));
+  const double weight_sigma = 1.5 * scale_octv;
+  const double denom = 2.0 * weight_sigma * weight_sigma;
+
+  for (int j = -radius; j <= radius; ++j) {
+    const int yy = y + j;
+    if (yy <= 0 || yy >= gauss.height() - 1) continue;
+    for (int i = -radius; i <= radius; ++i) {
+      const int xx = x + i;
+      if (xx <= 0 || xx >= gauss.width() - 1) continue;
+      const double gx = 0.5 * (gauss(xx + 1, yy) - gauss(xx - 1, yy));
+      const double gy = 0.5 * (gauss(xx, yy + 1) - gauss(xx, yy - 1));
+      const double mag = std::sqrt(gx * gx + gy * gy);
+      const double ori = std::atan2(gy, gx);  // [-pi, pi]
+      const double w = std::exp(-(i * i + j * j) / denom);
+      int bin = static_cast<int>(
+          std::lround(kBins * (ori + std::numbers::pi) / kTwoPi));
+      bin = (bin % kBins + kBins) % kBins;
+      hist[bin] += w * mag;
+    }
+  }
+
+  // Two passes of [1 4 6 4 1]/16 circular smoothing.
+  for (int pass = 0; pass < 2; ++pass) {
+    double tmp[kBins];
+    for (int b = 0; b < kBins; ++b) {
+      const auto at = [&](int k) { return hist[((b + k) % kBins + kBins) % kBins]; };
+      tmp[b] = (at(-2) + at(2)) * (1.0 / 16) + (at(-1) + at(1)) * (4.0 / 16) +
+               at(0) * (6.0 / 16);
+    }
+    std::copy(tmp, tmp + kBins, hist);
+  }
+
+  const double peak = *std::max_element(hist, hist + kBins);
+  std::vector<float> orientations;
+  if (peak <= 0) return orientations;
+  for (int b = 0; b < kBins; ++b) {
+    const double l = hist[(b + kBins - 1) % kBins];
+    const double c = hist[b];
+    const double r = hist[(b + 1) % kBins];
+    if (c >= 0.8 * peak && c > l && c > r) {
+      // Parabolic interpolation of the peak position.
+      double db = 0.5 * (l - r) / (l - 2 * c + r);
+      double bin = b + db;
+      double ori = kTwoPi * bin / kBins - std::numbers::pi;
+      if (ori < -std::numbers::pi) ori += kTwoPi;
+      if (ori >= std::numbers::pi) ori -= kTwoPi;
+      orientations.push_back(static_cast<float>(ori));
+    }
+  }
+  return orientations;
+}
+
+}  // namespace
+
+ScaleSpace build_scale_space(const ImageF& image, const SiftConfig& cfg) {
+  VP_REQUIRE(!image.empty(), "sift on empty image");
+  VP_REQUIRE(cfg.intervals >= 1 && cfg.intervals <= 8,
+             "sift intervals in [1,8]");
+  ScaleSpace ss;
+  ss.base_sigma = cfg.sigma;
+  ss.intervals = cfg.intervals;
+  ss.upsampled = cfg.upsample_first_octave;
+
+  ImageF base;
+  double current_blur = cfg.initial_blur;
+  if (cfg.upsample_first_octave) {
+    base = resize_bilinear(image, image.width() * 2, image.height() * 2);
+    current_blur *= 2.0;
+  } else {
+    base = image;
+  }
+  const double need = std::sqrt(
+      std::max(0.01, cfg.sigma * cfg.sigma - current_blur * current_blur));
+  base = gaussian_blur(base, need);
+
+  const int octaves = octave_count(base.width(), base.height(), cfg);
+  const int per_octave = cfg.intervals + 3;
+  const double k = std::pow(2.0, 1.0 / cfg.intervals);
+
+  // Per-image incremental blur so gaussians[o][i] has absolute scale
+  // sigma * k^i relative to the octave base.
+  std::vector<double> inc(static_cast<std::size_t>(per_octave), 0.0);
+  for (int i = 1; i < per_octave; ++i) {
+    const double prev = cfg.sigma * std::pow(k, i - 1);
+    const double total = prev * k;
+    inc[static_cast<std::size_t>(i)] =
+        std::sqrt(total * total - prev * prev);
+  }
+
+  ss.gaussians.resize(static_cast<std::size_t>(octaves));
+  ss.dogs.resize(static_cast<std::size_t>(octaves));
+  for (int o = 0; o < octaves; ++o) {
+    auto& gs = ss.gaussians[static_cast<std::size_t>(o)];
+    gs.reserve(static_cast<std::size_t>(per_octave));
+    if (o == 0) {
+      gs.push_back(base);
+    } else {
+      // Start from the previous octave's image at twice the base sigma.
+      gs.push_back(downsample_2x(
+          ss.gaussians[static_cast<std::size_t>(o - 1)]
+                      [static_cast<std::size_t>(cfg.intervals)]));
+    }
+    for (int i = 1; i < per_octave; ++i) {
+      gs.push_back(gaussian_blur(gs.back(), inc[static_cast<std::size_t>(i)]));
+    }
+    auto& ds = ss.dogs[static_cast<std::size_t>(o)];
+    ds.reserve(static_cast<std::size_t>(per_octave - 1));
+    for (int i = 0; i + 1 < per_octave; ++i) {
+      ds.push_back(subtract(gs[static_cast<std::size_t>(i + 1)],
+                            gs[static_cast<std::size_t>(i)]));
+    }
+  }
+  return ss;
+}
+
+Descriptor compute_descriptor(const ImageF& gauss, float x, float y,
+                              float scale_in_octave, float orientation) {
+  constexpr int kD = 4;  // spatial grid
+  constexpr int kN = 8;  // orientation bins
+  const double cos_t = std::cos(-orientation);
+  const double sin_t = std::sin(-orientation);
+  const double bins_per_rad = kN / kTwoPi;
+  const double hist_width = 3.0 * scale_in_octave;
+  const int radius = static_cast<int>(std::lround(
+      hist_width * std::numbers::sqrt2 * (kD + 1) * 0.5));
+  const double exp_denom = 0.5 * kD * kD;
+
+  // (kD+2)^2 x kN accumulation grid with guard rows for trilinear spill.
+  double hist[(kD + 2) * (kD + 2) * kN] = {};
+  const auto hidx = [](int r, int c, int o) {
+    return (r * (kD + 2) + c) * kN + o;
+  };
+
+  const int cx = static_cast<int>(std::lround(x));
+  const int cy = static_cast<int>(std::lround(y));
+
+  for (int j = -radius; j <= radius; ++j) {
+    for (int i = -radius; i <= radius; ++i) {
+      // Rotate offset into the keypoint's canonical frame.
+      const double rot_x = (cos_t * i - sin_t * j) / hist_width;
+      const double rot_y = (sin_t * i + cos_t * j) / hist_width;
+      const double rbin = rot_y + kD / 2.0 - 0.5;
+      const double cbin = rot_x + kD / 2.0 - 0.5;
+      if (rbin <= -1 || rbin >= kD || cbin <= -1 || cbin >= kD) continue;
+
+      const int xx = cx + i;
+      const int yy = cy + j;
+      if (xx <= 0 || xx >= gauss.width() - 1 || yy <= 0 ||
+          yy >= gauss.height() - 1) {
+        continue;
+      }
+      const double gx = 0.5 * (gauss(xx + 1, yy) - gauss(xx - 1, yy));
+      const double gy = 0.5 * (gauss(xx, yy + 1) - gauss(xx, yy - 1));
+      const double mag = std::sqrt(gx * gx + gy * gy);
+      double ori = std::atan2(gy, gx) + orientation;  // canonical frame
+      while (ori < 0) ori += kTwoPi;
+      while (ori >= kTwoPi) ori -= kTwoPi;
+
+      const double w =
+          std::exp(-(rot_x * rot_x + rot_y * rot_y) / exp_denom);
+      const double value = w * mag;
+      double obin = ori * bins_per_rad;
+
+      int r0 = static_cast<int>(std::floor(rbin));
+      int c0 = static_cast<int>(std::floor(cbin));
+      int o0 = static_cast<int>(std::floor(obin));
+      const double dr = rbin - r0;
+      const double dc = cbin - c0;
+      const double dob = obin - o0;
+      o0 %= kN;
+
+      // Trilinear distribution into the 8 surrounding cells.
+      for (int ri = 0; ri <= 1; ++ri) {
+        const int rr = r0 + ri + 1;  // +1: guard row offset
+        if (rr < 0 || rr >= kD + 2) continue;
+        const double wr = value * (ri ? dr : 1 - dr);
+        for (int ci = 0; ci <= 1; ++ci) {
+          const int cc = c0 + ci + 1;
+          if (cc < 0 || cc >= kD + 2) continue;
+          const double wc = wr * (ci ? dc : 1 - dc);
+          for (int oi = 0; oi <= 1; ++oi) {
+            const int oo = (o0 + oi) % kN;
+            hist[hidx(rr, cc, oo)] += wc * (oi ? dob : 1 - dob);
+          }
+        }
+      }
+    }
+  }
+
+  // Gather the inner kD x kD grid into the final 128 vector.
+  double vec[kDescriptorDims];
+  int idx = 0;
+  for (int r = 1; r <= kD; ++r) {
+    for (int c = 1; c <= kD; ++c) {
+      for (int o = 0; o < kN; ++o) vec[idx++] = hist[hidx(r, c, o)];
+    }
+  }
+
+  // Normalize -> clamp at 0.2 -> renormalize -> quantize (Lowe §6.1).
+  auto normalize = [&] {
+    double n2 = 0;
+    for (double v : vec) n2 += v * v;
+    const double inv = n2 > 0 ? 1.0 / std::sqrt(n2) : 0.0;
+    for (double& v : vec) v *= inv;
+  };
+  normalize();
+  for (double& v : vec) v = std::min(v, 0.2);
+  normalize();
+
+  Descriptor d{};
+  for (std::size_t i = 0; i < kDescriptorDims; ++i) {
+    d[i] = static_cast<std::uint8_t>(
+        std::min(255.0, std::floor(512.0 * vec[i])));
+  }
+  return d;
+}
+
+}  // namespace detail
+
+namespace {
+
+struct DetectedPoint {
+  Keypoint kp;
+  int octave = 0;
+  int interval = 0;        ///< integer interval for Gaussian image choice
+  float x_octv = 0;        ///< coordinates within the octave image
+  float y_octv = 0;
+  float scale_octv = 0;    ///< scale relative to the octave
+};
+
+std::vector<DetectedPoint> detect_points(const detail::ScaleSpace& ss,
+                                         const SiftConfig& cfg) {
+  std::vector<DetectedPoint> points;
+  const double prelim_thresh =
+      0.5 * 255.0 * cfg.contrast_threshold / cfg.intervals;
+  const double scale_multiplier = ss.upsampled ? 0.5 : 1.0;
+
+  for (std::size_t o = 0; o < ss.dogs.size(); ++o) {
+    const auto& dogs = ss.dogs[o];
+    const double octave_scale = scale_multiplier * std::pow(2.0, static_cast<double>(o));
+    for (int i = 1; i <= cfg.intervals; ++i) {
+      const ImageF& prev = dogs[static_cast<std::size_t>(i - 1)];
+      const ImageF& cur = dogs[static_cast<std::size_t>(i)];
+      const ImageF& next = dogs[static_cast<std::size_t>(i + 1)];
+      const int w = cur.width();
+      const int h = cur.height();
+      for (int y = cfg.border; y < h - cfg.border; ++y) {
+        for (int x = cfg.border; x < w - cfg.border; ++x) {
+          const float v = cur(x, y);
+          if (std::abs(v) <= prelim_thresh) continue;
+          // 26-neighbor extremum test.
+          bool is_max = true, is_min = true;
+          for (int dy = -1; dy <= 1 && (is_max || is_min); ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+              for (const ImageF* img : {&prev, &cur, &next}) {
+                const float nv = (*img)(x + dx, y + dy);
+                if (img == &cur && dx == 0 && dy == 0) continue;
+                if (nv >= v) is_max = false;
+                if (nv <= v) is_min = false;
+              }
+              if (!is_max && !is_min) break;
+            }
+          }
+          if (!is_max && !is_min) continue;
+
+          auto refined = detail::refine_extremum(dogs, i, x, y, cfg);
+          if (!refined) continue;
+
+          DetectedPoint dp;
+          dp.octave = static_cast<int>(o);
+          dp.interval = refined->base_interval;
+          dp.x_octv = refined->x_octv;
+          dp.y_octv = refined->y_octv;
+          dp.scale_octv = static_cast<float>(
+              cfg.sigma *
+              std::pow(2.0, refined->interval / static_cast<double>(cfg.intervals)));
+          dp.kp.x = static_cast<float>(refined->x_octv * octave_scale);
+          dp.kp.y = static_cast<float>(refined->y_octv * octave_scale);
+          dp.kp.scale = static_cast<float>(dp.scale_octv * octave_scale);
+          dp.kp.response = refined->response;
+          dp.kp.octave = static_cast<std::int16_t>(o);
+          points.push_back(dp);
+        }
+      }
+    }
+  }
+  return points;
+}
+
+void keep_strongest(std::vector<DetectedPoint>& points, int max_features) {
+  if (max_features <= 0 ||
+      points.size() <= static_cast<std::size_t>(max_features)) {
+    return;
+  }
+  std::nth_element(points.begin(), points.begin() + max_features,
+                   points.end(), [](const auto& a, const auto& b) {
+                     return a.kp.response > b.kp.response;
+                   });
+  points.resize(static_cast<std::size_t>(max_features));
+}
+
+}  // namespace
+
+std::vector<Keypoint> sift_detect_keypoints(const ImageF& image,
+                                            const SiftConfig& cfg) {
+  const auto ss = detail::build_scale_space(image, cfg);
+  auto points = detect_points(ss, cfg);
+  keep_strongest(points, cfg.max_features);
+  std::vector<Keypoint> out;
+  out.reserve(points.size());
+  for (const auto& p : points) {
+    const auto& gauss =
+        ss.gaussians[static_cast<std::size_t>(p.octave)]
+                    [static_cast<std::size_t>(p.interval)];
+    const auto oris = detail::dominant_orientations(
+        gauss, static_cast<int>(std::lround(p.x_octv)),
+        static_cast<int>(std::lround(p.y_octv)), p.scale_octv);
+    for (float ori : oris) {
+      Keypoint kp = p.kp;
+      kp.orientation = ori;
+      out.push_back(kp);
+    }
+  }
+  return out;
+}
+
+std::vector<Feature> sift_detect(const ImageF& image, const SiftConfig& cfg) {
+  const auto ss = detail::build_scale_space(image, cfg);
+  auto points = detect_points(ss, cfg);
+  keep_strongest(points, cfg.max_features);
+
+  std::vector<Feature> out;
+  out.reserve(points.size());
+  for (const auto& p : points) {
+    const auto& gauss =
+        ss.gaussians[static_cast<std::size_t>(p.octave)]
+                    [static_cast<std::size_t>(p.interval)];
+    const auto oris = detail::dominant_orientations(
+        gauss, static_cast<int>(std::lround(p.x_octv)),
+        static_cast<int>(std::lround(p.y_octv)), p.scale_octv);
+    for (float ori : oris) {
+      Feature f;
+      f.keypoint = p.kp;
+      f.keypoint.orientation = ori;
+      f.descriptor = detail::compute_descriptor(gauss, p.x_octv, p.y_octv,
+                                                p.scale_octv, ori);
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+}  // namespace vp

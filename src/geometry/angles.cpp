@@ -1,0 +1,42 @@
+#include "geometry/angles.hpp"
+
+#include <algorithm>
+
+namespace vp {
+
+double gamma_angle(double p, double center, double fov, double side) noexcept {
+  const double t = (p - center) * std::tan(fov / 2.0) / (side / 2.0);
+  return std::atan(t);
+}
+
+Vec2 pixel_gammas(Vec2 pixel, const CameraIntrinsics& cam) noexcept {
+  const Vec2 c = cam.principal_point();
+  return {gamma_angle(pixel.x, c.x, cam.fov_h, cam.width),
+          gamma_angle(pixel.y, c.y, cam.fov_v(), cam.height)};
+}
+
+double axis_separation(double gamma_i, double gamma_j) noexcept {
+  // With signed gammas, |gi - gj| covers both the same-side and
+  // opposite-side cases the paper enumerates.
+  return std::abs(gamma_i - gamma_j);
+}
+
+double subtended_angle_on_plane(Vec3 a, Vec3 p, Vec3 q, int axis) noexcept {
+  // Project onto (x, z) for axis 0 or (y, z) for axis 1, then apply the law
+  // of cosines exactly as the Fig. 12 constraint does.
+  auto proj = [axis](Vec3 v) -> Vec2 {
+    return axis == 0 ? Vec2{v.x, v.z} : Vec2{v.y, v.z};
+  };
+  const Vec2 pa = proj(a);
+  const Vec2 pp = proj(p);
+  const Vec2 pq = proj(q);
+  const double d_ap = (pp - pa).dot(pp - pa);
+  const double d_aq = (pq - pa).dot(pq - pa);
+  const double d_pq = (pq - pp).dot(pq - pp);
+  const double denom = 2.0 * std::sqrt(d_ap) * std::sqrt(d_aq);
+  if (denom < 1e-12) return 0.0;
+  const double c = std::clamp((d_ap + d_aq - d_pq) / denom, -1.0, 1.0);
+  return std::acos(c);
+}
+
+}  // namespace vp

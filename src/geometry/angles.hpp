@@ -1,0 +1,34 @@
+// Angular-separation geometry of Fig. 11.
+//
+// gamma(p, C, F, S) = atan( |p - C| * tan(F/2) / (S/2) ) is the angle, at
+// the camera center A, between the optical axis and a keypoint's projection
+// on one image axis. Pairwise angular separations derived from these gammas
+// are the observations the localization optimization (Fig. 12) matches
+// against candidate 3-D positions.
+#pragma once
+
+#include "geometry/camera.hpp"
+#include "geometry/vec.hpp"
+
+namespace vp {
+
+/// The paper's gamma(p, C, F, S): angle from image center to pixel
+/// coordinate `p` along one axis, given that axis' field of view `fov`
+/// and side length `side` (width or height). Signed: negative left/above
+/// of center.
+double gamma_angle(double p, double center, double fov, double side) noexcept;
+
+/// Signed per-axis angles (gamma_x, gamma_y) of a pixel in an image.
+Vec2 pixel_gammas(Vec2 pixel, const CameraIntrinsics& cam) noexcept;
+
+/// Angular separation between two pixels along one axis, handling the
+/// same-side / opposite-side cases of Fig. 11 (signed gammas subtract).
+double axis_separation(double gamma_i, double gamma_j) noexcept;
+
+/// Angle subtended at observer position `a` by world points `p` and `q`,
+/// projected onto the X/Z plane (for gamma_x residuals) or Y/Z plane.
+/// `axis` 0 = X/Z plane, 1 = Y/Z plane. The projection matches the paper's
+/// d(x, z, xi, zi) squared-distance formulation.
+double subtended_angle_on_plane(Vec3 a, Vec3 p, Vec3 q, int axis) noexcept;
+
+}  // namespace vp

@@ -1,0 +1,126 @@
+#include "geometry/clustering.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace vp {
+namespace {
+
+struct CellKey {
+  std::int64_t x, y, z;
+  bool operator==(const CellKey&) const = default;
+};
+
+struct CellHash {
+  std::size_t operator()(const CellKey& k) const noexcept {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (std::int64_t v : {k.x, k.y, k.z}) {
+      h ^= static_cast<std::uint64_t>(v);
+      h *= 1099511628211ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace
+
+ClusterResult cluster_points(std::span<const Vec3> points,
+                             const ClusteringConfig& config) {
+  VP_REQUIRE(config.radius > 0, "clustering radius must be positive");
+  constexpr std::size_t kNoise = std::numeric_limits<std::size_t>::max();
+  ClusterResult result;
+  result.labels.assign(points.size(), kNoise);
+  if (points.empty()) return result;
+
+  // Bucket points into grid cells of side `radius`; neighbors of a point
+  // can only live in the 27 surrounding cells.
+  const double inv_r = 1.0 / config.radius;
+  std::unordered_map<CellKey, std::vector<std::size_t>, CellHash> grid;
+  auto cell_of = [inv_r](Vec3 p) -> CellKey {
+    return {static_cast<std::int64_t>(std::floor(p.x * inv_r)),
+            static_cast<std::int64_t>(std::floor(p.y * inv_r)),
+            static_cast<std::int64_t>(std::floor(p.z * inv_r))};
+  };
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    grid[cell_of(points[i])].push_back(i);
+  }
+
+  const double r2 = config.radius * config.radius;
+  auto neighbors_of = [&](std::size_t i, std::vector<std::size_t>& out) {
+    out.clear();
+    const CellKey c = cell_of(points[i]);
+    for (std::int64_t dx = -1; dx <= 1; ++dx) {
+      for (std::int64_t dy = -1; dy <= 1; ++dy) {
+        for (std::int64_t dz = -1; dz <= 1; ++dz) {
+          const auto it = grid.find({c.x + dx, c.y + dy, c.z + dz});
+          if (it == grid.end()) continue;
+          for (std::size_t j : it->second) {
+            if (j != i && (points[j] - points[i]).norm2() <= r2) {
+              out.push_back(j);
+            }
+          }
+        }
+      }
+    }
+  };
+
+  // Flood fill connected components over the epsilon graph.
+  std::vector<std::size_t> stack;
+  std::vector<std::size_t> nbrs;
+  std::size_t next_cluster = 0;
+  for (std::size_t seed = 0; seed < points.size(); ++seed) {
+    if (result.labels[seed] != kNoise) continue;
+    stack.assign(1, seed);
+    std::vector<std::size_t> members;
+    result.labels[seed] = next_cluster;
+    while (!stack.empty()) {
+      const std::size_t i = stack.back();
+      stack.pop_back();
+      members.push_back(i);
+      neighbors_of(i, nbrs);
+      for (std::size_t j : nbrs) {
+        if (result.labels[j] == kNoise) {
+          result.labels[j] = next_cluster;
+          stack.push_back(j);
+        }
+      }
+    }
+    if (members.size() >= config.min_points) {
+      result.clusters.push_back(std::move(members));
+      ++next_cluster;
+    } else {
+      for (std::size_t i : members) result.labels[i] = kNoise;
+    }
+  }
+
+  std::sort(result.clusters.begin(), result.clusters.end(),
+            [](const auto& a, const auto& b) { return a.size() > b.size(); });
+  // Relabel so cluster 0 is the largest.
+  for (auto& l : result.labels) l = kNoise;
+  for (std::size_t c = 0; c < result.clusters.size(); ++c) {
+    for (std::size_t i : result.clusters[c]) result.labels[i] = c;
+  }
+  return result;
+}
+
+std::vector<std::size_t> largest_cluster(std::span<const Vec3> points,
+                                         const ClusteringConfig& config) {
+  auto result = cluster_points(points, config);
+  if (result.clusters.empty()) return {};
+  return std::move(result.clusters.front());
+}
+
+Vec3 centroid(std::span<const Vec3> points,
+              std::span<const std::size_t> indices) {
+  Vec3 c;
+  if (indices.empty()) return c;
+  for (std::size_t i : indices) c += points[i];
+  return c / static_cast<double>(indices.size());
+}
+
+}  // namespace vp

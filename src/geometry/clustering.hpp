@@ -1,0 +1,43 @@
+// Spatial clustering of retrieved 3-D points.
+//
+// The server retrieves |K|*n candidate 3-D positions per query (n nearest
+// neighbors per keypoint, §3 "VisualPrint Application: Localization") and
+// keeps only the largest spatial cluster, discarding outlier matches from
+// repeated features elsewhere in the building. We implement a grid-bucketed
+// DBSCAN-style connected-components clustering: two points are connected if
+// within `radius`, clusters below `min_points` are noise.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geometry/vec.hpp"
+
+namespace vp {
+
+struct ClusteringConfig {
+  double radius = 3.0;        ///< connection radius, meters
+  std::size_t min_points = 3; ///< smaller clusters are treated as noise
+};
+
+struct ClusterResult {
+  /// cluster id per input point; SIZE_MAX marks noise.
+  std::vector<std::size_t> labels;
+  /// point indices per cluster, clusters sorted by descending size.
+  std::vector<std::vector<std::size_t>> clusters;
+};
+
+/// Cluster `points`; O(n log n) expected via spatial hashing of grid cells.
+ClusterResult cluster_points(std::span<const Vec3> points,
+                             const ClusteringConfig& config = {});
+
+/// Indices of the largest cluster (empty when everything is noise).
+std::vector<std::size_t> largest_cluster(std::span<const Vec3> points,
+                                         const ClusteringConfig& config = {});
+
+/// Centroid of a subset of points (zero vector for an empty subset).
+Vec3 centroid(std::span<const Vec3> points,
+              std::span<const std::size_t> indices);
+
+}  // namespace vp

@@ -1,0 +1,115 @@
+#include "geometry/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace vp {
+
+EigenSym jacobi_eigen_sym(std::span<const double> matrix, std::size_t n,
+                          std::size_t max_sweeps) {
+  VP_REQUIRE(n > 0 && matrix.size() == n * n, "jacobi: bad matrix size");
+  std::vector<double> a(matrix.begin(), matrix.end());
+  std::vector<double> v(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  auto off_diag_norm = [&] {
+    double s = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) s += a[i * n + j] * a[i * n + j];
+    return s;
+  };
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diag_norm() < 1e-22) break;
+    for (std::size_t p = 0; p < n - 1; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a[p * n + q];
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = a[p * n + p];
+        const double aqq = a[q * n + q];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply rotation to A on both sides and accumulate into V.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a[k * n + p];
+          const double akq = a[k * n + q];
+          a[k * n + p] = c * akp - s * akq;
+          a[k * n + q] = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a[p * n + k];
+          const double aqk = a[q * n + k];
+          a[p * n + k] = c * apk - s * aqk;
+          a[q * n + k] = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v[k * n + p];
+          const double vkq = v[k * n + q];
+          v[k * n + p] = c * vkp - s * vkq;
+          v[k * n + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return a[i * n + i] > a[j * n + j];
+  });
+
+  EigenSym out;
+  out.values.resize(n);
+  out.vectors.resize(n * n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t src = order[k];
+    out.values[k] = a[src * n + src];
+    for (std::size_t i = 0; i < n; ++i) {
+      out.vectors[k * n + i] = v[i * n + src];
+    }
+  }
+  return out;
+}
+
+Mat3 horn_rotation(const Mat3& m) {
+  // Build the symmetric 4x4 N matrix of Horn's quaternion method. Horn's
+  // S_ab sums (body)_a (world)_b; our input correlation sums
+  // (world)_a (body)_b, so read S as the transpose of m.
+  const double sxx = m.m[0][0], sxy = m.m[1][0], sxz = m.m[2][0];
+  const double syx = m.m[0][1], syy = m.m[1][1], syz = m.m[2][1];
+  const double szx = m.m[0][2], szy = m.m[1][2], szz = m.m[2][2];
+
+  const double nmat[16] = {
+      sxx + syy + szz, syz - szy,       szx - sxz,       sxy - syx,
+      syz - szy,       sxx - syy - szz, sxy + syx,       szx + sxz,
+      szx - sxz,       sxy + syx,       -sxx + syy - szz, syz + szy,
+      sxy - syx,       szx + sxz,       syz + szy,       -sxx - syy + szz};
+
+  const EigenSym es = jacobi_eigen_sym(std::span<const double>(nmat, 16), 4);
+  // Leading eigenvector is the optimal unit quaternion (w, x, y, z).
+  const double w = es.vectors[0];
+  const double x = es.vectors[1];
+  const double y = es.vectors[2];
+  const double z = es.vectors[3];
+
+  Mat3 r;
+  r.m[0][0] = w * w + x * x - y * y - z * z;
+  r.m[0][1] = 2 * (x * y - w * z);
+  r.m[0][2] = 2 * (x * z + w * y);
+  r.m[1][0] = 2 * (x * y + w * z);
+  r.m[1][1] = w * w - x * x + y * y - z * z;
+  r.m[1][2] = 2 * (y * z - w * x);
+  r.m[2][0] = 2 * (x * z - w * y);
+  r.m[2][1] = 2 * (y * z + w * x);
+  r.m[2][2] = w * w - x * x - y * y + z * z;
+  return r;
+}
+
+}  // namespace vp

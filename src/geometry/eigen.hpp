@@ -1,0 +1,33 @@
+// Small symmetric eigen-decomposition (cyclic Jacobi) for up to 6x6
+// matrices, plus Horn's closed-form absolute-orientation rotation. Shared
+// by ICP (map merging) and by orientation recovery after localization; also
+// used for the PCA of Fig. 6(b), which runs Jacobi on the 128x128
+// descriptor covariance via the iterative power-deflation path below.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geometry/vec.hpp"
+
+namespace vp {
+
+/// Eigen decomposition of a dense symmetric n x n matrix (row-major, n*n
+/// values). Eigenvalues are returned descending, with matching column
+/// eigenvectors (eigvecs[k*n + i] = component i of the k-th eigenvector).
+/// Cyclic Jacobi; fine up to n of a few hundred (used at n = 128 for PCA).
+struct EigenSym {
+  std::vector<double> values;
+  std::vector<double> vectors;  ///< k-th eigenvector at [k*n, (k+1)*n)
+};
+
+EigenSym jacobi_eigen_sym(std::span<const double> matrix, std::size_t n,
+                          std::size_t max_sweeps = 64);
+
+/// Horn's method: rotation R maximizing sum_i world_i . (R * body_i) given
+/// the 3x3 correlation matrix M = sum_i world_i * body_i^T. Returns a
+/// proper rotation (det +1).
+Mat3 horn_rotation(const Mat3& correlation);
+
+}  // namespace vp

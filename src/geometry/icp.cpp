@@ -1,0 +1,172 @@
+#include "geometry/icp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/eigen.hpp"
+#include "util/error.hpp"
+
+namespace vp {
+namespace {
+
+constexpr std::int64_t kCoordBias = 1 << 20;
+
+std::uint64_t pack_cell(std::int64_t x, std::int64_t y, std::int64_t z) noexcept {
+  // 21 bits per axis, biased to keep coordinates positive.
+  const std::uint64_t ux = static_cast<std::uint64_t>(x + kCoordBias) & 0x1FFFFF;
+  const std::uint64_t uy = static_cast<std::uint64_t>(y + kCoordBias) & 0x1FFFFF;
+  const std::uint64_t uz = static_cast<std::uint64_t>(z + kCoordBias) & 0x1FFFFF;
+  return (ux << 42) | (uy << 21) | uz;
+}
+
+}  // namespace
+
+PointGrid::PointGrid(std::span<const Vec3> points, double cell_size)
+    : points_(points.begin(), points.end()), cell_(cell_size) {
+  VP_REQUIRE(cell_size > 0, "PointGrid cell size must be positive");
+  sorted_cells_.reserve(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    sorted_cells_.emplace_back(key_of(points_[i]),
+                               static_cast<std::uint32_t>(i));
+  }
+  std::sort(sorted_cells_.begin(), sorted_cells_.end());
+}
+
+std::uint64_t PointGrid::key_of(Vec3 p) const noexcept {
+  return pack_cell(static_cast<std::int64_t>(std::floor(p.x / cell_)),
+                   static_cast<std::int64_t>(std::floor(p.y / cell_)),
+                   static_cast<std::int64_t>(std::floor(p.z / cell_)));
+}
+
+std::optional<std::size_t> PointGrid::nearest(Vec3 query,
+                                              double max_dist) const {
+  if (points_.empty()) return std::nullopt;
+  const auto cx = static_cast<std::int64_t>(std::floor(query.x / cell_));
+  const auto cy = static_cast<std::int64_t>(std::floor(query.y / cell_));
+  const auto cz = static_cast<std::int64_t>(std::floor(query.z / cell_));
+  const auto reach =
+      static_cast<std::int64_t>(std::ceil(max_dist / cell_));
+
+  double best_d2 = max_dist * max_dist;
+  std::optional<std::size_t> best;
+  for (std::int64_t dx = -reach; dx <= reach; ++dx) {
+    for (std::int64_t dy = -reach; dy <= reach; ++dy) {
+      for (std::int64_t dz = -reach; dz <= reach; ++dz) {
+        const std::uint64_t key = pack_cell(cx + dx, cy + dy, cz + dz);
+        auto it = std::lower_bound(
+            sorted_cells_.begin(), sorted_cells_.end(),
+            std::make_pair(key, std::uint32_t{0}));
+        for (; it != sorted_cells_.end() && it->first == key; ++it) {
+          const double d2 = (points_[it->second] - query).norm2();
+          if (d2 < best_d2) {
+            best_d2 = d2;
+            best = it->second;
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+IcpResult icp_align(std::span<const Vec3> source, std::span<const Vec3> target,
+                    const IcpConfig& config) {
+  IcpResult result;
+  if (source.empty() || target.empty()) return result;
+
+  const PointGrid grid(target, std::max(0.25, config.max_correspondence_dist));
+  std::vector<Vec3> current(source.begin(), source.end());
+
+  double prev_error = std::numeric_limits<double>::max();
+  Pose total{};  // identity
+
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    // Gather correspondences for the current alignment.
+    std::vector<std::pair<Vec3, Vec3>> pairs;  // (source, matched target)
+    pairs.reserve(current.size());
+    for (const Vec3& p : current) {
+      if (auto idx = grid.nearest(p, config.max_correspondence_dist)) {
+        pairs.emplace_back(p, target[*idx]);
+      }
+    }
+    result.correspondences = pairs.size();
+    if (pairs.size() < config.min_correspondences) return result;
+
+    // Trimmed ICP: estimate from the closest correspondences only, so
+    // one-sided boundary matches can't drag the transform.
+    if (config.trim_fraction < 1.0 && pairs.size() > 16) {
+      const auto keep = std::max<std::size_t>(
+          config.min_correspondences,
+          static_cast<std::size_t>(static_cast<double>(pairs.size()) *
+                                   config.trim_fraction));
+      std::nth_element(pairs.begin(),
+                       pairs.begin() + static_cast<std::ptrdiff_t>(keep - 1),
+                       pairs.end(), [](const auto& a, const auto& b) {
+                         return (a.first - a.second).norm2() <
+                                (b.first - b.second).norm2();
+                       });
+      pairs.resize(keep);
+    }
+
+    // Centroids and centered correlation for Horn's method.
+    Vec3 cs, ct;
+    for (const auto& [s, t] : pairs) {
+      cs += s;
+      ct += t;
+    }
+    cs = cs / static_cast<double>(pairs.size());
+    ct = ct / static_cast<double>(pairs.size());
+
+    Mat3 r;
+    if (config.planar) {
+      // Yaw-only rotation: 2-D Procrustes on the horizontal plane.
+      double num = 0, den = 0;
+      for (const auto& [s, t] : pairs) {
+        const double sx = s.x - cs.x, sy = s.y - cs.y;
+        const double tx = t.x - ct.x, ty = t.y - ct.y;
+        num += sx * ty - sy * tx;
+        den += sx * tx + sy * ty;
+      }
+      const double yaw = std::atan2(num, den);
+      r = rotation_zyx(yaw, 0, 0);
+    } else {
+      Mat3 corr{{{0, 0, 0}, {0, 0, 0}, {0, 0, 0}}};
+      for (const auto& [s, t] : pairs) {
+        const Vec3 a = t - ct;  // world/target side
+        const Vec3 b = s - cs;  // body/source side
+        corr.m[0][0] += a.x * b.x; corr.m[0][1] += a.x * b.y; corr.m[0][2] += a.x * b.z;
+        corr.m[1][0] += a.y * b.x; corr.m[1][1] += a.y * b.y; corr.m[1][2] += a.y * b.z;
+        corr.m[2][0] += a.z * b.x; corr.m[2][1] += a.z * b.y; corr.m[2][2] += a.z * b.z;
+      }
+      r = horn_rotation(corr);
+    }
+    const Vec3 t_vec = ct - r * cs;
+    const Pose step{r, t_vec};
+
+    for (auto& p : current) p = step.to_world(p);
+    total = step * total;
+
+    double err = 0;
+    std::size_t matched = 0;
+    for (const Vec3& p : current) {
+      if (auto idx = grid.nearest(p, config.max_correspondence_dist)) {
+        err += (target[*idx] - p).norm();
+        ++matched;
+      }
+    }
+    err = matched ? err / static_cast<double>(matched) : prev_error;
+    result.iterations = iter + 1;
+    result.mean_error = err;
+
+    if (std::abs(prev_error - err) < config.convergence_delta) {
+      result.converged = true;
+      break;
+    }
+    prev_error = err;
+  }
+  result.transform = total;
+  if (result.iterations == config.max_iterations) result.converged = true;
+  return result;
+}
+
+}  // namespace vp

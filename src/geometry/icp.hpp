@@ -1,0 +1,68 @@
+// Point-to-point Iterative Closest Point.
+//
+// Wardriving post-processing (§3, "Challenge, Positioning Error and
+// Uniqueness") merges per-snapshot Tango depth maps into one coherent point
+// cloud; ICP estimates the rigid correction between a drifted snapshot
+// cloud and the reference map.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geometry/pose.hpp"
+
+namespace vp {
+
+struct IcpConfig {
+  std::size_t max_iterations = 50;
+  double max_correspondence_dist = 2.0;  ///< meters; beyond this, unmatched
+  double convergence_delta = 1e-6;       ///< stop when mean error improves less
+  std::size_t min_correspondences = 8;
+  /// Trimmed ICP: keep only this fraction of correspondences (closest
+  /// first) when estimating each step's transform. Suppresses the boundary
+  /// bias of partially-overlapping clouds; 1.0 disables trimming.
+  double trim_fraction = 0.8;
+  /// Planar mode: estimate yaw + 3-D translation only (4 DoF). Indoor
+  /// dead reckoning drifts in yaw and position, while roll/pitch are
+  /// gravity-observable from the IMU (true of Tango, and of our drift
+  /// model); freeing them only lets near-planar corridor clouds wander.
+  bool planar = true;
+};
+
+struct IcpResult {
+  Pose transform;          ///< target_from_source correction
+  double mean_error = 0;   ///< mean correspondence distance after alignment
+  std::size_t iterations = 0;
+  std::size_t correspondences = 0;
+  bool converged = false;
+};
+
+/// Nearest-neighbor lookup structure over a fixed 3-D point set (uniform
+/// grid hash). Query cost is O(1) for point densities near the cell size.
+class PointGrid {
+ public:
+  PointGrid(std::span<const Vec3> points, double cell_size);
+
+  /// Nearest point index within `max_dist`, or nullopt.
+  std::optional<std::size_t> nearest(Vec3 query, double max_dist) const;
+
+  std::size_t size() const noexcept { return points_.size(); }
+  const std::vector<Vec3>& points() const noexcept { return points_; }
+
+ private:
+  std::vector<Vec3> points_;
+  double cell_;
+  struct Impl;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> sorted_cells_;
+  std::uint64_t key_of(Vec3 p) const noexcept;
+};
+
+/// Align `source` onto `target`; returns the rigid transform T such that
+/// T(source) ≈ target. Fails (converged=false, identity transform) when too
+/// few correspondences are found.
+IcpResult icp_align(std::span<const Vec3> source, std::span<const Vec3> target,
+                    const IcpConfig& config = {});
+
+}  // namespace vp

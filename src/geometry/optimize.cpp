@@ -1,0 +1,90 @@
+#include "geometry/optimize.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace vp {
+
+DeResult differential_evolution(
+    const std::function<double(std::span<const double>)>& objective,
+    std::span<const double> lo, std::span<const double> hi,
+    const DeConfig& config, Rng& rng) {
+  const std::size_t dim = lo.size();
+  VP_REQUIRE(dim > 0, "DE needs at least one dimension");
+  VP_REQUIRE(hi.size() == dim, "DE bounds size mismatch");
+  for (std::size_t d = 0; d < dim; ++d) {
+    VP_REQUIRE(lo[d] <= hi[d], "DE bounds inverted");
+  }
+  VP_REQUIRE(config.population >= 4, "DE population must be >= 4");
+
+  Timer timer;
+  const std::size_t np = config.population;
+
+  // Initialize population uniformly in the box.
+  std::vector<std::vector<double>> pop(np, std::vector<double>(dim));
+  std::vector<double> cost(np);
+  for (std::size_t i = 0; i < np; ++i) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      pop[i][d] = rng.uniform(lo[d], hi[d]);
+    }
+    cost[i] = objective(pop[i]);
+  }
+
+  std::size_t best_i = static_cast<std::size_t>(
+      std::min_element(cost.begin(), cost.end()) - cost.begin());
+
+  DeResult result;
+  result.best = pop[best_i];
+  result.cost = cost[best_i];
+
+  std::vector<double> trial(dim);
+  double last_improvement_cost = result.cost;
+  std::size_t stall = 0;
+
+  for (std::size_t gen = 0; gen < config.max_generations; ++gen) {
+    if (timer.seconds() > config.time_budget_sec) {
+      result.hit_time_bound = true;
+      break;
+    }
+    for (std::size_t i = 0; i < np; ++i) {
+      // Pick three distinct members, all != i.
+      std::size_t a, b, c;
+      do { a = rng.uniform_u64(np); } while (a == i);
+      do { b = rng.uniform_u64(np); } while (b == i || b == a);
+      do { c = rng.uniform_u64(np); } while (c == i || c == a || c == b);
+
+      const std::size_t jrand = rng.uniform_u64(dim);
+      for (std::size_t d = 0; d < dim; ++d) {
+        if (d == jrand || rng.chance(config.crossover)) {
+          double v = pop[a][d] + config.weight * (pop[b][d] - pop[c][d]);
+          trial[d] = std::clamp(v, lo[d], hi[d]);
+        } else {
+          trial[d] = pop[i][d];
+        }
+      }
+      const double tc = objective(trial);
+      if (tc <= cost[i]) {
+        pop[i] = trial;
+        cost[i] = tc;
+        if (tc < result.cost) {
+          result.cost = tc;
+          result.best = trial;
+        }
+      }
+    }
+    result.generations = gen + 1;
+
+    if (last_improvement_cost - result.cost > config.tolerance) {
+      last_improvement_cost = result.cost;
+      stall = 0;
+    } else if (++stall >= config.stall_generations) {
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace vp

@@ -1,0 +1,41 @@
+// Time-bounded differential evolution (DE/rand/1/bin).
+//
+// The paper solves the Fig. 12 localization optimization "using a
+// time-bounded differential evolution"; this is a general-purpose
+// implementation also used by the ablation benches.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace vp {
+
+struct DeConfig {
+  std::size_t population = 48;
+  std::size_t max_generations = 300;
+  double weight = 0.7;          ///< differential weight F
+  double crossover = 0.9;       ///< crossover probability CR
+  double time_budget_sec = 0.25;///< wall-clock bound ("time-bounded" DE)
+  double tolerance = 1e-10;     ///< stop when best cost improves less than this
+                                ///< over `stall_generations`
+  std::size_t stall_generations = 40;
+};
+
+struct DeResult {
+  std::vector<double> best;     ///< best parameter vector found
+  double cost = 0;              ///< objective at `best`
+  std::size_t generations = 0;  ///< generations actually run
+  bool hit_time_bound = false;  ///< stopped by the wall-clock budget
+};
+
+/// Minimize `objective` over a box [lo[i], hi[i]] per dimension.
+/// `objective` must be pure w.r.t. its argument. Deterministic given `rng`.
+DeResult differential_evolution(
+    const std::function<double(std::span<const double>)>& objective,
+    std::span<const double> lo, std::span<const double> hi,
+    const DeConfig& config, Rng& rng);
+
+}  // namespace vp

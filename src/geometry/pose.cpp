@@ -1,0 +1,13 @@
+#include "geometry/pose.hpp"
+
+#include <algorithm>
+
+namespace vp {
+
+double rotation_angle_between(const Mat3& a, const Mat3& b) noexcept {
+  const Mat3 rel = a.transposed() * b;
+  const double c = std::clamp((rel.trace() - 1.0) / 2.0, -1.0, 1.0);
+  return std::acos(c);
+}
+
+}  // namespace vp

@@ -1,0 +1,42 @@
+// 6-DoF rigid pose: rotation + translation, the datum Tango reports during
+// wardriving and the quantity VisualPrint's localization recovers.
+#pragma once
+
+#include "geometry/vec.hpp"
+
+namespace vp {
+
+struct Pose {
+  Mat3 rotation;     ///< world_from_body rotation
+  Vec3 translation;  ///< body origin in world coordinates
+
+  /// Transform a point from body (camera) frame to world frame.
+  Vec3 to_world(Vec3 body_point) const noexcept {
+    return rotation * body_point + translation;
+  }
+
+  /// Transform a point from world frame to body (camera) frame.
+  Vec3 to_body(Vec3 world_point) const noexcept {
+    return rotation.transposed() * (world_point - translation);
+  }
+
+  /// Compose: this * other (apply other first, then this).
+  Pose operator*(const Pose& other) const noexcept {
+    return {rotation * other.rotation, rotation * other.translation + translation};
+  }
+
+  Pose inverse() const noexcept {
+    const Mat3 rt = rotation.transposed();
+    return {rt, rt * (Vec3{} - translation)};
+  }
+
+  static Pose from_euler(Vec3 position, double yaw, double pitch,
+                         double roll) noexcept {
+    return {rotation_zyx(yaw, pitch, roll), position};
+  }
+};
+
+/// Rotation angle (radians) between two rotation matrices.
+double rotation_angle_between(const Mat3& a, const Mat3& b) noexcept;
+
+}  // namespace vp

@@ -1,0 +1,30 @@
+#include "geometry/vec.hpp"
+
+namespace vp {
+
+Mat3 rotation_zyx(double yaw, double pitch, double roll) noexcept {
+  const double cy = std::cos(yaw), sy = std::sin(yaw);
+  const double cp = std::cos(pitch), sp = std::sin(pitch);
+  const double cr = std::cos(roll), sr = std::sin(roll);
+  Mat3 rz{{{cy, -sy, 0}, {sy, cy, 0}, {0, 0, 1}}};
+  Mat3 ry{{{cp, 0, sp}, {0, 1, 0}, {-sp, 0, cp}}};
+  Mat3 rx{{{1, 0, 0}, {0, cr, -sr}, {0, sr, cr}}};
+  return rz * ry * rx;
+}
+
+void euler_zyx(const Mat3& r, double& yaw, double& pitch, double& roll) noexcept {
+  // R = Rz(yaw) Ry(pitch) Rx(roll):
+  //   r20 = -sin(pitch); r10 = sin(yaw) cos(pitch); r21 = cos(pitch) sin(roll)
+  pitch = std::asin(-r.m[2][0]);
+  const double cp = std::cos(pitch);
+  if (std::abs(cp) > 1e-9) {
+    yaw = std::atan2(r.m[1][0], r.m[0][0]);
+    roll = std::atan2(r.m[2][1], r.m[2][2]);
+  } else {
+    // Gimbal lock: yaw/roll are coupled; fold everything into yaw.
+    yaw = std::atan2(-r.m[0][1], r.m[1][1]);
+    roll = 0.0;
+  }
+}
+
+}  // namespace vp

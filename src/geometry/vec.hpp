@@ -1,0 +1,97 @@
+// Small fixed-size linear algebra: Vec2/Vec3, Mat3. Header-only, constexpr
+// where possible. This is the only linear algebra the system needs — kept
+// deliberately minimal instead of pulling a full matrix library.
+#pragma once
+
+#include <cmath>
+
+namespace vp {
+
+struct Vec2 {
+  double x = 0, y = 0;
+
+  constexpr Vec2 operator+(Vec2 o) const noexcept { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const noexcept { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const noexcept { return {x * s, y * s}; }
+  constexpr double dot(Vec2 o) const noexcept { return x * o.x + y * o.y; }
+  double norm() const noexcept { return std::sqrt(dot(*this)); }
+};
+
+struct Vec3 {
+  double x = 0, y = 0, z = 0;
+
+  constexpr Vec3 operator+(Vec3 o) const noexcept {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(Vec3 o) const noexcept {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double s) const noexcept {
+    return {x * s, y * s, z * s};
+  }
+  constexpr Vec3 operator/(double s) const noexcept {
+    return {x / s, y / s, z / s};
+  }
+  constexpr Vec3& operator+=(Vec3 o) noexcept {
+    x += o.x; y += o.y; z += o.z;
+    return *this;
+  }
+  constexpr double dot(Vec3 o) const noexcept {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  constexpr Vec3 cross(Vec3 o) const noexcept {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  constexpr double norm2() const noexcept { return dot(*this); }
+  double norm() const noexcept { return std::sqrt(norm2()); }
+  Vec3 normalized() const noexcept {
+    const double n = norm();
+    return n > 0 ? *this / n : Vec3{};
+  }
+  double distance(Vec3 o) const noexcept { return (*this - o).norm(); }
+};
+
+constexpr Vec3 operator*(double s, Vec3 v) noexcept { return v * s; }
+
+/// Row-major 3x3 matrix.
+struct Mat3 {
+  double m[3][3] = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+
+  static constexpr Mat3 identity() noexcept { return {}; }
+
+  constexpr Vec3 operator*(Vec3 v) const noexcept {
+    return {m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+            m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+            m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z};
+  }
+
+  constexpr Mat3 operator*(const Mat3& o) const noexcept {
+    Mat3 r{};
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        r.m[i][j] = 0;
+        for (int k = 0; k < 3; ++k) r.m[i][j] += m[i][k] * o.m[k][j];
+      }
+    }
+    return r;
+  }
+
+  constexpr Mat3 transposed() const noexcept {
+    Mat3 r{};
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) r.m[i][j] = m[j][i];
+    return r;
+  }
+
+  constexpr double trace() const noexcept {
+    return m[0][0] + m[1][1] + m[2][2];
+  }
+};
+
+/// Rotation about Z (yaw), Y (pitch), X (roll), composed R = Rz * Ry * Rx.
+Mat3 rotation_zyx(double yaw, double pitch, double roll) noexcept;
+
+/// Extract (yaw, pitch, roll) from a rotation matrix built by rotation_zyx.
+void euler_zyx(const Mat3& r, double& yaw, double& pitch, double& roll) noexcept;
+
+}  // namespace vp

@@ -1,0 +1,150 @@
+#include "hashing/binary_oracle.hpp"
+
+#include <algorithm>
+
+#include "hashing/murmur3.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace vp {
+namespace {
+
+constexpr std::uint32_t kPrimarySeedBase = 0x2545f491u;
+constexpr std::uint32_t kVerifySeed = 0x27d4eb2fu;
+
+void primary_indices(std::uint64_t bucket, std::size_t table, std::size_t k,
+                     std::size_t counters, std::vector<std::size_t>& out) {
+  ByteWriter w(8);
+  w.u64(bucket);
+  out.clear();
+  bloom_indices(w.bytes(), kPrimarySeedBase + static_cast<std::uint32_t>(table),
+                k, counters, std::back_inserter(out));
+}
+
+std::size_t verification_index(std::span<const std::size_t> positions,
+                               std::size_t bits) {
+  ByteWriter w(positions.size() * 8);
+  for (std::size_t p : positions) w.u64(p);
+  const auto [h1, h2] = murmur3_x64_128(w.bytes(), kVerifySeed);
+  (void)h2;
+  return static_cast<std::size_t>(h1 % bits);
+}
+
+}  // namespace
+
+std::size_t BinaryOracleConfig::effective_counters() const {
+  if (counters_override != 0) return counters_override;
+  return BloomFilter::optimal_bits(capacity * std::max<std::size_t>(1, tables),
+                                   fp_rate);
+}
+
+BinaryUniquenessOracle::BinaryUniquenessOracle(BinaryOracleConfig config)
+    : config_(config),
+      primary_(config.effective_counters(), config.counter_bits),
+      verification_(config.effective_counters()) {
+  VP_REQUIRE(config.tables >= 1 && config.tables <= 64,
+             "binary oracle tables in [1,64]");
+  VP_REQUIRE(config.sample_bits >= 1 && config.sample_bits <= 64,
+             "sample_bits in [1,64]");
+  Rng rng(config.seed);
+  sampled_bits_.resize(config.tables);
+  for (auto& table : sampled_bits_) {
+    table.reserve(config.sample_bits);
+    for (std::size_t m = 0; m < config.sample_bits; ++m) {
+      table.push_back(static_cast<std::uint16_t>(
+          rng.uniform_u64(kBinaryDescriptorBits)));
+    }
+  }
+}
+
+std::uint64_t BinaryUniquenessOracle::bucket_of(const BinaryDescriptor& d,
+                                                std::size_t table) const {
+  std::uint64_t bucket = 0;
+  const auto& bits = sampled_bits_[table];
+  for (std::size_t m = 0; m < bits.size(); ++m) {
+    const std::uint16_t pos = bits[m];
+    const std::uint64_t bit = (d[pos / 64] >> (pos % 64)) & 1ULL;
+    bucket |= bit << m;
+  }
+  return bucket;
+}
+
+std::optional<std::uint32_t> BinaryUniquenessOracle::bucket_count(
+    std::uint64_t bucket, std::size_t table) const {
+  std::vector<std::size_t> idx;
+  primary_indices(bucket, table, config_.hashes, primary_.counter_count(),
+                  idx);
+  std::uint32_t min_count = primary_.saturation() + 1;
+  for (std::size_t i : idx) min_count = std::min(min_count, primary_.count(i));
+  if (min_count == 0) return std::nullopt;
+  if (config_.verification &&
+      !verification_.test(verification_index(idx, verification_.bit_count()))) {
+    return std::nullopt;
+  }
+  return min_count;
+}
+
+void BinaryUniquenessOracle::insert(const BinaryDescriptor& descriptor) {
+  std::vector<std::size_t> idx;
+  for (std::size_t t = 0; t < config_.tables; ++t) {
+    primary_indices(bucket_of(descriptor, t), t, config_.hashes,
+                    primary_.counter_count(), idx);
+    for (std::size_t i : idx) primary_.increment(i);
+    if (config_.verification) {
+      verification_.set(verification_index(idx, verification_.bit_count()));
+    }
+  }
+  ++insertions_;
+}
+
+std::uint32_t BinaryUniquenessOracle::aggregate_counts(
+    std::span<const std::uint32_t> counts) const {
+  VP_ASSERT(!counts.empty());
+  switch (config_.aggregate) {
+    case OracleAggregate::kMin:
+      return *std::min_element(counts.begin(), counts.end());
+    case OracleAggregate::kMax:
+      return *std::max_element(counts.begin(), counts.end());
+    case OracleAggregate::kMean: {
+      std::uint64_t sum = 0;
+      for (auto c : counts) sum += c;
+      return static_cast<std::uint32_t>(sum / counts.size());
+    }
+    case OracleAggregate::kMedian:
+    default: {
+      std::vector<std::uint32_t> v(counts.begin(), counts.end());
+      std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+      return v[v.size() / 2];
+    }
+  }
+}
+
+std::uint32_t BinaryUniquenessOracle::count(
+    const BinaryDescriptor& descriptor) const {
+  std::vector<std::uint32_t> per_table;
+  per_table.reserve(config_.tables);
+  for (std::size_t t = 0; t < config_.tables; ++t) {
+    const std::uint64_t bucket = bucket_of(descriptor, t);
+    std::uint32_t best = 0;
+    if (const auto exact = bucket_count(bucket, t)) {
+      best = *exact;
+    } else if (config_.multiprobe) {
+      // Hamming multiprobe: flip each sampled bit in turn.
+      for (std::size_t m = 0; m < config_.sample_bits && best == 0; ++m) {
+        if (const auto probed = bucket_count(bucket ^ (1ULL << m), t)) {
+          best = *probed;
+        }
+      }
+    }
+    per_table.push_back(best);
+  }
+  return aggregate_counts(per_table);
+}
+
+std::size_t BinaryUniquenessOracle::byte_size() const noexcept {
+  return primary_.byte_size() + verification_.byte_size() +
+         sampled_bits_.size() * config_.sample_bits * sizeof(std::uint16_t);
+}
+
+}  // namespace vp

@@ -1,0 +1,65 @@
+// Uniqueness oracle for binary descriptors (paper §5 extension).
+//
+// The oracle construction is descriptor-agnostic: only the LSH family
+// changes. For Hamming space the classic family is bit sampling (Indyk &
+// Motwani): each table fixes M random bit positions; the bucket is the
+// M sampled bits. Two descriptors within small Hamming distance agree on
+// most sampled positions, so they share buckets in most tables. The
+// counting/verification Bloom machinery is shared with the Euclidean
+// oracle. Multiprobe flips each sampled bit in turn (the Hamming analogue
+// of the off-by-one quantization probe).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "features/brief.hpp"
+#include "hashing/bloom.hpp"
+#include "hashing/oracle.hpp"  // OracleAggregate
+
+namespace vp {
+
+struct BinaryOracleConfig {
+  std::size_t tables = 10;      ///< L
+  std::size_t sample_bits = 24; ///< M bit positions per table
+  std::size_t hashes = 8;       ///< K Bloom indices per bucket
+  unsigned counter_bits = 10;
+  std::size_t capacity = 2'500'000;
+  double fp_rate = 0.01;
+  std::size_t counters_override = 0;
+  bool multiprobe = true;
+  bool verification = true;
+  OracleAggregate aggregate = OracleAggregate::kMedian;
+  std::uint64_t seed = 0xb1faceULL;
+
+  std::size_t effective_counters() const;
+};
+
+class BinaryUniquenessOracle {
+ public:
+  explicit BinaryUniquenessOracle(BinaryOracleConfig config);
+
+  void insert(const BinaryDescriptor& descriptor);
+  std::uint32_t count(const BinaryDescriptor& descriptor) const;
+
+  const BinaryOracleConfig& config() const noexcept { return config_; }
+  std::uint64_t insertions() const noexcept { return insertions_; }
+  std::size_t byte_size() const noexcept;
+
+ private:
+  /// Packed M sampled bits of `d` for table `t`.
+  std::uint64_t bucket_of(const BinaryDescriptor& d, std::size_t table) const;
+  std::optional<std::uint32_t> bucket_count(std::uint64_t bucket,
+                                            std::size_t table) const;
+  std::uint32_t aggregate_counts(std::span<const std::uint32_t> counts) const;
+
+  BinaryOracleConfig config_;
+  /// [table][m] -> bit position in [0, 256).
+  std::vector<std::vector<std::uint16_t>> sampled_bits_;
+  CountingBloomFilter primary_;
+  BloomFilter verification_;
+  std::uint64_t insertions_ = 0;
+};
+
+}  // namespace vp

@@ -1,0 +1,164 @@
+#include "hashing/bloom.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vp {
+
+BloomFilter::BloomFilter(std::size_t bits)
+    : bits_((bits + 63) / 64 * 64), words_(bits_ / 64, 0) {
+  VP_REQUIRE(bits > 0, "BloomFilter needs at least one bit");
+}
+
+std::size_t BloomFilter::optimal_bits(std::size_t capacity, double fp_rate) {
+  VP_REQUIRE(capacity > 0, "optimal_bits: zero capacity");
+  VP_REQUIRE(fp_rate > 0 && fp_rate < 1, "fp_rate in (0,1)");
+  const double ln2 = std::log(2.0);
+  const double m =
+      -static_cast<double>(capacity) * std::log(fp_rate) / (ln2 * ln2);
+  return static_cast<std::size_t>(std::ceil(m));
+}
+
+std::size_t BloomFilter::optimal_hashes(std::size_t bits,
+                                        std::size_t capacity) {
+  VP_REQUIRE(capacity > 0, "optimal_hashes: zero capacity");
+  const double k = std::log(2.0) * static_cast<double>(bits) /
+                   static_cast<double>(capacity);
+  return std::max<std::size_t>(1, static_cast<std::size_t>(std::lround(k)));
+}
+
+void BloomFilter::set(std::size_t index) noexcept {
+  index %= bits_;
+  words_[index / 64] |= (1ULL << (index % 64));
+}
+
+bool BloomFilter::test(std::size_t index) const noexcept {
+  index %= bits_;
+  return (words_[index / 64] >> (index % 64)) & 1ULL;
+}
+
+std::size_t BloomFilter::set_bit_count() const noexcept {
+  std::size_t n = 0;
+  for (auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+double BloomFilter::fill_ratio() const noexcept {
+  return static_cast<double>(set_bit_count()) / static_cast<double>(bits_);
+}
+
+Bytes BloomFilter::serialize() const {
+  ByteWriter w(16 + words_.size() * 8);
+  w.u64(bits_);
+  for (auto word : words_) w.u64(word);
+  return w.take();
+}
+
+BloomFilter BloomFilter::deserialize(ByteReader& r) {
+  const std::uint64_t bits = r.u64();
+  if (bits == 0 || bits % 64 != 0 || bits > (1ULL << 40)) {
+    throw DecodeError{"bloom filter: implausible bit count"};
+  }
+  // Validate against the remaining payload BEFORE allocating, so a
+  // corrupted header can never trigger a giant allocation.
+  if (r.remaining() < bits / 8) {
+    throw DecodeError{"bloom filter: payload shorter than header claims"};
+  }
+  BloomFilter f(static_cast<std::size_t>(bits));
+  for (auto& word : f.words_) word = r.u64();
+  return f;
+}
+
+CountingBloomFilter::CountingBloomFilter(std::size_t counters,
+                                         unsigned counter_bits)
+    : counters_(counters),
+      counter_bits_(counter_bits),
+      max_value_((1u << counter_bits) - 1),
+      words_((counters * counter_bits + 63) / 64, 0) {
+  VP_REQUIRE(counters > 0, "CountingBloomFilter needs counters");
+  VP_REQUIRE(counter_bits >= 1 && counter_bits <= 16,
+             "counter_bits in [1,16]");
+}
+
+std::uint32_t CountingBloomFilter::get(std::size_t index) const noexcept {
+  const std::size_t bit = index * counter_bits_;
+  const std::size_t word = bit / 64;
+  const unsigned shift = bit % 64;
+  std::uint64_t v = words_[word] >> shift;
+  if (shift + counter_bits_ > 64) {
+    v |= words_[word + 1] << (64 - shift);
+  }
+  return static_cast<std::uint32_t>(v & max_value_);
+}
+
+void CountingBloomFilter::put(std::size_t index, std::uint32_t value) noexcept {
+  const std::size_t bit = index * counter_bits_;
+  const std::size_t word = bit / 64;
+  const unsigned shift = bit % 64;
+  const std::uint64_t mask = static_cast<std::uint64_t>(max_value_) << shift;
+  words_[word] = (words_[word] & ~mask) |
+                 (static_cast<std::uint64_t>(value) << shift);
+  if (shift + counter_bits_ > 64) {
+    const unsigned spill = shift + counter_bits_ - 64;
+    const std::uint64_t hi_mask = (1ULL << spill) - 1;
+    words_[word + 1] = (words_[word + 1] & ~hi_mask) |
+                       (static_cast<std::uint64_t>(value) >>
+                        (counter_bits_ - spill));
+  }
+}
+
+std::uint32_t CountingBloomFilter::increment(std::size_t index) noexcept {
+  index %= counters_;
+  std::uint32_t v = get(index);
+  if (v < max_value_) put(index, ++v);
+  return v;
+}
+
+std::uint32_t CountingBloomFilter::decrement(std::size_t index) noexcept {
+  index %= counters_;
+  std::uint32_t v = get(index);
+  if (v > 0) put(index, --v);
+  return v;
+}
+
+std::uint32_t CountingBloomFilter::count(std::size_t index) const noexcept {
+  return get(index % counters_);
+}
+
+double CountingBloomFilter::fill_ratio() const noexcept {
+  std::size_t nonzero = 0;
+  for (std::size_t i = 0; i < counters_; ++i) {
+    if (get(i) != 0) ++nonzero;
+  }
+  return static_cast<double>(nonzero) / static_cast<double>(counters_);
+}
+
+Bytes CountingBloomFilter::serialize() const {
+  ByteWriter w(24 + words_.size() * 8);
+  w.u64(counters_);
+  w.u32(counter_bits_);
+  for (auto word : words_) w.u64(word);
+  return w.take();
+}
+
+CountingBloomFilter CountingBloomFilter::deserialize(ByteReader& r) {
+  const std::uint64_t counters = r.u64();
+  const std::uint32_t bits = r.u32();
+  if (counters == 0 || bits < 1 || bits > 16 || counters > (1ULL << 40)) {
+    throw DecodeError{"counting bloom: implausible header"};
+  }
+  const std::uint64_t words = (counters * bits + 63) / 64;
+  // Validate against the remaining payload BEFORE allocating, so a
+  // corrupted header can never trigger a giant allocation.
+  if (r.remaining() < words * 8) {
+    throw DecodeError{"counting bloom: payload shorter than header claims"};
+  }
+  CountingBloomFilter f(static_cast<std::size_t>(counters),
+                        static_cast<unsigned>(bits));
+  for (auto& word : f.words_) word = r.u64();
+  return f;
+}
+
+}  // namespace vp

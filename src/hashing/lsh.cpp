@@ -1,0 +1,61 @@
+#include "hashing/lsh.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vp {
+
+E2Lsh::E2Lsh(std::size_t tables, std::size_t projections, double width,
+             std::uint64_t seed)
+    : tables_(tables), projections_(projections), width_(width), seed_(seed) {
+  VP_REQUIRE(tables >= 1 && tables <= 64, "LSH tables in [1,64]");
+  VP_REQUIRE(projections >= 1 && projections <= 32, "LSH projections in [1,32]");
+  VP_REQUIRE(width > 0, "LSH width must be positive");
+
+  // Gaussian coefficients (2-stable, preserving L2) and uniform offsets in
+  // [0, W) per the E2LSH construction h(v) = floor((a.v + b) / W).
+  Rng rng(seed);
+  coeffs_.resize(tables * projections * kDescriptorDims);
+  offsets_.resize(tables * projections);
+  for (auto& c : coeffs_) c = static_cast<float>(rng.gaussian());
+  for (auto& b : offsets_) b = static_cast<float>(rng.uniform(0.0, width));
+}
+
+double E2Lsh::project(const Descriptor& d, std::size_t t,
+                      std::size_t m) const noexcept {
+  const float* a = coeff_ptr(t, m);
+  double acc = 0;
+  for (std::size_t i = 0; i < kDescriptorDims; ++i) {
+    acc += static_cast<double>(a[i]) * d[i];
+  }
+  return acc + offsets_[t * projections_ + m];
+}
+
+LshBucket E2Lsh::bucket(const Descriptor& d, std::size_t t) const {
+  VP_REQUIRE(t < tables_, "LSH table index out of range");
+  LshBucket b(projections_);
+  for (std::size_t m = 0; m < projections_; ++m) {
+    b[m] = static_cast<std::int32_t>(std::floor(project(d, t, m) / width_));
+  }
+  return b;
+}
+
+std::vector<LshBucket> E2Lsh::all_buckets(const Descriptor& d) const {
+  std::vector<LshBucket> out;
+  out.reserve(tables_);
+  for (std::size_t t = 0; t < tables_; ++t) out.push_back(bucket(d, t));
+  return out;
+}
+
+Bytes E2Lsh::encode_bucket(const LshBucket& bucket) {
+  ByteWriter w(bucket.size() * 4);
+  for (std::int32_t v : bucket) w.i32(v);
+  return w.take();
+}
+
+std::size_t E2Lsh::serialized_size() const noexcept {
+  return coeffs_.size() * sizeof(float) + offsets_.size() * sizeof(float);
+}
+
+}  // namespace vp

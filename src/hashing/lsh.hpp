@@ -1,0 +1,73 @@
+// E2LSH: Euclidean locality-sensitive hashing with p-stable (Gaussian)
+// random projections (Datar et al. 2004), parameterized exactly as the
+// paper: L buckets, each an M-dimensional projection quantized with width
+// W. Two descriptors within small L2 distance land in the same bucket for
+// most of the L tables with high probability.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "features/keypoint.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace vp {
+
+struct LshConfig {
+  std::size_t tables = 10;      ///< L, paper: 10
+  std::size_t projections = 7;  ///< M, paper: 7
+  double width = 500.0;         ///< W quantization width, paper: 500
+  std::uint64_t seed = 0x5eedULL;
+};
+
+/// One quantized LSH bucket: M signed quantization indices.
+using LshBucket = std::vector<std::int32_t>;
+
+/// The family of L x M Gaussian projections, fixed for the life of the
+/// index ("each of the M x L randomly-chosen projections is held constant
+/// for the life of the data structure").
+class E2Lsh {
+ public:
+  E2Lsh(std::size_t tables, std::size_t projections, double width,
+        std::uint64_t seed);
+
+  std::size_t tables() const noexcept { return tables_; }
+  std::size_t projections() const noexcept { return projections_; }
+  double width() const noexcept { return width_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Raw (unquantized) projection value for table t, projection m.
+  double project(const Descriptor& d, std::size_t t,
+                 std::size_t m) const noexcept;
+
+  /// Quantized bucket of descriptor `d` for table `t`.
+  LshBucket bucket(const Descriptor& d, std::size_t t) const;
+
+  /// All L buckets at once (the per-keypoint hot path).
+  std::vector<LshBucket> all_buckets(const Descriptor& d) const;
+
+  /// Serialize bucket contents to bytes for hashing/storage. A neighboring
+  /// bucket along dimension `perturb_dim` offset by `delta` can be encoded
+  /// without materializing a new bucket (multiprobe support).
+  static Bytes encode_bucket(const LshBucket& bucket);
+
+  /// Byte size of the projection family when serialized (client download
+  /// accounting): L * M * (128 + 1) coefficients as f32.
+  std::size_t serialized_size() const noexcept;
+
+ private:
+  std::size_t tables_;
+  std::size_t projections_;
+  double width_;
+  std::uint64_t seed_;
+  /// [t][m][dim] projection coefficients; +1 slot for the random offset b.
+  std::vector<float> coeffs_;
+  std::vector<float> offsets_;
+
+  const float* coeff_ptr(std::size_t t, std::size_t m) const noexcept {
+    return coeffs_.data() + ((t * projections_) + m) * kDescriptorDims;
+  }
+};
+
+}  // namespace vp

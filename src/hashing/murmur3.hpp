@@ -1,0 +1,33 @@
+// MurmurHash3 (x86_32 and x64_128 variants), the non-cryptographic hash the
+// paper selects for Bloom-filter indexing ("a hash is selected for
+// execution speed over cryptographic guarantees, such as Murmur-3").
+// Public-domain algorithm by Austin Appleby, reimplemented.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+
+namespace vp {
+
+/// 32-bit MurmurHash3 of a byte span.
+std::uint32_t murmur3_x86_32(std::span<const std::uint8_t> data,
+                             std::uint32_t seed) noexcept;
+
+/// 128-bit MurmurHash3 (x64 variant); returned as a pair of 64-bit halves.
+std::pair<std::uint64_t, std::uint64_t> murmur3_x64_128(
+    std::span<const std::uint8_t> data, std::uint32_t seed) noexcept;
+
+/// Kirsch–Mitzenmacher double hashing: derive K indices into [0, m) from a
+/// single 128-bit hash, h_i = h1 + i*h2 (mod m). Standard technique for
+/// multi-index Bloom filters without K independent hash computations.
+template <typename OutputIt>
+void bloom_indices(std::span<const std::uint8_t> data, std::uint32_t seed,
+                   std::size_t k, std::size_t m, OutputIt out) noexcept {
+  const auto [h1, h2] = murmur3_x64_128(data, seed);
+  for (std::size_t i = 0; i < k; ++i) {
+    *out++ = static_cast<std::size_t>((h1 + i * h2) % m);
+  }
+}
+
+}  // namespace vp

@@ -1,0 +1,221 @@
+#include "hashing/oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hashing/murmur3.hpp"
+#include "util/error.hpp"
+
+namespace vp {
+namespace {
+
+/// Hash seed namespaces so the primary indices, the verification hash, and
+/// each LSH table draw from independent hash streams.
+constexpr std::uint32_t kPrimarySeedBase = 0x9d2c5680u;
+constexpr std::uint32_t kVerifySeed = 0x5f3759dfu;
+
+/// K primary-filter indices for a bucket of table `t`.
+void primary_indices(const LshBucket& bucket, std::size_t table,
+                     std::size_t k, std::size_t counters,
+                     std::vector<std::size_t>& out) {
+  const Bytes enc = E2Lsh::encode_bucket(bucket);
+  out.clear();
+  bloom_indices(enc, kPrimarySeedBase + static_cast<std::uint32_t>(table), k,
+                counters, std::back_inserter(out));
+}
+
+/// Verification-filter index: hash of the concatenated primary positions.
+std::size_t verification_index(std::span<const std::size_t> positions,
+                               std::size_t bits) {
+  ByteWriter w(positions.size() * 8);
+  for (std::size_t p : positions) w.u64(p);
+  const auto [h1, h2] = murmur3_x64_128(w.bytes(), kVerifySeed);
+  (void)h2;
+  return static_cast<std::size_t>(h1 % bits);
+}
+
+}  // namespace
+
+std::size_t OracleConfig::effective_counters() const {
+  if (counters_override != 0) return counters_override;
+  // Each descriptor is inserted once per LSH table, so the primary filter
+  // effectively stores capacity * L elements.
+  return BloomFilter::optimal_bits(capacity * std::max<std::size_t>(1, lsh.tables),
+                                   fp_rate);
+}
+
+UniquenessOracle::UniquenessOracle(OracleConfig config)
+    : config_(config),
+      lsh_(config.lsh.tables, config.lsh.projections, config.lsh.width,
+           config.lsh.seed),
+      primary_(config.effective_counters(), config.counter_bits),
+      verification_(config.effective_counters()) {
+  VP_REQUIRE(config.hashes >= 1 && config.hashes <= 32,
+             "oracle hashes in [1,32]");
+}
+
+void UniquenessOracle::insert(const Descriptor& descriptor) {
+  std::vector<std::size_t> idx;
+  for (std::size_t t = 0; t < lsh_.tables(); ++t) {
+    const LshBucket bucket = lsh_.bucket(descriptor, t);
+    primary_indices(bucket, t, config_.hashes, primary_.counter_count(), idx);
+    for (std::size_t i : idx) primary_.increment(i);
+    if (config_.verification) {
+      verification_.set(verification_index(idx, verification_.bit_count()));
+    }
+  }
+  ++insertions_;
+}
+
+std::optional<std::uint32_t> UniquenessOracle::bucket_count(
+    const LshBucket& bucket, std::size_t table) const {
+  std::vector<std::size_t> idx;
+  primary_indices(bucket, table, config_.hashes, primary_.counter_count(),
+                  idx);
+  std::uint32_t min_count = primary_.saturation() + 1;
+  for (std::size_t i : idx) {
+    min_count = std::min(min_count, primary_.count(i));
+  }
+  if (min_count == 0) return std::nullopt;
+  if (config_.verification &&
+      !verification_.test(verification_index(idx, verification_.bit_count()))) {
+    return std::nullopt;  // primary hit was a false positive
+  }
+  return min_count;
+}
+
+std::uint32_t UniquenessOracle::aggregate_counts(
+    std::span<const std::uint32_t> counts) const {
+  VP_ASSERT(!counts.empty());
+  switch (config_.aggregate) {
+    case OracleAggregate::kMin:
+      return *std::min_element(counts.begin(), counts.end());
+    case OracleAggregate::kMax:
+      return *std::max_element(counts.begin(), counts.end());
+    case OracleAggregate::kMean: {
+      std::uint64_t sum = 0;
+      for (auto c : counts) sum += c;
+      return static_cast<std::uint32_t>(sum / counts.size());
+    }
+    case OracleAggregate::kMedian:
+    default: {
+      std::vector<std::uint32_t> v(counts.begin(), counts.end());
+      std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+      return v[v.size() / 2];
+    }
+  }
+}
+
+std::uint32_t UniquenessOracle::count(const Descriptor& descriptor) const {
+  std::vector<std::uint32_t> per_table;
+  per_table.reserve(lsh_.tables());
+  for (std::size_t t = 0; t < lsh_.tables(); ++t) {
+    LshBucket bucket = lsh_.bucket(descriptor, t);
+    std::uint32_t best = 0;
+    if (const auto exact = bucket_count(bucket, t)) {
+      best = *exact;
+    } else if (config_.multiprobe) {
+      // Off-by-one rescue: probe the 2M adjacent quantization buckets and
+      // take the best verified hit (paper §3, "multi-probe" checks into
+      // adjacent quantization buckets).
+      for (std::size_t m = 0; m < bucket.size() && best == 0; ++m) {
+        for (const std::int32_t delta : {-1, +1}) {
+          bucket[m] += delta;
+          if (const auto probed = bucket_count(bucket, t)) {
+            best = std::max(best, *probed);
+          }
+          bucket[m] -= delta;
+          if (best != 0) break;
+        }
+      }
+    }
+    per_table.push_back(best);
+  }
+  return aggregate_counts(per_table);
+}
+
+std::size_t UniquenessOracle::byte_size() const noexcept {
+  return primary_.byte_size() + verification_.byte_size() +
+         lsh_.serialized_size();
+}
+
+Bytes UniquenessOracle::serialize() const {
+  ByteWriter w;
+  w.u32(0x56504f52u);  // "VPOR"
+  w.u16(1);            // version
+  w.u16(static_cast<std::uint16_t>(config_.lsh.tables));
+  w.u16(static_cast<std::uint16_t>(config_.lsh.projections));
+  w.u16(static_cast<std::uint16_t>(config_.hashes));
+  w.f64(config_.lsh.width);
+  w.u64(config_.lsh.seed);
+  w.u8(static_cast<std::uint8_t>(config_.counter_bits));
+  w.u8(static_cast<std::uint8_t>(config_.multiprobe ? 1 : 0));
+  w.u8(static_cast<std::uint8_t>(config_.verification ? 1 : 0));
+  w.u8(static_cast<std::uint8_t>(config_.aggregate));
+  w.u64(config_.capacity);
+  w.f64(config_.fp_rate);
+  w.u64(config_.counters_override);
+  w.u64(insertions_);
+  const Bytes p = primary_.serialize();
+  const Bytes v = verification_.serialize();
+  w.blob(p);
+  w.blob(v);
+  return w.take();
+}
+
+UniquenessOracle UniquenessOracle::deserialize(
+    std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  if (r.u32() != 0x56504f52u) throw DecodeError{"oracle: bad magic"};
+  if (r.u16() != 1) throw DecodeError{"oracle: unsupported version"};
+  OracleConfig cfg;
+  cfg.lsh.tables = r.u16();
+  cfg.lsh.projections = r.u16();
+  cfg.hashes = r.u16();
+  cfg.lsh.width = r.f64();
+  cfg.lsh.seed = r.u64();
+  cfg.counter_bits = r.u8();
+  cfg.multiprobe = r.u8() != 0;
+  cfg.verification = r.u8() != 0;
+  cfg.aggregate = static_cast<OracleAggregate>(r.u8());
+  cfg.capacity = r.u64();
+  cfg.fp_rate = r.f64();
+  cfg.counters_override = r.u64();
+  const std::uint64_t insertions = r.u64();
+
+  // Reject implausible configurations before any allocation, and verify
+  // the payload actually carries the filter data the header implies: a
+  // flipped capacity/override byte must not trigger a giant allocation.
+  if (cfg.lsh.tables < 1 || cfg.lsh.tables > 64 || cfg.lsh.projections < 1 ||
+      cfg.lsh.projections > 32 || !(cfg.lsh.width > 0) ||
+      cfg.counter_bits < 1 || cfg.counter_bits > 16 || cfg.capacity == 0 ||
+      cfg.capacity > (1ULL << 40) ||
+      !(cfg.fp_rate > 0 && cfg.fp_rate < 1) ||
+      cfg.counters_override > (1ULL << 40)) {
+    throw DecodeError{"oracle: implausible configuration header"};
+  }
+  const std::uint64_t counters = cfg.effective_counters();
+  const std::uint64_t primary_bytes =
+      (counters * cfg.counter_bits + 63) / 64 * 8;
+  const std::uint64_t verify_bytes = (counters + 63) / 64 * 8;
+  if (r.remaining() < primary_bytes + verify_bytes) {
+    throw DecodeError{"oracle: payload shorter than configuration implies"};
+  }
+
+  UniquenessOracle oracle(cfg);
+  {
+    const auto p = r.blob();
+    ByteReader pr(p);
+    oracle.primary_ = CountingBloomFilter::deserialize(pr);
+  }
+  {
+    const auto v = r.blob();
+    ByteReader vr(v);
+    oracle.verification_ = BloomFilter::deserialize(vr);
+  }
+  oracle.insertions_ = insertions;
+  if (!r.done()) throw DecodeError{"oracle: trailing bytes"};
+  return oracle;
+}
+
+}  // namespace vp

@@ -1,0 +1,236 @@
+#include "imaging/codec.hpp"
+
+#include <csetjmp>
+#include <cstdio>
+#include <cstring>
+
+#include <jpeglib.h>
+#include <png.h>
+#include <zlib.h>
+
+namespace vp {
+namespace {
+
+// libjpeg reports fatal errors through a callback; convert to exceptions
+// via longjmp out of the library (the documented pattern), then throw.
+struct JpegErrorMgr {
+  jpeg_error_mgr pub;
+  std::jmp_buf jump;
+  char message[JMSG_LENGTH_MAX] = {};
+};
+
+void jpeg_error_exit(j_common_ptr cinfo) {
+  auto* err = reinterpret_cast<JpegErrorMgr*>(cinfo->err);
+  (*cinfo->err->format_message)(cinfo, err->message);
+  std::longjmp(err->jump, 1);
+}
+
+}  // namespace
+
+Bytes jpeg_encode(const ImageU8& img, int quality) {
+  VP_REQUIRE(!img.empty(), "jpeg_encode: empty image");
+  VP_REQUIRE(img.channels() == 1 || img.channels() == 3,
+             "jpeg_encode: 1 or 3 channels required");
+  VP_REQUIRE(quality >= 1 && quality <= 100, "jpeg quality in [1,100]");
+
+  jpeg_compress_struct cinfo{};
+  JpegErrorMgr err{};
+  cinfo.err = jpeg_std_error(&err.pub);
+  err.pub.error_exit = jpeg_error_exit;
+
+  unsigned char* out_buf = nullptr;
+  unsigned long out_size = 0;
+
+  if (setjmp(err.jump)) {
+    jpeg_destroy_compress(&cinfo);
+    std::free(out_buf);
+    throw IoError{std::string("jpeg encode: ") + err.message};
+  }
+
+  jpeg_create_compress(&cinfo);
+  jpeg_mem_dest(&cinfo, &out_buf, &out_size);
+
+  cinfo.image_width = static_cast<JDIMENSION>(img.width());
+  cinfo.image_height = static_cast<JDIMENSION>(img.height());
+  cinfo.input_components = img.channels();
+  cinfo.in_color_space = img.channels() == 1 ? JCS_GRAYSCALE : JCS_RGB;
+  jpeg_set_defaults(&cinfo);
+  jpeg_set_quality(&cinfo, quality, TRUE);
+  jpeg_start_compress(&cinfo, TRUE);
+
+  while (cinfo.next_scanline < cinfo.image_height) {
+    // libjpeg takes a non-const row pointer but does not modify input rows.
+    JSAMPROW row = const_cast<JSAMPROW>(
+        img.row(static_cast<int>(cinfo.next_scanline)));
+    jpeg_write_scanlines(&cinfo, &row, 1);
+  }
+  jpeg_finish_compress(&cinfo);
+  jpeg_destroy_compress(&cinfo);
+
+  Bytes out(out_buf, out_buf + out_size);
+  std::free(out_buf);
+  return out;
+}
+
+ImageU8 jpeg_decode(std::span<const std::uint8_t> data) {
+  jpeg_decompress_struct cinfo{};
+  JpegErrorMgr err{};
+  cinfo.err = jpeg_std_error(&err.pub);
+  err.pub.error_exit = jpeg_error_exit;
+
+  if (setjmp(err.jump)) {
+    jpeg_destroy_decompress(&cinfo);
+    throw DecodeError{std::string("jpeg decode: ") + err.message};
+  }
+
+  jpeg_create_decompress(&cinfo);
+  jpeg_mem_src(&cinfo, data.data(), static_cast<unsigned long>(data.size()));
+  if (jpeg_read_header(&cinfo, TRUE) != JPEG_HEADER_OK) {
+    jpeg_destroy_decompress(&cinfo);
+    throw DecodeError{"jpeg decode: bad header"};
+  }
+  jpeg_start_decompress(&cinfo);
+
+  ImageU8 img(static_cast<int>(cinfo.output_width),
+              static_cast<int>(cinfo.output_height),
+              static_cast<int>(cinfo.output_components));
+  while (cinfo.output_scanline < cinfo.output_height) {
+    JSAMPROW row = img.row(static_cast<int>(cinfo.output_scanline));
+    jpeg_read_scanlines(&cinfo, &row, 1);
+  }
+  jpeg_finish_decompress(&cinfo);
+  jpeg_destroy_decompress(&cinfo);
+  return img;
+}
+
+namespace {
+
+void png_write_to_vector(png_structp png, png_bytep data, png_size_t len) {
+  auto* out = static_cast<Bytes*>(png_get_io_ptr(png));
+  out->insert(out->end(), data, data + len);
+}
+
+struct PngReadState {
+  std::span<const std::uint8_t> data;
+  std::size_t pos = 0;
+};
+
+void png_read_from_span(png_structp png, png_bytep out, png_size_t len) {
+  auto* st = static_cast<PngReadState*>(png_get_io_ptr(png));
+  if (st->pos + len > st->data.size()) {
+    png_error(png, "png stream truncated");
+  }
+  std::memcpy(out, st->data.data() + st->pos, len);
+  st->pos += len;
+}
+
+}  // namespace
+
+Bytes png_encode(const ImageU8& img) {
+  VP_REQUIRE(!img.empty(), "png_encode: empty image");
+  VP_REQUIRE(img.channels() == 1 || img.channels() == 3,
+             "png_encode: 1 or 3 channels required");
+
+  png_structp png =
+      png_create_write_struct(PNG_LIBPNG_VER_STRING, nullptr, nullptr, nullptr);
+  VP_ASSERT(png != nullptr);
+  png_infop info = png_create_info_struct(png);
+  VP_ASSERT(info != nullptr);
+
+  Bytes out;
+  if (setjmp(png_jmpbuf(png))) {
+    png_destroy_write_struct(&png, &info);
+    throw IoError{"png encode failed"};
+  }
+  png_set_write_fn(png, &out, png_write_to_vector, nullptr);
+  png_set_IHDR(png, info, static_cast<png_uint_32>(img.width()),
+               static_cast<png_uint_32>(img.height()), 8,
+               img.channels() == 1 ? PNG_COLOR_TYPE_GRAY : PNG_COLOR_TYPE_RGB,
+               PNG_INTERLACE_NONE, PNG_COMPRESSION_TYPE_DEFAULT,
+               PNG_FILTER_TYPE_DEFAULT);
+  png_write_info(png, info);
+  for (int y = 0; y < img.height(); ++y) {
+    png_write_row(png, const_cast<png_bytep>(img.row(y)));
+  }
+  png_write_end(png, nullptr);
+  png_destroy_write_struct(&png, &info);
+  return out;
+}
+
+ImageU8 png_decode(std::span<const std::uint8_t> data) {
+  png_structp png =
+      png_create_read_struct(PNG_LIBPNG_VER_STRING, nullptr, nullptr, nullptr);
+  VP_ASSERT(png != nullptr);
+  png_infop info = png_create_info_struct(png);
+  VP_ASSERT(info != nullptr);
+
+  PngReadState st{data};
+  if (setjmp(png_jmpbuf(png))) {
+    png_destroy_read_struct(&png, &info, nullptr);
+    throw DecodeError{"png decode failed"};
+  }
+  png_set_read_fn(png, &st, png_read_from_span);
+  png_read_info(png, info);
+
+  const auto width = png_get_image_width(png, info);
+  const auto height = png_get_image_height(png, info);
+  const auto color = png_get_color_type(png, info);
+  const auto depth = png_get_bit_depth(png, info);
+
+  if (depth == 16) png_set_strip_16(png);
+  if (color == PNG_COLOR_TYPE_PALETTE) png_set_palette_to_rgb(png);
+  if (color == PNG_COLOR_TYPE_GRAY && depth < 8) png_set_expand_gray_1_2_4_to_8(png);
+  if (png_get_valid(png, info, PNG_INFO_tRNS)) png_set_tRNS_to_alpha(png);
+  if (color & PNG_COLOR_MASK_ALPHA) png_set_strip_alpha(png);
+  png_read_update_info(png, info);
+
+  const int channels = static_cast<int>(png_get_channels(png, info));
+  ImageU8 img(static_cast<int>(width), static_cast<int>(height), channels);
+  for (int y = 0; y < img.height(); ++y) {
+    png_read_row(png, img.row(y), nullptr);
+  }
+  png_read_end(png, nullptr);
+  png_destroy_read_struct(&png, &info, nullptr);
+  return img;
+}
+
+Bytes zlib_compress(std::span<const std::uint8_t> data, int level) {
+  VP_REQUIRE(level >= 1 && level <= 9, "zlib level in [1,9]");
+  uLongf bound = compressBound(static_cast<uLong>(data.size()));
+  Bytes out(bound);
+  const int rc = compress2(out.data(), &bound, data.data(),
+                           static_cast<uLong>(data.size()), level);
+  if (rc != Z_OK) throw IoError{"zlib compress failed"};
+  out.resize(bound);
+  return out;
+}
+
+Bytes zlib_decompress(std::span<const std::uint8_t> data) {
+  z_stream zs{};
+  if (inflateInit(&zs) != Z_OK) throw IoError{"zlib inflateInit failed"};
+  zs.next_in = const_cast<Bytef*>(data.data());
+  zs.avail_in = static_cast<uInt>(data.size());
+
+  Bytes out;
+  Bytes chunk(64 * 1024);
+  int rc = Z_OK;
+  while (rc != Z_STREAM_END) {
+    zs.next_out = chunk.data();
+    zs.avail_out = static_cast<uInt>(chunk.size());
+    rc = inflate(&zs, Z_NO_FLUSH);
+    if (rc != Z_OK && rc != Z_STREAM_END) {
+      inflateEnd(&zs);
+      throw DecodeError{"zlib stream corrupt"};
+    }
+    out.insert(out.end(), chunk.data(),
+               chunk.data() + (chunk.size() - zs.avail_out));
+    if (rc == Z_OK && zs.avail_out != 0 && zs.avail_in == 0) {
+      inflateEnd(&zs);
+      throw DecodeError{"zlib stream truncated"};
+    }
+  }
+  inflateEnd(&zs);
+  return out;
+}
+
+}  // namespace vp

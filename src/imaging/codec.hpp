@@ -1,0 +1,33 @@
+// Lossless / lossy codec wrappers used for honest byte counts in the
+// bandwidth experiments (Figs. 2, 3, 5, 14) and for the GZIP-compressed
+// oracle downloads. RAII wrappers around libjpeg, libpng, and zlib.
+#pragma once
+
+#include <cstdint>
+
+#include "imaging/image.hpp"
+#include "util/bytes.hpp"
+
+namespace vp {
+
+/// Encode an interleaved 1- or 3-channel u8 image as JPEG at the given
+/// quality (1..100).
+Bytes jpeg_encode(const ImageU8& img, int quality);
+
+/// Decode a JPEG byte stream (grayscale or RGB output matching the stream).
+ImageU8 jpeg_decode(std::span<const std::uint8_t> data);
+
+/// Encode a 1- or 3-channel u8 image as PNG (lossless, zlib level 6).
+Bytes png_encode(const ImageU8& img);
+
+/// Decode a PNG byte stream.
+ImageU8 png_decode(std::span<const std::uint8_t> data);
+
+/// zlib (DEFLATE) compression of an arbitrary byte blob.
+/// level in [1..9]; the paper's "heavy GZIP" corresponds to level 9.
+Bytes zlib_compress(std::span<const std::uint8_t> data, int level = 9);
+
+/// Inverse of zlib_compress. Throws DecodeError on corrupt input.
+Bytes zlib_decompress(std::span<const std::uint8_t> data);
+
+}  // namespace vp

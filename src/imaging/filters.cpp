@@ -1,0 +1,169 @@
+#include "imaging/filters.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace vp {
+namespace {
+
+std::vector<float> gaussian_kernel(double sigma) {
+  const int radius = std::max(1, static_cast<int>(std::ceil(3.0 * sigma)));
+  std::vector<float> k(static_cast<std::size_t>(2 * radius + 1));
+  double sum = 0.0;
+  for (int i = -radius; i <= radius; ++i) {
+    const double v = std::exp(-(i * i) / (2.0 * sigma * sigma));
+    k[static_cast<std::size_t>(i + radius)] = static_cast<float>(v);
+    sum += v;
+  }
+  for (auto& v : k) v = static_cast<float>(v / sum);
+  return k;
+}
+
+}  // namespace
+
+ImageF gaussian_blur(const ImageF& src, double sigma) {
+  VP_REQUIRE(src.channels() == 1, "gaussian_blur expects grayscale");
+  if (sigma <= 0.0 || src.empty()) return src;
+  const auto k = gaussian_kernel(sigma);
+  const int radius = static_cast<int>(k.size() / 2);
+  const int w = src.width();
+  const int h = src.height();
+
+  ImageF tmp(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float acc = 0;
+      for (int i = -radius; i <= radius; ++i) {
+        acc += k[static_cast<std::size_t>(i + radius)] *
+               src.at_clamped(x + i, y);
+      }
+      tmp(x, y) = acc;
+    }
+  }
+  ImageF out(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float acc = 0;
+      for (int i = -radius; i <= radius; ++i) {
+        acc += k[static_cast<std::size_t>(i + radius)] *
+               tmp.at_clamped(x, y + i);
+      }
+      out(x, y) = acc;
+    }
+  }
+  return out;
+}
+
+ImageF downsample_2x(const ImageF& src) {
+  const int w = std::max(1, src.width() / 2);
+  const int h = std::max(1, src.height() / 2);
+  ImageF out(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      out(x, y) = src(std::min(2 * x, src.width() - 1),
+                      std::min(2 * y, src.height() - 1));
+    }
+  }
+  return out;
+}
+
+ImageF resize_bilinear(const ImageF& src, int new_w, int new_h) {
+  VP_REQUIRE(new_w > 0 && new_h > 0, "resize target must be positive");
+  VP_REQUIRE(!src.empty(), "resize of empty image");
+  ImageF out(new_w, new_h);
+  const double sx = static_cast<double>(src.width()) / new_w;
+  const double sy = static_cast<double>(src.height()) / new_h;
+  for (int y = 0; y < new_h; ++y) {
+    const double fy = (y + 0.5) * sy - 0.5;
+    const int y0 = static_cast<int>(std::floor(fy));
+    const float wy = static_cast<float>(fy - y0);
+    for (int x = 0; x < new_w; ++x) {
+      const double fx = (x + 0.5) * sx - 0.5;
+      const int x0 = static_cast<int>(std::floor(fx));
+      const float wx = static_cast<float>(fx - x0);
+      const float p00 = src.at_clamped(x0, y0);
+      const float p10 = src.at_clamped(x0 + 1, y0);
+      const float p01 = src.at_clamped(x0, y0 + 1);
+      const float p11 = src.at_clamped(x0 + 1, y0 + 1);
+      out(x, y) = (1 - wy) * ((1 - wx) * p00 + wx * p10) +
+                  wy * ((1 - wx) * p01 + wx * p11);
+    }
+  }
+  return out;
+}
+
+ImageF subtract(const ImageF& a, const ImageF& b) {
+  VP_REQUIRE(a.width() == b.width() && a.height() == b.height(),
+             "subtract: dimension mismatch");
+  ImageF out(a.width(), a.height());
+  const auto pa = a.pixels();
+  const auto pb = b.pixels();
+  auto po = out.pixels();
+  for (std::size_t i = 0; i < pa.size(); ++i) po[i] = pa[i] - pb[i];
+  return out;
+}
+
+void gradients(const ImageF& src, ImageF& dx, ImageF& dy) {
+  const int w = src.width();
+  const int h = src.height();
+  dx = ImageF(w, h);
+  dy = ImageF(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      dx(x, y) = 0.5f * (src.at_clamped(x + 1, y) - src.at_clamped(x - 1, y));
+      dy(x, y) = 0.5f * (src.at_clamped(x, y + 1) - src.at_clamped(x, y - 1));
+    }
+  }
+}
+
+double variance_of_laplacian(const ImageF& src) {
+  if (src.width() < 3 || src.height() < 3) return 0.0;
+  double sum = 0, sum2 = 0;
+  const std::size_t n =
+      static_cast<std::size_t>(src.width() - 2) * (src.height() - 2);
+  for (int y = 1; y < src.height() - 1; ++y) {
+    for (int x = 1; x < src.width() - 1; ++x) {
+      const double lap = src(x - 1, y) + src(x + 1, y) + src(x, y - 1) +
+                         src(x, y + 1) - 4.0 * src(x, y);
+      sum += lap;
+      sum2 += lap * lap;
+    }
+  }
+  const double m = sum / static_cast<double>(n);
+  return sum2 / static_cast<double>(n) - m * m;
+}
+
+ImageF motion_blur(const ImageF& src, double dx, double dy, double length) {
+  if (length < 1.0) return src;
+  const double norm = std::hypot(dx, dy);
+  if (norm < 1e-9) return src;
+  const double ux = dx / norm;
+  const double uy = dy / norm;
+  const int taps = std::max(2, static_cast<int>(std::lround(length)));
+  ImageF out(src.width(), src.height());
+  for (int y = 0; y < src.height(); ++y) {
+    for (int x = 0; x < src.width(); ++x) {
+      float acc = 0;
+      for (int t = 0; t < taps; ++t) {
+        const double s = (t - (taps - 1) / 2.0);
+        acc += src.at_clamped(x + static_cast<int>(std::lround(ux * s)),
+                              y + static_cast<int>(std::lround(uy * s)));
+      }
+      out(x, y) = acc / static_cast<float>(taps);
+    }
+  }
+  return out;
+}
+
+void add_gaussian_noise(ImageF& img, double stddev, Rng& rng) {
+  if (stddev <= 0) return;
+  for (auto& p : img.pixels()) {
+    p = std::clamp(p + static_cast<float>(rng.gaussian(0.0, stddev)), 0.0f,
+                   255.0f);
+  }
+}
+
+}  // namespace vp

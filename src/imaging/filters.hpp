@@ -1,0 +1,37 @@
+// Spatial filters: separable Gaussian blur, resampling, gradients, and the
+// variance-of-Laplacian blur metric the client app uses to gate frames.
+#pragma once
+
+#include "imaging/image.hpp"
+
+namespace vp {
+
+/// Separable Gaussian blur with kernel radius ceil(3*sigma). sigma <= 0
+/// returns a copy.
+ImageF gaussian_blur(const ImageF& src, double sigma);
+
+/// Downsample by exactly 2x (nearest, as in Lowe's SIFT octave step).
+ImageF downsample_2x(const ImageF& src);
+
+/// Bilinear resize to (new_w, new_h).
+ImageF resize_bilinear(const ImageF& src, int new_w, int new_h);
+
+/// Per-pixel subtraction a - b (same dimensions required).
+ImageF subtract(const ImageF& a, const ImageF& b);
+
+/// Central-difference gradients; writes dx and dy images.
+void gradients(const ImageF& src, ImageF& dx, ImageF& dy);
+
+/// Variance of the 3x3 Laplacian response. Low values indicate blur; the
+/// client discards frames below a threshold (paper §3, "quick check on each
+/// frame to detect blur").
+double variance_of_laplacian(const ImageF& src);
+
+/// Simulated motion blur: box blur along direction (dx, dy) of given pixel
+/// length. Used by the scene renderer to model camera shake.
+ImageF motion_blur(const ImageF& src, double dx, double dy, double length);
+
+/// Additive Gaussian sensor noise, clamped to [0,255].
+void add_gaussian_noise(ImageF& img, double stddev, class Rng& rng);
+
+}  // namespace vp

@@ -1,0 +1,55 @@
+#include "imaging/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vp {
+
+ImageF to_gray(const ImageU8& img) {
+  ImageF out(img.width(), img.height(), 1);
+  if (img.channels() == 1) {
+    for (int y = 0; y < img.height(); ++y) {
+      for (int x = 0; x < img.width(); ++x) {
+        out(x, y) = static_cast<float>(img(x, y));
+      }
+    }
+    return out;
+  }
+  VP_REQUIRE(img.channels() >= 3, "to_gray expects 1 or 3+ channels");
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const float r = img(x, y, 0);
+      const float g = img(x, y, 1);
+      const float b = img(x, y, 2);
+      out(x, y) = 0.299f * r + 0.587f * g + 0.114f * b;
+    }
+  }
+  return out;
+}
+
+ImageU8 to_u8(const ImageF& img) {
+  ImageU8 out(img.width(), img.height(), 1);
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const float v = std::clamp(img(x, y), 0.0f, 255.0f);
+      out(x, y) = static_cast<std::uint8_t>(std::lround(v));
+    }
+  }
+  return out;
+}
+
+ImageU8 gray_to_rgb(const ImageU8& gray) {
+  VP_REQUIRE(gray.channels() == 1, "gray_to_rgb expects 1 channel");
+  ImageU8 out(gray.width(), gray.height(), 3);
+  for (int y = 0; y < gray.height(); ++y) {
+    for (int x = 0; x < gray.width(); ++x) {
+      const auto v = gray(x, y);
+      out(x, y, 0) = v;
+      out(x, y, 1) = v;
+      out(x, y, 2) = v;
+    }
+  }
+  return out;
+}
+
+}  // namespace vp

@@ -1,0 +1,102 @@
+// Image containers.
+//
+// Two concrete image types cover the whole pipeline:
+//   * ImageU8  — interleaved 8-bit images (1 or 3 channels), what cameras
+//                produce and codecs consume.
+//   * ImageF   — single-channel float images used by the SIFT scale space.
+// Pixels are stored row-major; (x, y) indexing with x the column.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace vp {
+
+template <typename T>
+class Image {
+ public:
+  Image() = default;
+
+  Image(int width, int height, int channels = 1, T fill = T{})
+      : width_(width), height_(height), channels_(channels) {
+    VP_REQUIRE(width >= 0 && height >= 0, "negative image dimensions");
+    VP_REQUIRE(channels >= 1 && channels <= 4, "channels must be in [1,4]");
+    data_.assign(static_cast<std::size_t>(width) * height * channels, fill);
+  }
+
+  int width() const noexcept { return width_; }
+  int height() const noexcept { return height_; }
+  int channels() const noexcept { return channels_; }
+  bool empty() const noexcept { return data_.empty(); }
+  std::size_t pixel_count() const noexcept {
+    return static_cast<std::size_t>(width_) * height_;
+  }
+  std::size_t byte_size() const noexcept { return data_.size() * sizeof(T); }
+
+  T& at(int x, int y, int c = 0) {
+    VP_ASSERT(in_bounds(x, y) && c >= 0 && c < channels_);
+    return data_[index(x, y, c)];
+  }
+  const T& at(int x, int y, int c = 0) const {
+    VP_ASSERT(in_bounds(x, y) && c >= 0 && c < channels_);
+    return data_[index(x, y, c)];
+  }
+
+  /// Unchecked access for hot loops (SIFT inner loops).
+  T& operator()(int x, int y, int c = 0) noexcept { return data_[index(x, y, c)]; }
+  const T& operator()(int x, int y, int c = 0) const noexcept {
+    return data_[index(x, y, c)];
+  }
+
+  /// Clamped border access (used by convolution kernels).
+  const T& at_clamped(int x, int y, int c = 0) const noexcept {
+    x = x < 0 ? 0 : (x >= width_ ? width_ - 1 : x);
+    y = y < 0 ? 0 : (y >= height_ ? height_ - 1 : y);
+    return data_[index(x, y, c)];
+  }
+
+  bool in_bounds(int x, int y) const noexcept {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  std::span<T> pixels() noexcept { return data_; }
+  std::span<const T> pixels() const noexcept { return data_; }
+  T* data() noexcept { return data_.data(); }
+  const T* data() const noexcept { return data_.data(); }
+
+  /// Row pointer (start of row y, channel-interleaved).
+  T* row(int y) noexcept { return data_.data() + index(0, y, 0); }
+  const T* row(int y) const noexcept { return data_.data() + index(0, y, 0); }
+
+  friend bool operator==(const Image& a, const Image& b) {
+    return a.width_ == b.width_ && a.height_ == b.height_ &&
+           a.channels_ == b.channels_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t index(int x, int y, int c) const noexcept {
+    return (static_cast<std::size_t>(y) * width_ + x) * channels_ + c;
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  int channels_ = 1;
+  std::vector<T> data_;
+};
+
+using ImageU8 = Image<std::uint8_t>;
+using ImageF = Image<float>;
+
+/// RGB -> single-channel float luma (Rec.601 weights), range [0,255].
+ImageF to_gray(const ImageU8& img);
+
+/// Float [0,255] -> clamped u8 grayscale.
+ImageU8 to_u8(const ImageF& img);
+
+/// Grayscale u8 -> 3-channel RGB (replicated).
+ImageU8 gray_to_rgb(const ImageU8& gray);
+
+}  // namespace vp

@@ -1,0 +1,59 @@
+#include "imaging/pnm.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace vp {
+
+void write_pnm(const std::string& path, const ImageU8& img) {
+  VP_REQUIRE(img.channels() == 1 || img.channels() == 3,
+             "write_pnm: 1 or 3 channels required");
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw IoError{"cannot open for write: " + path};
+  f << (img.channels() == 1 ? "P5" : "P6") << '\n'
+    << img.width() << ' ' << img.height() << "\n255\n";
+  f.write(reinterpret_cast<const char*>(img.data()),
+          static_cast<std::streamsize>(img.byte_size()));
+  if (!f) throw IoError{"short write: " + path};
+}
+
+ImageU8 read_pnm(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw IoError{"cannot open for read: " + path};
+  std::string magic;
+  f >> magic;
+  if (magic != "P5" && magic != "P6") {
+    throw DecodeError{"not a binary PNM: " + path};
+  }
+  auto skip_ws_and_comments = [&f] {
+    for (;;) {
+      const int c = f.peek();
+      if (c == '#') {
+        std::string line;
+        std::getline(f, line);
+      } else if (std::isspace(c)) {
+        f.get();
+      } else {
+        break;
+      }
+    }
+  };
+  int w = 0, h = 0, maxval = 0;
+  skip_ws_and_comments();
+  f >> w;
+  skip_ws_and_comments();
+  f >> h;
+  skip_ws_and_comments();
+  f >> maxval;
+  if (!f || w <= 0 || h <= 0 || maxval != 255) {
+    throw DecodeError{"bad PNM header: " + path};
+  }
+  f.get();  // single whitespace after header
+  ImageU8 img(w, h, magic == "P5" ? 1 : 3);
+  f.read(reinterpret_cast<char*>(img.data()),
+         static_cast<std::streamsize>(img.byte_size()));
+  if (!f) throw DecodeError{"truncated PNM payload: " + path};
+  return img;
+}
+
+}  // namespace vp

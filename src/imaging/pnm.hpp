@@ -1,0 +1,17 @@
+// Minimal PGM/PPM (binary P5/P6) reader/writer — the dependency-free image
+// dump format used by examples and the Fig. 4 keypoint visualization.
+#pragma once
+
+#include <string>
+
+#include "imaging/image.hpp"
+
+namespace vp {
+
+/// Write 1-channel (P5) or 3-channel (P6) image. Throws IoError on failure.
+void write_pnm(const std::string& path, const ImageU8& img);
+
+/// Read a binary P5/P6 file.
+ImageU8 read_pnm(const std::string& path);
+
+}  // namespace vp

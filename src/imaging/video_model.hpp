@@ -1,0 +1,44 @@
+// H.264-like video bitrate model for Fig. 2.
+//
+// We do not ship a full video encoder; the figure only needs *bytes per
+// frame* under each encoding. JPEG/PNG/RAW sizes are measured with real
+// codecs (see codec.hpp). For H.264 we model a GOP of one intra frame
+// followed by predicted frames, with the well-established behaviour that an
+// intra frame costs roughly a same-quality JPEG and an inter frame costs a
+// fraction of that proportional to scene motion (residual energy).
+#pragma once
+
+#include <cstddef>
+
+#include "imaging/image.hpp"
+
+namespace vp {
+
+struct VideoModelConfig {
+  int gop_length = 30;           ///< frames per group of pictures (1 I + N-1 P)
+  int intra_jpeg_quality = 60;   ///< JPEG quality equivalent of the I-frame
+  double inter_base_ratio = 0.05;///< P-frame floor as fraction of I-frame size
+  double motion_gain = 0.9;      ///< extra P-frame bytes per unit motion
+};
+
+/// Stateful per-stream model: feed frames in order, receive encoded sizes.
+class H264SizeModel {
+ public:
+  explicit H264SizeModel(VideoModelConfig config = {});
+
+  /// Returns the modeled encoded byte size of the next frame in the stream.
+  std::size_t frame_bytes(const ImageU8& frame);
+
+  /// Mean absolute pixel difference between two equally-sized frames,
+  /// normalized to [0,1]; the motion proxy the P-frame model uses.
+  static double motion_energy(const ImageU8& a, const ImageU8& b);
+
+  void reset() noexcept;
+
+ private:
+  VideoModelConfig config_;
+  ImageU8 prev_;
+  int frame_index_ = 0;
+};
+
+}  // namespace vp

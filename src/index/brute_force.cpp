@@ -1,0 +1,71 @@
+#include "index/brute_force.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace vp {
+
+BruteForceMatcher::BruteForceMatcher(std::span<const Descriptor> database,
+                                     ThreadPool* pool)
+    : database_(database), pool_(pool) {}
+
+Match BruteForceMatcher::nearest(const Descriptor& query) const {
+  VP_REQUIRE(!database_.empty(), "brute force: empty database");
+  Match best{0, std::numeric_limits<std::uint32_t>::max()};
+  for (std::size_t i = 0; i < database_.size(); ++i) {
+    const std::uint32_t d = descriptor_distance2(database_[i], query);
+    if (d < best.distance2) {
+      best = {static_cast<std::uint32_t>(i), d};
+    }
+  }
+  return best;
+}
+
+std::vector<Match> BruteForceMatcher::knn(const Descriptor& query,
+                                          std::size_t k) const {
+  VP_REQUIRE(!database_.empty(), "brute force: empty database");
+  k = std::min(k, database_.size());
+  std::vector<Match> all(database_.size());
+  for (std::size_t i = 0; i < database_.size(); ++i) {
+    all[i] = {static_cast<std::uint32_t>(i),
+              descriptor_distance2(database_[i], query)};
+  }
+  std::partial_sort(all.begin(), all.begin() + k, all.end(),
+                    [](const Match& a, const Match& b) {
+                      return a.distance2 < b.distance2;
+                    });
+  all.resize(k);
+  return all;
+}
+
+std::vector<Match> BruteForceMatcher::nearest_batch(
+    std::span<const Descriptor> queries) const {
+  std::vector<Match> out(queries.size());
+  auto work = [&](std::size_t i) { out[i] = nearest(queries[i]); };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(queries.size(), work);
+  } else {
+    for (std::size_t i = 0; i < queries.size(); ++i) work(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> random_subselect(std::size_t total, std::size_t count,
+                                          Rng& rng) {
+  std::vector<std::size_t> ids(total);
+  std::iota(ids.begin(), ids.end(), 0);
+  if (count >= total) return ids;
+  // Partial Fisher-Yates: shuffle only the first `count` slots.
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = i + rng.uniform_u64(total - i);
+    std::swap(ids[i], ids[j]);
+  }
+  ids.resize(count);
+  return ids;
+}
+
+}  // namespace vp

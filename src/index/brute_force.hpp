@@ -1,0 +1,51 @@
+// Exact nearest-neighbor matcher.
+//
+// The paper runs BruteForce "on GPU as a SIMD matching"; here the distance
+// sweep is blocked across a thread pool, which preserves the semantics
+// (exact answers, database resident in memory — the Fig. 15 footprint)
+// while running on CPU.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "features/keypoint.hpp"
+#include "index/lsh_index.hpp"  // for Match
+#include "util/thread_pool.hpp"
+
+namespace vp {
+
+class BruteForceMatcher {
+ public:
+  /// References `database` for its lifetime (no copy: mirrors the paper's
+  /// "loading all database keypoints into memory" accounting).
+  explicit BruteForceMatcher(std::span<const Descriptor> database,
+                             ThreadPool* pool = nullptr);
+
+  /// Exact nearest neighbor.
+  Match nearest(const Descriptor& query) const;
+
+  /// Exact k nearest neighbors, ascending distance.
+  std::vector<Match> knn(const Descriptor& query, std::size_t k) const;
+
+  /// Nearest neighbor for each query, parallelized across the pool.
+  std::vector<Match> nearest_batch(std::span<const Descriptor> queries) const;
+
+  std::size_t size() const noexcept { return database_.size(); }
+
+  /// Fig. 15 accounting: the whole database resident in memory.
+  std::size_t byte_size() const noexcept {
+    return database_.size() * sizeof(Descriptor);
+  }
+
+ private:
+  std::span<const Descriptor> database_;
+  ThreadPool* pool_;
+};
+
+/// Uniform random subselection of `count` features — the paper's Random-500
+/// strawman baseline. Deterministic given `rng`.
+std::vector<std::size_t> random_subselect(std::size_t total, std::size_t count,
+                                          Rng& rng);
+
+}  // namespace vp

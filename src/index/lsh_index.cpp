@@ -1,0 +1,101 @@
+#include "index/lsh_index.hpp"
+
+#include <algorithm>
+
+#include "hashing/murmur3.hpp"
+#include "util/error.hpp"
+
+namespace vp {
+
+LshIndex::LshIndex(LshIndexConfig config)
+    : config_(config),
+      lsh_(config.lsh.tables, config.lsh.projections, config.lsh.width,
+           config.lsh.seed),
+      tables_(config.lsh.tables) {}
+
+std::uint64_t LshIndex::bucket_key(const LshBucket& bucket,
+                                   std::size_t table) const {
+  const Bytes enc = E2Lsh::encode_bucket(bucket);
+  const auto [h1, h2] =
+      murmur3_x64_128(enc, 0xa5a50000u + static_cast<std::uint32_t>(table));
+  (void)h2;
+  return h1;
+}
+
+std::uint32_t LshIndex::insert(const Descriptor& descriptor) {
+  VP_REQUIRE(descriptors_.size() < UINT32_MAX, "index full");
+  const auto id = static_cast<std::uint32_t>(descriptors_.size());
+  descriptors_.push_back(descriptor);
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    tables_[t][bucket_key(lsh_.bucket(descriptor, t), t)].push_back(id);
+  }
+  return id;
+}
+
+void LshIndex::gather(const LshBucket& bucket, std::size_t table,
+                      std::vector<std::uint32_t>& out) const {
+  const auto it = tables_[table].find(bucket_key(bucket, table));
+  if (it == tables_[table].end()) return;
+  out.insert(out.end(), it->second.begin(), it->second.end());
+}
+
+std::vector<Match> LshIndex::query(const Descriptor& descriptor,
+                                   std::size_t k) const {
+  std::vector<std::uint32_t> candidates;
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    LshBucket bucket = lsh_.bucket(descriptor, t);
+    gather(bucket, t, candidates);
+    if (config_.multiprobe) {
+      for (std::size_t m = 0; m < bucket.size(); ++m) {
+        for (const std::int32_t delta : {-1, +1}) {
+          bucket[m] += delta;
+          gather(bucket, t, candidates);
+          bucket[m] -= delta;
+        }
+      }
+    }
+    if (candidates.size() > config_.max_candidates) break;
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  if (candidates.size() > config_.max_candidates) {
+    candidates.resize(config_.max_candidates);
+  }
+
+  std::vector<Match> matches;
+  matches.reserve(candidates.size());
+  for (std::uint32_t id : candidates) {
+    matches.push_back({id, descriptor_distance2(descriptors_[id], descriptor)});
+  }
+  const std::size_t keep = std::min(k, matches.size());
+  std::partial_sort(matches.begin(), matches.begin() + keep, matches.end(),
+                    [](const Match& a, const Match& b) {
+                      return a.distance2 < b.distance2;
+                    });
+  matches.resize(keep);
+  return matches;
+}
+
+std::size_t LshIndex::reference_e2lsh_byte_size() const noexcept {
+  const std::size_t per_entry = sizeof(Descriptor) + 2 * sizeof(void*) + 16;
+  return descriptors_.size() * (sizeof(Descriptor) +
+                                tables_.size() * per_entry);
+}
+
+std::size_t LshIndex::byte_size() const noexcept {
+  std::size_t bytes = descriptors_.size() * sizeof(Descriptor);
+  for (const auto& table : tables_) {
+    // Per-node overhead of unordered_map (bucket array + node allocation)
+    // plus the id vectors themselves.
+    bytes += table.bucket_count() * sizeof(void*);
+    for (const auto& [key, ids] : table) {
+      (void)key;
+      bytes += 48;  // node + key + vector header (typical libstdc++ cost)
+      bytes += ids.capacity() * sizeof(std::uint32_t);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace vp

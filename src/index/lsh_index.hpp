@@ -1,0 +1,74 @@
+// LSH-indexed nearest-neighbor search over descriptors — the server's
+// "large-scale image-based content retrieval table" (§3). Each of the L
+// tables maps a hashed quantized bucket to the list of descriptor ids that
+// landed there; a query unions candidates from all tables (optionally
+// multiprobing adjacent buckets) and ranks them by exact L2 distance.
+//
+// This is the baseline "LSH" scheme of Fig. 13/15, and doubles as the
+// keypoint-to-3D lookup table when the caller keeps a parallel array of
+// 3-D positions per descriptor id.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "features/keypoint.hpp"
+#include "hashing/lsh.hpp"
+
+namespace vp {
+
+struct LshIndexConfig {
+  LshConfig lsh{};
+  bool multiprobe = false;       ///< probe 2M adjacent buckets on query
+  std::size_t max_candidates = 4096;  ///< cap candidate set per query
+};
+
+struct Match {
+  std::uint32_t id = 0;          ///< descriptor id (insertion order)
+  std::uint32_t distance2 = 0;   ///< exact squared L2 distance
+};
+
+class LshIndex {
+ public:
+  explicit LshIndex(LshIndexConfig config = {});
+
+  /// Insert a descriptor; returns its id (dense, insertion order).
+  std::uint32_t insert(const Descriptor& descriptor);
+
+  /// k nearest neighbors among LSH candidates, ascending distance.
+  std::vector<Match> query(const Descriptor& descriptor, std::size_t k) const;
+
+  std::size_t size() const noexcept { return descriptors_.size(); }
+  const Descriptor& descriptor(std::uint32_t id) const {
+    return descriptors_.at(id);
+  }
+
+  /// Approximate resident memory of THIS implementation: descriptors
+  /// stored once + per-table id lists + hash-map node overhead.
+  std::size_t byte_size() const noexcept;
+
+  /// Memory model of the reference E2LSH implementation the paper
+  /// benchmarks against, which replicates the indexed vectors into every
+  /// table ("an extremely large memory footprint, much larger than the
+  /// input data, due to multiple replications supporting multiple
+  /// projections"): per table, a full descriptor copy plus ~2 pointers of
+  /// node overhead per entry.
+  std::size_t reference_e2lsh_byte_size() const noexcept;
+
+  const E2Lsh& lsh() const noexcept { return lsh_; }
+
+ private:
+  using BucketMap = std::unordered_map<std::uint64_t, std::vector<std::uint32_t>>;
+
+  std::uint64_t bucket_key(const LshBucket& bucket, std::size_t table) const;
+  void gather(const LshBucket& bucket, std::size_t table,
+              std::vector<std::uint32_t>& out) const;
+
+  LshIndexConfig config_;
+  E2Lsh lsh_;
+  std::vector<Descriptor> descriptors_;
+  std::vector<BucketMap> tables_;
+};
+
+}  // namespace vp

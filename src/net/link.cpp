@@ -1,0 +1,52 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace vp {
+
+SimulatedLink::SimulatedLink(LinkConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  VP_REQUIRE(config.bandwidth_mbps > 0, "bandwidth must be positive");
+  VP_REQUIRE(config.rtt_ms >= 0, "rtt must be non-negative");
+}
+
+TransferRecord SimulatedLink::submit(double submit_time, std::size_t bytes) {
+  VP_REQUIRE(submit_time >= 0, "negative submit time");
+  TransferRecord rec;
+  rec.submit_time = submit_time;
+  rec.bytes = bytes;
+  rec.start_time = std::max(submit_time, busy_until_);
+  const double serialize_s =
+      static_cast<double>(bytes) * 8.0 / (config_.bandwidth_mbps * 1e6);
+  const double latency_s =
+      std::max(0.0, config_.rtt_ms / 2.0 +
+                        rng_.gaussian(0, config_.jitter_ms)) /
+      1e3;
+  busy_until_ = rec.start_time + serialize_s;
+  rec.complete_time = busy_until_ + latency_s;
+  history_.push_back(rec);
+  return rec;
+}
+
+std::size_t SimulatedLink::bytes_delivered_by(double t) const noexcept {
+  std::size_t total = 0;
+  for (const auto& r : history_) {
+    if (r.complete_time <= t) total += r.bytes;
+  }
+  return total;
+}
+
+double SimulatedLink::sustainable_fps(double bandwidth_mbps,
+                                      std::size_t bytes) {
+  VP_REQUIRE(bytes > 0, "sustainable_fps: zero payload");
+  return bandwidth_mbps * 1e6 / (static_cast<double>(bytes) * 8.0);
+}
+
+void SimulatedLink::reset() noexcept {
+  busy_until_ = 0;
+  history_.clear();
+}
+
+}  // namespace vp

@@ -1,0 +1,61 @@
+// Uplink model: bandwidth + RTT + jitter, with a FIFO send queue. Stands in
+// for the paper's WiFi/LTE uplinks in Figs. 2 and 14 — the figures are
+// byte-count arithmetic over a rate-limited channel, which this reproduces
+// with honest payload sizes from the real codecs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace vp {
+
+struct LinkConfig {
+  double bandwidth_mbps = 8.0;  ///< uplink throughput
+  double rtt_ms = 40.0;         ///< round-trip latency
+  double jitter_ms = 8.0;       ///< stddev of per-transfer latency noise
+};
+
+/// One completed transfer on the simulated link.
+struct TransferRecord {
+  double submit_time = 0;    ///< when the payload was enqueued, seconds
+  double start_time = 0;     ///< when bytes started flowing
+  double complete_time = 0;  ///< when fully delivered (incl. half-RTT)
+  std::size_t bytes = 0;
+};
+
+/// Sequential (FIFO) link: transfers queue behind each other, so a payload
+/// submitted while the link is busy waits — exactly why oversized frames
+/// crater sustainable FPS.
+class SimulatedLink {
+ public:
+  explicit SimulatedLink(LinkConfig config, std::uint64_t seed = 1);
+
+  /// Enqueue `bytes` at `submit_time` (seconds); returns the record.
+  TransferRecord submit(double submit_time, std::size_t bytes);
+
+  /// Time the link becomes idle.
+  double busy_until() const noexcept { return busy_until_; }
+
+  const std::vector<TransferRecord>& history() const noexcept {
+    return history_;
+  }
+
+  /// Total bytes delivered with complete_time <= t.
+  std::size_t bytes_delivered_by(double t) const noexcept;
+
+  /// Steady-state sustainable transfers per second for a payload size:
+  /// bandwidth / payload (latency pipelines away). The Fig. 2 quantity.
+  static double sustainable_fps(double bandwidth_mbps, std::size_t bytes);
+
+  void reset() noexcept;
+
+ private:
+  LinkConfig config_;
+  Rng rng_;
+  double busy_until_ = 0;
+  std::vector<TransferRecord> history_;
+};
+
+}  // namespace vp

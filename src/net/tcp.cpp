@@ -1,0 +1,173 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace vp {
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw IoError{std::string(what) + ": " + std::strerror(errno)};
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::send_all(std::span<const std::uint8_t> data) {
+  VP_REQUIRE(valid(), "send on closed socket");
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+bool Socket::recv_exact(std::span<std::uint8_t> out) {
+  VP_REQUIRE(valid(), "recv on closed socket");
+  std::size_t got = 0;
+  while (got < out.size()) {
+    const ssize_t n = ::recv(fd_, out.data() + got, out.size() - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (n == 0) {
+      if (got == 0) return false;  // clean EOF at message boundary
+      throw IoError{"connection closed mid-message"};
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Socket::send_message(std::span<const std::uint8_t> payload) {
+  ByteWriter w(4 + payload.size());
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.raw(payload);
+  send_all(w.bytes());
+}
+
+bool Socket::recv_message(Bytes& out, std::size_t max_bytes) {
+  std::uint8_t header[4];
+  if (!recv_exact(header)) return false;
+  const std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
+                            (static_cast<std::uint32_t>(header[1]) << 8) |
+                            (static_cast<std::uint32_t>(header[2]) << 16) |
+                            (static_cast<std::uint32_t>(header[3]) << 24);
+  if (len > max_bytes) {
+    throw DecodeError{"frame length " + std::to_string(len) +
+                      " exceeds limit"};
+  }
+  out.resize(len);
+  if (len > 0 && !recv_exact(out)) {
+    throw IoError{"connection closed mid-message"};
+  }
+  return true;
+}
+
+Socket tcp_connect(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  Socket sock(fd);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    throw IoError{"invalid IPv4 address: " + host};
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    throw_errno("connect");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return sock;
+}
+
+TcpListener::TcpListener(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  listen_fd_ = Socket(fd);
+
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    throw_errno("bind");
+  }
+  if (::listen(fd, 8) != 0) throw_errno("listen");
+
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+Socket TcpListener::accept_one() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    throw_errno("accept");
+  }
+}
+
+void TcpListener::serve(const Handler& handler,
+                        const std::function<bool()>& keep_going) {
+  while (keep_going()) {
+    Socket client = accept_one();
+    Bytes request;
+    try {
+      while (client.recv_message(request)) {
+        const Bytes response = handler(request);
+        client.send_message(response);
+      }
+    } catch (const Error&) {
+      // A misbehaving client only costs its own connection.
+    }
+  }
+}
+
+}  // namespace vp

@@ -1,0 +1,75 @@
+// Minimal TCP transport for running the VisualPrint client and cloud
+// service as real processes. RAII sockets, length-prefixed message
+// framing, and a simple blocking accept loop — enough to demonstrate the
+// protocol end-to-end over a real network stack (see
+// examples/vp_server_main.cpp and examples/vp_client_main.cpp).
+//
+// Framing: every message is u32 little-endian length followed by that many
+// bytes (the encoded wire messages of net/wire.hpp). Length is capped to
+// protect the receiver from hostile peers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace vp {
+
+/// Owning socket handle (move-only RAII).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+  void close() noexcept;
+
+  /// Send all bytes (loops over partial writes). Throws IoError.
+  void send_all(std::span<const std::uint8_t> data);
+
+  /// Receive exactly n bytes. Returns false on clean EOF at a message
+  /// boundary (start of the read); throws IoError on partial reads/errors.
+  bool recv_exact(std::span<std::uint8_t> out);
+
+  /// Length-prefixed framing over this socket.
+  void send_message(std::span<const std::uint8_t> payload);
+  /// Returns false on clean EOF. Throws DecodeError for oversized frames.
+  bool recv_message(Bytes& out, std::size_t max_bytes = 256 * 1024 * 1024);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connect to host:port (IPv4 dotted or "localhost"). Throws IoError.
+Socket tcp_connect(const std::string& host, std::uint16_t port);
+
+/// Listening socket bound to 127.0.0.1:port (port 0 = ephemeral).
+class TcpListener {
+ public:
+  explicit TcpListener(std::uint16_t port);
+
+  /// Port actually bound (useful with port 0).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Block until one client connects.
+  Socket accept_one();
+
+  /// Serve forever (or until `handler` returns false): one client at a
+  /// time, one response per request. Used by the demo cloud service.
+  using Handler = std::function<Bytes(std::span<const std::uint8_t>)>;
+  void serve(const Handler& handler, const std::function<bool()>& keep_going);
+
+ private:
+  Socket listen_fd_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace vp

@@ -1,0 +1,207 @@
+#include "net/wire.hpp"
+
+#include "imaging/codec.hpp"
+#include "util/error.hpp"
+
+namespace vp {
+namespace {
+
+constexpr std::uint32_t kQueryMagic = 0x56505121u;   // "VPQ!"
+constexpr std::uint32_t kFrameMagic = 0x56504621u;   // "VPF!"
+constexpr std::uint32_t kLocMagic = 0x56504c21u;     // "VPL!"
+constexpr std::uint32_t kOracleMagic = 0x56504f21u;  // "VPO!"
+constexpr std::uint32_t kDiffMagic = 0x56504421u;    // "VPD!"
+constexpr std::uint16_t kVersion = 1;
+
+void expect_header(ByteReader& r, std::uint32_t magic, const char* what) {
+  if (r.u32() != magic) throw DecodeError{std::string(what) + ": bad magic"};
+  if (r.u16() != kVersion) {
+    throw DecodeError{std::string(what) + ": unsupported version"};
+  }
+}
+
+}  // namespace
+
+Bytes FingerprintQuery::encode() const {
+  ByteWriter w(wire_size());
+  w.u32(kQueryMagic);
+  w.u16(kVersion);
+  w.u32(frame_id);
+  w.f64(capture_time);
+  w.u16(image_width);
+  w.u16(image_height);
+  w.f32(fov_h);
+  w.u32(static_cast<std::uint32_t>(features.size()));
+  for (const auto& f : features) serialize_feature(f, w);
+  return w.take();
+}
+
+FingerprintQuery FingerprintQuery::decode(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  expect_header(r, kQueryMagic, "fingerprint query");
+  FingerprintQuery q;
+  q.frame_id = r.u32();
+  q.capture_time = r.f64();
+  q.image_width = r.u16();
+  q.image_height = r.u16();
+  q.fov_h = r.f32();
+  const std::uint32_t n = r.u32();
+  q.features.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    q.features.push_back(deserialize_feature(r));
+  }
+  if (!r.done()) throw DecodeError{"fingerprint query: trailing bytes"};
+  return q;
+}
+
+std::size_t FingerprintQuery::wire_size() const noexcept {
+  return 4 + 2 + 4 + 8 + 2 + 2 + 4 + 4 + features.size() * kFeatureWireBytes;
+}
+
+Bytes FrameUpload::encode() const {
+  ByteWriter w(32 + payload.size());
+  w.u32(kFrameMagic);
+  w.u16(kVersion);
+  w.u32(frame_id);
+  w.f64(capture_time);
+  w.u8(codec);
+  w.blob(payload);
+  return w.take();
+}
+
+FrameUpload FrameUpload::decode(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  expect_header(r, kFrameMagic, "frame upload");
+  FrameUpload f;
+  f.frame_id = r.u32();
+  f.capture_time = r.f64();
+  f.codec = r.u8();
+  const auto b = r.blob();
+  f.payload.assign(b.begin(), b.end());
+  if (!r.done()) throw DecodeError{"frame upload: trailing bytes"};
+  return f;
+}
+
+Bytes LocationResponse::encode() const {
+  ByteWriter w(96 + place_label.size());
+  w.u32(kLocMagic);
+  w.u16(kVersion);
+  w.u32(frame_id);
+  w.u8(found ? 1 : 0);
+  w.f64(position.x);
+  w.f64(position.y);
+  w.f64(position.z);
+  w.f64(yaw);
+  w.f64(pitch);
+  w.f64(roll);
+  w.f64(residual);
+  w.u32(matched_keypoints);
+  w.str(place_label);
+  return w.take();
+}
+
+LocationResponse LocationResponse::decode(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  expect_header(r, kLocMagic, "location response");
+  LocationResponse resp;
+  resp.frame_id = r.u32();
+  resp.found = r.u8() != 0;
+  resp.position = {r.f64(), r.f64(), r.f64()};
+  resp.yaw = r.f64();
+  resp.pitch = r.f64();
+  resp.roll = r.f64();
+  resp.residual = r.f64();
+  resp.matched_keypoints = r.u32();
+  resp.place_label = r.str();
+  if (!r.done()) throw DecodeError{"location response: trailing bytes"};
+  return resp;
+}
+
+OracleDownload OracleDownload::pack(const UniquenessOracle& oracle,
+                                    std::uint32_t version) {
+  OracleDownload d;
+  d.version = version;
+  d.compressed = zlib_compress(oracle.serialize(), 9);
+  return d;
+}
+
+UniquenessOracle OracleDownload::unpack() const {
+  return UniquenessOracle::deserialize(zlib_decompress(compressed));
+}
+
+Bytes OracleDownload::encode() const {
+  ByteWriter w(16 + compressed.size());
+  w.u32(kOracleMagic);
+  w.u16(kVersion);
+  w.u32(version);
+  w.blob(compressed);
+  return w.take();
+}
+
+OracleDownload OracleDownload::decode(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  expect_header(r, kOracleMagic, "oracle download");
+  OracleDownload d;
+  d.version = r.u32();
+  const auto b = r.blob();
+  d.compressed.assign(b.begin(), b.end());
+  if (!r.done()) throw DecodeError{"oracle download: trailing bytes"};
+  return d;
+}
+
+OracleDiff OracleDiff::make(std::span<const std::uint8_t> old_blob,
+                            std::span<const std::uint8_t> new_blob,
+                            std::uint32_t from_version,
+                            std::uint32_t to_version) {
+  // XOR against the old blob (zero-padded); unsaturated Bloom words rarely
+  // change between refreshes, so the XOR is mostly zeros and compresses
+  // far better than a full snapshot.
+  Bytes x(new_blob.size());
+  for (std::size_t i = 0; i < new_blob.size(); ++i) {
+    x[i] = new_blob[i] ^ (i < old_blob.size() ? old_blob[i] : 0);
+  }
+  OracleDiff d;
+  d.from_version = from_version;
+  d.to_version = to_version;
+  ByteWriter w(8 + x.size());
+  w.u64(new_blob.size());
+  w.raw(x);
+  d.compressed_xor = zlib_compress(w.bytes(), 9);
+  return d;
+}
+
+Bytes OracleDiff::apply(std::span<const std::uint8_t> old_blob) const {
+  const Bytes raw = zlib_decompress(compressed_xor);
+  ByteReader r(raw);
+  const std::uint64_t new_size = r.u64();
+  const auto x = r.raw(static_cast<std::size_t>(new_size));
+  Bytes out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = x[i] ^ (i < old_blob.size() ? old_blob[i] : 0);
+  }
+  return out;
+}
+
+Bytes OracleDiff::encode() const {
+  ByteWriter w(24 + compressed_xor.size());
+  w.u32(kDiffMagic);
+  w.u16(kVersion);
+  w.u32(from_version);
+  w.u32(to_version);
+  w.blob(compressed_xor);
+  return w.take();
+}
+
+OracleDiff OracleDiff::decode(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  expect_header(r, kDiffMagic, "oracle diff");
+  OracleDiff d;
+  d.from_version = r.u32();
+  d.to_version = r.u32();
+  const auto b = r.blob();
+  d.compressed_xor.assign(b.begin(), b.end());
+  if (!r.done()) throw DecodeError{"oracle diff: trailing bytes"};
+  return d;
+}
+
+}  // namespace vp

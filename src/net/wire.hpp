@@ -1,0 +1,98 @@
+// Wire formats for the client <-> cloud protocol.
+//
+// Four message types cover the system: the fingerprint query (the ~200
+// most-unique keypoints, the paper's ~30-50 KB upload), the whole-frame
+// upload (the baseline VisualPrint replaces), the oracle download (the
+// ~10 MB GZIP-compressed Bloom tables), and the location response.
+// All messages carry a 4-byte magic + u16 version header.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "features/keypoint.hpp"
+#include "geometry/pose.hpp"
+#include "hashing/oracle.hpp"
+#include "util/bytes.hpp"
+
+namespace vp {
+
+/// Client -> server: selected keypoints of one frame, plus the camera
+/// geometry the Fig. 12 localization needs (image size and field of view).
+struct FingerprintQuery {
+  std::uint32_t frame_id = 0;
+  double capture_time = 0;  ///< seconds since session start
+  std::uint16_t image_width = 1920;
+  std::uint16_t image_height = 1080;
+  float fov_h = 1.15192f;   ///< horizontal field of view, radians
+  std::vector<Feature> features;
+
+  Bytes encode() const;
+  static FingerprintQuery decode(std::span<const std::uint8_t> data);
+
+  /// Exact wire size without materializing the buffer.
+  std::size_t wire_size() const noexcept;
+};
+
+/// Client -> server: a whole compressed frame (baseline offload).
+struct FrameUpload {
+  std::uint32_t frame_id = 0;
+  double capture_time = 0;
+  std::uint8_t codec = 0;  ///< 0 = PNG, 1 = JPEG, 2 = raw
+  Bytes payload;           ///< encoded image bytes
+
+  Bytes encode() const;
+  static FrameUpload decode(std::span<const std::uint8_t> data);
+};
+
+/// Server -> client: estimated 6-DoF pose for a query.
+struct LocationResponse {
+  std::uint32_t frame_id = 0;
+  bool found = false;
+  Vec3 position;
+  double yaw = 0, pitch = 0, roll = 0;
+  double residual = 0;
+  std::uint32_t matched_keypoints = 0;
+  std::string place_label;  ///< e.g. "Paris, Louvre, Denon Wing" (Fig. 1)
+
+  Bytes encode() const;
+  static LocationResponse decode(std::span<const std::uint8_t> data);
+};
+
+/// Server -> client: uniqueness-oracle snapshot, zlib-compressed ("we
+/// compress them with GZIP for efficient retrieval").
+struct OracleDownload {
+  std::uint32_t version = 0;
+  Bytes compressed;  ///< zlib stream of UniquenessOracle::serialize()
+
+  static OracleDownload pack(const UniquenessOracle& oracle,
+                             std::uint32_t version);
+  UniquenessOracle unpack() const;
+
+  Bytes encode() const;
+  static OracleDownload decode(std::span<const std::uint8_t> data);
+};
+
+/// Server -> client incremental refresh: XOR diff between two oracle
+/// snapshots, compressed. The paper lists this as not-yet-implemented
+/// ("We could reduce data transfer by sending only a compressed bitmask
+/// representing the diff between versions"); implemented here.
+struct OracleDiff {
+  std::uint32_t from_version = 0;
+  std::uint32_t to_version = 0;
+  Bytes compressed_xor;  ///< zlib of (new_blob XOR old_blob), size-padded
+
+  /// Diff between serialized snapshots (old may be shorter after growth).
+  static OracleDiff make(std::span<const std::uint8_t> old_blob,
+                         std::span<const std::uint8_t> new_blob,
+                         std::uint32_t from_version, std::uint32_t to_version);
+
+  /// Reconstruct the new serialized snapshot from the old one.
+  Bytes apply(std::span<const std::uint8_t> old_blob) const;
+
+  Bytes encode() const;
+  static OracleDiff decode(std::span<const std::uint8_t> data);
+};
+
+}  // namespace vp

@@ -1,0 +1,80 @@
+#include "rf/rssi.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hashing/murmur3.hpp"
+#include "util/error.hpp"
+
+namespace vp {
+
+RfEnvironment::RfEnvironment(RfEnvironmentConfig config) : config_(config) {
+  VP_REQUIRE(config.num_aps >= 1 &&
+                 config.num_aps <= static_cast<int>(kDescriptorDims),
+             "num_aps in [1,128]");
+  Rng rng(config.seed);
+  shadow_seed_ = rng.next_u64();
+  aps_.reserve(static_cast<std::size_t>(config.num_aps));
+  for (int i = 0; i < config.num_aps; ++i) {
+    AccessPoint ap;
+    ap.position = {rng.uniform(0, config.width * config.ap_region_fraction),
+                   rng.uniform(0, config.depth),
+                   rng.uniform(2.2, 2.8)};
+    ap.tx_power_dbm = rng.uniform(-34, -26);
+    aps_.push_back(ap);
+  }
+}
+
+double RfEnvironment::shadow_db(std::size_t ap, Vec3 position) const {
+  // Deterministic shadowing per (AP, 1m grid cell): hash -> gaussian-ish
+  // via sum of uniforms. Static obstructions don't move between visits.
+  const auto cx = static_cast<std::int64_t>(std::floor(position.x));
+  const auto cy = static_cast<std::int64_t>(std::floor(position.y));
+  ByteWriter w(32);
+  w.u64(shadow_seed_);
+  w.u64(static_cast<std::uint64_t>(ap));
+  w.i64(cx);
+  w.i64(cy);
+  const auto [h1, h2] = murmur3_x64_128(w.bytes(), 0x5AD0u);
+  // Irwin-Hall approximation of a standard normal from four uniforms.
+  double sum = 0;
+  for (int i = 0; i < 4; ++i) {
+    sum += static_cast<double>((i < 2 ? h1 : h2) >> ((i % 2) * 32 & 31) &
+                               0xFFFFFFFFull) /
+           4294967295.0;
+  }
+  const double z = (sum - 2.0) * std::sqrt(3.0);
+  return z * config_.shadow_sigma_db;
+}
+
+std::vector<double> RfEnvironment::measure_rssi(Vec3 position,
+                                                Rng& rng) const {
+  std::vector<double> rssi;
+  rssi.reserve(aps_.size());
+  for (std::size_t i = 0; i < aps_.size(); ++i) {
+    const double d = std::max(1.0, aps_[i].position.distance(position));
+    double level = aps_[i].tx_power_dbm -
+                   10.0 * config_.path_loss_exponent * std::log10(d) +
+                   shadow_db(i, position) + rng.gaussian(0, 1.0);
+    if (level < config_.noise_floor_dbm) level = -120.0;  // inaudible
+    rssi.push_back(level);
+  }
+  return rssi;
+}
+
+Descriptor RfEnvironment::to_descriptor(std::span<const double> rssi) const {
+  Descriptor d{};
+  const std::size_t n = std::min(rssi.size(), kDescriptorDims);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double above_floor =
+        std::clamp(rssi[i] - config_.noise_floor_dbm, 0.0, 90.0);
+    d[i] = static_cast<std::uint8_t>(std::lround(above_floor * 255.0 / 90.0));
+  }
+  return d;
+}
+
+Descriptor RfEnvironment::fingerprint(Vec3 position, Rng& rng) const {
+  return to_descriptor(measure_rssi(position, rng));
+}
+
+}  // namespace vp

@@ -1,0 +1,71 @@
+// RF fingerprinting substrate (paper conclusion: "the VisualPrint approach
+// can be productively reapplied in other high-dimensional sensory domains,
+// such as wireless RF").
+//
+// An RF fingerprint is the vector of received signal strengths (RSSI)
+// from the audible access points at a location. This module simulates a
+// building-scale AP deployment with a log-distance path-loss model, wall
+// attenuation, and shadow fading, and quantizes fingerprints into the
+// same 128-byte descriptor the uniqueness oracle consumes — so the exact
+// VisualPrint machinery ranks *locations* by how RF-unique they are.
+#pragma once
+
+#include <vector>
+
+#include "features/keypoint.hpp"
+#include "geometry/vec.hpp"
+#include "util/rng.hpp"
+
+namespace vp {
+
+struct AccessPoint {
+  Vec3 position;
+  double tx_power_dbm = -30.0;  ///< RSSI at 1 m
+};
+
+struct RfEnvironmentConfig {
+  double width = 60.0;    ///< building extent, meters
+  double depth = 30.0;
+  int num_aps = 24;       ///< capped at kDescriptorDims
+  double path_loss_exponent = 3.0;  ///< indoor: 2.5 - 4
+  double shadow_sigma_db = 3.0;     ///< log-normal shadowing
+  double noise_floor_dbm = -95.0;   ///< below this an AP is inaudible
+  /// Fraction of the building width containing APs (1.0 = everywhere).
+  /// Below 1.0 the remaining wing becomes an "RF desert": few, weak,
+  /// slowly-varying signals — the RF analogue of blank white walls.
+  double ap_region_fraction = 1.0;
+  std::uint64_t seed = 7;
+};
+
+/// A deployed building: fixed APs plus deterministic per-(AP, location
+/// cell) shadowing so repeated measurements at one spot agree while
+/// different spots differ.
+class RfEnvironment {
+ public:
+  explicit RfEnvironment(RfEnvironmentConfig config);
+
+  /// RSSI vector (dBm per AP) at a position, with measurement noise.
+  std::vector<double> measure_rssi(Vec3 position, Rng& rng) const;
+
+  /// Quantize an RSSI vector into the oracle's 128-byte descriptor:
+  /// element i = clamp(rssi_i - noise_floor, 0, 90) scaled to [0, 255]
+  /// (inaudible APs map to 0). Unused dimensions stay 0.
+  Descriptor to_descriptor(std::span<const double> rssi_dbm) const;
+
+  /// Convenience: measure and quantize.
+  Descriptor fingerprint(Vec3 position, Rng& rng) const;
+
+  const std::vector<AccessPoint>& access_points() const noexcept {
+    return aps_;
+  }
+  const RfEnvironmentConfig& config() const noexcept { return config_; }
+
+ private:
+  double shadow_db(std::size_t ap, Vec3 position) const;
+
+  RfEnvironmentConfig config_;
+  std::vector<AccessPoint> aps_;
+  std::uint64_t shadow_seed_;
+};
+
+}  // namespace vp

@@ -1,0 +1,326 @@
+#include "scene/environments.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "scene/render.hpp"
+#include "scene/texture.hpp"
+#include "util/error.hpp"
+
+namespace vp {
+namespace {
+
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+
+/// Adds floor, ceiling, and four perimeter walls to a rectangular room
+/// spanning [0,w] x [0,d] with height h. Wall/floor/ceiling textures are
+/// shared (registered once) — globally repeated content by construction.
+void add_room_shell(World& world, double w, double d, double h, Rng& rng) {
+  const int floor_px = 18;  // px per meter for large surfaces
+  // Floor: checkerboard tiles, the paper's canonical low-entropy repeater.
+  world.add_surface({0, 0, 0}, {w, 0, 0}, {0, d, 0},
+                    checkerboard_texture(static_cast<int>(w * floor_px),
+                                         static_cast<int>(d * floor_px), 24,
+                                         120, 180, rng),
+                    kBackgroundScene, "floor");
+  // Ceiling (normal facing down into the room).
+  world.add_surface({0, 0, h}, {0, d, 0}, {w, 0, 0},
+                    ceiling_texture(static_cast<int>(d * floor_px),
+                                    static_cast<int>(w * floor_px), 22, rng),
+                    kBackgroundScene, "ceiling");
+  // Walls: near-featureless drywall.
+  const int wall_px = 16;
+  auto wall_tex = [&](double len) {
+    return wall_texture(static_cast<int>(len * wall_px),
+                        static_cast<int>(h * wall_px), 200, rng);
+  };
+  world.add_surface({0, 0, 0}, {w, 0, 0}, {0, 0, h}, wall_tex(w),
+                    kBackgroundScene, "wall_south");
+  world.add_surface({w, d, 0}, {-w, 0, 0}, {0, 0, h}, wall_tex(w),
+                    kBackgroundScene, "wall_north");
+  world.add_surface({0, d, 0}, {0, -d, 0}, {0, 0, h}, wall_tex(d),
+                    kBackgroundScene, "wall_west");
+  world.add_surface({w, 0, 0}, {0, d, 0}, {0, 0, h}, wall_tex(d),
+                    kBackgroundScene, "wall_east");
+}
+
+/// Shared door texture (identical knob hardware across all doors — the
+/// paper's door-knob example). Registered once, reused by index.
+std::size_t add_shared_door_texture(World& world, Rng& rng) {
+  return world.add_texture(door_texture(110, 240, /*knob_seed=*/42, rng));
+}
+
+void add_door(World& world, std::size_t door_tex, Vec3 base, Vec3 along,
+              double height) {
+  TexturedQuad q;
+  q.origin = base;
+  q.edge_u = along;
+  q.edge_v = {0, 0, height};
+  q.texture = door_tex;
+  q.scene_id = kBackgroundScene;
+  q.name = "door";
+  world.add_quad(q);
+}
+
+}  // namespace
+
+World build_gallery(const GalleryConfig& cfg, Rng& rng) {
+  VP_REQUIRE(cfg.num_scenes >= 1, "gallery needs at least one scene");
+  World world;
+  const double w = cfg.hall_length;
+  const double d = cfg.hall_width;
+  const double h = cfg.wall_height;
+  add_room_shell(world, w, d, h, rng);
+  const std::size_t door_tex = add_shared_door_texture(world, rng);
+  const std::size_t plate_tex =
+      world.add_texture(nameplate_texture(90, 30, rng));
+
+  // Paintings alternate along the two long walls, interleaved with
+  // repeated doors and nameplates.
+  const double painting_w = 1.6, painting_h = 1.2, painting_z = 1.1;
+  const int per_wall = (cfg.num_scenes + 1) / 2;
+  const double pitch = w / (per_wall + 1);
+  const int tex_w = static_cast<int>(painting_w * cfg.texture_px_per_m);
+  const int tex_h = static_cast<int>(painting_h * cfg.texture_px_per_m);
+
+  for (int s = 0; s < cfg.num_scenes; ++s) {
+    const bool south = (s % 2) == 0;
+    const int slot = s / 2;
+    const double cx = (slot + 1) * pitch;
+    const double x0 = cx - painting_w / 2;
+    // South wall at y=0 faces +y; north wall at y=d faces -y. Flip the
+    // u direction on the north wall so textures read left-to-right.
+    TexturedQuad q;
+    if (south) {
+      q.origin = {x0, 0.02, painting_z};
+      q.edge_u = {painting_w, 0, 0};
+    } else {
+      q.origin = {x0 + painting_w, d - 0.02, painting_z};
+      q.edge_u = {-painting_w, 0, 0};
+    }
+    q.edge_v = {0, 0, painting_h};
+    q.texture = world.add_texture(painting_texture(tex_w, tex_h, rng));
+    q.scene_id = s;
+    q.name = "painting_" + std::to_string(s);
+    world.add_quad(q);
+
+    // Repeated content near every painting: a door and a nameplate.
+    for (int k = 0; k < cfg.doors_between; ++k) {
+      const double door_x = cx + pitch / 2 - 0.45;
+      if (door_x + 0.9 < w) {
+        if (south) {
+          add_door(world, door_tex, {door_x, 0.02, 0}, {0.9, 0, 0}, 2.1);
+        } else {
+          add_door(world, door_tex, {door_x + 0.9, d - 0.02, 0}, {-0.9, 0, 0},
+                   2.1);
+        }
+      }
+    }
+    TexturedQuad plate;
+    const double plate_x = south ? x0 - 0.35 : x0 + painting_w + 0.05;
+    if (plate_x > 0 && plate_x + 0.3 < w) {
+      plate.origin = south ? Vec3{plate_x, 0.02, 1.4}
+                           : Vec3{plate_x + 0.3, d - 0.02, 1.4};
+      plate.edge_u = south ? Vec3{0.3, 0, 0} : Vec3{-0.3, 0, 0};
+      plate.edge_v = {0, 0, 0.1};
+      plate.texture = plate_tex;
+      plate.name = "nameplate";
+      world.add_quad(plate);
+    }
+  }
+  return world;
+}
+
+World build_office(const RoomConfig& cfg, Rng& rng) {
+  World world;
+  add_room_shell(world, cfg.width, cfg.depth, cfg.height, rng);
+  const std::size_t door_tex = add_shared_door_texture(world, rng);
+  // Repeated cubicle partition texture, instanced as free-standing panels.
+  const std::size_t partition_tex = world.add_texture(
+      noise_texture(160, 90, 2, 150, 175, rng));
+
+  const int rows = 3, cols = 6;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const double x = 4.0 + c * 7.0;
+      const double y = 4.0 + r * 5.5;
+      if (x + 3.0 > cfg.width || y > cfg.depth - 2) continue;
+      TexturedQuad p;
+      p.origin = {x, y, 0};
+      p.edge_u = {3.0, 0, 0};
+      p.edge_v = {0, 0, 1.4};
+      p.texture = partition_tex;
+      p.name = "partition";
+      world.add_quad(p);
+      // Back side so it is visible from both directions.
+      TexturedQuad b = p;
+      b.origin = {x + 3.0, y + 0.001, 0};
+      b.edge_u = {-3.0, 0, 0};
+      world.add_quad(b);
+    }
+  }
+
+  // Unique posters on walls: these are the office's fingerprintable scenes.
+  const double poster_w = 1.0, poster_h = 0.75;
+  for (int s = 0; s < cfg.num_scenes; ++s) {
+    const double x = 2.5 + s * (cfg.width - 5.0) / std::max(1, cfg.num_scenes);
+    const bool south = (s % 2) == 0;
+    TexturedQuad q;
+    if (south) {
+      q.origin = {x, 0.02, 1.2};
+      q.edge_u = {poster_w, 0, 0};
+    } else {
+      q.origin = {x + poster_w, cfg.depth - 0.02, 1.2};
+      q.edge_u = {-poster_w, 0, 0};
+    }
+    q.edge_v = {0, 0, poster_h};
+    q.texture = world.add_texture(painting_texture(130, 100, rng));
+    q.scene_id = s;
+    q.name = "poster_" + std::to_string(s);
+    world.add_quad(q);
+  }
+
+  for (int i = 0; i < 4; ++i) {
+    add_door(world, door_tex, {6.0 + i * 10.0, 0.03, 0}, {0.9, 0, 0}, 2.1);
+  }
+  return world;
+}
+
+World build_cafeteria(const RoomConfig& cfg, Rng& rng) {
+  World world;
+  add_room_shell(world, cfg.width, cfg.depth, cfg.height, rng);
+
+  // Identical tables: repeated top panels at seating height.
+  const std::size_t table_tex =
+      world.add_texture(wood_texture(120, 80, rng));
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 10; ++c) {
+      const double x = 3.0 + c * 4.5;
+      const double y = 3.0 + r * 3.2;
+      if (x + 1.8 > cfg.width || y + 1.0 > cfg.depth) continue;
+      TexturedQuad t;
+      t.origin = {x, y, 0.75};
+      t.edge_u = {1.8, 0, 0};
+      t.edge_v = {0, 1.0, 0};
+      t.texture = table_tex;
+      t.name = "table";
+      world.add_quad(t);
+    }
+  }
+
+  // Menu boards: unique, high-entropy — the cafeteria's scenes.
+  for (int s = 0; s < cfg.num_scenes; ++s) {
+    const double x = 2.0 + s * (cfg.width - 4.0) / std::max(1, cfg.num_scenes);
+    TexturedQuad q;
+    q.origin = {x, cfg.depth - 0.02, 1.5};
+    q.edge_u = {-1.4, 0, 0};
+    q.origin.x += 1.4;
+    q.edge_v = {0, 0, 0.9};
+    q.texture = world.add_texture(painting_texture(170, 110, rng));
+    q.scene_id = s;
+    q.name = "menu_" + std::to_string(s);
+    world.add_quad(q);
+  }
+
+  // Foodservice counter along the south wall.
+  const std::size_t counter_tex =
+      world.add_texture(noise_texture(400, 40, 2, 90, 120, rng));
+  TexturedQuad counter;
+  counter.origin = {2.0, 1.2, 0};
+  counter.edge_u = {cfg.width - 4.0, 0, 0};
+  counter.edge_v = {0, 0, 1.1};
+  counter.texture = counter_tex;
+  counter.name = "counter";
+  world.add_quad(counter);
+  return world;
+}
+
+World build_grocery(const RoomConfig& cfg, Rng& rng) {
+  World world;
+  add_room_shell(world, cfg.width, cfg.depth, cfg.height, rng);
+
+  // Aisles: double-sided shelves. Product patterns repeat across aisles
+  // (only a few variants) — heavy global repetition.
+  const int num_aisles = std::max(2, static_cast<int>(cfg.depth / 6.0));
+  const double aisle_len = cfg.width * 0.7;
+  const double shelf_h = 1.9;
+  std::vector<std::size_t> shelf_variants;
+  for (std::uint64_t v = 0; v < 4; ++v) {
+    shelf_variants.push_back(world.add_texture(
+        shelf_texture(static_cast<int>(aisle_len * 14),
+                      static_cast<int>(shelf_h * 40), v, rng)));
+  }
+  for (int a = 0; a < num_aisles; ++a) {
+    const double y = 4.0 + a * (cfg.depth - 8.0) / num_aisles;
+    const double x0 = (cfg.width - aisle_len) / 2;
+    for (int side = 0; side < 2; ++side) {
+      TexturedQuad s;
+      if (side == 0) {
+        s.origin = {x0, y, 0};
+        s.edge_u = {aisle_len, 0, 0};
+      } else {
+        s.origin = {x0 + aisle_len, y + 0.6, 0};
+        s.edge_u = {-aisle_len, 0, 0};
+      }
+      s.edge_v = {0, 0, shelf_h};
+      s.texture = shelf_variants[static_cast<std::size_t>(
+          (a + side) % static_cast<int>(shelf_variants.size()))];
+      s.name = "shelf_a" + std::to_string(a) + "_s" + std::to_string(side);
+      world.add_quad(s);
+    }
+    // Unique aisle sign above each aisle: the store's scenes.
+    if (a < cfg.num_scenes) {
+      TexturedQuad sign;
+      sign.origin = {cfg.width / 2 - 0.8, y + 0.3, 2.2};
+      sign.edge_u = {1.6, 0, 0};
+      sign.edge_v = {0, 0, 0.5};
+      sign.texture = world.add_texture(painting_texture(180, 60, rng));
+      sign.scene_id = a;
+      sign.name = "aisle_sign_" + std::to_string(a);
+      world.add_quad(sign);
+    }
+  }
+  return world;
+}
+
+std::vector<std::size_t> scene_quads(const World& world) {
+  std::vector<std::size_t> out(
+      static_cast<std::size_t>(std::max(0, world.scene_count())),
+      static_cast<std::size_t>(-1));
+  for (std::size_t qi = 0; qi < world.quads().size(); ++qi) {
+    const int sid = world.quads()[qi].scene_id;
+    if (sid >= 0) out[static_cast<std::size_t>(sid)] = qi;
+  }
+  return out;
+}
+
+Camera view_of_quad(const World& world, std::size_t quad_index,
+                    const CameraIntrinsics& intrinsics, double azimuth_deg,
+                    double distance, Rng& rng) {
+  VP_REQUIRE(quad_index < world.quads().size(), "view_of_quad: bad index");
+  const auto& q = world.quads()[quad_index];
+  const Vec3 center = q.center();
+  Vec3 n = q.normal();
+  // Ensure the normal points into the room (away from the nearest world
+  // boundary): probe a short step along the normal; if it immediately hits
+  // the same quad's backing wall, flip.
+  Vec3 lo, hi;
+  world.bounds(lo, hi);
+  const Vec3 probe = center + n * 0.3;
+  if (probe.x < lo.x || probe.x > hi.x || probe.y < lo.y || probe.y > hi.y ||
+      probe.z < lo.z || probe.z > hi.z) {
+    n = n * -1.0;
+  }
+
+  // Rotate the viewing direction around the world-Z axis by the azimuth.
+  const double az = azimuth_deg * kDegToRad;
+  const double c = std::cos(az), s = std::sin(az);
+  const Vec3 dir{c * n.x - s * n.y, s * n.x + c * n.y, n.z};
+  Vec3 position = center + dir.normalized() * distance;
+  // Keep a sensible eye height with a little jitter.
+  position.z = std::clamp(1.5 + rng.gaussian(0, 0.1), 0.5, 2.4);
+  return look_at(intrinsics, position, center, rng.gaussian(0, 0.02));
+}
+
+}  // namespace vp

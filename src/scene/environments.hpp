@@ -1,0 +1,62 @@
+// Indoor environment presets.
+//
+// Each builder assembles a room (or building section) out of textured
+// quads, mixing globally unique content ("scenes": paintings, posters,
+// menu boards, aisle signs — the things one photographs) with globally
+// repeated content (floor tiles, ceiling grids, doors sharing identical
+// knobs, shelf products repeated across aisles). The repeated content is
+// what confuses brute-force matching (paper Fig. 13 discussion) and what
+// the uniqueness oracle is designed to discard.
+//
+// World frame: Z-up, floor at z = 0, dimensions in meters.
+#pragma once
+
+#include "scene/world.hpp"
+#include "util/rng.hpp"
+
+namespace vp {
+
+struct GalleryConfig {
+  int num_scenes = 20;        ///< unique paintings (retrieval ground truth)
+  double hall_length = 50.0;  ///< meters (one CSL floor is 50 x 10)
+  double hall_width = 10.0;
+  double wall_height = 3.0;
+  int texture_px_per_m = 110; ///< resolution of unique scene textures
+  int doors_between = 1;      ///< repeated doors interleaved with scenes
+};
+
+/// Gallery / research-facility corridor: the Fig. 13 "100 scenes across
+/// three floors" analogue. Scene ids are 0..num_scenes-1.
+World build_gallery(const GalleryConfig& config, Rng& rng);
+
+struct RoomConfig {
+  double width = 50.0;
+  double depth = 20.0;
+  double height = 3.0;
+  int num_scenes = 12;  ///< unique wall content items
+};
+
+/// Office: cubicle partitions (repeated), unique posters, doors, plates.
+/// Paper dimensions: 50 m x 20 m.
+World build_office(const RoomConfig& config, Rng& rng);
+
+/// Cafeteria: repeated tables/counters, unique menu boards.
+/// Paper dimensions: 50 m x 15 m.
+World build_cafeteria(const RoomConfig& config, Rng& rng);
+
+/// Grocery store: aisle shelving with repeated product patterns, unique
+/// aisle signage. Paper dimensions: 80 m x 50 m.
+World build_grocery(const RoomConfig& config, Rng& rng);
+
+/// Quad index for each scene id (scene id -> quad index).
+std::vector<std::size_t> scene_quads(const World& world);
+
+/// A camera looking at scene quad `quad_index` from a viewpoint offset by
+/// `azimuth_deg` around the quad normal at `distance` meters, with small
+/// height jitter — the paper's "five photographs from substantially
+/// different angles".
+Camera view_of_quad(const World& world, std::size_t quad_index,
+                    const CameraIntrinsics& intrinsics, double azimuth_deg,
+                    double distance, Rng& rng);
+
+}  // namespace vp

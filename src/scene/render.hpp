@@ -1,0 +1,50 @@
+// Ray-cast renderer: the "camera" of the simulated smartphone and of the
+// simulated Tango rig. Produces grayscale frames (with sensor noise and
+// optional motion blur) plus the depth map the wardriving app records from
+// Tango's IR sensor.
+#pragma once
+
+#include "geometry/camera.hpp"
+#include "scene/world.hpp"
+#include "util/rng.hpp"
+
+namespace vp {
+
+struct RenderOptions {
+  double noise_stddev = 1.5;      ///< additive sensor noise, gray levels
+  double motion_blur_px = 0.0;    ///< motion blur streak length, pixels
+  Vec2 motion_dir{1.0, 0.0};      ///< blur direction in image space
+  bool want_depth = false;        ///< also produce the depth map
+  int depth_downscale = 4;        ///< Tango depth is lower-res than RGB
+  float background = 8.0f;        ///< gray level where no quad is hit
+  double ambient = 0.55;          ///< base illumination factor
+  double distance_falloff = 0.012;///< light falloff per meter of depth
+};
+
+struct RenderOutput {
+  ImageF image;   ///< grayscale frame, [0,255]
+  ImageF depth;   ///< meters; 0 where nothing hit (empty unless requested)
+};
+
+/// Render the world from a camera.
+RenderOutput render(const World& world, const Camera& camera,
+                    const RenderOptions& options, Rng& rng);
+
+/// Ground truth for retrieval experiments: scene ids whose quads are
+/// actually visible (center or a corner survives an occlusion ray test)
+/// and cover at least `min_pixels` of the frame.
+std::vector<int> visible_scene_ids(const World& world, const Camera& camera,
+                                   std::size_t min_pixels = 400);
+
+/// Ground truth for wardriving: the 3-D world point seen at a given pixel,
+/// or nullopt if the pixel sees background.
+std::optional<Vec3> world_point_at_pixel(const World& world,
+                                         const Camera& camera, Vec2 pixel);
+
+/// A camera pose looking at a target point from `position`, with the image
+/// "up" direction chosen as close to world -Y ... (we use +Z-up worlds and
+/// -Z-down image convention; see implementation).
+Camera look_at(const CameraIntrinsics& intrinsics, Vec3 position, Vec3 target,
+               double roll = 0.0);
+
+}  // namespace vp

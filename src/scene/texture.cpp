@@ -1,0 +1,305 @@
+#include "scene/texture.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace vp {
+namespace {
+
+/// Single-octave value noise: random lattice values, bilinear interpolation,
+/// smoothstep easing.
+ImageF value_noise(int w, int h, int cell, Rng& rng) {
+  const int gw = w / cell + 2;
+  const int gh = h / cell + 2;
+  std::vector<float> lattice(static_cast<std::size_t>(gw) * gh);
+  for (auto& v : lattice) v = static_cast<float>(rng.uniform());
+  ImageF out(w, h);
+  for (int y = 0; y < h; ++y) {
+    const double fy = static_cast<double>(y) / cell;
+    const int y0 = static_cast<int>(fy);
+    double ty = fy - y0;
+    ty = ty * ty * (3 - 2 * ty);
+    for (int x = 0; x < w; ++x) {
+      const double fx = static_cast<double>(x) / cell;
+      const int x0 = static_cast<int>(fx);
+      double tx = fx - x0;
+      tx = tx * tx * (3 - 2 * tx);
+      const float v00 = lattice[static_cast<std::size_t>(y0) * gw + x0];
+      const float v10 = lattice[static_cast<std::size_t>(y0) * gw + x0 + 1];
+      const float v01 = lattice[static_cast<std::size_t>(y0 + 1) * gw + x0];
+      const float v11 = lattice[static_cast<std::size_t>(y0 + 1) * gw + x0 + 1];
+      out(x, y) = static_cast<float>((1 - ty) * ((1 - tx) * v00 + tx * v10) +
+                                     ty * ((1 - tx) * v01 + tx * v11));
+    }
+  }
+  return out;
+}
+
+void fill_rect(ImageF& img, int x0, int y0, int x1, int y1, float v) {
+  x0 = std::max(0, x0);
+  y0 = std::max(0, y0);
+  x1 = std::min(img.width(), x1);
+  y1 = std::min(img.height(), y1);
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) img(x, y) = v;
+  }
+}
+
+void fill_disc(ImageF& img, int cx, int cy, int r, float v) {
+  for (int y = std::max(0, cy - r); y < std::min(img.height(), cy + r + 1); ++y) {
+    for (int x = std::max(0, cx - r); x < std::min(img.width(), cx + r + 1); ++x) {
+      const int dx = x - cx, dy = y - cy;
+      if (dx * dx + dy * dy <= r * r) img(x, y) = v;
+    }
+  }
+}
+
+}  // namespace
+
+ImageF noise_texture(int w, int h, int octaves, double lo, double hi,
+                     Rng& rng) {
+  VP_REQUIRE(w > 0 && h > 0, "noise_texture: empty size");
+  VP_REQUIRE(octaves >= 1 && octaves <= 10, "noise octaves in [1,10]");
+  ImageF acc(w, h, 1, 0.0f);
+  double amp = 1.0, total_amp = 0.0;
+  int cell = std::max(2, std::min(w, h) / 4);
+  for (int o = 0; o < octaves; ++o) {
+    const ImageF layer = value_noise(w, h, std::max(1, cell), rng);
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        acc(x, y) += static_cast<float>(amp) * layer(x, y);
+      }
+    }
+    total_amp += amp;
+    amp *= 0.55;
+    cell = std::max(1, cell / 2);
+  }
+  for (auto& v : acc.pixels()) {
+    v = static_cast<float>(lo + (hi - lo) * (v / total_amp));
+  }
+  return acc;
+}
+
+ImageF painting_texture(int w, int h, Rng& rng) {
+  // Layer 1: smooth colorful-ish background (low-frequency noise).
+  ImageF img = noise_texture(w, h, 3, 40, 220, rng);
+
+  // Layer 2: a handful of bold geometric shapes at random tones.
+  const int shapes = static_cast<int>(6 + rng.uniform_u64(8));
+  for (int s = 0; s < shapes; ++s) {
+    const float tone = static_cast<float>(rng.uniform(10, 245));
+    if (rng.chance(0.5)) {
+      const int cx = static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(w)));
+      const int cy = static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(h)));
+      fill_disc(img, cx, cy, static_cast<int>(4 + rng.uniform_u64(static_cast<std::uint64_t>(std::min(w, h) / 4))), tone);
+    } else {
+      const int x0 = static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(w)));
+      const int y0 = static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(h)));
+      fill_rect(img, x0, y0, x0 + static_cast<int>(8 + rng.uniform_u64(static_cast<std::uint64_t>(w / 3))),
+                y0 + static_cast<int>(8 + rng.uniform_u64(static_cast<std::uint64_t>(h / 3))), tone);
+    }
+  }
+
+  // Layer 3: brush strokes — short dark/light line segments.
+  const int strokes = static_cast<int>(30 + rng.uniform_u64(40));
+  for (int s = 0; s < strokes; ++s) {
+    const double angle = rng.uniform(0, 2 * std::numbers::pi);
+    const double len = rng.uniform(5, std::min(w, h) / 3.0);
+    double x = rng.uniform(0, w);
+    double y = rng.uniform(0, h);
+    const float tone = static_cast<float>(rng.uniform(0, 255));
+    const int steps = static_cast<int>(len);
+    for (int t = 0; t < steps; ++t) {
+      const int xi = static_cast<int>(x), yi = static_cast<int>(y);
+      if (xi >= 0 && xi < w && yi >= 0 && yi < h) img(xi, yi) = tone;
+      x += std::cos(angle);
+      y += std::sin(angle);
+    }
+  }
+
+  // Layer 4: fine texture grain so every painting is unique at pixel level.
+  for (auto& v : img.pixels()) {
+    v = std::clamp(v + static_cast<float>(rng.gaussian(0, 6)), 0.0f, 255.0f);
+  }
+
+  // Ornate frame, IDENTICAL across all paintings (fixed seed): each
+  // painting's frame keypoints are unique within the image but repeated
+  // across every scene — the exact cross-scene confusion ("unique in a
+  // room, but repeated in every room") the uniqueness oracle must filter.
+  Rng frame_rng(0x0F4A3Eu);
+  const int border = std::max(4, std::min(w, h) / 14);
+  const float frame_tone = 25.0f;
+  fill_rect(img, 0, 0, w, border, frame_tone);
+  fill_rect(img, 0, h - border, w, h, frame_tone);
+  fill_rect(img, 0, 0, border, h, frame_tone);
+  fill_rect(img, w - border, 0, w, h, frame_tone);
+  // Repeating ornamental studs along the frame.
+  const int pitch = std::max(6, border);
+  for (int x = pitch / 2; x < w; x += pitch) {
+    const float tone = static_cast<float>(frame_rng.uniform(120, 230));
+    fill_disc(img, x, border / 2, border / 4, tone);
+    fill_disc(img, x, h - border / 2, border / 4, tone);
+  }
+  for (int y = pitch / 2; y < h; y += pitch) {
+    const float tone = static_cast<float>(frame_rng.uniform(120, 230));
+    fill_disc(img, border / 2, y, border / 4, tone);
+    fill_disc(img, w - border / 2, y, border / 4, tone);
+  }
+  return img;
+}
+
+ImageF checkerboard_texture(int w, int h, int tile, double a, double b,
+                            Rng& rng) {
+  VP_REQUIRE(tile > 0, "checkerboard tile must be positive");
+  ImageF img(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const int tx = x / tile, ty = y / tile;
+      img(x, y) = static_cast<float>(((tx + ty) % 2 == 0) ? a : b);
+    }
+  }
+  // Slight per-tile brightness variation + grout lines.
+  for (int ty = 0; ty * tile < h; ++ty) {
+    for (int tx = 0; tx * tile < w; ++tx) {
+      const float dv = static_cast<float>(rng.gaussian(0, 2.5));
+      for (int y = ty * tile; y < std::min(h, (ty + 1) * tile); ++y) {
+        for (int x = tx * tile; x < std::min(w, (tx + 1) * tile); ++x) {
+          if (x % tile == 0 || y % tile == 0) {
+            img(x, y) = 60.0f;
+          } else {
+            img(x, y) = std::clamp(img(x, y) + dv, 0.0f, 255.0f);
+          }
+        }
+      }
+    }
+  }
+  return img;
+}
+
+ImageF ceiling_texture(int w, int h, int cell, Rng& rng) {
+  VP_REQUIRE(cell > 2, "ceiling cell too small");
+  ImageF img(w, h, 1, 225.0f);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (x % cell <= 1 || y % cell <= 1) img(x, y) = 140.0f;
+    }
+  }
+  // Speckle the panels like acoustic tiles.
+  const std::size_t speckles = static_cast<std::size_t>(w) * h / 60;
+  for (std::size_t s = 0; s < speckles; ++s) {
+    const int x = static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(w)));
+    const int y = static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(h)));
+    if (x % cell > 1 && y % cell > 1) {
+      img(x, y) = static_cast<float>(205 + rng.uniform(-12, 12));
+    }
+  }
+  return img;
+}
+
+ImageF wood_texture(int w, int h, Rng& rng) {
+  const ImageF warp = noise_texture(w, h, 3, -18, 18, rng);
+  ImageF img(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const double band =
+          std::sin((y + warp(x, y)) * 0.35) * 0.5 + 0.5;  // grain bands
+      img(x, y) = static_cast<float>(95 + band * 60);
+    }
+  }
+  return img;
+}
+
+ImageF door_texture(int w, int h, std::uint64_t knob_seed, Rng& rng) {
+  ImageF img = wood_texture(w, h, rng);
+  // Two panel insets.
+  const int margin = w / 6;
+  fill_rect(img, margin, h / 10, w - margin, h / 10 + 2, 70.0f);
+  fill_rect(img, margin, h * 4 / 10, w - margin, h * 4 / 10 + 2, 70.0f);
+  fill_rect(img, margin, h * 5 / 10, w - margin, h * 5 / 10 + 2, 70.0f);
+  fill_rect(img, margin, h * 9 / 10, w - margin, h * 9 / 10 + 2, 70.0f);
+  fill_rect(img, margin, h / 10, margin + 2, h * 9 / 10, 70.0f);
+  fill_rect(img, w - margin - 2, h / 10, w - margin, h * 9 / 10, 70.0f);
+
+  // Knob: deterministic from knob_seed, so identical across doors.
+  Rng knob_rng(knob_seed);
+  const int kx = w * 5 / 6;
+  const int ky = h / 2;
+  const int kr = std::max(3, w / 16);
+  fill_disc(img, kx, ky, kr, 30.0f);
+  fill_disc(img, kx, ky, std::max(1, kr - 2),
+            static_cast<float>(170 + knob_rng.uniform(-30, 30)));
+  // Distinctive-but-repeated detail pattern on the knob plate.
+  for (int s = 0; s < 5; ++s) {
+    const int ox = static_cast<int>(knob_rng.uniform(-kr, kr));
+    const int oy = static_cast<int>(knob_rng.uniform(-kr, kr));
+    fill_disc(img, kx + ox / 2, ky + oy / 2, 1,
+              static_cast<float>(knob_rng.uniform(20, 240)));
+  }
+  return img;
+}
+
+ImageF nameplate_texture(int w, int h, Rng& rng) {
+  ImageF img(w, h, 1, 230.0f);
+  fill_rect(img, 0, 0, w, 2, 90.0f);
+  fill_rect(img, 0, h - 2, w, h, 90.0f);
+  fill_rect(img, 0, 0, 2, h, 90.0f);
+  fill_rect(img, w - 2, 0, w, h, 90.0f);
+  // Rows of glyph-like marks.
+  const int rows = 2 + static_cast<int>(rng.uniform_u64(2));
+  for (int r = 0; r < rows; ++r) {
+    const int cy = (r + 1) * h / (rows + 1);
+    int x = w / 10;
+    while (x < w * 9 / 10) {
+      const int glyph_w = 2 + static_cast<int>(rng.uniform_u64(4));
+      const int glyph_h = h / (rows + 2);
+      if (rng.chance(0.8)) {
+        fill_rect(img, x, cy - glyph_h / 2, x + glyph_w, cy + glyph_h / 2,
+                  40.0f);
+      }
+      x += glyph_w + 2;
+    }
+  }
+  return img;
+}
+
+ImageF shelf_texture(int w, int h, std::uint64_t variant, Rng& rng) {
+  ImageF img(w, h, 1, 190.0f);
+  Rng vr(variant * 0x9e3779b97f4a7c15ULL + 17);
+  const int shelf_rows = 4;
+  const int row_h = h / shelf_rows;
+  // One product-box style per variant, repeated along every shelf.
+  const int box_w = 8 + static_cast<int>(vr.uniform_u64(14));
+  const float box_tone = static_cast<float>(vr.uniform(50, 200));
+  const float label_tone = static_cast<float>(vr.uniform(0, 255));
+  for (int r = 0; r < shelf_rows; ++r) {
+    const int y0 = r * row_h;
+    fill_rect(img, 0, y0 + row_h - 3, w, y0 + row_h, 80.0f);  // shelf board
+    int x = 1 + static_cast<int>(rng.uniform_u64(4));
+    while (x + box_w < w) {
+      const int bh = row_h * 2 / 3 + static_cast<int>(rng.uniform_u64(4));
+      fill_rect(img, x, y0 + row_h - 3 - bh, x + box_w, y0 + row_h - 3,
+                box_tone);
+      fill_rect(img, x + 2, y0 + row_h - 3 - bh / 2, x + box_w - 2,
+                y0 + row_h - 3 - bh / 2 + 3, label_tone);
+      x += box_w + 2;
+    }
+  }
+  return img;
+}
+
+ImageF wall_texture(int w, int h, double base_level, Rng& rng) {
+  ImageF img(w, h, 1, static_cast<float>(base_level));
+  // Minuscule drywall imperfections: sparse faint specks.
+  const std::size_t specks = static_cast<std::size_t>(w) * h / 400;
+  for (std::size_t s = 0; s < specks; ++s) {
+    const int x = static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(w)));
+    const int y = static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(h)));
+    img(x, y) = std::clamp(
+        static_cast<float>(base_level + rng.gaussian(0, 7)), 0.0f, 255.0f);
+  }
+  return img;
+}
+
+}  // namespace vp

@@ -1,0 +1,55 @@
+// Procedural texture synthesis.
+//
+// The paper's datasets are photographs of real indoor spaces whose defining
+// property is the *mix* of visual content: one-of-a-kind paintings and
+// posters (high entropy, globally unique keypoints) against repeated floor
+// tiles, ceiling grids, door hardware, and furniture (locally interesting
+// but globally common keypoints). These generators synthesize both kinds
+// with controllable entropy, which is exactly the axis VisualPrint's
+// uniqueness oracle discriminates.
+//
+// All textures are grayscale ImageF with values in [0, 255].
+#pragma once
+
+#include "imaging/image.hpp"
+#include "util/rng.hpp"
+
+namespace vp {
+
+/// Multi-octave value noise (fractal), values spanning roughly [lo, hi].
+ImageF noise_texture(int w, int h, int octaves, double lo, double hi,
+                     Rng& rng);
+
+/// A unique "painting": layered blobs, strokes and noise. Every call with a
+/// fresh rng state yields a distinct, high-entropy texture.
+ImageF painting_texture(int w, int h, Rng& rng);
+
+/// Checkerboard floor tiles: `tile` pixel squares, two gray levels, plus a
+/// little per-tile shading variation. Repeating and low-entropy by design.
+ImageF checkerboard_texture(int w, int h, int tile, double a, double b,
+                            Rng& rng);
+
+/// Suspended-ceiling grid: light panels with dark seams every `cell` px.
+ImageF ceiling_texture(int w, int h, int cell, Rng& rng);
+
+/// Wood grain: horizontal bands warped by low-frequency noise.
+ImageF wood_texture(int w, int h, Rng& rng);
+
+/// A door with panel insets and a knob. `knob_seed` controls the knob
+/// pattern: doors built with the same knob_seed carry identical hardware —
+/// the paper's door-knob example of "unique in a room, repeated across
+/// rooms."
+ImageF door_texture(int w, int h, std::uint64_t knob_seed, Rng& rng);
+
+/// Text-like nameplate: rows of dark glyph-ish rectangles on a light
+/// plate. Distractor content (paper's "name-plates").
+ImageF nameplate_texture(int w, int h, Rng& rng);
+
+/// Grocery shelf: regular shelf boards with rows of similar product boxes;
+/// `variant` selects one of a few box patterns so different aisles repeat.
+ImageF shelf_texture(int w, int h, std::uint64_t variant, Rng& rng);
+
+/// Flat drywall with tiny imperfections (near-featureless).
+ImageF wall_texture(int w, int h, double base_level, Rng& rng);
+
+}  // namespace vp

@@ -1,0 +1,84 @@
+#include "scene/world.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace vp {
+
+std::size_t World::add_texture(ImageF texture) {
+  VP_REQUIRE(!texture.empty(), "add_texture: empty texture");
+  textures_.push_back(std::move(texture));
+  return textures_.size() - 1;
+}
+
+void World::add_quad(TexturedQuad quad) {
+  VP_REQUIRE(quad.texture < textures_.size(),
+             "add_quad: texture index out of range");
+  VP_REQUIRE(quad.area() > 1e-12, "add_quad: degenerate quad");
+  quads_.push_back(std::move(quad));
+}
+
+void World::add_surface(Vec3 origin, Vec3 edge_u, Vec3 edge_v, ImageF texture,
+                        int scene_id, std::string name) {
+  TexturedQuad q;
+  q.origin = origin;
+  q.edge_u = edge_u;
+  q.edge_v = edge_v;
+  q.texture = add_texture(std::move(texture));
+  q.scene_id = scene_id;
+  q.name = std::move(name);
+  add_quad(std::move(q));
+}
+
+int World::scene_count() const noexcept {
+  int max_id = -1;
+  for (const auto& q : quads_) max_id = std::max(max_id, q.scene_id);
+  return max_id + 1;
+}
+
+void World::bounds(Vec3& lo, Vec3& hi) const {
+  lo = {std::numeric_limits<double>::max(), std::numeric_limits<double>::max(),
+        std::numeric_limits<double>::max()};
+  hi = {std::numeric_limits<double>::lowest(),
+        std::numeric_limits<double>::lowest(),
+        std::numeric_limits<double>::lowest()};
+  auto grow = [&](Vec3 p) {
+    lo = {std::min(lo.x, p.x), std::min(lo.y, p.y), std::min(lo.z, p.z)};
+    hi = {std::max(hi.x, p.x), std::max(hi.y, p.y), std::max(hi.z, p.z)};
+  };
+  for (const auto& q : quads_) {
+    grow(q.origin);
+    grow(q.origin + q.edge_u);
+    grow(q.origin + q.edge_v);
+    grow(q.origin + q.edge_u + q.edge_v);
+  }
+  if (quads_.empty()) lo = hi = Vec3{};
+}
+
+std::optional<RayHit> raycast(const World& world, Vec3 origin, Vec3 dir,
+                              double t_min) {
+  std::optional<RayHit> best;
+  for (std::size_t qi = 0; qi < world.quads().size(); ++qi) {
+    const auto& q = world.quads()[qi];
+    const Vec3 n = q.edge_u.cross(q.edge_v);
+    const double denom = dir.dot(n);
+    if (std::abs(denom) < 1e-12) continue;  // parallel
+    const double t = (q.origin - origin).dot(n) / denom;
+    if (t <= t_min) continue;
+    if (best && t >= best->t) continue;
+    const Vec3 p = origin + dir * t;
+    const Vec3 rel = p - q.origin;
+    // Builders keep edges orthogonal, so the local coordinates decouple.
+    const double uu = q.edge_u.norm2();
+    const double vv = q.edge_v.norm2();
+    const double u = rel.dot(q.edge_u) / uu;
+    const double v = rel.dot(q.edge_v) / vv;
+    if (u < 0 || u > 1 || v < 0 || v > 1) continue;
+    best = RayHit{t, qi, u, v};
+  }
+  return best;
+}
+
+}  // namespace vp

@@ -1,0 +1,45 @@
+// ICP-based map merging (paper §3): fold per-snapshot depth clouds into one
+// coherent point cloud, correcting each snapshot's drifted pose against the
+// accumulated map. "Only from this converged, comprehensive depth map we
+// can be sure that two keypoints reflect truly independent locations."
+#pragma once
+
+#include <vector>
+
+#include "geometry/icp.hpp"
+#include "slam/wardrive.hpp"
+
+namespace vp {
+
+struct MapMergeConfig {
+  IcpConfig icp{.max_correspondence_dist = 0.75};
+  int cloud_stride = 3;          ///< depth subsampling for ICP clouds
+  std::size_t max_map_points = 400'000;  ///< cap on the reference map
+  bool enabled = true;           ///< false = trust reported poses (ablation)
+  /// Dead-reckoning drift between consecutive snapshots is small, so a
+  /// large ICP "correction" means the solver latched onto the wrong
+  /// geometry (e.g. the opposite corridor wall). Such corrections are
+  /// rejected and the reported pose kept.
+  double max_position_correction = 1.0;   ///< meters
+  double max_rotation_correction = 0.35;  ///< radians
+  double min_overlap_fraction = 0.25;     ///< correspondences / cloud size
+};
+
+struct MapMergeResult {
+  std::vector<Pose> corrected_poses;  ///< one per snapshot
+  std::vector<Vec3> map_points;       ///< the merged global cloud
+  double mean_icp_error = 0;          ///< mean residual across snapshots
+  std::size_t snapshots_corrected = 0;
+};
+
+/// Sequentially registers each snapshot's cloud against the growing map.
+/// The first snapshot anchors the frame. With `enabled=false`, reported
+/// poses pass through untouched (the no-ICP ablation).
+MapMergeResult merge_snapshots(std::span<const Snapshot> snapshots,
+                               const MapMergeConfig& config = {});
+
+/// Evaluation helper: mean position error of poses vs ground truth.
+double mean_pose_error(std::span<const Snapshot> snapshots,
+                       std::span<const Pose> poses);
+
+}  // namespace vp

@@ -1,0 +1,42 @@
+#include "slam/mapping.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vp {
+
+std::vector<KeypointMapping> extract_mappings(
+    std::span<const Snapshot> snapshots, std::span<const Pose> poses,
+    const MappingConfig& cfg) {
+  VP_REQUIRE(snapshots.size() == poses.size(),
+             "extract_mappings: pose count mismatch");
+  std::vector<KeypointMapping> mappings;
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    const auto& snap = snapshots[i];
+    const auto features = sift_detect(snap.image, cfg.sift);
+    for (const auto& f : features) {
+      // Depth pixel covering this keypoint.
+      const int dx = std::clamp(
+          static_cast<int>(f.keypoint.x) / snap.depth_downscale, 0,
+          snap.depth.width() - 1);
+      const int dy = std::clamp(
+          static_cast<int>(f.keypoint.y) / snap.depth_downscale, 0,
+          snap.depth.height() - 1);
+      const float t = snap.depth(dx, dy);
+      if (t <= 0.0f || t > cfg.max_depth) continue;
+      // Back-project the keypoint's own pixel (full resolution) with the
+      // depth sampled from the coarser IR map.
+      const Vec3 ray = snap.intrinsics.pixel_ray({f.keypoint.x, f.keypoint.y});
+      KeypointMapping m;
+      m.feature = f;
+      m.world_position = poses[i].to_world(ray * static_cast<double>(t));
+      m.snapshot = static_cast<std::uint32_t>(i);
+      mappings.push_back(std::move(m));
+    }
+  }
+  return mappings;
+}
+
+}  // namespace vp

@@ -1,0 +1,33 @@
+// Keypoint-to-3D-position extraction: the wardriving app's actual output
+// (paper §3, "Keypoint-to-3D Position Wardriving"). SIFT keypoints from
+// each RGB snapshot are paired with the depth return at their pixel and
+// back-projected through the snapshot's (ICP-corrected) pose.
+#pragma once
+
+#include <vector>
+
+#include "features/sift.hpp"
+#include "slam/map_merge.hpp"
+#include "slam/wardrive.hpp"
+
+namespace vp {
+
+/// One keypoint-to-3D mapping shipped to the cloud service.
+struct KeypointMapping {
+  Feature feature;
+  Vec3 world_position;
+  std::uint32_t snapshot = 0;
+};
+
+struct MappingConfig {
+  SiftConfig sift{};
+  double max_depth = 25.0;  ///< discard returns beyond the IR sensor range
+};
+
+/// Extract mappings from all snapshots under the given per-snapshot poses
+/// (typically MapMergeResult::corrected_poses).
+std::vector<KeypointMapping> extract_mappings(
+    std::span<const Snapshot> snapshots, std::span<const Pose> poses,
+    const MappingConfig& config = {});
+
+}  // namespace vp

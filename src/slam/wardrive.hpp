@@ -1,0 +1,63 @@
+// Wardriving simulator — the Google Tango substitute.
+//
+// The paper's wardriving app walks a building recording, per snapshot:
+// a 6-DoF pose (VSLAM dead reckoning, which drifts), an RGB image, and a
+// lower-resolution IR depth map. This simulator walks a lawnmower path
+// through a World, renders the same artifacts with the ray-cast renderer,
+// and corrupts the reported poses with an integrating drift model — the
+// exact error source the paper's ICP post-processing exists to fix.
+#pragma once
+
+#include <vector>
+
+#include "geometry/camera.hpp"
+#include "scene/render.hpp"
+#include "scene/world.hpp"
+#include "util/rng.hpp"
+
+namespace vp {
+
+struct DriftModel {
+  double pos_per_meter = 0.015;  ///< position random-walk stddev per meter
+  double yaw_per_meter = 0.0025; ///< yaw random-walk stddev (rad) per meter
+  double pos_jitter = 0.01;      ///< per-snapshot measurement noise, meters
+  double yaw_jitter = 0.002;     ///< per-snapshot measurement noise, rad
+};
+
+struct WardriveConfig {
+  CameraIntrinsics intrinsics{640, 480, 1.15192};
+  double stop_spacing = 1.5;     ///< meters between capture stops
+  double lane_spacing = 3.0;     ///< meters between lawnmower lanes
+  double margin = 1.5;           ///< keep-away from walls, meters
+  double eye_height = 1.5;       ///< camera height, meters
+  int views_per_stop = 2;        ///< look directions captured per stop
+  DriftModel drift{};
+  RenderOptions render{};        ///< want_depth is forced on
+};
+
+/// One wardriving capture.
+struct Snapshot {
+  Pose true_pose;       ///< ground truth (evaluation only — never used by
+                        ///< the pipeline itself)
+  Pose reported_pose;   ///< drift-corrupted dead-reckoned pose ("Tango")
+  ImageF image;         ///< RGB frame (grayscale here)
+  ImageF depth;         ///< depth map, `depth_downscale` lower resolution
+  CameraIntrinsics intrinsics;
+  int depth_downscale = 4;
+};
+
+/// Walk the world and capture snapshots. Deterministic given `rng`.
+std::vector<Snapshot> wardrive(const World& world, const WardriveConfig& config,
+                               Rng& rng);
+
+/// Back-project depth pixel (dx, dy) of a snapshot into world space using
+/// the given pose (reported, corrected, or true). Returns nullopt where the
+/// depth map has no return.
+std::optional<Vec3> depth_to_world(const Snapshot& snap, const Pose& pose,
+                                   int dx, int dy);
+
+/// Dense point cloud of one snapshot under `pose` (subsampled by `stride`).
+std::vector<Vec3> snapshot_point_cloud(const Snapshot& snap, const Pose& pose,
+                                       int stride = 2);
+
+}  // namespace vp

@@ -1,0 +1,15 @@
+#include "util/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vp::detail {
+
+void assert_fail(const char* expr, std::source_location loc) {
+  std::fprintf(stderr, "VP_ASSERT failed: %s at %s:%u (%s)\n", expr,
+               loc.file_name(), static_cast<unsigned>(loc.line()),
+               loc.function_name());
+  std::abort();
+}
+
+}  // namespace vp::detail

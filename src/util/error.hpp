@@ -1,0 +1,61 @@
+// Error handling primitives for VisualPrint.
+//
+// The library throws `vp::Error` (derived from std::runtime_error) for
+// recoverable failures (bad input data, I/O problems, protocol violations)
+// and uses VP_ASSERT for programming-contract violations that indicate a
+// bug in the library itself.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace vp {
+
+/// Base exception for all recoverable VisualPrint failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when decoding a wire message or file fails.
+class DecodeError : public Error {
+ public:
+  explicit DecodeError(const std::string& what) : Error("decode: " + what) {}
+};
+
+/// Raised for filesystem / codec I/O failures.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("io: " + what) {}
+};
+
+/// Raised when a caller violates a documented API precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what)
+      : Error("invalid argument: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, std::source_location loc);
+}  // namespace detail
+
+}  // namespace vp
+
+/// Contract check that stays on in release builds; failure indicates a bug
+/// inside the library (not bad user input) and aborts with a location.
+#define VP_ASSERT(expr)                                                  \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::vp::detail::assert_fail(#expr, std::source_location::current()); \
+    }                                                                    \
+  } while (false)
+
+/// Precondition check on public API arguments: throws vp::InvalidArgument.
+#define VP_REQUIRE(expr, msg)                  \
+  do {                                         \
+    if (!(expr)) {                             \
+      throw ::vp::InvalidArgument{(msg)};      \
+    }                                          \
+  } while (false)

@@ -1,0 +1,76 @@
+// Deterministic random number generation.
+//
+// Every stochastic component of VisualPrint (scene synthesis, LSH projection
+// sampling, wardriving drift, differential evolution) takes an explicit
+// `vp::Rng` so runs are reproducible from a single seed. The generator is
+// xoshiro256**, which is fast, has a 256-bit state, and passes BigCrush.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+namespace vp {
+
+/// xoshiro256** pseudo-random generator with distribution helpers.
+///
+/// Satisfies UniformRandomBitGenerator so it can also feed <random>
+/// distributions, but the member helpers below are preferred: they are
+/// deterministic across standard library implementations.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() noexcept;
+  result_type operator()() noexcept { return next_u64(); }
+
+  /// Uniform in [0, n). n must be > 0. Uses rejection to avoid modulo bias.
+  std::uint64_t uniform_u64(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Standard normal via Box-Muller (cached second value).
+  double gaussian() noexcept;
+
+  /// Normal with given mean and standard deviation.
+  double gaussian(double mean, double stddev) noexcept;
+
+  /// Bernoulli trial.
+  bool chance(double p) noexcept;
+
+  /// Derive an independent child generator (for parallel determinism).
+  Rng fork() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  double cached_gauss_ = 0.0;
+  bool has_cached_gauss_ = false;
+};
+
+/// Fisher-Yates shuffle of a random-access range.
+template <typename RandomIt>
+void shuffle(RandomIt first, RandomIt last, Rng& rng) {
+  const auto n = static_cast<std::uint64_t>(last - first);
+  for (std::uint64_t i = n; i > 1; --i) {
+    const auto j = rng.uniform_u64(i);
+    using std::swap;
+    swap(first[i - 1], first[j]);
+  }
+}
+
+}  // namespace vp

@@ -1,0 +1,136 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vp {
+
+double percentile(std::span<const double> values, double p) {
+  VP_REQUIRE(!values.empty(), "percentile of empty sample");
+  VP_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p outside [0,100]");
+  std::vector<double> v(values.begin(), values.end());
+  std::sort(v.begin(), v.end());
+  if (v.size() == 1) return v[0];
+  const double rank = (p / 100.0) * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double s = 0;
+  for (double x : values) s += x;
+  return s / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double s = 0;
+  for (double x : values) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(values.size() - 1));
+}
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  s.count = values.size();
+  s.min = percentile(values, 0);
+  s.q1 = percentile(values, 25);
+  s.median = percentile(values, 50);
+  s.q3 = percentile(values, 75);
+  s.max = percentile(values, 100);
+  s.mean = mean(values);
+  s.stddev = stddev(values);
+  return s;
+}
+
+EmpiricalCdf::EmpiricalCdf(std::span<const double> values)
+    : sorted_(values.begin(), values.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::at(double x) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  VP_REQUIRE(!sorted_.empty(), "quantile of empty CDF");
+  VP_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q outside [0,1]");
+  return percentile(sorted_, q * 100.0);
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::sample_points(
+    std::size_t n) const {
+  std::vector<std::pair<double, double>> pts;
+  if (sorted_.empty() || n == 0) return pts;
+  pts.reserve(n);
+  const double lo = sorted_.front();
+  const double hi = sorted_.back();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x =
+        n == 1 ? hi
+               : lo + (hi - lo) * static_cast<double>(i) /
+                          static_cast<double>(n - 1);
+    pts.emplace_back(x, at(x));
+  }
+  return pts;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  VP_REQUIRE(bins > 0, "histogram needs at least one bin");
+  VP_REQUIRE(hi > lo, "histogram range must be nonempty");
+}
+
+void Histogram::add(double x) noexcept {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) noexcept {
+  for (double x : xs) add(x);
+}
+
+std::uint64_t Histogram::count(std::size_t bin) const {
+  VP_REQUIRE(bin < counts_.size(), "histogram bin out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  VP_REQUIRE(bin < counts_.size(), "histogram bin out of range");
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + w * (static_cast<double>(bin) + 0.5);
+}
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace vp

@@ -1,0 +1,102 @@
+// Descriptive statistics used across the evaluation benches: empirical CDFs
+// (every figure in the paper is a CDF or a boxplot), percentiles, summaries.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vp {
+
+/// Five-number summary plus mean, matching the boxplots of Fig. 6.
+struct Summary {
+  double min = 0;
+  double q1 = 0;
+  double median = 0;
+  double q3 = 0;
+  double max = 0;
+  double mean = 0;
+  double stddev = 0;
+  std::size_t count = 0;
+};
+
+/// Compute a summary of `values` (empty input yields an all-zero summary).
+Summary summarize(std::span<const double> values);
+
+/// p-th percentile (p in [0,100]) by linear interpolation of the sorted
+/// sample. Throws InvalidArgument on empty input or p outside [0,100].
+double percentile(std::span<const double> values, double p);
+
+/// Arithmetic mean; 0 for empty input.
+double mean(std::span<const double> values);
+
+/// Sample standard deviation (n-1 denominator); 0 for n < 2.
+double stddev(std::span<const double> values);
+
+/// Empirical CDF: sorted (value, cumulative fraction) pairs, one per sample.
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+  explicit EmpiricalCdf(std::span<const double> values);
+
+  /// Fraction of samples <= x.
+  double at(double x) const noexcept;
+
+  /// Inverse CDF (quantile). q in [0,1].
+  double quantile(double q) const;
+
+  std::size_t size() const noexcept { return sorted_.size(); }
+  bool empty() const noexcept { return sorted_.empty(); }
+  const std::vector<double>& sorted_values() const noexcept { return sorted_; }
+
+  /// Evaluate the CDF at `n` evenly spaced points across [min, max] and
+  /// return (x, F(x)) rows — the series benches print for each figure.
+  std::vector<std::pair<double, double>> sample_points(std::size_t n) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Fixed-bin histogram over [lo, hi); values outside clamp to edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void add_all(std::span<const double> xs) noexcept;
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const;
+  std::uint64_t total() const noexcept { return total_; }
+  double bin_center(std::size_t bin) const;
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Online mean/variance (Welford), for streaming benches.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace vp

@@ -1,0 +1,81 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace vp {
+
+Table& Table::header(std::vector<std::string> cols) {
+  header_ = std::move(cols);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::bytes_human(double bytes) {
+  static constexpr const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f %s", bytes, units[u]);
+  return buf;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths;
+  auto fit = [&](const std::vector<std::string>& cells) {
+    if (widths.size() < cells.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  fit(header_);
+  for (const auto& r : rows_) fit(r);
+
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      os << c << std::string(widths[i] - c.size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (auto w : widths) total += w + 2;
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+void print_series(const std::string& name,
+                  const std::vector<std::pair<double, double>>& points,
+                  const std::string& x_label, const std::string& y_label,
+                  int precision) {
+  std::printf("# series: %s  (%s vs %s)\n", name.c_str(), x_label.c_str(),
+              y_label.c_str());
+  for (const auto& [x, y] : points) {
+    std::printf("%.*f\t%.*f\n", precision, x, precision, y);
+  }
+  std::printf("\n");
+}
+
+}  // namespace vp

@@ -1,0 +1,43 @@
+// Plain-text table / series printer for the figure-reproduction benches.
+// Each bench prints the same rows or series the paper's figure plots, so
+// output can be diffed against the paper's reported shape.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace vp {
+
+/// Fixed-width console table with a title row; column widths auto-fit.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  Table& header(std::vector<std::string> cols);
+  Table& row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string num(double v, int precision = 3);
+  static std::string bytes_human(double bytes);
+
+  /// Render to stdout.
+  void print() const;
+
+  /// Render as a string (used by tests).
+  std::string to_string() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a named (x, y) series as two columns — one per CDF / curve in a
+/// figure. `points` are printed in order.
+void print_series(const std::string& name,
+                  const std::vector<std::pair<double, double>>& points,
+                  const std::string& x_label, const std::string& y_label,
+                  int precision = 4);
+
+}  // namespace vp

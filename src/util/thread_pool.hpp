@@ -1,0 +1,46 @@
+// Minimal fixed-size thread pool with a parallel_for helper.
+//
+// Used by the brute-force matcher (the paper runs it as GPU SIMD; we block
+// the distance matrix across threads) and by batch feature extraction.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace vp {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; the future resolves when it completes.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run fn(i) for i in [0, n), partitioned into contiguous blocks across
+  /// the pool, and wait for completion. Exceptions propagate to the caller.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace vp

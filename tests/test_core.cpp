@@ -1,0 +1,372 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/client.hpp"
+#include "core/retrieval.hpp"
+#include "core/server.hpp"
+#include "core/session.hpp"
+#include "scene/texture.hpp"
+#include "util/rng.hpp"
+
+namespace vp {
+namespace {
+
+Descriptor random_descriptor(Rng& rng) {
+  Descriptor d;
+  for (auto& v : d) v = static_cast<std::uint8_t>(rng.uniform_u64(80));
+  return d;
+}
+
+Feature make_feature(Rng& rng, float x = 10, float y = 10) {
+  Feature f;
+  f.keypoint = {x, y, 2.0f, 0.0f, 1.0f, 0};
+  f.descriptor = random_descriptor(rng);
+  return f;
+}
+
+OracleConfig small_oracle() {
+  OracleConfig cfg;
+  cfg.capacity = 20'000;
+  return cfg;
+}
+
+ServerConfig small_server() {
+  ServerConfig cfg;
+  cfg.oracle = small_oracle();
+  return cfg;
+}
+
+TEST(Client, RequiresOracleForUniqueSelection) {
+  ClientConfig cfg;
+  cfg.top_k = 5;
+  VisualPrintClient client(cfg);
+  Rng rng(1);
+  std::vector<Feature> fs;
+  for (int i = 0; i < 10; ++i) fs.push_back(make_feature(rng));
+  EXPECT_THROW(client.select_features(fs, 5), InvalidArgument);
+}
+
+TEST(Client, SelectsMostUniqueFirst) {
+  UniquenessOracle oracle(small_oracle());
+  Rng rng(2);
+  // Common descriptor: inserted many times; unique: once.
+  const Feature common = make_feature(rng);
+  const Feature unique = make_feature(rng);
+  for (int i = 0; i < 40; ++i) oracle.insert(common.descriptor);
+  oracle.insert(unique.descriptor);
+
+  ClientConfig cfg;
+  cfg.top_k = 1;
+  VisualPrintClient client(cfg);
+  client.install_oracle(std::move(oracle));
+  const auto picked = client.select_features({common, unique}, 1);
+  ASSERT_EQ(picked.size(), 1u);
+  EXPECT_EQ(picked[0].descriptor, unique.descriptor);
+}
+
+TEST(Client, RandomPolicyDeterministicPerSeed) {
+  ClientConfig cfg;
+  cfg.policy = SelectionPolicy::kRandom;
+  VisualPrintClient a(cfg, 7), b(cfg, 7);
+  Rng rng(3);
+  std::vector<Feature> fs;
+  for (int i = 0; i < 30; ++i) fs.push_back(make_feature(rng));
+  const auto sa = a.select_features(fs, 10);
+  const auto sb = b.select_features(fs, 10);
+  ASSERT_EQ(sa.size(), 10u);
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].descriptor, sb[i].descriptor);
+  }
+}
+
+TEST(Client, AllPolicyKeepsEverything) {
+  ClientConfig cfg;
+  cfg.policy = SelectionPolicy::kAll;
+  VisualPrintClient client(cfg);
+  Rng rng(4);
+  std::vector<Feature> fs;
+  for (int i = 0; i < 30; ++i) fs.push_back(make_feature(rng));
+  EXPECT_EQ(client.select_features(fs, 10).size(), 30u);
+}
+
+TEST(Client, BlurGateRejects) {
+  ClientConfig cfg;
+  cfg.blur_threshold = 50.0;
+  VisualPrintClient client(cfg);
+  const ImageF flat(64, 64, 1, 128.0f);  // zero Laplacian variance
+  const auto result = client.process_frame(flat, 0.0, 0.0);
+  EXPECT_EQ(result.status, FrameResult::Status::kBlurRejected);
+  EXPECT_FALSE(result.query.has_value());
+}
+
+TEST(Client, StaleFrameRejectedBeforeWork) {
+  ClientConfig cfg;
+  cfg.stale_frame_budget_s = 0.1;
+  VisualPrintClient client(cfg);
+  const ImageF frame(64, 64, 1, 128.0f);
+  const auto result = client.process_frame(frame, 0.0, 5.0);
+  EXPECT_EQ(result.status, FrameResult::Status::kStale);
+  EXPECT_EQ(result.sift_ms, 0.0);
+}
+
+TEST(Client, ProcessFrameProducesQuery) {
+  ClientConfig cfg;
+  cfg.top_k = 50;
+  cfg.blur_threshold = 1.0;
+  VisualPrintClient client(cfg);
+  client.install_oracle(UniquenessOracle(small_oracle()));
+  Rng rng(5);
+  const ImageF frame = painting_texture(200, 150, rng);
+  const auto result = client.process_frame(frame, 1.0, 1.0);
+  ASSERT_EQ(result.status, FrameResult::Status::kQueued);
+  ASSERT_TRUE(result.query.has_value());
+  EXPECT_GT(result.total_keypoints, 0u);
+  EXPECT_LE(result.query->features.size(), 50u);
+  EXPECT_EQ(result.query->image_width, 200);
+  EXPECT_GT(result.sift_ms, 0.0);
+}
+
+TEST(Server, IngestAndOracleGrow) {
+  VisualPrintServer server(small_server());
+  Rng rng(6);
+  for (int i = 0; i < 10; ++i) {
+    server.ingest(make_feature(rng), {1.0 * i, 0, 1}, i % 3, 0);
+  }
+  EXPECT_EQ(server.keypoint_count(), 10u);
+  EXPECT_EQ(server.oracle().insertions(), 10u);
+  EXPECT_EQ(server.scene_count(), 3);
+}
+
+TEST(Server, SceneVotesFavorMatchingScene) {
+  VisualPrintServer server(small_server());
+  Rng rng(7);
+  std::vector<Feature> scene_a, scene_b;
+  for (int i = 0; i < 20; ++i) {
+    scene_a.push_back(make_feature(rng));
+    scene_b.push_back(make_feature(rng));
+    server.ingest(scene_a.back(), {0, 0, 0}, 0, 0);
+    server.ingest(scene_b.back(), {5, 0, 0}, 1, 0);
+  }
+  const auto votes = server.scene_votes(scene_a);
+  ASSERT_EQ(votes.size(), 2u);
+  EXPECT_GT(votes[0], votes[1] + 10);
+}
+
+TEST(Server, LocalizeQueryRecoversPosition) {
+  ServerConfig cfg = small_server();
+  cfg.localize.search_lo = {-10, -10, 0};
+  cfg.localize.search_hi = {10, 10, 3};
+  cfg.localize.de.time_budget_sec = 1.0;
+  cfg.clustering.radius = 5.0;
+  VisualPrintServer server(cfg);
+
+  // Ground truth: camera at known pose looking at landmarks; ingest the
+  // landmarks, then query with their projections.
+  CameraIntrinsics intr{640, 480, 1.15};
+  const Pose cam_pose = Pose::from_euler({2, 3, 1.5}, 0.3, 0, 0);
+  Rng rng(8);
+  FingerprintQuery q;
+  q.image_width = 640;
+  q.image_height = 480;
+  q.fov_h = 1.15f;
+  for (int i = 0; i < 25; ++i) {
+    const Vec3 body{rng.uniform(-1.5, 1.5), rng.uniform(-1.0, 1.0),
+                    rng.uniform(2.0, 6.0)};
+    const auto px = intr.project(body);
+    if (!px) continue;
+    Feature f = make_feature(rng, static_cast<float>(px->x),
+                             static_cast<float>(px->y));
+    server.ingest(f, cam_pose.to_world(body), 0, 0);
+    q.features.push_back(f);
+  }
+  ASSERT_GE(q.features.size(), 10u);
+  Rng solve_rng(9);
+  const LocationResponse resp = server.localize_query(q, solve_rng);
+  ASSERT_TRUE(resp.found);
+  EXPECT_LT(resp.position.distance({2, 3, 1.5}), 0.5);
+}
+
+TEST(Server, LocalizeFailsWithNoMatches) {
+  VisualPrintServer server(small_server());
+  Rng rng(10);
+  FingerprintQuery q;
+  q.features.push_back(make_feature(rng));
+  Rng solve_rng(11);
+  EXPECT_FALSE(server.localize_query(q, solve_rng).found);
+}
+
+TEST(Server, OracleSnapshotInstallsOnClient) {
+  VisualPrintServer server(small_server());
+  Rng rng(12);
+  const Feature f = make_feature(rng);
+  for (int i = 0; i < 5; ++i) server.ingest(f, {0, 0, 0}, 0, 0);
+  const auto snapshot = server.oracle_snapshot();
+
+  VisualPrintClient client({});
+  client.install_oracle(snapshot);
+  ASSERT_TRUE(client.has_oracle());
+  EXPECT_GE(client.oracle()->count(f.descriptor), 4u);
+}
+
+TEST(Server, OracleDiffRefreshFlow) {
+  // First launch: full download. Later: the server ingests more content
+  // and ships only an XOR diff; the refreshed client must score the new
+  // content exactly like a fresh full download would.
+  VisualPrintServer server(small_server());
+  Rng rng(21);
+  const Feature early = make_feature(rng);
+  for (int i = 0; i < 5; ++i) server.ingest(early, {0, 0, 0}, 0, 0);
+
+  VisualPrintClient client({});
+  client.install_oracle(server.oracle_snapshot());
+  const Bytes base_blob = client.oracle_blob();
+
+  const Feature late = make_feature(rng);
+  for (int i = 0; i < 7; ++i) server.ingest(late, {1, 0, 0}, 0, 0);
+  EXPECT_EQ(client.oracle()->count(late.descriptor), 0u);  // stale copy
+
+  const OracleDiff diff = server.oracle_diff_from(base_blob);
+  client.apply_oracle_diff(diff);
+  EXPECT_GE(client.oracle()->count(late.descriptor), 6u);
+  EXPECT_GE(client.oracle()->count(early.descriptor), 4u);
+
+  // The diff should be cheaper than a fresh full download.
+  EXPECT_LT(diff.compressed_xor.size(),
+            server.oracle_snapshot().compressed.size() + 1024);
+}
+
+TEST(Server, SaveLoadRoundtrip) {
+  namespace fs = std::filesystem;
+  ServerConfig cfg = small_server();
+  cfg.place_label = "persistence test";
+  VisualPrintServer server(cfg);
+  Rng rng(31);
+  std::vector<Feature> feats;
+  for (int i = 0; i < 30; ++i) {
+    feats.push_back(make_feature(rng));
+    server.ingest(feats.back(), {1.0 * i, 2.0, 0.5}, i % 4, 9);
+  }
+  const auto path = (fs::temp_directory_path() / "vp_server_test.db").string();
+  server.save(path);
+  VisualPrintServer loaded = VisualPrintServer::load(path);
+  fs::remove(path);
+
+  EXPECT_EQ(loaded.keypoint_count(), 30u);
+  EXPECT_EQ(loaded.scene_count(), 4);
+  EXPECT_EQ(loaded.oracle().insertions(), 30u);
+  // Stored metadata survives.
+  EXPECT_DOUBLE_EQ(loaded.stored(7).position.x, 7.0);
+  EXPECT_EQ(loaded.stored(7).scene_id, 3);
+  // The rebuilt index answers queries identically.
+  const auto votes = loaded.scene_votes(feats);
+  EXPECT_EQ(votes, server.scene_votes(feats));
+  // The oracle scores identically.
+  for (const auto& f : feats) {
+    EXPECT_EQ(loaded.oracle().count(f.descriptor),
+              server.oracle().count(f.descriptor));
+  }
+}
+
+TEST(Server, LoadRejectsCorruptFile) {
+  ServerConfig cfg = small_server();
+  VisualPrintServer server(cfg);
+  Rng rng(32);
+  server.ingest(make_feature(rng), {0, 0, 0}, 0, 0);
+  Bytes blob = server.serialize();
+  blob[1] ^= 0xFF;
+  EXPECT_THROW(VisualPrintServer::deserialize(blob), DecodeError);
+  blob[1] ^= 0xFF;
+  blob.resize(blob.size() / 2);
+  EXPECT_THROW(VisualPrintServer::deserialize(blob), DecodeError);
+}
+
+TEST(Client, DiffWithoutOracleThrows) {
+  VisualPrintClient client({});
+  OracleDiff diff;
+  EXPECT_THROW(client.apply_oracle_diff(diff), InvalidArgument);
+}
+
+TEST(Retrieval, PredictsCorrectScene) {
+  RetrievalConfig cfg;
+  cfg.min_votes = 3;
+  SceneDatabase db(cfg);
+  Rng rng(13);
+  std::vector<std::vector<Feature>> scenes;
+  for (int s = 0; s < 4; ++s) {
+    std::vector<Feature> fs;
+    for (int i = 0; i < 25; ++i) fs.push_back(make_feature(rng));
+    db.add_image(fs, s);
+    scenes.push_back(std::move(fs));
+  }
+  for (int s = 0; s < 4; ++s) {
+    for (auto kind : {MatcherKind::kLsh, MatcherKind::kBruteForce}) {
+      const auto pred = db.predict(scenes[static_cast<std::size_t>(s)], kind);
+      ASSERT_TRUE(pred.has_value());
+      EXPECT_EQ(*pred, s);
+    }
+  }
+}
+
+TEST(Retrieval, AbstainsOnForeignQuery) {
+  RetrievalConfig cfg;
+  cfg.min_votes = 3;
+  SceneDatabase db(cfg);
+  Rng rng(14);
+  std::vector<Feature> fs;
+  for (int i = 0; i < 25; ++i) fs.push_back(make_feature(rng));
+  db.add_image(fs, 0);
+  std::vector<Feature> foreign;
+  for (int i = 0; i < 25; ++i) foreign.push_back(make_feature(rng));
+  EXPECT_FALSE(db.predict(foreign, MatcherKind::kBruteForce).has_value());
+}
+
+TEST(Retrieval, DistractorsGetNoVotes) {
+  SceneDatabase db{RetrievalConfig{}};
+  Rng rng(15);
+  std::vector<Feature> distractor;
+  for (int i = 0; i < 25; ++i) distractor.push_back(make_feature(rng));
+  db.add_image(distractor, -1);  // distractor label
+  EXPECT_EQ(db.scene_count(), 0);
+  const auto votes = db.votes(distractor, MatcherKind::kLsh);
+  EXPECT_TRUE(votes.empty());
+}
+
+TEST(Retrieval, PrecisionRecallDefinitions) {
+  // 3 scenes; craft known confusion.
+  using O = std::optional<std::int32_t>;
+  const std::vector<O> truth{0, 0, 1, 1, 2, std::nullopt};
+  const std::vector<O> pred{0, 1, 1, std::nullopt, 2, 2};
+  const auto pr = precision_recall(truth, pred, 3);
+  ASSERT_EQ(pr.precision.size(), 3u);
+  // Scene 0: P = {0}, V = {0,1}: precision 1, recall 0.5.
+  EXPECT_DOUBLE_EQ(pr.precision[0], 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall[0], 0.5);
+  // Scene 1: P = {1,2}, V = {2,3}: tp=1 -> precision 0.5, recall 0.5.
+  EXPECT_DOUBLE_EQ(pr.precision[1], 0.5);
+  EXPECT_DOUBLE_EQ(pr.recall[1], 0.5);
+  // Scene 2: P = {4,5}, V = {4}: precision 0.5, recall 1.
+  EXPECT_DOUBLE_EQ(pr.precision[2], 0.5);
+  EXPECT_DOUBLE_EQ(pr.recall[2], 1.0);
+}
+
+TEST(Retrieval, PrecisionRecallSizeMismatchThrows) {
+  using O = std::optional<std::int32_t>;
+  const std::vector<O> a{0};
+  const std::vector<O> b{0, 1};
+  EXPECT_THROW(precision_recall(a, b, 1), InvalidArgument);
+}
+
+TEST(SessionStats, CumulativeUploadMonotone) {
+  SessionStats stats;
+  stats.uploads = {{0, 0, 1.0, 100}, {0, 0, 0.5, 50}, {0, 0, 2.0, 200}};
+  const auto curve = stats.cumulative_upload();
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve[0].second, 50);
+  EXPECT_DOUBLE_EQ(curve[1].second, 150);
+  EXPECT_DOUBLE_EQ(curve[2].second, 350);
+  EXPECT_LT(curve[0].first, curve[1].first);
+}
+
+}  // namespace
+}  // namespace vp

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "energy/power.hpp"
+
+namespace vp {
+namespace {
+
+TEST(Power, IdleOnlyBaseline) {
+  PowerModel model;
+  ActivitySlot idle;
+  idle.display_on = false;
+  idle.camera_on = false;
+  const double w = model.slot_power(idle);
+  EXPECT_NEAR(w, model.coefficients().idle_w + model.coefficients().radio_idle_w,
+              1e-12);
+}
+
+TEST(Power, ComponentsAddUp) {
+  PowerModel model;
+  const auto& c = model.coefficients();
+  ActivitySlot full;
+  full.compute_fraction = 1.0;
+  full.tx_fraction = 1.0;
+  EXPECT_NEAR(model.slot_power(full),
+              c.idle_w + c.display_w + c.camera_w + c.cpu_active_w + c.radio_tx_w,
+              1e-12);
+}
+
+TEST(Power, FractionsScaleLinearly) {
+  PowerModel model;
+  ActivitySlot half;
+  half.compute_fraction = 0.5;
+  ActivitySlot none;
+  const double delta = model.slot_power(half) - model.slot_power(none);
+  EXPECT_NEAR(delta, 0.5 * model.coefficients().cpu_active_w, 1e-12);
+}
+
+TEST(Power, FractionsClamped) {
+  PowerModel model;
+  ActivitySlot over;
+  over.compute_fraction = 3.0;
+  over.tx_fraction = -1.0;
+  ActivitySlot maxed;
+  maxed.compute_fraction = 1.0;
+  maxed.tx_fraction = 0.0;
+  EXPECT_NEAR(model.slot_power(over), model.slot_power(maxed), 1e-12);
+}
+
+TEST(Power, TimelineAndEnergy) {
+  PowerModel model;
+  std::vector<ActivitySlot> slots(10);
+  for (auto& s : slots) s.compute_fraction = 0.3;
+  const auto series = model.timeline(slots);
+  ASSERT_EQ(series.size(), 10u);
+  for (double w : series) EXPECT_DOUBLE_EQ(w, series[0]);
+  EXPECT_NEAR(model.total_energy(slots, 1.0), series[0] * 10, 1e-9);
+  EXPECT_NEAR(model.total_energy(slots, 0.5), series[0] * 5, 1e-9);
+}
+
+TEST(Power, FullPipelineNearPaperScale) {
+  // Full VisualPrint (display + camera + heavy compute + periodic upload)
+  // should land in the ~5-7 W ballpark the paper measures; whole-frame
+  // offload (less compute, more radio) a watt or two lower.
+  PowerModel model;
+  ActivitySlot visualprint;
+  visualprint.compute_fraction = 0.95;
+  visualprint.tx_fraction = 0.25;
+  const double vp_w = model.slot_power(visualprint);
+  EXPECT_GT(vp_w, 5.0);
+  EXPECT_LT(vp_w, 7.5);
+
+  ActivitySlot frame_offload;
+  frame_offload.compute_fraction = 0.25;
+  frame_offload.tx_fraction = 0.9;
+  const double frame_w = model.slot_power(frame_offload);
+  EXPECT_GT(frame_w, 4.0);
+  EXPECT_LT(frame_w, vp_w);
+}
+
+}  // namespace
+}  // namespace vp

@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "features/draw.hpp"
+#include "features/keypoint.hpp"
+#include "features/pca.hpp"
+#include "features/sift.hpp"
+#include "imaging/filters.hpp"
+#include "scene/texture.hpp"
+#include "util/rng.hpp"
+
+namespace vp {
+namespace {
+
+/// A textured test image with plenty of corners and blobs.
+ImageF test_pattern(int w, int h, std::uint64_t seed) {
+  Rng rng(seed);
+  return painting_texture(w, h, rng);
+}
+
+TEST(Descriptor, DistanceBasics) {
+  Descriptor a{}, b{};
+  EXPECT_EQ(descriptor_distance2(a, b), 0u);
+  b[0] = 3;
+  b[127] = 4;
+  EXPECT_EQ(descriptor_distance2(a, b), 25u);
+  EXPECT_EQ(descriptor_distance2(b, a), 25u);  // symmetric
+}
+
+TEST(Descriptor, DistanceMaxBound) {
+  Descriptor a{}, b{};
+  for (auto& v : b) v = 255;
+  EXPECT_EQ(descriptor_distance2(a, b), 128u * 255u * 255u);
+}
+
+TEST(Feature, SerializeRoundtrip) {
+  Feature f;
+  f.keypoint = {12.5f, 33.25f, 2.0f, -1.2f, 0.5f, 1};
+  for (std::size_t i = 0; i < kDescriptorDims; ++i) {
+    f.descriptor[i] = static_cast<std::uint8_t>(i * 2);
+  }
+  ByteWriter w;
+  serialize_feature(f, w);
+  EXPECT_EQ(w.size(), kFeatureWireBytes);
+  ByteReader r(w.bytes());
+  const Feature back = deserialize_feature(r);
+  EXPECT_EQ(back.keypoint.x, f.keypoint.x);
+  EXPECT_EQ(back.keypoint.orientation, f.keypoint.orientation);
+  EXPECT_EQ(back.descriptor, f.descriptor);
+}
+
+TEST(Feature, ListSerializeRoundtripAndTrailingBytes) {
+  std::vector<Feature> fs(3);
+  fs[1].keypoint.x = 7;
+  Bytes b = serialize_features(fs);
+  const auto back = deserialize_features(b);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[1].keypoint.x, 7);
+  b.push_back(0);
+  EXPECT_THROW(deserialize_features(b), DecodeError);
+}
+
+TEST(Sift, FindsKeypointsOnTexturedImage) {
+  const ImageF img = test_pattern(200, 150, 1);
+  const auto features = sift_detect(img);
+  EXPECT_GT(features.size(), 30u);
+  for (const auto& f : features) {
+    EXPECT_GE(f.keypoint.x, 0);
+    EXPECT_LT(f.keypoint.x, 200);
+    EXPECT_GE(f.keypoint.y, 0);
+    EXPECT_LT(f.keypoint.y, 150);
+    EXPECT_GT(f.keypoint.scale, 0);
+  }
+}
+
+TEST(Sift, BlankImageHasNoKeypoints) {
+  const ImageF img(128, 128, 1, 128.0f);
+  EXPECT_TRUE(sift_detect(img).empty());
+}
+
+TEST(Sift, DeterministicAcrossRuns) {
+  const ImageF img = test_pattern(160, 120, 2);
+  const auto a = sift_detect(img);
+  const auto b = sift_detect(img);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].keypoint.x, b[i].keypoint.x);
+    EXPECT_EQ(a[i].descriptor, b[i].descriptor);
+  }
+}
+
+TEST(Sift, ShiftEquivariance) {
+  // Embed the same pattern at two offsets; keypoints should shift along.
+  const ImageF pattern = test_pattern(100, 100, 3);
+  auto embed = [&](int off) {
+    ImageF canvas(220, 220, 1, 100.0f);
+    for (int y = 0; y < 100; ++y) {
+      for (int x = 0; x < 100; ++x) {
+        canvas(x + off, y + off) = pattern(x, y);
+      }
+    }
+    return canvas;
+  };
+  const auto a = sift_detect_keypoints(embed(20));
+  const auto b = sift_detect_keypoints(embed(60));
+  ASSERT_GT(a.size(), 10u);
+  // For each keypoint in a (interior), expect a close match in b at +40.
+  int matched = 0, considered = 0;
+  for (const auto& ka : a) {
+    if (ka.x < 30 || ka.x > 110 || ka.y < 30 || ka.y > 110) continue;
+    ++considered;
+    for (const auto& kb : b) {
+      if (std::abs(kb.x - (ka.x + 40)) < 1.5 &&
+          std::abs(kb.y - (ka.y + 40)) < 1.5) {
+        ++matched;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(considered, 5);
+  EXPECT_GT(static_cast<double>(matched) / considered, 0.8);
+}
+
+TEST(Sift, BlurReducesKeypointCount) {
+  const ImageF img = test_pattern(200, 150, 4);
+  const auto sharp = sift_detect_keypoints(img);
+  const auto blurred = sift_detect_keypoints(gaussian_blur(img, 3.0));
+  EXPECT_LT(blurred.size(), sharp.size() * 4 / 5);
+}
+
+TEST(Sift, MaxFeaturesKeepsStrongest) {
+  const ImageF img = test_pattern(200, 150, 5);
+  SiftConfig unlimited;
+  SiftConfig capped;
+  capped.max_features = 20;
+  const auto all = sift_detect(img, unlimited);
+  const auto top = sift_detect(img, capped);
+  ASSERT_GT(all.size(), top.size());
+  // Strongest response in the capped set should match the global max.
+  float max_all = 0, max_top = 0;
+  for (const auto& f : all) max_all = std::max(max_all, f.keypoint.response);
+  for (const auto& f : top) max_top = std::max(max_top, f.keypoint.response);
+  EXPECT_EQ(max_all, max_top);
+}
+
+TEST(Sift, DescriptorMatchesUnderNoise) {
+  // The same scene with mild noise: descriptors should match their
+  // counterparts far better than chance.
+  const ImageF img = test_pattern(180, 140, 6);
+  ImageF noisy = img;
+  Rng rng(7);
+  add_gaussian_noise(noisy, 3.0, rng);
+
+  const auto fa = sift_detect(img);
+  const auto fb = sift_detect(noisy);
+  ASSERT_GT(fa.size(), 20u);
+  ASSERT_GT(fb.size(), 20u);
+
+  int good = 0, total = 0;
+  for (const auto& a : fa) {
+    // Find spatially-corresponding keypoint in b.
+    const Feature* best = nullptr;
+    for (const auto& b : fb) {
+      if (std::abs(b.keypoint.x - a.keypoint.x) < 2 &&
+          std::abs(b.keypoint.y - a.keypoint.y) < 2) {
+        best = &b;
+        break;
+      }
+    }
+    if (!best) continue;
+    ++total;
+    // Distance to its counterpart should be small relative to the typical
+    // random-pair distance (~2 * 512^2 for unit-norm-512 descriptors).
+    if (descriptor_distance2(a.descriptor, best->descriptor) < 120'000) {
+      ++good;
+    }
+  }
+  ASSERT_GT(total, 10);
+  EXPECT_GT(static_cast<double>(good) / total, 0.7);
+}
+
+TEST(Sift, UpsampledFirstOctaveFindsMore) {
+  const ImageF img = test_pattern(120, 90, 8);
+  SiftConfig normal;
+  SiftConfig up;
+  up.upsample_first_octave = true;
+  EXPECT_GE(sift_detect_keypoints(img, up).size(),
+            sift_detect_keypoints(img, normal).size());
+}
+
+TEST(Sift, ScaleSpaceShape) {
+  const ImageF img = test_pattern(128, 128, 9);
+  SiftConfig cfg;
+  const auto ss = detail::build_scale_space(img, cfg);
+  ASSERT_GE(ss.gaussians.size(), 2u);
+  for (std::size_t o = 0; o < ss.gaussians.size(); ++o) {
+    EXPECT_EQ(ss.gaussians[o].size(),
+              static_cast<std::size_t>(cfg.intervals + 3));
+    EXPECT_EQ(ss.dogs[o].size(), static_cast<std::size_t>(cfg.intervals + 2));
+  }
+  // Each octave halves resolution.
+  EXPECT_EQ(ss.gaussians[1][0].width(), ss.gaussians[0][0].width() / 2);
+}
+
+TEST(Sift, DescriptorQuantizationBounds) {
+  const ImageF img = test_pattern(160, 120, 10);
+  for (const auto& f : sift_detect(img)) {
+    // Normalized-clamped-renormalized u8 quantization: no element can
+    // exceed 512 * 0.2 * renorm factor; 255 cap enforced.
+    std::uint32_t norm2 = 0;
+    for (auto v : f.descriptor) norm2 += v * v;
+    // Unit-ish norm at 512 quantization: |d| should be near 512.
+    EXPECT_GT(norm2, 100'000u);
+    EXPECT_LT(norm2, 400'000u);
+  }
+}
+
+TEST(Pca, NormalizedEigenvaluesDescending) {
+  Rng rng(11);
+  std::vector<Descriptor> descs;
+  const ImageF img = test_pattern(200, 160, 12);
+  for (const auto& f : sift_detect(img)) descs.push_back(f.descriptor);
+  ASSERT_GE(descs.size(), 30u);
+  const auto vals = pca_normalized_eigenvalues(descs);
+  ASSERT_EQ(vals.size(), kDescriptorDims);
+  EXPECT_DOUBLE_EQ(vals[0], 1.0);
+  for (std::size_t i = 1; i < vals.size(); ++i) {
+    EXPECT_LE(vals[i], vals[i - 1] + 1e-9);
+    EXPECT_GE(vals[i], 0.0);
+  }
+}
+
+TEST(Pca, FewDimensionsCaptureMostVariance) {
+  // The paper's Fig. 6(b) claim: a small number of PCA dimensions explain
+  // most covariance of real SIFT descriptors.
+  std::vector<Descriptor> descs;
+  for (std::uint64_t seed : {13, 14, 15}) {
+    const ImageF img = test_pattern(240, 180, seed);
+    for (const auto& f : sift_detect(img)) descs.push_back(f.descriptor);
+  }
+  ASSERT_GE(descs.size(), 50u);
+  const auto vals = pca_normalized_eigenvalues(descs);
+  EXPECT_GT(pca_variance_captured(vals, 32), 0.6);
+  EXPECT_GT(pca_variance_captured(vals, 64),
+            pca_variance_captured(vals, 16));
+}
+
+TEST(Pca, DimensionProfileSorted) {
+  std::vector<std::pair<Descriptor, Descriptor>> pairs;
+  Rng rng(14);
+  for (int i = 0; i < 40; ++i) {
+    Descriptor a{}, b{};
+    for (std::size_t d = 0; d < kDescriptorDims; ++d) {
+      a[d] = static_cast<std::uint8_t>(rng.uniform_u64(256));
+      b[d] = static_cast<std::uint8_t>(rng.uniform_u64(256));
+    }
+    pairs.emplace_back(a, b);
+  }
+  const auto profile = dimension_difference_profile(pairs);
+  ASSERT_EQ(profile.size(), kDescriptorDims);
+  // Rank-0 (largest diff) must dominate the last rank.
+  EXPECT_GT(profile.front().median, profile.back().median);
+  for (std::size_t i = 1; i < profile.size(); ++i) {
+    EXPECT_LE(profile[i].median, profile[i - 1].median + 1e-9);
+  }
+}
+
+TEST(Draw, KeypointOverlayStaysInBounds) {
+  ImageU8 base(64, 48, 1, 10);
+  std::vector<Keypoint> kps{{-5, -5, 3, 0, 0, 0},
+                            {63.9f, 47.9f, 10, 2.0f, 0, 0},
+                            {32, 24, 4, 1.0f, 0, 0}};
+  const ImageU8 out = draw_keypoints(base, kps);
+  EXPECT_EQ(out.channels(), 3);
+  EXPECT_EQ(out.width(), 64);
+  // Center keypoint should have drawn green somewhere near (32,24).
+  bool green = false;
+  for (int y = 10; y < 40 && !green; ++y) {
+    for (int x = 16; x < 48 && !green; ++x) {
+      if (out(x, y, 1) == 255 && out(x, y, 0) == 0) green = true;
+    }
+  }
+  EXPECT_TRUE(green);
+}
+
+TEST(Draw, LineEndpoints) {
+  ImageU8 img(10, 10, 3, 0);
+  draw_line(img, 1, 1, 8, 8, {255, 0, 0});
+  EXPECT_EQ(img(1, 1, 0), 255);
+  EXPECT_EQ(img(8, 8, 0), 255);
+}
+
+}  // namespace
+}  // namespace vp

@@ -1,0 +1,410 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "hashing/bloom.hpp"
+#include "hashing/lsh.hpp"
+#include "hashing/murmur3.hpp"
+#include "hashing/oracle.hpp"
+#include "util/rng.hpp"
+
+namespace vp {
+namespace {
+
+std::span<const std::uint8_t> bytes_of(const char* s) {
+  return {reinterpret_cast<const std::uint8_t*>(s), std::strlen(s)};
+}
+
+Descriptor random_descriptor(Rng& rng) {
+  Descriptor d;
+  for (auto& v : d) v = static_cast<std::uint8_t>(rng.uniform_u64(80));
+  return d;
+}
+
+Descriptor perturb(const Descriptor& d, Rng& rng, int magnitude) {
+  Descriptor out = d;
+  for (auto& v : out) {
+    const int nv = static_cast<int>(v) +
+                   static_cast<int>(rng.uniform_int(-magnitude, magnitude));
+    v = static_cast<std::uint8_t>(std::clamp(nv, 0, 255));
+  }
+  return out;
+}
+
+// Reference vectors for MurmurHash3 x86_32 (Appleby's and Wikipedia's
+// published test values).
+TEST(Murmur3, KnownVectors32) {
+  EXPECT_EQ(murmur3_x86_32({}, 0), 0u);
+  EXPECT_EQ(murmur3_x86_32({}, 1), 0x514E28B7u);
+  EXPECT_EQ(murmur3_x86_32({}, 0xFFFFFFFFu), 0x81F16F39u);
+  EXPECT_EQ(murmur3_x86_32(bytes_of("test"), 0), 0xba6bd213u);
+  EXPECT_EQ(murmur3_x86_32(bytes_of("test"), 0x9747b28cu), 0x704b81dcu);
+  EXPECT_EQ(murmur3_x86_32(bytes_of("Hello, world!"), 0), 0xc0363e43u);
+  EXPECT_EQ(murmur3_x86_32(
+                bytes_of("The quick brown fox jumps over the lazy dog"),
+                0x9747b28cu),
+            0x2FA826CDu);
+}
+
+TEST(Murmur3, EmptyInput128) {
+  const auto [h1, h2] = murmur3_x64_128({}, 0);
+  EXPECT_EQ(h1, 0u);
+  EXPECT_EQ(h2, 0u);
+}
+
+TEST(Murmur3, DeterministicAndSeedSensitive128) {
+  const auto a = murmur3_x64_128(bytes_of("visualprint"), 1);
+  const auto b = murmur3_x64_128(bytes_of("visualprint"), 1);
+  const auto c = murmur3_x64_128(bytes_of("visualprint"), 2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Murmur3, AvalancheOnSingleBitFlip) {
+  Bytes data(64, 0x55);
+  const auto a = murmur3_x64_128(data, 0);
+  data[10] ^= 1;
+  const auto b = murmur3_x64_128(data, 0);
+  const std::uint64_t diff = a.first ^ b.first;
+  int bits = 0;
+  for (int i = 0; i < 64; ++i) bits += (diff >> i) & 1;
+  EXPECT_GT(bits, 16);  // roughly half the bits should flip
+}
+
+TEST(Murmur3, AllTailLengths) {
+  // Exercise every switch-case tail length in both variants.
+  Bytes data(32);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 37 + 11);
+  }
+  std::set<std::uint32_t> seen32;
+  std::set<std::uint64_t> seen128;
+  for (std::size_t len = 0; len <= 17; ++len) {
+    seen32.insert(murmur3_x86_32(std::span(data.data(), len), 7));
+    seen128.insert(murmur3_x64_128(std::span(data.data(), len), 7).first);
+  }
+  EXPECT_EQ(seen32.size(), 18u);   // all distinct
+  EXPECT_EQ(seen128.size(), 18u);
+}
+
+TEST(BloomIndices, ProducesKDistinctishIndices) {
+  std::vector<std::size_t> idx;
+  bloom_indices(bytes_of("bucket"), 3, 8, 1'000'003, std::back_inserter(idx));
+  EXPECT_EQ(idx.size(), 8u);
+  for (auto i : idx) EXPECT_LT(i, 1'000'003u);
+}
+
+TEST(BloomFilter, SetTestBasics) {
+  BloomFilter f(1024);
+  EXPECT_FALSE(f.test(77));
+  f.set(77);
+  EXPECT_TRUE(f.test(77));
+  EXPECT_EQ(f.set_bit_count(), 1u);
+  f.set(77);
+  EXPECT_EQ(f.set_bit_count(), 1u);  // idempotent
+}
+
+TEST(BloomFilter, IndexWrapsModuloBits) {
+  BloomFilter f(64);
+  f.set(64);  // wraps to 0
+  EXPECT_TRUE(f.test(0));
+}
+
+TEST(BloomFilter, OptimalSizing) {
+  // 1e6 elements at 1%: canonical answer is ~9.59 bits per element.
+  const std::size_t bits = BloomFilter::optimal_bits(1'000'000, 0.01);
+  EXPECT_NEAR(static_cast<double>(bits) / 1e6, 9.585, 0.01);
+  EXPECT_EQ(BloomFilter::optimal_hashes(bits, 1'000'000), 7u);
+}
+
+TEST(BloomFilter, MeasuredFpRateNearTarget) {
+  const std::size_t n = 5000;
+  const double target = 0.02;
+  const std::size_t bits = BloomFilter::optimal_bits(n, target);
+  const std::size_t k = BloomFilter::optimal_hashes(bits, n);
+  BloomFilter f(bits);
+  Rng rng(1);
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < n; ++i) {
+    ByteWriter w;
+    w.u64(i);
+    idx.clear();
+    bloom_indices(w.bytes(), 9, k, f.bit_count(), std::back_inserter(idx));
+    for (auto j : idx) f.set(j);
+  }
+  std::size_t fps = 0;
+  const std::size_t probes = 20'000;
+  for (std::size_t i = 0; i < probes; ++i) {
+    ByteWriter w;
+    w.u64(1'000'000 + i);  // never inserted
+    idx.clear();
+    bloom_indices(w.bytes(), 9, k, f.bit_count(), std::back_inserter(idx));
+    bool hit = true;
+    for (auto j : idx) hit = hit && f.test(j);
+    fps += hit;
+  }
+  const double rate = static_cast<double>(fps) / probes;
+  EXPECT_LT(rate, target * 2.5);
+}
+
+TEST(BloomFilter, SerializeRoundtrip) {
+  BloomFilter f(256);
+  f.set(3);
+  f.set(200);
+  const Bytes b = f.serialize();
+  ByteReader r(b);
+  const BloomFilter back = BloomFilter::deserialize(r);
+  EXPECT_EQ(back, f);
+}
+
+TEST(CountingBloom, IncrementDecrement) {
+  CountingBloomFilter f(128, 10);
+  EXPECT_EQ(f.count(5), 0u);
+  EXPECT_EQ(f.increment(5), 1u);
+  EXPECT_EQ(f.increment(5), 2u);
+  EXPECT_EQ(f.count(5), 2u);
+  EXPECT_EQ(f.decrement(5), 1u);
+  EXPECT_EQ(f.decrement(5), 0u);
+  EXPECT_EQ(f.decrement(5), 0u);  // floor at zero
+}
+
+TEST(CountingBloom, SaturatesAtMax) {
+  CountingBloomFilter f(16, 4);  // max 15
+  for (int i = 0; i < 100; ++i) f.increment(3);
+  EXPECT_EQ(f.count(3), 15u);
+  EXPECT_EQ(f.saturation(), 15u);
+}
+
+TEST(CountingBloom, TenBitSaturation) {
+  CountingBloomFilter f(8, 10);
+  for (int i = 0; i < 2000; ++i) f.increment(0);
+  EXPECT_EQ(f.count(0), 1023u);  // the paper's "saturation of 1024" counter
+}
+
+TEST(CountingBloom, WordBoundaryCounters) {
+  // 10-bit counters straddle 64-bit word boundaries; verify neighbors
+  // don't corrupt each other across the straddle.
+  CountingBloomFilter f(64, 10);
+  for (std::size_t i = 0; i < 64; ++i) {
+    for (std::size_t n = 0; n < i % 7; ++n) f.increment(i);
+  }
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(f.count(i), i % 7) << "counter " << i;
+  }
+}
+
+TEST(CountingBloom, SerializeRoundtrip) {
+  CountingBloomFilter f(100, 10);
+  f.increment(1);
+  f.increment(1);
+  f.increment(99);
+  const Bytes b = f.serialize();
+  ByteReader r(b);
+  EXPECT_EQ(CountingBloomFilter::deserialize(r), f);
+}
+
+TEST(CountingBloom, DeserializeRejectsGarbage) {
+  ByteWriter w;
+  w.u64(0);  // zero counters: invalid
+  w.u32(10);
+  const Bytes b = w.take();
+  ByteReader r(b);
+  EXPECT_THROW(CountingBloomFilter::deserialize(r), DecodeError);
+}
+
+TEST(E2Lsh, SameDescriptorSameBuckets) {
+  E2Lsh lsh(10, 7, 500.0, 42);
+  Rng rng(1);
+  const Descriptor d = random_descriptor(rng);
+  const auto a = lsh.all_buckets(d);
+  const auto b = lsh.all_buckets(d);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 10u);
+  EXPECT_EQ(a[0].size(), 7u);
+}
+
+TEST(E2Lsh, SeedChangesProjections) {
+  E2Lsh a(4, 7, 500.0, 1), b(4, 7, 500.0, 2);
+  Rng rng(2);
+  const Descriptor d = random_descriptor(rng);
+  EXPECT_NE(a.bucket(d, 0), b.bucket(d, 0));
+}
+
+TEST(E2Lsh, LocalitySensitivity) {
+  // Nearby descriptors collide in most tables; far ones rarely do.
+  E2Lsh lsh(10, 7, 500.0, 7);
+  Rng rng(3);
+  int near_hits = 0, far_hits = 0, trials = 40;
+  for (int i = 0; i < trials; ++i) {
+    const Descriptor base = random_descriptor(rng);
+    const Descriptor near_d = perturb(base, rng, 2);
+    const Descriptor far_d = random_descriptor(rng);
+    for (std::size_t t = 0; t < lsh.tables(); ++t) {
+      near_hits += lsh.bucket(base, t) == lsh.bucket(near_d, t);
+      far_hits += lsh.bucket(base, t) == lsh.bucket(far_d, t);
+    }
+  }
+  const double near_rate = near_hits / (40.0 * 10);
+  const double far_rate = far_hits / (40.0 * 10);
+  EXPECT_GT(near_rate, 0.5);
+  EXPECT_LT(far_rate, near_rate / 3);
+}
+
+TEST(E2Lsh, WidthControlsQuantization) {
+  Rng rng(4);
+  const Descriptor base = random_descriptor(rng);
+  const Descriptor nearby = perturb(base, rng, 6);
+  // Coarser width -> more collisions between neighbors.
+  int fine_hits = 0, coarse_hits = 0;
+  E2Lsh fine(16, 7, 100.0, 5);
+  E2Lsh coarse(16, 7, 2000.0, 5);
+  for (std::size_t t = 0; t < 16; ++t) {
+    fine_hits += fine.bucket(base, t) == fine.bucket(nearby, t);
+    coarse_hits += coarse.bucket(base, t) == coarse.bucket(nearby, t);
+  }
+  EXPECT_GE(coarse_hits, fine_hits);
+}
+
+OracleConfig small_oracle_config() {
+  OracleConfig cfg;
+  cfg.capacity = 20'000;  // keep filters small for tests
+  return cfg;
+}
+
+TEST(Oracle, UnseenDescriptorScoresZero) {
+  UniquenessOracle oracle(small_oracle_config());
+  Rng rng(5);
+  EXPECT_EQ(oracle.count(random_descriptor(rng)), 0u);
+}
+
+TEST(Oracle, RepeatedInsertIncreasesCount) {
+  UniquenessOracle oracle(small_oracle_config());
+  Rng rng(6);
+  const Descriptor d = random_descriptor(rng);
+  for (int i = 0; i < 5; ++i) oracle.insert(d);
+  EXPECT_GE(oracle.count(d), 4u);
+  EXPECT_LE(oracle.count(d), 6u);
+  EXPECT_EQ(oracle.insertions(), 5u);
+}
+
+TEST(Oracle, NearbyDescriptorSharesCount) {
+  UniquenessOracle oracle(small_oracle_config());
+  Rng rng(7);
+  const Descriptor d = random_descriptor(rng);
+  for (int i = 0; i < 10; ++i) oracle.insert(d);
+  const Descriptor nearby = perturb(d, rng, 1);
+  EXPECT_GE(oracle.count(nearby), 5u);  // LSH locality + multiprobe
+}
+
+TEST(Oracle, RanksCommonAboveUnique) {
+  // The core VisualPrint property: a repeated descriptor must score higher
+  // (less unique) than one inserted once.
+  UniquenessOracle oracle(small_oracle_config());
+  Rng rng(8);
+  const Descriptor common = random_descriptor(rng);
+  const Descriptor unique = random_descriptor(rng);
+  for (int i = 0; i < 50; ++i) oracle.insert(perturb(common, rng, 1));
+  oracle.insert(unique);
+  EXPECT_GT(oracle.count(common), oracle.count(unique) + 10);
+}
+
+TEST(Oracle, SaturationCapsCount) {
+  OracleConfig cfg = small_oracle_config();
+  cfg.counter_bits = 4;  // saturate at 15
+  UniquenessOracle oracle(cfg);
+  Rng rng(9);
+  const Descriptor d = random_descriptor(rng);
+  for (int i = 0; i < 200; ++i) oracle.insert(d);
+  EXPECT_LE(oracle.count(d), 15u);
+  EXPECT_GE(oracle.count(d), 14u);
+}
+
+TEST(Oracle, VerificationFilterCutsFalsePositives) {
+  // Insert many random descriptors; probe with fresh randoms. With the
+  // verification filter the nonzero-count rate should not exceed the
+  // rate without it.
+  Rng rng(10);
+  OracleConfig with = small_oracle_config();
+  with.counters_override = 20'000;  // deliberately undersized -> collisions
+  OracleConfig without = with;
+  without.verification = false;
+  UniquenessOracle a(with), b(without);
+  for (int i = 0; i < 3000; ++i) {
+    const Descriptor d = random_descriptor(rng);
+    a.insert(d);
+    b.insert(d);
+  }
+  int fa = 0, fb = 0;
+  Rng probe_rng(11);
+  for (int i = 0; i < 300; ++i) {
+    const Descriptor q = random_descriptor(probe_rng);
+    fa += a.count(q) > 0;
+    fb += b.count(q) > 0;
+  }
+  EXPECT_LE(fa, fb);
+}
+
+TEST(Oracle, MultiprobeRescuesBoundaryNeighbors) {
+  Rng rng(12);
+  OracleConfig with = small_oracle_config();
+  OracleConfig without = with;
+  without.multiprobe = false;
+  UniquenessOracle a(with), b(without);
+  // Insert one cluster of similar descriptors in both oracles.
+  const Descriptor base = random_descriptor(rng);
+  for (int i = 0; i < 20; ++i) {
+    const Descriptor d = perturb(base, rng, 2);
+    a.insert(d);
+    b.insert(d);
+  }
+  // Probe with perturbed queries; multiprobe should find at least as many.
+  int hits_with = 0, hits_without = 0;
+  for (int i = 0; i < 50; ++i) {
+    const Descriptor q = perturb(base, rng, 2);
+    hits_with += a.count(q) > 0;
+    hits_without += b.count(q) > 0;
+  }
+  EXPECT_GE(hits_with, hits_without);
+}
+
+TEST(Oracle, SerializeRoundtripPreservesCounts) {
+  UniquenessOracle oracle(small_oracle_config());
+  Rng rng(13);
+  std::vector<Descriptor> inserted;
+  for (int i = 0; i < 40; ++i) {
+    inserted.push_back(random_descriptor(rng));
+    oracle.insert(inserted.back());
+  }
+  const Bytes blob = oracle.serialize();
+  const UniquenessOracle back = UniquenessOracle::deserialize(blob);
+  EXPECT_EQ(back.insertions(), oracle.insertions());
+  for (const auto& d : inserted) {
+    EXPECT_EQ(back.count(d), oracle.count(d));
+  }
+}
+
+TEST(Oracle, DeserializeRejectsCorruptMagic) {
+  UniquenessOracle oracle(small_oracle_config());
+  Bytes blob = oracle.serialize();
+  blob[0] ^= 0xFF;
+  EXPECT_THROW(UniquenessOracle::deserialize(blob), DecodeError);
+}
+
+TEST(Oracle, AggregateModes) {
+  Rng rng(14);
+  for (auto agg : {OracleAggregate::kMin, OracleAggregate::kMedian,
+                   OracleAggregate::kMean, OracleAggregate::kMax}) {
+    OracleConfig cfg = small_oracle_config();
+    cfg.aggregate = agg;
+    UniquenessOracle oracle(cfg);
+    const Descriptor d = random_descriptor(rng);
+    for (int i = 0; i < 7; ++i) oracle.insert(d);
+    // Exact re-query: every table agrees, so all aggregates see ~7.
+    EXPECT_GE(oracle.count(d), 6u);
+    EXPECT_LE(oracle.count(d), 8u);
+  }
+}
+
+}  // namespace
+}  // namespace vp

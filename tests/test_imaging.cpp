@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "imaging/codec.hpp"
+#include "imaging/filters.hpp"
+#include "imaging/image.hpp"
+#include "imaging/pnm.hpp"
+#include "imaging/video_model.hpp"
+#include "util/rng.hpp"
+
+namespace vp {
+namespace {
+
+ImageF ramp_image(int w, int h) {
+  ImageF img(w, h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) img(x, y) = static_cast<float>(x);
+  return img;
+}
+
+ImageU8 noise_u8(int w, int h, int channels, std::uint64_t seed) {
+  Rng rng(seed);
+  ImageU8 img(w, h, channels);
+  for (auto& p : img.pixels()) {
+    p = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  }
+  return img;
+}
+
+TEST(Image, ConstructionAndAccess) {
+  ImageU8 img(4, 3, 3, 7);
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.channels(), 3);
+  EXPECT_EQ(img.pixel_count(), 12u);
+  EXPECT_EQ(img.byte_size(), 36u);
+  EXPECT_EQ(img.at(2, 1, 2), 7);
+  img.at(2, 1, 2) = 99;
+  EXPECT_EQ(img(2, 1, 2), 99);
+}
+
+TEST(Image, ClampedAccess) {
+  ImageF img(2, 2);
+  img(0, 0) = 1;
+  img(1, 1) = 4;
+  EXPECT_EQ(img.at_clamped(-5, -5), 1);
+  EXPECT_EQ(img.at_clamped(10, 10), 4);
+}
+
+TEST(Image, RejectsBadDimensions) {
+  EXPECT_THROW(ImageU8(-1, 4), InvalidArgument);
+  EXPECT_THROW(ImageU8(4, 4, 9), InvalidArgument);
+}
+
+TEST(Image, GrayConversionWeights) {
+  ImageU8 rgb(1, 1, 3);
+  rgb(0, 0, 0) = 255;  // pure red
+  const ImageF g = to_gray(rgb);
+  EXPECT_NEAR(g(0, 0), 0.299f * 255, 0.5);
+}
+
+TEST(Image, U8RoundtripClamps) {
+  ImageF f(2, 1);
+  f(0, 0) = -10.0f;
+  f(1, 0) = 300.0f;
+  const ImageU8 u = to_u8(f);
+  EXPECT_EQ(u(0, 0), 0);
+  EXPECT_EQ(u(1, 0), 255);
+}
+
+TEST(Filters, BlurPreservesMean) {
+  Rng rng(5);
+  ImageF img(32, 32);
+  for (auto& p : img.pixels()) p = static_cast<float>(rng.uniform(0, 255));
+  double mean_before = 0;
+  for (auto p : img.pixels()) mean_before += p;
+  const ImageF out = gaussian_blur(img, 2.0);
+  double mean_after = 0;
+  for (auto p : out.pixels()) mean_after += p;
+  EXPECT_NEAR(mean_after / mean_before, 1.0, 0.02);
+}
+
+TEST(Filters, BlurReducesVariance) {
+  Rng rng(6);
+  ImageF img(48, 48);
+  for (auto& p : img.pixels()) p = static_cast<float>(rng.uniform(0, 255));
+  const double v0 = variance_of_laplacian(img);
+  const double v1 = variance_of_laplacian(gaussian_blur(img, 1.5));
+  EXPECT_LT(v1, v0 * 0.5);
+}
+
+TEST(Filters, ZeroSigmaIsIdentity) {
+  const ImageF img = ramp_image(8, 8);
+  EXPECT_EQ(gaussian_blur(img, 0.0), img);
+}
+
+TEST(Filters, Downsample2xHalvesSize) {
+  const ImageF img = ramp_image(10, 8);
+  const ImageF half = downsample_2x(img);
+  EXPECT_EQ(half.width(), 5);
+  EXPECT_EQ(half.height(), 4);
+  EXPECT_EQ(half(2, 1), img(4, 2));
+}
+
+TEST(Filters, ResizeIdentity) {
+  const ImageF img = ramp_image(12, 9);
+  const ImageF same = resize_bilinear(img, 12, 9);
+  for (int y = 0; y < 9; ++y)
+    for (int x = 0; x < 12; ++x) EXPECT_NEAR(same(x, y), img(x, y), 1e-4);
+}
+
+TEST(Filters, ResizePreservesRampValues) {
+  const ImageF img = ramp_image(16, 4);
+  const ImageF big = resize_bilinear(img, 32, 8);
+  // A horizontal ramp should stay a ramp (slope halves in pixel units).
+  EXPECT_NEAR(big(16, 4), img(8, 2), 0.51);
+}
+
+TEST(Filters, GradientOfRamp) {
+  const ImageF img = ramp_image(8, 8);
+  ImageF dx, dy;
+  gradients(img, dx, dy);
+  EXPECT_NEAR(dx(4, 4), 1.0, 1e-5);
+  EXPECT_NEAR(dy(4, 4), 0.0, 1e-5);
+}
+
+TEST(Filters, MotionBlurSmearsAlongDirection) {
+  ImageF img(21, 21, 1, 0.0f);
+  img(10, 10) = 255.0f;
+  const ImageF out = motion_blur(img, 1, 0, 7);
+  EXPECT_GT(out(13, 10), 0.0f);   // smeared horizontally
+  EXPECT_EQ(out(10, 13), 0.0f);   // not vertically
+}
+
+TEST(Filters, NoiseIsBounded) {
+  Rng rng(8);
+  ImageF img(16, 16, 1, 128.0f);
+  add_gaussian_noise(img, 30.0, rng);
+  for (auto p : img.pixels()) {
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 255.0f);
+  }
+}
+
+TEST(Codec, PngIsLossless) {
+  const ImageU8 img = noise_u8(37, 23, 3, 1);
+  const Bytes png = png_encode(img);
+  const ImageU8 back = png_decode(png);
+  EXPECT_EQ(back, img);
+}
+
+TEST(Codec, PngGrayscale) {
+  const ImageU8 img = noise_u8(16, 16, 1, 2);
+  EXPECT_EQ(png_decode(png_encode(img)), img);
+}
+
+TEST(Codec, JpegRoundtripApproximate) {
+  // Smooth image: JPEG at high quality should be close.
+  ImageU8 img(32, 32, 1);
+  for (int y = 0; y < 32; ++y)
+    for (int x = 0; x < 32; ++x)
+      img(x, y) = static_cast<std::uint8_t>(4 * x + 2 * y);
+  const ImageU8 back = jpeg_decode(jpeg_encode(img, 95));
+  ASSERT_EQ(back.width(), 32);
+  double err = 0;
+  for (std::size_t i = 0; i < img.pixels().size(); ++i) {
+    err += std::abs(static_cast<int>(img.pixels()[i]) -
+                    static_cast<int>(back.pixels()[i]));
+  }
+  EXPECT_LT(err / img.pixels().size(), 4.0);
+}
+
+TEST(Codec, JpegQualityOrdersSize) {
+  const ImageU8 img = noise_u8(64, 64, 1, 3);
+  EXPECT_LT(jpeg_encode(img, 30).size(), jpeg_encode(img, 90).size());
+}
+
+TEST(Codec, JpegRejectsGarbage) {
+  const Bytes garbage{1, 2, 3, 4, 5};
+  EXPECT_THROW(jpeg_decode(garbage), DecodeError);
+}
+
+TEST(Codec, PngRejectsGarbage) {
+  const Bytes garbage{9, 9, 9, 9, 9, 9, 9, 9};
+  EXPECT_THROW(png_decode(garbage), DecodeError);
+}
+
+TEST(Codec, ZlibRoundtrip) {
+  Rng rng(4);
+  Bytes data(10000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_u64(4));
+  const Bytes z = zlib_compress(data, 9);
+  EXPECT_LT(z.size(), data.size());
+  EXPECT_EQ(zlib_decompress(z), data);
+}
+
+TEST(Codec, ZlibDetectsCorruption) {
+  Bytes data(1000, 7);
+  Bytes z = zlib_compress(data, 6);
+  z[z.size() / 2] ^= 0xFF;
+  EXPECT_THROW(zlib_decompress(z), Error);
+}
+
+TEST(Codec, ZlibEmptyInput) {
+  const Bytes empty;
+  EXPECT_EQ(zlib_decompress(zlib_compress(empty)), empty);
+}
+
+TEST(Pnm, RoundtripGrayAndRgb) {
+  namespace fs = std::filesystem;
+  const auto dir = fs::temp_directory_path();
+  for (int ch : {1, 3}) {
+    const ImageU8 img = noise_u8(20, 10, ch, 5 + ch);
+    const std::string path = (dir / ("vp_test_" + std::to_string(ch) + ".pnm")).string();
+    write_pnm(path, img);
+    EXPECT_EQ(read_pnm(path), img);
+    fs::remove(path);
+  }
+}
+
+TEST(Pnm, MissingFileThrows) {
+  EXPECT_THROW(read_pnm("/nonexistent/vp.pgm"), IoError);
+}
+
+TEST(VideoModel, IntraFrameCostsLikeJpeg) {
+  H264SizeModel model({.gop_length = 30, .intra_jpeg_quality = 60});
+  const ImageU8 frame = noise_u8(64, 64, 1, 6);
+  const std::size_t intra = model.frame_bytes(frame);
+  const std::size_t jpeg = jpeg_encode(frame, 60).size();
+  EXPECT_EQ(intra, jpeg);
+}
+
+TEST(VideoModel, StaticSceneInterFramesAreTiny) {
+  H264SizeModel model;
+  const ImageU8 frame = noise_u8(64, 64, 1, 7);
+  const std::size_t intra = model.frame_bytes(frame);
+  const std::size_t inter = model.frame_bytes(frame);  // identical frame
+  EXPECT_LT(inter, intra / 5);
+}
+
+TEST(VideoModel, MotionIncreasesInterSize) {
+  H264SizeModel model;
+  const ImageU8 a = noise_u8(64, 64, 1, 8);
+  const ImageU8 b = noise_u8(64, 64, 1, 9);  // fully different
+  model.frame_bytes(a);
+  const std::size_t inter_static = model.frame_bytes(a);
+  model.reset();
+  model.frame_bytes(a);
+  const std::size_t inter_moving = model.frame_bytes(b);
+  EXPECT_GT(inter_moving, inter_static * 3);
+}
+
+TEST(VideoModel, MotionEnergyBounds) {
+  const ImageU8 a(8, 8, 1, 0);
+  ImageU8 b(8, 8, 1, 255);
+  EXPECT_DOUBLE_EQ(H264SizeModel::motion_energy(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(H264SizeModel::motion_energy(a, b), 1.0);
+}
+
+}  // namespace
+}  // namespace vp

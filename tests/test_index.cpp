@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "index/brute_force.hpp"
+#include "index/lsh_index.hpp"
+#include "util/rng.hpp"
+
+namespace vp {
+namespace {
+
+Descriptor random_descriptor(Rng& rng) {
+  Descriptor d;
+  for (auto& v : d) v = static_cast<std::uint8_t>(rng.uniform_u64(80));
+  return d;
+}
+
+Descriptor perturb(const Descriptor& d, Rng& rng, int magnitude) {
+  Descriptor out = d;
+  for (auto& v : out) {
+    const int nv = static_cast<int>(v) +
+                   static_cast<int>(rng.uniform_int(-magnitude, magnitude));
+    v = static_cast<std::uint8_t>(std::clamp(nv, 0, 255));
+  }
+  return out;
+}
+
+TEST(LshIndex, InsertAssignsSequentialIds) {
+  LshIndex index;
+  Rng rng(1);
+  EXPECT_EQ(index.insert(random_descriptor(rng)), 0u);
+  EXPECT_EQ(index.insert(random_descriptor(rng)), 1u);
+  EXPECT_EQ(index.size(), 2u);
+}
+
+TEST(LshIndex, ExactQueryFindsSelf) {
+  LshIndex index;
+  Rng rng(2);
+  std::vector<Descriptor> db;
+  for (int i = 0; i < 200; ++i) {
+    db.push_back(random_descriptor(rng));
+    index.insert(db.back());
+  }
+  int found = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto matches = index.query(db[static_cast<std::size_t>(i * 4)], 1);
+    if (!matches.empty() && matches[0].distance2 == 0) ++found;
+  }
+  EXPECT_GE(found, 48);  // LSH may rarely miss, never often
+}
+
+TEST(LshIndex, NearQueryRecallVsBruteForce) {
+  LshIndex index;
+  Rng rng(3);
+  std::vector<Descriptor> db;
+  for (int i = 0; i < 300; ++i) {
+    db.push_back(random_descriptor(rng));
+    index.insert(db.back());
+  }
+  const BruteForceMatcher brute(db);
+  int agree = 0, trials = 40;
+  for (int i = 0; i < trials; ++i) {
+    const Descriptor q = perturb(db[static_cast<std::size_t>(i * 7)], rng, 2);
+    const auto lsh_match = index.query(q, 1);
+    const Match exact = brute.nearest(q);
+    if (!lsh_match.empty() && lsh_match[0].id == exact.id) ++agree;
+  }
+  EXPECT_GT(agree, trials * 7 / 10);
+}
+
+TEST(LshIndex, KnnSortedAscending) {
+  LshIndex index;
+  Rng rng(4);
+  const Descriptor base = random_descriptor(rng);
+  for (int i = 0; i < 50; ++i) index.insert(perturb(base, rng, 3));
+  const auto matches = index.query(base, 10);
+  ASSERT_GE(matches.size(), 2u);
+  for (std::size_t i = 1; i < matches.size(); ++i) {
+    EXPECT_GE(matches[i].distance2, matches[i - 1].distance2);
+  }
+}
+
+TEST(LshIndex, MultiprobeImprovesRecall) {
+  LshIndexConfig with;
+  with.multiprobe = true;
+  LshIndexConfig without;
+  without.multiprobe = false;
+  LshIndex a(with), b(without);
+  Rng rng(5);
+  std::vector<Descriptor> db;
+  for (int i = 0; i < 200; ++i) {
+    db.push_back(random_descriptor(rng));
+    a.insert(db.back());
+    b.insert(db.back());
+  }
+  int hits_a = 0, hits_b = 0;
+  for (int i = 0; i < 60; ++i) {
+    const Descriptor q = perturb(db[static_cast<std::size_t>(i * 3)], rng, 3);
+    hits_a += !a.query(q, 1).empty();
+    hits_b += !b.query(q, 1).empty();
+  }
+  EXPECT_GE(hits_a, hits_b);
+}
+
+TEST(LshIndex, MemoryGrowsWithReplication) {
+  LshIndexConfig small;
+  small.lsh.tables = 2;
+  LshIndexConfig big;
+  big.lsh.tables = 20;
+  LshIndex a(small), b(big);
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const Descriptor d = random_descriptor(rng);
+    a.insert(d);
+    b.insert(d);
+  }
+  // The Fig. 15 observation: more tables -> multiplicatively more memory.
+  EXPECT_GT(b.byte_size(), a.byte_size());
+}
+
+TEST(BruteForce, ExactNearest) {
+  Rng rng(7);
+  std::vector<Descriptor> db;
+  for (int i = 0; i < 100; ++i) db.push_back(random_descriptor(rng));
+  const BruteForceMatcher brute(db);
+  // Query with a copy of a known entry.
+  const Match m = brute.nearest(db[42]);
+  EXPECT_EQ(m.id, 42u);
+  EXPECT_EQ(m.distance2, 0u);
+}
+
+TEST(BruteForce, KnnOrderingAndContent) {
+  Rng rng(8);
+  std::vector<Descriptor> db;
+  const Descriptor base = random_descriptor(rng);
+  db.push_back(base);
+  for (int i = 0; i < 60; ++i) db.push_back(perturb(base, rng, 5));
+  const BruteForceMatcher brute(db);
+  const auto knn = brute.knn(base, 5);
+  ASSERT_EQ(knn.size(), 5u);
+  EXPECT_EQ(knn[0].id, 0u);
+  for (std::size_t i = 1; i < knn.size(); ++i) {
+    EXPECT_GE(knn[i].distance2, knn[i - 1].distance2);
+  }
+}
+
+TEST(BruteForce, BatchMatchesSerial) {
+  Rng rng(9);
+  std::vector<Descriptor> db, queries;
+  for (int i = 0; i < 150; ++i) db.push_back(random_descriptor(rng));
+  for (int i = 0; i < 30; ++i) queries.push_back(random_descriptor(rng));
+  ThreadPool pool(3);
+  const BruteForceMatcher par(db, &pool);
+  const BruteForceMatcher ser(db, nullptr);
+  const auto batch = par.nearest_batch(queries);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const Match m = ser.nearest(queries[i]);
+    EXPECT_EQ(batch[i].id, m.id);
+    EXPECT_EQ(batch[i].distance2, m.distance2);
+  }
+}
+
+TEST(RandomSubselect, SizesAndUniqueness) {
+  Rng rng(10);
+  const auto ids = random_subselect(100, 30, rng);
+  EXPECT_EQ(ids.size(), 30u);
+  const std::set<std::size_t> uniq(ids.begin(), ids.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (auto i : ids) EXPECT_LT(i, 100u);
+  // Requesting more than available returns everything.
+  EXPECT_EQ(random_subselect(10, 50, rng).size(), 10u);
+}
+
+TEST(RandomSubselect, RoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(20, 0);
+  for (int t = 0; t < 2000; ++t) {
+    for (auto i : random_subselect(20, 5, rng)) {
+      ++counts[i];
+    }
+  }
+  // Each index expected 2000 * 5/20 = 500 times.
+  for (int c : counts) {
+    EXPECT_GT(c, 380);
+    EXPECT_LT(c, 620);
+  }
+}
+
+}  // namespace
+}  // namespace vp

@@ -1,0 +1,277 @@
+// End-to-end integration tests: full wardrive -> ingest -> client query ->
+// localization, and full retrieval (render scenes, build database, match
+// query views) — miniature versions of the paper's two evaluations.
+#include <gtest/gtest.h>
+
+#include "core/client.hpp"
+#include "core/retrieval.hpp"
+#include "core/server.hpp"
+#include "core/session.hpp"
+#include "features/sift.hpp"
+#include "scene/environments.hpp"
+#include "slam/map_merge.hpp"
+#include "slam/mapping.hpp"
+
+namespace vp {
+namespace {
+
+OracleConfig small_oracle() {
+  OracleConfig cfg;
+  cfg.capacity = 50'000;
+  return cfg;
+}
+
+TEST(Integration, WardriveIngestLocalize) {
+  Rng rng(1);
+  GalleryConfig gc;
+  gc.num_scenes = 6;
+  gc.hall_length = 18;
+  gc.hall_width = 6;
+  gc.texture_px_per_m = 160;
+  const World world = build_gallery(gc, rng);
+
+  // Wardrive with mild drift and ICP correction.
+  WardriveConfig wc;
+  wc.intrinsics = {320, 240, 1.15192};
+  wc.stop_spacing = 2.5;
+  wc.lane_spacing = 4.0;
+  wc.views_per_stop = 2;
+  auto snaps = wardrive(world, wc, rng);
+  ASSERT_GT(snaps.size(), 6u);
+  const auto merged = merge_snapshots(snaps, {});
+  const auto mappings = extract_mappings(snaps, merged.corrected_poses);
+  ASSERT_GT(mappings.size(), 200u);
+
+  ServerConfig sc;
+  sc.oracle = small_oracle();
+  Vec3 lo, hi;
+  world.bounds(lo, hi);
+  sc.localize.search_lo = lo;
+  sc.localize.search_hi = hi;
+  sc.localize.de.time_budget_sec = 0.5;
+  sc.clustering.radius = 2.0;
+  VisualPrintServer server(sc);
+  server.ingest_wardrive(mappings);
+
+  // Client: photograph a painting from a known pose and localize.
+  ClientConfig cc;
+  cc.top_k = 200;
+  cc.blur_threshold = 1.0;
+  VisualPrintClient client(cc);
+  client.install_oracle(server.oracle_snapshot());
+
+  const auto sq = scene_quads(world);
+  int localized = 0, attempts = 0;
+  std::vector<double> errors;
+  for (int s = 0; s < 3; ++s) {
+    Rng view_rng(100 + s);
+    const Camera cam = view_of_quad(world, sq[static_cast<std::size_t>(s * 2)],
+                                    wc.intrinsics, 10.0, 2.5, view_rng);
+    RenderOptions ro;
+    auto frame = render(world, cam, ro, view_rng);
+    const auto result = client.process_frame(frame.image, 0.0, 0.0);
+    if (result.status != FrameResult::Status::kQueued) continue;
+    ++attempts;
+    Rng solve_rng(200 + s);
+    const auto resp = server.localize_query(*result.query, solve_rng);
+    if (resp.found) {
+      ++localized;
+      errors.push_back(resp.position.distance(cam.pose.translation));
+    }
+  }
+  ASSERT_GE(attempts, 2);
+  EXPECT_GE(localized, attempts - 1);
+  // Median error should be meters-scale, like the paper's 2.5 m median
+  // (our miniature database is far sparser, so allow slack).
+  ASSERT_FALSE(errors.empty());
+  std::sort(errors.begin(), errors.end());
+  EXPECT_LT(errors[errors.size() / 2], 6.0);
+}
+
+TEST(Integration, RetrievalBeatsRandomBaseline) {
+  Rng rng(2);
+  GalleryConfig gc;
+  gc.num_scenes = 8;
+  gc.hall_length = 24;
+  gc.hall_width = 6;
+  gc.texture_px_per_m = 160;
+  const World world = build_gallery(gc, rng);
+  const auto sq = scene_quads(world);
+  CameraIntrinsics intr{320, 240, 1.15192};
+
+  // Database: one frontal image per scene.
+  SiftConfig sift;
+  RetrievalConfig rc;
+  rc.min_votes = 4;
+  SceneDatabase db(rc);
+  OracleConfig oc = small_oracle();
+  UniquenessOracle oracle(oc);
+  for (int s = 0; s < gc.num_scenes; ++s) {
+    Rng view_rng(300 + s);
+    const Camera cam = view_of_quad(world, sq[static_cast<std::size_t>(s)],
+                                    intr, 0.0, 2.0, view_rng);
+    auto frame = render(world, cam, {}, view_rng);
+    const auto features = sift_detect(frame.image, sift);
+    db.add_image(features, s);
+    for (const auto& f : features) oracle.insert(f.descriptor);
+  }
+  ASSERT_GT(db.descriptor_count(), 200u);
+
+  // Clients for the two policies share the same oracle.
+  ClientConfig vp_cfg;
+  vp_cfg.top_k = 60;
+  VisualPrintClient vp_client(vp_cfg);
+  vp_client.install_oracle(UniquenessOracle::deserialize(oracle.serialize()));
+
+  ClientConfig rnd_cfg;
+  rnd_cfg.policy = SelectionPolicy::kRandom;
+  VisualPrintClient rnd_client(rnd_cfg);
+
+  int vp_correct = 0, rnd_correct = 0, total = 0;
+  for (int s = 0; s < gc.num_scenes; ++s) {
+    Rng view_rng(400 + s);
+    const Camera cam = view_of_quad(world, sq[static_cast<std::size_t>(s)],
+                                    intr, 25.0, 2.2, view_rng);
+    auto frame = render(world, cam, {}, view_rng);
+    auto features = sift_detect(frame.image, sift);
+    if (features.size() < 20) continue;
+    ++total;
+    const auto vp_sel = vp_client.select_features(features, 60);
+    const auto rnd_sel = rnd_client.select_features(features, 60);
+    const auto vp_pred = db.predict(vp_sel, MatcherKind::kLsh);
+    const auto rnd_pred = db.predict(rnd_sel, MatcherKind::kLsh);
+    vp_correct += vp_pred && *vp_pred == s;
+    rnd_correct += rnd_pred && *rnd_pred == s;
+  }
+  ASSERT_GE(total, 5);
+  EXPECT_GE(vp_correct, rnd_correct);
+  EXPECT_GE(vp_correct, total / 2);
+}
+
+TEST(Integration, SessionProducesTimeline) {
+  Rng rng(3);
+  GalleryConfig gc;
+  gc.num_scenes = 4;
+  gc.hall_length = 14;
+  gc.hall_width = 6;
+  const World world = build_gallery(gc, rng);
+
+  ServerConfig sc;
+  sc.oracle = small_oracle();
+  VisualPrintServer server(sc);
+  // Minimal ingest so the oracle has content.
+  WardriveConfig wc;
+  wc.intrinsics = {160, 120, 1.15192};
+  wc.stop_spacing = 4.0;
+  wc.lane_spacing = 4.0;
+  wc.views_per_stop = 1;
+  auto snaps = wardrive(world, wc, rng);
+  std::vector<Pose> poses;
+  for (const auto& s : snaps) poses.push_back(s.reported_pose);
+  server.ingest_wardrive(extract_mappings(snaps, poses));
+  ASSERT_GT(server.keypoint_count(), 50u);
+
+  SessionConfig cfg;
+  cfg.duration_s = 6.0;
+  cfg.camera_fps = 3.0;
+  cfg.intrinsics = {320, 240, 1.15192};
+  cfg.client.top_k = 100;
+  cfg.client.blur_threshold = 2.0;
+  cfg.localize_on_server = false;  // keep the test fast
+  cfg.phone_slowdown = 1.0;
+  Session session(world, server, cfg);
+  const auto stats = session.run();
+
+  EXPECT_GT(stats.frames.size(), 10u);
+  EXPECT_GT(stats.total_upload_bytes, 0u);
+  EXPECT_EQ(stats.activity.size(), 6u);
+  // Queued frames carry top-k-bounded payloads.
+  for (const auto& f : stats.frames) {
+    if (f.status == FrameResult::Status::kQueued) {
+      EXPECT_LE(f.selected_keypoints, 100u);
+      EXPECT_GT(f.payload_bytes, 0u);
+    }
+  }
+  const auto curve = stats.cumulative_upload();
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+  }
+}
+
+TEST(Integration, FrameModeSkipsClientVision) {
+  // Whole-frame offload must not run SIFT or require an oracle, and every
+  // non-stale frame ships.
+  Rng rng(9);
+  GalleryConfig gc;
+  gc.num_scenes = 3;
+  gc.hall_length = 12;
+  gc.hall_width = 6;
+  const World world = build_gallery(gc, rng);
+  ServerConfig sc;
+  sc.oracle = small_oracle();
+  VisualPrintServer server(sc);
+
+  SessionConfig cfg;
+  cfg.duration_s = 3.0;
+  cfg.camera_fps = 3.0;
+  cfg.intrinsics = {320, 240, 1.15192};
+  cfg.mode = OffloadMode::kFrameJpeg;
+  cfg.localize_on_server = false;
+  cfg.phone_slowdown = 1.0;
+  Session session(world, server, cfg);
+  const auto stats = session.run();
+
+  std::size_t sent = 0;
+  for (const auto& f : stats.frames) {
+    if (f.status == FrameResult::Status::kQueued) {
+      ++sent;
+      EXPECT_EQ(f.total_keypoints, 0u);    // no SIFT ran
+      EXPECT_EQ(f.phone_sift_ms, 0.0);
+      EXPECT_GT(f.payload_bytes, 500u);    // a real JPEG payload
+    }
+  }
+  EXPECT_GT(sent, 4u);
+}
+
+TEST(Integration, VisualPrintUploadsFarLessThanFrames) {
+  // The headline claim (Fig. 14): order-of-magnitude less upload.
+  Rng rng(4);
+  GalleryConfig gc;
+  gc.num_scenes = 3;
+  gc.hall_length = 12;
+  gc.hall_width = 6;
+  const World world = build_gallery(gc, rng);
+  ServerConfig sc;
+  sc.oracle = small_oracle();
+  VisualPrintServer server(sc);
+  WardriveConfig wc;
+  wc.intrinsics = {160, 120, 1.15192};
+  wc.stop_spacing = 5.0;
+  wc.lane_spacing = 5.0;
+  wc.views_per_stop = 1;
+  auto snaps = wardrive(world, wc, rng);
+  std::vector<Pose> poses;
+  for (const auto& s : snaps) poses.push_back(s.reported_pose);
+  server.ingest_wardrive(extract_mappings(snaps, poses));
+
+  auto run_mode = [&](OffloadMode mode) {
+    SessionConfig cfg;
+    cfg.duration_s = 5.0;
+    cfg.camera_fps = 2.0;
+    cfg.intrinsics = {320, 240, 1.15192};
+    cfg.mode = mode;
+    cfg.client.top_k = 150;
+    cfg.client.blur_threshold = 2.0;
+    cfg.localize_on_server = false;
+    cfg.phone_slowdown = 1.0;
+    Session session(world, server, cfg);
+    return session.run().total_upload_bytes;
+  };
+  const std::size_t vp_bytes = run_mode(OffloadMode::kVisualPrint);
+  const std::size_t png_bytes = run_mode(OffloadMode::kFramePng);
+  ASSERT_GT(vp_bytes, 0u);
+  EXPECT_GT(png_bytes, vp_bytes * 3);
+}
+
+}  // namespace
+}  // namespace vp

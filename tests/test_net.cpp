@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "imaging/codec.hpp"
+#include "net/link.hpp"
+#include "net/wire.hpp"
+#include "util/rng.hpp"
+
+namespace vp {
+namespace {
+
+FingerprintQuery sample_query(std::size_t n_features) {
+  FingerprintQuery q;
+  q.frame_id = 7;
+  q.capture_time = 1.25;
+  q.image_width = 920;
+  q.image_height = 540;
+  q.fov_h = 1.1f;
+  q.features.resize(n_features);
+  for (std::size_t i = 0; i < n_features; ++i) {
+    q.features[i].keypoint.x = static_cast<float>(i);
+    q.features[i].descriptor[i % kDescriptorDims] =
+        static_cast<std::uint8_t>(i);
+  }
+  return q;
+}
+
+TEST(Wire, FingerprintQueryRoundtrip) {
+  const FingerprintQuery q = sample_query(5);
+  const Bytes b = q.encode();
+  EXPECT_EQ(b.size(), q.wire_size());
+  const FingerprintQuery back = FingerprintQuery::decode(b);
+  EXPECT_EQ(back.frame_id, 7u);
+  EXPECT_DOUBLE_EQ(back.capture_time, 1.25);
+  EXPECT_EQ(back.image_width, 920);
+  ASSERT_EQ(back.features.size(), 5u);
+  EXPECT_EQ(back.features[3].keypoint.x, 3.0f);
+  EXPECT_EQ(back.features[4].descriptor[4], 4);
+}
+
+TEST(Wire, QuerySizeMatchesPaperScale) {
+  // 200 keypoints at 144 B each ~ 29 KB: the paper's "short description
+  // (~30KB) of the scene".
+  const FingerprintQuery q = sample_query(200);
+  EXPECT_GT(q.wire_size(), 28'000u);
+  EXPECT_LT(q.wire_size(), 32'000u);
+}
+
+TEST(Wire, QueryRejectsCorruptMagic) {
+  Bytes b = sample_query(2).encode();
+  b[0] ^= 0xFF;
+  EXPECT_THROW(FingerprintQuery::decode(b), DecodeError);
+}
+
+TEST(Wire, QueryRejectsTruncation) {
+  Bytes b = sample_query(3).encode();
+  b.resize(b.size() - 10);
+  EXPECT_THROW(FingerprintQuery::decode(b), DecodeError);
+}
+
+TEST(Wire, FrameUploadRoundtrip) {
+  FrameUpload f;
+  f.frame_id = 9;
+  f.capture_time = 2.5;
+  f.codec = 1;
+  f.payload = {10, 20, 30, 40};
+  const FrameUpload back = FrameUpload::decode(f.encode());
+  EXPECT_EQ(back.frame_id, 9u);
+  EXPECT_EQ(back.codec, 1);
+  EXPECT_EQ(back.payload, (Bytes{10, 20, 30, 40}));
+}
+
+TEST(Wire, LocationResponseRoundtrip) {
+  LocationResponse r;
+  r.frame_id = 3;
+  r.found = true;
+  r.position = {1.5, -2.5, 0.75};
+  r.yaw = 0.3;
+  r.residual = 0.01;
+  r.matched_keypoints = 42;
+  r.place_label = "Louvre, Denon Wing";
+  const LocationResponse back = LocationResponse::decode(r.encode());
+  EXPECT_TRUE(back.found);
+  EXPECT_DOUBLE_EQ(back.position.y, -2.5);
+  EXPECT_EQ(back.matched_keypoints, 42u);
+  EXPECT_EQ(back.place_label, "Louvre, Denon Wing");
+}
+
+TEST(Wire, OracleDownloadRoundtrip) {
+  OracleConfig cfg;
+  cfg.capacity = 10'000;
+  UniquenessOracle oracle(cfg);
+  Rng rng(1);
+  Descriptor d;
+  for (auto& v : d) v = static_cast<std::uint8_t>(rng.uniform_u64(60));
+  for (int i = 0; i < 3; ++i) oracle.insert(d);
+
+  const OracleDownload down = OracleDownload::pack(oracle, 5);
+  const Bytes wire = down.encode();
+  const OracleDownload back = OracleDownload::decode(wire);
+  EXPECT_EQ(back.version, 5u);
+  const UniquenessOracle restored = back.unpack();
+  EXPECT_EQ(restored.count(d), oracle.count(d));
+}
+
+TEST(Wire, OracleDownloadCompresses) {
+  OracleConfig cfg;
+  cfg.capacity = 50'000;
+  UniquenessOracle oracle(cfg);  // nearly empty -> very compressible
+  const OracleDownload down = OracleDownload::pack(oracle, 1);
+  EXPECT_LT(down.compressed.size(), oracle.serialize().size() / 20);
+}
+
+TEST(Wire, OracleDiffReconstructs) {
+  OracleConfig cfg;
+  cfg.capacity = 10'000;
+  UniquenessOracle oracle(cfg);
+  Rng rng(2);
+  Descriptor d1, d2;
+  for (auto& v : d1) v = static_cast<std::uint8_t>(rng.uniform_u64(60));
+  for (auto& v : d2) v = static_cast<std::uint8_t>(rng.uniform_u64(60));
+
+  oracle.insert(d1);
+  const Bytes v1 = oracle.serialize();
+  oracle.insert(d2);
+  const Bytes v2 = oracle.serialize();
+
+  const OracleDiff diff = OracleDiff::make(v1, v2, 1, 2);
+  const Bytes rebuilt = diff.apply(v1);
+  EXPECT_EQ(rebuilt, v2);
+  // Diff should be much smaller than the full new snapshot compressed.
+  EXPECT_LT(diff.compressed_xor.size(), zlib_compress(v2, 9).size() + 128);
+}
+
+TEST(Wire, OracleDiffEncodeRoundtrip) {
+  const Bytes old_blob{1, 2, 3, 4};
+  const Bytes new_blob{1, 9, 3, 4, 5};
+  const OracleDiff d = OracleDiff::make(old_blob, new_blob, 3, 4);
+  const OracleDiff back = OracleDiff::decode(d.encode());
+  EXPECT_EQ(back.from_version, 3u);
+  EXPECT_EQ(back.to_version, 4u);
+  EXPECT_EQ(back.apply(old_blob), new_blob);
+}
+
+TEST(Link, SerializationTimeMatchesBandwidth) {
+  SimulatedLink link({.bandwidth_mbps = 8.0, .rtt_ms = 0.0, .jitter_ms = 0.0});
+  const auto rec = link.submit(0.0, 1'000'000);  // 1 MB at 8 Mbps = 1 s
+  EXPECT_NEAR(rec.complete_time - rec.start_time, 1.0, 1e-6);
+}
+
+TEST(Link, FifoQueueing) {
+  SimulatedLink link({.bandwidth_mbps = 8.0, .rtt_ms = 0.0, .jitter_ms = 0.0});
+  const auto a = link.submit(0.0, 1'000'000);
+  const auto b = link.submit(0.1, 1'000'000);  // submitted while busy
+  EXPECT_NEAR(a.complete_time, 1.0, 1e-6);
+  EXPECT_NEAR(b.start_time, 1.0, 1e-6);  // waits for a
+  EXPECT_NEAR(b.complete_time, 2.0, 1e-6);
+}
+
+TEST(Link, LatencyAdds) {
+  SimulatedLink link({.bandwidth_mbps = 100.0, .rtt_ms = 40.0, .jitter_ms = 0.0});
+  const auto rec = link.submit(0.0, 1000);
+  EXPECT_GT(rec.complete_time, 0.02);  // half-RTT floor
+}
+
+TEST(Link, BytesDeliveredBy) {
+  SimulatedLink link({.bandwidth_mbps = 8.0, .rtt_ms = 0.0, .jitter_ms = 0.0});
+  link.submit(0.0, 500'000);
+  link.submit(0.0, 500'000);
+  EXPECT_EQ(link.bytes_delivered_by(0.4), 0u);
+  EXPECT_EQ(link.bytes_delivered_by(0.6), 500'000u);
+  EXPECT_EQ(link.bytes_delivered_by(2.0), 1'000'000u);
+}
+
+TEST(Link, SustainableFps) {
+  // Fig. 2 arithmetic: 2 Mbps / (25 KB frame) = 10 fps.
+  EXPECT_NEAR(SimulatedLink::sustainable_fps(2.0, 25'000), 10.0, 0.01);
+  EXPECT_THROW(SimulatedLink::sustainable_fps(2.0, 0), InvalidArgument);
+}
+
+TEST(Link, ResetClearsState) {
+  SimulatedLink link({});
+  link.submit(0.0, 1000);
+  link.reset();
+  EXPECT_TRUE(link.history().empty());
+  EXPECT_DOUBLE_EQ(link.busy_until(), 0.0);
+}
+
+}  // namespace
+}  // namespace vp

@@ -1,0 +1,93 @@
+// Tests for the RF-fingerprinting domain extension.
+#include <gtest/gtest.h>
+
+#include "hashing/oracle.hpp"
+#include "rf/rssi.hpp"
+
+namespace vp {
+namespace {
+
+RfEnvironmentConfig small_env() {
+  RfEnvironmentConfig cfg;
+  cfg.width = 40;
+  cfg.depth = 20;
+  cfg.num_aps = 16;
+  return cfg;
+}
+
+TEST(Rf, RssiDecaysWithDistance) {
+  const RfEnvironment env(small_env());
+  const auto& ap = env.access_points()[0];
+  Rng rng(1);
+  // Average over noise: near the AP must be stronger than far away.
+  double near = 0, far = 0;
+  for (int i = 0; i < 20; ++i) {
+    near += env.measure_rssi(ap.position + Vec3{1, 0, -1}, rng)[0];
+    far += env.measure_rssi(ap.position + Vec3{25, 8, -1}, rng)[0];
+  }
+  EXPECT_GT(near / 20, far / 20 + 10.0);
+}
+
+TEST(Rf, RepeatedVisitsAgree) {
+  const RfEnvironment env(small_env());
+  Rng rng(2);
+  const Vec3 spot{10, 10, 1.5};
+  const Descriptor a = env.fingerprint(spot, rng);
+  const Descriptor b = env.fingerprint(spot, rng);
+  // Same spot, different measurement noise: descriptors stay close.
+  EXPECT_LT(descriptor_distance2(a, b), 3'000u);
+}
+
+TEST(Rf, DifferentSpotsDiffer) {
+  const RfEnvironment env(small_env());
+  Rng rng(3);
+  const Descriptor a = env.fingerprint({5, 5, 1.5}, rng);
+  const Descriptor b = env.fingerprint({35, 15, 1.5}, rng);
+  EXPECT_GT(descriptor_distance2(a, b), 10'000u);
+}
+
+TEST(Rf, DescriptorQuantizationBounds) {
+  const RfEnvironment env(small_env());
+  Rng rng(4);
+  const Descriptor d = env.fingerprint({20, 10, 1.5}, rng);
+  // Unused dimensions (beyond num_aps) must be zero.
+  for (std::size_t i = 16; i < kDescriptorDims; ++i) {
+    EXPECT_EQ(d[i], 0);
+  }
+  // At least a few APs should be audible mid-building.
+  int nonzero = 0;
+  for (std::size_t i = 0; i < 16; ++i) nonzero += d[i] > 0;
+  EXPECT_GE(nonzero, 3);
+}
+
+TEST(Rf, InaudibleMapsToZero) {
+  RfEnvironmentConfig cfg = small_env();
+  cfg.noise_floor_dbm = -20.0;  // absurdly high floor: nothing audible
+  const RfEnvironment env(cfg);
+  Rng rng(5);
+  const Descriptor d = env.fingerprint({20, 10, 1.5}, rng);
+  for (auto v : d) EXPECT_EQ(v, 0);
+}
+
+TEST(Rf, OracleSeparatesRevisitedFromFresh) {
+  // The cross-domain claim: the visual uniqueness oracle ranks RF
+  // fingerprints the same way. Revisited locations score high counts;
+  // a location surveyed once scores low.
+  const RfEnvironment env(small_env());
+  OracleConfig oracle_cfg;
+  oracle_cfg.capacity = 30'000;
+  oracle_cfg.lsh.width = 300.0;
+  UniquenessOracle oracle(oracle_cfg);
+  Rng rng(6);
+  const Vec3 popular{12, 8, 1.5};
+  const Vec3 rare{33, 17, 1.5};
+  for (int i = 0; i < 25; ++i) oracle.insert(env.fingerprint(popular, rng));
+  oracle.insert(env.fingerprint(rare, rng));
+
+  const auto popular_count = oracle.count(env.fingerprint(popular, rng));
+  const auto rare_count = oracle.count(env.fingerprint(rare, rng));
+  EXPECT_GT(popular_count, rare_count + 5);
+}
+
+}  // namespace
+}  // namespace vp

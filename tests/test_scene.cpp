@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "scene/environments.hpp"
+#include "scene/render.hpp"
+#include "scene/texture.hpp"
+#include "scene/world.hpp"
+
+namespace vp {
+namespace {
+
+TEST(Texture, DimensionsAndRange) {
+  Rng rng(1);
+  for (const ImageF& tex :
+       {noise_texture(64, 48, 3, 20, 230, rng), painting_texture(64, 48, rng),
+        checkerboard_texture(64, 48, 8, 120, 180, rng),
+        ceiling_texture(64, 48, 12, rng), wood_texture(64, 48, rng),
+        door_texture(64, 96, 42, rng), nameplate_texture(64, 24, rng),
+        shelf_texture(64, 48, 1, rng), wall_texture(64, 48, 200, rng)}) {
+    EXPECT_EQ(tex.width(), 64);
+    for (const float p : tex.pixels()) {
+      EXPECT_GE(p, 0.0f);
+      EXPECT_LE(p, 255.0f);
+    }
+  }
+}
+
+TEST(Texture, PaintingsAreDistinct) {
+  Rng rng(2);
+  const ImageF a = painting_texture(64, 64, rng);
+  const ImageF b = painting_texture(64, 64, rng);
+  double diff = 0;
+  for (std::size_t i = 0; i < a.pixels().size(); ++i) {
+    diff += std::abs(a.pixels()[i] - b.pixels()[i]);
+  }
+  EXPECT_GT(diff / a.pixels().size(), 10.0);
+}
+
+TEST(Texture, DoorKnobsIdenticalAcrossDoors) {
+  Rng rng1(3), rng2(4);  // different wood grain
+  const ImageF a = door_texture(110, 240, 42, rng1);
+  const ImageF b = door_texture(110, 240, 42, rng2);
+  // The knob area (around x=5w/6, y=h/2) should be pixel-identical.
+  const int kx = 110 * 5 / 6, ky = 120, kr = 110 / 16;
+  for (int dy = -kr + 2; dy <= kr - 2; ++dy) {
+    for (int dx = -kr + 2; dx <= kr - 2; ++dx) {
+      if (dx * dx + dy * dy <= (kr - 2) * (kr - 2)) {
+        EXPECT_EQ(a(kx + dx, ky + dy), b(kx + dx, ky + dy));
+      }
+    }
+  }
+}
+
+TEST(Texture, CheckerboardAlternates) {
+  Rng rng(5);
+  const ImageF t = checkerboard_texture(64, 64, 16, 100, 200, rng);
+  // Centers of adjacent tiles differ by ~100 gray levels.
+  EXPECT_GT(std::abs(t(8, 8) - t(24, 8)), 60.0f);
+}
+
+TEST(World, AddAndBounds) {
+  World w;
+  Rng rng(6);
+  w.add_surface({0, 0, 0}, {10, 0, 0}, {0, 0, 3},
+                wall_texture(32, 16, 200, rng));
+  w.add_surface({0, 5, 0}, {10, 0, 0}, {0, 0, 3},
+                wall_texture(32, 16, 200, rng), 2, "scene2");
+  Vec3 lo, hi;
+  w.bounds(lo, hi);
+  EXPECT_DOUBLE_EQ(lo.x, 0);
+  EXPECT_DOUBLE_EQ(hi.x, 10);
+  EXPECT_DOUBLE_EQ(hi.y, 5);
+  EXPECT_DOUBLE_EQ(hi.z, 3);
+  EXPECT_EQ(w.scene_count(), 3);  // ids 0..2 possible
+}
+
+TEST(World, RejectsDegenerateQuad) {
+  World w;
+  Rng rng(7);
+  const auto tex = w.add_texture(wall_texture(8, 8, 100, rng));
+  TexturedQuad q;
+  q.edge_u = {1, 0, 0};
+  q.edge_v = {2, 0, 0};  // parallel edges -> zero area
+  q.texture = tex;
+  EXPECT_THROW(w.add_quad(q), InvalidArgument);
+}
+
+TEST(Raycast, HitsFrontQuad) {
+  World w;
+  Rng rng(8);
+  w.add_surface({-1, 2, -1}, {2, 0, 0}, {0, 0, 2},
+                wall_texture(16, 16, 150, rng));
+  w.add_surface({-1, 5, -1}, {2, 0, 0}, {0, 0, 2},
+                wall_texture(16, 16, 150, rng));
+  const auto hit = raycast(w, {0, 0, 0}, {0, 1, 0});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->t, 2.0, 1e-9);
+  EXPECT_EQ(hit->quad, 0u);  // nearest, not the one behind
+  EXPECT_NEAR(hit->u, 0.5, 1e-9);
+  EXPECT_NEAR(hit->v, 0.5, 1e-9);
+}
+
+TEST(Raycast, MissesOutsideQuad) {
+  World w;
+  Rng rng(9);
+  w.add_surface({-1, 2, -1}, {2, 0, 0}, {0, 0, 2},
+                wall_texture(16, 16, 150, rng));
+  EXPECT_FALSE(raycast(w, {10, 0, 0}, {0, 1, 0}).has_value());
+  EXPECT_FALSE(raycast(w, {0, 0, 0}, {0, -1, 0}).has_value());  // behind
+}
+
+TEST(LookAt, TargetProjectsToImageCenter) {
+  CameraIntrinsics intr{640, 480, 1.2};
+  const Vec3 pos{3, 7, 1.5};
+  const Vec3 target{10, 2, 1.0};
+  const Camera cam = look_at(intr, pos, target);
+  const auto px = cam.project_world(target);
+  ASSERT_TRUE(px.has_value());
+  EXPECT_NEAR(px->x, 320, 1.0);
+  EXPECT_NEAR(px->y, 240, 1.0);
+}
+
+TEST(LookAt, UprightImage) {
+  // A point above the target should project above the center (smaller y).
+  CameraIntrinsics intr{640, 480, 1.2};
+  const Camera cam = look_at(intr, {0, 0, 1.5}, {5, 0, 1.5});
+  const auto above = cam.project_world({5, 0, 2.5});
+  ASSERT_TRUE(above.has_value());
+  EXPECT_LT(above->y, 240);
+}
+
+TEST(Render, ProducesImageAndDepth) {
+  Rng rng(10);
+  GalleryConfig gc;
+  gc.num_scenes = 4;
+  gc.hall_length = 20;
+  const World w = build_gallery(gc, rng);
+  const auto sq = scene_quads(w);
+  CameraIntrinsics intr{160, 120, 1.2};
+  const Camera cam = view_of_quad(w, sq[0], intr, 0, 2.0, rng);
+  RenderOptions ro;
+  ro.want_depth = true;
+  const auto out = render(w, cam, ro, rng);
+  EXPECT_EQ(out.image.width(), 160);
+  EXPECT_EQ(out.depth.width(), 40);  // downscale 4
+  // Looking at a wall from 2 m: central depth should be around 2 m.
+  EXPECT_NEAR(out.depth(20, 15), 2.0, 0.8);
+  // The image should have nontrivial content.
+  double lo = 255, hi = 0;
+  for (float p : out.image.pixels()) {
+    lo = std::min<double>(lo, p);
+    hi = std::max<double>(hi, p);
+  }
+  EXPECT_GT(hi - lo, 40.0);
+}
+
+TEST(Render, DepthMatchesRaycast) {
+  Rng rng(11);
+  World w;
+  w.add_surface({-5, 4, -5}, {10, 0, 0}, {0, 0, 10},
+                wall_texture(32, 32, 150, rng));
+  CameraIntrinsics intr{64, 48, 1.0};
+  const Camera cam = look_at(intr, {0, 0, 0}, {0, 4, 0});
+  RenderOptions ro;
+  ro.want_depth = true;
+  ro.noise_stddev = 0;
+  const auto out = render(w, cam, ro, rng);
+  const Vec2 px{32.5, 24.5};
+  const auto wp = world_point_at_pixel(w, cam, px);
+  ASSERT_TRUE(wp.has_value());
+  EXPECT_NEAR(wp->y, 4.0, 1e-6);
+}
+
+TEST(Render, VisibleScenesDetected) {
+  Rng rng(12);
+  GalleryConfig gc;
+  gc.num_scenes = 6;
+  gc.hall_length = 30;
+  const World w = build_gallery(gc, rng);
+  const auto sq = scene_quads(w);
+  CameraIntrinsics intr{320, 240, 1.2};
+  for (int s : {0, 3, 5}) {
+    const Camera cam =
+        view_of_quad(w, sq[static_cast<std::size_t>(s)], intr, 5.0, 1.8, rng);
+    const auto vis = visible_scene_ids(w, cam);
+    EXPECT_TRUE(std::find(vis.begin(), vis.end(), s) != vis.end())
+        << "scene " << s << " not visible from its own viewpoint";
+  }
+}
+
+TEST(Environments, GalleryHasRequestedScenes) {
+  Rng rng(13);
+  GalleryConfig gc;
+  gc.num_scenes = 10;
+  const World w = build_gallery(gc, rng);
+  EXPECT_EQ(w.scene_count(), 10);
+  const auto sq = scene_quads(w);
+  ASSERT_EQ(sq.size(), 10u);
+  for (auto qi : sq) EXPECT_LT(qi, w.quads().size());
+}
+
+TEST(Environments, AllPresetsBuild) {
+  Rng rng(14);
+  RoomConfig rc;
+  rc.width = 30;
+  rc.depth = 12;
+  rc.num_scenes = 5;
+  for (const World& w :
+       {build_office(rc, rng), build_cafeteria(rc, rng), build_grocery(rc, rng)}) {
+    EXPECT_GT(w.quads().size(), 6u);
+    EXPECT_GE(w.scene_count(), 1);
+    Vec3 lo, hi;
+    w.bounds(lo, hi);
+    EXPECT_GT(hi.x - lo.x, 10.0);
+  }
+}
+
+}  // namespace
+}  // namespace vp

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "scene/environments.hpp"
+#include "slam/map_merge.hpp"
+#include "slam/mapping.hpp"
+#include "slam/wardrive.hpp"
+
+namespace vp {
+namespace {
+
+World small_world(Rng& rng) {
+  GalleryConfig gc;
+  gc.num_scenes = 4;
+  gc.hall_length = 14;
+  gc.hall_width = 6;
+  return build_gallery(gc, rng);
+}
+
+WardriveConfig small_config() {
+  WardriveConfig cfg;
+  cfg.intrinsics = {160, 120, 1.15192};
+  cfg.stop_spacing = 3.0;
+  cfg.lane_spacing = 3.0;
+  cfg.views_per_stop = 1;
+  return cfg;
+}
+
+TEST(Wardrive, ProducesSnapshotsWithDepth) {
+  Rng rng(1);
+  const World w = small_world(rng);
+  const auto snaps = wardrive(w, small_config(), rng);
+  ASSERT_GT(snaps.size(), 3u);
+  for (const auto& s : snaps) {
+    EXPECT_EQ(s.image.width(), 160);
+    EXPECT_EQ(s.depth.width(), 40);
+    // Depth should have real returns (walls within range).
+    int hits = 0;
+    for (float d : s.depth.pixels()) hits += d > 0;
+    EXPECT_GT(hits, s.depth.pixels().size() / 4);
+  }
+}
+
+TEST(Wardrive, DriftGrowsAlongWalk) {
+  Rng rng(2);
+  const World w = small_world(rng);
+  WardriveConfig cfg = small_config();
+  cfg.drift.pos_per_meter = 0.05;  // exaggerate for the test
+  const auto snaps = wardrive(w, cfg, rng);
+  ASSERT_GT(snaps.size(), 6u);
+  const double err_first =
+      (snaps[1].reported_pose.translation - snaps[1].true_pose.translation)
+          .norm();
+  double err_last = 0;
+  for (std::size_t i = snaps.size() - 3; i < snaps.size(); ++i) {
+    err_last = std::max(
+        err_last, (snaps[i].reported_pose.translation -
+                   snaps[i].true_pose.translation)
+                      .norm());
+  }
+  EXPECT_GT(err_last, err_first);
+}
+
+TEST(Wardrive, ZeroDriftReportsTruth) {
+  Rng rng(3);
+  const World w = small_world(rng);
+  WardriveConfig cfg = small_config();
+  cfg.drift = {0, 0, 0, 0};
+  const auto snaps = wardrive(w, cfg, rng);
+  for (const auto& s : snaps) {
+    EXPECT_LT(
+        (s.reported_pose.translation - s.true_pose.translation).norm(), 1e-9);
+  }
+}
+
+TEST(DepthToWorld, PointsLieOnSurfaces) {
+  Rng rng(4);
+  const World w = small_world(rng);
+  WardriveConfig cfg = small_config();
+  cfg.drift = {0, 0, 0, 0};
+  cfg.render.noise_stddev = 0;
+  const auto snaps = wardrive(w, cfg, rng);
+  ASSERT_FALSE(snaps.empty());
+  const auto& s = snaps[0];
+  int checked = 0;
+  for (int y = 0; y < s.depth.height(); y += 7) {
+    for (int x = 0; x < s.depth.width(); x += 7) {
+      const auto p = depth_to_world(s, s.true_pose, x, y);
+      if (!p) continue;
+      // Re-cast a ray from the camera through the point: it should hit a
+      // surface at the same distance.
+      const Vec3 dir = (*p - s.true_pose.translation).normalized();
+      const auto hit = raycast(w, s.true_pose.translation, dir);
+      ASSERT_TRUE(hit.has_value());
+      EXPECT_NEAR(hit->t, (*p - s.true_pose.translation).norm(), 0.25);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 5);
+}
+
+TEST(MapMerge, DisabledPassesThroughReportedPoses) {
+  Rng rng(5);
+  const World w = small_world(rng);
+  const auto snaps = wardrive(w, small_config(), rng);
+  MapMergeConfig cfg;
+  cfg.enabled = false;
+  const auto merged = merge_snapshots(snaps, cfg);
+  ASSERT_EQ(merged.corrected_poses.size(), snaps.size());
+  for (std::size_t i = 0; i < snaps.size(); ++i) {
+    EXPECT_LT((merged.corrected_poses[i].translation -
+               snaps[i].reported_pose.translation)
+                  .norm(),
+              1e-12);
+  }
+}
+
+TEST(MapMerge, IcpReducesPoseError) {
+  Rng rng(6);
+  const World w = small_world(rng);
+  WardriveConfig cfg = small_config();
+  cfg.drift.pos_per_meter = 0.04;
+  cfg.drift.yaw_per_meter = 0.004;
+  const auto snaps = wardrive(w, cfg, rng);
+  ASSERT_GT(snaps.size(), 4u);
+
+  MapMergeConfig off;
+  off.enabled = false;
+  MapMergeConfig on;
+  on.cloud_stride = 2;
+  const auto raw = merge_snapshots(snaps, off);
+  const auto corrected = merge_snapshots(snaps, on);
+  const double err_raw = mean_pose_error(snaps, raw.corrected_poses);
+  const double err_icp = mean_pose_error(snaps, corrected.corrected_poses);
+  EXPECT_LT(err_icp, err_raw);
+  EXPECT_GT(corrected.snapshots_corrected, snaps.size() / 2);
+}
+
+TEST(Mapping, ExtractsKeypointPositionsNearSurfaces) {
+  Rng rng(7);
+  const World w = small_world(rng);
+  WardriveConfig cfg = small_config();
+  cfg.intrinsics = {320, 240, 1.15192};
+  cfg.drift = {0, 0, 0, 0};
+  cfg.render.noise_stddev = 1.0;
+  const auto snaps = wardrive(w, cfg, rng);
+  std::vector<Pose> poses;
+  for (const auto& s : snaps) poses.push_back(s.true_pose);
+  const auto mappings = extract_mappings(snaps, poses);
+  ASSERT_GT(mappings.size(), 20u);
+  int on_surface = 0;
+  for (const auto& m : mappings) {
+    const Vec3 from = poses[m.snapshot].translation;
+    const Vec3 dir = (m.world_position - from).normalized();
+    const auto hit = raycast(w, from, dir);
+    if (hit &&
+        std::abs(hit->t - (m.world_position - from).norm()) < 0.4) {
+      ++on_surface;
+    }
+  }
+  EXPECT_GT(static_cast<double>(on_surface) / mappings.size(), 0.75);
+}
+
+TEST(Mapping, MaxDepthFiltersFarPoints) {
+  Rng rng(8);
+  const World w = small_world(rng);
+  WardriveConfig cfg = small_config();
+  const auto snaps = wardrive(w, cfg, rng);
+  std::vector<Pose> poses;
+  for (const auto& s : snaps) poses.push_back(s.reported_pose);
+  MappingConfig mc;
+  mc.max_depth = 0.5;  // everything is farther than this
+  EXPECT_TRUE(extract_mappings(snaps, poses, mc).empty());
+}
+
+}  // namespace
+}  // namespace vp
