@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_descriptor.dir/bench_ablation_descriptor.cpp.o"
+  "CMakeFiles/bench_ablation_descriptor.dir/bench_ablation_descriptor.cpp.o.d"
+  "bench_ablation_descriptor"
+  "bench_ablation_descriptor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_descriptor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_icp.dir/bench_ablation_icp.cpp.o"
+  "CMakeFiles/bench_ablation_icp.dir/bench_ablation_icp.cpp.o.d"
+  "bench_ablation_icp"
+  "bench_ablation_icp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_icp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_subsampling.dir/bench_ablation_subsampling.cpp.o"
+  "CMakeFiles/bench_ablation_subsampling.dir/bench_ablation_subsampling.cpp.o.d"
+  "bench_ablation_subsampling"
+  "bench_ablation_subsampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_subsampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

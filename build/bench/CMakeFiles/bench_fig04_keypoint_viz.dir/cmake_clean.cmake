@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_keypoint_viz.dir/bench_fig04_keypoint_viz.cpp.o"
+  "CMakeFiles/bench_fig04_keypoint_viz.dir/bench_fig04_keypoint_viz.cpp.o.d"
+  "bench_fig04_keypoint_viz"
+  "bench_fig04_keypoint_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_keypoint_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_dimension_analysis.dir/bench_fig06_dimension_analysis.cpp.o"
+  "CMakeFiles/bench_fig06_dimension_analysis.dir/bench_fig06_dimension_analysis.cpp.o.d"
+  "bench_fig06_dimension_analysis"
+  "bench_fig06_dimension_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_dimension_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_error_by_axis.dir/bench_fig20_error_by_axis.cpp.o"
+  "CMakeFiles/bench_fig20_error_by_axis.dir/bench_fig20_error_by_axis.cpp.o.d"
+  "bench_fig20_error_by_axis"
+  "bench_fig20_error_by_axis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_error_by_axis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

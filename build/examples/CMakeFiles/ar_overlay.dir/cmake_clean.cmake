@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ar_overlay.dir/ar_overlay.cpp.o"
+  "CMakeFiles/ar_overlay.dir/ar_overlay.cpp.o.d"
+  "ar_overlay"
+  "ar_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ar_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/museum_tour.dir/museum_tour.cpp.o"
+  "CMakeFiles/museum_tour.dir/museum_tour.cpp.o.d"
+  "museum_tour"
+  "museum_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/museum_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

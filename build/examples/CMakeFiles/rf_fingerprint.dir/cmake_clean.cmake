@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_fingerprint.dir/rf_fingerprint.cpp.o"
+  "CMakeFiles/rf_fingerprint.dir/rf_fingerprint.cpp.o.d"
+  "rf_fingerprint"
+  "rf_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

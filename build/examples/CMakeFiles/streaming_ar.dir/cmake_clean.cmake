@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_ar.dir/streaming_ar.cpp.o"
+  "CMakeFiles/streaming_ar.dir/streaming_ar.cpp.o.d"
+  "streaming_ar"
+  "streaming_ar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_ar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_client_main.dir/vp_client_main.cpp.o"
+  "CMakeFiles/vp_client_main.dir/vp_client_main.cpp.o.d"
+  "vp_client"
+  "vp_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_client_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

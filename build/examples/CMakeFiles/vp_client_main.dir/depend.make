@@ -1,0 +1,2 @@
+# Empty dependencies file for vp_client_main.
+# This may be replaced when dependencies are built.

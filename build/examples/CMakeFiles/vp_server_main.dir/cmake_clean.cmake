@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_server_main.dir/vp_server_main.cpp.o"
+  "CMakeFiles/vp_server_main.dir/vp_server_main.cpp.o.d"
+  "vp_server"
+  "vp_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_server_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

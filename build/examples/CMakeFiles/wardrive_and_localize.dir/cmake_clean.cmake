@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wardrive_and_localize.dir/wardrive_and_localize.cpp.o"
+  "CMakeFiles/wardrive_and_localize.dir/wardrive_and_localize.cpp.o.d"
+  "wardrive_and_localize"
+  "wardrive_and_localize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wardrive_and_localize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wardrive_and_localize.
+# This may be replaced when dependencies are built.

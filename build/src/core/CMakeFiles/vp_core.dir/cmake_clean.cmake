@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_core.dir/client.cpp.o"
+  "CMakeFiles/vp_core.dir/client.cpp.o.d"
+  "CMakeFiles/vp_core.dir/retrieval.cpp.o"
+  "CMakeFiles/vp_core.dir/retrieval.cpp.o.d"
+  "CMakeFiles/vp_core.dir/server.cpp.o"
+  "CMakeFiles/vp_core.dir/server.cpp.o.d"
+  "CMakeFiles/vp_core.dir/server_io.cpp.o"
+  "CMakeFiles/vp_core.dir/server_io.cpp.o.d"
+  "CMakeFiles/vp_core.dir/session.cpp.o"
+  "CMakeFiles/vp_core.dir/session.cpp.o.d"
+  "libvp_core.a"
+  "libvp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_energy.dir/power.cpp.o"
+  "CMakeFiles/vp_energy.dir/power.cpp.o.d"
+  "libvp_energy.a"
+  "libvp_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/brief.cpp" "src/features/CMakeFiles/vp_features.dir/brief.cpp.o" "gcc" "src/features/CMakeFiles/vp_features.dir/brief.cpp.o.d"
+  "/root/repo/src/features/draw.cpp" "src/features/CMakeFiles/vp_features.dir/draw.cpp.o" "gcc" "src/features/CMakeFiles/vp_features.dir/draw.cpp.o.d"
+  "/root/repo/src/features/keypoint.cpp" "src/features/CMakeFiles/vp_features.dir/keypoint.cpp.o" "gcc" "src/features/CMakeFiles/vp_features.dir/keypoint.cpp.o.d"
+  "/root/repo/src/features/pca.cpp" "src/features/CMakeFiles/vp_features.dir/pca.cpp.o" "gcc" "src/features/CMakeFiles/vp_features.dir/pca.cpp.o.d"
+  "/root/repo/src/features/sift.cpp" "src/features/CMakeFiles/vp_features.dir/sift.cpp.o" "gcc" "src/features/CMakeFiles/vp_features.dir/sift.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/imaging/CMakeFiles/vp_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/vp_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

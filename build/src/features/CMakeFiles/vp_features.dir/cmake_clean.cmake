@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_features.dir/brief.cpp.o"
+  "CMakeFiles/vp_features.dir/brief.cpp.o.d"
+  "CMakeFiles/vp_features.dir/draw.cpp.o"
+  "CMakeFiles/vp_features.dir/draw.cpp.o.d"
+  "CMakeFiles/vp_features.dir/keypoint.cpp.o"
+  "CMakeFiles/vp_features.dir/keypoint.cpp.o.d"
+  "CMakeFiles/vp_features.dir/pca.cpp.o"
+  "CMakeFiles/vp_features.dir/pca.cpp.o.d"
+  "CMakeFiles/vp_features.dir/sift.cpp.o"
+  "CMakeFiles/vp_features.dir/sift.cpp.o.d"
+  "libvp_features.a"
+  "libvp_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/angles.cpp" "src/geometry/CMakeFiles/vp_geometry.dir/angles.cpp.o" "gcc" "src/geometry/CMakeFiles/vp_geometry.dir/angles.cpp.o.d"
+  "/root/repo/src/geometry/camera.cpp" "src/geometry/CMakeFiles/vp_geometry.dir/camera.cpp.o" "gcc" "src/geometry/CMakeFiles/vp_geometry.dir/camera.cpp.o.d"
+  "/root/repo/src/geometry/clustering.cpp" "src/geometry/CMakeFiles/vp_geometry.dir/clustering.cpp.o" "gcc" "src/geometry/CMakeFiles/vp_geometry.dir/clustering.cpp.o.d"
+  "/root/repo/src/geometry/eigen.cpp" "src/geometry/CMakeFiles/vp_geometry.dir/eigen.cpp.o" "gcc" "src/geometry/CMakeFiles/vp_geometry.dir/eigen.cpp.o.d"
+  "/root/repo/src/geometry/icp.cpp" "src/geometry/CMakeFiles/vp_geometry.dir/icp.cpp.o" "gcc" "src/geometry/CMakeFiles/vp_geometry.dir/icp.cpp.o.d"
+  "/root/repo/src/geometry/localize.cpp" "src/geometry/CMakeFiles/vp_geometry.dir/localize.cpp.o" "gcc" "src/geometry/CMakeFiles/vp_geometry.dir/localize.cpp.o.d"
+  "/root/repo/src/geometry/optimize.cpp" "src/geometry/CMakeFiles/vp_geometry.dir/optimize.cpp.o" "gcc" "src/geometry/CMakeFiles/vp_geometry.dir/optimize.cpp.o.d"
+  "/root/repo/src/geometry/pose.cpp" "src/geometry/CMakeFiles/vp_geometry.dir/pose.cpp.o" "gcc" "src/geometry/CMakeFiles/vp_geometry.dir/pose.cpp.o.d"
+  "/root/repo/src/geometry/vec.cpp" "src/geometry/CMakeFiles/vp_geometry.dir/vec.cpp.o" "gcc" "src/geometry/CMakeFiles/vp_geometry.dir/vec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_geometry.dir/angles.cpp.o"
+  "CMakeFiles/vp_geometry.dir/angles.cpp.o.d"
+  "CMakeFiles/vp_geometry.dir/camera.cpp.o"
+  "CMakeFiles/vp_geometry.dir/camera.cpp.o.d"
+  "CMakeFiles/vp_geometry.dir/clustering.cpp.o"
+  "CMakeFiles/vp_geometry.dir/clustering.cpp.o.d"
+  "CMakeFiles/vp_geometry.dir/eigen.cpp.o"
+  "CMakeFiles/vp_geometry.dir/eigen.cpp.o.d"
+  "CMakeFiles/vp_geometry.dir/icp.cpp.o"
+  "CMakeFiles/vp_geometry.dir/icp.cpp.o.d"
+  "CMakeFiles/vp_geometry.dir/localize.cpp.o"
+  "CMakeFiles/vp_geometry.dir/localize.cpp.o.d"
+  "CMakeFiles/vp_geometry.dir/optimize.cpp.o"
+  "CMakeFiles/vp_geometry.dir/optimize.cpp.o.d"
+  "CMakeFiles/vp_geometry.dir/pose.cpp.o"
+  "CMakeFiles/vp_geometry.dir/pose.cpp.o.d"
+  "CMakeFiles/vp_geometry.dir/vec.cpp.o"
+  "CMakeFiles/vp_geometry.dir/vec.cpp.o.d"
+  "libvp_geometry.a"
+  "libvp_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

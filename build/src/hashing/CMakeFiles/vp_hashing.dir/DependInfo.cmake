@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hashing/binary_oracle.cpp" "src/hashing/CMakeFiles/vp_hashing.dir/binary_oracle.cpp.o" "gcc" "src/hashing/CMakeFiles/vp_hashing.dir/binary_oracle.cpp.o.d"
+  "/root/repo/src/hashing/bloom.cpp" "src/hashing/CMakeFiles/vp_hashing.dir/bloom.cpp.o" "gcc" "src/hashing/CMakeFiles/vp_hashing.dir/bloom.cpp.o.d"
+  "/root/repo/src/hashing/lsh.cpp" "src/hashing/CMakeFiles/vp_hashing.dir/lsh.cpp.o" "gcc" "src/hashing/CMakeFiles/vp_hashing.dir/lsh.cpp.o.d"
+  "/root/repo/src/hashing/murmur3.cpp" "src/hashing/CMakeFiles/vp_hashing.dir/murmur3.cpp.o" "gcc" "src/hashing/CMakeFiles/vp_hashing.dir/murmur3.cpp.o.d"
+  "/root/repo/src/hashing/oracle.cpp" "src/hashing/CMakeFiles/vp_hashing.dir/oracle.cpp.o" "gcc" "src/hashing/CMakeFiles/vp_hashing.dir/oracle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/vp_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/imaging/CMakeFiles/vp_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/vp_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

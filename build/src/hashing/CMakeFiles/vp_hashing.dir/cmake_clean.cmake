@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_hashing.dir/binary_oracle.cpp.o"
+  "CMakeFiles/vp_hashing.dir/binary_oracle.cpp.o.d"
+  "CMakeFiles/vp_hashing.dir/bloom.cpp.o"
+  "CMakeFiles/vp_hashing.dir/bloom.cpp.o.d"
+  "CMakeFiles/vp_hashing.dir/lsh.cpp.o"
+  "CMakeFiles/vp_hashing.dir/lsh.cpp.o.d"
+  "CMakeFiles/vp_hashing.dir/murmur3.cpp.o"
+  "CMakeFiles/vp_hashing.dir/murmur3.cpp.o.d"
+  "CMakeFiles/vp_hashing.dir/oracle.cpp.o"
+  "CMakeFiles/vp_hashing.dir/oracle.cpp.o.d"
+  "libvp_hashing.a"
+  "libvp_hashing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_hashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/imaging/codec.cpp" "src/imaging/CMakeFiles/vp_imaging.dir/codec.cpp.o" "gcc" "src/imaging/CMakeFiles/vp_imaging.dir/codec.cpp.o.d"
+  "/root/repo/src/imaging/filters.cpp" "src/imaging/CMakeFiles/vp_imaging.dir/filters.cpp.o" "gcc" "src/imaging/CMakeFiles/vp_imaging.dir/filters.cpp.o.d"
+  "/root/repo/src/imaging/image.cpp" "src/imaging/CMakeFiles/vp_imaging.dir/image.cpp.o" "gcc" "src/imaging/CMakeFiles/vp_imaging.dir/image.cpp.o.d"
+  "/root/repo/src/imaging/pnm.cpp" "src/imaging/CMakeFiles/vp_imaging.dir/pnm.cpp.o" "gcc" "src/imaging/CMakeFiles/vp_imaging.dir/pnm.cpp.o.d"
+  "/root/repo/src/imaging/video_model.cpp" "src/imaging/CMakeFiles/vp_imaging.dir/video_model.cpp.o" "gcc" "src/imaging/CMakeFiles/vp_imaging.dir/video_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

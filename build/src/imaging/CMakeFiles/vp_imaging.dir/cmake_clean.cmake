@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_imaging.dir/codec.cpp.o"
+  "CMakeFiles/vp_imaging.dir/codec.cpp.o.d"
+  "CMakeFiles/vp_imaging.dir/filters.cpp.o"
+  "CMakeFiles/vp_imaging.dir/filters.cpp.o.d"
+  "CMakeFiles/vp_imaging.dir/image.cpp.o"
+  "CMakeFiles/vp_imaging.dir/image.cpp.o.d"
+  "CMakeFiles/vp_imaging.dir/pnm.cpp.o"
+  "CMakeFiles/vp_imaging.dir/pnm.cpp.o.d"
+  "CMakeFiles/vp_imaging.dir/video_model.cpp.o"
+  "CMakeFiles/vp_imaging.dir/video_model.cpp.o.d"
+  "libvp_imaging.a"
+  "libvp_imaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_imaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/brute_force.cpp" "src/index/CMakeFiles/vp_index.dir/brute_force.cpp.o" "gcc" "src/index/CMakeFiles/vp_index.dir/brute_force.cpp.o.d"
+  "/root/repo/src/index/lsh_index.cpp" "src/index/CMakeFiles/vp_index.dir/lsh_index.cpp.o" "gcc" "src/index/CMakeFiles/vp_index.dir/lsh_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/vp_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashing/CMakeFiles/vp_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/imaging/CMakeFiles/vp_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/vp_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

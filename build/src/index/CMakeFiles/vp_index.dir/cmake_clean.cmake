@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_index.dir/brute_force.cpp.o"
+  "CMakeFiles/vp_index.dir/brute_force.cpp.o.d"
+  "CMakeFiles/vp_index.dir/lsh_index.cpp.o"
+  "CMakeFiles/vp_index.dir/lsh_index.cpp.o.d"
+  "libvp_index.a"
+  "libvp_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_net.dir/link.cpp.o"
+  "CMakeFiles/vp_net.dir/link.cpp.o.d"
+  "CMakeFiles/vp_net.dir/tcp.cpp.o"
+  "CMakeFiles/vp_net.dir/tcp.cpp.o.d"
+  "CMakeFiles/vp_net.dir/wire.cpp.o"
+  "CMakeFiles/vp_net.dir/wire.cpp.o.d"
+  "libvp_net.a"
+  "libvp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_rf.dir/rssi.cpp.o"
+  "CMakeFiles/vp_rf.dir/rssi.cpp.o.d"
+  "libvp_rf.a"
+  "libvp_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scene/environments.cpp" "src/scene/CMakeFiles/vp_scene.dir/environments.cpp.o" "gcc" "src/scene/CMakeFiles/vp_scene.dir/environments.cpp.o.d"
+  "/root/repo/src/scene/render.cpp" "src/scene/CMakeFiles/vp_scene.dir/render.cpp.o" "gcc" "src/scene/CMakeFiles/vp_scene.dir/render.cpp.o.d"
+  "/root/repo/src/scene/texture.cpp" "src/scene/CMakeFiles/vp_scene.dir/texture.cpp.o" "gcc" "src/scene/CMakeFiles/vp_scene.dir/texture.cpp.o.d"
+  "/root/repo/src/scene/world.cpp" "src/scene/CMakeFiles/vp_scene.dir/world.cpp.o" "gcc" "src/scene/CMakeFiles/vp_scene.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/imaging/CMakeFiles/vp_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/vp_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_scene.dir/environments.cpp.o"
+  "CMakeFiles/vp_scene.dir/environments.cpp.o.d"
+  "CMakeFiles/vp_scene.dir/render.cpp.o"
+  "CMakeFiles/vp_scene.dir/render.cpp.o.d"
+  "CMakeFiles/vp_scene.dir/texture.cpp.o"
+  "CMakeFiles/vp_scene.dir/texture.cpp.o.d"
+  "CMakeFiles/vp_scene.dir/world.cpp.o"
+  "CMakeFiles/vp_scene.dir/world.cpp.o.d"
+  "libvp_scene.a"
+  "libvp_scene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_scene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

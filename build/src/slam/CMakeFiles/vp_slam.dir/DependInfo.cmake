@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/slam/map_merge.cpp" "src/slam/CMakeFiles/vp_slam.dir/map_merge.cpp.o" "gcc" "src/slam/CMakeFiles/vp_slam.dir/map_merge.cpp.o.d"
+  "/root/repo/src/slam/mapping.cpp" "src/slam/CMakeFiles/vp_slam.dir/mapping.cpp.o" "gcc" "src/slam/CMakeFiles/vp_slam.dir/mapping.cpp.o.d"
+  "/root/repo/src/slam/wardrive.cpp" "src/slam/CMakeFiles/vp_slam.dir/wardrive.cpp.o" "gcc" "src/slam/CMakeFiles/vp_slam.dir/wardrive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/vp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/scene/CMakeFiles/vp_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/vp_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/imaging/CMakeFiles/vp_imaging.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_slam.dir/map_merge.cpp.o"
+  "CMakeFiles/vp_slam.dir/map_merge.cpp.o.d"
+  "CMakeFiles/vp_slam.dir/mapping.cpp.o"
+  "CMakeFiles/vp_slam.dir/mapping.cpp.o.d"
+  "CMakeFiles/vp_slam.dir/wardrive.cpp.o"
+  "CMakeFiles/vp_slam.dir/wardrive.cpp.o.d"
+  "libvp_slam.a"
+  "libvp_slam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_slam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_util.dir/error.cpp.o"
+  "CMakeFiles/vp_util.dir/error.cpp.o.d"
+  "CMakeFiles/vp_util.dir/rng.cpp.o"
+  "CMakeFiles/vp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/vp_util.dir/stats.cpp.o"
+  "CMakeFiles/vp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/vp_util.dir/table.cpp.o"
+  "CMakeFiles/vp_util.dir/table.cpp.o.d"
+  "CMakeFiles/vp_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/vp_util.dir/thread_pool.cpp.o.d"
+  "libvp_util.a"
+  "libvp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/test_util.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/vp_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/slam/CMakeFiles/vp_slam.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/vp_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/vp_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashing/CMakeFiles/vp_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/vp_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/scene/CMakeFiles/vp_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/vp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/imaging/CMakeFiles/vp_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
