@@ -1,0 +1,114 @@
+// Client frame-path throughput: full frame -> SIFT -> oracle scoring ->
+// top-200 descriptors, timed at 1, 2, and hardware_concurrency threads.
+// Emits one JSON line per thread config so successive PRs can track the
+// latency trajectory (append the lines to a log and diff).
+//
+// Usage: bench_client_pipeline [--scale=<f>] (scale multiplies iterations)
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/client.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+struct RunStats {
+  double median_frame_ms = 0;
+  double median_sift_ms = 0;
+  double median_scoring_ms = 0;
+  std::size_t keypoints = 0;
+  std::size_t selected = 0;
+};
+
+double median_of(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+RunStats run_config(const vp::ImageF& frame, const vp::Bytes& oracle_blob,
+                    vp::ThreadPool* pool, int iters) {
+  using namespace vp;
+  ClientConfig cc;
+  cc.top_k = 200;
+  cc.blur_threshold = 0.5;
+  cc.sift.pool = pool;
+  VisualPrintClient client(cc);
+  client.install_oracle(UniquenessOracle::deserialize(oracle_blob));
+
+  RunStats stats;
+  std::vector<double> frame_ms, sift_ms, scoring_ms;
+  (void)client.process_frame(frame, 0.0, 0.0);  // warm caches and pool
+  for (int it = 0; it < iters; ++it) {
+    Timer t;
+    const auto result = client.process_frame(frame, 0.0, 0.0);
+    frame_ms.push_back(t.millis());
+    sift_ms.push_back(result.sift_ms);
+    scoring_ms.push_back(result.scoring_ms);
+    stats.keypoints = result.total_keypoints;
+    stats.selected = result.selected_keypoints;
+  }
+  stats.median_frame_ms = median_of(frame_ms);
+  stats.median_sift_ms = median_of(sift_ms);
+  stats.median_scoring_ms = median_of(scoring_ms);
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vp;
+  using namespace vp::bench;
+  const double scale = parse_scale(argc, argv);
+  print_figure_header("client pipeline",
+                      "frame -> top-200 descriptors at 1/2/N threads");
+
+  constexpr int kW = 640, kH = 480;
+  const auto frames = render_walk_frames(4, kW, kH, 77);
+  const ImageF frame = to_gray(frames.front());
+
+  // A populated oracle so scoring walks realistic filter content.
+  OracleConfig ocfg;
+  ocfg.capacity = 200'000;
+  UniquenessOracle oracle(ocfg);
+  for (const auto& f : frames) {
+    for (const auto& feat : sift_detect(to_gray(f))) {
+      oracle.insert(feat.descriptor);
+    }
+  }
+  const Bytes oracle_blob = oracle.serialize();
+
+  const int iters = std::max(3, static_cast<int>(std::lround(5 * scale)));
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  std::vector<unsigned> thread_configs{1, 2, hw};
+  std::sort(thread_configs.begin(), thread_configs.end());
+  thread_configs.erase(
+      std::unique(thread_configs.begin(), thread_configs.end()),
+      thread_configs.end());
+
+  double baseline_ms = 0;
+  for (unsigned threads : thread_configs) {
+    // threads == 1 measures the sequential path (no pool), i.e. the
+    // cache-friendly blur/scan rewrite on its own.
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+    const RunStats s = run_config(frame, oracle_blob, pool.get(), iters);
+    if (threads == 1) baseline_ms = s.median_frame_ms;
+    const double speedup =
+        s.median_frame_ms > 0 ? baseline_ms / s.median_frame_ms : 0.0;
+    std::printf(
+        "{\"bench\":\"client_pipeline\",\"threads\":%u,"
+        "\"frame_w\":%d,\"frame_h\":%d,\"iters\":%d,"
+        "\"frame_ms\":%.2f,\"sift_ms\":%.2f,\"scoring_ms\":%.2f,"
+        "\"keypoints\":%zu,\"selected\":%zu,\"speedup_vs_1t\":%.2f}\n",
+        threads, kW, kH, iters, s.median_frame_ms, s.median_sift_ms,
+        s.median_scoring_ms, s.keypoints, s.selected, speedup);
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then a ThreadSanitizer pass
+# over the threading-sensitive test binaries (test_util, test_features).
+#
+# Usage: scripts/tier1.sh [build-dir] [tsan-build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+tsan_dir="${2:-$repo_root/build-tsan}"
+
+echo "== tier-1: regular build + full test suite =="
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j
+ctest --test-dir "$build_dir" --output-on-failure -j
+
+echo "== tier-1: ThreadSanitizer pass (test_util, test_features) =="
+# Benchmarks/examples are irrelevant to the TSan pass; skip them for speed.
+cmake -B "$tsan_dir" -S "$repo_root" \
+  -DVP_SANITIZE=thread \
+  -DVP_BUILD_BENCHMARKS=OFF \
+  -DVP_BUILD_EXAMPLES=OFF
+cmake --build "$tsan_dir" -j --target test_util test_features
+"$tsan_dir/tests/test_util"
+"$tsan_dir/tests/test_features"
+
+echo "tier-1: all checks passed"

@@ -53,11 +53,18 @@ std::vector<Feature> VisualPrintClient::select_features(
       VP_REQUIRE(oracle_ != nullptr,
                  "uniqueness selection requires a downloaded oracle");
       // Counting-filter lookups give each keypoint an estimated global
-      // occurrence count; the partial ordering ranks unique first.
+      // occurrence count; the partial ordering ranks unique first. The
+      // batch call shares the frame pipeline's pool (if configured) and
+      // reuses lookup scratch across descriptors.
+      std::vector<Descriptor> descriptors;
+      descriptors.reserve(features.size());
+      for (const auto& f : features) descriptors.push_back(f.descriptor);
+      const auto counts =
+          oracle_->count_batch(descriptors, config_.sift.pool);
       std::vector<std::pair<std::uint32_t, std::size_t>> scored;
       scored.reserve(features.size());
       for (std::size_t i = 0; i < features.size(); ++i) {
-        scored.emplace_back(oracle_->count(features[i].descriptor), i);
+        scored.emplace_back(counts[i], i);
       }
       std::nth_element(
           scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(k - 1),

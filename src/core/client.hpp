@@ -29,6 +29,10 @@ enum class SelectionPolicy : std::uint8_t {
 };
 
 struct ClientConfig {
+  /// SIFT parameters. `sift.pool` (when set) parallelizes the whole frame
+  /// path: pyramid blurs, extrema scan, descriptors, and the oracle batch
+  /// scoring all share it. The pool is borrowed, never owned; output is
+  /// bit-identical for any pool size.
   SiftConfig sift{};
   double blur_threshold = 18.0;  ///< min variance-of-Laplacian to accept
   std::size_t top_k = 200;       ///< keypoints per query (paper: 200/500)

@@ -7,8 +7,25 @@
 
 #include "imaging/filters.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace vp {
+namespace {
+
+/// Run fn(i) for i in [0, n) on the pool when one is configured. Every
+/// parallel stage in this file writes results into index-addressed slots,
+/// so scheduling order never affects output.
+void run_indexed(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn) {
+  if (pool != nullptr) {
+    pool->parallel_for(n, fn);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+}  // namespace
+
 namespace detail {
 namespace {
 
@@ -213,7 +230,7 @@ ScaleSpace build_scale_space(const ImageF& image, const SiftConfig& cfg) {
   }
   const double need = std::sqrt(
       std::max(0.01, cfg.sigma * cfg.sigma - current_blur * current_blur));
-  base = gaussian_blur(base, need);
+  base = gaussian_blur(base, need, cfg.pool);
 
   const int octaves = octave_count(base.width(), base.height(), cfg);
   const int per_octave = cfg.intervals + 3;
@@ -242,15 +259,19 @@ ScaleSpace build_scale_space(const ImageF& image, const SiftConfig& cfg) {
           ss.gaussians[static_cast<std::size_t>(o - 1)]
                       [static_cast<std::size_t>(cfg.intervals)]));
     }
+    // The interval chain is inherently sequential (each level blurs the
+    // previous one), so parallelism lives inside each blur (row-split).
     for (int i = 1; i < per_octave; ++i) {
-      gs.push_back(gaussian_blur(gs.back(), inc[static_cast<std::size_t>(i)]));
+      gs.push_back(gaussian_blur(gs.back(), inc[static_cast<std::size_t>(i)],
+                                 cfg.pool));
     }
+    // DoG levels only depend on finished Gaussians: subtract in parallel
+    // across the intervals of this octave.
     auto& ds = ss.dogs[static_cast<std::size_t>(o)];
-    ds.reserve(static_cast<std::size_t>(per_octave - 1));
-    for (int i = 0; i + 1 < per_octave; ++i) {
-      ds.push_back(subtract(gs[static_cast<std::size_t>(i + 1)],
-                            gs[static_cast<std::size_t>(i)]));
-    }
+    ds.resize(static_cast<std::size_t>(per_octave - 1));
+    run_indexed(cfg.pool, ds.size(), [&](std::size_t i) {
+      ds[i] = subtract(gs[i + 1], gs[i]);
+    });
   }
   return ss;
 }
@@ -370,61 +391,96 @@ struct DetectedPoint {
   float scale_octv = 0;    ///< scale relative to the octave
 };
 
-std::vector<DetectedPoint> detect_points(const detail::ScaleSpace& ss,
-                                         const SiftConfig& cfg) {
-  std::vector<DetectedPoint> points;
+/// Scan rows [y0, y1) of DoG interval `i` in octave `o` for refined
+/// extrema, appending to `out` in (y, x) order.
+void scan_interval_rows(const detail::ScaleSpace& ss, const SiftConfig& cfg,
+                        std::size_t o, int i, int y0, int y1,
+                        std::vector<DetectedPoint>& out) {
+  const auto& dogs = ss.dogs[o];
   const double prelim_thresh =
       0.5 * 255.0 * cfg.contrast_threshold / cfg.intervals;
   const double scale_multiplier = ss.upsampled ? 0.5 : 1.0;
+  const double octave_scale =
+      scale_multiplier * std::pow(2.0, static_cast<double>(o));
+  const ImageF& prev = dogs[static_cast<std::size_t>(i - 1)];
+  const ImageF& cur = dogs[static_cast<std::size_t>(i)];
+  const ImageF& next = dogs[static_cast<std::size_t>(i + 1)];
+  const int w = cur.width();
 
-  for (std::size_t o = 0; o < ss.dogs.size(); ++o) {
-    const auto& dogs = ss.dogs[o];
-    const double octave_scale = scale_multiplier * std::pow(2.0, static_cast<double>(o));
-    for (int i = 1; i <= cfg.intervals; ++i) {
-      const ImageF& prev = dogs[static_cast<std::size_t>(i - 1)];
-      const ImageF& cur = dogs[static_cast<std::size_t>(i)];
-      const ImageF& next = dogs[static_cast<std::size_t>(i + 1)];
-      const int w = cur.width();
-      const int h = cur.height();
-      for (int y = cfg.border; y < h - cfg.border; ++y) {
-        for (int x = cfg.border; x < w - cfg.border; ++x) {
-          const float v = cur(x, y);
-          if (std::abs(v) <= prelim_thresh) continue;
-          // 26-neighbor extremum test.
-          bool is_max = true, is_min = true;
-          for (int dy = -1; dy <= 1 && (is_max || is_min); ++dy) {
-            for (int dx = -1; dx <= 1; ++dx) {
-              for (const ImageF* img : {&prev, &cur, &next}) {
-                const float nv = (*img)(x + dx, y + dy);
-                if (img == &cur && dx == 0 && dy == 0) continue;
-                if (nv >= v) is_max = false;
-                if (nv <= v) is_min = false;
-              }
-              if (!is_max && !is_min) break;
-            }
+  for (int y = y0; y < y1; ++y) {
+    for (int x = cfg.border; x < w - cfg.border; ++x) {
+      const float v = cur(x, y);
+      if (std::abs(v) <= prelim_thresh) continue;
+      // 26-neighbor extremum test.
+      bool is_max = true, is_min = true;
+      for (int dy = -1; dy <= 1 && (is_max || is_min); ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          for (const ImageF* img : {&prev, &cur, &next}) {
+            const float nv = (*img)(x + dx, y + dy);
+            if (img == &cur && dx == 0 && dy == 0) continue;
+            if (nv >= v) is_max = false;
+            if (nv <= v) is_min = false;
           }
-          if (!is_max && !is_min) continue;
-
-          auto refined = detail::refine_extremum(dogs, i, x, y, cfg);
-          if (!refined) continue;
-
-          DetectedPoint dp;
-          dp.octave = static_cast<int>(o);
-          dp.interval = refined->base_interval;
-          dp.x_octv = refined->x_octv;
-          dp.y_octv = refined->y_octv;
-          dp.scale_octv = static_cast<float>(
-              cfg.sigma *
-              std::pow(2.0, refined->interval / static_cast<double>(cfg.intervals)));
-          dp.kp.x = static_cast<float>(refined->x_octv * octave_scale);
-          dp.kp.y = static_cast<float>(refined->y_octv * octave_scale);
-          dp.kp.scale = static_cast<float>(dp.scale_octv * octave_scale);
-          dp.kp.response = refined->response;
-          dp.kp.octave = static_cast<std::int16_t>(o);
-          points.push_back(dp);
+          if (!is_max && !is_min) break;
         }
       }
+      if (!is_max && !is_min) continue;
+
+      auto refined = detail::refine_extremum(dogs, i, x, y, cfg);
+      if (!refined) continue;
+
+      DetectedPoint dp;
+      dp.octave = static_cast<int>(o);
+      dp.interval = refined->base_interval;
+      dp.x_octv = refined->x_octv;
+      dp.y_octv = refined->y_octv;
+      dp.scale_octv = static_cast<float>(
+          cfg.sigma *
+          std::pow(2.0, refined->interval / static_cast<double>(cfg.intervals)));
+      dp.kp.x = static_cast<float>(refined->x_octv * octave_scale);
+      dp.kp.y = static_cast<float>(refined->y_octv * octave_scale);
+      dp.kp.scale = static_cast<float>(dp.scale_octv * octave_scale);
+      dp.kp.response = refined->response;
+      dp.kp.octave = static_cast<std::int16_t>(o);
+      out.push_back(dp);
     }
+  }
+}
+
+std::vector<DetectedPoint> detect_points(const detail::ScaleSpace& ss,
+                                         const SiftConfig& cfg) {
+  // Row-blocked scan: every (octave, interval) plane is cut into bands of
+  // rows that scan independently into per-block buffers, then the buffers
+  // are concatenated in block order. That reproduces the sequential scan
+  // order (octave-major, interval, y, x) exactly, so downstream stages see
+  // the same point sequence regardless of pool size.
+  constexpr int kRowsPerBlock = 32;
+  struct ScanBlock {
+    std::size_t octave;
+    int interval;
+    int y0, y1;
+  };
+  std::vector<ScanBlock> blocks;
+  for (std::size_t o = 0; o < ss.dogs.size(); ++o) {
+    const int h = ss.dogs[o][0].height();
+    for (int i = 1; i <= cfg.intervals; ++i) {
+      for (int y = cfg.border; y < h - cfg.border; y += kRowsPerBlock) {
+        blocks.push_back(
+            {o, i, y, std::min(y + kRowsPerBlock, h - cfg.border)});
+      }
+    }
+  }
+
+  std::vector<std::vector<DetectedPoint>> per_block(blocks.size());
+  run_indexed(cfg.pool, blocks.size(), [&](std::size_t b) {
+    const ScanBlock& blk = blocks[b];
+    scan_interval_rows(ss, cfg, blk.octave, blk.interval, blk.y0, blk.y1,
+                       per_block[b]);
+  });
+
+  std::vector<DetectedPoint> points;
+  for (const auto& bp : per_block) {
+    points.insert(points.end(), bp.begin(), bp.end());
   }
   return points;
 }
@@ -448,20 +504,30 @@ std::vector<Keypoint> sift_detect_keypoints(const ImageF& image,
   const auto ss = detail::build_scale_space(image, cfg);
   auto points = detect_points(ss, cfg);
   keep_strongest(points, cfg.max_features);
-  std::vector<Keypoint> out;
-  out.reserve(points.size());
-  for (const auto& p : points) {
+
+  // One slot per detected point (a point can emit several orientations);
+  // merged in point order so output ordering is pool-size independent.
+  std::vector<std::vector<Keypoint>> per_point(points.size());
+  run_indexed(cfg.pool, points.size(), [&](std::size_t idx) {
+    const auto& p = points[idx];
     const auto& gauss =
         ss.gaussians[static_cast<std::size_t>(p.octave)]
                     [static_cast<std::size_t>(p.interval)];
     const auto oris = detail::dominant_orientations(
         gauss, static_cast<int>(std::lround(p.x_octv)),
         static_cast<int>(std::lround(p.y_octv)), p.scale_octv);
+    per_point[idx].reserve(oris.size());
     for (float ori : oris) {
       Keypoint kp = p.kp;
       kp.orientation = ori;
-      out.push_back(kp);
+      per_point[idx].push_back(kp);
     }
+  });
+
+  std::vector<Keypoint> out;
+  out.reserve(points.size());
+  for (const auto& kps : per_point) {
+    out.insert(out.end(), kps.begin(), kps.end());
   }
   return out;
 }
@@ -471,23 +537,32 @@ std::vector<Feature> sift_detect(const ImageF& image, const SiftConfig& cfg) {
   auto points = detect_points(ss, cfg);
   keep_strongest(points, cfg.max_features);
 
-  std::vector<Feature> out;
-  out.reserve(points.size());
-  for (const auto& p : points) {
+  // Orientation histograms and 128-d descriptors are independent per
+  // point: parallel_for over points, merge per-point slots in index order.
+  std::vector<std::vector<Feature>> per_point(points.size());
+  run_indexed(cfg.pool, points.size(), [&](std::size_t idx) {
+    const auto& p = points[idx];
     const auto& gauss =
         ss.gaussians[static_cast<std::size_t>(p.octave)]
                     [static_cast<std::size_t>(p.interval)];
     const auto oris = detail::dominant_orientations(
         gauss, static_cast<int>(std::lround(p.x_octv)),
         static_cast<int>(std::lround(p.y_octv)), p.scale_octv);
+    per_point[idx].reserve(oris.size());
     for (float ori : oris) {
       Feature f;
       f.keypoint = p.kp;
       f.keypoint.orientation = ori;
       f.descriptor = detail::compute_descriptor(gauss, p.x_octv, p.y_octv,
                                                 p.scale_octv, ori);
-      out.push_back(f);
+      per_point[idx].push_back(f);
     }
+  });
+
+  std::vector<Feature> out;
+  out.reserve(points.size());
+  for (const auto& fs : per_point) {
+    out.insert(out.end(), fs.begin(), fs.end());
   }
   return out;
 }

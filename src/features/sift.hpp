@@ -15,6 +15,8 @@
 
 namespace vp {
 
+class ThreadPool;
+
 struct SiftConfig {
   int intervals = 3;              ///< scales per octave (Lowe's s)
   double sigma = 1.6;             ///< base scale of each octave
@@ -25,6 +27,12 @@ struct SiftConfig {
   int border = 5;                 ///< discard extrema this close to an edge
   int max_features = 0;           ///< 0 = unlimited, else strongest-N kept
   bool upsample_first_octave = false;///< Lowe's -1 octave (2x upsample)
+  /// Optional worker pool (not owned). Parallelizes pyramid blurs (by
+  /// row), DoG subtraction (by interval), extrema scanning (by row block)
+  /// and descriptor computation (by keypoint). Output is bit-identical to
+  /// the sequential path for any pool size: every parallel stage writes
+  /// index-addressed slots that are merged in deterministic order.
+  ThreadPool* pool = nullptr;
 };
 
 /// Detect keypoints and compute descriptors on a grayscale image with

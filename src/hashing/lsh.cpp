@@ -33,12 +33,18 @@ double E2Lsh::project(const Descriptor& d, std::size_t t,
 }
 
 LshBucket E2Lsh::bucket(const Descriptor& d, std::size_t t) const {
-  VP_REQUIRE(t < tables_, "LSH table index out of range");
-  LshBucket b(projections_);
-  for (std::size_t m = 0; m < projections_; ++m) {
-    b[m] = static_cast<std::int32_t>(std::floor(project(d, t, m) / width_));
-  }
+  LshBucket b;
+  bucket_into(d, t, b);
   return b;
+}
+
+void E2Lsh::bucket_into(const Descriptor& d, std::size_t t,
+                        LshBucket& out) const {
+  VP_REQUIRE(t < tables_, "LSH table index out of range");
+  out.resize(projections_);
+  for (std::size_t m = 0; m < projections_; ++m) {
+    out[m] = static_cast<std::int32_t>(std::floor(project(d, t, m) / width_));
+  }
 }
 
 std::vector<LshBucket> E2Lsh::all_buckets(const Descriptor& d) const {

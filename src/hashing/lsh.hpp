@@ -44,6 +44,10 @@ class E2Lsh {
   /// Quantized bucket of descriptor `d` for table `t`.
   LshBucket bucket(const Descriptor& d, std::size_t t) const;
 
+  /// As bucket(), but writes into `out` (resized to M) — allocation-free
+  /// once `out` has capacity; the batch scoring hot path.
+  void bucket_into(const Descriptor& d, std::size_t t, LshBucket& out) const;
+
   /// All L buckets at once (the per-keypoint hot path).
   std::vector<LshBucket> all_buckets(const Descriptor& d) const;
 

@@ -5,6 +5,7 @@
 
 #include "hashing/murmur3.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace vp {
 namespace {
@@ -14,11 +15,25 @@ namespace {
 constexpr std::uint32_t kPrimarySeedBase = 0x9d2c5680u;
 constexpr std::uint32_t kVerifySeed = 0x5f3759dfu;
 
-/// K primary-filter indices for a bucket of table `t`.
+/// Little-endian bucket encoding into a reusable buffer; byte-compatible
+/// with E2Lsh::encode_bucket.
+void encode_bucket_into(const LshBucket& bucket, Bytes& out) {
+  out.clear();
+  for (const std::int32_t v : bucket) {
+    const auto u = static_cast<std::uint32_t>(v);
+    out.push_back(static_cast<std::uint8_t>(u));
+    out.push_back(static_cast<std::uint8_t>(u >> 8));
+    out.push_back(static_cast<std::uint8_t>(u >> 16));
+    out.push_back(static_cast<std::uint8_t>(u >> 24));
+  }
+}
+
+/// K primary-filter indices for a bucket of table `t`. `enc` is scratch
+/// for the bucket encoding (hoisted so batch scoring never reallocates).
 void primary_indices(const LshBucket& bucket, std::size_t table,
-                     std::size_t k, std::size_t counters,
+                     std::size_t k, std::size_t counters, Bytes& enc,
                      std::vector<std::size_t>& out) {
-  const Bytes enc = E2Lsh::encode_bucket(bucket);
+  encode_bucket_into(bucket, enc);
   out.clear();
   bloom_indices(enc, kPrimarySeedBase + static_cast<std::uint32_t>(table), k,
                 counters, std::back_inserter(out));
@@ -55,10 +70,13 @@ UniquenessOracle::UniquenessOracle(OracleConfig config)
 }
 
 void UniquenessOracle::insert(const Descriptor& descriptor) {
+  LshBucket bucket;
+  Bytes enc;
   std::vector<std::size_t> idx;
   for (std::size_t t = 0; t < lsh_.tables(); ++t) {
-    const LshBucket bucket = lsh_.bucket(descriptor, t);
-    primary_indices(bucket, t, config_.hashes, primary_.counter_count(), idx);
+    lsh_.bucket_into(descriptor, t, bucket);
+    primary_indices(bucket, t, config_.hashes, primary_.counter_count(), enc,
+                    idx);
     for (std::size_t i : idx) primary_.increment(i);
     if (config_.verification) {
       verification_.set(verification_index(idx, verification_.bit_count()));
@@ -68,24 +86,24 @@ void UniquenessOracle::insert(const Descriptor& descriptor) {
 }
 
 std::optional<std::uint32_t> UniquenessOracle::bucket_count(
-    const LshBucket& bucket, std::size_t table) const {
-  std::vector<std::size_t> idx;
+    const LshBucket& bucket, std::size_t table, Scratch& s) const {
   primary_indices(bucket, table, config_.hashes, primary_.counter_count(),
-                  idx);
+                  s.encoded, s.indices);
   std::uint32_t min_count = primary_.saturation() + 1;
-  for (std::size_t i : idx) {
+  for (std::size_t i : s.indices) {
     min_count = std::min(min_count, primary_.count(i));
   }
   if (min_count == 0) return std::nullopt;
   if (config_.verification &&
-      !verification_.test(verification_index(idx, verification_.bit_count()))) {
+      !verification_.test(
+          verification_index(s.indices, verification_.bit_count()))) {
     return std::nullopt;  // primary hit was a false positive
   }
   return min_count;
 }
 
 std::uint32_t UniquenessOracle::aggregate_counts(
-    std::span<const std::uint32_t> counts) const {
+    std::span<std::uint32_t> counts) const {
   VP_ASSERT(!counts.empty());
   switch (config_.aggregate) {
     case OracleAggregate::kMin:
@@ -99,39 +117,73 @@ std::uint32_t UniquenessOracle::aggregate_counts(
     }
     case OracleAggregate::kMedian:
     default: {
-      std::vector<std::uint32_t> v(counts.begin(), counts.end());
-      std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
-      return v[v.size() / 2];
+      // In-place selection: counts is the caller's scratch accumulator.
+      std::nth_element(counts.begin(),
+                       counts.begin() + static_cast<std::ptrdiff_t>(counts.size() / 2),
+                       counts.end());
+      return counts[counts.size() / 2];
     }
   }
 }
 
-std::uint32_t UniquenessOracle::count(const Descriptor& descriptor) const {
-  std::vector<std::uint32_t> per_table;
-  per_table.reserve(lsh_.tables());
+std::uint32_t UniquenessOracle::count_with(const Descriptor& descriptor,
+                                           Scratch& s) const {
+  s.per_table.clear();
   for (std::size_t t = 0; t < lsh_.tables(); ++t) {
-    LshBucket bucket = lsh_.bucket(descriptor, t);
+    lsh_.bucket_into(descriptor, t, s.bucket);
     std::uint32_t best = 0;
-    if (const auto exact = bucket_count(bucket, t)) {
+    if (const auto exact = bucket_count(s.bucket, t, s)) {
       best = *exact;
     } else if (config_.multiprobe) {
       // Off-by-one rescue: probe the 2M adjacent quantization buckets and
-      // take the best verified hit (paper §3, "multi-probe" checks into
+      // keep the first verified hit (paper §3, "multi-probe" checks into
       // adjacent quantization buckets).
-      for (std::size_t m = 0; m < bucket.size() && best == 0; ++m) {
+      for (std::size_t m = 0; m < s.bucket.size() && best == 0; ++m) {
         for (const std::int32_t delta : {-1, +1}) {
-          bucket[m] += delta;
-          if (const auto probed = bucket_count(bucket, t)) {
-            best = std::max(best, *probed);
+          s.bucket[m] += delta;
+          const auto probed = bucket_count(s.bucket, t, s);
+          s.bucket[m] -= delta;
+          if (probed) {
+            best = *probed;
+            break;
           }
-          bucket[m] -= delta;
-          if (best != 0) break;
         }
       }
     }
-    per_table.push_back(best);
+    s.per_table.push_back(best);
   }
-  return aggregate_counts(per_table);
+  return aggregate_counts(s.per_table);
+}
+
+std::uint32_t UniquenessOracle::count(const Descriptor& descriptor) const {
+  Scratch s;
+  return count_with(descriptor, s);
+}
+
+std::vector<std::uint32_t> UniquenessOracle::count_batch(
+    std::span<const Descriptor> batch, ThreadPool* pool) const {
+  std::vector<std::uint32_t> out(batch.size());
+  if (batch.empty()) return out;
+  if (pool == nullptr) {
+    Scratch s;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      out[i] = count_with(batch[i], s);
+    }
+    return out;
+  }
+  // One scratch per contiguous chunk, one chunk per pool slot; lookups are
+  // read-only against the filters so the only shared write is `out`, which
+  // every chunk addresses disjointly.
+  const std::size_t chunks =
+      std::min<std::size_t>(batch.size(), std::max<std::size_t>(1, pool->thread_count()));
+  const std::size_t per = (batch.size() + chunks - 1) / chunks;
+  pool->parallel_for(chunks, [&](std::size_t c) {
+    Scratch s;
+    const std::size_t lo = c * per;
+    const std::size_t hi = std::min(batch.size(), lo + per);
+    for (std::size_t i = lo; i < hi; ++i) out[i] = count_with(batch[i], s);
+  });
+  return out;
 }
 
 std::size_t UniquenessOracle::byte_size() const noexcept {

@@ -18,12 +18,16 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "features/keypoint.hpp"
 #include "hashing/bloom.hpp"
 #include "hashing/lsh.hpp"
 
 namespace vp {
+
+class ThreadPool;
 
 /// How per-table count estimates are combined into one uniqueness score.
 enum class OracleAggregate : std::uint8_t {
@@ -59,6 +63,14 @@ class UniquenessOracle {
   /// 0 means "definitely not seen" (up to LSH false negatives).
   std::uint32_t count(const Descriptor& descriptor) const;
 
+  /// count() for a whole frame's descriptors at once — the client's
+  /// keypoint-scoring hot path. Reuses per-worker scratch buffers (bucket,
+  /// index and encode storage are hoisted out of the per-descriptor loop)
+  /// and, when `pool` is non-null, splits the batch across it. Results are
+  /// index-addressed, so output is identical for any pool size.
+  std::vector<std::uint32_t> count_batch(std::span<const Descriptor> batch,
+                                         ThreadPool* pool = nullptr) const;
+
   /// Rank helper: lower = more unique. Currently the raw count; kept as a
   /// distinct name so callers express intent.
   std::uint32_t uniqueness_score(const Descriptor& d) const { return count(d); }
@@ -82,12 +94,27 @@ class UniquenessOracle {
   }
 
  private:
+  /// Reusable per-worker buffers for the scoring hot path: the quantized
+  /// bucket, its byte encoding, the K filter indices, and the per-table
+  /// count accumulator.
+  struct Scratch {
+    LshBucket bucket;
+    Bytes encoded;
+    std::vector<std::size_t> indices;
+    std::vector<std::uint32_t> per_table;
+  };
+
+  std::uint32_t count_with(const Descriptor& descriptor, Scratch& s) const;
+
   /// Count estimate for one table's bucket: min over the K counters, gated
   /// by the verification filter. Returns nullopt when not present.
   std::optional<std::uint32_t> bucket_count(const LshBucket& bucket,
-                                            std::size_t table) const;
+                                            std::size_t table,
+                                            Scratch& s) const;
 
-  std::uint32_t aggregate_counts(std::span<const std::uint32_t> counts) const;
+  /// Combine per-table counts into one score; may reorder `counts`
+  /// in place (median selection).
+  std::uint32_t aggregate_counts(std::span<std::uint32_t> counts) const;
 
   OracleConfig config_;
   E2Lsh lsh_;

@@ -2,14 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace vp {
 namespace {
 
-std::vector<float> gaussian_kernel(double sigma) {
+std::vector<float> make_gaussian_kernel(double sigma) {
   const int radius = std::max(1, static_cast<int>(std::ceil(3.0 * sigma)));
   std::vector<float> k(static_cast<std::size_t>(2 * radius + 1));
   double sum = 0.0;
@@ -22,38 +26,106 @@ std::vector<float> gaussian_kernel(double sigma) {
   return k;
 }
 
+// Kernel memo. The SIFT pyramid re-blurs with the same handful of sigmas on
+// every frame; exp() + normalization per call is measurable there. Keyed by
+// sigma quantized to 1e-6 (well below any meaningful sigma difference).
+// Entries are never evicted: the working set is a few dozen kernels.
+std::mutex g_kernel_mutex;
+std::map<std::int64_t, std::unique_ptr<const std::vector<float>>>
+    g_kernel_cache;
+
+const std::vector<float>& cached_gaussian_kernel(double sigma) {
+  const auto key = static_cast<std::int64_t>(std::llround(sigma * 1e6));
+  std::lock_guard lock(g_kernel_mutex);
+  auto& slot = g_kernel_cache[key];
+  if (!slot) {
+    slot = std::make_unique<const std::vector<float>>(
+        make_gaussian_kernel(sigma));
+  }
+  return *slot;  // stable address: values are never erased or replaced
+}
+
+/// Horizontal tap sum with the source index clamped to [0, w).
+float hblur_clamped(const float* s, int w, int x, const float* k,
+                    int radius) {
+  float acc = 0;
+  for (int i = -radius; i <= radius; ++i) {
+    const int xi = std::clamp(x + i, 0, w - 1);
+    acc += k[i + radius] * s[xi];
+  }
+  return acc;
+}
+
+/// One row of the horizontal pass: clamped borders, raw pointer interior.
+void hblur_row(const float* s, float* t, int w, const float* k, int radius) {
+  const int lo = std::min(radius, w);
+  const int hi = std::max(lo, w - radius);
+  for (int x = 0; x < lo; ++x) t[x] = hblur_clamped(s, w, x, k, radius);
+  const int taps = 2 * radius + 1;
+  for (int x = lo; x < hi; ++x) {
+    const float* p = s + (x - radius);
+    float acc = 0;
+    for (int i = 0; i < taps; ++i) acc += k[i] * p[i];
+    t[x] = acc;
+  }
+  for (int x = hi; x < w; ++x) t[x] = hblur_clamped(s, w, x, k, radius);
+}
+
+/// One row of the vertical pass: row-major accumulation over the taps so
+/// every memory access is sequential. The row index clamp costs one clamp
+/// per tap per row (not per pixel).
+void vblur_row(const ImageF& tmp, float* o, int y, const float* k,
+               int radius) {
+  const int w = tmp.width();
+  const int h = tmp.height();
+  {
+    const float* r = tmp.row(std::clamp(y - radius, 0, h - 1));
+    for (int x = 0; x < w; ++x) o[x] = k[0] * r[x];
+  }
+  const int taps = 2 * radius + 1;
+  for (int i = 1; i < taps; ++i) {
+    const float* r = tmp.row(std::clamp(y - radius + i, 0, h - 1));
+    const float ki = k[i];
+    for (int x = 0; x < w; ++x) o[x] += ki * r[x];
+  }
+}
+
+/// Run fn(y) for y in [0, h), on the pool when given.
+void for_each_row(int h, ThreadPool* pool,
+                  const std::function<void(std::size_t)>& fn) {
+  if (pool != nullptr) {
+    pool->parallel_for(static_cast<std::size_t>(h), fn);
+  } else {
+    for (int y = 0; y < h; ++y) fn(static_cast<std::size_t>(y));
+  }
+}
+
 }  // namespace
 
-ImageF gaussian_blur(const ImageF& src, double sigma) {
+std::size_t gaussian_kernel_cache_size() {
+  std::lock_guard lock(g_kernel_mutex);
+  return g_kernel_cache.size();
+}
+
+ImageF gaussian_blur(const ImageF& src, double sigma, ThreadPool* pool) {
   VP_REQUIRE(src.channels() == 1, "gaussian_blur expects grayscale");
   if (sigma <= 0.0 || src.empty()) return src;
-  const auto k = gaussian_kernel(sigma);
+  const auto& k = cached_gaussian_kernel(sigma);
   const int radius = static_cast<int>(k.size() / 2);
+  const float* kp = k.data();
   const int w = src.width();
   const int h = src.height();
 
   ImageF tmp(w, h);
-  for (int y = 0; y < h; ++y) {
-    for (int x = 0; x < w; ++x) {
-      float acc = 0;
-      for (int i = -radius; i <= radius; ++i) {
-        acc += k[static_cast<std::size_t>(i + radius)] *
-               src.at_clamped(x + i, y);
-      }
-      tmp(x, y) = acc;
-    }
-  }
+  for_each_row(h, pool, [&](std::size_t y) {
+    const int yi = static_cast<int>(y);
+    hblur_row(src.row(yi), tmp.row(yi), w, kp, radius);
+  });
   ImageF out(w, h);
-  for (int y = 0; y < h; ++y) {
-    for (int x = 0; x < w; ++x) {
-      float acc = 0;
-      for (int i = -radius; i <= radius; ++i) {
-        acc += k[static_cast<std::size_t>(i + radius)] *
-               tmp.at_clamped(x, y + i);
-      }
-      out(x, y) = acc;
-    }
-  }
+  for_each_row(h, pool, [&](std::size_t y) {
+    const int yi = static_cast<int>(y);
+    vblur_row(tmp, out.row(yi), yi, kp, radius);
+  });
   return out;
 }
 
@@ -62,10 +134,9 @@ ImageF downsample_2x(const ImageF& src) {
   const int h = std::max(1, src.height() / 2);
   ImageF out(w, h);
   for (int y = 0; y < h; ++y) {
-    for (int x = 0; x < w; ++x) {
-      out(x, y) = src(std::min(2 * x, src.width() - 1),
-                      std::min(2 * y, src.height() - 1));
-    }
+    const float* s = src.row(2 * y);
+    float* o = out.row(y);
+    for (int x = 0; x < w; ++x) o[x] = s[2 * x];
   }
   return out;
 }

@@ -2,15 +2,28 @@
 // variance-of-Laplacian blur metric the client app uses to gate frames.
 #pragma once
 
+#include <cstddef>
+
 #include "imaging/image.hpp"
 
 namespace vp {
 
+class ThreadPool;
+
 /// Separable Gaussian blur with kernel radius ceil(3*sigma). sigma <= 0
-/// returns a copy.
-ImageF gaussian_blur(const ImageF& src, double sigma);
+/// returns a copy. When `pool` is non-null the horizontal and vertical
+/// passes are row-parallelized across it; the output is bit-identical to
+/// the sequential path for any pool size (each row is computed
+/// independently by one task).
+ImageF gaussian_blur(const ImageF& src, double sigma,
+                     ThreadPool* pool = nullptr);
+
+/// Number of distinct Gaussian kernels currently memoized (kernels are
+/// cached across calls keyed by quantized sigma; exposed for tests).
+std::size_t gaussian_kernel_cache_size();
 
 /// Downsample by exactly 2x (nearest, as in Lowe's SIFT octave step).
+/// Odd trailing row/column is dropped: out(x, y) = src(2x, 2y).
 ImageF downsample_2x(const ImageF& src);
 
 /// Bilinear resize to (new_w, new_h).

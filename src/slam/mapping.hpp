@@ -22,6 +22,12 @@ struct KeypointMapping {
 struct MappingConfig {
   SiftConfig sift{};
   double max_depth = 25.0;  ///< discard returns beyond the IR sensor range
+  /// Optional worker pool (not owned): snapshots are extracted in parallel
+  /// across it, results merged in snapshot order (output identical to the
+  /// sequential path). Each snapshot's SIFT then runs single-threaded —
+  /// snapshot-level parallelism already saturates the pool, and the pool
+  /// does not support nested fan-out (nested parallel_for runs inline).
+  class ThreadPool* pool = nullptr;
 };
 
 /// Extract mappings from all snapshots under the given per-snapshot poses

@@ -3,6 +3,14 @@
 #include <algorithm>
 
 namespace vp {
+namespace {
+
+/// Pool the calling thread belongs to, if any. Lets parallel_for detect
+/// re-entrant calls from its own workers and degrade to an inline loop
+/// instead of deadlocking on tasks no free worker can ever run.
+thread_local const ThreadPool* t_current_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -23,6 +31,10 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::on_worker_thread() const noexcept {
+  return t_current_pool == this;
+}
+
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> pt(std::move(task));
   auto fut = pt.get_future();
@@ -37,6 +49,12 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  if (n == 1 || thread_count() == 1 || on_worker_thread()) {
+    // Inline path: trivial loops, single-worker pools, and nested calls
+    // from a worker (submitting would deadlock the blocked worker).
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   const std::size_t blocks = std::min(n, thread_count());
   const std::size_t per = (n + blocks - 1) / blocks;
   std::vector<std::future<void>> futs;
@@ -53,6 +71,7 @@ void ThreadPool::parallel_for(std::size_t n,
 }
 
 void ThreadPool::worker_loop() {
+  t_current_pool = this;
   for (;;) {
     std::packaged_task<void()> task;
     {

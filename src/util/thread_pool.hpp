@@ -1,7 +1,15 @@
 // Minimal fixed-size thread pool with a parallel_for helper.
 //
 // Used by the brute-force matcher (the paper runs it as GPU SIMD; we block
-// the distance matrix across threads) and by batch feature extraction.
+// the distance matrix across threads), by the client frame path (blur /
+// SIFT / oracle batch scoring), and by batch feature extraction.
+//
+// Nesting: parallel_for called from one of the pool's own worker threads
+// runs the loop inline on that thread instead of re-submitting, so nested
+// parallel sections degrade to sequential execution rather than
+// deadlocking (all workers blocked waiting on tasks nobody can run).
+// submit() from a worker is safe but the caller must not block on the
+// future from that worker thread.
 #pragma once
 
 #include <condition_variable>
@@ -31,7 +39,12 @@ class ThreadPool {
 
   /// Run fn(i) for i in [0, n), partitioned into contiguous blocks across
   /// the pool, and wait for completion. Exceptions propagate to the caller.
+  /// Safe to call from a worker thread of this pool: the loop then runs
+  /// inline (sequentially) on the calling thread.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const noexcept;
 
  private:
   void worker_loop();

@@ -9,6 +9,7 @@
 #include "imaging/filters.hpp"
 #include "scene/texture.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace vp {
 namespace {
@@ -87,6 +88,32 @@ TEST(Sift, DeterministicAcrossRuns) {
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].keypoint.x, b[i].keypoint.x);
     EXPECT_EQ(a[i].descriptor, b[i].descriptor);
+  }
+}
+
+// The contract the threaded pipeline must honor: the pool is a pure speed
+// knob. Every pool size yields byte-identical descriptors in the same
+// keypoint order as the sequential path.
+TEST(Sift, BitIdenticalAcrossPoolSizes) {
+  const ImageF img = test_pattern(320, 240, 4);
+  const auto baseline = sift_detect(img);
+  ASSERT_GT(baseline.size(), 30u);
+
+  for (const unsigned threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    SiftConfig cfg;
+    cfg.pool = &pool;
+    const auto got = sift_detect(img, cfg);
+    ASSERT_EQ(got.size(), baseline.size()) << threads << " threads";
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].keypoint.x, baseline[i].keypoint.x);
+      EXPECT_EQ(got[i].keypoint.y, baseline[i].keypoint.y);
+      EXPECT_EQ(got[i].keypoint.scale, baseline[i].keypoint.scale);
+      EXPECT_EQ(got[i].keypoint.orientation, baseline[i].keypoint.orientation);
+      EXPECT_EQ(got[i].keypoint.response, baseline[i].keypoint.response);
+      EXPECT_EQ(got[i].keypoint.octave, baseline[i].keypoint.octave);
+      EXPECT_EQ(got[i].descriptor, baseline[i].descriptor);
+    }
   }
 }
 

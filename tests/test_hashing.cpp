@@ -8,6 +8,7 @@
 #include "hashing/murmur3.hpp"
 #include "hashing/oracle.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace vp {
 namespace {
@@ -366,6 +367,69 @@ TEST(Oracle, MultiprobeRescuesBoundaryNeighbors) {
     hits_without += b.count(q) > 0;
   }
   EXPECT_GE(hits_with, hits_without);
+}
+
+// Directed multiprobe test: with one table and one projection, all-constant
+// descriptors walk the quantization ladder monotonically, so we can find a
+// pair whose buckets are exactly adjacent with the inserted bucket one step
+// ABOVE the query's — reachable only by the +1 probe, never the -1 probe.
+TEST(Oracle, MultiprobeFindsHitAtPlusOne) {
+  OracleConfig cfg = small_oracle_config();
+  cfg.lsh.tables = 1;
+  cfg.lsh.projections = 1;
+  cfg.lsh.width = 40.0;  // narrow enough that the ladder has many rungs
+  OracleConfig no_probe = cfg;
+  no_probe.multiprobe = false;
+  UniquenessOracle probed(cfg), plain(no_probe);
+
+  auto desc_of = [](int v) {
+    Descriptor d;
+    d.fill(static_cast<std::uint8_t>(v));
+    return d;
+  };
+  const E2Lsh& lsh = probed.lsh();
+  int insert_v = -1, query_v = -1;
+  for (int v = 1; v < 256 && insert_v < 0; ++v) {
+    const std::int32_t prev = lsh.bucket(desc_of(v - 1), 0)[0];
+    const std::int32_t cur = lsh.bucket(desc_of(v), 0)[0];
+    if (cur == prev + 1) {
+      insert_v = v;
+      query_v = v - 1;
+    } else if (cur == prev - 1) {
+      insert_v = v - 1;
+      query_v = v;
+    }
+  }
+  ASSERT_GE(insert_v, 0) << "no adjacent bucket pair on the ladder";
+  const Descriptor ins = desc_of(insert_v);
+  const Descriptor query = desc_of(query_v);
+  ASSERT_EQ(lsh.bucket(ins, 0)[0], lsh.bucket(query, 0)[0] + 1);
+
+  for (int i = 0; i < 5; ++i) {
+    probed.insert(ins);
+    plain.insert(ins);
+  }
+  EXPECT_EQ(plain.count(query), 0u);  // primary bucket misses
+  EXPECT_GE(probed.count(query), 4u);  // the +1 probe rescues it
+}
+
+TEST(Oracle, CountBatchMatchesScalarCount) {
+  UniquenessOracle oracle(small_oracle_config());
+  Rng rng(15);
+  std::vector<Descriptor> batch;
+  for (int i = 0; i < 60; ++i) {
+    const Descriptor d = random_descriptor(rng);
+    // Mix of unseen, singleton, and repeated descriptors.
+    for (int j = 0; j < i % 4; ++j) oracle.insert(d);
+    batch.push_back(perturb(d, rng, 1));
+  }
+  std::vector<std::uint32_t> expected;
+  for (const auto& d : batch) expected.push_back(oracle.count(d));
+
+  EXPECT_EQ(oracle.count_batch(batch), expected);
+  ThreadPool pool(4);
+  EXPECT_EQ(oracle.count_batch(batch, &pool), expected);
+  EXPECT_TRUE(oracle.count_batch({}, &pool).empty());
 }
 
 TEST(Oracle, SerializeRoundtripPreservesCounts) {

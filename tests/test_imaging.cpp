@@ -9,6 +9,7 @@
 #include "imaging/pnm.hpp"
 #include "imaging/video_model.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace vp {
 namespace {
@@ -102,6 +103,45 @@ TEST(Filters, Downsample2xHalvesSize) {
   EXPECT_EQ(half.width(), 5);
   EXPECT_EQ(half.height(), 4);
   EXPECT_EQ(half(2, 1), img(4, 2));
+}
+
+// Odd sizes: the trailing row/column is dropped and every output pixel
+// samples exactly src(2x, 2y) — the last outputs must not clamp back onto
+// the (kept) even grid's neighbor.
+TEST(Filters, Downsample2xOddSizesSampleEvenGrid) {
+  ImageF img(9, 7);
+  for (int y = 0; y < 7; ++y)
+    for (int x = 0; x < 9; ++x) img(x, y) = static_cast<float>(100 * y + x);
+  const ImageF half = downsample_2x(img);
+  ASSERT_EQ(half.width(), 4);
+  ASSERT_EQ(half.height(), 3);
+  for (int y = 0; y < 3; ++y)
+    for (int x = 0; x < 4; ++x) EXPECT_EQ(half(x, y), img(2 * x, 2 * y));
+}
+
+TEST(Filters, BlurWithPoolMatchesSequentialExactly) {
+  Rng rng(9);
+  ImageF img(53, 41);  // odd sizes exercise the border/interior split
+  for (auto& p : img.pixels()) p = static_cast<float>(rng.uniform(0, 255));
+  const ImageF seq = gaussian_blur(img, 1.7);
+  ThreadPool pool(4);
+  const ImageF par = gaussian_blur(img, 1.7, &pool);
+  ASSERT_EQ(par.width(), seq.width());
+  ASSERT_EQ(par.height(), seq.height());
+  for (std::size_t i = 0; i < seq.pixels().size(); ++i) {
+    EXPECT_EQ(par.pixels()[i], seq.pixels()[i]) << "pixel " << i;
+  }
+}
+
+TEST(Filters, GaussianKernelIsCachedAcrossCalls) {
+  const ImageF img = ramp_image(16, 16);
+  const std::size_t before = gaussian_kernel_cache_size();
+  // A sigma no other test uses, blurred twice: one new cache entry total.
+  (void)gaussian_blur(img, 3.1415);
+  const std::size_t after_first = gaussian_kernel_cache_size();
+  (void)gaussian_blur(img, 3.1415);
+  EXPECT_EQ(gaussian_kernel_cache_size(), after_first);
+  EXPECT_GE(after_first, before + 1);
 }
 
 TEST(Filters, ResizeIdentity) {

@@ -271,6 +271,36 @@ TEST(ThreadPool, SubmitRuns) {
   EXPECT_EQ(x.load(), 42);
 }
 
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, ParallelForFewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(3, [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// A parallel_for issued from inside one of the pool's own workers must run
+// inline (a worker blocking on sub-tasks only workers can run would
+// deadlock when every worker does it).
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(4 * 16);
+  pool.parallel_for(4, [&](std::size_t outer) {
+    EXPECT_TRUE(pool.on_worker_thread());
+    pool.parallel_for(16, [&](std::size_t inner) {
+      hits[outer * 16 + inner]++;
+    });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_FALSE(pool.on_worker_thread());
+}
+
 TEST(Table, RendersAlignedColumns) {
   Table t("demo");
   t.header({"name", "value"});
