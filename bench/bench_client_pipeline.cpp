@@ -44,10 +44,11 @@ RunStats run_config(const vp::ImageF& frame, const vp::Bytes& oracle_blob,
   RunStats stats;
   std::vector<double> frame_ms, sift_ms, scoring_ms;
   (void)client.process_frame(frame, 0.0, 0.0);  // warm caches and pool
+  Timer t;
   for (int it = 0; it < iters; ++it) {
-    Timer t;
+    t.lap();
     const auto result = client.process_frame(frame, 0.0, 0.0);
-    frame_ms.push_back(t.millis());
+    frame_ms.push_back(t.lap_millis());
     sift_ms.push_back(result.sift_ms);
     scoring_ms.push_back(result.scoring_ms);
     stats.keypoints = result.total_keypoints;
@@ -110,5 +111,6 @@ int main(int argc, char** argv) {
         threads, kW, kH, iters, s.median_frame_ms, s.median_sift_ms,
         s.median_scoring_ms, s.keypoints, s.selected, speedup);
   }
+  emit_metrics_jsonl("client_pipeline");
   return 0;
 }

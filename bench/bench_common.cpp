@@ -5,6 +5,7 @@
 
 #include "core/client.hpp"
 #include "core/server.hpp"
+#include "obs/export.hpp"
 #include "slam/map_merge.hpp"
 #include "slam/mapping.hpp"
 
@@ -240,6 +241,18 @@ void print_figure_header(const std::string& figure, const std::string& what) {
   std::printf("==========================================================\n");
   std::printf("%s — %s\n", figure.c_str(), what.c_str());
   std::printf("==========================================================\n");
+}
+
+void emit_metrics_jsonl(const std::string& bench) {
+  obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
+  std::erase_if(snap.counters,
+                [](const obs::CounterSample& c) { return c.value == 0; });
+  std::erase_if(snap.gauges,
+                [](const obs::GaugeSample& g) { return g.value == 0; });
+  std::erase_if(snap.histograms,
+                [](const obs::HistogramSample& h) { return h.count == 0; });
+  const std::string lines = obs::to_json_lines(snap, bench);
+  if (!lines.empty()) std::fputs(lines.c_str(), stdout);
 }
 
 }  // namespace vp::bench

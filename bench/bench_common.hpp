@@ -85,4 +85,11 @@ std::vector<LocalizationResult> run_localization_experiment(double scale,
 /// Print a standard bench header naming the figure being reproduced.
 void print_figure_header(const std::string& figure, const std::string& what);
 
+/// The shared metrics emitter: print the global registry as JSON lines
+/// tagged "bench":"<bench>" (see src/obs/export.hpp) — one format across
+/// every bench, so downstream tooling parses a single stream. Metrics with
+/// zero recorded events are skipped to keep the output focused; prints
+/// nothing when the registry is empty (e.g. VP_OBS=OFF builds).
+void emit_metrics_jsonl(const std::string& bench);
+
 }  // namespace vp::bench

@@ -109,5 +109,6 @@ int main(int argc, char** argv) {
         "%.1f KB vs %.1f KB (%.1fx)\n",
         per_vp / 1e3, per_fr / 1e3, per_fr / per_vp);
   }
+  emit_metrics_jsonl("fig14_upload_timeline");
   return 0;
 }

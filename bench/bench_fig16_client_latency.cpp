@@ -9,6 +9,7 @@
 
 #include "bench_common.hpp"
 #include "core/client.hpp"
+#include "obs/metrics.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -44,6 +45,9 @@ int main(int argc, char** argv) {
   client.install_oracle(UniquenessOracle::deserialize(oracle.serialize()));
 
   const double phone_slowdown = 15.0;  // documented host->S6 scaling
+  // Drop the spans the oracle-population loop above recorded, so the
+  // registry reflects only the measured frames below.
+  obs::Registry::global().reset_values();
   std::vector<double> sift_ms, scoring_ms, keypoints;
   for (const auto& frame : frames) {
     const auto result = client.process_frame(to_gray(frame), 0.0, 0.0);
@@ -76,5 +80,22 @@ int main(int argc, char** argv) {
       "measured ratio: %.1fx\n",
       mean(keypoints),
       percentile(sift_ms, 50) / std::max(1e-9, percentile(scoring_ms, 50)));
+
+  // Cross-check: the same percentiles out of the tracer's stage histograms
+  // (host ms, bucket-resolution estimates) should agree with the direct
+  // Timer measurements above. Skipped under VP_OBS=OFF (no spans fire).
+  auto& reg = obs::Registry::global();
+  if (reg.histogram("stage.sift").total_count() > 0) {
+    Table xcheck("Instrumentation cross-check (host ms, histogram estimate)");
+    xcheck.header({"stage", "p50", "p90", "samples"});
+    for (const char* stage : {"stage.sift", "stage.select"}) {
+      auto& h = reg.histogram(stage);
+      xcheck.row({stage, Table::num(h.percentile(50), 1),
+                  Table::num(h.percentile(90), 1),
+                  std::to_string(h.total_count())});
+    }
+    xcheck.print();
+  }
+  emit_metrics_jsonl("fig16_client_latency");
   return 0;
 }

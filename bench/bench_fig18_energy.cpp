@@ -101,5 +101,6 @@ int main(int argc, char** argv) {
       "\npaper: complete VisualPrint ~6.5 W, whole-frame offload ~4.9 W\n"
       "measured: VisualPrint %.2f W, whole-frame %.2f W\n",
       vp_w, frame_w);
+  emit_metrics_jsonl("fig18_energy");
   return 0;
 }

@@ -93,5 +93,18 @@ int main(int argc, char** argv) {
                    : "-"});
   }
   table.print();
+
+  // Scrape the server's per-stage metrics over the same connection: the
+  // decode/retrieve/cluster/solve breakdown for the queries just served.
+  StatsRequest stats_req;
+  stats_req.format = StatsRequest::kFormatPrometheus;
+  ByteWriter sw;
+  sw.u8(kStatsRequest);
+  sw.raw(stats_req.encode());
+  sock.send_message(sw.bytes());
+  if (sock.recv_message(reply)) {
+    const StatsResponse stats = StatsResponse::decode(reply);
+    std::printf("\nserver metrics (prometheus):\n%s", stats.text.c_str());
+  }
   return 0;
 }

@@ -5,6 +5,7 @@
 // serves the wire protocol over TCP (loopback):
 //   request 'O'            -> OracleDownload (zlib'd uniqueness tables)
 //   request 'Q' + VPQ! ... -> LocationResponse
+//   request 'S' + VPS! ... -> StatsResponse (metrics scrape, JSON/Prometheus)
 //
 // Run:   ./vp_server [--port N] [--db FILE] [--once]
 // Pair:  ./vp_client (in another terminal)
@@ -15,6 +16,7 @@
 
 #include "core/server.hpp"
 #include "net/tcp.hpp"
+#include "obs/export.hpp"
 #include "scene/environments.hpp"
 #include "slam/map_merge.hpp"
 #include "slam/mapping.hpp"
@@ -91,6 +93,21 @@ int main(int argc, char** argv) {
         if (tag == 'O') {
           std::printf("  -> oracle download\n");
           return server.oracle_snapshot().encode();
+        }
+        if (tag == kStatsRequest) {
+          const StatsRequest req = StatsRequest::decode(body);
+          const auto snap = obs::Registry::global().snapshot();
+          StatsResponse resp;
+          resp.format = req.format;
+          resp.text = req.format == StatsRequest::kFormatPrometheus
+                          ? obs::to_prometheus(snap)
+                          : obs::to_json_lines(snap);
+          std::printf("  -> stats scrape (%s, %zu bytes)\n",
+                      req.format == StatsRequest::kFormatPrometheus
+                          ? "prometheus"
+                          : "json-lines",
+                      resp.text.size());
+          return resp.encode();
         }
         if (tag == 'Q') {
           const FingerprintQuery query = FingerprintQuery::decode(body);

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + test suite, then a ThreadSanitizer pass
-# over the threading-sensitive test binaries (test_util, test_features).
+# over the threading-sensitive test binaries (test_util, test_obs,
+# test_features).
 #
 # Usage: scripts/tier1.sh [build-dir] [tsan-build-dir]
 set -euo pipefail
@@ -14,14 +15,15 @@ cmake -B "$build_dir" -S "$repo_root"
 cmake --build "$build_dir" -j
 ctest --test-dir "$build_dir" --output-on-failure -j
 
-echo "== tier-1: ThreadSanitizer pass (test_util, test_features) =="
+echo "== tier-1: ThreadSanitizer pass (test_util, test_obs, test_features) =="
 # Benchmarks/examples are irrelevant to the TSan pass; skip them for speed.
 cmake -B "$tsan_dir" -S "$repo_root" \
   -DVP_SANITIZE=thread \
   -DVP_BUILD_BENCHMARKS=OFF \
   -DVP_BUILD_EXAMPLES=OFF
-cmake --build "$tsan_dir" -j --target test_util test_features
+cmake --build "$tsan_dir" -j --target test_util test_obs test_features
 "$tsan_dir/tests/test_util"
+"$tsan_dir/tests/test_obs"
 "$tsan_dir/tests/test_features"
 
 echo "tier-1: all checks passed"

@@ -5,6 +5,7 @@
 #include "imaging/codec.hpp"
 #include "imaging/filters.hpp"
 #include "index/brute_force.hpp"  // random_subselect
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -84,23 +85,33 @@ std::vector<Feature> VisualPrintClient::select_features(
 FrameResult VisualPrintClient::process_frame(const ImageF& frame,
                                              double capture_time, double now) {
   FrameResult result;
+  VP_OBS_COUNT("client.frames", 1);
 
   // "It also rejects frames when processing falls behind the realtime
   // stream. That is, the app only processes extremely recent frames."
   if (now - capture_time > config_.stale_frame_budget_s) {
     result.status = FrameResult::Status::kStale;
+    VP_OBS_COUNT("client.frames_stale", 1);
     return result;
   }
 
   // Blur gate before any expensive work.
-  result.blur_metric = variance_of_laplacian(frame);
+  {
+    VP_OBS_SPAN("blur_gate");
+    result.blur_metric = variance_of_laplacian(frame);
+  }
   if (result.blur_metric < config_.blur_threshold) {
     result.status = FrameResult::Status::kBlurRejected;
+    VP_OBS_COUNT("client.frames_blur_rejected", 1);
     return result;
   }
 
   Timer sift_timer;
-  auto features = sift_detect(frame, config_.sift);
+  std::vector<Feature> features;
+  {
+    VP_OBS_SPAN("sift");
+    features = sift_detect(frame, config_.sift);
+  }
   result.sift_ms = sift_timer.millis();
   result.total_keypoints = features.size();
   if (features.empty()) {
@@ -109,9 +120,15 @@ FrameResult VisualPrintClient::process_frame(const ImageF& frame,
   }
 
   Timer score_timer;
-  auto selected = select_features(std::move(features), config_.top_k);
+  std::vector<Feature> selected;
+  {
+    VP_OBS_SPAN("select");
+    selected = select_features(std::move(features), config_.top_k);
+  }
   result.scoring_ms = score_timer.millis();
   result.selected_keypoints = selected.size();
+  VP_OBS_COUNT("client.frames_queued", 1);
+  VP_OBS_COUNT("client.keypoints_selected", selected.size());
 
   FingerprintQuery q;
   q.frame_id = next_frame_id_++;

@@ -1,7 +1,9 @@
 #include "core/server.hpp"
 
 #include <algorithm>
+#include <optional>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace vp {
@@ -32,25 +34,33 @@ LocationResponse VisualPrintServer::localize_query(
   LocationResponse resp;
   resp.frame_id = query.frame_id;
   resp.place_label = config_.place_label;
+  VP_OBS_COUNT("server.queries", 1);
 
   // Retrieval: |K| * n candidate (pixel, 3-D point) pairs.
   std::vector<Observation> candidates;
   std::vector<Vec3> points;
-  for (const auto& f : query.features) {
-    const auto matches =
-        index_.query(f.descriptor, config_.neighbors_per_keypoint);
-    for (const auto& m : matches) {
-      if (m.distance2 > config_.max_match_distance2) continue;
-      candidates.push_back(
-          {{f.keypoint.x, f.keypoint.y}, stored_[m.id].position});
-      points.push_back(stored_[m.id].position);
+  {
+    VP_OBS_SPAN("lsh.retrieve");
+    for (const auto& f : query.features) {
+      const auto matches =
+          index_.query(f.descriptor, config_.neighbors_per_keypoint);
+      for (const auto& m : matches) {
+        if (m.distance2 > config_.max_match_distance2) continue;
+        candidates.push_back(
+            {{f.keypoint.x, f.keypoint.y}, stored_[m.id].position});
+        points.push_back(stored_[m.id].position);
+      }
     }
   }
   if (candidates.size() < 3) return resp;  // found = false
 
   // Largest spatial cluster; discard everything else (repetitions
   // elsewhere in the building vote into other clusters).
-  const auto keep = largest_cluster(points, config_.clustering);
+  std::vector<std::size_t> keep;
+  {
+    VP_OBS_SPAN("cluster");
+    keep = largest_cluster(points, config_.clustering);
+  }
   if (keep.size() < 3) return resp;
   std::vector<Observation> obs;
   obs.reserve(keep.size());
@@ -60,9 +70,14 @@ LocationResponse VisualPrintServer::localize_query(
   cam.width = query.image_width;
   cam.height = query.image_height;
   cam.fov_h = static_cast<double>(query.fov_h);
-  const auto result = localize(obs, cam, config_.localize, rng);
+  std::optional<LocalizeResult> result;
+  {
+    VP_OBS_SPAN("localize.solve");
+    result = localize(obs, cam, config_.localize, rng);
+  }
   if (!result) return resp;
 
+  VP_OBS_COUNT("server.localized", 1);
   resp.found = true;
   resp.position = result->pose.translation;
   euler_zyx(result->pose.rotation, resp.yaw, resp.pitch, resp.roll);

@@ -138,54 +138,82 @@ SessionStats Session::run() {
 
     std::size_t payload = 0;
     std::optional<FingerprintQuery> query;
-    if (keypoint_mode) {
-      // Client pipeline: blur gate -> SIFT -> oracle ranking -> query.
-      FrameResult fr = client.process_frame(rendered.image, t, start);
-      sf.status = fr.status;
-      sf.total_keypoints = fr.total_keypoints;
-      sf.selected_keypoints = fr.selected_keypoints;
-      sf.phone_sift_ms = fr.sift_ms * config_.phone_slowdown;
-      sf.phone_scoring_ms = fr.scoring_ms * config_.phone_slowdown;
-      if (fr.status == FrameResult::Status::kQueued) {
-        payload = fr.query->wire_size();
-        query = std::move(fr.query);
-      }
-    } else {
-      // Whole-frame offload: no feature extraction on the phone, only the
-      // encoder runs (that is the baseline's appeal — and its bandwidth
-      // cost). Encode time stands in for phone-side compute, unscaled:
-      // phones encode stills/video in hardware, so the CPU slowdown
-      // factor that applies to SIFT does not apply here.
-      Timer encode_timer;
-      FrameUpload up;
-      up.frame_id = static_cast<std::uint32_t>(stats.frames.size());
-      up.capture_time = t;
-      if (config_.mode == OffloadMode::kFramePng) {
-        up.codec = 0;
-        up.payload = png_encode(to_u8(rendered.image));
+    {
+      // The tracer collects every span the client pipeline opens on this
+      // thread; its flattened stage record becomes the frame's latency
+      // breakdown. Under VP_OBS=OFF no spans fire and the fallback
+      // entries below reproduce the pre-tracer two-stage record.
+      obs::FrameTrace trace;
+      if (keypoint_mode) {
+        // Client pipeline: blur gate -> SIFT -> oracle ranking -> query.
+        FrameResult fr = client.process_frame(rendered.image, t, start);
+        sf.status = fr.status;
+        sf.total_keypoints = fr.total_keypoints;
+        sf.selected_keypoints = fr.selected_keypoints;
+        sf.stages = trace.stage_timings();
+        if (!sf.stages.contains("sift")) sf.stages.add("sift", fr.sift_ms);
+        if (!sf.stages.contains("select")) {
+          sf.stages.add("select", fr.scoring_ms);
+        }
+        // Host wall-clock -> modeled phone latency.
+        sf.stages.scale(config_.phone_slowdown);
+        if (fr.status == FrameResult::Status::kQueued) {
+          payload = fr.query->wire_size();
+          query = std::move(fr.query);
+        }
       } else {
-        up.codec = 1;
-        up.payload = jpeg_encode(to_u8(rendered.image), config_.jpeg_quality);
+        // Whole-frame offload: no feature extraction on the phone, only the
+        // encoder runs (that is the baseline's appeal — and its bandwidth
+        // cost). Encode time stands in for phone-side compute, unscaled:
+        // phones encode stills/video in hardware, so the CPU slowdown
+        // factor that applies to SIFT does not apply here.
+        Timer encode_timer;
+        {
+          VP_OBS_SPAN("encode");
+          FrameUpload up;
+          up.frame_id = static_cast<std::uint32_t>(stats.frames.size());
+          up.capture_time = t;
+          if (config_.mode == OffloadMode::kFramePng) {
+            up.codec = 0;
+            up.payload = png_encode(to_u8(rendered.image));
+          } else {
+            up.codec = 1;
+            up.payload =
+                jpeg_encode(to_u8(rendered.image), config_.jpeg_quality);
+          }
+          payload = up.encode().size();
+        }
+        sf.status = FrameResult::Status::kQueued;
+        sf.stages = trace.stage_timings();
+        if (!sf.stages.contains("encode")) {
+          sf.stages.add("encode", encode_timer.millis());
+        }
       }
-      payload = up.encode().size();
-      sf.status = FrameResult::Status::kQueued;
-      sf.phone_sift_ms = 0;
-      sf.phone_scoring_ms = encode_timer.millis();
     }
 
     if (sf.status == FrameResult::Status::kQueued) {
-      const double compute_ms = sf.phone_sift_ms + sf.phone_scoring_ms;
+      const double compute_ms = sf.phone_sift_ms() + sf.phone_scoring_ms();
       add_compute(start, compute_ms);
       client_busy_until = start + compute_ms / 1e3;
       sf.payload_bytes = payload;
       const auto rec = link.submit(client_busy_until, payload);
+      // Simulated link stages join the frame's latency breakdown.
+      sf.stages.add("queue_wait", (rec.start_time - rec.submit_time) * 1e3);
+      sf.stages.add("transfer", (rec.complete_time - rec.start_time) * 1e3);
       stats.uploads.push_back(rec);
       stats.total_upload_bytes += payload;
 
       if (config_.localize_on_server && query.has_value() &&
           config_.mode == OffloadMode::kVisualPrint) {
-        Rng server_rng(config_.seed ^ query->frame_id);
-        const auto resp = server_.localize_query(*query, server_rng);
+        // Round-trip through the wire format, as the deployed system
+        // would. The format is lossless for everything localization reads
+        // (u8 descriptors, pixel coordinates, camera geometry), so results
+        // match the direct call; it also exercises the encode/decode
+        // stages every real upload pays.
+        const FingerprintQuery delivered =
+            FingerprintQuery::decode(query->encode());
+        Rng server_rng(config_.seed ^ delivered.frame_id);
+        const auto resp = server_.localize_query(delivered, server_rng);
         if (resp.found) {
           sf.localized = true;
           sf.estimated_position = resp.position;

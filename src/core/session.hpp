@@ -12,6 +12,7 @@
 #include "core/server.hpp"
 #include "energy/power.hpp"
 #include "net/link.hpp"
+#include "obs/trace.hpp"
 #include "scene/render.hpp"
 #include "scene/world.hpp"
 
@@ -51,8 +52,15 @@ struct SessionFrame {
   double capture_time = 0;
   FrameResult::Status status = FrameResult::Status::kNoFeatures;
   std::size_t payload_bytes = 0;     ///< bytes shipped (0 if dropped)
-  double phone_sift_ms = 0;          ///< modeled phone-side latency
-  double phone_scoring_ms = 0;
+  /// Per-stage latency record assembled from the tracer. Client compute
+  /// stages ("blur_gate", "sift" and its sift.* children, "select" with
+  /// nested "oracle.score", or "encode" in frame mode) are phone-scaled
+  /// milliseconds; link stages ("queue_wait", "transfer") are simulated
+  /// milliseconds appended after the upload is scheduled. Under VP_OBS=OFF
+  /// only the coarse fallback stages are present ("sift"/"select" or
+  /// "encode", plus the link stages); the busy-model numerics are
+  /// identical either way.
+  obs::StageTimings stages;
   std::size_t total_keypoints = 0;
   std::size_t selected_keypoints = 0;
   /// Localization outcome (when localize_on_server):
@@ -60,6 +68,14 @@ struct SessionFrame {
   Vec3 estimated_position;
   Vec3 true_position;
   double position_error = 0;
+
+  /// Legacy views over `stages`, matching the pre-tracer fields: modeled
+  /// phone-side SIFT latency and scoring latency (selection in keypoint
+  /// mode, encode in frame mode — exactly one of the two is nonzero).
+  double phone_sift_ms() const noexcept { return stages.value("sift"); }
+  double phone_scoring_ms() const noexcept {
+    return stages.value("select") + stages.value("encode");
+  }
 };
 
 struct SessionStats {

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "imaging/filters.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -212,6 +213,7 @@ std::vector<float> dominant_orientations(const ImageF& gauss, int x, int y,
 }  // namespace
 
 ScaleSpace build_scale_space(const ImageF& image, const SiftConfig& cfg) {
+  VP_OBS_SPAN("sift.pyramid");
   VP_REQUIRE(!image.empty(), "sift on empty image");
   VP_REQUIRE(cfg.intervals >= 1 && cfg.intervals <= 8,
              "sift intervals in [1,8]");
@@ -449,6 +451,7 @@ void scan_interval_rows(const detail::ScaleSpace& ss, const SiftConfig& cfg,
 
 std::vector<DetectedPoint> detect_points(const detail::ScaleSpace& ss,
                                          const SiftConfig& cfg) {
+  VP_OBS_SPAN("sift.extrema");
   // Row-blocked scan: every (octave, interval) plane is cut into bands of
   // rows that scan independently into per-block buffers, then the buffers
   // are concatenated in block order. That reproduces the sequential scan
@@ -540,24 +543,27 @@ std::vector<Feature> sift_detect(const ImageF& image, const SiftConfig& cfg) {
   // Orientation histograms and 128-d descriptors are independent per
   // point: parallel_for over points, merge per-point slots in index order.
   std::vector<std::vector<Feature>> per_point(points.size());
-  run_indexed(cfg.pool, points.size(), [&](std::size_t idx) {
-    const auto& p = points[idx];
-    const auto& gauss =
-        ss.gaussians[static_cast<std::size_t>(p.octave)]
-                    [static_cast<std::size_t>(p.interval)];
-    const auto oris = detail::dominant_orientations(
-        gauss, static_cast<int>(std::lround(p.x_octv)),
-        static_cast<int>(std::lround(p.y_octv)), p.scale_octv);
-    per_point[idx].reserve(oris.size());
-    for (float ori : oris) {
-      Feature f;
-      f.keypoint = p.kp;
-      f.keypoint.orientation = ori;
-      f.descriptor = detail::compute_descriptor(gauss, p.x_octv, p.y_octv,
-                                                p.scale_octv, ori);
-      per_point[idx].push_back(f);
-    }
-  });
+  {
+    VP_OBS_SPAN("sift.descriptor");
+    run_indexed(cfg.pool, points.size(), [&](std::size_t idx) {
+      const auto& p = points[idx];
+      const auto& gauss =
+          ss.gaussians[static_cast<std::size_t>(p.octave)]
+                      [static_cast<std::size_t>(p.interval)];
+      const auto oris = detail::dominant_orientations(
+          gauss, static_cast<int>(std::lround(p.x_octv)),
+          static_cast<int>(std::lround(p.y_octv)), p.scale_octv);
+      per_point[idx].reserve(oris.size());
+      for (float ori : oris) {
+        Feature f;
+        f.keypoint = p.kp;
+        f.keypoint.orientation = ori;
+        f.descriptor = detail::compute_descriptor(gauss, p.x_octv, p.y_octv,
+                                                  p.scale_octv, ori);
+        per_point[idx].push_back(f);
+      }
+    });
+  }
 
   std::vector<Feature> out;
   out.reserve(points.size());

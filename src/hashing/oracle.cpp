@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "hashing/murmur3.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -162,6 +163,7 @@ std::uint32_t UniquenessOracle::count(const Descriptor& descriptor) const {
 
 std::vector<std::uint32_t> UniquenessOracle::count_batch(
     std::span<const Descriptor> batch, ThreadPool* pool) const {
+  VP_OBS_SPAN("oracle.score");
   std::vector<std::uint32_t> out(batch.size());
   if (batch.empty()) return out;
   if (pool == nullptr) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace vp {
@@ -27,6 +28,11 @@ TransferRecord SimulatedLink::submit(double submit_time, std::size_t bytes) {
   busy_until_ = rec.start_time + serialize_s;
   rec.complete_time = busy_until_ + latency_s;
   history_.push_back(rec);
+  // Simulated-time link stages (not wall clock): how long the payload sat
+  // behind earlier transfers, and how long it spent on the air.
+  VP_OBS_OBSERVE("link.queue_wait", (rec.start_time - rec.submit_time) * 1e3);
+  VP_OBS_OBSERVE("link.transfer", (rec.complete_time - rec.start_time) * 1e3);
+  VP_OBS_COUNT("link.bytes", bytes);
   return rec;
 }
 

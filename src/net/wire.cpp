@@ -1,6 +1,7 @@
 #include "net/wire.hpp"
 
 #include "imaging/codec.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace vp {
@@ -11,6 +12,8 @@ constexpr std::uint32_t kFrameMagic = 0x56504621u;   // "VPF!"
 constexpr std::uint32_t kLocMagic = 0x56504c21u;     // "VPL!"
 constexpr std::uint32_t kOracleMagic = 0x56504f21u;  // "VPO!"
 constexpr std::uint32_t kDiffMagic = 0x56504421u;    // "VPD!"
+constexpr std::uint32_t kStatsReqMagic = 0x56505321u;   // "VPS!"
+constexpr std::uint32_t kStatsRespMagic = 0x56505421u;  // "VPT!"
 constexpr std::uint16_t kVersion = 1;
 
 void expect_header(ByteReader& r, std::uint32_t magic, const char* what) {
@@ -23,6 +26,7 @@ void expect_header(ByteReader& r, std::uint32_t magic, const char* what) {
 }  // namespace
 
 Bytes FingerprintQuery::encode() const {
+  VP_OBS_SPAN("encode");
   ByteWriter w(wire_size());
   w.u32(kQueryMagic);
   w.u16(kVersion);
@@ -37,6 +41,7 @@ Bytes FingerprintQuery::encode() const {
 }
 
 FingerprintQuery FingerprintQuery::decode(std::span<const std::uint8_t> data) {
+  VP_OBS_SPAN("decode");
   ByteReader r(data);
   expect_header(r, kQueryMagic, "fingerprint query");
   FingerprintQuery q;
@@ -202,6 +207,45 @@ OracleDiff OracleDiff::decode(std::span<const std::uint8_t> data) {
   d.compressed_xor.assign(b.begin(), b.end());
   if (!r.done()) throw DecodeError{"oracle diff: trailing bytes"};
   return d;
+}
+
+Bytes StatsRequest::encode() const {
+  ByteWriter w(8);
+  w.u32(kStatsReqMagic);
+  w.u16(kVersion);
+  w.u8(format);
+  return w.take();
+}
+
+StatsRequest StatsRequest::decode(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  expect_header(r, kStatsReqMagic, "stats request");
+  StatsRequest q;
+  q.format = r.u8();
+  if (q.format > kFormatPrometheus) {
+    throw DecodeError{"stats request: unknown format"};
+  }
+  if (!r.done()) throw DecodeError{"stats request: trailing bytes"};
+  return q;
+}
+
+Bytes StatsResponse::encode() const {
+  ByteWriter w(16 + text.size());
+  w.u32(kStatsRespMagic);
+  w.u16(kVersion);
+  w.u8(format);
+  w.str(text);
+  return w.take();
+}
+
+StatsResponse StatsResponse::decode(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  expect_header(r, kStatsRespMagic, "stats response");
+  StatsResponse resp;
+  resp.format = r.u8();
+  resp.text = r.str();
+  if (!r.done()) throw DecodeError{"stats response: trailing bytes"};
+  return resp;
 }
 
 }  // namespace vp

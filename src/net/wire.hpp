@@ -74,6 +74,34 @@ struct OracleDownload {
   static OracleDownload decode(std::span<const std::uint8_t> data);
 };
 
+/// Single-byte request tags for the framed TCP demo protocol
+/// (examples/vp_server_main.cpp): the first payload byte selects the
+/// handler; anything after it is the encoded request message, if any.
+inline constexpr std::uint8_t kOracleRequest = 'O';
+inline constexpr std::uint8_t kQueryRequest = 'Q';
+inline constexpr std::uint8_t kStatsRequest = 'S';
+
+/// Client -> server: scrape the server's metrics registry.
+struct StatsRequest {
+  /// Export format: 0 = JSON lines, 1 = Prometheus text.
+  std::uint8_t format = 0;
+
+  static constexpr std::uint8_t kFormatJsonLines = 0;
+  static constexpr std::uint8_t kFormatPrometheus = 1;
+
+  Bytes encode() const;
+  static StatsRequest decode(std::span<const std::uint8_t> data);
+};
+
+/// Server -> client: the rendered export text for a StatsRequest.
+struct StatsResponse {
+  std::uint8_t format = 0;  ///< echoes the request format
+  std::string text;         ///< exporter output (see src/obs/export.hpp)
+
+  Bytes encode() const;
+  static StatsResponse decode(std::span<const std::uint8_t> data);
+};
+
 /// Server -> client incremental refresh: XOR diff between two oracle
 /// snapshots, compressed. The paper lists this as not-yet-implemented
 /// ("We could reduce data transfer by sending only a compressed bitmask

@@ -1,0 +1,29 @@
+// Exporters over a MetricsSnapshot: JSON-lines (the format every bench
+// already prints, shared via bench_common) and Prometheus-style text (what
+// the example server returns for a kStatsRequest scrape).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace vp::obs {
+
+/// One JSON object per line, e.g.
+///   {"type":"counter","name":"client.frames","value":42}
+///   {"type":"histogram","name":"stage.select","count":3,"sum_ms":1.5,
+///    "p50_ms":0.4,"p90_ms":0.9,"p99_ms":0.9,
+///    "buckets":[[0.05,1],[0.1,2],["+inf",0]]}
+/// A non-empty `bench` tag prefixes every line with "bench":"<tag>", matching
+/// the existing bench output convention so downstream parsing stays uniform.
+std::string to_json_lines(const MetricsSnapshot& snapshot,
+                          std::string_view bench = {});
+
+/// Prometheus text exposition (untyped timestamps-free subset):
+/// counters as vp_<name>_total, gauges as vp_<name>, histograms as
+/// vp_<name>_ms with cumulative le-labelled buckets, _sum, and _count.
+/// Metric names are sanitized to [a-zA-Z0-9_].
+std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+}  // namespace vp::obs

@@ -1,0 +1,96 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace vp::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point from, Clock::time_point to) noexcept {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+void StageTimings::add(std::string_view stage, double ms) {
+  for (auto& [name, total] : entries_) {
+    if (name == stage) {
+      total += ms;
+      return;
+    }
+  }
+  entries_.emplace_back(std::string(stage), ms);
+}
+
+bool StageTimings::contains(std::string_view stage) const noexcept {
+  for (const auto& [name, total] : entries_) {
+    if (name == stage) return true;
+  }
+  return false;
+}
+
+double StageTimings::value(std::string_view stage) const noexcept {
+  for (const auto& [name, total] : entries_) {
+    if (name == stage) return total;
+  }
+  return 0.0;
+}
+
+void StageTimings::scale(double factor) noexcept {
+  for (auto& [name, total] : entries_) total *= factor;
+}
+
+namespace detail {
+
+TraceState*& active_trace() noexcept {
+  thread_local TraceState* current = nullptr;
+  return current;
+}
+
+}  // namespace detail
+
+FrameTrace::FrameTrace() : previous_(detail::active_trace()) {
+  state_.epoch = Clock::now();
+  detail::active_trace() = &state_;
+}
+
+FrameTrace::~FrameTrace() { detail::active_trace() = previous_; }
+
+StageTimings FrameTrace::stage_timings() const {
+  StageTimings timings;
+  for (std::size_t i = 0; i < state_.records.size(); ++i) {
+    const bool still_open =
+        std::find(state_.open.begin(), state_.open.end(),
+                  static_cast<std::int32_t>(i)) != state_.open.end();
+    if (still_open) continue;
+    timings.add(state_.records[i].name, state_.records[i].duration_ms);
+  }
+  return timings;
+}
+
+Span::Span(const char* name)
+    : histogram_(&Registry::global().histogram(std::string("stage.") + name)),
+      start_(Clock::now()),
+      trace_(detail::active_trace()) {
+  if (trace_ == nullptr) return;
+  index_ = static_cast<std::int32_t>(trace_->records.size());
+  SpanRecord rec;
+  rec.name = name;
+  rec.parent = trace_->open.empty() ? -1 : trace_->open.back();
+  rec.depth = static_cast<std::int32_t>(trace_->open.size());
+  rec.start_ms = ms_between(trace_->epoch, start_);
+  trace_->records.push_back(rec);
+  trace_->open.push_back(index_);
+}
+
+Span::~Span() {
+  const double ms = ms_between(start_, Clock::now());
+  histogram_->record(ms);
+  if (index_ < 0) return;
+  trace_->records[static_cast<std::size_t>(index_)].duration_ms = ms;
+  trace_->open.pop_back();
+}
+
+}  // namespace vp::obs

@@ -1,0 +1,114 @@
+// Scoped tracing spans: an RAII Span times a named pipeline stage on
+// steady_clock and records the duration into the registry histogram
+// "stage.<name>". While a FrameTrace is active on the current thread, each
+// Span additionally appends a SpanRecord (with parent/child nesting) to the
+// per-frame trace, which the session simulator flattens into a per-frame
+// stage-timing record (SessionFrame::stages).
+//
+// Threading: a FrameTrace is thread-local — spans opened on ThreadPool
+// workers while the coordinating thread holds a trace go histogram-only
+// instead of racing on the trace buffer. Histograms are lock-free, so spans
+// are safe on any thread.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace vp::obs {
+
+/// One completed (or still-open) span inside a FrameTrace.
+struct SpanRecord {
+  const char* name = "";     ///< static-storage stage name
+  std::int32_t parent = -1;  ///< index of enclosing span; -1 for roots
+  std::int32_t depth = 0;    ///< nesting depth (roots are 0)
+  double start_ms = 0;       ///< offset from the trace epoch
+  double duration_ms = 0;    ///< 0 until the span closes
+};
+
+/// Ordered (stage name, milliseconds) record assembled from a trace.
+/// Repeated stage names accumulate. Lookup is linear — a frame has on the
+/// order of ten stages.
+class StageTimings {
+ public:
+  void add(std::string_view stage, double ms);
+  bool contains(std::string_view stage) const noexcept;
+  /// Milliseconds recorded for `stage`; 0 when absent.
+  double value(std::string_view stage) const noexcept;
+  /// Multiply every entry (host -> phone latency scaling).
+  void scale(double factor) noexcept;
+  const std::vector<std::pair<std::string, double>>& entries() const noexcept {
+    return entries_;
+  }
+  bool empty() const noexcept { return entries_.empty(); }
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;
+};
+
+namespace detail {
+struct TraceState {
+  std::chrono::steady_clock::time_point epoch;
+  std::vector<SpanRecord> records;
+  std::vector<std::int32_t> open;  ///< indices of currently open spans
+};
+/// The thread's active trace, or nullptr.
+TraceState*& active_trace() noexcept;
+}  // namespace detail
+
+/// Collects every Span opened on this thread between construction and
+/// destruction. Nests: constructing a second FrameTrace shadows the first
+/// until it is destroyed (destruction must be LIFO, i.e. scoped).
+class FrameTrace {
+ public:
+  FrameTrace();
+  ~FrameTrace();
+  FrameTrace(const FrameTrace&) = delete;
+  FrameTrace& operator=(const FrameTrace&) = delete;
+
+  const std::vector<SpanRecord>& records() const noexcept {
+    return state_.records;
+  }
+
+  /// Flatten into per-stage totals, in first-seen order. Open spans are
+  /// skipped (their duration is not known yet).
+  StageTimings stage_timings() const;
+
+ private:
+  detail::TraceState state_;
+  detail::TraceState* previous_ = nullptr;
+};
+
+/// RAII stage timer. Always records into the "stage.<name>" histogram of
+/// the global registry; additionally appends to the thread's active
+/// FrameTrace, if any. `name` must have static storage duration (the
+/// VP_OBS_SPAN macro passes string literals).
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  LatencyHistogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+  detail::TraceState* trace_;  ///< trace active at construction, if any
+  std::int32_t index_ = -1;    ///< slot in that trace; -1 if none
+};
+
+}  // namespace vp::obs
+
+#if VP_OBS_ENABLED
+#define VP_OBS_SPAN_CONCAT2_(a, b) a##b
+#define VP_OBS_SPAN_CONCAT_(a, b) VP_OBS_SPAN_CONCAT2_(a, b)
+#define VP_OBS_SPAN(name) \
+  const ::vp::obs::Span VP_OBS_SPAN_CONCAT_(vp_obs_span_, __LINE__)(name)
+#else
+#define VP_OBS_SPAN(name) static_cast<void>(0)
+#endif

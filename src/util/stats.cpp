@@ -20,6 +20,12 @@ double percentile(std::span<const double> values, double p) {
   return v[lo] + (v[hi] - v[lo]) * frac;
 }
 
+double percentile_or(std::span<const double> values, double p,
+                     double fallback) {
+  if (values.empty()) return fallback;
+  return percentile(values, p);
+}
+
 double mean(std::span<const double> values) {
   if (values.empty()) return 0.0;
   double s = 0;
@@ -65,6 +71,11 @@ double EmpiricalCdf::quantile(double q) const {
   VP_REQUIRE(!sorted_.empty(), "quantile of empty CDF");
   VP_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q outside [0,1]");
   return percentile(sorted_, q * 100.0);
+}
+
+double EmpiricalCdf::quantile_or(double q, double fallback) const {
+  if (sorted_.empty()) return fallback;
+  return quantile(q);
 }
 
 std::vector<std::pair<double, double>> EmpiricalCdf::sample_points(

@@ -25,8 +25,17 @@ struct Summary {
 Summary summarize(std::span<const double> values);
 
 /// p-th percentile (p in [0,100]) by linear interpolation of the sorted
-/// sample. Throws InvalidArgument on empty input or p outside [0,100].
+/// sample. Throws InvalidArgument on empty input or p outside [0,100];
+/// use percentile_or when the sample may legitimately be empty.
 double percentile(std::span<const double> values, double p);
+
+/// Empty-safe percentile: like `percentile`, but returns `fallback`
+/// instead of throwing when `values` is empty. This is the documented safe
+/// path for bench/exporter code that aggregates possibly-empty series
+/// (e.g. a session where every frame was rejected). p outside [0,100]
+/// still throws — that is a caller bug, not a data condition.
+double percentile_or(std::span<const double> values, double p,
+                     double fallback = 0.0);
 
 /// Arithmetic mean; 0 for empty input.
 double mean(std::span<const double> values);
@@ -43,8 +52,12 @@ class EmpiricalCdf {
   /// Fraction of samples <= x.
   double at(double x) const noexcept;
 
-  /// Inverse CDF (quantile). q in [0,1].
+  /// Inverse CDF (quantile). q in [0,1]. Throws InvalidArgument on an
+  /// empty CDF (or q outside [0,1]); see quantile_or for the safe path.
   double quantile(double q) const;
+
+  /// Empty-safe quantile: `fallback` when the CDF holds no samples.
+  double quantile_or(double q, double fallback = 0.0) const;
 
   std::size_t size() const noexcept { return sorted_.size(); }
   bool empty() const noexcept { return sorted_.empty(); }

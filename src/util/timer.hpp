@@ -7,18 +7,32 @@ namespace vp {
 
 class Timer {
  public:
-  Timer() noexcept : start_(Clock::now()) {}
+  Timer() noexcept : start_(Clock::now()), lap_(start_) {}
 
-  void reset() noexcept { start_ = Clock::now(); }
+  /// Restart both the total and the lap clock.
+  void reset() noexcept { start_ = lap_ = Clock::now(); }
 
+  /// Seconds since construction/reset().
   double seconds() const noexcept {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
   double millis() const noexcept { return seconds() * 1e3; }
 
+  /// Seconds since the previous lap()/reset() (or construction), then
+  /// restart the lap clock. The total (seconds()/millis()) is unaffected,
+  /// so one Timer can both split a loop into laps and time the whole run.
+  double lap() noexcept {
+    const auto now = Clock::now();
+    const double s = std::chrono::duration<double>(now - lap_).count();
+    lap_ = now;
+    return s;
+  }
+  double lap_millis() noexcept { return lap() * 1e3; }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+  Clock::time_point lap_;
 };
 
 }  // namespace vp

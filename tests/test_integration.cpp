@@ -226,7 +226,7 @@ TEST(Integration, FrameModeSkipsClientVision) {
     if (f.status == FrameResult::Status::kQueued) {
       ++sent;
       EXPECT_EQ(f.total_keypoints, 0u);    // no SIFT ran
-      EXPECT_EQ(f.phone_sift_ms, 0.0);
+      EXPECT_EQ(f.phone_sift_ms(), 0.0);
       EXPECT_GT(f.payload_bytes, 500u);    // a real JPEG payload
     }
   }
