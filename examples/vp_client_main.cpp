@@ -4,6 +4,10 @@
 // keypoints, ships fingerprint queries, and prints the locations the
 // service returns against ground truth.
 //
+// All traffic goes through RetryingClient: per-attempt deadlines, then
+// reconnect-and-resend with bounded exponential backoff — a flaky or
+// restarting server costs retries, not a crash.
+//
 // Run:   ./vp_server         (first, in another terminal)
 //        ./vp_client [--port N] [--views N]
 #include <cstdio>
@@ -11,7 +15,7 @@
 #include <string>
 
 #include "core/client.hpp"
-#include "net/tcp.hpp"
+#include "net/retry.hpp"
 #include "scene/environments.hpp"
 #include "scene/render.hpp"
 #include "util/table.hpp"
@@ -38,16 +42,13 @@ int main(int argc, char** argv) {
   const auto quads = scene_quads(world);
   const CameraIntrinsics intr{480, 360, 1.15192};
 
-  Socket sock = tcp_connect("127.0.0.1", port);
-  std::printf("connected to 127.0.0.1:%u\n", port);
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.io_timeout_ms = 10'000;  // oracle download + cold solver latencies
+  RetryingClient net("127.0.0.1", port, policy);
 
   // First launch: fetch the uniqueness oracle.
-  sock.send_message(Bytes{'O'});
-  Bytes reply;
-  if (!sock.recv_message(reply)) {
-    std::printf("server hung up\n");
-    return 1;
-  }
+  Bytes reply = net.request(Bytes{'O'});
   const OracleDownload download = OracleDownload::decode(reply);
   std::printf("oracle v%u downloaded: %s compressed\n", download.version,
               Table::bytes_human(static_cast<double>(download.compressed.size())).c_str());
@@ -74,8 +75,7 @@ int main(int argc, char** argv) {
     ByteWriter w;
     w.u8('Q');
     w.raw(fr.query->encode());
-    sock.send_message(w.bytes());
-    if (!sock.recv_message(reply)) break;
+    reply = net.request(w.bytes());
     const LocationResponse resp = LocationResponse::decode(reply);
 
     char est[64], truth[64];
@@ -101,10 +101,19 @@ int main(int argc, char** argv) {
   ByteWriter sw;
   sw.u8(kStatsRequest);
   sw.raw(stats_req.encode());
-  sock.send_message(sw.bytes());
-  if (sock.recv_message(reply)) {
-    const StatsResponse stats = StatsResponse::decode(reply);
-    std::printf("\nserver metrics (prometheus):\n%s", stats.text.c_str());
+  reply = net.request(sw.bytes());
+  const StatsResponse stats = StatsResponse::decode(reply);
+  std::printf("\nserver metrics (prometheus):\n%s", stats.text.c_str());
+
+  const RetryStats& rs = net.stats();
+  if (rs.retries > 0 || rs.timeouts > 0 || rs.conn_dropped > 0) {
+    std::printf(
+        "\nlink faults absorbed: %llu retries (%llu timeouts, "
+        "%llu drops, %llu remote errors)\n",
+        static_cast<unsigned long long>(rs.retries),
+        static_cast<unsigned long long>(rs.timeouts),
+        static_cast<unsigned long long>(rs.conn_dropped),
+        static_cast<unsigned long long>(rs.remote_errors));
   }
   return 0;
 }

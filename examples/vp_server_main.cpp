@@ -2,13 +2,17 @@
 //
 // On first run it wardrives a synthetic gallery, ingests the mappings, and
 // saves the database; later runs load the database file directly. Then it
-// serves the wire protocol over TCP (loopback):
+// serves the wire protocol over TCP (loopback), handling connections
+// concurrently on a borrowed ThreadPool with per-socket deadlines:
 //   request 'O'            -> OracleDownload (zlib'd uniqueness tables)
 //   request 'Q' + VPQ! ... -> LocationResponse
 //   request 'S' + VPS! ... -> StatsResponse (metrics scrape, JSON/Prometheus)
+// Handler failures answer with a structured ErrorResponse (VPE!) instead of
+// dropping the connection; the exit summary reports every failure class.
 //
-// Run:   ./vp_server [--port N] [--db FILE] [--once]
+// Run:   ./vp_server [--port N] [--db FILE] [--threads N] [--once]
 // Pair:  ./vp_client (in another terminal)
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -21,6 +25,7 @@
 #include "slam/map_merge.hpp"
 #include "slam/mapping.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -60,12 +65,15 @@ int main(int argc, char** argv) {
   using namespace vp;
   std::uint16_t port = 47001;
   std::string db_path = "vp_demo.db";
+  std::size_t threads = 4;
   bool once = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--db") == 0 && i + 1 < argc) {
       db_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--once") == 0) {
       once = true;  // serve a single connection then exit (used in tests)
     }
@@ -80,49 +88,33 @@ int main(int argc, char** argv) {
               Table::bytes_human(static_cast<double>(server.oracle().byte_size())).c_str());
 
   TcpListener listener(port);
-  std::printf("listening on 127.0.0.1:%u ...\n", listener.port());
+  ThreadPool pool(threads);
+  std::printf("listening on 127.0.0.1:%u (%zu workers) ...\n",
+              listener.port(), pool.thread_count());
 
-  Rng solver_rng(7);
-  std::size_t served = 0;
-  bool done = false;
+  ServeOptions options;
+  options.pool = &pool;
+  options.max_connections = 2 * pool.thread_count();
+  options.io_timeout_ms = 15'000;
+  ServeStats stats;
+  std::atomic<std::size_t> served{0};
   listener.serve(
       [&](std::span<const std::uint8_t> request) -> Bytes {
-        if (request.empty()) throw DecodeError{"empty request"};
-        const std::uint8_t tag = request[0];
-        const auto body = request.subspan(1);
-        if (tag == 'O') {
-          std::printf("  -> oracle download\n");
-          return server.oracle_snapshot().encode();
-        }
-        if (tag == kStatsRequest) {
-          const StatsRequest req = StatsRequest::decode(body);
-          const auto snap = obs::Registry::global().snapshot();
-          StatsResponse resp;
-          resp.format = req.format;
-          resp.text = req.format == StatsRequest::kFormatPrometheus
-                          ? obs::to_prometheus(snap)
-                          : obs::to_json_lines(snap);
-          std::printf("  -> stats scrape (%s, %zu bytes)\n",
-                      req.format == StatsRequest::kFormatPrometheus
-                          ? "prometheus"
-                          : "json-lines",
-                      resp.text.size());
-          return resp.encode();
-        }
-        if (tag == 'Q') {
-          const FingerprintQuery query = FingerprintQuery::decode(body);
-          const LocationResponse resp = server.localize_query(query, solver_rng);
-          std::printf("  -> query frame %u: %s (%u keypoints matched)\n",
-                      query.frame_id, resp.found ? "located" : "no fix",
-                      resp.matched_keypoints);
-          ++served;
-          return resp.encode();
-        }
-        throw DecodeError{"unknown request tag"};
+        Bytes response = server.handle_request(request, /*solver_seed=*/7);
+        ++served;
+        return response;
       },
-      [&] {
-        if (once && served > 0) done = true;
-        return !done;
-      });
+      [&] { return !(once && served.load() > 0); }, options, &stats);
+
+  std::printf(
+      "served %zu requests over %llu connections "
+      "(%llu handler errors, %llu decode errors, %llu timeouts, "
+      "%llu io errors)\n",
+      served.load(),
+      static_cast<unsigned long long>(stats.accepted.load()),
+      static_cast<unsigned long long>(stats.handler_errors.load()),
+      static_cast<unsigned long long>(stats.decode_errors.load()),
+      static_cast<unsigned long long>(stats.timeouts.load()),
+      static_cast<unsigned long long>(stats.io_errors.load()));
   return 0;
 }

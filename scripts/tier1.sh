@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + test suite, then a ThreadSanitizer pass
 # over the threading-sensitive test binaries (test_util, test_obs,
-# test_features).
+# test_features, test_net, test_tcp, test_faults).
 #
 # Usage: scripts/tier1.sh [build-dir] [tsan-build-dir]
 set -euo pipefail
@@ -15,15 +15,16 @@ cmake -B "$build_dir" -S "$repo_root"
 cmake --build "$build_dir" -j
 ctest --test-dir "$build_dir" --output-on-failure -j
 
-echo "== tier-1: ThreadSanitizer pass (test_util, test_obs, test_features) =="
+echo "== tier-1: ThreadSanitizer pass (threaded + network suites) =="
 # Benchmarks/examples are irrelevant to the TSan pass; skip them for speed.
+tsan_targets=(test_util test_obs test_features test_net test_tcp test_faults)
 cmake -B "$tsan_dir" -S "$repo_root" \
   -DVP_SANITIZE=thread \
   -DVP_BUILD_BENCHMARKS=OFF \
   -DVP_BUILD_EXAMPLES=OFF
-cmake --build "$tsan_dir" -j --target test_util test_obs test_features
-"$tsan_dir/tests/test_util"
-"$tsan_dir/tests/test_obs"
-"$tsan_dir/tests/test_features"
+cmake --build "$tsan_dir" -j --target "${tsan_targets[@]}"
+for t in "${tsan_targets[@]}"; do
+  "$tsan_dir/tests/$t"
+done
 
 echo "tier-1: all checks passed"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "obs/export.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 
@@ -100,6 +101,34 @@ std::vector<std::uint32_t> VisualPrintServer::scene_votes(
     }
   }
   return votes;
+}
+
+Bytes VisualPrintServer::handle_request(std::span<const std::uint8_t> request,
+                                        std::uint64_t solver_seed) const {
+  if (request.empty()) throw DecodeError{"empty request"};
+  const std::uint8_t tag = request[0];
+  const auto body = request.subspan(1);
+  if (tag == kOracleRequest) {
+    return oracle_snapshot().encode();
+  }
+  if (tag == kQueryRequest) {
+    const FingerprintQuery query = FingerprintQuery::decode(body);
+    // Per-query rng: deterministic for a given (seed, frame) and safe when
+    // serve() runs handlers concurrently on pool workers.
+    Rng solver_rng(solver_seed ^ (0x51ULL << 56) ^ query.frame_id);
+    return localize_query(query, solver_rng).encode();
+  }
+  if (tag == kStatsRequest) {
+    const StatsRequest req = StatsRequest::decode(body);
+    StatsResponse resp;
+    resp.format = req.format;
+    const auto snap = obs::Registry::global().snapshot();
+    resp.text = req.format == StatsRequest::kFormatPrometheus
+                    ? obs::to_prometheus(snap)
+                    : obs::to_json_lines(snap);
+    return resp.encode();
+  }
+  throw DecodeError{"unknown request tag"};
 }
 
 OracleDownload VisualPrintServer::oracle_snapshot() const {

@@ -56,6 +56,17 @@ class VisualPrintServer {
   /// points, largest-cluster filtering, then the Fig. 12 pose solve.
   LocationResponse localize_query(const FingerprintQuery& query, Rng& rng) const;
 
+  /// Dispatch one framed TCP request (tag byte + encoded body) to the
+  /// matching handler: 'O' -> OracleDownload, 'Q' -> LocationResponse,
+  /// 'S' -> StatsResponse rendered from the global obs registry. Throws
+  /// DecodeError for empty requests and unknown tags — under
+  /// TcpListener::serve that surfaces to the client as a structured
+  /// ErrorResponse (`VPE!`). Thread-safe for concurrent serving: the
+  /// server state is read-only here and each call forks its own solver rng
+  /// from `solver_seed` and the query frame id.
+  Bytes handle_request(std::span<const std::uint8_t> request,
+                       std::uint64_t solver_seed) const;
+
   /// Scene votes for a set of query features (retrieval experiments):
   /// vote[s] = number of query features whose accepted nearest neighbor
   /// belongs to scene s. Index -1 votes are dropped.

@@ -1,0 +1,208 @@
+#include "net/fault.hpp"
+
+#include <chrono>
+#include <memory>
+
+#include "util/error.hpp"
+
+namespace vp {
+namespace {
+
+/// Poll cadence for stop-flag checks while a session waits for traffic.
+constexpr int kPollMs = 100;
+
+enum class Action { kForward, kSever, kDrop, kTruncate, kCorrupt, kDuplicate };
+
+Action roll_action(const FaultConfig& cfg, Rng& rng, bool request_direction) {
+  // One uniform draw walked through the probability bands, so the fault
+  // mix is exact per message and fully determined by the session seed.
+  double u = rng.uniform();
+  if ((u -= cfg.sever) < 0) return Action::kSever;
+  if ((u -= cfg.drop) < 0) return Action::kDrop;
+  if ((u -= cfg.truncate) < 0) return Action::kTruncate;
+  if ((u -= cfg.corrupt) < 0) return Action::kCorrupt;
+  if ((u -= cfg.duplicate) < 0) {
+    // Response duplication would desynchronize the strict request/response
+    // pairing; treat it as a clean forward on that direction.
+    return request_direction ? Action::kDuplicate : Action::kForward;
+  }
+  return Action::kForward;
+}
+
+void flip_random_bits(Bytes& msg, Rng& rng) {
+  if (msg.empty()) return;
+  const std::uint64_t flips = 1 + rng.uniform_u64(8);
+  for (std::uint64_t i = 0; i < flips; ++i) {
+    const std::uint64_t bit = rng.uniform_u64(msg.size() * 8);
+    msg[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+}
+
+/// Frame header claiming the full length, then a strict prefix of the
+/// payload: the receiver sees EOF mid-message once the socket closes.
+void send_truncated(Socket& out, const Bytes& msg, Rng& rng) {
+  ByteWriter w(4 + msg.size());
+  w.u32(static_cast<std::uint32_t>(msg.size()));
+  const std::size_t keep =
+      msg.empty() ? 0 : static_cast<std::size_t>(rng.uniform_u64(msg.size()));
+  w.raw(std::span(msg.data(), keep));
+  out.send_all(w.bytes());
+}
+
+}  // namespace
+
+FaultConfig FaultConfig::uniform(double rate, std::uint64_t seed) {
+  FaultConfig cfg;
+  cfg.sever = cfg.drop = cfg.truncate = cfg.corrupt = cfg.duplicate =
+      rate / 5.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+FaultProxy::FaultProxy(std::uint16_t upstream_port, FaultConfig config)
+    : upstream_port_(upstream_port), config_(config), listener_(0) {
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+FaultProxy::~FaultProxy() { stop(); }
+
+void FaultProxy::stop() {
+  stop_.store(true);
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> sessions;
+  {
+    std::lock_guard lock(sessions_mutex_);
+    sessions.swap(sessions_);
+  }
+  for (auto& t : sessions) t.join();
+}
+
+void FaultProxy::accept_loop() {
+  std::uint64_t next_session = 0;
+  while (!stop_.load()) {
+    std::optional<Socket> client;
+    try {
+      client = listener_.accept_for(kPollMs);
+    } catch (const Error&) {
+      return;
+    }
+    if (!client) continue;
+    stats_.sessions.fetch_add(1, std::memory_order_relaxed);
+    // Deterministic per-session fault sequence: seed derived from the
+    // configured seed and the accept index.
+    const std::uint64_t seed =
+        config_.seed * 0x9e3779b97f4a7c15ULL + ++next_session;
+    auto conn = std::make_shared<Socket>(std::move(*client));
+    std::lock_guard lock(sessions_mutex_);
+    sessions_.emplace_back(
+        [this, conn, seed] { session(std::move(*conn), seed); });
+  }
+}
+
+void FaultProxy::session(Socket client, std::uint64_t session_seed) {
+  Rng rng(session_seed);
+  Socket upstream;
+  try {
+    upstream = tcp_connect("127.0.0.1", upstream_port_, 2000);
+  } catch (const Error&) {
+    return;  // upstream gone; client sees the close and retries
+  }
+  client.set_recv_timeout(kPollMs);
+  upstream.set_recv_timeout(kPollMs);
+  client.set_send_timeout(5000);
+  upstream.set_send_timeout(5000);
+
+  // Wait for one framed message, looping on the poll deadline so stop()
+  // unwinds promptly. False = peer hung up / died.
+  const auto recv_or_stop = [this](Socket& from, Bytes& msg) {
+    for (;;) {
+      try {
+        return from.recv_message(msg);
+      } catch (const TimeoutError&) {
+        if (stop_.load()) return false;
+      } catch (const Error&) {
+        return false;
+      }
+    }
+  };
+  const auto maybe_delay = [&](Bytes& msg) {
+    (void)msg;
+    if (config_.delay > 0 && rng.uniform() < config_.delay) {
+      stats_.delayed.fetch_add(1, std::memory_order_relaxed);
+      const double ms = config_.delay_ms * (0.5 + rng.uniform());
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(ms));
+    }
+  };
+
+  Bytes msg;
+  try {
+    while (!stop_.load()) {
+      // --- request: client -> upstream ---
+      if (!recv_or_stop(client, msg)) return;
+      stats_.messages.fetch_add(1, std::memory_order_relaxed);
+      maybe_delay(msg);
+      int copies = 1;
+      switch (roll_action(config_, rng, /*request_direction=*/true)) {
+        case Action::kSever:
+          stats_.severed.fetch_add(1, std::memory_order_relaxed);
+          return;
+        case Action::kDrop:
+          stats_.dropped.fetch_add(1, std::memory_order_relaxed);
+          continue;  // client's deadline fires; it reconnects and resends
+        case Action::kTruncate:
+          stats_.truncated.fetch_add(1, std::memory_order_relaxed);
+          send_truncated(upstream, msg, rng);
+          return;
+        case Action::kCorrupt:
+          stats_.corrupted.fetch_add(1, std::memory_order_relaxed);
+          flip_random_bits(msg, rng);
+          break;
+        case Action::kDuplicate:
+          stats_.duplicated.fetch_add(1, std::memory_order_relaxed);
+          copies = 2;
+          break;
+        case Action::kForward:
+          break;
+      }
+      for (int i = 0; i < copies; ++i) upstream.send_message(msg);
+
+      // --- response(s): upstream -> client; only the first is forwarded,
+      // a duplicate's extra response is read and discarded so the streams
+      // stay paired.
+      bool forwarded_or_dropped = false;
+      for (int i = 0; i < copies; ++i) {
+        if (!recv_or_stop(upstream, msg)) return;
+        if (forwarded_or_dropped) continue;  // discard duplicate's reply
+        forwarded_or_dropped = true;
+        stats_.messages.fetch_add(1, std::memory_order_relaxed);
+        maybe_delay(msg);
+        switch (roll_action(config_, rng, /*request_direction=*/false)) {
+          case Action::kSever:
+            stats_.severed.fetch_add(1, std::memory_order_relaxed);
+            return;
+          case Action::kDrop:
+            stats_.dropped.fetch_add(1, std::memory_order_relaxed);
+            break;  // swallowed; client's deadline fires
+          case Action::kTruncate:
+            stats_.truncated.fetch_add(1, std::memory_order_relaxed);
+            send_truncated(client, msg, rng);
+            return;
+          case Action::kCorrupt:
+            stats_.corrupted.fetch_add(1, std::memory_order_relaxed);
+            flip_random_bits(msg, rng);
+            client.send_message(msg);
+            break;
+          case Action::kDuplicate:  // unreachable on responses
+          case Action::kForward:
+            client.send_message(msg);
+            break;
+        }
+      }
+    }
+  } catch (const Error&) {
+    // Either side died mid-forward; both sockets close via RAII.
+  }
+}
+
+}  // namespace vp

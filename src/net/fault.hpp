@@ -1,0 +1,91 @@
+// Deterministic fault injection for the client<->server link.
+//
+// FaultProxy is an in-process TCP proxy: it listens on its own loopback
+// port, opens one upstream connection per client session, and forwards the
+// framed request/response protocol message-by-message, rolling a seeded RNG
+// per message to delay, drop, truncate, corrupt, duplicate, or sever
+// traffic. Pointing a RetryingClient at the proxy port exercises the real
+// sockets, real deadlines, and real retry machinery on both ends — tests
+// and bench_fault_recovery share this one shim (DESIGN.md §8).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/tcp.hpp"
+#include "util/rng.hpp"
+
+namespace vp {
+
+/// Per-message fault probabilities. At most one structural fault fires per
+/// message (priority: sever > drop > truncate > corrupt > duplicate);
+/// delay is rolled independently and can combine with a clean forward.
+struct FaultConfig {
+  double sever = 0;      ///< close both directions mid-session
+  double drop = 0;       ///< swallow the message (receiver hits its deadline)
+  double truncate = 0;   ///< deliver a strict prefix, then sever
+  double corrupt = 0;    ///< flip 1-8 random payload bits (framing intact)
+  double duplicate = 0;  ///< requests only: forward twice, discard the
+                         ///< extra response (models a blind retransmit)
+  double delay = 0;      ///< hold the message before forwarding
+  double delay_ms = 20.0;
+  std::uint64_t seed = 1;
+
+  /// Evenly spread `rate` across sever/drop/truncate/corrupt/duplicate
+  /// (the soak-test shape: total message fault probability == rate).
+  static FaultConfig uniform(double rate, std::uint64_t seed);
+};
+
+/// Injection counts, readable from any thread while the proxy runs.
+struct FaultStats {
+  std::atomic<std::uint64_t> sessions{0};
+  std::atomic<std::uint64_t> messages{0};  ///< both directions
+  std::atomic<std::uint64_t> severed{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<std::uint64_t> truncated{0};
+  std::atomic<std::uint64_t> corrupted{0};
+  std::atomic<std::uint64_t> duplicated{0};
+  std::atomic<std::uint64_t> delayed{0};
+
+  std::uint64_t faults() const noexcept {
+    return severed.load() + dropped.load() + truncated.load() +
+           corrupted.load() + duplicated.load();
+  }
+};
+
+class FaultProxy {
+ public:
+  /// Starts listening on an ephemeral loopback port and forwarding to
+  /// 127.0.0.1:upstream_port.
+  FaultProxy(std::uint16_t upstream_port, FaultConfig config);
+  ~FaultProxy();
+
+  FaultProxy(const FaultProxy&) = delete;
+  FaultProxy& operator=(const FaultProxy&) = delete;
+
+  /// Port clients should connect to.
+  std::uint16_t port() const noexcept { return listener_.port(); }
+
+  const FaultStats& stats() const noexcept { return stats_; }
+
+  /// Stop accepting, unwind every session, join all threads. Idempotent.
+  void stop();
+
+ private:
+  void accept_loop();
+  void session(Socket client, std::uint64_t session_seed);
+
+  std::uint16_t upstream_port_;
+  FaultConfig config_;
+  FaultStats stats_;
+  TcpListener listener_;
+  std::atomic<bool> stop_{false};
+  std::mutex sessions_mutex_;
+  std::vector<std::thread> sessions_;
+  std::thread acceptor_;
+};
+
+}  // namespace vp

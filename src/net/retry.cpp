@@ -1,0 +1,100 @@
+#include "net/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "net/wire.hpp"
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace vp {
+
+RetryingClient::RetryingClient(std::string host, std::uint16_t port,
+                               RetryPolicy policy, std::uint64_t seed)
+    : host_(std::move(host)), port_(port), policy_(policy), rng_(seed) {
+  VP_REQUIRE(policy_.max_attempts >= 1, "retry policy needs >= 1 attempt");
+  VP_REQUIRE(policy_.backoff_factor >= 1.0, "backoff factor must be >= 1");
+  VP_REQUIRE(policy_.jitter >= 0.0 && policy_.jitter < 1.0,
+             "jitter must be in [0, 1)");
+  sleep_fn_ = [](double ms) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  };
+}
+
+double RetryingClient::backoff_for(int retry, double unit_jitter) const
+    noexcept {
+  double delay = policy_.backoff_ms;
+  for (int i = 1; i < retry; ++i) delay *= policy_.backoff_factor;
+  delay = std::min(delay, policy_.max_backoff_ms);
+  return delay * (1.0 + policy_.jitter * (2.0 * unit_jitter - 1.0));
+}
+
+void RetryingClient::ensure_connected() {
+  if (sock_.valid()) return;
+  sock_ = tcp_connect(host_, port_, policy_.connect_timeout_ms);
+  if (policy_.io_timeout_ms > 0) {
+    sock_.set_recv_timeout(policy_.io_timeout_ms);
+    sock_.set_send_timeout(policy_.io_timeout_ms);
+  }
+  ++stats_.reconnects;
+}
+
+Bytes RetryingClient::request(std::span<const std::uint8_t> payload) {
+  enum class Fail { kTimeout, kIo, kRemoteRetryable };
+  Fail fail = Fail::kIo;
+  std::string why;
+
+  for (int attempt = 1;; ++attempt) {
+    ++stats_.attempts;
+    try {
+      ensure_connected();
+      sock_.send_message(payload);
+      Bytes reply;
+      if (!sock_.recv_message(reply, policy_.max_response_bytes)) {
+        throw IoError{"server closed the connection"};
+      }
+      if (!is_error_frame(reply)) return reply;
+      const ErrorResponse err = ErrorResponse::decode(reply);
+      ++stats_.remote_errors;
+      VP_OBS_COUNT("net.remote_errors", 1);
+      if (!policy_.retry_bad_request ||
+          err.code != ErrorResponse::kBadRequest) {
+        throw RemoteError{err.code, err.message};
+      }
+      // The server answered but could not decode our bytes — almost
+      // certainly in-flight corruption. The connection itself is healthy;
+      // resend without reconnecting.
+      fail = Fail::kRemoteRetryable;
+      why = err.message;
+    } catch (const RemoteError&) {
+      throw;
+    } catch (const TimeoutError& e) {
+      ++stats_.timeouts;
+      VP_OBS_COUNT("net.timeouts", 1);
+      fail = Fail::kTimeout;
+      why = e.what();
+    } catch (const Error& e) {
+      ++stats_.conn_dropped;
+      VP_OBS_COUNT("net.conn_dropped", 1);
+      fail = Fail::kIo;
+      why = e.what();
+    }
+    if (fail != Fail::kRemoteRetryable) {
+      // The exchange may be half-complete; only a fresh connection
+      // restores request/response pairing.
+      sock_.close();
+    }
+    if (attempt >= policy_.max_attempts) {
+      if (fail == Fail::kTimeout) throw TimeoutError{why};
+      throw IoError{"request failed after " +
+                    std::to_string(policy_.max_attempts) +
+                    " attempts: " + why};
+    }
+    ++stats_.retries;
+    VP_OBS_COUNT("net.retries", 1);
+    sleep_fn_(backoff_for(attempt, rng_.uniform()));
+  }
+}
+
+}  // namespace vp

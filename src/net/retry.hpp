@@ -1,0 +1,90 @@
+// Client-side retry transport: request/response over TCP with per-attempt
+// deadlines, reconnect-and-resend on timeout/EOF, and bounded exponential
+// backoff with jitter. VisualPrint queries are idempotent (a fingerprint
+// query can be answered any number of times), so resending a request whose
+// response never arrived is always safe — the paper's mobile uplink drops
+// and stalls are exactly the faults this absorbs (DESIGN.md §8).
+//
+// Counters surface through the obs registry (net.retries, net.timeouts,
+// net.conn_dropped, net.remote_errors) and through RetryStats for callers
+// that need exact values in VP_OBS=OFF builds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/tcp.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace vp {
+
+struct RetryPolicy {
+  int max_attempts = 5;          ///< total tries per request (first + retries)
+  double backoff_ms = 25.0;      ///< delay before the first retry
+  double backoff_factor = 2.0;   ///< growth per retry, capped below
+  double max_backoff_ms = 1000.0;
+  double jitter = 0.25;          ///< +/- fraction applied to each delay
+  int io_timeout_ms = 2000;      ///< per-attempt recv/send deadline; <=0 none
+  int connect_timeout_ms = 2000; ///< connect deadline; <=0 blocking
+  std::size_t max_response_bytes = 256 * 1024 * 1024;
+  /// A kBadRequest ErrorResponse usually means the request was corrupted
+  /// in flight (the server could not even decode it); since queries are
+  /// idempotent, resending the original bytes is worth the attempts.
+  bool retry_bad_request = true;
+};
+
+/// Per-client counters (exact, independent of VP_OBS).
+struct RetryStats {
+  std::uint64_t attempts = 0;       ///< request send attempts
+  std::uint64_t retries = 0;        ///< attempts after the first
+  std::uint64_t timeouts = 0;       ///< attempts ended by a deadline
+  std::uint64_t conn_dropped = 0;   ///< attempts ended by EOF/reset/refusal
+  std::uint64_t remote_errors = 0;  ///< structured ErrorResponse replies
+  std::uint64_t reconnects = 0;     ///< sockets (re-)established
+};
+
+/// One logical connection to a VisualPrint server that survives transport
+/// faults. Not thread-safe: one instance per client thread.
+class RetryingClient {
+ public:
+  RetryingClient(std::string host, std::uint16_t port, RetryPolicy policy = {},
+                 std::uint64_t seed = 1);
+
+  /// Send `payload` as one framed request and return the framed response.
+  /// Retries per the policy on timeout, EOF, connection failure, and (when
+  /// enabled) kBadRequest error replies. Throws the last transport error
+  /// (TimeoutError/IoError) once attempts are exhausted, and RemoteError
+  /// immediately for non-retryable ErrorResponse replies.
+  Bytes request(std::span<const std::uint8_t> payload);
+
+  bool connected() const noexcept { return sock_.valid(); }
+  void close() noexcept { sock_.close(); }
+
+  const RetryStats& stats() const noexcept { return stats_; }
+  const RetryPolicy& policy() const noexcept { return policy_; }
+
+  /// Replace the backoff sleep (tests inject a recorder; default really
+  /// sleeps the given milliseconds).
+  void set_sleep_fn(std::function<void(double)> fn) {
+    sleep_fn_ = std::move(fn);
+  }
+
+  /// The jittered backoff delay before retry number `retry` (1-based),
+  /// exposed so tests can pin the bounded-growth contract.
+  double backoff_for(int retry, double unit_jitter) const noexcept;
+
+ private:
+  void ensure_connected();
+
+  std::string host_;
+  std::uint16_t port_;
+  RetryPolicy policy_;
+  Rng rng_;
+  Socket sock_;
+  RetryStats stats_;
+  std::function<void(double)> sleep_fn_;
+};
+
+}  // namespace vp

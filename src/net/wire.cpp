@@ -1,5 +1,7 @@
 #include "net/wire.hpp"
 
+#include <string_view>
+
 #include "imaging/codec.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
@@ -14,6 +16,7 @@ constexpr std::uint32_t kOracleMagic = 0x56504f21u;  // "VPO!"
 constexpr std::uint32_t kDiffMagic = 0x56504421u;    // "VPD!"
 constexpr std::uint32_t kStatsReqMagic = 0x56505321u;   // "VPS!"
 constexpr std::uint32_t kStatsRespMagic = 0x56505421u;  // "VPT!"
+constexpr std::uint32_t kErrorMagic = 0x56504521u;      // "VPE!"
 constexpr std::uint16_t kVersion = 1;
 
 void expect_header(ByteReader& r, std::uint32_t magic, const char* what) {
@@ -51,6 +54,12 @@ FingerprintQuery FingerprintQuery::decode(std::span<const std::uint8_t> data) {
   q.image_height = r.u16();
   q.fov_h = r.f32();
   const std::uint32_t n = r.u32();
+  // Validate the count against the bytes actually present before reserving:
+  // a lying length field must throw, never over-allocate.
+  if (static_cast<std::uint64_t>(n) * kFeatureWireBytes > r.remaining()) {
+    throw DecodeError{"fingerprint query: feature count " + std::to_string(n) +
+                      " exceeds payload"};
+  }
   q.features.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     q.features.push_back(deserialize_feature(r));
@@ -207,6 +216,42 @@ OracleDiff OracleDiff::decode(std::span<const std::uint8_t> data) {
   d.compressed_xor.assign(b.begin(), b.end());
   if (!r.done()) throw DecodeError{"oracle diff: trailing bytes"};
   return d;
+}
+
+Bytes ErrorResponse::encode() const {
+  const std::string_view trimmed =
+      std::string_view(message).substr(0, kMaxMessageBytes);
+  ByteWriter w(16 + trimmed.size());
+  w.u32(kErrorMagic);
+  w.u16(kVersion);
+  w.u16(code);
+  w.str(trimmed);
+  return w.take();
+}
+
+ErrorResponse ErrorResponse::decode(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  expect_header(r, kErrorMagic, "error response");
+  ErrorResponse e;
+  e.code = r.u16();
+  if (e.code == 0 || e.code > kOverloaded) {
+    throw DecodeError{"error response: unknown code"};
+  }
+  e.message = r.str();
+  if (e.message.size() > kMaxMessageBytes) {
+    throw DecodeError{"error response: oversized message"};
+  }
+  if (!r.done()) throw DecodeError{"error response: trailing bytes"};
+  return e;
+}
+
+bool is_error_frame(std::span<const std::uint8_t> frame) noexcept {
+  if (frame.size() < 4) return false;
+  const std::uint32_t magic = static_cast<std::uint32_t>(frame[0]) |
+                              (static_cast<std::uint32_t>(frame[1]) << 8) |
+                              (static_cast<std::uint32_t>(frame[2]) << 16) |
+                              (static_cast<std::uint32_t>(frame[3]) << 24);
+  return magic == kErrorMagic;
 }
 
 Bytes StatsRequest::encode() const {

@@ -81,6 +81,31 @@ inline constexpr std::uint8_t kOracleRequest = 'O';
 inline constexpr std::uint8_t kQueryRequest = 'Q';
 inline constexpr std::uint8_t kStatsRequest = 'S';
 
+/// Server -> client: structured failure report (`VPE!`, the kError
+/// message). Sent instead of dropping the connection when a request could
+/// not be answered: the handler threw, the request failed to decode, or
+/// the server is shedding load. `is_error_frame` lets a client cheaply
+/// distinguish it from the reply it expected before decoding.
+struct ErrorResponse {
+  enum Code : std::uint16_t {
+    kBadRequest = 1,      ///< request undecodable (likely corrupt in flight)
+    kHandlerFailure = 2,  ///< handler raised; retrying the same bytes won't help
+    kOverloaded = 3,      ///< transient server-side pressure
+  };
+  std::uint16_t code = kHandlerFailure;
+  std::string message;  ///< human-readable cause (truncated on encode)
+
+  /// Longest message carried on the wire; longer ones are truncated so a
+  /// failure report can never balloon a response.
+  static constexpr std::size_t kMaxMessageBytes = 1024;
+
+  Bytes encode() const;
+  static ErrorResponse decode(std::span<const std::uint8_t> data);
+};
+
+/// True when an (undecoded) reply frame carries the ErrorResponse magic.
+bool is_error_frame(std::span<const std::uint8_t> frame) noexcept;
+
 /// Client -> server: scrape the server's metrics registry.
 struct StatsRequest {
   /// Export format: 0 = JSON lines, 1 = Prometheus text.

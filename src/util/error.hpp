@@ -6,6 +6,7 @@
 // bug in the library itself.
 #pragma once
 
+#include <cstdint>
 #include <source_location>
 #include <stdexcept>
 #include <string>
@@ -28,6 +29,28 @@ class DecodeError : public Error {
 class IoError : public Error {
  public:
   explicit IoError(const std::string& what) : Error("io: " + what) {}
+};
+
+/// Raised when a socket deadline (connect/recv/send timeout) expires.
+/// Derives from IoError so transport-agnostic `catch (IoError&)` sites
+/// keep working; retry layers catch it specifically to count timeouts.
+class TimeoutError : public IoError {
+ public:
+  explicit TimeoutError(const std::string& what)
+      : IoError("timeout: " + what) {}
+};
+
+/// Raised when the peer answered with a structured ErrorResponse (the
+/// `VPE!` wire message) that is not worth retrying: the transport worked,
+/// the remote handler failed.
+class RemoteError : public Error {
+ public:
+  RemoteError(std::uint16_t error_code, const std::string& what)
+      : Error("remote: " + what), code_(error_code) {}
+  std::uint16_t code() const noexcept { return code_; }
+
+ private:
+  std::uint16_t code_;
 };
 
 /// Raised when a caller violates a documented API precondition.

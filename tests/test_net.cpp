@@ -141,6 +141,202 @@ TEST(Wire, OracleDiffEncodeRoundtrip) {
   EXPECT_EQ(back.apply(old_blob), new_blob);
 }
 
+TEST(Wire, ErrorResponseRoundtrip) {
+  ErrorResponse e;
+  e.code = ErrorResponse::kBadRequest;
+  e.message = "frame length 999 exceeds limit";
+  const Bytes b = e.encode();
+  EXPECT_TRUE(is_error_frame(b));
+  const ErrorResponse back = ErrorResponse::decode(b);
+  EXPECT_EQ(back.code, ErrorResponse::kBadRequest);
+  EXPECT_EQ(back.message, e.message);
+}
+
+TEST(Wire, ErrorResponseTruncatesOversizedMessages) {
+  ErrorResponse e;
+  e.message.assign(10'000, 'x');
+  const ErrorResponse back = ErrorResponse::decode(e.encode());
+  EXPECT_EQ(back.message.size(), ErrorResponse::kMaxMessageBytes);
+}
+
+TEST(Wire, ErrorResponseRejectsUnknownCode) {
+  ErrorResponse e;
+  e.code = ErrorResponse::kOverloaded;
+  Bytes b = e.encode();
+  b[6] = 0x77;  // code lives after magic (4) + version (2)
+  EXPECT_THROW(ErrorResponse::decode(b), DecodeError);
+  b[6] = 0;
+  EXPECT_THROW(ErrorResponse::decode(b), DecodeError);
+}
+
+TEST(Wire, IsErrorFrameOnlyMatchesTheErrorMagic) {
+  EXPECT_FALSE(is_error_frame({}));
+  EXPECT_FALSE(is_error_frame(Bytes{'V', 'P'}));  // shorter than a magic
+  EXPECT_FALSE(is_error_frame(sample_query(1).encode()));
+  EXPECT_FALSE(is_error_frame(LocationResponse{}.encode()));
+  EXPECT_TRUE(is_error_frame(ErrorResponse{}.encode()));
+}
+
+// ---------------------------------------------------------------------------
+// Decoder fuzz battery: every message type, attacked three ways. The
+// contract under attack is uniform: decode() either succeeds or throws
+// DecodeError — never crashes, never hangs, never allocates beyond the
+// bytes actually presented.
+
+/// One encoded specimen of every wire message type.
+std::vector<std::pair<std::string, Bytes>> wire_specimens() {
+  std::vector<std::pair<std::string, Bytes>> specimens;
+  specimens.emplace_back("FingerprintQuery", sample_query(3).encode());
+
+  FrameUpload frame;
+  frame.frame_id = 11;
+  frame.codec = 1;
+  frame.payload = {9, 8, 7, 6, 5};
+  specimens.emplace_back("FrameUpload", frame.encode());
+
+  LocationResponse loc;
+  loc.frame_id = 5;
+  loc.found = true;
+  loc.position = {1, 2, 3};
+  loc.place_label = "Demo Gallery";
+  specimens.emplace_back("LocationResponse", loc.encode());
+
+  OracleConfig cfg;
+  cfg.capacity = 2000;
+  UniquenessOracle oracle(cfg);
+  Descriptor d{};
+  d[0] = 42;
+  oracle.insert(d);
+  specimens.emplace_back("OracleDownload",
+                         OracleDownload::pack(oracle, 3).encode());
+
+  const Bytes old_blob{1, 2, 3, 4};
+  const Bytes new_blob{1, 9, 3, 4, 5};
+  specimens.emplace_back("OracleDiff",
+                         OracleDiff::make(old_blob, new_blob, 1, 2).encode());
+
+  StatsRequest stats_req;
+  stats_req.format = StatsRequest::kFormatPrometheus;
+  specimens.emplace_back("StatsRequest", stats_req.encode());
+
+  StatsResponse stats_resp;
+  stats_resp.format = 1;
+  stats_resp.text = "vp_server_queries_total 12\n";
+  specimens.emplace_back("StatsResponse", stats_resp.encode());
+
+  ErrorResponse err;
+  err.code = ErrorResponse::kOverloaded;
+  err.message = "shedding load";
+  specimens.emplace_back("ErrorResponse", err.encode());
+  return specimens;
+}
+
+/// Decode dispatch by specimen name; throws whatever decode() throws.
+void decode_specimen(const std::string& name,
+                     std::span<const std::uint8_t> data) {
+  if (name == "FingerprintQuery") {
+    (void)FingerprintQuery::decode(data);
+  } else if (name == "FrameUpload") {
+    (void)FrameUpload::decode(data);
+  } else if (name == "LocationResponse") {
+    (void)LocationResponse::decode(data);
+  } else if (name == "OracleDownload") {
+    (void)OracleDownload::decode(data);
+  } else if (name == "OracleDiff") {
+    (void)OracleDiff::decode(data);
+  } else if (name == "StatsRequest") {
+    (void)StatsRequest::decode(data);
+  } else if (name == "StatsResponse") {
+    (void)StatsResponse::decode(data);
+  } else {
+    (void)ErrorResponse::decode(data);
+  }
+}
+
+TEST(WireFuzz, EveryPrefixTruncationThrowsDecodeError) {
+  for (const auto& [name, encoded] : wire_specimens()) {
+    for (std::size_t len = 0; len < encoded.size(); ++len) {
+      EXPECT_THROW(decode_specimen(name, std::span(encoded.data(), len)),
+                   DecodeError)
+          << name << " accepted a " << len << "-byte prefix of "
+          << encoded.size() << " bytes";
+    }
+  }
+}
+
+TEST(WireFuzz, TenThousandBitFlipsNeverEscapeDecodeError) {
+  const auto specimens = wire_specimens();
+  Rng rng(0xF122);
+  std::size_t decoded = 0, rejected = 0;
+  for (int iter = 0; iter < 10'000; ++iter) {
+    const auto& [name, encoded] = specimens[static_cast<std::size_t>(iter) %
+                                            specimens.size()];
+    Bytes mutated = encoded;
+    const std::uint64_t flips = 1 + rng.uniform_u64(8);
+    for (std::uint64_t f = 0; f < flips; ++f) {
+      const std::uint64_t bit = rng.uniform_u64(mutated.size() * 8);
+      mutated[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+    try {
+      decode_specimen(name, mutated);
+      ++decoded;  // flip landed in a don't-care position: still well-formed
+    } catch (const DecodeError&) {
+      ++rejected;  // the only acceptable failure mode
+    }
+    // Anything else (std::bad_alloc, std::length_error, segfault, hang)
+    // propagates and fails the test.
+  }
+  EXPECT_EQ(decoded + rejected, 10'000u);
+  EXPECT_GT(rejected, 0u);  // the battery actually hit validation paths
+}
+
+TEST(WireFuzz, LyingLengthFieldsThrowWithoutOverAllocating) {
+  // Feature count claims 4 billion entries against a ~500-byte payload:
+  // the count is validated against the remaining bytes before reserve().
+  Bytes q = sample_query(2).encode();
+  const std::size_t count_off = 4 + 2 + 4 + 8 + 2 + 2 + 4;
+  q[count_off] = q[count_off + 1] = q[count_off + 2] = q[count_off + 3] = 0xFF;
+  EXPECT_THROW(FingerprintQuery::decode(q), DecodeError);
+
+  // String length lie at the tail of a LocationResponse.
+  LocationResponse loc;
+  loc.place_label = "hall";
+  Bytes lb = loc.encode();
+  const std::size_t label_len_off = lb.size() - loc.place_label.size() - 4;
+  for (std::size_t i = 0; i < 4; ++i) lb[label_len_off + i] = 0xFF;
+  EXPECT_THROW(LocationResponse::decode(lb), DecodeError);
+
+  // Blob length lie in a FrameUpload (payload claims 4 GB).
+  FrameUpload frame;
+  frame.payload = {1, 2, 3};
+  Bytes fb = frame.encode();
+  const std::size_t payload_len_off = 4 + 2 + 4 + 8 + 1;
+  for (std::size_t i = 0; i < 4; ++i) fb[payload_len_off + i] = 0xFF;
+  EXPECT_THROW(FrameUpload::decode(fb), DecodeError);
+
+  // Blob length lie in an OracleDiff.
+  const OracleDiff diff = OracleDiff::make(Bytes{1}, Bytes{2}, 1, 2);
+  Bytes db = diff.encode();
+  const std::size_t xor_len_off = 4 + 2 + 4 + 4;
+  for (std::size_t i = 0; i < 4; ++i) db[xor_len_off + i] = 0xFF;
+  EXPECT_THROW(OracleDiff::decode(db), DecodeError);
+}
+
+TEST(WireFuzz, CorruptZlibStreamsThrowDecodeError) {
+  // unpack() feeds attacker bytes to zlib: corruption and truncation must
+  // both surface as DecodeError, not crashes inside inflate().
+  OracleConfig cfg;
+  cfg.capacity = 2000;
+  UniquenessOracle oracle(cfg);
+  OracleDownload down = OracleDownload::pack(oracle, 1);
+  down.compressed[down.compressed.size() / 2] ^= 0xFF;
+  EXPECT_THROW(down.unpack(), DecodeError);
+
+  OracleDownload trunc = OracleDownload::pack(oracle, 1);
+  trunc.compressed.resize(trunc.compressed.size() / 2);
+  EXPECT_THROW(trunc.unpack(), DecodeError);
+}
+
 TEST(Link, SerializationTimeMatchesBandwidth) {
   SimulatedLink link({.bandwidth_mbps = 8.0, .rtt_ms = 0.0, .jitter_ms = 0.0});
   const auto rec = link.submit(0.0, 1'000'000);  // 1 MB at 8 Mbps = 1 s

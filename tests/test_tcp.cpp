@@ -1,8 +1,11 @@
 // Loopback tests for the TCP transport: framing, EOF semantics, oversized
-// frames, and a full request/response round trip of real wire messages.
+// frames, deadlines, connect timeouts, the serve() error-reply contract,
+// and a full request/response round trip of real wire messages.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
+#include <vector>
 
 #include "net/tcp.hpp"
 #include "net/wire.hpp"
@@ -118,6 +121,192 @@ TEST(Tcp, ConnectToClosedPortFails) {
 
 TEST(Tcp, InvalidAddressRejected) {
   EXPECT_THROW(tcp_connect("not-an-address", 1234), IoError);
+}
+
+TEST(Tcp, ConnectRefusedFailsFastEvenWithTimeout) {
+  std::uint16_t dead_port;
+  {
+    TcpListener listener(0);
+    dead_port = listener.port();
+  }
+  // Refusal is not a timeout: the non-blocking connect path must still
+  // report it as IoError, immediately.
+  try {
+    tcp_connect("127.0.0.1", dead_port, /*connect_timeout_ms=*/2000);
+    FAIL() << "expected IoError";
+  } catch (const TimeoutError&) {
+    FAIL() << "refusal misreported as timeout";
+  } catch (const IoError&) {
+    // expected
+  }
+}
+
+TEST(Tcp, ConnectTimesOutWhenPeerNeverCompletesHandshake) {
+  // A listener with a tiny backlog that never accepts: once the accept
+  // queue fills, the kernel drops further SYNs, so a bounded connect must
+  // throw TimeoutError instead of sitting in the SYN retry schedule.
+  TcpListener listener(0, /*backlog=*/1);
+  std::vector<Socket> queued;
+  bool timed_out = false;
+  for (int i = 0; i < 8 && !timed_out; ++i) {
+    try {
+      queued.push_back(
+          tcp_connect("127.0.0.1", listener.port(), /*connect_timeout_ms=*/250));
+    } catch (const TimeoutError&) {
+      timed_out = true;
+    }
+  }
+  EXPECT_TRUE(timed_out);
+}
+
+TEST(Tcp, RecvDeadlineThrowsTimeoutError) {
+  TcpListener listener(0);
+  std::thread server([&] {
+    Socket client = listener.accept_one();
+    // Send nothing; wait for the client to give up.
+    Bytes sink;
+    (void)client.recv_message(sink);
+  });
+  Socket sock = tcp_connect("127.0.0.1", listener.port());
+  sock.set_recv_timeout(100);
+  Bytes msg;
+  EXPECT_THROW(sock.recv_message(msg), TimeoutError);
+  sock.close();
+  server.join();
+}
+
+TEST(Tcp, MidMessageEofThrowsIoError) {
+  TcpListener listener(0);
+  std::thread server([&] {
+    Socket client = listener.accept_one();
+    // Header promises 100 bytes, deliver 10, hang up.
+    ByteWriter w;
+    w.u32(100);
+    for (int i = 0; i < 10; ++i) w.u8(0x55);
+    client.send_all(w.bytes());
+  });
+  Socket sock = tcp_connect("127.0.0.1", listener.port());
+  Bytes msg;
+  EXPECT_THROW(sock.recv_message(msg), IoError);
+  server.join();
+}
+
+TEST(Tcp, RecvMessageRejectsLengthLieBeforeAllocating) {
+  // The length check happens before the payload buffer is resized: a
+  // 0xFFFFFFFF header against a 1 KB cap must throw, not allocate 4 GB.
+  TcpListener listener(0);
+  std::thread server([&] {
+    Socket client = listener.accept_one();
+    ByteWriter w;
+    w.u32(0xFFFFFFFFu);
+    client.send_all(w.bytes());
+    Bytes sink;
+    (void)client.recv_message(sink);
+  });
+  Socket sock = tcp_connect("127.0.0.1", listener.port());
+  Bytes msg;
+  EXPECT_THROW(sock.recv_message(msg, 1024), DecodeError);
+  sock.close();
+  server.join();
+}
+
+TEST(Tcp, ServeTurnsHandlerFailuresIntoErrorRepliesAndSurvives) {
+  TcpListener listener(0);
+  std::atomic<bool> run{true};
+  ServeStats stats;
+  ServeOptions options;
+  options.poll_interval_ms = 10;
+  std::thread server([&] {
+    listener.serve(
+        [](std::span<const std::uint8_t> req) -> Bytes {
+          if (!req.empty() && req[0] == 'X') {
+            throw std::runtime_error("boom");
+          }
+          return Bytes(req.begin(), req.end());
+        },
+        [&] { return run.load(); }, options, &stats);
+  });
+
+  Socket sock = tcp_connect("127.0.0.1", listener.port());
+  // A failing request gets a structured reply, not a hangup...
+  sock.send_message(Bytes{'X'});
+  Bytes reply;
+  ASSERT_TRUE(sock.recv_message(reply));
+  ASSERT_TRUE(is_error_frame(reply));
+  const ErrorResponse err = ErrorResponse::decode(reply);
+  EXPECT_EQ(err.code, ErrorResponse::kHandlerFailure);
+  EXPECT_EQ(err.message, "boom");
+  // ...and the connection is still good for the next request.
+  sock.send_message(Bytes{'o', 'k'});
+  ASSERT_TRUE(sock.recv_message(reply));
+  EXPECT_FALSE(is_error_frame(reply));
+  EXPECT_EQ(reply, (Bytes{'o', 'k'}));
+  sock.close();
+
+  run.store(false);
+  server.join();
+  EXPECT_EQ(stats.accepted.load(), 1u);
+  EXPECT_EQ(stats.handler_errors.load(), 1u);
+  EXPECT_EQ(stats.responses.load(), 2u);
+}
+
+TEST(Tcp, ServeAnswersOversizedFrameWithBadRequestThenCloses) {
+  TcpListener listener(0);
+  std::atomic<bool> run{true};
+  ServeStats stats;
+  ServeOptions options;
+  options.poll_interval_ms = 10;
+  options.max_message_bytes = 1024;
+  std::thread server([&] {
+    listener.serve(
+        [](std::span<const std::uint8_t> req) {
+          return Bytes(req.begin(), req.end());
+        },
+        [&] { return run.load(); }, options, &stats);
+  });
+
+  Socket sock = tcp_connect("127.0.0.1", listener.port());
+  // A bare header claiming 1 MB: unframeable, the stream position is lost.
+  ByteWriter w;
+  w.u32(1u << 20);
+  sock.send_all(w.bytes());
+  Bytes reply;
+  ASSERT_TRUE(sock.recv_message(reply));
+  ASSERT_TRUE(is_error_frame(reply));
+  EXPECT_EQ(ErrorResponse::decode(reply).code, ErrorResponse::kBadRequest);
+  // The server cannot resynchronize, so it hangs up after the error.
+  EXPECT_FALSE(sock.recv_message(reply));
+  sock.close();
+
+  run.store(false);
+  server.join();
+  EXPECT_EQ(stats.decode_errors.load(), 1u);
+}
+
+TEST(Tcp, ServeHandlesZeroLengthRequests) {
+  TcpListener listener(0);
+  std::atomic<bool> run{true};
+  ServeOptions options;
+  options.poll_interval_ms = 10;
+  std::thread server([&] {
+    listener.serve(
+        [](std::span<const std::uint8_t> req) -> Bytes {
+          if (req.empty()) throw DecodeError{"empty request"};
+          return Bytes(req.begin(), req.end());
+        },
+        [&] { return run.load(); }, options);
+  });
+
+  Socket sock = tcp_connect("127.0.0.1", listener.port());
+  sock.send_message({});  // legal framing, invalid request
+  Bytes reply;
+  ASSERT_TRUE(sock.recv_message(reply));
+  ASSERT_TRUE(is_error_frame(reply));
+  EXPECT_EQ(ErrorResponse::decode(reply).code, ErrorResponse::kBadRequest);
+  sock.close();
+
+  run.store(false);
+  server.join();
 }
 
 }  // namespace
