@@ -1,0 +1,146 @@
+// Map-store scaling: what does carrying many places cost a query?
+//
+// Builds servers holding 1/2/4/8 equally-sized place shards and measures,
+// per shard count: wardrive publish latency (the copy-on-publish price),
+// targeted-query latency (client names its place -> one shard, shard-count
+// independent), and fan-out latency (no place named -> every shard is
+// tried), serial and on a worker pool. Queries reuse stored descriptors,
+// so they exercise the full LSH retrieval + clustering path in every
+// shard; the cluster acceptance threshold is set beyond any query's
+// candidate count, so every query returns a structured miss before the
+// solver — the solve cost is place-count independent and would only blur
+// the scaling signal this bench isolates.
+//
+// Usage: bench_map_scale [--scale=<f>]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/server.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace vp;
+
+std::vector<KeypointMapping> synthetic_mappings(Rng& rng, std::size_t n,
+                                                double base_x) {
+  std::vector<KeypointMapping> ms;
+  ms.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Feature f;
+    f.keypoint = {10.0f, 10.0f, 2.0f, 0.0f, 1.0f, 0};
+    for (auto& v : f.descriptor) {
+      v = static_cast<std::uint8_t>(rng.uniform_u64(80));
+    }
+    // Spread positions so retrieved candidates never form a cluster: the
+    // query stops after retrieval + clustering, the part that scales.
+    ms.push_back({f,
+                  {base_x + rng.uniform(0, 20), rng.uniform(0, 20),
+                   rng.uniform(0, 3)},
+                  static_cast<std::uint32_t>(i)});
+  }
+  return ms;
+}
+
+double median_ms(std::vector<double>& ms) {
+  std::sort(ms.begin(), ms.end());
+  return ms.empty() ? 0.0 : ms[ms.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vp::bench;
+  const double scale = parse_scale(argc, argv);
+  print_figure_header("map scale",
+                      "query latency vs place-shard count (MapStore)");
+
+  const auto kp_per_place =
+      static_cast<std::size_t>(std::lround(2000 * scale));
+  constexpr int kQueries = 30;
+  constexpr std::size_t kFeaturesPerQuery = 100;
+  ThreadPool pool(4);
+
+  std::printf("%zu keypoints per place, %d queries x %zu features\n\n",
+              kp_per_place, kQueries, kFeaturesPerQuery);
+  std::printf("%7s %12s %12s %12s %14s\n", "shards", "publish ms",
+              "targeted ms", "fanout ms", "fanout+pool ms");
+
+  for (const int shards : {1, 2, 4, 8}) {
+    ServerConfig cfg;
+    cfg.oracle.capacity = std::max<std::size_t>(50'000, 2 * kp_per_place);
+    // No cluster can reach this support: the query path ends after
+    // retrieval + clustering (see header comment).
+    cfg.clustering.min_points = 1'000'000;
+    VisualPrintServer server(cfg);
+    Rng rng(2016 + static_cast<std::uint64_t>(shards));
+
+    std::vector<KeypointMapping> first_place;
+    double publish_ms_total = 0;
+    Timer t;
+    for (int s = 0; s < shards; ++s) {
+      auto mappings = synthetic_mappings(rng, kp_per_place, 100.0 * s);
+      t.lap();
+      server.ingest_wardrive("place-" + std::to_string(s), mappings, &cfg);
+      publish_ms_total += t.lap() * 1e3;
+      if (s == 0) first_place = std::move(mappings);
+    }
+
+    // Queries reuse place-0 descriptors so every shard's LSH does real
+    // candidate work (identical descriptors in shard 0, near-miss probes
+    // elsewhere).
+    std::vector<FingerprintQuery> queries(kQueries);
+    for (int q = 0; q < kQueries; ++q) {
+      queries[q].frame_id = static_cast<std::uint32_t>(q);
+      for (std::size_t i = 0; i < kFeaturesPerQuery; ++i) {
+        queries[q].features.push_back(
+            first_place[(q * kFeaturesPerQuery + i * 7) % first_place.size()]
+                .feature);
+      }
+    }
+
+    const auto run = [&](const std::string& place) {
+      std::vector<double> ms;
+      ms.reserve(queries.size());
+      for (const auto& base : queries) {
+        FingerprintQuery q = base;
+        q.place = place;
+        Rng solver_rng(17 + q.frame_id);
+        t.lap();
+        (void)server.localize_query(q, solver_rng);
+        ms.push_back(t.lap() * 1e3);
+      }
+      return median_ms(ms);
+    };
+
+    const double targeted = run("place-0");
+    server.store().set_pool(nullptr);
+    const double fanout_serial = run("");
+    server.store().set_pool(&pool);
+    const double fanout_pool = run("");
+
+    std::printf("%7d %12.2f %12.3f %12.3f %14.3f\n", shards,
+                publish_ms_total / shards, targeted, fanout_serial,
+                fanout_pool);
+    std::printf(
+        "{\"bench\":\"map_scale\",\"shards\":%d,"
+        "\"keypoints_per_place\":%zu,\"pool_threads\":%zu,"
+        "\"publish_ms\":%.3f,"
+        "\"targeted_p50_ms\":%.4f,\"fanout_p50_ms\":%.4f,"
+        "\"fanout_pool_p50_ms\":%.4f}\n",
+        shards, kp_per_place, pool.thread_count(),
+        publish_ms_total / shards, targeted, fanout_serial, fanout_pool);
+  }
+
+  std::printf(
+      "\ntargeted latency should stay flat as shards grow; serial fan-out\n"
+      "grows ~linearly and the pooled fan-out flattens toward the slowest\n"
+      "single shard (given as many cores as pool threads).\n");
+  emit_metrics_jsonl("map_scale");
+  return 0;
+}

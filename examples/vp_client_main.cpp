@@ -1,20 +1,23 @@
 // vp_client: the VisualPrint client as a real process, talking to
-// vp_server over TCP. Downloads the uniqueness oracle, "photographs" the
-// same demo gallery (the simulated camera), selects the most unique
-// keypoints, ships fingerprint queries, and prints the locations the
-// service returns against ground truth.
+// vp_server over TCP. Downloads the uniqueness oracle of a place,
+// "photographs" the same demo gallery (the simulated camera), selects the
+// most unique keypoints, ships fingerprint queries, and prints the
+// locations the service returns against ground truth.
 //
-// All traffic goes through RetryingClient: per-attempt deadlines, then
-// reconnect-and-resend with bounded exponential backoff — a flaky or
-// restarting server costs retries, not a crash.
+// All traffic goes through RetryingClient (per-attempt deadlines, then
+// reconnect-and-resend with bounded exponential backoff) wrapped in a
+// RemoteLocalizer: a flaky or restarting server costs retries, and a
+// server that republished its map mid-session (kStaleOracle) costs one
+// transparent oracle refresh — never a crash.
 //
 // Run:   ./vp_server         (first, in another terminal)
-//        ./vp_client [--port N] [--views N]
+//        ./vp_client [--port N] [--views N] [--place ID]
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "core/client.hpp"
+#include "core/remote.hpp"
 #include "net/retry.hpp"
 #include "scene/environments.hpp"
 #include "scene/render.hpp"
@@ -24,11 +27,14 @@ int main(int argc, char** argv) {
   using namespace vp;
   std::uint16_t port = 47001;
   int views = 6;
+  std::string place;  // "" = the server's default place
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--views") == 0 && i + 1 < argc) {
       views = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--place") == 0 && i + 1 < argc) {
+      place = argv[++i];
     }
   }
 
@@ -47,17 +53,23 @@ int main(int argc, char** argv) {
   policy.io_timeout_ms = 10'000;  // oracle download + cold solver latencies
   RetryingClient net("127.0.0.1", port, policy);
 
-  // First launch: fetch the uniqueness oracle.
-  Bytes reply = net.request(Bytes{'O'});
-  const OracleDownload download = OracleDownload::decode(reply);
-  std::printf("oracle v%u downloaded: %s compressed\n", download.version,
-              Table::bytes_human(static_cast<double>(download.compressed.size())).c_str());
-
   ClientConfig cfg;
   cfg.top_k = 200;
   cfg.blur_threshold = 2.0;
   VisualPrintClient client(cfg);
-  client.install_oracle(download);
+
+  RemoteLocalizer localizer(
+      [&net](std::span<const std::uint8_t> req) { return net.request(req); });
+  // Every oracle the localizer downloads — first fetch or mid-session
+  // stale refresh — lands in the client's per-place cache.
+  localizer.on_oracle_refresh(
+      [&client](const OracleDownload& d) { client.install_oracle(d); });
+
+  // First launch: fetch the place's uniqueness oracle.
+  const OracleDownload download = localizer.fetch_oracle(place);
+  std::printf("oracle for place '%s' @ epoch %u downloaded: %s compressed\n",
+              download.place.c_str(), download.epoch,
+              Table::bytes_human(static_cast<double>(download.compressed.size())).c_str());
 
   Table table("Localization over TCP");
   table.header({"view", "uploaded", "server says", "truth", "error (m)"});
@@ -72,11 +84,7 @@ int main(int argc, char** argv) {
       table.row({std::to_string(v), "-", "(frame rejected)", "-", "-"});
       continue;
     }
-    ByteWriter w;
-    w.u8('Q');
-    w.raw(fr.query->encode());
-    reply = net.request(w.bytes());
-    const LocationResponse resp = LocationResponse::decode(reply);
+    const LocationResponse resp = localizer.localize(*fr.query);
 
     char est[64], truth[64];
     std::snprintf(est, sizeof est, "(%.1f, %.1f, %.1f)", resp.position.x,
@@ -101,19 +109,21 @@ int main(int argc, char** argv) {
   ByteWriter sw;
   sw.u8(kStatsRequest);
   sw.raw(stats_req.encode());
-  reply = net.request(sw.bytes());
+  const Bytes reply = net.request(sw.bytes());
   const StatsResponse stats = StatsResponse::decode(reply);
   std::printf("\nserver metrics (prometheus):\n%s", stats.text.c_str());
 
   const RetryStats& rs = net.stats();
-  if (rs.retries > 0 || rs.timeouts > 0 || rs.conn_dropped > 0) {
+  if (rs.retries > 0 || rs.timeouts > 0 || rs.conn_dropped > 0 ||
+      rs.stale_oracles > 0) {
     std::printf(
         "\nlink faults absorbed: %llu retries (%llu timeouts, "
-        "%llu drops, %llu remote errors)\n",
+        "%llu drops, %llu remote errors, %llu stale oracles)\n",
         static_cast<unsigned long long>(rs.retries),
         static_cast<unsigned long long>(rs.timeouts),
         static_cast<unsigned long long>(rs.conn_dropped),
-        static_cast<unsigned long long>(rs.remote_errors));
+        static_cast<unsigned long long>(rs.remote_errors),
+        static_cast<unsigned long long>(rs.stale_oracles));
   }
   return 0;
 }

@@ -10,13 +10,20 @@
 // Handler failures answer with a structured ErrorResponse (VPE!) instead of
 // dropping the connection; the exit summary reports every failure class.
 //
-// Run:   ./vp_server [--port N] [--db FILE] [--threads N] [--once]
-// Pair:  ./vp_client (in another terminal)
+// `--db` is repeatable: the first file is the primary database (built from
+// a demo wardrive when missing); every further file is merged in, shard by
+// shard, so one process can serve many places. Queries naming a place
+// route to its shard; unplaced queries fan out across all shards on the
+// worker pool.
+//
+// Run:   ./vp_server [--port N] [--db FILE]... [--threads N] [--once]
+// Pair:  ./vp_client [--place ID] (in another terminal)
 #include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <vector>
 
 #include "core/server.hpp"
 #include "net/tcp.hpp"
@@ -64,33 +71,50 @@ vp::VisualPrintServer build_demo_database(const std::string& db_path) {
 int main(int argc, char** argv) {
   using namespace vp;
   std::uint16_t port = 47001;
-  std::string db_path = "vp_demo.db";
+  std::vector<std::string> db_paths;
   std::size_t threads = 4;
   bool once = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--db") == 0 && i + 1 < argc) {
-      db_path = argv[++i];
+      db_paths.emplace_back(argv[++i]);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--once") == 0) {
       once = true;  // serve a single connection then exit (used in tests)
     }
   }
+  if (db_paths.empty()) db_paths.push_back("vp_demo.db");
 
   VisualPrintServer server =
-      std::filesystem::exists(db_path)
-          ? VisualPrintServer::load(db_path)
-          : build_demo_database(db_path);
-  std::printf("database: %zu keypoints, oracle %s in RAM\n",
-              server.keypoint_count(),
-              Table::bytes_human(static_cast<double>(server.oracle().byte_size())).c_str());
+      std::filesystem::exists(db_paths[0])
+          ? VisualPrintServer::load(db_paths[0])
+          : build_demo_database(db_paths[0]);
+  for (std::size_t i = 1; i < db_paths.size(); ++i) {
+    if (!std::filesystem::exists(db_paths[i])) {
+      std::printf("warning: --db %s not found, skipping\n",
+                  db_paths[i].c_str());
+      continue;
+    }
+    server.load_shards(db_paths[i]);
+    std::printf("merged shards from %s\n", db_paths[i].c_str());
+  }
+  for (const auto& shard : server.store().snapshots()) {
+    std::printf("place '%s' (%s): %zu keypoints, epoch %u, oracle %s\n",
+                shard->place.c_str(), shard->config.place_label.c_str(),
+                shard->stored.size(), shard->epoch,
+                Table::bytes_human(static_cast<double>(shard->oracle.byte_size())).c_str());
+  }
 
   TcpListener listener(port);
   ThreadPool pool(threads);
-  std::printf("listening on 127.0.0.1:%u (%zu workers) ...\n",
-              listener.port(), pool.thread_count());
+  // Unplaced queries fan out across shards on the same borrowed pool that
+  // serves connections.
+  server.store().set_pool(&pool);
+  std::printf("listening on 127.0.0.1:%u (%zu workers, %zu places) ...\n",
+              listener.port(), pool.thread_count(),
+              server.store().place_count());
 
   ServeOptions options;
   options.pool = &pool;

@@ -9,8 +9,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "features/sift.hpp"
@@ -63,11 +65,31 @@ class VisualPrintClient {
  public:
   explicit VisualPrintClient(ClientConfig config, std::uint64_t seed = 17);
 
-  /// Install the oracle downloaded from the cloud (first launch / refresh).
+  /// Install the oracle downloaded from the cloud (first launch /
+  /// refresh). The download's place and epoch become the active ones —
+  /// queries built afterwards are stamped with them so the server can
+  /// route to the right shard and detect staleness — and the oracle is
+  /// cached per place, so revisiting a venue is a `select_place` away.
   void install_oracle(const OracleDownload& download);
+  /// Install a bare oracle (tests, offline tools): active place becomes ""
+  /// (fan-out queries) with epoch 0 (no staleness checks).
   void install_oracle(UniquenessOracle oracle);
   bool has_oracle() const noexcept { return oracle_ != nullptr; }
   const UniquenessOracle* oracle() const noexcept { return oracle_.get(); }
+
+  /// Switch the active oracle to a previously installed place. Returns
+  /// false (and changes nothing) when the place was never installed.
+  bool select_place(const std::string& place);
+  bool has_cached_oracle(const std::string& place) const {
+    return oracle_cache_.find(place) != oracle_cache_.end();
+  }
+  std::size_t cached_oracle_count() const noexcept {
+    return oracle_cache_.size();
+  }
+
+  /// Place and epoch stamped onto outgoing queries.
+  const std::string& oracle_place() const noexcept { return place_; }
+  std::uint32_t oracle_epoch() const noexcept { return oracle_epoch_; }
 
   /// Incremental refresh: apply an XOR diff against the currently
   /// installed snapshot (paper: "periodically refreshes its copy of the
@@ -97,9 +119,18 @@ class VisualPrintClient {
   }
 
  private:
+  struct CachedOracle {
+    std::uint32_t epoch = 0;
+    std::shared_ptr<UniquenessOracle> oracle;
+    Bytes blob;
+  };
+
   ClientConfig config_;
-  std::unique_ptr<UniquenessOracle> oracle_;
+  std::shared_ptr<UniquenessOracle> oracle_;  ///< active oracle
   Bytes oracle_blob_;  ///< serialized snapshot, kept as the diff base
+  std::string place_;               ///< active place ("" = fan out)
+  std::uint32_t oracle_epoch_ = 0;  ///< active epoch (0 = unchecked)
+  std::map<std::string, CachedOracle> oracle_cache_;
   Rng rng_;
   std::uint32_t next_frame_id_ = 0;
 };

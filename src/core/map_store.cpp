@@ -1,0 +1,333 @@
+#include "core/map_store.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace vp {
+
+// ---------------------------------------------------------------------------
+// PlaceShard
+
+LocationResponse PlaceShard::localize(const FingerprintQuery& query,
+                                      Rng& rng) const {
+  LocationResponse resp;
+  resp.frame_id = query.frame_id;
+  resp.place = place;
+  resp.place_label = config.place_label;
+  VP_OBS_COUNT("server.queries", 1);
+  VP_OBS_COUNT("store.queries." + place, 1);
+
+  // Retrieval: |K| * n candidate (pixel, 3-D point) pairs.
+  std::vector<Observation> candidates;
+  std::vector<Vec3> points;
+  {
+    VP_OBS_SPAN("lsh.retrieve");
+    for (const auto& f : query.features) {
+      const auto matches =
+          index.query(f.descriptor, config.neighbors_per_keypoint);
+      for (const auto& m : matches) {
+        if (m.distance2 > config.max_match_distance2) continue;
+        candidates.push_back(
+            {{f.keypoint.x, f.keypoint.y}, stored[m.id].position});
+        points.push_back(stored[m.id].position);
+      }
+    }
+  }
+  if (candidates.size() < 3) return resp;  // found = false
+
+  // Largest spatial cluster; discard everything else (repetitions
+  // elsewhere in the building vote into other clusters).
+  std::vector<std::size_t> keep;
+  {
+    VP_OBS_SPAN("cluster");
+    keep = largest_cluster(points, config.clustering);
+  }
+  if (keep.size() < 3) return resp;
+  std::vector<Observation> obs;
+  obs.reserve(keep.size());
+  for (std::size_t i : keep) obs.push_back(candidates[i]);
+
+  CameraIntrinsics cam;
+  cam.width = query.image_width;
+  cam.height = query.image_height;
+  cam.fov_h = static_cast<double>(query.fov_h);
+  std::optional<LocalizeResult> result;
+  {
+    VP_OBS_SPAN("localize.solve");
+    result = vp::localize(obs, cam, config.localize, rng);
+  }
+  if (!result) return resp;
+
+  VP_OBS_COUNT("server.localized", 1);
+  resp.found = true;
+  resp.position = result->pose.translation;
+  euler_zyx(result->pose.rotation, resp.yaw, resp.pitch, resp.roll);
+  resp.residual = result->residual;
+  resp.matched_keypoints = static_cast<std::uint32_t>(obs.size());
+  return resp;
+}
+
+std::vector<std::uint32_t> PlaceShard::scene_votes(
+    std::span<const Feature> features) const {
+  std::vector<std::uint32_t> votes(
+      static_cast<std::size_t>(std::max(0, scene_count)), 0);
+  for (const auto& f : features) {
+    const auto matches = index.query(f.descriptor, 1);
+    if (matches.empty()) continue;
+    if (matches[0].distance2 > config.max_match_distance2) continue;
+    const std::int32_t sid = stored[matches[0].id].scene_id;
+    if (sid >= 0 && static_cast<std::size_t>(sid) < votes.size()) {
+      ++votes[static_cast<std::size_t>(sid)];
+    }
+  }
+  return votes;
+}
+
+namespace {
+
+void ingest_into(PlaceShard& shard, const Feature& feature,
+                 Vec3 world_position, std::int32_t scene_id,
+                 std::uint32_t source_id) {
+  const std::uint32_t id = shard.index.insert(feature.descriptor);
+  VP_ASSERT(id == shard.stored.size());
+  shard.stored.push_back({world_position, scene_id, source_id});
+  shard.oracle.insert(feature.descriptor);
+  shard.scene_count = std::max(shard.scene_count, scene_id + 1);
+  ++shard.oracle_version;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MapStore
+
+MapStore::MapStore(ServerConfig default_config)
+    : default_config_(std::move(default_config)),
+      default_place_(default_config_.place_label),
+      state_(std::make_shared<const ShardMap>()) {
+  // The default place always exists: the monolithic-server API (ingest
+  // with no place, oracle()/index() accessors) reads and writes it.
+  std::lock_guard lock(write_mutex_);
+  builder_locked(default_place_, &default_config_);
+}
+
+MapStore::Builder& MapStore::builder_locked(const std::string& place,
+                                            const ServerConfig* cfg) {
+  auto it = builders_.find(place);
+  if (it == builders_.end()) {
+    ServerConfig shard_cfg = cfg ? *cfg : default_config_;
+    if (cfg == nullptr) shard_cfg.place_label = place;
+    auto shard = std::make_unique<PlaceShard>(place, std::move(shard_cfg));
+    it = builders_.emplace(place, Builder{std::move(shard), true}).first;
+    any_dirty_.store(true, std::memory_order_release);
+  }
+  return it->second;
+}
+
+void MapStore::ingest(const std::string& place, const Feature& feature,
+                      Vec3 world_position, std::int32_t scene_id,
+                      std::uint32_t source_id) {
+  std::lock_guard lock(write_mutex_);
+  Builder& b = builder_locked(place, nullptr);
+  ingest_into(*b.shard, feature, world_position, scene_id, source_id);
+  b.dirty = true;
+  any_dirty_.store(true, std::memory_order_release);
+}
+
+void MapStore::ingest_wardrive(const std::string& place,
+                               std::span<const KeypointMapping> mappings,
+                               const ServerConfig* config) {
+  std::lock_guard lock(write_mutex_);
+  Builder& b = builder_locked(place, config);
+  for (const auto& m : mappings) {
+    ingest_into(*b.shard, m.feature, m.world_position, -1, m.snapshot);
+  }
+  b.dirty = true;
+  publish_locked(place, b);
+}
+
+void MapStore::publish(const std::string& place) {
+  std::lock_guard lock(write_mutex_);
+  Builder& b = builder_locked(place, nullptr);
+  publish_locked(place, b);
+}
+
+void MapStore::publish_locked(const std::string& place, Builder& b) {
+  b.shard->epoch += 1;
+  // Copy-on-publish: the builder stays the stable mutable copy (its
+  // address never changes, so writer-side references remain valid); the
+  // published shard is an immutable deep copy readers share.
+  auto published = std::make_shared<const PlaceShard>(*b.shard);
+  auto next = std::make_shared<ShardMap>(*state());
+  (*next)[place] = std::move(published);
+  const std::size_t shards = next->size();
+  state_.store(std::shared_ptr<const ShardMap>(std::move(next)),
+               std::memory_order_release);
+  swap_count_.fetch_add(1, std::memory_order_relaxed);
+  b.dirty = false;
+  VP_OBS_COUNT("store.swaps", 1);
+  VP_OBS_GAUGE_SET("store.shards", static_cast<double>(shards));
+  VP_OBS_GAUGE_SET("store.epoch." + place,
+                   static_cast<double>(b.shard->epoch));
+}
+
+void MapStore::restore_shard(std::unique_ptr<PlaceShard> shard) {
+  VP_ASSERT(shard != nullptr);
+  std::lock_guard lock(write_mutex_);
+  const std::string place = shard->place;
+  auto published = std::make_shared<const PlaceShard>(*shard);
+  builders_[place] = Builder{std::move(shard), false};
+  auto next = std::make_shared<ShardMap>(*state());
+  (*next)[place] = std::move(published);
+  const std::size_t shards = next->size();
+  state_.store(std::shared_ptr<const ShardMap>(std::move(next)),
+               std::memory_order_release);
+  swap_count_.fetch_add(1, std::memory_order_relaxed);
+  VP_OBS_GAUGE_SET("store.shards", static_cast<double>(shards));
+}
+
+void MapStore::flush() const {
+  if (!any_dirty_.load(std::memory_order_acquire)) return;
+  auto* self = const_cast<MapStore*>(this);
+  std::lock_guard lock(self->write_mutex_);
+  if (!self->any_dirty_.load(std::memory_order_acquire)) return;
+  for (auto& [place, b] : self->builders_) {
+    if (b.dirty) self->publish_locked(place, b);
+  }
+  self->any_dirty_.store(false, std::memory_order_release);
+}
+
+std::shared_ptr<const PlaceShard> MapStore::snapshot(
+    const std::string& place) const {
+  flush();
+  const auto map = state();
+  const auto it = map->find(place);
+  return it == map->end() ? nullptr : it->second;
+}
+
+std::vector<std::shared_ptr<const PlaceShard>> MapStore::snapshots() const {
+  flush();
+  const auto map = state();
+  std::vector<std::shared_ptr<const PlaceShard>> out;
+  out.reserve(map->size());
+  for (const auto& [_, shard] : *map) out.push_back(shard);
+  return out;
+}
+
+LocationResponse MapStore::localize(const FingerprintQuery& query,
+                                    Rng& rng) const {
+  flush();
+  const auto map = state();
+
+  LocationResponse miss;
+  miss.frame_id = query.frame_id;
+  miss.place = query.place;
+
+  if (!query.place.empty()) {
+    const auto it = map->find(query.place);
+    if (it == map->end()) {
+      // Unknown place is an expected client condition (wrong venue id,
+      // venue not yet wardriven) — a structured no-fix, never a throw.
+      VP_OBS_COUNT("store.unknown_place", 1);
+      return miss;
+    }
+    return it->second->localize(query, rng);
+  }
+
+  if (map->empty()) return miss;
+  if (map->size() == 1) return map->begin()->second->localize(query, rng);
+
+  // Fan out across every shard and keep the best answer. Per-shard rng
+  // seeds are drawn sequentially up front so results are deterministic
+  // for a given caller rng regardless of pool size.
+  VP_OBS_COUNT("store.fanout_queries", 1);
+  std::vector<std::shared_ptr<const PlaceShard>> shards;
+  shards.reserve(map->size());
+  for (const auto& [_, shard] : *map) shards.push_back(shard);
+  std::vector<std::uint64_t> seeds(shards.size());
+  for (auto& s : seeds) s = rng.next_u64();
+
+  std::vector<LocationResponse> results(shards.size());
+  const auto run = [&](std::size_t i) {
+    Rng shard_rng(seeds[i]);
+    results[i] = shards[i]->localize(query, shard_rng);
+  };
+  ThreadPool* pool = default_config_.pool;
+  if (pool != nullptr) {
+    pool->parallel_for(shards.size(), run);
+  } else {
+    for (std::size_t i = 0; i < shards.size(); ++i) run(i);
+  }
+
+  // Best-scoring place: a fix beats no fix; more matched keypoints beat
+  // fewer; equal support ties break toward the smaller solver residual.
+  const LocationResponse* best = &results[0];
+  for (const auto& r : results) {
+    if (r.found != best->found) {
+      if (r.found) best = &r;
+      continue;
+    }
+    if (!r.found) continue;
+    if (r.matched_keypoints != best->matched_keypoints) {
+      if (r.matched_keypoints > best->matched_keypoints) best = &r;
+      continue;
+    }
+    if (r.residual < best->residual) best = &r;
+  }
+  return *best;
+}
+
+OracleDownload MapStore::oracle_snapshot(const std::string& place) const {
+  const std::string& id = place.empty() ? default_place_ : place;
+  const auto shard = snapshot(id);
+  VP_REQUIRE(shard != nullptr, "oracle snapshot of unknown place: " + id);
+  return OracleDownload::pack(shard->oracle, shard->epoch, shard->place);
+}
+
+void MapStore::set_pool(ThreadPool* pool) {
+  std::lock_guard lock(write_mutex_);
+  default_config_.pool = pool;
+}
+
+std::size_t MapStore::place_count() const {
+  flush();
+  return state()->size();
+}
+
+std::vector<std::string> MapStore::places() const {
+  flush();
+  const auto map = state();
+  std::vector<std::string> out;
+  out.reserve(map->size());
+  for (const auto& [place, _] : *map) out.push_back(place);
+  return out;
+}
+
+std::uint32_t MapStore::epoch(const std::string& place) const {
+  const auto shard = snapshot(place.empty() ? default_place_ : place);
+  return shard ? shard->epoch : 0;
+}
+
+PlaceShard& MapStore::builder_shard(const std::string& place) {
+  std::lock_guard lock(write_mutex_);
+  return *builder_locked(place, nullptr).shard;
+}
+
+const PlaceShard& MapStore::builder_shard(const std::string& place) const {
+  auto* self = const_cast<MapStore*>(this);
+  std::lock_guard lock(self->write_mutex_);
+  return *self->builder_locked(place, nullptr).shard;
+}
+
+bool MapStore::has_builder(const std::string& place) const {
+  auto* self = const_cast<MapStore*>(this);
+  std::lock_guard lock(self->write_mutex_);
+  return self->builders_.find(place) != self->builders_.end();
+}
+
+}  // namespace vp

@@ -1,0 +1,210 @@
+// Sharded, multi-place map store — the server's core state container.
+//
+// The cloud side of the paper keeps one keypoint→3D table and one
+// uniqueness oracle. A deployment carrying many venues keeps one such
+// bundle *per place* (a building, a wing, a store), and must keep serving
+// localization queries while wardriving refreshes arrive. The MapStore
+// provides exactly that:
+//
+//   - Each place's state (stored keypoints + LshIndex + UniquenessOracle +
+//     label + epoch) lives in an immutable PlaceShard.
+//   - Readers obtain the current shard set through one atomic
+//     shared_ptr load (RCU-style snapshot); the query hot path takes no
+//     locks and never observes a half-ingested shard.
+//   - Writers mutate a private per-place builder under a mutex, then
+//     *publish*: copy the builder into a fresh immutable shard, swap the
+//     shard map pointer atomically, and bump the place's oracle epoch.
+//     In-flight queries keep their old snapshot alive via shared_ptr
+//     refcounts; new queries see the new epoch.
+//
+// Epochs are the client-visible version of a place's oracle: every publish
+// increments them, oracle downloads carry them, and queries echo them so
+// the server can answer `kStaleOracle` when a client selects keypoints
+// against an outdated oracle (see net/wire.hpp and DESIGN.md §9).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "geometry/clustering.hpp"
+#include "geometry/localize.hpp"
+#include "hashing/oracle.hpp"
+#include "index/lsh_index.hpp"
+#include "net/wire.hpp"
+#include "slam/mapping.hpp"
+
+namespace vp {
+
+class ThreadPool;
+
+struct ServerConfig {
+  LshIndexConfig index{};        ///< keypoint->3D lookup table parameters
+  OracleConfig oracle{};         ///< uniqueness-oracle parameters
+  std::size_t neighbors_per_keypoint = 2;  ///< n in the |K|*n retrieval
+  std::uint32_t max_match_distance2 = 65'000;  ///< reject weak matches
+  /// Largest-cluster filter. Tighter than the generic default: with
+  /// wardriven floors/walls everywhere, a generous radius chains retrieved
+  /// points across the whole building into one meaningless mega-cluster.
+  ClusteringConfig clustering{.radius = 1.5, .min_points = 4};
+  LocalizeConfig localize{};     ///< Fig. 12 solver parameters
+  std::string place_label = "indoor";
+  /// Borrowed worker pool (never owned). When set, queries that name no
+  /// place fan retrieval out across shards in parallel.
+  ThreadPool* pool = nullptr;
+};
+
+/// Metadata stored per indexed descriptor.
+struct StoredKeypoint {
+  Vec3 position;
+  std::int32_t scene_id = -1;
+  std::uint32_t source_id = 0;  ///< wardriving snapshot or database image
+};
+
+/// One place's complete server-side state. Immutable once published: the
+/// query path reads PlaceShards only through `shared_ptr<const PlaceShard>`
+/// snapshots, so no synchronization is needed beyond the pointer load.
+struct PlaceShard {
+  std::string place;            ///< shard id, e.g. "louvre-denon"
+  ServerConfig config;          ///< per-place parameters (label, bounds, ...)
+  std::uint32_t epoch = 0;      ///< bumped on every publish; 0 = never
+  std::uint32_t oracle_version = 0;  ///< fine-grained insert counter
+  LshIndex index;
+  UniquenessOracle oracle;
+  std::vector<StoredKeypoint> stored;
+  int scene_count = 0;
+
+  explicit PlaceShard(std::string place_id, ServerConfig cfg)
+      : place(std::move(place_id)),
+        config(std::move(cfg)),
+        index(config.index),
+        oracle(config.oracle) {}
+
+  /// Localize one query against this shard alone: LSH retrieval of |K|*n
+  /// candidate 3-D points, largest-cluster filtering, the Fig. 12 solve.
+  LocationResponse localize(const FingerprintQuery& query, Rng& rng) const;
+
+  /// Scene votes for a feature set (retrieval experiments): vote[s] =
+  /// query features whose accepted nearest neighbor belongs to scene s.
+  std::vector<std::uint32_t> scene_votes(
+      std::span<const Feature> features) const;
+};
+
+/// The sharded store. Thread-safety contract:
+///   - `localize`, `snapshot`, `snapshots`, `oracle_snapshot` are safe to
+///     call from any number of threads concurrently with any writer.
+///   - Writers (`ingest*`, `publish`, `restore_shard`) serialize on an
+///     internal mutex; concurrent writers are safe but sequenced.
+///   - `builder_shard` returns writer-side mutable state and is intended
+///     for single-threaded setup/inspection (tests, benches, tools), like
+///     the original monolithic server's accessors.
+class MapStore {
+ public:
+  explicit MapStore(ServerConfig default_config);
+
+  /// The place id writes and reads use when none is given: the default
+  /// config's place_label.
+  const std::string& default_place() const noexcept { return default_place_; }
+
+  // --- writer API -------------------------------------------------------
+
+  /// Buffer one keypoint-to-3D mapping into `place`'s builder. Not visible
+  /// to queries until the next publish (bulk ingest publishes itself;
+  /// read paths flush pending single ingests first, so single-threaded
+  /// ingest-then-query callers always read their writes).
+  void ingest(const std::string& place, const Feature& feature,
+              Vec3 world_position, std::int32_t scene_id = -1,
+              std::uint32_t source_id = 0);
+
+  /// Bulk ingest of a wardrive result into `place`, then publish: one
+  /// builder copy, one atomic swap, epoch+1. `config`, when given, seeds
+  /// the place's parameters on first contact (ignored afterwards).
+  void ingest_wardrive(const std::string& place,
+                       std::span<const KeypointMapping> mappings,
+                       const ServerConfig* config = nullptr);
+
+  /// Publish `place`'s builder now (no-op epoch bump if nothing pending).
+  void publish(const std::string& place);
+
+  /// Install a fully-built shard (persistence load path): builder and
+  /// published snapshot are set to exactly this state, epoch preserved.
+  void restore_shard(std::unique_ptr<PlaceShard> shard);
+
+  // --- reader API (lock-free once pending writes are flushed) -----------
+
+  /// Current immutable snapshot of one place; nullptr when unknown.
+  std::shared_ptr<const PlaceShard> snapshot(const std::string& place) const;
+
+  /// Current immutable snapshots of every place, in place-name order.
+  std::vector<std::shared_ptr<const PlaceShard>> snapshots() const;
+
+  /// Answer a localization query. A named place routes to that shard
+  /// (unknown place → structured no-fix response, never a throw); an empty
+  /// place fans out across all shards — on the borrowed pool when
+  /// configured — and returns the best-scoring place's answer.
+  LocationResponse localize(const FingerprintQuery& query, Rng& rng) const;
+
+  /// Epoch'd oracle snapshot for client download. Empty `place` means the
+  /// default place. Throws InvalidArgument for an unknown place.
+  OracleDownload oracle_snapshot(const std::string& place) const;
+
+  /// Attach (or detach, with nullptr) the borrowed fan-out worker pool.
+  /// Pools are runtime plumbing, never persisted, so a server restored
+  /// from disk re-attaches its pool through here. Call during setup,
+  /// before queries start — the pointer is read unsynchronized on the
+  /// query path.
+  void set_pool(ThreadPool* pool);
+
+  std::size_t place_count() const;
+  std::vector<std::string> places() const;
+  /// Published epoch of a place (0 when unknown/never published).
+  std::uint32_t epoch(const std::string& place) const;
+  /// Total atomic shard-map swaps since construction.
+  std::uint64_t swap_count() const noexcept {
+    return swap_count_.load(std::memory_order_relaxed);
+  }
+
+  // --- writer-side direct access (single-threaded tooling) --------------
+
+  /// Mutable builder state of a place; created on first use. The returned
+  /// shard is stable for the store's lifetime (publishes copy from it).
+  PlaceShard& builder_shard(const std::string& place);
+  const PlaceShard& builder_shard(const std::string& place) const;
+  /// True when the place has a builder (has ever been written or restored).
+  bool has_builder(const std::string& place) const;
+
+ private:
+  struct Builder {
+    std::unique_ptr<PlaceShard> shard;  ///< mutable working copy
+    bool dirty = true;  ///< builder has state the snapshot map lacks
+  };
+
+  using ShardMap =
+      std::map<std::string, std::shared_ptr<const PlaceShard>, std::less<>>;
+
+  /// Publish any builder with pending writes. Cheap when clean: one
+  /// relaxed atomic load on the hot path, no lock taken.
+  void flush() const;
+
+  Builder& builder_locked(const std::string& place, const ServerConfig* cfg);
+  void publish_locked(const std::string& place, Builder& b);
+  std::shared_ptr<const ShardMap> state() const {
+    return state_.load(std::memory_order_acquire);
+  }
+
+  ServerConfig default_config_;
+  std::string default_place_;
+
+  mutable std::mutex write_mutex_;              ///< writers + flush
+  std::map<std::string, Builder, std::less<>> builders_;  ///< guarded
+  std::atomic<bool> any_dirty_{false};
+
+  std::atomic<std::shared_ptr<const ShardMap>> state_;
+  std::atomic<std::uint64_t> swap_count_{0};
+};
+
+}  // namespace vp

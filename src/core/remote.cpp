@@ -1,0 +1,72 @@
+#include "core/remote.hpp"
+
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace vp {
+
+RemoteLocalizer::RemoteLocalizer(Transport transport)
+    : transport_(std::move(transport)) {
+  VP_REQUIRE(transport_ != nullptr, "remote localizer needs a transport");
+}
+
+std::uint16_t RemoteLocalizer::exchange(std::span<const std::uint8_t> request,
+                                        Bytes& reply, std::string& message) {
+  try {
+    reply = transport_(request);
+  } catch (const RemoteError& e) {
+    message = e.what();
+    return e.code();
+  }
+  if (is_error_frame(reply)) {
+    const ErrorResponse err = ErrorResponse::decode(reply);
+    message = err.message;
+    return err.code;
+  }
+  return 0;
+}
+
+OracleDownload RemoteLocalizer::fetch_oracle(const std::string& place) {
+  ByteWriter w;
+  w.u8(kOracleRequest);
+  // The bare legacy 'O' request resolves to the default place; naming one
+  // needs an OracleRequest body.
+  if (!place.empty()) w.raw(OracleRequest{place}.encode());
+  Bytes reply;
+  std::string message;
+  const std::uint16_t code = exchange(w.bytes(), reply, message);
+  if (code != 0) throw RemoteError{code, message};
+  OracleDownload download = OracleDownload::decode(reply);
+  epochs_[download.place] = download.epoch;
+  if (on_refresh_) on_refresh_(download);
+  return download;
+}
+
+LocationResponse RemoteLocalizer::localize(FingerprintQuery query) {
+  for (int attempt = 0;; ++attempt) {
+    ByteWriter w(1 + query.wire_size());
+    w.u8(kQueryRequest);
+    w.raw(query.encode());
+    Bytes reply;
+    std::string message;
+    const std::uint16_t code = exchange(w.bytes(), reply, message);
+    if (code == 0) return LocationResponse::decode(reply);
+    if (code == ErrorResponse::kStaleOracle && attempt == 0) {
+      ++stale_refreshes_;
+      VP_OBS_COUNT("client.stale_refreshes", 1);
+      const OracleDownload fresh = fetch_oracle(query.place);
+      query.oracle_epoch = fresh.epoch;
+      continue;
+    }
+    throw RemoteError{code, message};
+  }
+}
+
+std::uint32_t RemoteLocalizer::known_epoch(const std::string& place) const {
+  const auto it = epochs_.find(place);
+  return it == epochs_.end() ? 0 : it->second;
+}
+
+}  // namespace vp

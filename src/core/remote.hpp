@@ -1,0 +1,68 @@
+// Client-side view of a remote VisualPrint server: wraps a transport with
+// the framed request protocol (tag byte + encoded message) and makes
+// oracle staleness invisible to callers — a `kStaleOracle` reply triggers
+// one oracle refetch for the query's place, restamps the query with the
+// fresh epoch, and resends.
+//
+// The transport is any function mapping request bytes to reply bytes:
+// `RetryingClient::request` for real deployments (it absorbs timeouts and
+// drops underneath), or `VisualPrintServer::handle_request` bound directly
+// for in-process tests. Both reply styles are handled: raw `VPE!` error
+// frames and the RemoteError that RetryingClient turns them into.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "net/wire.hpp"
+#include "util/bytes.hpp"
+
+namespace vp {
+
+class RemoteLocalizer {
+ public:
+  using Transport = std::function<Bytes(std::span<const std::uint8_t>)>;
+
+  explicit RemoteLocalizer(Transport transport);
+
+  /// Fetch the oracle of a place ("" = the server's default place) and
+  /// remember its epoch. Throws RemoteError when the server reports one
+  /// (e.g. unknown place).
+  OracleDownload fetch_oracle(const std::string& place = {});
+
+  /// Send one localization query and return the response. On a
+  /// `kStaleOracle` reply: refetch the place's oracle, hand it to the
+  /// refresh hook (so the caller can re-install it into its
+  /// VisualPrintClient), restamp the query with the fresh epoch, and
+  /// resend — once. The resent query keeps its original keypoints; callers
+  /// that can re-rank against the fresh oracle should do so on the next
+  /// frame. Other error replies surface as RemoteError.
+  LocationResponse localize(FingerprintQuery query);
+
+  /// Called with every oracle this localizer downloads (fetch or stale
+  /// refresh), before the download is returned / the query resent.
+  void on_oracle_refresh(std::function<void(const OracleDownload&)> fn) {
+    on_refresh_ = std::move(fn);
+  }
+
+  /// Last known epoch of a place (0 = never fetched).
+  std::uint32_t known_epoch(const std::string& place) const;
+
+  /// Transparent stale-oracle recoveries performed so far.
+  std::uint64_t stale_refreshes() const noexcept { return stale_refreshes_; }
+
+ private:
+  /// Run the transport and normalize both error styles into a pair
+  /// (code, message); code 0 means `reply` holds the expected frame.
+  std::uint16_t exchange(std::span<const std::uint8_t> request, Bytes& reply,
+                         std::string& message);
+
+  Transport transport_;
+  std::function<void(const OracleDownload&)> on_refresh_;
+  std::map<std::string, std::uint32_t> epochs_;
+  std::uint64_t stale_refreshes_ = 0;
+};
+
+}  // namespace vp

@@ -1,106 +1,46 @@
 #include "core/server.hpp"
 
-#include <algorithm>
-#include <optional>
-
 #include "obs/export.hpp"
-#include "obs/trace.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace vp {
 
 VisualPrintServer::VisualPrintServer(ServerConfig config)
-    : config_(config), index_(config.index), oracle_(config.oracle) {}
+    : store_(std::make_unique<MapStore>(std::move(config))) {}
+
+const PlaceShard& VisualPrintServer::default_builder() const {
+  return store_->builder_shard(store_->default_place());
+}
 
 void VisualPrintServer::ingest(const Feature& feature, Vec3 world_position,
                                std::int32_t scene_id,
                                std::uint32_t source_id) {
-  const std::uint32_t id = index_.insert(feature.descriptor);
-  VP_ASSERT(id == stored_.size());
-  stored_.push_back({world_position, scene_id, source_id});
-  oracle_.insert(feature.descriptor);
-  scene_count_ = std::max(scene_count_, scene_id + 1);
-  ++oracle_version_;
+  store_->ingest(store_->default_place(), feature, world_position, scene_id,
+                 source_id);
 }
 
 void VisualPrintServer::ingest_wardrive(
     std::span<const KeypointMapping> mappings) {
-  for (const auto& m : mappings) {
-    ingest(m.feature, m.world_position, -1, m.snapshot);
-  }
+  store_->ingest_wardrive(store_->default_place(), mappings);
+}
+
+void VisualPrintServer::ingest_wardrive(
+    const std::string& place, std::span<const KeypointMapping> mappings,
+    const ServerConfig* config) {
+  store_->ingest_wardrive(place, mappings, config);
 }
 
 LocationResponse VisualPrintServer::localize_query(
     const FingerprintQuery& query, Rng& rng) const {
-  LocationResponse resp;
-  resp.frame_id = query.frame_id;
-  resp.place_label = config_.place_label;
-  VP_OBS_COUNT("server.queries", 1);
-
-  // Retrieval: |K| * n candidate (pixel, 3-D point) pairs.
-  std::vector<Observation> candidates;
-  std::vector<Vec3> points;
-  {
-    VP_OBS_SPAN("lsh.retrieve");
-    for (const auto& f : query.features) {
-      const auto matches =
-          index_.query(f.descriptor, config_.neighbors_per_keypoint);
-      for (const auto& m : matches) {
-        if (m.distance2 > config_.max_match_distance2) continue;
-        candidates.push_back(
-            {{f.keypoint.x, f.keypoint.y}, stored_[m.id].position});
-        points.push_back(stored_[m.id].position);
-      }
-    }
-  }
-  if (candidates.size() < 3) return resp;  // found = false
-
-  // Largest spatial cluster; discard everything else (repetitions
-  // elsewhere in the building vote into other clusters).
-  std::vector<std::size_t> keep;
-  {
-    VP_OBS_SPAN("cluster");
-    keep = largest_cluster(points, config_.clustering);
-  }
-  if (keep.size() < 3) return resp;
-  std::vector<Observation> obs;
-  obs.reserve(keep.size());
-  for (std::size_t i : keep) obs.push_back(candidates[i]);
-
-  CameraIntrinsics cam;
-  cam.width = query.image_width;
-  cam.height = query.image_height;
-  cam.fov_h = static_cast<double>(query.fov_h);
-  std::optional<LocalizeResult> result;
-  {
-    VP_OBS_SPAN("localize.solve");
-    result = localize(obs, cam, config_.localize, rng);
-  }
-  if (!result) return resp;
-
-  VP_OBS_COUNT("server.localized", 1);
-  resp.found = true;
-  resp.position = result->pose.translation;
-  euler_zyx(result->pose.rotation, resp.yaw, resp.pitch, resp.roll);
-  resp.residual = result->residual;
-  resp.matched_keypoints = static_cast<std::uint32_t>(obs.size());
-  return resp;
+  return store_->localize(query, rng);
 }
 
 std::vector<std::uint32_t> VisualPrintServer::scene_votes(
     std::span<const Feature> features) const {
-  std::vector<std::uint32_t> votes(
-      static_cast<std::size_t>(std::max(0, scene_count_)), 0);
-  for (const auto& f : features) {
-    const auto matches = index_.query(f.descriptor, 1);
-    if (matches.empty()) continue;
-    if (matches[0].distance2 > config_.max_match_distance2) continue;
-    const std::int32_t sid = stored_[matches[0].id].scene_id;
-    if (sid >= 0 && static_cast<std::size_t>(sid) < votes.size()) {
-      ++votes[static_cast<std::size_t>(sid)];
-    }
-  }
-  return votes;
+  const auto shard = store_->snapshot(store_->default_place());
+  VP_ASSERT(shard != nullptr);
+  return shard->scene_votes(features);
 }
 
 Bytes VisualPrintServer::handle_request(std::span<const std::uint8_t> request,
@@ -109,14 +49,35 @@ Bytes VisualPrintServer::handle_request(std::span<const std::uint8_t> request,
   const std::uint8_t tag = request[0];
   const auto body = request.subspan(1);
   if (tag == kOracleRequest) {
-    return oracle_snapshot().encode();
+    // Legacy bare 'O' (empty body) resolves to the default place; a body
+    // is an OracleRequest naming the shard.
+    if (body.empty()) return store_->oracle_snapshot({}).encode();
+    const OracleRequest req = OracleRequest::decode(body);
+    return store_->oracle_snapshot(req.place).encode();
   }
   if (tag == kQueryRequest) {
     const FingerprintQuery query = FingerprintQuery::decode(body);
+    if (query.oracle_epoch != 0) {
+      // The client ranked its keypoints against an epoch'd oracle; if the
+      // place has republished since, tell it to refresh instead of
+      // localizing against selections an outdated uniqueness table made.
+      const std::string& place =
+          query.place.empty() ? store_->default_place() : query.place;
+      const auto shard = store_->snapshot(place);
+      if (shard != nullptr && shard->epoch != query.oracle_epoch) {
+        VP_OBS_COUNT("server.stale_oracle", 1);
+        ErrorResponse err;
+        err.code = ErrorResponse::kStaleOracle;
+        err.message = "oracle epoch " + std::to_string(query.oracle_epoch) +
+                      " for place '" + place + "' superseded by epoch " +
+                      std::to_string(shard->epoch);
+        return err.encode();
+      }
+    }
     // Per-query rng: deterministic for a given (seed, frame) and safe when
     // serve() runs handlers concurrently on pool workers.
     Rng solver_rng(solver_seed ^ (0x51ULL << 56) ^ query.frame_id);
-    return localize_query(query, solver_rng).encode();
+    return store_->localize(query, solver_rng).encode();
   }
   if (tag == kStatsRequest) {
     const StatsRequest req = StatsRequest::decode(body);
@@ -132,14 +93,44 @@ Bytes VisualPrintServer::handle_request(std::span<const std::uint8_t> request,
 }
 
 OracleDownload VisualPrintServer::oracle_snapshot() const {
-  return OracleDownload::pack(oracle_, oracle_version_);
+  return store_->oracle_snapshot({});
+}
+
+OracleDownload VisualPrintServer::oracle_snapshot(
+    const std::string& place) const {
+  return store_->oracle_snapshot(place);
 }
 
 OracleDiff VisualPrintServer::oracle_diff_from(
     std::span<const std::uint8_t> old_blob) const {
-  const Bytes new_blob = oracle_.serialize();
+  const PlaceShard& shard = default_builder();
+  const Bytes new_blob = shard.oracle.serialize();
   // from_version is unknown to the server here; caller tracks versions.
-  return OracleDiff::make(old_blob, new_blob, 0, oracle_version_);
+  return OracleDiff::make(old_blob, new_blob, 0, shard.oracle_version);
+}
+
+const UniquenessOracle& VisualPrintServer::oracle() const {
+  return default_builder().oracle;
+}
+
+const LshIndex& VisualPrintServer::index() const {
+  return default_builder().index;
+}
+
+std::size_t VisualPrintServer::keypoint_count() const {
+  return default_builder().stored.size();
+}
+
+const StoredKeypoint& VisualPrintServer::stored(std::uint32_t id) const {
+  return default_builder().stored.at(id);
+}
+
+int VisualPrintServer::scene_count() const {
+  return default_builder().scene_count;
+}
+
+std::size_t VisualPrintServer::index_byte_size() const {
+  return default_builder().index.byte_size();
 }
 
 }  // namespace vp

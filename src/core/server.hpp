@@ -1,113 +1,120 @@
 // VisualPrint cloud service (paper §3, "Cloud Processing and 3D
-// Positioning"). Maintains the two server data structures:
+// Positioning"). The server is a thin dispatch facade over the sharded
+// MapStore (core/map_store.hpp), which owns the two paper data structures
+// per place:
 //   1. the LSH-indexed keypoint -> 3-D position lookup table, and
 //   2. the LSH-indexed counting Bloom filters (the uniqueness oracle)
 //      that clients download.
-// Ingest is constant time per mapping; queries run retrieval, spatial
-// clustering, and the localization solve, returning a LocationResponse.
+// The single-place API (ingest with no place, oracle()/index() accessors)
+// operates on the store's default place, so pre-shard callers keep their
+// exact semantics; the place-aware API routes to named shards.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "geometry/clustering.hpp"
-#include "geometry/localize.hpp"
-#include "hashing/oracle.hpp"
-#include "index/lsh_index.hpp"
-#include "net/wire.hpp"
-#include "slam/mapping.hpp"
+#include "core/map_store.hpp"
 
 namespace vp {
-
-struct ServerConfig {
-  LshIndexConfig index{};        ///< keypoint->3D lookup table parameters
-  OracleConfig oracle{};         ///< uniqueness-oracle parameters
-  std::size_t neighbors_per_keypoint = 2;  ///< n in the |K|*n retrieval
-  std::uint32_t max_match_distance2 = 65'000;  ///< reject weak matches
-  /// Largest-cluster filter. Tighter than the generic default: with
-  /// wardriven floors/walls everywhere, a generous radius chains retrieved
-  /// points across the whole building into one meaningless mega-cluster.
-  ClusteringConfig clustering{.radius = 1.5, .min_points = 4};
-  LocalizeConfig localize{};     ///< Fig. 12 solver parameters
-  std::string place_label = "indoor";
-};
-
-/// Metadata stored per indexed descriptor.
-struct StoredKeypoint {
-  Vec3 position;
-  std::int32_t scene_id = -1;
-  std::uint32_t source_id = 0;  ///< wardriving snapshot or database image
-};
 
 class VisualPrintServer {
  public:
   explicit VisualPrintServer(ServerConfig config);
 
-  /// Ingest one keypoint-to-3D mapping from the wardriving app. Updates
-  /// both the lookup table and the oracle (constant time and memory).
+  /// Ingest one keypoint-to-3D mapping from the wardriving app into the
+  /// default place. Updates both the lookup table and the oracle
+  /// (constant time and memory); visible to queries from the next read.
   void ingest(const Feature& feature, Vec3 world_position,
               std::int32_t scene_id = -1, std::uint32_t source_id = 0);
 
-  /// Bulk ingest of a wardrive result.
+  /// Bulk ingest of a wardrive result into the default place.
   void ingest_wardrive(std::span<const KeypointMapping> mappings);
+
+  /// Bulk ingest of a wardrive result into a named place; publishes a new
+  /// shard snapshot atomically (safe while queries are being served).
+  /// `config`, when given, seeds the place's parameters on first contact.
+  void ingest_wardrive(const std::string& place,
+                       std::span<const KeypointMapping> mappings,
+                       const ServerConfig* config = nullptr);
 
   /// Answer a localization query: LSH retrieval of |K|*n candidate 3-D
   /// points, largest-cluster filtering, then the Fig. 12 pose solve.
+  /// `query.place` routes to one shard ("" = all; see MapStore::localize);
+  /// empty and unknown places yield a structured no-fix response.
   LocationResponse localize_query(const FingerprintQuery& query, Rng& rng) const;
 
   /// Dispatch one framed TCP request (tag byte + encoded body) to the
-  /// matching handler: 'O' -> OracleDownload, 'Q' -> LocationResponse,
-  /// 'S' -> StatsResponse rendered from the global obs registry. Throws
-  /// DecodeError for empty requests and unknown tags — under
-  /// TcpListener::serve that surfaces to the client as a structured
-  /// ErrorResponse (`VPE!`). Thread-safe for concurrent serving: the
-  /// server state is read-only here and each call forks its own solver rng
-  /// from `solver_seed` and the query frame id.
+  /// matching handler: 'O' -> OracleDownload (empty body = default place,
+  /// else an OracleRequest naming the shard), 'Q' -> LocationResponse,
+  /// 'S' -> StatsResponse rendered from the global obs registry. A query
+  /// whose oracle_epoch no longer matches its place's published epoch
+  /// returns an encoded ErrorResponse{kStaleOracle} so the client can
+  /// refresh and resend. Throws DecodeError for empty requests and unknown
+  /// tags — under TcpListener::serve that surfaces to the client as a
+  /// structured ErrorResponse (`VPE!`). Thread-safe for concurrent
+  /// serving: queries run against immutable shard snapshots and each call
+  /// forks its own solver rng from `solver_seed` and the query frame id.
   Bytes handle_request(std::span<const std::uint8_t> request,
                        std::uint64_t solver_seed) const;
 
-  /// Scene votes for a set of query features (retrieval experiments):
-  /// vote[s] = number of query features whose accepted nearest neighbor
-  /// belongs to scene s. Index -1 votes are dropped.
+  /// Scene votes for a set of query features against the default place
+  /// (retrieval experiments): vote[s] = number of query features whose
+  /// accepted nearest neighbor belongs to scene s. Index -1 votes dropped.
   std::vector<std::uint32_t> scene_votes(std::span<const Feature> features)
       const;
 
-  /// Current oracle snapshot for client download.
+  /// Current oracle snapshot of the default place for client download.
   OracleDownload oracle_snapshot() const;
 
-  /// Incremental oracle update from a previous serialized snapshot.
+  /// Epoch'd oracle snapshot of a named place ("" = default place).
+  /// Throws InvalidArgument for an unknown place.
+  OracleDownload oracle_snapshot(const std::string& place) const;
+
+  /// Incremental oracle update from a previous serialized snapshot
+  /// (default place).
   OracleDiff oracle_diff_from(std::span<const std::uint8_t> old_blob) const;
 
-  const UniquenessOracle& oracle() const noexcept { return oracle_; }
-  const LshIndex& index() const noexcept { return index_; }
-  std::size_t keypoint_count() const noexcept { return stored_.size(); }
-  const StoredKeypoint& stored(std::uint32_t id) const {
-    return stored_.at(id);
-  }
-  int scene_count() const noexcept { return scene_count_; }
+  // Default-place accessors (writer-side builder state; read-your-writes).
+  const UniquenessOracle& oracle() const;
+  const LshIndex& index() const;
+  std::size_t keypoint_count() const;
+  const StoredKeypoint& stored(std::uint32_t id) const;
+  int scene_count() const;
 
-  /// Server-side memory footprint (the Fig. 15 "LSH" column).
-  std::size_t index_byte_size() const noexcept { return index_.byte_size(); }
+  /// Server-side memory footprint of the default place's lookup table
+  /// (the Fig. 15 "LSH" column).
+  std::size_t index_byte_size() const;
 
-  /// Persist the full database (configuration, every stored keypoint with
-  /// its 3-D position and labels, and the oracle) to one file. The LSH
-  /// index is rebuilt on load from the stored descriptors, so the file
-  /// stays an order of magnitude smaller than resident memory.
+  /// The sharded store behind this server.
+  MapStore& store() noexcept { return *store_; }
+  const MapStore& store() const noexcept { return *store_; }
+  std::vector<std::string> places() const { return store_->places(); }
+
+  /// Persist the full database — every shard's configuration, stored
+  /// keypoints (descriptor + 3-D position + labels), and oracle — to one
+  /// file. The LSH indexes are rebuilt on load from the stored
+  /// descriptors, so the file stays an order of magnitude smaller than
+  /// resident memory.
   void save(const std::string& path) const;
   static VisualPrintServer load(const std::string& path);
+
+  /// Merge every shard of another database file into this server
+  /// (repeatable `--db`). A place already present is replaced by the
+  /// file's version of it.
+  void load_shards(const std::string& path);
 
   /// In-memory equivalents of save/load (used by tests and by save/load).
   Bytes serialize() const;
   static VisualPrintServer deserialize(std::span<const std::uint8_t> data);
 
  private:
-  ServerConfig config_;
-  LshIndex index_;
-  UniquenessOracle oracle_;
-  std::vector<StoredKeypoint> stored_;
-  std::uint32_t oracle_version_ = 0;
-  int scene_count_ = 0;
+  const PlaceShard& default_builder() const;
+
+  // Behind unique_ptr so the server stays movable (load/deserialize return
+  // by value); the store itself pins a mutex and atomics.
+  std::unique_ptr<MapStore> store_;
 };
 
 }  // namespace vp

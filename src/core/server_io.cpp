@@ -1,8 +1,15 @@
-// Persistence for VisualPrintServer: one self-describing file carrying the
-// structural configuration, every stored keypoint (descriptor + 3-D
-// position + labels), and the oracle. The LSH lookup table is rebuilt from
-// the stored descriptors on load — deterministic, since the projection
-// family is seeded — so the file stays far smaller than resident memory.
+// Persistence for VisualPrintServer: one self-describing file carrying
+// every shard's structural configuration, stored keypoints (descriptor +
+// 3-D position + labels), and oracle. The LSH lookup tables are rebuilt
+// from the stored descriptors on load — deterministic, since the
+// projection family is seeded — so the file stays far smaller than
+// resident memory.
+//
+// Format v2 (multi-shard): header (magic, version, default place, shard
+// count) followed by one length-prefixed self-describing blob per shard,
+// each carrying the shard's place id, config, publish epoch, oracle, and
+// keypoints. v1 files (single-place, pre-shard) still load: the payload
+// becomes the default shard, restored at epoch 1.
 #include <algorithm>
 #include <fstream>
 
@@ -14,54 +21,24 @@ namespace vp {
 namespace {
 
 constexpr std::uint32_t kDbMagic = 0x56504442u;  // "VPDB"
-constexpr std::uint16_t kDbVersion = 1;
+constexpr std::uint16_t kDbVersion = 2;
 
-}  // namespace
+/// Bytes per stored keypoint on the wire: descriptor + position + labels.
+constexpr std::size_t kKeypointWireBytes = kDescriptorDims + 3 * 8 + 4 + 4;
 
-Bytes VisualPrintServer::serialize() const {
-  ByteWriter w;
-  w.u32(kDbMagic);
-  w.u16(kDbVersion);
-  w.str(config_.place_label);
-
+void write_index_config(ByteWriter& w, const ServerConfig& cfg) {
   // Structural index configuration (the rebuild recipe).
-  w.u16(static_cast<std::uint16_t>(config_.index.lsh.tables));
-  w.u16(static_cast<std::uint16_t>(config_.index.lsh.projections));
-  w.f64(config_.index.lsh.width);
-  w.u64(config_.index.lsh.seed);
-  w.u8(config_.index.multiprobe ? 1 : 0);
-  w.u32(static_cast<std::uint32_t>(config_.index.max_candidates));
-  w.u32(static_cast<std::uint32_t>(config_.neighbors_per_keypoint));
-  w.u32(config_.max_match_distance2);
-
-  // Oracle (embeds its own full configuration), compressed.
-  const Bytes oracle_blob = zlib_compress(oracle_.serialize(), 6);
-  w.blob(oracle_blob);
-
-  // Stored keypoints.
-  w.u32(static_cast<std::uint32_t>(stored_.size()));
-  for (std::uint32_t id = 0; id < stored_.size(); ++id) {
-    const Descriptor& d = index_.descriptor(id);
-    w.raw(std::span<const std::uint8_t>(d.data(), d.size()));
-    const StoredKeypoint& s = stored_[id];
-    w.f64(s.position.x);
-    w.f64(s.position.y);
-    w.f64(s.position.z);
-    w.i32(s.scene_id);
-    w.u32(s.source_id);
-  }
-  w.u32(oracle_version_);
-  return w.take();
+  w.u16(static_cast<std::uint16_t>(cfg.index.lsh.tables));
+  w.u16(static_cast<std::uint16_t>(cfg.index.lsh.projections));
+  w.f64(cfg.index.lsh.width);
+  w.u64(cfg.index.lsh.seed);
+  w.u8(cfg.index.multiprobe ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(cfg.index.max_candidates));
+  w.u32(static_cast<std::uint32_t>(cfg.neighbors_per_keypoint));
+  w.u32(cfg.max_match_distance2);
 }
 
-VisualPrintServer VisualPrintServer::deserialize(
-    std::span<const std::uint8_t> data) {
-  ByteReader r(data);
-  if (r.u32() != kDbMagic) throw DecodeError{"server db: bad magic"};
-  if (r.u16() != kDbVersion) throw DecodeError{"server db: bad version"};
-
-  ServerConfig cfg;
-  cfg.place_label = r.str();
+void read_index_config(ByteReader& r, ServerConfig& cfg) {
   cfg.index.lsh.tables = r.u16();
   cfg.index.lsh.projections = r.u16();
   cfg.index.lsh.width = r.f64();
@@ -70,32 +47,168 @@ VisualPrintServer VisualPrintServer::deserialize(
   cfg.index.max_candidates = r.u32();
   cfg.neighbors_per_keypoint = r.u32();
   cfg.max_match_distance2 = r.u32();
+}
 
-  const auto oracle_blob = r.blob();
-  const Bytes oracle_raw = zlib_decompress(oracle_blob);
-  UniquenessOracle oracle = UniquenessOracle::deserialize(oracle_raw);
-  cfg.oracle = oracle.config();
+void write_keypoints(ByteWriter& w, const PlaceShard& shard) {
+  w.u32(static_cast<std::uint32_t>(shard.stored.size()));
+  for (std::uint32_t id = 0; id < shard.stored.size(); ++id) {
+    const Descriptor& d = shard.index.descriptor(id);
+    w.raw(std::span<const std::uint8_t>(d.data(), d.size()));
+    const StoredKeypoint& s = shard.stored[id];
+    w.f64(s.position.x);
+    w.f64(s.position.y);
+    w.f64(s.position.z);
+    w.i32(s.scene_id);
+    w.u32(s.source_id);
+  }
+}
 
-  VisualPrintServer server(cfg);
-  server.oracle_ = std::move(oracle);
-
+void read_keypoints(ByteReader& r, PlaceShard& shard) {
   const std::uint32_t count = r.u32();
-  server.stored_.reserve(count);
+  // Validate the count against the bytes actually present before
+  // reserving: a lying length field must throw, never over-allocate.
+  if (static_cast<std::uint64_t>(count) * kKeypointWireBytes > r.remaining()) {
+    throw DecodeError{"server db: keypoint count " + std::to_string(count) +
+                      " exceeds payload"};
+  }
+  shard.stored.reserve(count);
+  shard.index.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     Descriptor d;
     const auto raw = r.raw(kDescriptorDims);
     std::copy(raw.begin(), raw.end(), d.begin());
-    const std::uint32_t id = server.index_.insert(d);
+    const std::uint32_t id = shard.index.insert(d);
     VP_ASSERT(id == i);
     StoredKeypoint s;
     s.position = {r.f64(), r.f64(), r.f64()};
     s.scene_id = r.i32();
     s.source_id = r.u32();
-    server.scene_count_ = std::max(server.scene_count_, s.scene_id + 1);
-    server.stored_.push_back(s);
+    shard.scene_count = std::max(shard.scene_count, s.scene_id + 1);
+    shard.stored.push_back(s);
   }
-  server.oracle_version_ = r.u32();
+}
+
+Bytes serialize_shard(const PlaceShard& shard) {
+  ByteWriter w;
+  w.str(shard.place);
+  w.str(shard.config.place_label);
+  write_index_config(w, shard.config);
+  w.u32(shard.epoch);
+  w.u32(shard.oracle_version);
+  // Oracle (embeds its own full configuration), compressed.
+  w.blob(zlib_compress(shard.oracle.serialize(), 6));
+  write_keypoints(w, shard);
+  return w.take();
+}
+
+std::unique_ptr<PlaceShard> parse_shard(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  std::string place = r.str();
+  ServerConfig cfg;
+  cfg.place_label = r.str();
+  read_index_config(r, cfg);
+  const std::uint32_t epoch = r.u32();
+  const std::uint32_t oracle_version = r.u32();
+  UniquenessOracle oracle =
+      UniquenessOracle::deserialize(zlib_decompress(r.blob()));
+  cfg.oracle = oracle.config();
+  auto shard = std::make_unique<PlaceShard>(std::move(place), std::move(cfg));
+  shard->oracle = std::move(oracle);
+  shard->epoch = epoch;
+  shard->oracle_version = oracle_version;
+  read_keypoints(r, *shard);
+  if (!r.done()) throw DecodeError{"server db: trailing bytes in shard"};
+  return shard;
+}
+
+/// v1 payload (everything after the header): one implicit shard whose
+/// place id is its place label. Field order is fixed by the v1 writer:
+/// config, oracle, keypoints, then the oracle version.
+std::unique_ptr<PlaceShard> parse_v1(ByteReader& r) {
+  ServerConfig cfg;
+  cfg.place_label = r.str();
+  read_index_config(r, cfg);
+  UniquenessOracle oracle =
+      UniquenessOracle::deserialize(zlib_decompress(r.blob()));
+  cfg.oracle = oracle.config();
+  // Copy the place id out first: argument evaluation order is unspecified,
+  // so `make_unique<PlaceShard>(cfg.place_label, std::move(cfg))` may move
+  // cfg (emptying place_label) before reading it.
+  std::string place = cfg.place_label;
+  auto shard = std::make_unique<PlaceShard>(std::move(place), std::move(cfg));
+  shard->oracle = std::move(oracle);
+  read_keypoints(r, *shard);
+  shard->oracle_version = r.u32();
+  shard->epoch = 1;  // restored state counts as one publish
   if (!r.done()) throw DecodeError{"server db: trailing bytes"};
+  return shard;
+}
+
+struct ParsedDb {
+  std::string default_place;
+  std::vector<std::unique_ptr<PlaceShard>> shards;
+};
+
+ParsedDb parse_db(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  if (r.u32() != kDbMagic) throw DecodeError{"server db: bad magic"};
+  const std::uint16_t version = r.u16();
+  ParsedDb db;
+  if (version == 1) {
+    db.shards.push_back(parse_v1(r));
+    db.default_place = db.shards.back()->place;
+    return db;
+  }
+  if (version != kDbVersion) throw DecodeError{"server db: bad version"};
+  db.default_place = r.str();
+  const std::uint32_t shard_count = r.u32();
+  db.shards.reserve(std::min<std::size_t>(shard_count, 1024));
+  for (std::uint32_t i = 0; i < shard_count; ++i) {
+    db.shards.push_back(parse_shard(r.blob()));
+  }
+  if (!r.done()) throw DecodeError{"server db: trailing bytes"};
+  return db;
+}
+
+Bytes read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) throw IoError{"cannot open for read: " + path};
+  const auto size = static_cast<std::size_t>(f.tellg());
+  f.seekg(0);
+  Bytes blob(size);
+  f.read(reinterpret_cast<char*>(blob.data()),
+         static_cast<std::streamsize>(size));
+  if (!f) throw IoError{"short read: " + path};
+  return blob;
+}
+
+}  // namespace
+
+Bytes VisualPrintServer::serialize() const {
+  const auto shards = store_->snapshots();  // publishes pending writes
+  ByteWriter w;
+  w.u32(kDbMagic);
+  w.u16(kDbVersion);
+  w.str(store_->default_place());
+  w.u32(static_cast<std::uint32_t>(shards.size()));
+  for (const auto& shard : shards) w.blob(serialize_shard(*shard));
+  return w.take();
+}
+
+VisualPrintServer VisualPrintServer::deserialize(
+    std::span<const std::uint8_t> data) {
+  ParsedDb db = parse_db(data);
+  // The server's default config mirrors the default shard's, so the
+  // default place id (config.place_label) matches what was saved.
+  ServerConfig cfg;
+  cfg.place_label = db.default_place;
+  for (const auto& shard : db.shards) {
+    if (shard->place == db.default_place) cfg = shard->config;
+  }
+  VisualPrintServer server(std::move(cfg));
+  for (auto& shard : db.shards) {
+    server.store_->restore_shard(std::move(shard));
+  }
   return server;
 }
 
@@ -109,15 +222,14 @@ void VisualPrintServer::save(const std::string& path) const {
 }
 
 VisualPrintServer VisualPrintServer::load(const std::string& path) {
-  std::ifstream f(path, std::ios::binary | std::ios::ate);
-  if (!f) throw IoError{"cannot open for read: " + path};
-  const auto size = static_cast<std::size_t>(f.tellg());
-  f.seekg(0);
-  Bytes blob(size);
-  f.read(reinterpret_cast<char*>(blob.data()),
-         static_cast<std::streamsize>(size));
-  if (!f) throw IoError{"short read: " + path};
-  return deserialize(blob);
+  return deserialize(read_file(path));
+}
+
+void VisualPrintServer::load_shards(const std::string& path) {
+  ParsedDb db = parse_db(read_file(path));
+  for (auto& shard : db.shards) {
+    store_->restore_shard(std::move(shard));
+  }
 }
 
 }  // namespace vp

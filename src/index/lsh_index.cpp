@@ -22,6 +22,13 @@ std::uint64_t LshIndex::bucket_key(const LshBucket& bucket,
   return h1;
 }
 
+void LshIndex::reserve(std::size_t n) {
+  descriptors_.reserve(n);
+  // Bucket occupancy is roughly n ids spread across the map; reserving at
+  // that count keeps the rebuild loop from rehashing log(n) times.
+  for (auto& table : tables_) table.reserve(n);
+}
+
 std::uint32_t LshIndex::insert(const Descriptor& descriptor) {
   VP_REQUIRE(descriptors_.size() < UINT32_MAX, "index full");
   const auto id = static_cast<std::uint32_t>(descriptors_.size());

@@ -39,6 +39,10 @@ class LshIndex {
   /// k nearest neighbors among LSH candidates, ascending distance.
   std::vector<Match> query(const Descriptor& descriptor, std::size_t k) const;
 
+  /// Pre-size the descriptor array and per-table bucket maps for `n`
+  /// inserts (bulk shard rebuilds on database load).
+  void reserve(std::size_t n);
+
   std::size_t size() const noexcept { return descriptors_.size(); }
   const Descriptor& descriptor(std::uint32_t id) const {
     return descriptors_.at(id);

@@ -58,6 +58,14 @@ Bytes RetryingClient::request(std::span<const std::uint8_t> payload) {
       const ErrorResponse err = ErrorResponse::decode(reply);
       ++stats_.remote_errors;
       VP_OBS_COUNT("net.remote_errors", 1);
+      if (err.code == ErrorResponse::kStaleOracle) {
+        // Resending the same bytes cannot succeed — the client must
+        // refresh its oracle first (RemoteLocalizer does), so this
+        // surfaces immediately no matter the retry policy.
+        ++stats_.stale_oracles;
+        VP_OBS_COUNT("net.stale_oracle", 1);
+        throw RemoteError{err.code, err.message};
+      }
       if (!policy_.retry_bad_request ||
           err.code != ErrorResponse::kBadRequest) {
         throw RemoteError{err.code, err.message};

@@ -42,6 +42,8 @@ struct RetryStats {
   std::uint64_t timeouts = 0;       ///< attempts ended by a deadline
   std::uint64_t conn_dropped = 0;   ///< attempts ended by EOF/reset/refusal
   std::uint64_t remote_errors = 0;  ///< structured ErrorResponse replies
+  std::uint64_t stale_oracles = 0;  ///< kStaleOracle replies (never retried
+                                    ///< here; RemoteLocalizer refreshes)
   std::uint64_t reconnects = 0;     ///< sockets (re-)established
 };
 

@@ -17,7 +17,11 @@ constexpr std::uint32_t kDiffMagic = 0x56504421u;    // "VPD!"
 constexpr std::uint32_t kStatsReqMagic = 0x56505321u;   // "VPS!"
 constexpr std::uint32_t kStatsRespMagic = 0x56505421u;  // "VPT!"
 constexpr std::uint32_t kErrorMagic = 0x56504521u;      // "VPE!"
+constexpr std::uint32_t kOracleReqMagic = 0x56505221u;  // "VPR!"
 constexpr std::uint16_t kVersion = 1;
+/// Messages that grew place/epoch fields for the sharded MapStore encode
+/// at v2; their decoders still accept v1 frames (fields default).
+constexpr std::uint16_t kPlacedVersion = 2;
 
 void expect_header(ByteReader& r, std::uint32_t magic, const char* what) {
   if (r.u32() != magic) throw DecodeError{std::string(what) + ": bad magic"};
@@ -26,18 +30,32 @@ void expect_header(ByteReader& r, std::uint32_t magic, const char* what) {
   }
 }
 
+/// Header check for the place/epoch-aware messages: accepts versions
+/// 1..max_version and returns the one on the wire.
+std::uint16_t read_header_upto(ByteReader& r, std::uint32_t magic,
+                               std::uint16_t max_version, const char* what) {
+  if (r.u32() != magic) throw DecodeError{std::string(what) + ": bad magic"};
+  const std::uint16_t version = r.u16();
+  if (version < 1 || version > max_version) {
+    throw DecodeError{std::string(what) + ": unsupported version"};
+  }
+  return version;
+}
+
 }  // namespace
 
 Bytes FingerprintQuery::encode() const {
   VP_OBS_SPAN("encode");
   ByteWriter w(wire_size());
   w.u32(kQueryMagic);
-  w.u16(kVersion);
+  w.u16(kPlacedVersion);
   w.u32(frame_id);
   w.f64(capture_time);
   w.u16(image_width);
   w.u16(image_height);
   w.f32(fov_h);
+  w.str(place);
+  w.u32(oracle_epoch);
   w.u32(static_cast<std::uint32_t>(features.size()));
   for (const auto& f : features) serialize_feature(f, w);
   return w.take();
@@ -46,13 +64,18 @@ Bytes FingerprintQuery::encode() const {
 FingerprintQuery FingerprintQuery::decode(std::span<const std::uint8_t> data) {
   VP_OBS_SPAN("decode");
   ByteReader r(data);
-  expect_header(r, kQueryMagic, "fingerprint query");
+  const std::uint16_t version =
+      read_header_upto(r, kQueryMagic, kPlacedVersion, "fingerprint query");
   FingerprintQuery q;
   q.frame_id = r.u32();
   q.capture_time = r.f64();
   q.image_width = r.u16();
   q.image_height = r.u16();
   q.fov_h = r.f32();
+  if (version >= 2) {
+    q.place = r.str();
+    q.oracle_epoch = r.u32();
+  }
   const std::uint32_t n = r.u32();
   // Validate the count against the bytes actually present before reserving:
   // a lying length field must throw, never over-allocate.
@@ -69,7 +92,8 @@ FingerprintQuery FingerprintQuery::decode(std::span<const std::uint8_t> data) {
 }
 
 std::size_t FingerprintQuery::wire_size() const noexcept {
-  return 4 + 2 + 4 + 8 + 2 + 2 + 4 + 4 + features.size() * kFeatureWireBytes;
+  return 4 + 2 + 4 + 8 + 2 + 2 + 4 + (4 + place.size()) + 4 + 4 +
+         features.size() * kFeatureWireBytes;
 }
 
 Bytes FrameUpload::encode() const {
@@ -97,9 +121,9 @@ FrameUpload FrameUpload::decode(std::span<const std::uint8_t> data) {
 }
 
 Bytes LocationResponse::encode() const {
-  ByteWriter w(96 + place_label.size());
+  ByteWriter w(96 + place_label.size() + place.size());
   w.u32(kLocMagic);
-  w.u16(kVersion);
+  w.u16(kPlacedVersion);
   w.u32(frame_id);
   w.u8(found ? 1 : 0);
   w.f64(position.x);
@@ -111,12 +135,14 @@ Bytes LocationResponse::encode() const {
   w.f64(residual);
   w.u32(matched_keypoints);
   w.str(place_label);
+  w.str(place);
   return w.take();
 }
 
 LocationResponse LocationResponse::decode(std::span<const std::uint8_t> data) {
   ByteReader r(data);
-  expect_header(r, kLocMagic, "location response");
+  const std::uint16_t version =
+      read_header_upto(r, kLocMagic, kPlacedVersion, "location response");
   LocationResponse resp;
   resp.frame_id = r.u32();
   resp.found = r.u8() != 0;
@@ -127,14 +153,16 @@ LocationResponse LocationResponse::decode(std::span<const std::uint8_t> data) {
   resp.residual = r.f64();
   resp.matched_keypoints = r.u32();
   resp.place_label = r.str();
+  if (version >= 2) resp.place = r.str();
   if (!r.done()) throw DecodeError{"location response: trailing bytes"};
   return resp;
 }
 
 OracleDownload OracleDownload::pack(const UniquenessOracle& oracle,
-                                    std::uint32_t version) {
+                                    std::uint32_t epoch, std::string place) {
   OracleDownload d;
-  d.version = version;
+  d.epoch = epoch;
+  d.place = std::move(place);
   d.compressed = zlib_compress(oracle.serialize(), 9);
   return d;
 }
@@ -144,23 +172,43 @@ UniquenessOracle OracleDownload::unpack() const {
 }
 
 Bytes OracleDownload::encode() const {
-  ByteWriter w(16 + compressed.size());
+  ByteWriter w(16 + place.size() + compressed.size());
   w.u32(kOracleMagic);
-  w.u16(kVersion);
-  w.u32(version);
+  w.u16(kPlacedVersion);
+  w.u32(epoch);
+  w.str(place);
   w.blob(compressed);
   return w.take();
 }
 
 OracleDownload OracleDownload::decode(std::span<const std::uint8_t> data) {
   ByteReader r(data);
-  expect_header(r, kOracleMagic, "oracle download");
+  const std::uint16_t version =
+      read_header_upto(r, kOracleMagic, kPlacedVersion, "oracle download");
   OracleDownload d;
-  d.version = r.u32();
+  d.epoch = r.u32();  // v1 frames: the old `version` counter reads as epoch
+  if (version >= 2) d.place = r.str();
   const auto b = r.blob();
   d.compressed.assign(b.begin(), b.end());
   if (!r.done()) throw DecodeError{"oracle download: trailing bytes"};
   return d;
+}
+
+Bytes OracleRequest::encode() const {
+  ByteWriter w(16 + place.size());
+  w.u32(kOracleReqMagic);
+  w.u16(kVersion);
+  w.str(place);
+  return w.take();
+}
+
+OracleRequest OracleRequest::decode(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  expect_header(r, kOracleReqMagic, "oracle request");
+  OracleRequest q;
+  q.place = r.str();
+  if (!r.done()) throw DecodeError{"oracle request: trailing bytes"};
+  return q;
 }
 
 OracleDiff OracleDiff::make(std::span<const std::uint8_t> old_blob,
@@ -234,7 +282,7 @@ ErrorResponse ErrorResponse::decode(std::span<const std::uint8_t> data) {
   expect_header(r, kErrorMagic, "error response");
   ErrorResponse e;
   e.code = r.u16();
-  if (e.code == 0 || e.code > kOverloaded) {
+  if (e.code == 0 || e.code > kStaleOracle) {
     throw DecodeError{"error response: unknown code"};
   }
   e.message = r.str();

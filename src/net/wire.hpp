@@ -26,6 +26,15 @@ struct FingerprintQuery {
   std::uint16_t image_width = 1920;
   std::uint16_t image_height = 1080;
   float fov_h = 1.15192f;   ///< horizontal field of view, radians
+  /// Target place (map shard). Empty = let the server fan out across all
+  /// shards and answer with the best-scoring place.
+  std::string place;
+  /// Epoch of the oracle the client selected keypoints against; 0 = the
+  /// client holds no epoch'd oracle (skip the staleness check). A nonzero
+  /// epoch that no longer matches the place's published epoch makes the
+  /// server answer `kStaleOracle` instead of localizing against keypoints
+  /// ranked by an outdated uniqueness table.
+  std::uint32_t oracle_epoch = 0;
   std::vector<Feature> features;
 
   Bytes encode() const;
@@ -55,23 +64,39 @@ struct LocationResponse {
   double residual = 0;
   std::uint32_t matched_keypoints = 0;
   std::string place_label;  ///< e.g. "Paris, Louvre, Denon Wing" (Fig. 1)
+  /// Shard id that answered (matters for fan-out queries; echoes the
+  /// request's place for targeted ones, "" for a miss on an empty store).
+  std::string place;
 
   Bytes encode() const;
   static LocationResponse decode(std::span<const std::uint8_t> data);
 };
 
 /// Server -> client: uniqueness-oracle snapshot, zlib-compressed ("we
-/// compress them with GZIP for efficient retrieval").
+/// compress them with GZIP for efficient retrieval"). Carries the shard's
+/// place id and publish epoch so a client can cache one oracle per place
+/// and detect staleness (see FingerprintQuery::oracle_epoch).
 struct OracleDownload {
-  std::uint32_t version = 0;
+  std::uint32_t epoch = 0;  ///< shard publish epoch at pack time
+  std::string place;        ///< owning shard ("" = pre-shard snapshot)
   Bytes compressed;  ///< zlib stream of UniquenessOracle::serialize()
 
   static OracleDownload pack(const UniquenessOracle& oracle,
-                             std::uint32_t version);
+                             std::uint32_t epoch, std::string place = {});
   UniquenessOracle unpack() const;
 
   Bytes encode() const;
   static OracleDownload decode(std::span<const std::uint8_t> data);
+};
+
+/// Client -> server: fetch the oracle of a named place. The legacy bare
+/// `'O'` request (empty body) still resolves to the server's default
+/// place; this message targets any shard.
+struct OracleRequest {
+  std::string place;  ///< "" = the server's default place
+
+  Bytes encode() const;
+  static OracleRequest decode(std::span<const std::uint8_t> data);
 };
 
 /// Single-byte request tags for the framed TCP demo protocol
@@ -91,6 +116,12 @@ struct ErrorResponse {
     kBadRequest = 1,      ///< request undecodable (likely corrupt in flight)
     kHandlerFailure = 2,  ///< handler raised; retrying the same bytes won't help
     kOverloaded = 3,      ///< transient server-side pressure
+    /// The query's oracle_epoch no longer matches the place's published
+    /// epoch: the client ranked keypoints against an outdated uniqueness
+    /// table. Refetch the place's oracle (OracleRequest) and resend —
+    /// resending the same bytes without refreshing cannot succeed, so the
+    /// transport layer must NOT blindly retry this code.
+    kStaleOracle = 4,
   };
   std::uint16_t code = kHandlerFailure;
   std::string message;  ///< human-readable cause (truncated on encode)

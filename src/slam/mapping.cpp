@@ -73,4 +73,11 @@ std::vector<KeypointMapping> extract_mappings(
   return mappings;
 }
 
+PlaceMappings extract_place_mappings(std::string place,
+                                     std::span<const Snapshot> snapshots,
+                                     std::span<const Pose> poses,
+                                     const MappingConfig& config) {
+  return {std::move(place), extract_mappings(snapshots, poses, config)};
+}
+
 }  // namespace vp

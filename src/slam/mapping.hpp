@@ -4,6 +4,7 @@
 // back-projected through the snapshot's (ICP-corrected) pose.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "features/sift.hpp"
@@ -35,5 +36,18 @@ struct MappingConfig {
 std::vector<KeypointMapping> extract_mappings(
     std::span<const Snapshot> snapshots, std::span<const Pose> poses,
     const MappingConfig& config = {});
+
+/// A wardrive result addressed to a named map shard: the unit a
+/// multi-place server ingests (MapStore::ingest_wardrive).
+struct PlaceMappings {
+  std::string place;  ///< target shard id, e.g. "louvre-denon"
+  std::vector<KeypointMapping> mappings;
+};
+
+/// extract_mappings, addressed to `place`.
+PlaceMappings extract_place_mappings(std::string place,
+                                     std::span<const Snapshot> snapshots,
+                                     std::span<const Pose> poses,
+                                     const MappingConfig& config = {});
 
 }  // namespace vp

@@ -1,13 +1,17 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <thread>
 
 #include "core/client.hpp"
+#include "core/remote.hpp"
 #include "core/retrieval.hpp"
 #include "core/server.hpp"
 #include "core/session.hpp"
+#include "imaging/codec.hpp"
 #include "scene/texture.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace vp {
 namespace {
@@ -285,6 +289,483 @@ TEST(Client, DiffWithoutOracleThrows) {
   VisualPrintClient client({});
   OracleDiff diff;
   EXPECT_THROW(client.apply_oracle_diff(diff), InvalidArgument);
+}
+
+// --- MapStore: the sharded, snapshot-isolated server core ------------------
+
+std::vector<KeypointMapping> random_mappings(Rng& rng, int n, Vec3 base) {
+  std::vector<KeypointMapping> ms;
+  ms.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    ms.push_back({make_feature(rng), base + Vec3{0.1 * i, 0, 0},
+                  static_cast<std::uint32_t>(i)});
+  }
+  return ms;
+}
+
+/// A localizable place: mappings seen from a known camera pose, plus the
+/// query whose features project those same landmarks.
+struct PlaceFixture {
+  std::vector<KeypointMapping> mappings;
+  FingerprintQuery query;
+  Vec3 true_position;
+};
+
+PlaceFixture make_place_fixture(Rng& rng, Vec3 cam_pos) {
+  const CameraIntrinsics intr{640, 480, 1.15};
+  const Pose cam_pose = Pose::from_euler(cam_pos, 0.3, 0, 0);
+  PlaceFixture fx;
+  fx.true_position = cam_pos;
+  fx.query.image_width = 640;
+  fx.query.image_height = 480;
+  fx.query.fov_h = 1.15f;
+  for (int i = 0; i < 25; ++i) {
+    const Vec3 body{rng.uniform(-1.5, 1.5), rng.uniform(-1.0, 1.0),
+                    rng.uniform(2.0, 6.0)};
+    const auto px = intr.project(body);
+    if (!px) continue;
+    Feature f = make_feature(rng, static_cast<float>(px->x),
+                             static_cast<float>(px->y));
+    fx.mappings.push_back({f, cam_pose.to_world(body), 0});
+    fx.query.features.push_back(f);
+  }
+  return fx;
+}
+
+ServerConfig localizing_server() {
+  ServerConfig cfg = small_server();
+  cfg.localize.search_lo = {-10, -10, 0};
+  cfg.localize.search_hi = {10, 10, 3};
+  // Generation/tolerance-bounded, never wall-clock-bounded: a time budget
+  // truncates the solve at a load-dependent generation, which would make
+  // these tests (one asserts bit-identical serial-vs-pooled answers)
+  // flaky on a busy CI box.
+  cfg.localize.de.time_budget_sec = 1e9;
+  cfg.clustering.radius = 5.0;
+  return cfg;
+}
+
+TEST(MapStore, SnapshotIsolationAndEpochBump) {
+  VisualPrintServer server(small_server());
+  MapStore& store = server.store();
+  Rng rng(41);
+
+  store.ingest_wardrive("hall", random_mappings(rng, 10, {0, 0, 0}));
+  const auto first = store.snapshot("hall");
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->stored.size(), 10u);
+  EXPECT_EQ(first->epoch, 1u);
+
+  store.ingest_wardrive("hall", random_mappings(rng, 5, {5, 0, 0}));
+  // The earlier snapshot is immutable: in-flight queries keep reading the
+  // exact state they started with.
+  EXPECT_EQ(first->stored.size(), 10u);
+  EXPECT_EQ(first->epoch, 1u);
+  const auto second = store.snapshot("hall");
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(second->stored.size(), 15u);
+  EXPECT_EQ(second->epoch, 2u);
+  EXPECT_EQ(store.epoch("hall"), 2u);
+  EXPECT_GE(store.swap_count(), 2u);
+}
+
+TEST(MapStore, SingleIngestsVisibleOnNextRead) {
+  VisualPrintServer server(small_server());
+  Rng rng(42);
+  // The legacy unplaced ingest loop buffers into the default builder and
+  // publishes lazily; reads must still see their own writes.
+  for (int i = 0; i < 8; ++i) {
+    server.ingest(make_feature(rng), {1.0 * i, 0, 1}, i % 2, 0);
+  }
+  EXPECT_EQ(server.keypoint_count(), 8u);
+  const auto shard = server.store().snapshot(server.store().default_place());
+  ASSERT_NE(shard, nullptr);
+  EXPECT_EQ(shard->stored.size(), 8u);
+}
+
+TEST(MapStore, TargetedAndFanoutQueries) {
+  Rng rng(43);
+  ServerConfig cfg = localizing_server();
+  VisualPrintServer server(cfg);
+
+  PlaceFixture a = make_place_fixture(rng, {2, 3, 1.5});
+  PlaceFixture b = make_place_fixture(rng, {-5, -4, 1.2});
+  ASSERT_GE(a.query.features.size(), 10u);
+  ASSERT_GE(b.query.features.size(), 10u);
+
+  ServerConfig cfg_a = cfg, cfg_b = cfg;
+  cfg_a.place_label = "Wing A";
+  cfg_b.place_label = "Wing B";
+  server.ingest_wardrive("wing-a", a.mappings, &cfg_a);
+  server.ingest_wardrive("wing-b", b.mappings, &cfg_b);
+  EXPECT_EQ(server.store().place_count(), 3u);  // default + 2 wings
+
+  // Targeted: each query routes to its shard and recovers its pose.
+  a.query.place = "wing-a";
+  Rng rng_a(44);
+  const LocationResponse ra = server.localize_query(a.query, rng_a);
+  ASSERT_TRUE(ra.found);
+  EXPECT_EQ(ra.place, "wing-a");
+  EXPECT_EQ(ra.place_label, "Wing A");
+  EXPECT_LT(ra.position.distance(a.true_position), 0.5);
+
+  b.query.place = "wing-b";
+  Rng rng_b(45);
+  const LocationResponse rb = server.localize_query(b.query, rng_b);
+  ASSERT_TRUE(rb.found);
+  EXPECT_EQ(rb.place, "wing-b");
+  EXPECT_LT(rb.position.distance(b.true_position), 0.5);
+
+  // Fan-out: an unplaced query is answered by the best-scoring shard.
+  FingerprintQuery fan = a.query;
+  fan.place.clear();
+  Rng rng_fan(46);
+  const LocationResponse rf = server.localize_query(fan, rng_fan);
+  ASSERT_TRUE(rf.found);
+  EXPECT_EQ(rf.place, "wing-a");
+  EXPECT_LT(rf.position.distance(a.true_position), 0.5);
+}
+
+TEST(MapStore, FanoutDeterministicAcrossPoolSizes) {
+  Rng rng(47);
+  const PlaceFixture a = make_place_fixture(rng, {2, 3, 1.5});
+  const PlaceFixture b = make_place_fixture(rng, {-5, -4, 1.2});
+
+  auto run = [&](ThreadPool* pool) {
+    ServerConfig cfg = localizing_server();
+    cfg.pool = pool;
+    VisualPrintServer server(cfg);
+    server.ingest_wardrive("wing-a", a.mappings);
+    server.ingest_wardrive("wing-b", b.mappings);
+    FingerprintQuery fan = a.query;  // place empty -> fan out
+    Rng qrng(48);
+    return server.localize_query(fan, qrng);
+  };
+
+  ThreadPool pool(4);
+  const LocationResponse serial = run(nullptr);
+  const LocationResponse parallel = run(&pool);
+  EXPECT_EQ(serial.found, parallel.found);
+  EXPECT_EQ(serial.place, parallel.place);
+  EXPECT_DOUBLE_EQ(serial.position.x, parallel.position.x);
+  EXPECT_DOUBLE_EQ(serial.position.y, parallel.position.y);
+  EXPECT_DOUBLE_EQ(serial.position.z, parallel.position.z);
+  EXPECT_DOUBLE_EQ(serial.residual, parallel.residual);
+}
+
+TEST(MapStore, EmptyAndUnknownPlacesAnswerStructuredMiss) {
+  VisualPrintServer server(small_server());
+  Rng rng(49);
+  FingerprintQuery q;
+  q.frame_id = 77;
+  q.features.push_back(make_feature(rng));
+
+  // Empty map, unplaced query: a clean no-fix, never a throw.
+  Rng r1(50);
+  const LocationResponse empty = server.localize_query(q, r1);
+  EXPECT_FALSE(empty.found);
+  EXPECT_EQ(empty.frame_id, 77u);
+
+  // Unknown place: same contract.
+  q.place = "never-wardriven";
+  Rng r2(51);
+  const LocationResponse unknown = server.localize_query(q, r2);
+  EXPECT_FALSE(unknown.found);
+
+  // And over the request protocol it must be a LocationResponse frame,
+  // not a VPE! error.
+  ByteWriter w;
+  w.u8(kQueryRequest);
+  w.raw(q.encode());
+  const Bytes reply = server.handle_request(w.bytes(), 1);
+  ASSERT_FALSE(is_error_frame(reply));
+  EXPECT_FALSE(LocationResponse::decode(reply).found);
+}
+
+TEST(MapStore, StaleOracleRejectedOverProtocol) {
+  VisualPrintServer server(small_server());
+  Rng rng(52);
+  server.ingest_wardrive("hall", random_mappings(rng, 10, {0, 0, 0}));
+
+  const OracleDownload download = server.oracle_snapshot("hall");
+  EXPECT_EQ(download.place, "hall");
+  EXPECT_EQ(download.epoch, 1u);
+
+  // Republish: the downloaded epoch is now stale.
+  server.ingest_wardrive("hall", random_mappings(rng, 5, {1, 0, 0}));
+
+  FingerprintQuery q;
+  q.place = "hall";
+  q.oracle_epoch = download.epoch;
+  q.features.push_back(make_feature(rng));
+  ByteWriter w;
+  w.u8(kQueryRequest);
+  w.raw(q.encode());
+  const Bytes reply = server.handle_request(w.bytes(), 1);
+  ASSERT_TRUE(is_error_frame(reply));
+  EXPECT_EQ(ErrorResponse::decode(reply).code, ErrorResponse::kStaleOracle);
+
+  // Epoch 0 (no oracle installed) always passes the check.
+  q.oracle_epoch = 0;
+  ByteWriter w2;
+  w2.u8(kQueryRequest);
+  w2.raw(q.encode());
+  EXPECT_FALSE(is_error_frame(server.handle_request(w2.bytes(), 1)));
+}
+
+TEST(MapStore, RemoteLocalizerRecoversFromStaleOracle) {
+  Rng rng(53);
+  ServerConfig cfg = localizing_server();
+  VisualPrintServer server(cfg);
+  PlaceFixture fx = make_place_fixture(rng, {2, 3, 1.5});
+  ASSERT_GE(fx.query.features.size(), 10u);
+  server.ingest_wardrive("hall", fx.mappings);
+
+  RemoteLocalizer localizer([&server](std::span<const std::uint8_t> req) {
+    return server.handle_request(req, 7);
+  });
+  VisualPrintClient client({});
+  localizer.on_oracle_refresh(
+      [&client](const OracleDownload& d) { client.install_oracle(d); });
+
+  const OracleDownload first = localizer.fetch_oracle("hall");
+  EXPECT_EQ(first.epoch, 1u);
+  EXPECT_EQ(client.oracle_place(), "hall");
+  EXPECT_EQ(client.oracle_epoch(), 1u);
+
+  // The map is republished behind the client's back.
+  server.ingest_wardrive("hall", fx.mappings);
+  EXPECT_EQ(server.store().epoch("hall"), 2u);
+
+  fx.query.place = "hall";
+  fx.query.oracle_epoch = first.epoch;  // stale
+  const LocationResponse resp = localizer.localize(fx.query);
+  ASSERT_TRUE(resp.found);
+  EXPECT_LT(resp.position.distance(fx.true_position), 0.5);
+  EXPECT_EQ(localizer.stale_refreshes(), 1u);
+  EXPECT_EQ(localizer.known_epoch("hall"), 2u);
+  // The refresh hook re-installed the fresh oracle into the client.
+  EXPECT_EQ(client.oracle_epoch(), 2u);
+}
+
+TEST(MapStore, ClientCachesOraclePerPlace) {
+  VisualPrintServer server(small_server());
+  Rng rng(54);
+  server.ingest_wardrive("wing-a", random_mappings(rng, 8, {0, 0, 0}));
+  server.ingest_wardrive("wing-b", random_mappings(rng, 8, {5, 0, 0}));
+
+  VisualPrintClient client({});
+  client.install_oracle(server.oracle_snapshot("wing-a"));
+  client.install_oracle(server.oracle_snapshot("wing-b"));
+  EXPECT_EQ(client.cached_oracle_count(), 2u);
+  EXPECT_EQ(client.oracle_place(), "wing-b");
+
+  ASSERT_TRUE(client.select_place("wing-a"));
+  EXPECT_EQ(client.oracle_place(), "wing-a");
+  EXPECT_EQ(client.oracle_epoch(), 1u);
+  EXPECT_FALSE(client.select_place("wing-c"));
+  EXPECT_EQ(client.oracle_place(), "wing-a");  // unchanged on failure
+}
+
+TEST(MapStore, SaveLoadRoundtripMultiPlace) {
+  namespace fs = std::filesystem;
+  VisualPrintServer server(small_server());
+  Rng rng(55);
+  server.ingest_wardrive("wing-a", random_mappings(rng, 12, {0, 0, 0}));
+  server.ingest_wardrive("wing-b", random_mappings(rng, 7, {5, 0, 0}));
+  server.ingest_wardrive("wing-b", random_mappings(rng, 3, {6, 0, 0}));
+
+  const auto path =
+      (fs::temp_directory_path() / "vp_map_store_test.db").string();
+  server.save(path);
+  VisualPrintServer loaded = VisualPrintServer::load(path);
+  fs::remove(path);
+
+  EXPECT_EQ(loaded.store().default_place(), server.store().default_place());
+  EXPECT_EQ(loaded.places(), server.places());
+  const auto a = loaded.store().snapshot("wing-a");
+  const auto b = loaded.store().snapshot("wing-b");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->stored.size(), 12u);
+  EXPECT_EQ(b->stored.size(), 10u);
+  // Publish epochs survive the round-trip: clients holding pre-save
+  // oracles are still told the truth about staleness.
+  EXPECT_EQ(a->epoch, 1u);
+  EXPECT_EQ(b->epoch, 2u);
+  EXPECT_EQ(loaded.oracle_snapshot("wing-b").epoch, 2u);
+}
+
+TEST(MapStore, LoadShardsMergesDatabases) {
+  namespace fs = std::filesystem;
+  Rng rng(56);
+  const auto path_a =
+      (fs::temp_directory_path() / "vp_map_store_a.db").string();
+  const auto path_b =
+      (fs::temp_directory_path() / "vp_map_store_b.db").string();
+  {
+    VisualPrintServer s(small_server());
+    s.ingest_wardrive("wing-a", random_mappings(rng, 6, {0, 0, 0}));
+    s.save(path_a);
+  }
+  {
+    VisualPrintServer s(small_server());
+    s.ingest_wardrive("wing-b", random_mappings(rng, 9, {5, 0, 0}));
+    s.save(path_b);
+  }
+  VisualPrintServer merged = VisualPrintServer::load(path_a);
+  merged.load_shards(path_b);
+  fs::remove(path_a);
+  fs::remove(path_b);
+
+  ASSERT_NE(merged.store().snapshot("wing-a"), nullptr);
+  ASSERT_NE(merged.store().snapshot("wing-b"), nullptr);
+  EXPECT_EQ(merged.store().snapshot("wing-a")->stored.size(), 6u);
+  EXPECT_EQ(merged.store().snapshot("wing-b")->stored.size(), 9u);
+}
+
+TEST(MapStore, V1DatabaseLoadsAsDefaultShard) {
+  // Hand-assemble a pre-shard v1 file: single place, oracle before
+  // keypoints, fine-grained oracle version at the tail.
+  Rng rng(57);
+  UniquenessOracle oracle(small_oracle());
+  std::vector<Feature> feats;
+  for (int i = 0; i < 4; ++i) {
+    feats.push_back(make_feature(rng));
+    oracle.insert(feats.back().descriptor);
+  }
+
+  ByteWriter w;
+  w.u32(0x56504442u);  // "VPDB"
+  w.u16(1);
+  w.str("legacy hall");
+  LshIndexConfig index_cfg;
+  w.u16(static_cast<std::uint16_t>(index_cfg.lsh.tables));
+  w.u16(static_cast<std::uint16_t>(index_cfg.lsh.projections));
+  w.f64(index_cfg.lsh.width);
+  w.u64(index_cfg.lsh.seed);
+  w.u8(index_cfg.multiprobe ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(index_cfg.max_candidates));
+  w.u32(2);       // neighbors_per_keypoint
+  w.u32(65'000);  // max_match_distance2
+  w.blob(zlib_compress(oracle.serialize(), 6));
+  w.u32(static_cast<std::uint32_t>(feats.size()));
+  for (std::size_t i = 0; i < feats.size(); ++i) {
+    const Descriptor& d = feats[i].descriptor;
+    w.raw(std::span<const std::uint8_t>(d.data(), d.size()));
+    w.f64(1.0 * static_cast<double>(i));
+    w.f64(2.0);
+    w.f64(0.5);
+    w.i32(static_cast<std::int32_t>(i % 2));
+    w.u32(3);
+  }
+  w.u32(4);  // oracle_version
+
+  VisualPrintServer loaded = VisualPrintServer::deserialize(w.bytes());
+  EXPECT_EQ(loaded.store().default_place(), "legacy hall");
+  EXPECT_EQ(loaded.keypoint_count(), 4u);
+  EXPECT_EQ(loaded.scene_count(), 2);
+  EXPECT_EQ(loaded.store().epoch("legacy hall"), 1u);
+  for (const auto& f : feats) {
+    EXPECT_EQ(loaded.oracle().count(f.descriptor),
+              oracle.count(f.descriptor));
+  }
+  // A v1 payload saved again comes back as v2 with identical content.
+  const Bytes resaved = loaded.serialize();
+  VisualPrintServer again = VisualPrintServer::deserialize(resaved);
+  EXPECT_EQ(again.keypoint_count(), 4u);
+  EXPECT_DOUBLE_EQ(again.stored(1).position.x, 1.0);
+}
+
+TEST(MapStore, TruncatedShardBlobRejected) {
+  VisualPrintServer server(small_server());
+  Rng rng(58);
+  server.ingest_wardrive("hall", random_mappings(rng, 5, {0, 0, 0}));
+  const Bytes blob = server.serialize();
+
+  // Any truncation inside the shard blobs must throw, never misparse.
+  for (std::size_t cut = 8; cut < blob.size(); cut += 97) {
+    Bytes t(blob.begin(), blob.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW(VisualPrintServer::deserialize(t), DecodeError) << cut;
+  }
+
+  // A lying shard-blob length field (first shard starts after magic +
+  // version + default place string + shard count).
+  Bytes lie = blob;
+  ByteReader r(lie);
+  r.u32();
+  r.u16();
+  (void)r.str();
+  r.u32();
+  const std::size_t len_off = lie.size() - r.remaining();
+  for (std::size_t i = 0; i < 4; ++i) lie[len_off + i] = 0xFF;
+  EXPECT_THROW(VisualPrintServer::deserialize(lie), DecodeError);
+}
+
+TEST(MapStoreSoak, IngestWhileServingIsRaceFree) {
+  // The TSan contract behind the whole design: localization queries and
+  // oracle downloads proceed concurrently with wardrive publishes, with
+  // readers on immutable snapshots and writers behind the store mutex.
+  VisualPrintServer server(small_server());
+  Rng seed_rng(59);
+  server.ingest_wardrive("hall", random_mappings(seed_rng, 10, {0, 0, 0}));
+  server.ingest_wardrive("annex", random_mappings(seed_rng, 10, {8, 0, 0}));
+
+  constexpr int kQueryThreads = 4;
+  constexpr int kQueriesPerThread = 120;
+  constexpr int kPublishes = 24;
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kQueryThreads);
+  for (int t = 0; t < kQueryThreads; ++t) {
+    readers.emplace_back([&server, &failed, t] {
+      Rng rng(100 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kQueriesPerThread && !failed.load(); ++i) {
+        try {
+          FingerprintQuery q;
+          q.frame_id = static_cast<std::uint32_t>(i);
+          q.place = (i % 3 == 0) ? "" : ((i % 3 == 1) ? "hall" : "annex");
+          // Occasionally claim an epoch to drive the staleness check
+          // concurrently with publishes.
+          q.oracle_epoch = (i % 5 == 0) ? 1 + static_cast<std::uint32_t>(i % 7)
+                                        : 0;
+          for (int k = 0; k < 4; ++k) q.features.push_back(make_feature(rng));
+          ByteWriter w;
+          w.u8(kQueryRequest);
+          w.raw(q.encode());
+          const Bytes reply = server.handle_request(w.bytes(), 7);
+          if (is_error_frame(reply)) {
+            if (ErrorResponse::decode(reply).code !=
+                ErrorResponse::kStaleOracle) {
+              failed.store(true);
+            }
+          } else {
+            (void)LocationResponse::decode(reply);
+          }
+          if (i % 10 == 0) {
+            ByteWriter ow;
+            ow.u8(kOracleRequest);
+            ow.raw(OracleRequest{"hall"}.encode());
+            (void)OracleDownload::decode(server.handle_request(ow.bytes(), 7));
+          }
+        } catch (...) {
+          failed.store(true);
+        }
+      }
+    });
+  }
+
+  Rng ingest_rng(60);
+  for (int p = 0; p < kPublishes; ++p) {
+    const std::string place = (p % 2 == 0) ? "hall" : "annex";
+    server.ingest_wardrive(place, random_mappings(ingest_rng, 6, {1.0 * p, 0, 0}));
+  }
+  for (auto& t : readers) t.join();
+
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(server.store().epoch("hall"), 1u + kPublishes / 2);
+  EXPECT_EQ(server.store().epoch("annex"), 1u + kPublishes / 2);
 }
 
 TEST(Retrieval, PredictsCorrectScene) {

@@ -35,6 +35,38 @@ TEST(Wire, FingerprintQueryRoundtrip) {
   ASSERT_EQ(back.features.size(), 5u);
   EXPECT_EQ(back.features[3].keypoint.x, 3.0f);
   EXPECT_EQ(back.features[4].descriptor[4], 4);
+  EXPECT_TRUE(back.place.empty());
+  EXPECT_EQ(back.oracle_epoch, 0u);
+}
+
+TEST(Wire, FingerprintQueryCarriesPlaceAndEpoch) {
+  FingerprintQuery q = sample_query(2);
+  q.place = "louvre-denon";
+  q.oracle_epoch = 9;
+  const Bytes b = q.encode();
+  EXPECT_EQ(b.size(), q.wire_size());
+  const FingerprintQuery back = FingerprintQuery::decode(b);
+  EXPECT_EQ(back.place, "louvre-denon");
+  EXPECT_EQ(back.oracle_epoch, 9u);
+  ASSERT_EQ(back.features.size(), 2u);
+}
+
+TEST(Wire, FingerprintQueryV1FrameDecodes) {
+  // Pre-shard v1 frame: no place/epoch fields; both must default.
+  ByteWriter w;
+  w.u32(0x56505121u);  // "VPQ!"
+  w.u16(1);
+  w.u32(7);    // frame_id
+  w.f64(1.0);  // capture_time
+  w.u16(920);
+  w.u16(540);
+  w.f32(1.1f);
+  w.u32(0);  // feature count
+  const FingerprintQuery back = FingerprintQuery::decode(w.bytes());
+  EXPECT_EQ(back.frame_id, 7u);
+  EXPECT_TRUE(back.place.empty());
+  EXPECT_EQ(back.oracle_epoch, 0u);
+  EXPECT_TRUE(back.features.empty());
 }
 
 TEST(Wire, QuerySizeMatchesPaperScale) {
@@ -83,6 +115,17 @@ TEST(Wire, LocationResponseRoundtrip) {
   EXPECT_DOUBLE_EQ(back.position.y, -2.5);
   EXPECT_EQ(back.matched_keypoints, 42u);
   EXPECT_EQ(back.place_label, "Louvre, Denon Wing");
+  EXPECT_TRUE(back.place.empty());
+}
+
+TEST(Wire, LocationResponseCarriesPlace) {
+  LocationResponse r;
+  r.found = true;
+  r.place_label = "Louvre, Denon Wing";
+  r.place = "louvre-denon";
+  const LocationResponse back = LocationResponse::decode(r.encode());
+  EXPECT_EQ(back.place, "louvre-denon");
+  EXPECT_EQ(back.place_label, "Louvre, Denon Wing");
 }
 
 TEST(Wire, OracleDownloadRoundtrip) {
@@ -94,12 +137,38 @@ TEST(Wire, OracleDownloadRoundtrip) {
   for (auto& v : d) v = static_cast<std::uint8_t>(rng.uniform_u64(60));
   for (int i = 0; i < 3; ++i) oracle.insert(d);
 
-  const OracleDownload down = OracleDownload::pack(oracle, 5);
+  const OracleDownload down = OracleDownload::pack(oracle, 5, "atrium");
   const Bytes wire = down.encode();
   const OracleDownload back = OracleDownload::decode(wire);
-  EXPECT_EQ(back.version, 5u);
+  EXPECT_EQ(back.epoch, 5u);
+  EXPECT_EQ(back.place, "atrium");
   const UniquenessOracle restored = back.unpack();
   EXPECT_EQ(restored.count(d), oracle.count(d));
+}
+
+TEST(Wire, OracleDownloadV1FrameDecodes) {
+  // Pre-shard v1 frame: no place field, the old `version` counter reads
+  // as the epoch.
+  OracleConfig cfg;
+  cfg.capacity = 2'000;
+  UniquenessOracle oracle(cfg);
+  ByteWriter w;
+  w.u32(0x56504f21u);  // "VPO!"
+  w.u16(1);
+  w.u32(7);
+  w.blob(zlib_compress(oracle.serialize(), 9));
+  const OracleDownload back = OracleDownload::decode(w.bytes());
+  EXPECT_EQ(back.epoch, 7u);
+  EXPECT_TRUE(back.place.empty());
+  EXPECT_EQ(back.unpack().byte_size(), oracle.byte_size());
+}
+
+TEST(Wire, OracleRequestRoundtrip) {
+  OracleRequest req;
+  req.place = "louvre-denon";
+  const OracleRequest back = OracleRequest::decode(req.encode());
+  EXPECT_EQ(back.place, "louvre-denon");
+  EXPECT_TRUE(OracleRequest::decode(OracleRequest{}.encode()).place.empty());
 }
 
 TEST(Wire, OracleDownloadCompresses) {
@@ -157,6 +226,15 @@ TEST(Wire, ErrorResponseTruncatesOversizedMessages) {
   e.message.assign(10'000, 'x');
   const ErrorResponse back = ErrorResponse::decode(e.encode());
   EXPECT_EQ(back.message.size(), ErrorResponse::kMaxMessageBytes);
+}
+
+TEST(Wire, ErrorResponseStaleOracleRoundtrip) {
+  ErrorResponse e;
+  e.code = ErrorResponse::kStaleOracle;
+  e.message = "oracle epoch 3 for place 'atrium' superseded by epoch 5";
+  const ErrorResponse back = ErrorResponse::decode(e.encode());
+  EXPECT_EQ(back.code, ErrorResponse::kStaleOracle);
+  EXPECT_EQ(back.message, e.message);
 }
 
 TEST(Wire, ErrorResponseRejectsUnknownCode) {
@@ -224,6 +302,10 @@ std::vector<std::pair<std::string, Bytes>> wire_specimens() {
   stats_resp.text = "vp_server_queries_total 12\n";
   specimens.emplace_back("StatsResponse", stats_resp.encode());
 
+  OracleRequest oreq;
+  oreq.place = "louvre-denon";
+  specimens.emplace_back("OracleRequest", oreq.encode());
+
   ErrorResponse err;
   err.code = ErrorResponse::kOverloaded;
   err.message = "shedding load";
@@ -244,6 +326,8 @@ void decode_specimen(const std::string& name,
     (void)OracleDownload::decode(data);
   } else if (name == "OracleDiff") {
     (void)OracleDiff::decode(data);
+  } else if (name == "OracleRequest") {
+    (void)OracleRequest::decode(data);
   } else if (name == "StatsRequest") {
     (void)StatsRequest::decode(data);
   } else if (name == "StatsResponse") {
@@ -294,16 +378,17 @@ TEST(WireFuzz, LyingLengthFieldsThrowWithoutOverAllocating) {
   // Feature count claims 4 billion entries against a ~500-byte payload:
   // the count is validated against the remaining bytes before reserve().
   Bytes q = sample_query(2).encode();
-  const std::size_t count_off = 4 + 2 + 4 + 8 + 2 + 2 + 4;
+  // Header + empty place string (4) + oracle epoch (4) precede the count.
+  const std::size_t count_off = 4 + 2 + 4 + 8 + 2 + 2 + 4 + 4 + 4;
   q[count_off] = q[count_off + 1] = q[count_off + 2] = q[count_off + 3] = 0xFF;
   EXPECT_THROW(FingerprintQuery::decode(q), DecodeError);
 
-  // String length lie at the tail of a LocationResponse.
+  // String length lie at the tail of a LocationResponse (the empty `place`
+  // string's length field is the last four bytes on the wire).
   LocationResponse loc;
   loc.place_label = "hall";
   Bytes lb = loc.encode();
-  const std::size_t label_len_off = lb.size() - loc.place_label.size() - 4;
-  for (std::size_t i = 0; i < 4; ++i) lb[label_len_off + i] = 0xFF;
+  for (std::size_t i = 1; i <= 4; ++i) lb[lb.size() - i] = 0xFF;
   EXPECT_THROW(LocationResponse::decode(lb), DecodeError);
 
   // Blob length lie in a FrameUpload (payload claims 4 GB).
