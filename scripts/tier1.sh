@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + test suite, then a ThreadSanitizer pass
 # over the threading-sensitive test binaries (test_util, test_obs,
-# test_features, test_net, test_tcp, test_faults) plus the MapStore
-# ingest-while-serving soak from test_core.
+# test_features, test_net, test_tcp, test_faults, test_index) plus the
+# MapStore ingest-while-serving soak from test_core and the pool-parallel
+# differential-evolution suite from test_geometry.
 #
 # Usage: scripts/tier1.sh [build-dir] [tsan-build-dir]
 set -euo pipefail
@@ -19,7 +20,7 @@ ctest --test-dir "$build_dir" --output-on-failure -j
 echo "== tier-1: ThreadSanitizer pass (threaded + network suites) =="
 # Benchmarks/examples are irrelevant to the TSan pass; skip them for speed.
 tsan_targets=(test_util test_obs test_features test_net test_tcp test_faults
-              test_core)
+              test_index test_core test_geometry)
 cmake -B "$tsan_dir" -S "$repo_root" \
   -DVP_SANITIZE=thread \
   -DVP_BUILD_BENCHMARKS=OFF \
@@ -31,6 +32,10 @@ for t in "${tsan_targets[@]}"; do
     # ingest-while-serving soak); the rest of test_core is single-threaded
     # solver work that is slow under TSan and races nothing.
     "$tsan_dir/tests/$t" --gtest_filter='MapStore*'
+  elif [ "$t" = test_geometry ]; then
+    # Only the DE suite: its pool-size bit-identity test runs the chunked
+    # objective evaluation across 1/4/16 workers.
+    "$tsan_dir/tests/$t" --gtest_filter='DifferentialEvolution*'
   else
     "$tsan_dir/tests/$t"
   fi

@@ -14,7 +14,7 @@ namespace vp {
 // PlaceShard
 
 LocationResponse PlaceShard::localize(const FingerprintQuery& query,
-                                      Rng& rng) const {
+                                      Rng& rng, ThreadPool* pool) const {
   LocationResponse resp;
   resp.frame_id = query.frame_id;
   resp.place = place;
@@ -22,15 +22,20 @@ LocationResponse PlaceShard::localize(const FingerprintQuery& query,
   VP_OBS_COUNT("server.queries", 1);
   VP_OBS_COUNT("store.queries." + place, 1);
 
-  // Retrieval: |K| * n candidate (pixel, 3-D point) pairs.
+  // Retrieval: |K| * n candidate (pixel, 3-D point) pairs, scored as one
+  // batch so the pool and the per-worker scratch both apply.
   std::vector<Observation> candidates;
   std::vector<Vec3> points;
   {
     VP_OBS_SPAN("lsh.retrieve");
-    for (const auto& f : query.features) {
-      const auto matches =
-          index.query(f.descriptor, config.neighbors_per_keypoint);
-      for (const auto& m : matches) {
+    std::vector<Descriptor> qd;
+    qd.reserve(query.features.size());
+    for (const auto& f : query.features) qd.push_back(f.descriptor);
+    const auto batch =
+        index.query_batch(qd, config.neighbors_per_keypoint, pool);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const auto& f = query.features[i];
+      for (const auto& m : batch[i]) {
         if (m.distance2 > config.max_match_distance2) continue;
         candidates.push_back(
             {{f.keypoint.x, f.keypoint.y}, stored[m.id].position});
@@ -56,10 +61,12 @@ LocationResponse PlaceShard::localize(const FingerprintQuery& query,
   cam.width = query.image_width;
   cam.height = query.image_height;
   cam.fov_h = static_cast<double>(query.fov_h);
+  LocalizeConfig solve_cfg = config.localize;
+  solve_cfg.de.pool = pool;  // chunked objective evaluation, same answer
   std::optional<LocalizeResult> result;
   {
     VP_OBS_SPAN("localize.solve");
-    result = vp::localize(obs, cam, config.localize, rng);
+    result = vp::localize(obs, cam, solve_cfg, rng);
   }
   if (!result) return resp;
 
@@ -73,11 +80,13 @@ LocationResponse PlaceShard::localize(const FingerprintQuery& query,
 }
 
 std::vector<std::uint32_t> PlaceShard::scene_votes(
-    std::span<const Feature> features) const {
+    std::span<const Feature> features, ThreadPool* pool) const {
   std::vector<std::uint32_t> votes(
       static_cast<std::size_t>(std::max(0, scene_count)), 0);
-  for (const auto& f : features) {
-    const auto matches = index.query(f.descriptor, 1);
+  std::vector<Descriptor> qd;
+  qd.reserve(features.size());
+  for (const auto& f : features) qd.push_back(f.descriptor);
+  for (const auto& matches : index.query_batch(qd, 1, pool)) {
     if (matches.empty()) continue;
     if (matches[0].distance2 > config.max_match_distance2) continue;
     const std::int32_t sid = stored[matches[0].id].scene_id;
@@ -228,6 +237,7 @@ LocationResponse MapStore::localize(const FingerprintQuery& query,
   miss.frame_id = query.frame_id;
   miss.place = query.place;
 
+  ThreadPool* pool = default_config_.pool;
   if (!query.place.empty()) {
     const auto it = map->find(query.place);
     if (it == map->end()) {
@@ -236,11 +246,13 @@ LocationResponse MapStore::localize(const FingerprintQuery& query,
       VP_OBS_COUNT("store.unknown_place", 1);
       return miss;
     }
-    return it->second->localize(query, rng);
+    return it->second->localize(query, rng, pool);
   }
 
   if (map->empty()) return miss;
-  if (map->size() == 1) return map->begin()->second->localize(query, rng);
+  if (map->size() == 1) {
+    return map->begin()->second->localize(query, rng, pool);
+  }
 
   // Fan out across every shard and keep the best answer. Per-shard rng
   // seeds are drawn sequentially up front so results are deterministic
@@ -252,12 +264,14 @@ LocationResponse MapStore::localize(const FingerprintQuery& query,
   std::vector<std::uint64_t> seeds(shards.size());
   for (auto& s : seeds) s = rng.next_u64();
 
+  // Inside the fan-out each shard's own batch/solve parallelism collapses
+  // to inline execution (nested parallel_for runs on the calling worker),
+  // so per-shard results stay pool-size independent.
   std::vector<LocationResponse> results(shards.size());
   const auto run = [&](std::size_t i) {
     Rng shard_rng(seeds[i]);
-    results[i] = shards[i]->localize(query, shard_rng);
+    results[i] = shards[i]->localize(query, shard_rng, pool);
   };
-  ThreadPool* pool = default_config_.pool;
   if (pool != nullptr) {
     pool->parallel_for(shards.size(), run);
   } else {

@@ -86,12 +86,17 @@ struct PlaceShard {
 
   /// Localize one query against this shard alone: LSH retrieval of |K|*n
   /// candidate 3-D points, largest-cluster filtering, the Fig. 12 solve.
-  LocationResponse localize(const FingerprintQuery& query, Rng& rng) const;
+  /// `pool`, when given, parallelizes the retrieval batch and the DE
+  /// objective sweep — borrowed runtime plumbing (never persisted), hence
+  /// a parameter rather than shard state. Results are identical for any
+  /// pool size.
+  LocationResponse localize(const FingerprintQuery& query, Rng& rng,
+                            ThreadPool* pool = nullptr) const;
 
   /// Scene votes for a feature set (retrieval experiments): vote[s] =
   /// query features whose accepted nearest neighbor belongs to scene s.
-  std::vector<std::uint32_t> scene_votes(
-      std::span<const Feature> features) const;
+  std::vector<std::uint32_t> scene_votes(std::span<const Feature> features,
+                                         ThreadPool* pool = nullptr) const;
 };
 
 /// The sharded store. Thread-safety contract:

@@ -33,17 +33,19 @@ std::vector<std::uint32_t> SceneDatabase::votes(std::span<const Feature> query,
     if (sid >= 0) ++tally[static_cast<std::size_t>(sid)];
   };
 
+  std::vector<Descriptor> qd;
+  qd.reserve(query.size());
+  for (const auto& f : query) qd.push_back(f.descriptor);
+
   if (kind == MatcherKind::kBruteForce) {
     if (!brute_) {
       brute_ = std::make_unique<BruteForceMatcher>(descriptors_, pool_);
     }
-    std::vector<Descriptor> qd;
-    qd.reserve(query.size());
-    for (const auto& f : query) qd.push_back(f.descriptor);
     for (const auto& m : brute_->nearest_batch(qd)) vote(m);
   } else {
-    for (const auto& f : query) {
-      const auto matches = index_.query(f.descriptor, 1);
+    // Batched LSH scoring: one scratch per worker instead of a fresh
+    // matches vector per feature.
+    for (const auto& matches : index_.query_batch(qd, 1, pool_)) {
       if (!matches.empty()) vote(matches[0]);
     }
   }

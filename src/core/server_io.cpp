@@ -52,8 +52,8 @@ void read_index_config(ByteReader& r, ServerConfig& cfg) {
 void write_keypoints(ByteWriter& w, const PlaceShard& shard) {
   w.u32(static_cast<std::uint32_t>(shard.stored.size()));
   for (std::uint32_t id = 0; id < shard.stored.size(); ++id) {
-    const Descriptor& d = shard.index.descriptor(id);
-    w.raw(std::span<const std::uint8_t>(d.data(), d.size()));
+    w.raw(std::span<const std::uint8_t>(shard.index.descriptor_ptr(id),
+                                        kDescriptorDims));
     const StoredKeypoint& s = shard.stored[id];
     w.f64(s.position.x);
     w.f64(s.position.y);

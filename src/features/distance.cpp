@@ -1,0 +1,248 @@
+#include "features/distance.hpp"
+
+#include <array>
+#include <atomic>
+
+// Architecture gates. VP_DISABLE_SIMD (CMake option) forces the portable
+// scalar build even on SIMD-capable hosts so that path stays compiled and
+// tested; otherwise each kernel compiles whenever the *architecture* can
+// express it, and the CPU probe at startup decides which one runs.
+#if !defined(VP_DISABLE_SIMD) && (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define VP_DIST_X86 1
+#include <immintrin.h>
+#else
+#define VP_DIST_X86 0
+#endif
+
+#if !defined(VP_DISABLE_SIMD) && defined(__ARM_NEON)
+#define VP_DIST_NEON 1
+#include <arm_neon.h>
+#else
+#define VP_DIST_NEON 0
+#endif
+
+namespace vp {
+namespace {
+
+using DistanceFn = std::uint32_t (*)(const std::uint8_t*,
+                                     const std::uint8_t*) noexcept;
+
+// The scalar kernel is the portable *reference* the SIMD kernels are
+// verified against, so keep it genuinely scalar: at -O2/-O3 the
+// auto-vectorizer would otherwise rewrite this loop into SSE2/NEON code,
+// which makes kernel-vs-kernel comparisons meaningless and platform-
+// dependent. No production path pays for this — every SIMD-capable host
+// dispatches to an explicit kernel instead.
+#if defined(__clang__)
+std::uint32_t distance2_scalar(const std::uint8_t* a,
+                               const std::uint8_t* b) noexcept {
+  std::uint32_t sum = 0;
+#pragma clang loop vectorize(disable) interleave(disable)
+  for (std::size_t i = 0; i < kDistanceDims; ++i) {
+    const std::int32_t d =
+        static_cast<std::int32_t>(a[i]) - static_cast<std::int32_t>(b[i]);
+    sum += static_cast<std::uint32_t>(d * d);
+  }
+  return sum;
+}
+#else
+__attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
+std::uint32_t distance2_scalar(const std::uint8_t* a,
+                               const std::uint8_t* b) noexcept {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i < kDistanceDims; ++i) {
+    const std::int32_t d =
+        static_cast<std::int32_t>(a[i]) - static_cast<std::int32_t>(b[i]);
+    sum += static_cast<std::uint32_t>(d * d);
+  }
+  return sum;
+}
+#endif
+
+#if VP_DIST_X86
+
+// Both x86 kernels widen u8 -> i16, take the difference, and use the
+// multiply-accumulate madd (i16*i16 -> paired i32 sums). Worst-case term
+// is 255^2 = 65025; 128 of them total 8,323,200 — far inside i32, so the
+// integer arithmetic is exact and bit-identical to the scalar loop.
+
+__attribute__((target("sse4.1"))) std::uint32_t distance2_sse41(
+    const std::uint8_t* a, const std::uint8_t* b) noexcept {
+  __m128i acc = _mm_setzero_si128();
+  for (std::size_t i = 0; i < kDistanceDims; i += 16) {
+    const __m128i va = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(b + i));
+    const __m128i d_lo = _mm_sub_epi16(_mm_cvtepu8_epi16(va),
+                                       _mm_cvtepu8_epi16(vb));
+    const __m128i d_hi =
+        _mm_sub_epi16(_mm_cvtepu8_epi16(_mm_srli_si128(va, 8)),
+                      _mm_cvtepu8_epi16(_mm_srli_si128(vb, 8)));
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(d_lo, d_lo));
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(d_hi, d_hi));
+  }
+  acc = _mm_add_epi32(acc, _mm_shuffle_epi32(acc, _MM_SHUFFLE(1, 0, 3, 2)));
+  acc = _mm_add_epi32(acc, _mm_shuffle_epi32(acc, _MM_SHUFFLE(2, 3, 0, 1)));
+  return static_cast<std::uint32_t>(_mm_cvtsi128_si32(acc));
+}
+
+__attribute__((target("avx2"))) std::uint32_t distance2_avx2(
+    const std::uint8_t* a, const std::uint8_t* b) noexcept {
+  __m256i acc = _mm256_setzero_si256();
+  for (std::size_t i = 0; i < kDistanceDims; i += 32) {
+    const __m256i va = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(b + i));
+    const __m256i d_lo =
+        _mm256_sub_epi16(_mm256_cvtepu8_epi16(_mm256_castsi256_si128(va)),
+                         _mm256_cvtepu8_epi16(_mm256_castsi256_si128(vb)));
+    const __m256i d_hi =
+        _mm256_sub_epi16(_mm256_cvtepu8_epi16(_mm256_extracti128_si256(va, 1)),
+                         _mm256_cvtepu8_epi16(_mm256_extracti128_si256(vb, 1)));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(d_lo, d_lo));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(d_hi, d_hi));
+  }
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                            _mm256_extracti128_si256(acc, 1));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return static_cast<std::uint32_t>(_mm_cvtsi128_si32(s));
+}
+
+#endif  // VP_DIST_X86
+
+#if VP_DIST_NEON
+
+std::uint32_t distance2_neon(const std::uint8_t* a,
+                             const std::uint8_t* b) noexcept {
+  // |a-b| fits u8, its square fits u16*u16 -> u32; widening multiply-
+  // accumulate keeps everything exact.
+  uint32x4_t acc = vdupq_n_u32(0);
+  for (std::size_t i = 0; i < kDistanceDims; i += 16) {
+    const uint8x16_t va = vld1q_u8(a + i);
+    const uint8x16_t vb = vld1q_u8(b + i);
+    const uint16x8_t d_lo = vabdl_u8(vget_low_u8(va), vget_low_u8(vb));
+    const uint16x8_t d_hi = vabdl_u8(vget_high_u8(va), vget_high_u8(vb));
+    acc = vmlal_u16(acc, vget_low_u16(d_lo), vget_low_u16(d_lo));
+    acc = vmlal_u16(acc, vget_high_u16(d_lo), vget_high_u16(d_lo));
+    acc = vmlal_u16(acc, vget_low_u16(d_hi), vget_low_u16(d_hi));
+    acc = vmlal_u16(acc, vget_high_u16(d_hi), vget_high_u16(d_hi));
+  }
+#if defined(__aarch64__)
+  return vaddvq_u32(acc);
+#else
+  const uint32x2_t half = vadd_u32(vget_low_u32(acc), vget_high_u32(acc));
+  return vget_lane_u32(vpadd_u32(half, half), 0);
+#endif
+}
+
+#endif  // VP_DIST_NEON
+
+DistanceFn kernel_fn(DistanceKernel kernel) noexcept {
+  switch (kernel) {
+#if VP_DIST_X86
+    case DistanceKernel::kSse41:
+      return &distance2_sse41;
+    case DistanceKernel::kAvx2:
+      return &distance2_avx2;
+#endif
+#if VP_DIST_NEON
+    case DistanceKernel::kNeon:
+      return &distance2_neon;
+#endif
+    default:
+      return &distance2_scalar;
+  }
+}
+
+bool kernel_runnable(DistanceKernel kernel) noexcept {
+  switch (kernel) {
+    case DistanceKernel::kScalar:
+      return true;
+#if VP_DIST_X86
+    case DistanceKernel::kSse41:
+      return __builtin_cpu_supports("sse4.1");
+    case DistanceKernel::kAvx2:
+      return __builtin_cpu_supports("avx2");
+#endif
+#if VP_DIST_NEON
+    case DistanceKernel::kNeon:
+      return true;  // compiled only when the target guarantees NEON
+#endif
+    default:
+      return false;
+  }
+}
+
+constexpr std::array kCompiledKernels = {
+    DistanceKernel::kScalar,
+#if VP_DIST_X86
+    DistanceKernel::kSse41,
+    DistanceKernel::kAvx2,
+#endif
+#if VP_DIST_NEON
+    DistanceKernel::kNeon,
+#endif
+};
+
+DistanceKernel best_runnable_kernel() noexcept {
+  DistanceKernel best = DistanceKernel::kScalar;
+  for (const DistanceKernel k : kCompiledKernels) {
+    if (kernel_runnable(k)) best = k;  // list is ordered fastest-last
+  }
+  return best;
+}
+
+// Selected once before main(); the hot path pays one relaxed load.
+std::atomic<DistanceKernel> g_active{best_runnable_kernel()};
+std::atomic<DistanceFn> g_active_fn{kernel_fn(best_runnable_kernel())};
+
+}  // namespace
+
+std::string_view kernel_name(DistanceKernel kernel) noexcept {
+  switch (kernel) {
+    case DistanceKernel::kScalar:
+      return "scalar";
+    case DistanceKernel::kSse41:
+      return "sse4.1";
+    case DistanceKernel::kAvx2:
+      return "avx2";
+    case DistanceKernel::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+std::span<const DistanceKernel> compiled_distance_kernels() noexcept {
+  return kCompiledKernels;
+}
+
+DistanceKernel active_distance_kernel() noexcept {
+  return g_active.load(std::memory_order_relaxed);
+}
+
+bool set_distance_kernel(DistanceKernel kernel) noexcept {
+  bool compiled = false;
+  for (const DistanceKernel k : kCompiledKernels) compiled |= (k == kernel);
+  if (!compiled || !kernel_runnable(kernel)) return false;
+  g_active.store(kernel, std::memory_order_relaxed);
+  g_active_fn.store(kernel_fn(kernel), std::memory_order_relaxed);
+  return true;
+}
+
+std::uint32_t distance2_u8_128(const std::uint8_t* a,
+                               const std::uint8_t* b) noexcept {
+  return g_active_fn.load(std::memory_order_relaxed)(a, b);
+}
+
+std::uint32_t distance2_u8_128_with(DistanceKernel kernel,
+                                    const std::uint8_t* a,
+                                    const std::uint8_t* b) noexcept {
+  return kernel_runnable(kernel) ? kernel_fn(kernel)(a, b)
+                                 : distance2_scalar(a, b);
+}
+
+}  // namespace vp

@@ -1,0 +1,62 @@
+// SIMD descriptor-distance kernels with runtime dispatch.
+//
+// The paper runs brute-force matching "on GPU as a SIMD matching"; the CPU
+// equivalent is a vectorized u8 squared-L2 kernel. This module compiles
+// every kernel the target architecture can express (AVX2 and SSE4.1 on
+// x86, NEON on ARM, plus the portable scalar loop), probes the CPU once at
+// startup, and routes all distance work through the best supported kernel
+// via a single indirect call. Every kernel returns bit-identical sums —
+// the arithmetic is exact integer math, so kernel choice can never change
+// a Match list (asserted in tests/test_features.cpp).
+//
+// Build with -DVP_DISABLE_SIMD=ON (CMake) to compile only the scalar
+// kernel — the fallback path CI keeps honest.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace vp {
+
+/// Dimensionality every kernel is specialized for (SIFT descriptors).
+inline constexpr std::size_t kDistanceDims = 128;
+
+enum class DistanceKernel : std::uint8_t {
+  kScalar = 0,
+  kSse41 = 1,
+  kAvx2 = 2,
+  kNeon = 3,
+};
+
+std::string_view kernel_name(DistanceKernel kernel) noexcept;
+
+/// Kernels compiled into this binary, fastest last. Always contains
+/// kScalar; tests iterate this to cross-check every variant.
+std::span<const DistanceKernel> compiled_distance_kernels() noexcept;
+
+/// The kernel distance2_u8_128 currently dispatches to. Defaults to the
+/// fastest compiled-in kernel the running CPU supports, selected once
+/// before main() runs.
+DistanceKernel active_distance_kernel() noexcept;
+
+/// Force the dispatch target (benches pin the scalar baseline; tests pin
+/// each variant). Returns false — and changes nothing — when `kernel` is
+/// not compiled in or the CPU lacks the instruction set. The swap is a
+/// single relaxed pointer store: safe to call between query batches, not
+/// concurrently with them.
+bool set_distance_kernel(DistanceKernel kernel) noexcept;
+
+/// Squared L2 distance between two 128-byte u8 vectors via the active
+/// kernel. The pointers need no alignment (unaligned loads throughout).
+std::uint32_t distance2_u8_128(const std::uint8_t* a,
+                               const std::uint8_t* b) noexcept;
+
+/// Evaluate with one specific kernel regardless of the active dispatch —
+/// the test harness for kernel-vs-kernel bit-identity. Falls back to the
+/// scalar kernel when `kernel` is unavailable.
+std::uint32_t distance2_u8_128_with(DistanceKernel kernel,
+                                    const std::uint8_t* a,
+                                    const std::uint8_t* b) noexcept;
+
+}  // namespace vp

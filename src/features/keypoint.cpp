@@ -1,16 +1,15 @@
 #include "features/keypoint.hpp"
 
+#include "features/distance.hpp"
+
 namespace vp {
+
+static_assert(kDistanceDims == kDescriptorDims,
+              "distance kernels are specialized for SIFT descriptors");
 
 std::uint32_t descriptor_distance2(const Descriptor& a,
                                    const Descriptor& b) noexcept {
-  std::uint32_t sum = 0;
-  for (std::size_t i = 0; i < kDescriptorDims; ++i) {
-    const std::int32_t d =
-        static_cast<std::int32_t>(a[i]) - static_cast<std::int32_t>(b[i]);
-    sum += static_cast<std::uint32_t>(d * d);
-  }
-  return sum;
+  return distance2_u8_128(a.data(), b.data());
 }
 
 void serialize_feature(const Feature& f, ByteWriter& w) {

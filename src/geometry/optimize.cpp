@@ -4,9 +4,32 @@
 #include <limits>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace vp {
+namespace {
+
+/// Run fn(i) for i in [0, n): serially without a pool, otherwise in
+/// contiguous pool-sized chunks (one task per pool slot, not per member).
+void for_chunked(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (pool == nullptr) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const std::size_t chunks =
+      std::min<std::size_t>(n, std::max<std::size_t>(1, pool->thread_count()));
+  const std::size_t per = (n + chunks - 1) / chunks;
+  pool->parallel_for(chunks, [&](std::size_t c) {
+    const std::size_t lo = c * per;
+    const std::size_t hi = std::min(n, lo + per);
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+}  // namespace
 
 DeResult differential_evolution(
     const std::function<double(std::span<const double>)>& objective,
@@ -22,16 +45,19 @@ DeResult differential_evolution(
 
   Timer timer;
   const std::size_t np = config.population;
+  ThreadPool* pool = config.pool;
 
-  // Initialize population uniformly in the box.
+  // Initialize population uniformly in the box: positions drawn serially
+  // from the caller's rng (fixed draw order), objectives evaluated in
+  // parallel.
   std::vector<std::vector<double>> pop(np, std::vector<double>(dim));
   std::vector<double> cost(np);
   for (std::size_t i = 0; i < np; ++i) {
     for (std::size_t d = 0; d < dim; ++d) {
       pop[i][d] = rng.uniform(lo[d], hi[d]);
     }
-    cost[i] = objective(pop[i]);
   }
+  for_chunked(pool, np, [&](std::size_t i) { cost[i] = objective(pop[i]); });
 
   std::size_t best_i = static_cast<std::size_t>(
       std::min_element(cost.begin(), cost.end()) - cost.begin());
@@ -40,7 +66,9 @@ DeResult differential_evolution(
   result.best = pop[best_i];
   result.cost = cost[best_i];
 
-  std::vector<double> trial(dim);
+  std::vector<std::uint64_t> seeds(np);
+  std::vector<std::vector<double>> trials(np, std::vector<double>(dim));
+  std::vector<double> trial_cost(np);
   double last_improvement_cost = result.cost;
   std::size_t stall = 0;
 
@@ -49,29 +77,42 @@ DeResult differential_evolution(
       result.hit_time_bound = true;
       break;
     }
-    for (std::size_t i = 0; i < np; ++i) {
-      // Pick three distinct members, all != i.
-      std::size_t a, b, c;
-      do { a = rng.uniform_u64(np); } while (a == i);
-      do { b = rng.uniform_u64(np); } while (b == i || b == a);
-      do { c = rng.uniform_u64(np); } while (c == i || c == a || c == b);
+    // One seed per member, drawn serially: member i's mutation/crossover
+    // stream depends only on (caller rng state, i), never on evaluation
+    // order.
+    for (auto& s : seeds) s = rng.next_u64();
 
-      const std::size_t jrand = rng.uniform_u64(dim);
+    for_chunked(pool, np, [&](std::size_t i) {
+      Rng member_rng(seeds[i]);
+      // Pick three distinct members, all != i, from the frozen generation.
+      std::size_t a, b, c;
+      do { a = member_rng.uniform_u64(np); } while (a == i);
+      do { b = member_rng.uniform_u64(np); } while (b == i || b == a);
+      do { c = member_rng.uniform_u64(np); } while (c == i || c == a || c == b);
+
+      auto& trial = trials[i];
+      const std::size_t jrand = member_rng.uniform_u64(dim);
       for (std::size_t d = 0; d < dim; ++d) {
-        if (d == jrand || rng.chance(config.crossover)) {
-          double v = pop[a][d] + config.weight * (pop[b][d] - pop[c][d]);
+        if (d == jrand || member_rng.chance(config.crossover)) {
+          const double v =
+              pop[a][d] + config.weight * (pop[b][d] - pop[c][d]);
           trial[d] = std::clamp(v, lo[d], hi[d]);
         } else {
           trial[d] = pop[i][d];
         }
       }
-      const double tc = objective(trial);
-      if (tc <= cost[i]) {
-        pop[i] = trial;
-        cost[i] = tc;
-        if (tc < result.cost) {
-          result.cost = tc;
-          result.best = trial;
+      trial_cost[i] = objective(trial);
+    });
+
+    // Serial selection in member order: replacement and best-tracking are
+    // pure functions of the (deterministic) trials and costs.
+    for (std::size_t i = 0; i < np; ++i) {
+      if (trial_cost[i] <= cost[i]) {
+        std::swap(pop[i], trials[i]);
+        cost[i] = trial_cost[i];
+        if (cost[i] < result.cost) {
+          result.cost = cost[i];
+          result.best = pop[i];
         }
       }
     }

@@ -3,6 +3,14 @@
 // The paper solves the Fig. 12 localization optimization "using a
 // time-bounded differential evolution"; this is a general-purpose
 // implementation also used by the ablation benches.
+//
+// Parallel contract: each generation draws one RNG seed per population
+// member from the caller's rng, builds that member's trial from its own
+// derived stream against the frozen previous-generation population, and
+// evaluates all objectives in pool-sized chunks; selection then applies
+// serially in member order. Trial construction never observes another
+// member's in-flight replacement, so DeResult is bit-identical for any
+// pool size (including no pool).
 #pragma once
 
 #include <functional>
@@ -13,6 +21,8 @@
 
 namespace vp {
 
+class ThreadPool;
+
 struct DeConfig {
   std::size_t population = 48;
   std::size_t max_generations = 300;
@@ -22,6 +32,10 @@ struct DeConfig {
   double tolerance = 1e-10;     ///< stop when best cost improves less than this
                                 ///< over `stall_generations`
   std::size_t stall_generations = 40;
+  /// Borrowed worker pool (never owned, never persisted): objective
+  /// evaluations run chunked across it. The objective must then be safe to
+  /// call concurrently on distinct arguments — pure functions qualify.
+  ThreadPool* pool = nullptr;
 };
 
 struct DeResult {
@@ -32,7 +46,9 @@ struct DeResult {
 };
 
 /// Minimize `objective` over a box [lo[i], hi[i]] per dimension.
-/// `objective` must be pure w.r.t. its argument. Deterministic given `rng`.
+/// `objective` must be pure w.r.t. its argument (and is called from pool
+/// workers when `config.pool` is set). Deterministic given `rng`,
+/// independent of pool size.
 DeResult differential_evolution(
     const std::function<double(std::span<const double>)>& objective,
     std::span<const double> lo, std::span<const double> hi,

@@ -4,6 +4,7 @@
 #include <limits>
 #include <numeric>
 
+#include "features/distance.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -15,9 +16,10 @@ BruteForceMatcher::BruteForceMatcher(std::span<const Descriptor> database,
 
 Match BruteForceMatcher::nearest(const Descriptor& query) const {
   VP_REQUIRE(!database_.empty(), "brute force: empty database");
+  const std::uint8_t* q = query.data();
   Match best{0, std::numeric_limits<std::uint32_t>::max()};
   for (std::size_t i = 0; i < database_.size(); ++i) {
-    const std::uint32_t d = descriptor_distance2(database_[i], query);
+    const std::uint32_t d = distance2_u8_128(database_[i].data(), q);
     if (d < best.distance2) {
       best = {static_cast<std::uint32_t>(i), d};
     }
@@ -25,32 +27,77 @@ Match BruteForceMatcher::nearest(const Descriptor& query) const {
   return best;
 }
 
+void BruteForceMatcher::knn_into(const Descriptor& query, std::size_t k,
+                                 std::vector<Match>& scratch,
+                                 std::vector<Match>& out) const {
+  k = std::min(k, database_.size());
+  scratch.resize(database_.size());
+  const std::uint8_t* q = query.data();
+  for (std::size_t i = 0; i < database_.size(); ++i) {
+    scratch[i] = {static_cast<std::uint32_t>(i),
+                  distance2_u8_128(database_[i].data(), q)};
+  }
+  // Partition the k smallest to the front (O(N)), then order only that
+  // prefix — the full N log N sort the old path paid is gone.
+  const auto kth = scratch.begin() + static_cast<std::ptrdiff_t>(k);
+  if (kth != scratch.end()) {
+    std::nth_element(scratch.begin(), kth, scratch.end(), match_less);
+  }
+  std::partial_sort(scratch.begin(), kth, kth, match_less);
+  out.assign(scratch.begin(), kth);
+}
+
 std::vector<Match> BruteForceMatcher::knn(const Descriptor& query,
                                           std::size_t k) const {
   VP_REQUIRE(!database_.empty(), "brute force: empty database");
-  k = std::min(k, database_.size());
-  std::vector<Match> all(database_.size());
-  for (std::size_t i = 0; i < database_.size(); ++i) {
-    all[i] = {static_cast<std::uint32_t>(i),
-              descriptor_distance2(database_[i], query)};
-  }
-  std::partial_sort(all.begin(), all.begin() + k, all.end(),
-                    [](const Match& a, const Match& b) {
-                      return a.distance2 < b.distance2;
-                    });
-  all.resize(k);
-  return all;
+  std::vector<Match> scratch;
+  std::vector<Match> out;
+  knn_into(query, k, scratch, out);
+  return out;
 }
 
 std::vector<Match> BruteForceMatcher::nearest_batch(
     std::span<const Descriptor> queries) const {
   std::vector<Match> out(queries.size());
-  auto work = [&](std::size_t i) { out[i] = nearest(queries[i]); };
-  if (pool_ != nullptr) {
-    pool_->parallel_for(queries.size(), work);
-  } else {
-    for (std::size_t i = 0; i < queries.size(); ++i) work(i);
+  if (queries.empty()) return out;
+  const auto run_range = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) out[i] = nearest(queries[i]);
+  };
+  if (pool_ == nullptr) {
+    run_range(0, queries.size());
+    return out;
   }
+  // Contiguous chunks, one per pool slot: far fewer task handoffs than a
+  // task per query, and each worker streams the database cache-linearly.
+  const std::size_t chunks = std::min<std::size_t>(
+      queries.size(), std::max<std::size_t>(1, pool_->thread_count()));
+  const std::size_t per = (queries.size() + chunks - 1) / chunks;
+  pool_->parallel_for(chunks, [&](std::size_t c) {
+    run_range(c * per, std::min(queries.size(), c * per + per));
+  });
+  return out;
+}
+
+std::vector<std::vector<Match>> BruteForceMatcher::knn_batch(
+    std::span<const Descriptor> queries, std::size_t k) const {
+  std::vector<std::vector<Match>> out(queries.size());
+  if (queries.empty()) return out;
+  const auto run_range = [&](std::size_t lo, std::size_t hi) {
+    std::vector<Match> scratch;  // one N-sized buffer per worker chunk
+    for (std::size_t i = lo; i < hi; ++i) {
+      knn_into(queries[i], k, scratch, out[i]);
+    }
+  };
+  if (pool_ == nullptr) {
+    run_range(0, queries.size());
+    return out;
+  }
+  const std::size_t chunks = std::min<std::size_t>(
+      queries.size(), std::max<std::size_t>(1, pool_->thread_count()));
+  const std::size_t per = (queries.size() + chunks - 1) / chunks;
+  pool_->parallel_for(chunks, [&](std::size_t c) {
+    run_range(c * per, std::min(queries.size(), c * per + per));
+  });
   return out;
 }
 

@@ -1,9 +1,10 @@
 // Exact nearest-neighbor matcher.
 //
 // The paper runs BruteForce "on GPU as a SIMD matching"; here the distance
-// sweep is blocked across a thread pool, which preserves the semantics
-// (exact answers, database resident in memory — the Fig. 15 footprint)
-// while running on CPU.
+// sweep runs the SIMD CPU kernel (features/distance.hpp) over the flat
+// descriptor array and is blocked across a thread pool, which preserves
+// the semantics (exact answers, database resident in memory — the Fig. 15
+// footprint) while running on CPU.
 #pragma once
 
 #include <span>
@@ -18,18 +19,29 @@ namespace vp {
 class BruteForceMatcher {
  public:
   /// References `database` for its lifetime (no copy: mirrors the paper's
-  /// "loading all database keypoints into memory" accounting).
+  /// "loading all database keypoints into memory" accounting). The vector
+  /// of 128-byte arrays is already a contiguous 128-byte-stride buffer,
+  /// which is exactly what the SIMD sweep wants.
   explicit BruteForceMatcher(std::span<const Descriptor> database,
                              ThreadPool* pool = nullptr);
 
-  /// Exact nearest neighbor.
+  /// Exact nearest neighbor (ties break toward the smaller id).
   Match nearest(const Descriptor& query) const;
 
-  /// Exact k nearest neighbors, ascending distance.
+  /// Exact k nearest neighbors, ascending (distance, id). Scores every
+  /// database entry once, then nth_element + partial_sort of the k prefix
+  /// — never a full sort of all N distances.
   std::vector<Match> knn(const Descriptor& query, std::size_t k) const;
 
-  /// Nearest neighbor for each query, parallelized across the pool.
+  /// Nearest neighbor for each query, blocked across the pool in
+  /// contiguous chunks. out[i] == nearest(queries[i]) for any pool size.
   std::vector<Match> nearest_batch(std::span<const Descriptor> queries) const;
+
+  /// knn for each query, blocked across the pool; the per-worker distance
+  /// scratch is reused across that worker's queries instead of being
+  /// reallocated N times. out[i] == knn(queries[i], k) for any pool size.
+  std::vector<std::vector<Match>> knn_batch(std::span<const Descriptor> queries,
+                                            std::size_t k) const;
 
   std::size_t size() const noexcept { return database_.size(); }
 
@@ -39,6 +51,9 @@ class BruteForceMatcher {
   }
 
  private:
+  void knn_into(const Descriptor& query, std::size_t k,
+                std::vector<Match>& scratch, std::vector<Match>& out) const;
+
   std::span<const Descriptor> database_;
   ThreadPool* pool_;
 };

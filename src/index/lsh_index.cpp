@@ -2,10 +2,38 @@
 
 #include <algorithm>
 
+#include "features/distance.hpp"
 #include "hashing/murmur3.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace vp {
+
+void select_top_k(std::vector<Match>& matches, std::size_t k) {
+  if (k == 0) {
+    matches.clear();
+    return;
+  }
+  if (k >= matches.size()) {
+    std::sort(matches.begin(), matches.end(), match_less);
+    return;
+  }
+  // Max-heap over the first k slots (largest-so-far on top), then stream
+  // the tail through it: each survivor displaces the current worst.
+  const auto first = matches.begin();
+  const auto kth = first + static_cast<std::ptrdiff_t>(k);
+  std::make_heap(first, kth, match_less);
+  for (std::size_t i = k; i < matches.size(); ++i) {
+    if (match_less(matches[i], matches[0])) {
+      std::pop_heap(first, kth, match_less);
+      matches[k - 1] = matches[i];
+      std::push_heap(first, kth, match_less);
+    }
+  }
+  matches.resize(k);
+  std::sort_heap(matches.begin(), matches.end(), match_less);
+}
 
 LshIndex::LshIndex(LshIndexConfig config)
     : config_(config),
@@ -23,20 +51,28 @@ std::uint64_t LshIndex::bucket_key(const LshBucket& bucket,
 }
 
 void LshIndex::reserve(std::size_t n) {
-  descriptors_.reserve(n);
+  flat_.reserve(n * kDescriptorDims);
   // Bucket occupancy is roughly n ids spread across the map; reserving at
   // that count keeps the rebuild loop from rehashing log(n) times.
   for (auto& table : tables_) table.reserve(n);
 }
 
 std::uint32_t LshIndex::insert(const Descriptor& descriptor) {
-  VP_REQUIRE(descriptors_.size() < UINT32_MAX, "index full");
-  const auto id = static_cast<std::uint32_t>(descriptors_.size());
-  descriptors_.push_back(descriptor);
+  VP_REQUIRE(size_ < UINT32_MAX, "index full");
+  const auto id = static_cast<std::uint32_t>(size_);
+  flat_.insert(flat_.end(), descriptor.begin(), descriptor.end());
+  ++size_;
   for (std::size_t t = 0; t < tables_.size(); ++t) {
     tables_[t][bucket_key(lsh_.bucket(descriptor, t), t)].push_back(id);
   }
   return id;
+}
+
+Descriptor LshIndex::descriptor(std::uint32_t id) const {
+  VP_REQUIRE(id < size_, "descriptor id out of range");
+  Descriptor d;
+  std::copy_n(descriptor_ptr(id), kDescriptorDims, d.begin());
+  return d;
 }
 
 void LshIndex::gather(const LshBucket& bucket, std::size_t table,
@@ -46,9 +82,11 @@ void LshIndex::gather(const LshBucket& bucket, std::size_t table,
   out.insert(out.end(), it->second.begin(), it->second.end());
 }
 
-std::vector<Match> LshIndex::query(const Descriptor& descriptor,
-                                   std::size_t k) const {
-  std::vector<std::uint32_t> candidates;
+void LshIndex::query_into(const Descriptor& descriptor, std::size_t k,
+                          Scratch& s, std::vector<Match>& out) const {
+  out.clear();
+  auto& candidates = s.candidates;
+  candidates.clear();
   for (std::size_t t = 0; t < tables_.size(); ++t) {
     LshBucket bucket = lsh_.bucket(descriptor, t);
     gather(bucket, t, candidates);
@@ -66,32 +104,65 @@ std::vector<Match> LshIndex::query(const Descriptor& descriptor,
   std::sort(candidates.begin(), candidates.end());
   candidates.erase(std::unique(candidates.begin(), candidates.end()),
                    candidates.end());
+  // Cap *before* any ranking work: the distance sweep and heap selection
+  // below never see more than max_candidates ids.
   if (candidates.size() > config_.max_candidates) {
     candidates.resize(config_.max_candidates);
+    VP_OBS_COUNT("index.candidates_truncated", 1);
   }
 
-  std::vector<Match> matches;
-  matches.reserve(candidates.size());
-  for (std::uint32_t id : candidates) {
-    matches.push_back({id, descriptor_distance2(descriptors_[id], descriptor)});
+  auto& matches = s.matches;
+  matches.clear();
+  const std::uint8_t* q = descriptor.data();
+  for (const std::uint32_t id : candidates) {
+    matches.push_back({id, distance2_u8_128(descriptor_ptr(id), q)});
   }
-  const std::size_t keep = std::min(k, matches.size());
-  std::partial_sort(matches.begin(), matches.begin() + keep, matches.end(),
-                    [](const Match& a, const Match& b) {
-                      return a.distance2 < b.distance2;
-                    });
-  matches.resize(keep);
-  return matches;
+  select_top_k(matches, k);
+  out.assign(matches.begin(), matches.end());
+}
+
+std::vector<Match> LshIndex::query(const Descriptor& descriptor,
+                                   std::size_t k) const {
+  Scratch s;
+  std::vector<Match> out;
+  query_into(descriptor, k, s, out);
+  return out;
+}
+
+std::vector<std::vector<Match>> LshIndex::query_batch(
+    std::span<const Descriptor> queries, std::size_t k,
+    ThreadPool* pool) const {
+  std::vector<std::vector<Match>> out(queries.size());
+  if (queries.empty()) return out;
+  if (pool == nullptr) {
+    Scratch s;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      query_into(queries[i], k, s, out[i]);
+    }
+    return out;
+  }
+  // One scratch per contiguous chunk, one chunk per pool slot; the tables
+  // and flat descriptor array are read-only here and every chunk writes a
+  // disjoint slice of `out`.
+  const std::size_t chunks = std::min<std::size_t>(
+      queries.size(), std::max<std::size_t>(1, pool->thread_count()));
+  const std::size_t per = (queries.size() + chunks - 1) / chunks;
+  pool->parallel_for(chunks, [&](std::size_t c) {
+    Scratch s;
+    const std::size_t lo = c * per;
+    const std::size_t hi = std::min(queries.size(), lo + per);
+    for (std::size_t i = lo; i < hi; ++i) query_into(queries[i], k, s, out[i]);
+  });
+  return out;
 }
 
 std::size_t LshIndex::reference_e2lsh_byte_size() const noexcept {
   const std::size_t per_entry = sizeof(Descriptor) + 2 * sizeof(void*) + 16;
-  return descriptors_.size() * (sizeof(Descriptor) +
-                                tables_.size() * per_entry);
+  return size_ * (sizeof(Descriptor) + tables_.size() * per_entry);
 }
 
 std::size_t LshIndex::byte_size() const noexcept {
-  std::size_t bytes = descriptors_.size() * sizeof(Descriptor);
+  std::size_t bytes = flat_.capacity();
   for (const auto& table : tables_) {
     // Per-node overhead of unordered_map (bucket array + node allocation)
     // plus the id vectors themselves.

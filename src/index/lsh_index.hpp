@@ -7,9 +7,18 @@
 // This is the baseline "LSH" scheme of Fig. 13/15, and doubles as the
 // keypoint-to-3D lookup table when the caller keeps a parallel array of
 // 3-D positions per descriptor id.
+//
+// Hot-path layout: descriptors live in one contiguous 128-byte-stride byte
+// array, so exact ranking walks a flat buffer with the SIMD distance
+// kernel (features/distance.hpp) instead of chasing per-descriptor
+// objects. Ranking itself is a bounded max-heap top-k (`select_top_k`),
+// and whole-query batches score on a borrowed ThreadPool with per-worker
+// scratch (`query_batch`) — same determinism contract as the client path:
+// identical results for any pool size.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -17,6 +26,8 @@
 #include "hashing/lsh.hpp"
 
 namespace vp {
+
+class ThreadPool;
 
 struct LshIndexConfig {
   LshConfig lsh{};
@@ -29,6 +40,19 @@ struct Match {
   std::uint32_t distance2 = 0;   ///< exact squared L2 distance
 };
 
+/// Strict-weak ranking order for matches: ascending distance, ties broken
+/// by ascending id — a total order, so every top-k selection below is
+/// deterministic regardless of kernel, pool size, or traversal order.
+inline bool match_less(const Match& a, const Match& b) noexcept {
+  return a.distance2 != b.distance2 ? a.distance2 < b.distance2
+                                    : a.id < b.id;
+}
+
+/// Keep the k smallest matches (by match_less) in `matches`, sorted
+/// ascending, via a bounded max-heap over the first k slots: O(n log k)
+/// and in place, replacing the sort-everything top-k.
+void select_top_k(std::vector<Match>& matches, std::size_t k);
+
 class LshIndex {
  public:
   explicit LshIndex(LshIndexConfig config = {});
@@ -39,13 +63,26 @@ class LshIndex {
   /// k nearest neighbors among LSH candidates, ascending distance.
   std::vector<Match> query(const Descriptor& descriptor, std::size_t k) const;
 
+  /// query() for a whole fingerprint's descriptors at once — the server's
+  /// retrieval hot path. Reuses per-worker scratch (candidate ids and
+  /// scored matches are hoisted out of the per-descriptor loop) and, when
+  /// `pool` is non-null, splits the batch across it in contiguous chunks.
+  /// Results are index-addressed: out[i] == query(queries[i], k) for any
+  /// pool size.
+  std::vector<std::vector<Match>> query_batch(
+      std::span<const Descriptor> queries, std::size_t k,
+      ThreadPool* pool = nullptr) const;
+
   /// Pre-size the descriptor array and per-table bucket maps for `n`
   /// inserts (bulk shard rebuilds on database load).
   void reserve(std::size_t n);
 
-  std::size_t size() const noexcept { return descriptors_.size(); }
-  const Descriptor& descriptor(std::uint32_t id) const {
-    return descriptors_.at(id);
+  std::size_t size() const noexcept { return size_; }
+  /// Copy of a stored descriptor (the storage itself is a flat byte array).
+  Descriptor descriptor(std::uint32_t id) const;
+  /// Borrowed pointer to a stored descriptor's 128 contiguous bytes.
+  const std::uint8_t* descriptor_ptr(std::uint32_t id) const noexcept {
+    return flat_.data() + static_cast<std::size_t>(id) * kDescriptorDims;
   }
 
   /// Approximate resident memory of THIS implementation: descriptors
@@ -65,13 +102,22 @@ class LshIndex {
  private:
   using BucketMap = std::unordered_map<std::uint64_t, std::vector<std::uint32_t>>;
 
+  /// Per-worker reusable buffers for the query hot path.
+  struct Scratch {
+    std::vector<std::uint32_t> candidates;
+    std::vector<Match> matches;
+  };
+
   std::uint64_t bucket_key(const LshBucket& bucket, std::size_t table) const;
   void gather(const LshBucket& bucket, std::size_t table,
               std::vector<std::uint32_t>& out) const;
+  void query_into(const Descriptor& descriptor, std::size_t k, Scratch& s,
+                  std::vector<Match>& out) const;
 
   LshIndexConfig config_;
   E2Lsh lsh_;
-  std::vector<Descriptor> descriptors_;
+  std::vector<std::uint8_t> flat_;  ///< size_ descriptors, 128-byte stride
+  std::size_t size_ = 0;
   std::vector<BucketMap> tables_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "features/distance.hpp"
 #include "features/draw.hpp"
 #include "features/keypoint.hpp"
 #include "features/pca.hpp"
@@ -33,6 +34,73 @@ TEST(Descriptor, DistanceMaxBound) {
   Descriptor a{}, b{};
   for (auto& v : b) v = 255;
   EXPECT_EQ(descriptor_distance2(a, b), 128u * 255u * 255u);
+}
+
+TEST(DistanceKernels, ScalarAlwaysCompiledAndActiveIsCompiled) {
+  const auto kernels = compiled_distance_kernels();
+  ASSERT_FALSE(kernels.empty());
+  EXPECT_EQ(kernels.front(), DistanceKernel::kScalar);
+  bool active_listed = false;
+  for (const auto k : kernels) active_listed |= (k == active_distance_kernel());
+  EXPECT_TRUE(active_listed);
+  EXPECT_FALSE(kernel_name(active_distance_kernel()).empty());
+}
+
+// Every compiled-in kernel must agree bit-for-bit with the scalar loop:
+// 10k random pairs plus the adversarial extremes (all-zero, all-255, and
+// saturating alternations that maximize each i16 lane product).
+TEST(DistanceKernels, BitIdenticalToScalarOnRandomAndAdversarialPairs) {
+  std::vector<std::pair<Descriptor, Descriptor>> pairs;
+  Rng rng(0xd15ul);
+  for (int i = 0; i < 10'000; ++i) {
+    Descriptor a, b;
+    for (auto& v : a) v = static_cast<std::uint8_t>(rng.uniform_u64(256));
+    for (auto& v : b) v = static_cast<std::uint8_t>(rng.uniform_u64(256));
+    pairs.emplace_back(a, b);
+  }
+  Descriptor zeros{}, maxed{}, alt_a{}, alt_b{};
+  for (auto& v : maxed) v = 255;
+  for (std::size_t i = 0; i < kDescriptorDims; ++i) {
+    alt_a[i] = (i % 2 == 0) ? 255 : 0;  // max |diff| in every lane, both
+    alt_b[i] = (i % 2 == 0) ? 0 : 255;  // signs through the widen+madd
+  }
+  pairs.emplace_back(zeros, zeros);
+  pairs.emplace_back(zeros, maxed);
+  pairs.emplace_back(maxed, maxed);
+  pairs.emplace_back(alt_a, alt_b);
+  pairs.emplace_back(alt_a, maxed);
+
+  for (const DistanceKernel kernel : compiled_distance_kernels()) {
+    SCOPED_TRACE(std::string(kernel_name(kernel)));
+    for (const auto& [a, b] : pairs) {
+      const std::uint32_t expected =
+          distance2_u8_128_with(DistanceKernel::kScalar, a.data(), b.data());
+      EXPECT_EQ(distance2_u8_128_with(kernel, a.data(), b.data()), expected);
+    }
+  }
+}
+
+TEST(DistanceKernels, SetKernelSwitchesDispatchAndRejectsUncompiled) {
+  const DistanceKernel original = active_distance_kernel();
+  for (const DistanceKernel kernel : compiled_distance_kernels()) {
+    ASSERT_TRUE(set_distance_kernel(kernel));
+    EXPECT_EQ(active_distance_kernel(), kernel);
+    Descriptor a{}, b{};
+    b[0] = 3;
+    b[127] = 4;
+    EXPECT_EQ(descriptor_distance2(a, b), 25u);  // dispatch stays exact
+  }
+  // A kernel for a foreign architecture is never switchable: NEON on x86
+  // builds, AVX2 on ARM builds (and everything but scalar under
+  // VP_DISABLE_SIMD).
+  const auto kernels = compiled_distance_kernels();
+  for (const DistanceKernel probe :
+       {DistanceKernel::kSse41, DistanceKernel::kAvx2, DistanceKernel::kNeon}) {
+    bool compiled = false;
+    for (const auto k : kernels) compiled |= (k == probe);
+    if (!compiled) EXPECT_FALSE(set_distance_kernel(probe));
+  }
+  ASSERT_TRUE(set_distance_kernel(original));
 }
 
 TEST(Feature, SerializeRoundtrip) {

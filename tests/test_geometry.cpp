@@ -12,6 +12,7 @@
 #include "geometry/optimize.hpp"
 #include "geometry/pose.hpp"
 #include "geometry/vec.hpp"
+#include "util/thread_pool.hpp"
 
 namespace vp {
 namespace {
@@ -247,6 +248,42 @@ TEST(DifferentialEvolution, TimeBounded) {
   const auto result = differential_evolution(slow, lo, hi, cfg, rng);
   EXPECT_TRUE(result.hit_time_bound);
   EXPECT_LT(result.generations, 2u);
+}
+
+TEST(DifferentialEvolution, BitIdenticalForAnyPoolSize) {
+  // Rastrigin-style multimodal objective: pool-size-dependent evaluation
+  // order would show up as a different trajectory almost immediately.
+  const auto rastrigin = [](std::span<const double> v) {
+    double s = 10.0 * static_cast<double>(v.size());
+    for (double x : v) s += x * x - 10.0 * std::cos(2.0 * kPi * x);
+    return s;
+  };
+  const double lo[4] = {-5.12, -5.12, -5.12, -5.12};
+  const double hi[4] = {5.12, 5.12, 5.12, 5.12};
+  DeConfig cfg;
+  cfg.max_generations = 60;
+  cfg.time_budget_sec = 100.0;  // never hit: the wall clock must not steer
+
+  const auto run = [&](ThreadPool* pool) {
+    DeConfig c = cfg;
+    c.pool = pool;
+    Rng rng(77);  // fresh identically-seeded rng per run
+    return differential_evolution(rastrigin, lo, hi, c, rng);
+  };
+  const DeResult reference = run(nullptr);
+  ASSERT_FALSE(reference.hit_time_bound);
+  for (const std::size_t threads : {1u, 4u, 16u}) {
+    SCOPED_TRACE(threads);
+    ThreadPool pool(threads);
+    const DeResult got = run(&pool);
+    EXPECT_EQ(got.cost, reference.cost);  // exact, not near
+    EXPECT_EQ(got.generations, reference.generations);
+    EXPECT_EQ(got.hit_time_bound, reference.hit_time_bound);
+    ASSERT_EQ(got.best.size(), reference.best.size());
+    for (std::size_t d = 0; d < got.best.size(); ++d) {
+      EXPECT_EQ(got.best[d], reference.best[d]);
+    }
+  }
 }
 
 TEST(Localize, RecoversKnownCameraPosition) {

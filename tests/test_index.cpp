@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
 #include <set>
 
+#include "features/distance.hpp"
 #include "index/brute_force.hpp"
 #include "index/lsh_index.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace vp {
@@ -117,6 +121,134 @@ TEST(LshIndex, MemoryGrowsWithReplication) {
   // The Fig. 15 observation: more tables -> multiplicatively more memory.
   EXPECT_GT(b.byte_size(), a.byte_size());
 }
+
+TEST(SelectTopK, MatchesFullSortForEveryK) {
+  Rng rng(20);
+  std::vector<Match> pool;
+  for (int i = 0; i < 200; ++i) {
+    // Few distinct distances so ties (resolved by id) are common.
+    pool.push_back({static_cast<std::uint32_t>(i),
+                    static_cast<std::uint32_t>(rng.uniform_u64(8))});
+  }
+  shuffle(pool.begin(), pool.end(), rng);
+  for (const std::size_t k : {0u, 1u, 5u, 199u, 200u, 500u}) {
+    std::vector<Match> expected = pool;
+    std::sort(expected.begin(), expected.end(), match_less);
+    if (expected.size() > k) expected.resize(k);
+    std::vector<Match> got = pool;
+    select_top_k(got, k);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, expected[i].id);
+      EXPECT_EQ(got[i].distance2, expected[i].distance2);
+    }
+  }
+}
+
+TEST(LshIndex, QueryBatchMatchesPerQueryPathForAnyPoolSize) {
+  LshIndexConfig cfg;
+  cfg.multiprobe = true;
+  LshIndex index(cfg);
+  Rng rng(21);
+  std::vector<Descriptor> db;
+  for (int i = 0; i < 400; ++i) {
+    db.push_back(random_descriptor(rng));
+    index.insert(db.back());
+  }
+  std::vector<Descriptor> queries;
+  for (int i = 0; i < 64; ++i) {
+    queries.push_back(perturb(db[static_cast<std::size_t>(i * 5)], rng, 3));
+  }
+  const auto serial = index.query_batch(queries, 3, nullptr);
+  ASSERT_EQ(serial.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto single = index.query(queries[i], 3);
+    ASSERT_EQ(serial[i].size(), single.size());
+    for (std::size_t j = 0; j < single.size(); ++j) {
+      EXPECT_EQ(serial[i][j].id, single[j].id);
+      EXPECT_EQ(serial[i][j].distance2, single[j].distance2);
+    }
+  }
+  for (const std::size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    const auto batched = index.query_batch(queries, 3, &pool);
+    ASSERT_EQ(batched.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(batched[i].size(), serial[i].size());
+      for (std::size_t j = 0; j < serial[i].size(); ++j) {
+        EXPECT_EQ(batched[i][j].id, serial[i][j].id);
+        EXPECT_EQ(batched[i][j].distance2, serial[i][j].distance2);
+      }
+    }
+  }
+}
+
+TEST(LshIndex, MatchListsBitIdenticalAcrossKernels) {
+  LshIndex index;
+  Rng rng(22);
+  std::vector<Descriptor> db;
+  for (int i = 0; i < 300; ++i) {
+    db.push_back(random_descriptor(rng));
+    index.insert(db.back());
+  }
+  std::vector<Descriptor> queries;
+  for (int i = 0; i < 32; ++i) {
+    queries.push_back(perturb(db[static_cast<std::size_t>(i * 9)], rng, 2));
+  }
+  const DistanceKernel original = active_distance_kernel();
+  ASSERT_TRUE(set_distance_kernel(DistanceKernel::kScalar));
+  const auto reference = index.query_batch(queries, 4, nullptr);
+  for (const DistanceKernel kernel : compiled_distance_kernels()) {
+    SCOPED_TRACE(std::string(kernel_name(kernel)));
+    ASSERT_TRUE(set_distance_kernel(kernel));
+    const auto got = index.query_batch(queries, 4, nullptr);
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i].size(), reference[i].size());
+      for (std::size_t j = 0; j < got[i].size(); ++j) {
+        EXPECT_EQ(got[i][j].id, reference[i][j].id);
+        EXPECT_EQ(got[i][j].distance2, reference[i][j].distance2);
+      }
+    }
+  }
+  ASSERT_TRUE(set_distance_kernel(original));
+}
+
+TEST(LshIndex, DescriptorAccessorsRoundtripFlatStorage) {
+  LshIndex index;
+  Rng rng(23);
+  std::vector<Descriptor> db;
+  for (int i = 0; i < 20; ++i) {
+    db.push_back(random_descriptor(rng));
+    index.insert(db.back());
+  }
+  for (std::uint32_t id = 0; id < db.size(); ++id) {
+    EXPECT_EQ(index.descriptor(id), db[id]);
+    EXPECT_EQ(std::memcmp(index.descriptor_ptr(id), db[id].data(),
+                          kDescriptorDims),
+              0);
+  }
+  EXPECT_THROW(index.descriptor(static_cast<std::uint32_t>(db.size())),
+               std::exception);
+}
+
+#if VP_OBS_ENABLED
+TEST(LshIndex, CandidateCapTruncatesBeforeRankingAndCounts) {
+  LshIndexConfig cfg;
+  cfg.max_candidates = 8;  // tiny cap, trivially exceeded
+  cfg.multiprobe = true;
+  LshIndex index(cfg);
+  Rng rng(24);
+  const Descriptor base = random_descriptor(rng);
+  for (int i = 0; i < 300; ++i) index.insert(perturb(base, rng, 1));
+  auto& counter =
+      obs::Registry::global().counter("index.candidates_truncated");
+  const std::uint64_t before = counter.value();
+  const auto matches = index.query(base, 4);
+  EXPECT_EQ(matches.size(), 4u);  // cap >= k: ranking still fills k
+  EXPECT_GT(counter.value(), before);
+}
+#endif
 
 TEST(BruteForce, ExactNearest) {
   Rng rng(7);
