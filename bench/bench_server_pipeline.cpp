@@ -7,6 +7,10 @@
 //             synthetic database, single-threaded, once per compiled
 //             distance kernel. The scalar/SIMD ratio is the kernel
 //             speedup — the acceptance target is >= 3x on AVX2 hosts.
+//   adc       PQ candidate-scan throughput (16-byte ADC codes vs exact
+//             128-byte u8-L2 at matched counts, per kernel; target >= 4x
+//             SIMD ADC vs exact), recall@1 of the two-stage query vs
+//             exact-only per rerank depth, raw-vs-PQ shard bytes.
 //   de        the pool-parallel differential-evolution solver on a fixed
 //             localization-shaped objective, pools of 0/1/2/4 workers.
 //             Results are bit-identical across pool sizes (asserted in
@@ -30,6 +34,7 @@
 #include "bench_common.hpp"
 #include "core/server.hpp"
 #include "features/distance.hpp"
+#include "features/pq.hpp"
 #include "geometry/optimize.hpp"
 #include "index/brute_force.hpp"
 #include "obs/metrics.hpp"
@@ -121,6 +126,187 @@ void run_rank_section(double scale, bool smoke) {
         name.c_str(), db_size, queries, ms, speedup);
   }
   set_distance_kernel(original);
+}
+
+// ----------------------------------------------------------------- adc --
+
+/// Coarse-scan throughput and retrieval quality of the PQ path:
+///   1. ADC scan over 16-byte codes vs exact u8-L2 over 128-byte
+///      descriptors, same candidate count, once per compiled kernel of
+///      each family — the acceptance target is >= 4x SIMD ADC vs exact.
+///   2. recall@1 of the two-stage (ADC top-R, exact rerank) LshIndex
+///      query against the exact-only index at several rerank depths.
+///   3. per-shard descriptor bytes, raw vs PQ (codes + codebook).
+void run_adc_section(double scale, bool smoke) {
+  const auto n = static_cast<std::size_t>(
+      std::lround((smoke ? 20'000 : 200'000) * scale));
+  const int sweeps = smoke ? 10 : 25;
+  Rng rng(41);
+  std::vector<std::uint8_t> flat(n * kDescriptorDims);
+  for (auto& v : flat) v = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  const PqCodebook book = PqCodebook::train(flat.data(), n);
+  std::vector<std::uint8_t> codes(n * kPqCodeBytes);
+  for (std::size_t i = 0; i < n; ++i) {
+    book.encode(flat.data() + i * kDescriptorDims,
+                codes.data() + i * kPqCodeBytes);
+  }
+  Descriptor query;
+  for (auto& v : query) v = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  AdcTable table;
+  book.build_adc_table(query.data(), table);
+  // Candidates arrive as scattered ids (LSH bucket unions), not a linear
+  // sweep — both stages of query_into walk an id list. Shuffled ids make
+  // the scans touch memory the way the server does: 128-byte pulls from
+  // the descriptor array vs 16-byte pulls from the code array.
+  std::vector<std::uint32_t> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = static_cast<std::uint32_t>(i);
+  shuffle(ids.begin(), ids.end(), rng);
+
+  std::printf("\n-- adc: candidate scan over %zu scattered ids, "
+              "%d sweeps --\n", n, sweeps);
+  std::vector<std::uint32_t> out(n);
+  std::uint64_t sink = 0;
+  Timer t;
+  double best_exact_ms = 0, best_adc_ms = 0;
+  for (const DistanceKernel kernel : compiled_distance_kernels()) {
+    const std::string name(kernel_name(kernel));
+    t.lap();
+    for (int s = 0; s < sweeps; ++s) {
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = distance2_u8_128_with(
+            kernel, flat.data() + ids[i] * kDescriptorDims, query.data());
+      }
+      sink += out[n - 1];
+    }
+    const double ms = t.lap() * 1e3 / sweeps;
+    best_exact_ms = ms;  // compiled list is ordered fastest-last
+    const double mcand = ms > 0 ? n / ms / 1e3 : 0.0;
+    std::printf("exact %8s: %8.3f ms/scan  (%7.1f Mcand/s)\n", name.c_str(),
+                ms, mcand);
+    std::printf(
+        "{\"bench\":\"server_pipeline\",\"section\":\"adc_scan\","
+        "\"path\":\"exact\",\"kernel\":\"%s\",\"candidates\":%zu,"
+        "\"ms_per_scan\":%.4f,\"mcand_per_sec\":%.2f}\n",
+        name.c_str(), n, ms, mcand);
+  }
+  for (const DistanceKernel kernel : compiled_adc_kernels()) {
+    const std::string name(kernel_name(kernel));
+    t.lap();
+    for (int s = 0; s < sweeps; ++s) {
+      adc_scan_with(kernel, table, codes.data(), ids.data(), n, out.data());
+      sink += out[n - 1];
+    }
+    const double ms = t.lap() * 1e3 / sweeps;
+    best_adc_ms = ms;
+    const double mcand = ms > 0 ? n / ms / 1e3 : 0.0;
+    std::printf("adc   %8s: %8.3f ms/scan  (%7.1f Mcand/s)\n", name.c_str(),
+                ms, mcand);
+    std::printf(
+        "{\"bench\":\"server_pipeline\",\"section\":\"adc_scan\","
+        "\"path\":\"adc\",\"kernel\":\"%s\",\"candidates\":%zu,"
+        "\"ms_per_scan\":%.4f,\"mcand_per_sec\":%.2f}\n",
+        name.c_str(), n, ms, mcand);
+  }
+  const double speedup = best_adc_ms > 0 ? best_exact_ms / best_adc_ms : 0.0;
+  std::printf("best adc vs best exact: %.2fx  (checksum %llu)\n", speedup,
+              static_cast<unsigned long long>(sink & 0xFFFF));
+  std::printf(
+      "{\"bench\":\"server_pipeline\",\"section\":\"adc_scan\","
+      "\"path\":\"summary\",\"candidates\":%zu,"
+      "\"speedup_adc_vs_exact\":%.3f}\n",
+      n, speedup);
+
+  // Recall + latency of the full two-stage index query vs exact-only.
+  const auto db_n =
+      static_cast<std::size_t>(std::lround((smoke ? 2'000 : 8'000) * scale));
+  const int queries = smoke ? 60 : 200;
+  Rng drng(42);
+  // Re-observation model: stored keypoints form dense clusters (repeated
+  // structure across the venue — the candidate mass the ADC stage must
+  // plow through), and each query is a *tight* perturbation of one stored
+  // descriptor, the way a second photo of the same keypoint lands near
+  // the wardriven one. The true neighbor is close; its cluster mates are
+  // the distractors.
+  std::vector<Descriptor> bases(std::max<std::size_t>(8, db_n / 250));
+  for (auto& b : bases) {
+    for (auto& v : b) v = static_cast<std::uint8_t>(drng.uniform_u64(80));
+  }
+  const auto perturbed = [&drng](const Descriptor& base, int magnitude) {
+    Descriptor d = base;
+    for (auto& v : d) {
+      const int nv = static_cast<int>(v) +
+                     static_cast<int>(drng.uniform_int(-magnitude, magnitude));
+      v = static_cast<std::uint8_t>(std::clamp(nv, 0, 255));
+    }
+    return d;
+  };
+  LshIndexConfig exact_cfg;
+  exact_cfg.multiprobe = true;
+  LshIndex exact_index(exact_cfg);
+  std::vector<Descriptor> db;
+  db.reserve(db_n);
+  for (std::size_t i = 0; i < db_n; ++i) {
+    db.push_back(perturbed(bases[i % bases.size()], 6));
+    exact_index.insert(db.back());
+  }
+  std::vector<Descriptor> qs;
+  for (int i = 0; i < queries; ++i) {
+    const std::size_t stored = (static_cast<std::size_t>(i) * 37) % db_n;
+    qs.push_back(perturbed(db[stored], 2));
+  }
+  t.lap();
+  const auto truth = exact_index.query_batch(qs, 1, nullptr);
+  const double exact_query_ms = t.lap() * 1e3 / queries;
+  std::printf("\n-- adc recall: %zu stored, %d queries, exact-only %.3f "
+              "ms/query --\n", db_n, queries, exact_query_ms);
+  for (const std::uint32_t depth : {4u, 16u, 64u}) {
+    LshIndexConfig cfg = exact_cfg;
+    cfg.pq.enabled = true;
+    cfg.pq.rerank_depth = depth;
+    LshIndex pq(cfg);
+    for (const auto& d : db) pq.insert(d);
+    pq.train_pq();
+    t.lap();
+    const auto got = pq.query_batch(qs, 1, nullptr);
+    const double ms = t.lap() * 1e3 / queries;
+    int total = 0, hit = 0;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      if (truth[i].empty()) continue;
+      ++total;
+      hit += (!got[i].empty() && got[i][0].id == truth[i][0].id);
+    }
+    const double recall =
+        total > 0 ? static_cast<double>(hit) / static_cast<double>(total)
+                  : 0.0;
+    std::printf("rerank %3u: recall@1 %.4f  %.3f ms/query\n", depth, recall,
+                ms);
+    std::printf(
+        "{\"bench\":\"server_pipeline\",\"section\":\"adc_recall\","
+        "\"rerank_depth\":%u,\"db\":%zu,\"queries\":%d,\"recall_at_1\":%.4f,"
+        "\"query_ms\":%.4f,\"exact_query_ms\":%.4f}\n",
+        depth, db_n, queries, recall, ms, exact_query_ms);
+    if (depth == 64u) {
+      const double code_ratio =
+          pq.pq_codes().empty()
+              ? 0.0
+              : static_cast<double>(pq.descriptor_bytes()) /
+                    static_cast<double>(pq.pq_codes().size());
+      const double total_ratio =
+          pq.pq_bytes() > 0 ? static_cast<double>(pq.descriptor_bytes()) /
+                                  static_cast<double>(pq.pq_bytes())
+                            : 0.0;
+      std::printf("bytes: raw %zu, codes %zu (%.2fx smaller), +codebook %zu "
+                  "fixed -> %.2fx total\n",
+                  pq.descriptor_bytes(), pq.pq_codes().size(), code_ratio,
+                  kPqCodebookBytes, total_ratio);
+      std::printf(
+          "{\"bench\":\"server_pipeline\",\"section\":\"adc_bytes\","
+          "\"descriptors\":%zu,\"raw_bytes\":%zu,\"pq_bytes\":%zu,"
+          "\"code_bytes\":%zu,\"code_ratio\":%.3f,\"ratio\":%.3f}\n",
+          db_n, pq.descriptor_bytes(), pq.pq_bytes(), pq.pq_codes().size(),
+          code_ratio, total_ratio);
+    }
+  }
 }
 
 // ------------------------------------------------------------------ de --
@@ -287,6 +473,7 @@ int main(int argc, char** argv) {
               smoke ? "  [smoke]" : "");
 
   run_rank_section(scale, smoke);
+  run_adc_section(scale, smoke);
   run_de_section(smoke);
   run_pipeline_section(scale, smoke);
 

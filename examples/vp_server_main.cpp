@@ -16,7 +16,12 @@
 // route to its shard; unplaced queries fan out across all shards on the
 // worker pool.
 //
-// Run:   ./vp_server [--port N] [--db FILE]... [--threads N] [--once]
+// `--pq` builds the demo database with product-quantized shard storage:
+// descriptors are coarse-ranked through 16-byte ADC codes and only the
+// top rerank_depth survivors touch the raw 128-byte descriptors. Loaded
+// databases keep whatever storage mode they were saved with.
+//
+// Run:   ./vp_server [--port N] [--db FILE]... [--threads N] [--pq] [--once]
 // Pair:  ./vp_client [--place ID] (in another terminal)
 #include <atomic>
 #include <cstdio>
@@ -36,7 +41,8 @@
 
 namespace {
 
-vp::VisualPrintServer build_demo_database(const std::string& db_path) {
+vp::VisualPrintServer build_demo_database(const std::string& db_path,
+                                          bool pq) {
   using namespace vp;
   std::printf("no database found; wardriving the demo gallery...\n");
   Rng rng(2016);
@@ -58,6 +64,7 @@ vp::VisualPrintServer build_demo_database(const std::string& db_path) {
       std::max<std::size_t>(50'000, mappings.size() * 2);
   world.bounds(cfg.localize.search_lo, cfg.localize.search_hi);
   cfg.place_label = "Demo Gallery (vp_server)";
+  cfg.index.pq.enabled = pq;
   VisualPrintServer server(cfg);
   server.ingest_wardrive(mappings);
   server.save(db_path);
@@ -74,6 +81,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> db_paths;
   std::size_t threads = 4;
   bool once = false;
+  bool pq = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
@@ -81,6 +89,8 @@ int main(int argc, char** argv) {
       db_paths.emplace_back(argv[++i]);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--pq") == 0) {
+      pq = true;  // demo database stores PQ codes + ADC coarse ranking
     } else if (std::strcmp(argv[i], "--once") == 0) {
       once = true;  // serve a single connection then exit (used in tests)
     }
@@ -90,7 +100,7 @@ int main(int argc, char** argv) {
   VisualPrintServer server =
       std::filesystem::exists(db_paths[0])
           ? VisualPrintServer::load(db_paths[0])
-          : build_demo_database(db_paths[0]);
+          : build_demo_database(db_paths[0], pq);
   for (std::size_t i = 1; i < db_paths.size(); ++i) {
     if (!std::filesystem::exists(db_paths[i])) {
       std::printf("warning: --db %s not found, skipping\n",
@@ -101,10 +111,12 @@ int main(int argc, char** argv) {
     std::printf("merged shards from %s\n", db_paths[i].c_str());
   }
   for (const auto& shard : server.store().snapshots()) {
-    std::printf("place '%s' (%s): %zu keypoints, epoch %u, oracle %s\n",
-                shard->place.c_str(), shard->config.place_label.c_str(),
-                shard->stored.size(), shard->epoch,
-                Table::bytes_human(static_cast<double>(shard->oracle.byte_size())).c_str());
+    std::printf(
+        "place '%s' (%s): %zu keypoints, epoch %u, oracle %s, storage %s\n",
+        shard->place.c_str(), shard->config.place_label.c_str(),
+        shard->stored.size(), shard->epoch,
+        Table::bytes_human(static_cast<double>(shard->oracle.byte_size())).c_str(),
+        shard->index.pq_ready() ? "pq" : "exact");
   }
 
   TcpListener listener(port);

@@ -168,6 +168,14 @@ void MapStore::publish(const std::string& place) {
 
 void MapStore::publish_locked(const std::string& place, Builder& b) {
   b.shard->epoch += 1;
+  // PQ mode trains on the builder *before* the copy below, so the
+  // published immutable shard always carries a ready codebook + codes
+  // (readers never pay training, and pq_ready() holds on snapshots).
+  // First publish trains the codebook; later publishes only encode
+  // whatever ingest added since.
+  if (b.shard->config.index.pq.enabled) {
+    b.shard->index.train_pq();
+  }
   // Copy-on-publish: the builder stays the stable mutable copy (its
   // address never changes, so writer-side references remain valid); the
   // published shard is an immutable deep copy readers share.
@@ -183,6 +191,12 @@ void MapStore::publish_locked(const std::string& place, Builder& b) {
   VP_OBS_GAUGE_SET("store.shards", static_cast<double>(shards));
   VP_OBS_GAUGE_SET("store.epoch." + place,
                    static_cast<double>(b.shard->epoch));
+  VP_OBS_GAUGE_SET("store.bytes.descriptors." + place,
+                   static_cast<double>(b.shard->index.descriptor_bytes()));
+  VP_OBS_GAUGE_SET("store.bytes.pq." + place,
+                   static_cast<double>(b.shard->index.pq_bytes()));
+  VP_OBS_GAUGE_SET("index.rerank_depth",
+                   static_cast<double>(b.shard->config.index.pq.rerank_depth));
 }
 
 void MapStore::restore_shard(std::unique_ptr<PlaceShard> shard) {
@@ -325,6 +339,12 @@ std::vector<std::string> MapStore::places() const {
 std::uint32_t MapStore::epoch(const std::string& place) const {
   const auto shard = snapshot(place.empty() ? default_place_ : place);
   return shard ? shard->epoch : 0;
+}
+
+std::string_view MapStore::storage_mode(const std::string& place) const {
+  const auto shard = snapshot(place.empty() ? default_place_ : place);
+  if (!shard) return {};
+  return shard->index.pq_ready() ? "pq" : "exact";
 }
 
 PlaceShard& MapStore::builder_shard(const std::string& place) {

@@ -29,6 +29,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "geometry/clustering.hpp"
@@ -168,6 +169,10 @@ class MapStore {
   std::vector<std::string> places() const;
   /// Published epoch of a place (0 when unknown/never published).
   std::uint32_t epoch(const std::string& place) const;
+  /// Descriptor storage mode of a place's published shard: "pq" when its
+  /// index answers queries through the coarse ADC scan, "exact" otherwise,
+  /// empty for an unknown place. Empty `place` means the default place.
+  std::string_view storage_mode(const std::string& place) const;
   /// Total atomic shard-map swaps since construction.
   std::uint64_t swap_count() const noexcept {
     return swap_count_.load(std::memory_order_relaxed);

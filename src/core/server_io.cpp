@@ -5,11 +5,15 @@
 // projection family is seeded — so the file stays far smaller than
 // resident memory.
 //
-// Format v2 (multi-shard): header (magic, version, default place, shard
-// count) followed by one length-prefixed self-describing blob per shard,
-// each carrying the shard's place id, config, publish epoch, oracle, and
-// keypoints. v1 files (single-place, pre-shard) still load: the payload
-// becomes the default shard, restored at epoch 1.
+// Format v3 (PQ storage): v2's multi-shard layout — header (magic,
+// version, default place, shard count) followed by one length-prefixed
+// self-describing blob per shard carrying the shard's place id, config,
+// publish epoch, oracle, and keypoints — extended with the PQ index
+// config fields and, per shard, an optional compact-descriptor section
+// (trained codebook + 16-byte codes, both zlib'd) so a PQ-mode shard
+// comes back query-ready without retraining. v2 files (no PQ fields,
+// no PQ section) and v1 files (single-place, pre-shard; restored at
+// epoch 1) still load.
 #include <algorithm>
 #include <fstream>
 
@@ -21,7 +25,7 @@ namespace vp {
 namespace {
 
 constexpr std::uint32_t kDbMagic = 0x56504442u;  // "VPDB"
-constexpr std::uint16_t kDbVersion = 2;
+constexpr std::uint16_t kDbVersion = 3;
 
 /// Bytes per stored keypoint on the wire: descriptor + position + labels.
 constexpr std::size_t kKeypointWireBytes = kDescriptorDims + 3 * 8 + 4 + 4;
@@ -36,9 +40,16 @@ void write_index_config(ByteWriter& w, const ServerConfig& cfg) {
   w.u32(static_cast<std::uint32_t>(cfg.index.max_candidates));
   w.u32(static_cast<std::uint32_t>(cfg.neighbors_per_keypoint));
   w.u32(cfg.max_match_distance2);
+  // v3: PQ mode (the coarse-scan-then-rerank recipe).
+  w.u8(cfg.index.pq.enabled ? 1 : 0);
+  w.u32(cfg.index.pq.rerank_depth);
+  w.u32(static_cast<std::uint32_t>(cfg.index.pq.train.iterations));
+  w.u32(static_cast<std::uint32_t>(cfg.index.pq.train.max_samples));
+  w.u64(cfg.index.pq.train.seed);
 }
 
-void read_index_config(ByteReader& r, ServerConfig& cfg) {
+void read_index_config(ByteReader& r, ServerConfig& cfg,
+                       std::uint16_t version) {
   cfg.index.lsh.tables = r.u16();
   cfg.index.lsh.projections = r.u16();
   cfg.index.lsh.width = r.f64();
@@ -47,6 +58,13 @@ void read_index_config(ByteReader& r, ServerConfig& cfg) {
   cfg.index.max_candidates = r.u32();
   cfg.neighbors_per_keypoint = r.u32();
   cfg.max_match_distance2 = r.u32();
+  if (version >= 3) {
+    cfg.index.pq.enabled = r.u8() != 0;
+    cfg.index.pq.rerank_depth = r.u32();
+    cfg.index.pq.train.iterations = r.u32();
+    cfg.index.pq.train.max_samples = r.u32();
+    cfg.index.pq.train.seed = r.u64();
+  }
 }
 
 void write_keypoints(ByteWriter& w, const PlaceShard& shard) {
@@ -98,15 +116,26 @@ Bytes serialize_shard(const PlaceShard& shard) {
   // Oracle (embeds its own full configuration), compressed.
   w.blob(zlib_compress(shard.oracle.serialize(), 6));
   write_keypoints(w, shard);
+  // v3: optional compact-descriptor section. Snapshots in PQ mode are
+  // always ready (publish trains before the copy); anything else writes
+  // the absent marker so exact-only shards pay one byte.
+  if (shard.index.pq_ready()) {
+    w.u8(1);
+    w.blob(zlib_compress(shard.index.pq_codebook().raw(), 6));
+    w.blob(zlib_compress(shard.index.pq_codes(), 6));
+  } else {
+    w.u8(0);
+  }
   return w.take();
 }
 
-std::unique_ptr<PlaceShard> parse_shard(std::span<const std::uint8_t> data) {
+std::unique_ptr<PlaceShard> parse_shard(std::span<const std::uint8_t> data,
+                                        std::uint16_t version) {
   ByteReader r(data);
   std::string place = r.str();
   ServerConfig cfg;
   cfg.place_label = r.str();
-  read_index_config(r, cfg);
+  read_index_config(r, cfg, version);
   const std::uint32_t epoch = r.u32();
   const std::uint32_t oracle_version = r.u32();
   UniquenessOracle oracle =
@@ -117,6 +146,21 @@ std::unique_ptr<PlaceShard> parse_shard(std::span<const std::uint8_t> data) {
   shard->epoch = epoch;
   shard->oracle_version = oracle_version;
   read_keypoints(r, *shard);
+  if (version >= 3 && r.u8() != 0) {
+    // Validate both payloads against their exact expected sizes before
+    // installing anything: zlib checksums catch bit rot, but a truncated
+    // or substituted blob that still inflates must throw, never yield a
+    // half-usable codebook. from_raw enforces the codebook size.
+    PqCodebook codebook = PqCodebook::from_raw(zlib_decompress(r.blob()));
+    Bytes codes = zlib_decompress(r.blob());
+    if (codes.size() != shard->index.size() * kPqCodeBytes) {
+      throw DecodeError{"server db: pq codes cover " +
+                        std::to_string(codes.size() / kPqCodeBytes) +
+                        " descriptors, shard stores " +
+                        std::to_string(shard->index.size())};
+    }
+    shard->index.restore_pq(std::move(codebook), std::move(codes));
+  }
   if (!r.done()) throw DecodeError{"server db: trailing bytes in shard"};
   return shard;
 }
@@ -127,7 +171,7 @@ std::unique_ptr<PlaceShard> parse_shard(std::span<const std::uint8_t> data) {
 std::unique_ptr<PlaceShard> parse_v1(ByteReader& r) {
   ServerConfig cfg;
   cfg.place_label = r.str();
-  read_index_config(r, cfg);
+  read_index_config(r, cfg, 1);
   UniquenessOracle oracle =
       UniquenessOracle::deserialize(zlib_decompress(r.blob()));
   cfg.oracle = oracle.config();
@@ -159,12 +203,14 @@ ParsedDb parse_db(std::span<const std::uint8_t> data) {
     db.default_place = db.shards.back()->place;
     return db;
   }
-  if (version != kDbVersion) throw DecodeError{"server db: bad version"};
+  if (version != 2 && version != kDbVersion) {
+    throw DecodeError{"server db: bad version"};
+  }
   db.default_place = r.str();
   const std::uint32_t shard_count = r.u32();
   db.shards.reserve(std::min<std::size_t>(shard_count, 1024));
   for (std::uint32_t i = 0; i < shard_count; ++i) {
-    db.shards.push_back(parse_shard(r.blob()));
+    db.shards.push_back(parse_shard(r.blob(), version));
   }
   if (!r.done()) throw DecodeError{"server db: trailing bytes"};
   return db;

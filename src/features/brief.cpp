@@ -1,8 +1,8 @@
 #include "features/brief.hpp"
 
-#include <bit>
 #include <cmath>
 
+#include "features/distance.hpp"
 #include "features/sift.hpp"
 #include "imaging/filters.hpp"
 #include "util/error.hpp"
@@ -37,11 +37,9 @@ std::vector<PatternPair> make_pattern(std::uint64_t seed) {
 
 unsigned hamming_distance(const BinaryDescriptor& a,
                           const BinaryDescriptor& b) noexcept {
-  unsigned d = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    d += static_cast<unsigned>(std::popcount(a[i] ^ b[i]));
-  }
-  return d;
+  // Dispatched popcount kernel (features/distance.hpp): POPCNT/AVX2/NEON
+  // when the CPU has them, SWAR otherwise — bit-identical either way.
+  return hamming256(a.data(), b.data());
 }
 
 std::vector<BinaryFeature> brief_describe(const ImageF& image,

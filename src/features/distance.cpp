@@ -200,6 +200,163 @@ DistanceKernel best_runnable_kernel() noexcept {
 std::atomic<DistanceKernel> g_active{best_runnable_kernel()};
 std::atomic<DistanceFn> g_active_fn{kernel_fn(best_runnable_kernel())};
 
+// ---------------------------------------------------------------------------
+// Hamming kernels (256-bit binary descriptors)
+
+using HammingFn = std::uint32_t (*)(const std::uint64_t*,
+                                    const std::uint64_t*) noexcept;
+
+// SWAR reference popcount — deliberately not std::popcount, which lowers
+// to the hardware POPCNT instruction on -mpopcnt builds and would make
+// the "scalar" baseline platform-dependent.
+#if defined(__clang__)
+std::uint32_t hamming_scalar(const std::uint64_t* a,
+                             const std::uint64_t* b) noexcept {
+  std::uint32_t total = 0;
+#pragma clang loop vectorize(disable) interleave(disable)
+  for (std::size_t i = 0; i < kHammingWords; ++i) {
+    std::uint64_t x = a[i] ^ b[i];
+    x -= (x >> 1) & 0x5555555555555555ULL;
+    x = (x & 0x3333333333333333ULL) + ((x >> 2) & 0x3333333333333333ULL);
+    x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0fULL;
+    total += static_cast<std::uint32_t>((x * 0x0101010101010101ULL) >> 56);
+  }
+  return total;
+}
+#else
+__attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
+std::uint32_t hamming_scalar(const std::uint64_t* a,
+                             const std::uint64_t* b) noexcept {
+  std::uint32_t total = 0;
+  for (std::size_t i = 0; i < kHammingWords; ++i) {
+    std::uint64_t x = a[i] ^ b[i];
+    x -= (x >> 1) & 0x5555555555555555ULL;
+    x = (x & 0x3333333333333333ULL) + ((x >> 2) & 0x3333333333333333ULL);
+    x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0fULL;
+    total += static_cast<std::uint32_t>((x * 0x0101010101010101ULL) >> 56);
+  }
+  return total;
+}
+#endif
+
+#if VP_DIST_X86
+
+__attribute__((target("popcnt"))) std::uint32_t hamming_popcnt(
+    const std::uint64_t* a, const std::uint64_t* b) noexcept {
+  return static_cast<std::uint32_t>(
+      __builtin_popcountll(a[0] ^ b[0]) + __builtin_popcountll(a[1] ^ b[1]) +
+      __builtin_popcountll(a[2] ^ b[2]) + __builtin_popcountll(a[3] ^ b[3]));
+}
+
+// One 256-bit xor, then the nibble-LUT popcount (Mula): vpshufb counts
+// each nibble, vpsadbw folds the 32 byte-counts into four u64 partials.
+// (Harley–Seal's carry-save tree only pays off across many vectors; at
+// one 256-bit vector per descriptor this LUT step IS its inner kernel.)
+__attribute__((target("avx2"))) std::uint32_t hamming_avx2(
+    const std::uint64_t* a, const std::uint64_t* b) noexcept {
+  const __m256i va =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a));
+  const __m256i vb =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+  const __m256i x = _mm256_xor_si256(va, vb);
+  const __m256i lookup =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+                       0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(x, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(x, 4), low_mask);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lookup, lo),
+                                      _mm256_shuffle_epi8(lookup, hi));
+  const __m256i sad = _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+  const __m128i s = _mm_add_epi64(_mm256_castsi256_si128(sad),
+                                  _mm256_extracti128_si256(sad, 1));
+  return static_cast<std::uint32_t>(
+      static_cast<std::uint64_t>(_mm_cvtsi128_si64(s)) +
+      static_cast<std::uint64_t>(_mm_extract_epi64(s, 1)));
+}
+
+#endif  // VP_DIST_X86
+
+#if VP_DIST_NEON
+
+std::uint32_t hamming_neon(const std::uint64_t* a,
+                           const std::uint64_t* b) noexcept {
+  const std::uint8_t* pa = reinterpret_cast<const std::uint8_t*>(a);
+  const std::uint8_t* pb = reinterpret_cast<const std::uint8_t*>(b);
+  const uint8x16_t x0 = veorq_u8(vld1q_u8(pa), vld1q_u8(pb));
+  const uint8x16_t x1 = veorq_u8(vld1q_u8(pa + 16), vld1q_u8(pb + 16));
+  // Per-lane counts max out at 8 + 8 = 16, so the byte add cannot wrap;
+  // the widening pairwise ladder keeps the total (max 256) exact.
+  const uint8x16_t cnt = vaddq_u8(vcntq_u8(x0), vcntq_u8(x1));
+  const uint32x4_t sum = vpaddlq_u16(vpaddlq_u8(cnt));
+#if defined(__aarch64__)
+  return vaddvq_u32(sum);
+#else
+  const uint32x2_t half = vadd_u32(vget_low_u32(sum), vget_high_u32(sum));
+  return vget_lane_u32(vpadd_u32(half, half), 0);
+#endif
+}
+
+#endif  // VP_DIST_NEON
+
+HammingFn hamming_fn(HammingKernel kernel) noexcept {
+  switch (kernel) {
+#if VP_DIST_X86
+    case HammingKernel::kPopcnt:
+      return &hamming_popcnt;
+    case HammingKernel::kAvx2:
+      return &hamming_avx2;
+#endif
+#if VP_DIST_NEON
+    case HammingKernel::kNeon:
+      return &hamming_neon;
+#endif
+    default:
+      return &hamming_scalar;
+  }
+}
+
+bool hamming_runnable(HammingKernel kernel) noexcept {
+  switch (kernel) {
+    case HammingKernel::kScalar:
+      return true;
+#if VP_DIST_X86
+    case HammingKernel::kPopcnt:
+      return __builtin_cpu_supports("popcnt");
+    case HammingKernel::kAvx2:
+      return __builtin_cpu_supports("avx2");
+#endif
+#if VP_DIST_NEON
+    case HammingKernel::kNeon:
+      return true;  // compiled only when the target guarantees NEON
+#endif
+    default:
+      return false;
+  }
+}
+
+constexpr std::array kCompiledHammingKernels = {
+    HammingKernel::kScalar,
+#if VP_DIST_X86
+    HammingKernel::kPopcnt,
+    HammingKernel::kAvx2,
+#endif
+#if VP_DIST_NEON
+    HammingKernel::kNeon,
+#endif
+};
+
+HammingKernel best_hamming_kernel() noexcept {
+  HammingKernel best = HammingKernel::kScalar;
+  for (const HammingKernel k : kCompiledHammingKernels) {
+    if (hamming_runnable(k)) best = k;  // list is ordered fastest-last
+  }
+  return best;
+}
+
+std::atomic<HammingKernel> g_hamming_active{best_hamming_kernel()};
+std::atomic<HammingFn> g_hamming_fn{hamming_fn(best_hamming_kernel())};
+
 }  // namespace
 
 std::string_view kernel_name(DistanceKernel kernel) noexcept {
@@ -243,6 +400,50 @@ std::uint32_t distance2_u8_128_with(DistanceKernel kernel,
                                     const std::uint8_t* b) noexcept {
   return kernel_runnable(kernel) ? kernel_fn(kernel)(a, b)
                                  : distance2_scalar(a, b);
+}
+
+std::string_view kernel_name(HammingKernel kernel) noexcept {
+  switch (kernel) {
+    case HammingKernel::kScalar:
+      return "scalar";
+    case HammingKernel::kPopcnt:
+      return "popcnt";
+    case HammingKernel::kAvx2:
+      return "avx2";
+    case HammingKernel::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+std::span<const HammingKernel> compiled_hamming_kernels() noexcept {
+  return kCompiledHammingKernels;
+}
+
+HammingKernel active_hamming_kernel() noexcept {
+  return g_hamming_active.load(std::memory_order_relaxed);
+}
+
+bool set_hamming_kernel(HammingKernel kernel) noexcept {
+  bool compiled = false;
+  for (const HammingKernel k : kCompiledHammingKernels) {
+    compiled |= (k == kernel);
+  }
+  if (!compiled || !hamming_runnable(kernel)) return false;
+  g_hamming_active.store(kernel, std::memory_order_relaxed);
+  g_hamming_fn.store(hamming_fn(kernel), std::memory_order_relaxed);
+  return true;
+}
+
+std::uint32_t hamming256(const std::uint64_t* a,
+                         const std::uint64_t* b) noexcept {
+  return g_hamming_fn.load(std::memory_order_relaxed)(a, b);
+}
+
+std::uint32_t hamming256_with(HammingKernel kernel, const std::uint64_t* a,
+                              const std::uint64_t* b) noexcept {
+  return hamming_runnable(kernel) ? hamming_fn(kernel)(a, b)
+                                  : hamming_scalar(a, b);
 }
 
 }  // namespace vp

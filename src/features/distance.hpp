@@ -59,4 +59,46 @@ std::uint32_t distance2_u8_128_with(DistanceKernel kernel,
                                     const std::uint8_t* a,
                                     const std::uint8_t* b) noexcept;
 
+// --- Hamming distance over 256-bit binary descriptors -------------------
+//
+// The binary-descriptor path (features/brief.hpp) matches under Hamming
+// distance; these kernels vectorize the popcount the same way the u8-L2
+// kernels vectorize squared distance, behind the same probe-once/atomic
+// fn-pointer dispatch. Popcounts are exact integers, so every kernel is
+// bit-identical and kernel choice can never change a match.
+
+/// 64-bit words per binary descriptor (4 x u64 = 256 bits).
+inline constexpr std::size_t kHammingWords = 4;
+
+enum class HammingKernel : std::uint8_t {
+  kScalar = 0,  ///< SWAR popcount, the portable reference
+  kPopcnt = 1,  ///< x86 hardware POPCNT over the four words
+  kAvx2 = 2,    ///< one 256-bit xor + nibble-LUT popcount (vpshufb+vpsadbw)
+  kNeon = 3,    ///< vcnt.u8 + widening pairwise adds
+};
+
+std::string_view kernel_name(HammingKernel kernel) noexcept;
+
+/// Kernels compiled into this binary, fastest last; always contains
+/// kScalar. Tests iterate this to cross-check every variant.
+std::span<const HammingKernel> compiled_hamming_kernels() noexcept;
+
+/// The kernel hamming256 currently dispatches to (fastest supported one,
+/// selected once before main()).
+HammingKernel active_hamming_kernel() noexcept;
+
+/// Force the dispatch target. Returns false — and changes nothing — when
+/// `kernel` is not compiled in or the CPU lacks the instruction set.
+bool set_hamming_kernel(HammingKernel kernel) noexcept;
+
+/// Hamming distance between two 256-bit descriptors (kHammingWords u64
+/// words each, no alignment requirement) via the active kernel.
+std::uint32_t hamming256(const std::uint64_t* a,
+                         const std::uint64_t* b) noexcept;
+
+/// Evaluate with one specific kernel regardless of the active dispatch
+/// (test harness). Falls back to scalar when `kernel` is unavailable.
+std::uint32_t hamming256_with(HammingKernel kernel, const std::uint64_t* a,
+                              const std::uint64_t* b) noexcept;
+
 }  // namespace vp

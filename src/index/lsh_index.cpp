@@ -62,10 +62,45 @@ std::uint32_t LshIndex::insert(const Descriptor& descriptor) {
   const auto id = static_cast<std::uint32_t>(size_);
   flat_.insert(flat_.end(), descriptor.begin(), descriptor.end());
   ++size_;
+  if (codebook_.trained()) {
+    // Keep codes in lockstep with the flat buffer once trained, so
+    // incremental ingest after the first publish stays PQ-ready.
+    codes_.resize(size_ * kPqCodeBytes);
+    codebook_.encode(descriptor.data(),
+                     codes_.data() + static_cast<std::size_t>(id) *
+                                         kPqCodeBytes);
+  }
   for (std::size_t t = 0; t < tables_.size(); ++t) {
     tables_[t][bucket_key(lsh_.bucket(descriptor, t), t)].push_back(id);
   }
   return id;
+}
+
+void LshIndex::train_pq() {
+  if (!config_.pq.enabled || size_ == 0) return;
+  if (!codebook_.trained()) {
+    codebook_ = PqCodebook::train(flat_.data(), size_, config_.pq.train);
+  }
+  // Encode everything the codes buffer does not cover yet (all of it on
+  // the first call; nothing on later calls, since insert() encodes
+  // incrementally once the codebook exists).
+  const std::size_t encoded = codes_.size() / kPqCodeBytes;
+  if (encoded < size_) {
+    codes_.resize(size_ * kPqCodeBytes);
+    for (std::size_t id = encoded; id < size_; ++id) {
+      codebook_.encode(flat_.data() + id * kDescriptorDims,
+                       codes_.data() + id * kPqCodeBytes);
+    }
+  }
+}
+
+void LshIndex::restore_pq(PqCodebook codebook,
+                          std::vector<std::uint8_t> codes) {
+  VP_REQUIRE(codebook.trained(), "restore_pq: untrained codebook");
+  VP_REQUIRE(codes.size() == size_ * kPqCodeBytes,
+             "restore_pq: code bytes do not cover the stored descriptors");
+  codebook_ = std::move(codebook);
+  codes_ = std::move(codes);
 }
 
 Descriptor LshIndex::descriptor(std::uint32_t id) const {
@@ -111,9 +146,34 @@ void LshIndex::query_into(const Descriptor& descriptor, std::size_t k,
     VP_OBS_COUNT("index.candidates_truncated", 1);
   }
 
+  const std::uint8_t* q = descriptor.data();
+
+  // Coarse ADC stage (PQ mode): when the candidate set is larger than
+  // the rerank depth, score every candidate's 16-byte code against the
+  // per-query table and keep only the top R in deterministic (adc, id)
+  // order — those alone pay the exact 128-dim rerank below. Skipped when
+  // it cannot prune (the exact stage would rank them all anyway).
+  const std::size_t rerank =
+      std::max<std::size_t>(config_.pq.rerank_depth, k);
+  if (pq_ready() && candidates.size() > rerank) {
+    codebook_.build_adc_table(q, s.adc_table);
+    s.adc_dists.resize(candidates.size());
+    adc_scan(s.adc_table, codes_.data(), candidates.data(),
+             candidates.size(), s.adc_dists.data());
+    VP_OBS_COUNT("index.adc_scans",
+                 static_cast<std::uint64_t>(candidates.size()));
+    auto& coarse = s.adc_matches;
+    coarse.clear();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      coarse.push_back({candidates[i], s.adc_dists[i]});
+    }
+    select_top_k(coarse, rerank);
+    candidates.clear();
+    for (const Match& m : coarse) candidates.push_back(m.id);
+  }
+
   auto& matches = s.matches;
   matches.clear();
-  const std::uint8_t* q = descriptor.data();
   for (const std::uint32_t id : candidates) {
     matches.push_back({id, distance2_u8_128(descriptor_ptr(id), q)});
   }
@@ -162,7 +222,8 @@ std::size_t LshIndex::reference_e2lsh_byte_size() const noexcept {
 }
 
 std::size_t LshIndex::byte_size() const noexcept {
-  std::size_t bytes = flat_.capacity();
+  std::size_t bytes = flat_.capacity() + codes_.capacity() +
+                      (codebook_.trained() ? kPqCodebookBytes : 0);
   for (const auto& table : tables_) {
     // Per-node overhead of unordered_map (bucket array + node allocation)
     // plus the id vectors themselves.

@@ -15,6 +15,14 @@
 // and whole-query batches score on a borrowed ThreadPool with per-worker
 // scratch (`query_batch`) — same determinism contract as the client path:
 // identical results for any pool size.
+//
+// Optional PQ mode (LshIndexConfig::pq, off by default): a parallel
+// 16-byte-stride code buffer mirrors the flat descriptor array, and
+// queries whose LSH candidate set exceeds the rerank depth run two
+// stages — a cheap asymmetric-distance (ADC) scan over every candidate's
+// code keeps the top R in deterministic (adc, id) order, then only those
+// R pay the exact 128-dim u8-L2 rerank. Exact-only mode is untouched and
+// stays the bit-identity baseline.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +31,7 @@
 #include <vector>
 
 #include "features/keypoint.hpp"
+#include "features/pq.hpp"
 #include "hashing/lsh.hpp"
 
 namespace vp {
@@ -33,6 +42,7 @@ struct LshIndexConfig {
   LshConfig lsh{};
   bool multiprobe = false;       ///< probe 2M adjacent buckets on query
   std::size_t max_candidates = 4096;  ///< cap candidate set per query
+  PqIndexConfig pq{};            ///< coarse-scan-then-exact-rerank storage
 };
 
 struct Match {
@@ -85,8 +95,48 @@ class LshIndex {
     return flat_.data() + static_cast<std::size_t>(id) * kDescriptorDims;
   }
 
+  // --- PQ storage (coarse-scan-then-exact-rerank) -----------------------
+
+  /// True when PQ mode is configured AND usable: the codebook is trained
+  /// and every stored descriptor has a code. Published shards in PQ mode
+  /// are always ready; a builder that inserted since the last train_pq()
+  /// falls back to exact scans until the next publish.
+  bool pq_ready() const noexcept {
+    return config_.pq.enabled && codebook_.trained() &&
+           codes_.size() == size_ * kPqCodeBytes;
+  }
+
+  /// Train the codebook from the stored descriptors (first call with a
+  /// non-empty index; later calls are cheap) and encode any descriptors
+  /// inserted since. No-op unless config().pq.enabled. Deterministic:
+  /// same descriptors + train config => same codebook and codes.
+  void train_pq();
+
+  /// Install a trained codebook + codes (persistence load path). Throws
+  /// InvalidArgument unless codes covers exactly size() descriptors.
+  void restore_pq(PqCodebook codebook, std::vector<std::uint8_t> codes);
+
+  const PqCodebook& pq_codebook() const noexcept { return codebook_; }
+  /// All codes, kPqCodeBytes stride, id order (empty before training).
+  std::span<const std::uint8_t> pq_codes() const noexcept { return codes_; }
+  const std::uint8_t* code_ptr(std::uint32_t id) const noexcept {
+    return codes_.data() + static_cast<std::size_t>(id) * kPqCodeBytes;
+  }
+
+  /// Raw descriptor payload bytes (size() * 128).
+  std::size_t descriptor_bytes() const noexcept {
+    return size_ * kDescriptorDims;
+  }
+  /// PQ payload bytes: codes + codebook (0 when untrained).
+  std::size_t pq_bytes() const noexcept {
+    return codes_.size() + (codebook_.trained() ? kPqCodebookBytes : 0);
+  }
+
+  const LshIndexConfig& config() const noexcept { return config_; }
+
   /// Approximate resident memory of THIS implementation: descriptors
-  /// stored once + per-table id lists + hash-map node overhead.
+  /// stored once + per-table id lists + hash-map node overhead (+ PQ
+  /// codes and codebook when trained).
   std::size_t byte_size() const noexcept;
 
   /// Memory model of the reference E2LSH implementation the paper
@@ -102,10 +152,15 @@ class LshIndex {
  private:
   using BucketMap = std::unordered_map<std::uint64_t, std::vector<std::uint32_t>>;
 
-  /// Per-worker reusable buffers for the query hot path.
+  /// Per-worker reusable buffers for the query hot path. The ADC members
+  /// are only touched in PQ mode (the 8 KB table lives here so each
+  /// worker builds it once per query descriptor, never per candidate).
   struct Scratch {
     std::vector<std::uint32_t> candidates;
     std::vector<Match> matches;
+    AdcTable adc_table;
+    std::vector<std::uint32_t> adc_dists;
+    std::vector<Match> adc_matches;
   };
 
   std::uint64_t bucket_key(const LshBucket& bucket, std::size_t table) const;
@@ -119,6 +174,8 @@ class LshIndex {
   std::vector<std::uint8_t> flat_;  ///< size_ descriptors, 128-byte stride
   std::size_t size_ = 0;
   std::vector<BucketMap> tables_;
+  PqCodebook codebook_;             ///< untrained unless PQ mode trained
+  std::vector<std::uint8_t> codes_; ///< kPqCodeBytes stride, id order
 };
 
 }  // namespace vp

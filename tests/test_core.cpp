@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <thread>
 
@@ -700,6 +701,236 @@ TEST(MapStore, TruncatedShardBlobRejected) {
   const std::size_t len_off = lie.size() - r.remaining();
   for (std::size_t i = 0; i < 4; ++i) lie[len_off + i] = 0xFF;
   EXPECT_THROW(VisualPrintServer::deserialize(lie), DecodeError);
+}
+
+ServerConfig pq_server() {
+  ServerConfig cfg = small_server();
+  cfg.index.multiprobe = true;
+  cfg.index.pq.enabled = true;
+  cfg.index.pq.rerank_depth = 8;
+  return cfg;
+}
+
+TEST(MapStore, V2DatabaseLoadsWithoutPqFields) {
+  // Hand-assemble a pre-PQ v2 file: multi-shard header, but the index
+  // config stops at max_match_distance2 and no compact-descriptor
+  // section follows the keypoints. Bytes written by the v2 code must
+  // keep loading verbatim after the v3 format change.
+  Rng rng(60);
+  UniquenessOracle oracle(small_oracle());
+  std::vector<Feature> feats;
+  for (int i = 0; i < 5; ++i) {
+    feats.push_back(make_feature(rng));
+    oracle.insert(feats.back().descriptor);
+  }
+
+  ByteWriter shard;
+  shard.str("old wing");
+  shard.str("old wing");
+  LshIndexConfig index_cfg;
+  shard.u16(static_cast<std::uint16_t>(index_cfg.lsh.tables));
+  shard.u16(static_cast<std::uint16_t>(index_cfg.lsh.projections));
+  shard.f64(index_cfg.lsh.width);
+  shard.u64(index_cfg.lsh.seed);
+  shard.u8(index_cfg.multiprobe ? 1 : 0);
+  shard.u32(static_cast<std::uint32_t>(index_cfg.max_candidates));
+  shard.u32(2);       // neighbors_per_keypoint
+  shard.u32(65'000);  // max_match_distance2
+  shard.u32(3);       // epoch
+  shard.u32(5);       // oracle_version
+  shard.blob(zlib_compress(oracle.serialize(), 6));
+  shard.u32(static_cast<std::uint32_t>(feats.size()));
+  for (std::size_t i = 0; i < feats.size(); ++i) {
+    const Descriptor& d = feats[i].descriptor;
+    shard.raw(std::span<const std::uint8_t>(d.data(), d.size()));
+    shard.f64(1.0 * static_cast<double>(i));
+    shard.f64(2.0);
+    shard.f64(0.5);
+    shard.i32(static_cast<std::int32_t>(i % 2));
+    shard.u32(3);
+  }
+
+  ByteWriter w;
+  w.u32(0x56504442u);  // "VPDB"
+  w.u16(2);
+  w.str("old wing");
+  w.u32(1);
+  w.blob(shard.bytes());
+
+  VisualPrintServer loaded = VisualPrintServer::deserialize(w.bytes());
+  EXPECT_EQ(loaded.store().default_place(), "old wing");
+  EXPECT_EQ(loaded.keypoint_count(), 5u);
+  EXPECT_EQ(loaded.store().epoch("old wing"), 3u);
+  // A v2 file knows nothing of PQ: the shard loads in exact mode with
+  // the default (disabled) PQ config.
+  EXPECT_EQ(loaded.store().storage_mode("old wing"), "exact");
+  const auto shard_snap = loaded.store().snapshot("old wing");
+  ASSERT_NE(shard_snap, nullptr);
+  EXPECT_FALSE(shard_snap->config.index.pq.enabled);
+  // Resaving upgrades to v3 without changing content.
+  VisualPrintServer again = VisualPrintServer::deserialize(loaded.serialize());
+  EXPECT_EQ(again.keypoint_count(), 5u);
+  EXPECT_DOUBLE_EQ(again.stored(2).position.x, 2.0);
+}
+
+TEST(MapStore, PqShardSaveLoadRoundtripStaysQueryReady) {
+  ServerConfig cfg = pq_server();
+  VisualPrintServer server(cfg);
+  Rng rng(61);
+  server.store().ingest_wardrive("gallery", random_mappings(rng, 40, {0, 0, 0}),
+                                 &cfg);
+  ASSERT_EQ(server.store().storage_mode("gallery"), "pq");
+  const auto before = server.store().snapshot("gallery");
+  ASSERT_NE(before, nullptr);
+  ASSERT_TRUE(before->index.pq_ready());
+
+  VisualPrintServer loaded = VisualPrintServer::deserialize(server.serialize());
+  EXPECT_EQ(loaded.store().storage_mode("gallery"), "pq");
+  const auto after = loaded.store().snapshot("gallery");
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->epoch, before->epoch);
+  EXPECT_EQ(after->config.index.pq.rerank_depth, 8u);
+  // The codebook and codes come back byte-identical — restored, not
+  // retrained — so ADC rankings survive the roundtrip exactly.
+  ASSERT_TRUE(after->index.pq_ready());
+  const auto raw_a = before->index.pq_codebook().raw();
+  const auto raw_b = after->index.pq_codebook().raw();
+  ASSERT_EQ(raw_a.size(), raw_b.size());
+  EXPECT_TRUE(std::equal(raw_a.begin(), raw_a.end(), raw_b.begin()));
+  const auto codes_a = before->index.pq_codes();
+  const auto codes_b = after->index.pq_codes();
+  ASSERT_EQ(codes_a.size(), codes_b.size());
+  EXPECT_TRUE(std::equal(codes_a.begin(), codes_a.end(), codes_b.begin()));
+  // And queries agree match-for-match.
+  for (std::uint32_t id = 0; id < 40; id += 7) {
+    const auto qa = before->index.query(before->index.descriptor(id), 3);
+    const auto qb = after->index.query(after->index.descriptor(id), 3);
+    ASSERT_EQ(qa.size(), qb.size());
+    for (std::size_t j = 0; j < qa.size(); ++j) {
+      EXPECT_EQ(qa[j].id, qb[j].id);
+      EXPECT_EQ(qa[j].distance2, qb[j].distance2);
+    }
+  }
+}
+
+TEST(MapStore, PqDatabaseTruncationRejected) {
+  ServerConfig cfg = pq_server();
+  VisualPrintServer server(cfg);
+  Rng rng(62);
+  server.store().ingest_wardrive("gallery", random_mappings(rng, 12, {0, 0, 0}),
+                                 &cfg);
+  const Bytes blob = server.serialize();
+  ASSERT_NO_THROW(VisualPrintServer::deserialize(blob));
+  // Every prefix truncation of a PQ-carrying database must throw — the
+  // codebook and codes blobs are inside the cut range for the late cuts.
+  for (std::size_t cut = 8; cut < blob.size(); cut += 97) {
+    Bytes t(blob.begin(), blob.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW(VisualPrintServer::deserialize(t), DecodeError) << cut;
+  }
+}
+
+/// A complete v3 single-shard database with an arbitrary PQ section:
+/// `codebook_raw` and `codes_raw` are zlib'd into the shard verbatim, so
+/// callers can write deliberately wrong sizes.
+Bytes v3_db_with_pq_section(std::span<const Feature> feats,
+                            const UniquenessOracle& oracle,
+                            std::span<const std::uint8_t> codebook_raw,
+                            std::span<const std::uint8_t> codes_raw) {
+  ByteWriter shard;
+  shard.str("gallery");
+  shard.str("gallery");
+  LshIndexConfig index_cfg;
+  shard.u16(static_cast<std::uint16_t>(index_cfg.lsh.tables));
+  shard.u16(static_cast<std::uint16_t>(index_cfg.lsh.projections));
+  shard.f64(index_cfg.lsh.width);
+  shard.u64(index_cfg.lsh.seed);
+  shard.u8(0);
+  shard.u32(static_cast<std::uint32_t>(index_cfg.max_candidates));
+  shard.u32(2);       // neighbors_per_keypoint
+  shard.u32(65'000);  // max_match_distance2
+  shard.u8(1);        // pq.enabled
+  shard.u32(8);       // pq.rerank_depth
+  shard.u32(8);       // pq.train.iterations
+  shard.u32(2048);    // pq.train.max_samples
+  shard.u64(1);       // pq.train.seed
+  shard.u32(1);       // epoch
+  shard.u32(static_cast<std::uint32_t>(feats.size()));  // oracle_version
+  shard.blob(zlib_compress(oracle.serialize(), 6));
+  shard.u32(static_cast<std::uint32_t>(feats.size()));
+  for (const Feature& f : feats) {
+    shard.raw(std::span<const std::uint8_t>(f.descriptor.data(),
+                                            f.descriptor.size()));
+    shard.f64(0.0);
+    shard.f64(0.0);
+    shard.f64(0.0);
+    shard.i32(-1);
+    shard.u32(0);
+  }
+  shard.u8(1);  // has_pq
+  shard.blob(zlib_compress(codebook_raw, 6));
+  shard.blob(zlib_compress(codes_raw, 6));
+
+  ByteWriter w;
+  w.u32(0x56504442u);  // "VPDB"
+  w.u16(3);
+  w.str("gallery");
+  w.u32(1);
+  w.blob(shard.bytes());
+  return w.take();
+}
+
+TEST(MapStore, CorruptPqSectionRejectedNotHalfLoaded) {
+  Rng rng(63);
+  UniquenessOracle oracle(small_oracle());
+  std::vector<Feature> feats;
+  for (int i = 0; i < 6; ++i) {
+    feats.push_back(make_feature(rng));
+    oracle.insert(feats.back().descriptor);
+  }
+  // A well-formed section parses (sanity for the helper itself).
+  std::vector<std::uint8_t> flat;
+  for (const Feature& f : feats) {
+    flat.insert(flat.end(), f.descriptor.begin(), f.descriptor.end());
+  }
+  const PqCodebook book = PqCodebook::train(flat.data(), feats.size());
+  std::vector<std::uint8_t> codes(feats.size() * kPqCodeBytes);
+  for (std::size_t i = 0; i < feats.size(); ++i) {
+    book.encode(flat.data() + i * kDescriptorDims,
+                codes.data() + i * kPqCodeBytes);
+  }
+  const Bytes good =
+      v3_db_with_pq_section(feats, oracle, book.raw(), codes);
+  VisualPrintServer loaded = VisualPrintServer::deserialize(good);
+  EXPECT_EQ(loaded.store().storage_mode("gallery"), "pq");
+
+  // A codebook blob that inflates fine but has the wrong size is rejected
+  // (zlib checksums cannot catch a substituted payload; the size check
+  // must).
+  const std::vector<std::uint8_t> short_book(100, 7);
+  EXPECT_THROW(VisualPrintServer::deserialize(v3_db_with_pq_section(
+                   feats, oracle, short_book, codes)),
+               DecodeError);
+
+  // Codes that cover the wrong number of descriptors are rejected.
+  const std::vector<std::uint8_t> short_codes((feats.size() - 1) *
+                                              kPqCodeBytes);
+  EXPECT_THROW(VisualPrintServer::deserialize(v3_db_with_pq_section(
+                   feats, oracle, book.raw(), short_codes)),
+               DecodeError);
+}
+
+TEST(MapStore, StorageModeReportsPerPlace) {
+  ServerConfig exact_cfg = small_server();
+  ServerConfig pq_cfg = pq_server();
+  VisualPrintServer server(exact_cfg);
+  Rng rng(64);
+  server.store().ingest_wardrive("plain", random_mappings(rng, 6, {0, 0, 0}),
+                                 &exact_cfg);
+  server.store().ingest_wardrive("compact",
+                                 random_mappings(rng, 6, {4, 0, 0}), &pq_cfg);
+  EXPECT_EQ(server.store().storage_mode("plain"), "exact");
+  EXPECT_EQ(server.store().storage_mode("compact"), "pq");
+  EXPECT_EQ(server.store().storage_mode("nowhere"), "");
 }
 
 TEST(MapStoreSoak, IngestWhileServingIsRaceFree) {

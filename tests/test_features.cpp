@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "features/distance.hpp"
+#include "features/pq.hpp"
 #include "features/draw.hpp"
 #include "features/keypoint.hpp"
 #include "features/pca.hpp"
@@ -101,6 +104,259 @@ TEST(DistanceKernels, SetKernelSwitchesDispatchAndRejectsUncompiled) {
     if (!compiled) EXPECT_FALSE(set_distance_kernel(probe));
   }
   ASSERT_TRUE(set_distance_kernel(original));
+}
+
+TEST(HammingKernels, ScalarAlwaysCompiledAndActiveIsCompiled) {
+  const auto kernels = compiled_hamming_kernels();
+  ASSERT_FALSE(kernels.empty());
+  EXPECT_EQ(kernels.front(), HammingKernel::kScalar);
+  bool active_listed = false;
+  for (const auto k : kernels) active_listed |= (k == active_hamming_kernel());
+  EXPECT_TRUE(active_listed);
+  EXPECT_FALSE(kernel_name(active_hamming_kernel()).empty());
+}
+
+// Every compiled-in popcount kernel must agree bit-for-bit with a naive
+// bit-at-a-time count: 10k random word pairs plus the adversarial
+// patterns (all-zero, all-ones, alternating nibbles that exercise every
+// entry of the AVX2 nibble lookup, and single-bit words).
+TEST(HammingKernels, BitIdenticalToNaiveOnRandomAndAdversarialWords) {
+  using Words = std::array<std::uint64_t, 4>;
+  std::vector<std::pair<Words, Words>> pairs;
+  Rng rng(0xbadb17ul);
+  for (int i = 0; i < 10'000; ++i) {
+    Words a, b;
+    for (auto& w : a) w = rng.next_u64();
+    for (auto& w : b) w = rng.next_u64();
+    pairs.emplace_back(a, b);
+  }
+  const Words zeros{}, ones{0xFFFFFFFFFFFFFFFFull, 0xFFFFFFFFFFFFFFFFull,
+                          0xFFFFFFFFFFFFFFFFull, 0xFFFFFFFFFFFFFFFFull};
+  const Words nibbles{0x0123456789ABCDEFull, 0xFEDCBA9876543210ull,
+                      0xAAAAAAAAAAAAAAAAull, 0x5555555555555555ull};
+  Words one_bit{};
+  one_bit[3] = 1ull << 63;
+  pairs.emplace_back(zeros, zeros);
+  pairs.emplace_back(zeros, ones);
+  pairs.emplace_back(ones, ones);
+  pairs.emplace_back(nibbles, zeros);
+  pairs.emplace_back(one_bit, zeros);
+
+  for (const auto& [a, b] : pairs) {
+    std::uint32_t naive = 0;
+    for (std::size_t w = 0; w < kHammingWords; ++w) {
+      const std::uint64_t x = a[w] ^ b[w];
+      for (int bit = 0; bit < 64; ++bit) naive += (x >> bit) & 1u;
+    }
+    for (const HammingKernel kernel : compiled_hamming_kernels()) {
+      SCOPED_TRACE(std::string(kernel_name(kernel)));
+      EXPECT_EQ(hamming256_with(kernel, a.data(), b.data()), naive);
+    }
+  }
+}
+
+TEST(HammingKernels, SetKernelSwitchesDispatchAndRejectsUncompiled) {
+  const HammingKernel original = active_hamming_kernel();
+  const std::array<std::uint64_t, 4> a{1, 2, 3, 4};
+  const std::array<std::uint64_t, 4> b{0, 2, 3, 0xF4};
+  // a^b = {1, 0, 0, 0xF0} -> 1 + 0 + 0 + 4 bits.
+  for (const HammingKernel kernel : compiled_hamming_kernels()) {
+    ASSERT_TRUE(set_hamming_kernel(kernel));
+    EXPECT_EQ(active_hamming_kernel(), kernel);
+    EXPECT_EQ(hamming256(a.data(), b.data()), 5u);
+  }
+  const auto kernels = compiled_hamming_kernels();
+  for (const HammingKernel probe :
+       {HammingKernel::kPopcnt, HammingKernel::kAvx2, HammingKernel::kNeon}) {
+    bool compiled = false;
+    for (const auto k : kernels) compiled |= (k == probe);
+    if (!compiled) EXPECT_FALSE(set_hamming_kernel(probe));
+  }
+  ASSERT_TRUE(set_hamming_kernel(original));
+}
+
+/// `count` random full-range descriptors at 128-byte stride (the LshIndex
+/// flat-buffer layout PqCodebook::train consumes).
+std::vector<std::uint8_t> random_flat_descriptors(std::size_t count,
+                                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> flat(count * kDescriptorDims);
+  for (auto& v : flat) v = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  return flat;
+}
+
+TEST(Pq, TrainIsDeterministicAndEncodesStably) {
+  const auto flat = random_flat_descriptors(600, 0x9001ul);
+  const PqCodebook a = PqCodebook::train(flat.data(), 600);
+  const PqCodebook b = PqCodebook::train(flat.data(), 600);
+  ASSERT_TRUE(a.trained());
+  ASSERT_EQ(a.raw().size(), kPqCodebookBytes);
+  ASSERT_TRUE(std::equal(a.raw().begin(), a.raw().end(), b.raw().begin()));
+  std::array<std::uint8_t, kPqCodeBytes> ca{}, cb{};
+  a.encode(flat.data(), ca.data());
+  b.encode(flat.data(), cb.data());
+  EXPECT_EQ(ca, cb);
+  // An untrained codebook comes from an empty training set.
+  EXPECT_FALSE(PqCodebook::train(flat.data(), 0).trained());
+}
+
+TEST(Pq, EncodePicksNearestCentroidTiesToLowest) {
+  // Hand-crafted codebook: in every subspace, centroid c is the constant
+  // vector (c). A descriptor of constant value v must encode to round(v)
+  // per subspace; centroids 0 and 1 duplicated would tie to the lower id.
+  std::vector<std::uint8_t> raw(kPqCodebookBytes);
+  for (std::size_t s = 0; s < kPqSubspaces; ++s) {
+    for (std::size_t c = 0; c < kPqCentroids; ++c) {
+      for (std::size_t d = 0; d < kPqSubDims; ++d) {
+        raw[(s * kPqCentroids + c) * kPqSubDims + d] =
+            static_cast<std::uint8_t>(c);
+      }
+    }
+  }
+  const PqCodebook book = PqCodebook::from_raw(raw);
+  Descriptor q;
+  for (std::size_t i = 0; i < kDescriptorDims; ++i) {
+    q[i] = static_cast<std::uint8_t>(17 * (i / kPqSubDims));
+  }
+  std::array<std::uint8_t, kPqCodeBytes> code{};
+  book.encode(q.data(), code.data());
+  for (std::size_t s = 0; s < kPqSubspaces; ++s) {
+    EXPECT_EQ(code[s], static_cast<std::uint8_t>(17 * s));
+  }
+}
+
+TEST(Pq, FromRawRoundtripAndRejectsBadSize) {
+  const auto flat = random_flat_descriptors(300, 0x9002ul);
+  const PqCodebook book = PqCodebook::train(flat.data(), 300);
+  const PqCodebook back =
+      PqCodebook::from_raw({book.raw().data(), book.raw().size()});
+  ASSERT_TRUE(back.trained());
+  EXPECT_TRUE(std::equal(book.raw().begin(), book.raw().end(),
+                         back.raw().begin()));
+  std::vector<std::uint8_t> short_raw(kPqCodebookBytes - 1);
+  std::vector<std::uint8_t> long_raw(kPqCodebookBytes + 1);
+  EXPECT_THROW(PqCodebook::from_raw(short_raw), DecodeError);
+  EXPECT_THROW(PqCodebook::from_raw(long_raw), DecodeError);
+  EXPECT_THROW(PqCodebook::from_raw({}), DecodeError);
+}
+
+TEST(AdcKernels, ScalarAlwaysCompiledAndActiveIsCompiled) {
+  const auto kernels = compiled_adc_kernels();
+  ASSERT_FALSE(kernels.empty());
+  EXPECT_EQ(kernels.front(), DistanceKernel::kScalar);
+  bool active_listed = false;
+  for (const auto k : kernels) active_listed |= (k == active_adc_kernel());
+  EXPECT_TRUE(active_listed);
+}
+
+TEST(AdcKernels, AdcDistanceMatchesNaiveTableSum) {
+  const auto flat = random_flat_descriptors(500, 0x9003ul);
+  const PqCodebook book = PqCodebook::train(flat.data(), 500);
+  const auto query = random_flat_descriptors(1, 0x9004ul);
+  AdcTable table;
+  book.build_adc_table(query.data(), table);
+  // Every table entry is the saturated exact subspace distance.
+  for (std::size_t s = 0; s < kPqSubspaces; ++s) {
+    for (std::size_t c = 0; c < kPqCentroids; ++c) {
+      std::uint32_t d2 = 0;
+      const std::uint8_t* cent = book.centroid(s, c);
+      for (std::size_t d = 0; d < kPqSubDims; ++d) {
+        const std::int32_t diff =
+            static_cast<std::int32_t>(query[s * kPqSubDims + d]) - cent[d];
+        d2 += static_cast<std::uint32_t>(diff * diff);
+      }
+      EXPECT_EQ(table.d[s * kPqCentroids + c],
+                static_cast<std::uint16_t>(std::min<std::uint32_t>(d2, 0xFFFF)));
+    }
+  }
+  std::array<std::uint8_t, kPqCodeBytes> code{};
+  book.encode(flat.data() + 37 * kDescriptorDims, code.data());
+  std::uint32_t naive = 0;
+  for (std::size_t s = 0; s < kPqSubspaces; ++s) {
+    naive += table.d[s * kPqCentroids + code[s]];
+  }
+  EXPECT_EQ(adc_distance(table, code.data()), naive);
+}
+
+// Every compiled ADC kernel must produce the scalar kernel's sums, both
+// for sequential scans (ids == nullptr) and gathered id lists, including
+// a table where entries saturate at 0xFFFF — which also proves the AVX2
+// gather masks its 32-bit loads down to the 16-bit entry.
+TEST(AdcKernels, BitIdenticalToScalarWithAndWithoutIds) {
+  const std::size_t n = 517;  // odd length: exercises kernel tails
+  const auto flat = random_flat_descriptors(n, 0x9005ul);
+  const PqCodebook trained = PqCodebook::train(flat.data(), n);
+  std::vector<std::uint8_t> codes(n * kPqCodeBytes);
+  for (std::size_t i = 0; i < n; ++i) {
+    trained.encode(flat.data() + i * kDescriptorDims,
+                   codes.data() + i * kPqCodeBytes);
+  }
+  // Saturating codebook: every centroid byte 255, query all zero ->
+  // every table entry is exactly 0xFFFF.
+  const PqCodebook maxed = PqCodebook::from_raw(
+      std::vector<std::uint8_t>(kPqCodebookBytes, 255));
+  const Descriptor zero_query{};
+  Rng rng(0x9006ul);
+  std::vector<std::uint32_t> ids(257);
+  for (auto& id : ids) {
+    id = static_cast<std::uint32_t>(rng.uniform_u64(n));
+  }
+
+  for (const bool saturated : {false, true}) {
+    SCOPED_TRACE(saturated ? "saturated" : "trained");
+    AdcTable table;
+    if (saturated) {
+      maxed.build_adc_table(zero_query.data(), table);
+      EXPECT_EQ(table.d[0], 0xFFFFu);
+      EXPECT_EQ(table.d[kPqSubspaces * kPqCentroids - 1], 0xFFFFu);
+    } else {
+      trained.build_adc_table(flat.data() + 3 * kDescriptorDims, table);
+    }
+    std::vector<std::uint32_t> expect_seq(n), expect_ids(ids.size());
+    adc_scan_with(DistanceKernel::kScalar, table, codes.data(), nullptr, n,
+                  expect_seq.data());
+    adc_scan_with(DistanceKernel::kScalar, table, codes.data(), ids.data(),
+                  ids.size(), expect_ids.data());
+    if (saturated) {
+      EXPECT_EQ(expect_seq[0], 16u * 0xFFFFu);
+    }
+    for (const DistanceKernel kernel : compiled_adc_kernels()) {
+      SCOPED_TRACE(std::string(kernel_name(kernel)));
+      std::vector<std::uint32_t> got_seq(n), got_ids(ids.size());
+      adc_scan_with(kernel, table, codes.data(), nullptr, n, got_seq.data());
+      adc_scan_with(kernel, table, codes.data(), ids.data(), ids.size(),
+                    got_ids.data());
+      EXPECT_EQ(got_seq, expect_seq);
+      EXPECT_EQ(got_ids, expect_ids);
+    }
+  }
+}
+
+TEST(AdcKernels, SetKernelSwitchesDispatchAndRejectsUncompiled) {
+  const DistanceKernel original = active_adc_kernel();
+  const auto flat = random_flat_descriptors(300, 0x9007ul);
+  const PqCodebook book = PqCodebook::train(flat.data(), 300);
+  AdcTable table;
+  book.build_adc_table(flat.data(), table);
+  std::array<std::uint8_t, kPqCodeBytes> code{};
+  book.encode(flat.data(), code.data());
+  std::uint32_t expected = 0;
+  for (std::size_t s = 0; s < kPqSubspaces; ++s) {
+    expected += table.d[s * kPqCentroids + code[s]];
+  }
+  for (const DistanceKernel kernel : compiled_adc_kernels()) {
+    ASSERT_TRUE(set_adc_kernel(kernel));
+    EXPECT_EQ(active_adc_kernel(), kernel);
+    EXPECT_EQ(adc_distance(table, code.data()), expected);
+  }
+  const auto kernels = compiled_adc_kernels();
+  for (const DistanceKernel probe :
+       {DistanceKernel::kSse41, DistanceKernel::kAvx2, DistanceKernel::kNeon}) {
+    bool compiled = false;
+    for (const auto k : kernels) compiled |= (k == probe);
+    if (!compiled) EXPECT_FALSE(set_adc_kernel(probe));
+  }
+  ASSERT_TRUE(set_adc_kernel(original));
 }
 
 TEST(Feature, SerializeRoundtrip) {

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <cstring>
+#include <memory>
 #include <set>
 
 #include "features/distance.hpp"
@@ -231,6 +233,230 @@ TEST(LshIndex, DescriptorAccessorsRoundtripFlatStorage) {
   EXPECT_THROW(index.descriptor(static_cast<std::uint32_t>(db.size())),
                std::exception);
 }
+
+LshIndexConfig pq_config(std::uint32_t rerank_depth) {
+  LshIndexConfig cfg;
+  cfg.multiprobe = true;  // fat candidate sets: the ADC stage actually runs
+  cfg.pq.enabled = true;
+  cfg.pq.rerank_depth = rerank_depth;
+  return cfg;
+}
+
+TEST(PqIndex, TrainEncodesEveryDescriptorAndReportsBytes) {
+  LshIndex index(pq_config(16));
+  Rng rng(30);
+  std::vector<Descriptor> db;
+  for (int i = 0; i < 300; ++i) {
+    db.push_back(random_descriptor(rng));
+    index.insert(db.back());
+  }
+  EXPECT_FALSE(index.pq_ready());  // enabled but untrained
+  const std::size_t exact_only_bytes = index.byte_size();
+  index.train_pq();
+  ASSERT_TRUE(index.pq_ready());
+  ASSERT_EQ(index.pq_codes().size(), db.size() * kPqCodeBytes);
+  // The code payload is exactly 8x smaller than the raw descriptors; the
+  // fixed 32 KB codebook rides on top and shows up in byte_size.
+  EXPECT_EQ(index.descriptor_bytes(), 8 * index.pq_codes().size());
+  EXPECT_EQ(index.pq_bytes(), index.pq_codes().size() + kPqCodebookBytes);
+  EXPECT_GT(index.byte_size(), exact_only_bytes);
+  std::array<std::uint8_t, kPqCodeBytes> expect{};
+  for (std::uint32_t id = 0; id < db.size(); ++id) {
+    index.pq_codebook().encode(db[id].data(), expect.data());
+    EXPECT_EQ(std::memcmp(index.code_ptr(id), expect.data(), kPqCodeBytes), 0);
+  }
+}
+
+TEST(PqIndex, TrainIsNoOpWhenDisabledOrEmpty) {
+  LshIndex disabled;
+  Rng rng(31);
+  disabled.insert(random_descriptor(rng));
+  disabled.train_pq();
+  EXPECT_FALSE(disabled.pq_ready());
+  EXPECT_EQ(disabled.pq_bytes(), 0u);
+
+  LshIndex empty(pq_config(16));
+  empty.train_pq();
+  EXPECT_FALSE(empty.pq_ready());
+}
+
+TEST(PqIndex, IncrementalInsertAfterTrainStaysReady) {
+  LshIndex index(pq_config(16));
+  Rng rng(32);
+  std::vector<Descriptor> db;
+  for (int i = 0; i < 200; ++i) {
+    db.push_back(random_descriptor(rng));
+    index.insert(db.back());
+  }
+  index.train_pq();
+  const auto codebook_before = index.pq_codebook().raw();
+  std::vector<std::uint8_t> raw_before(codebook_before.begin(),
+                                       codebook_before.end());
+  for (int i = 0; i < 100; ++i) {
+    db.push_back(random_descriptor(rng));
+    index.insert(db.back());
+  }
+  // insert() encodes as it goes once trained; a later train_pq() call
+  // must neither retrain nor re-encode.
+  EXPECT_TRUE(index.pq_ready());
+  index.train_pq();
+  const auto codebook_after = index.pq_codebook().raw();
+  EXPECT_TRUE(std::equal(raw_before.begin(), raw_before.end(),
+                         codebook_after.begin()));
+  ASSERT_EQ(index.pq_codes().size(), db.size() * kPqCodeBytes);
+  std::array<std::uint8_t, kPqCodeBytes> expect{};
+  for (std::uint32_t id = 0; id < db.size(); ++id) {
+    index.pq_codebook().encode(db[id].data(), expect.data());
+    EXPECT_EQ(std::memcmp(index.code_ptr(id), expect.data(), kPqCodeBytes), 0);
+  }
+}
+
+TEST(PqIndex, RestorePqValidatesCoverage) {
+  LshIndex index(pq_config(16));
+  Rng rng(33);
+  for (int i = 0; i < 50; ++i) index.insert(random_descriptor(rng));
+  index.train_pq();
+  PqCodebook book = PqCodebook::from_raw(
+      {index.pq_codebook().raw().data(), index.pq_codebook().raw().size()});
+  EXPECT_THROW(
+      index.restore_pq(std::move(book),
+                       std::vector<std::uint8_t>(49 * kPqCodeBytes)),
+      std::exception);
+  EXPECT_THROW(index.restore_pq(PqCodebook{},
+                                std::vector<std::uint8_t>(50 * kPqCodeBytes)),
+               std::exception);
+}
+
+TEST(PqIndex, MatchesExactOnlyWhenRerankCoversCandidates) {
+  // rerank_depth >= max_candidates: the ADC stage can never prune, so the
+  // PQ index must return the exact-only index's match lists verbatim.
+  LshIndexConfig cfg = pq_config(8192);
+  LshIndexConfig exact_cfg;
+  exact_cfg.multiprobe = true;
+  LshIndex pq(cfg), exact(exact_cfg);
+  Rng rng(34);
+  std::vector<Descriptor> db;
+  for (int i = 0; i < 400; ++i) {
+    db.push_back(random_descriptor(rng));
+    pq.insert(db.back());
+    exact.insert(db.back());
+  }
+  pq.train_pq();
+  ASSERT_TRUE(pq.pq_ready());
+  for (int i = 0; i < 40; ++i) {
+    const Descriptor q = perturb(db[static_cast<std::size_t>(i * 9)], rng, 3);
+    const auto a = pq.query(q, 4);
+    const auto b = exact.query(q, 4);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      EXPECT_EQ(a[j].id, b[j].id);
+      EXPECT_EQ(a[j].distance2, b[j].distance2);
+    }
+  }
+}
+
+// The determinism contract extended to PQ mode: identical match lists for
+// every compiled ADC kernel, every compiled exact-distance kernel, and
+// every pool size. A dense cluster around few bases guarantees candidate
+// sets far deeper than the rerank depth, so the ADC stage really prunes.
+TEST(PqIndex, AdcResultsDeterministicAcrossKernelsAndPools) {
+  LshIndex index(pq_config(8));
+  Rng rng(35);
+  std::vector<Descriptor> bases;
+  for (int i = 0; i < 4; ++i) bases.push_back(random_descriptor(rng));
+  for (int i = 0; i < 600; ++i) {
+    index.insert(perturb(bases[static_cast<std::size_t>(i % 4)], rng, 2));
+  }
+  index.train_pq();
+  ASSERT_TRUE(index.pq_ready());
+  std::vector<Descriptor> queries;
+  for (int i = 0; i < 24; ++i) {
+    queries.push_back(perturb(bases[static_cast<std::size_t>(i % 4)], rng, 2));
+  }
+
+  const DistanceKernel dist_original = active_distance_kernel();
+  const DistanceKernel adc_original = active_adc_kernel();
+  ASSERT_TRUE(set_distance_kernel(DistanceKernel::kScalar));
+  ASSERT_TRUE(set_adc_kernel(DistanceKernel::kScalar));
+  const auto reference = index.query_batch(queries, 4, nullptr);
+
+  for (const DistanceKernel adc : compiled_adc_kernels()) {
+    ASSERT_TRUE(set_adc_kernel(adc));
+    for (const DistanceKernel dist : compiled_distance_kernels()) {
+      ASSERT_TRUE(set_distance_kernel(dist));
+      SCOPED_TRACE("adc=" + std::string(kernel_name(adc)) +
+                   " dist=" + std::string(kernel_name(dist)));
+      for (const std::size_t threads : {0u, 1u, 4u}) {
+        std::unique_ptr<ThreadPool> pool;
+        if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+        const auto got = index.query_batch(queries, 4, pool.get());
+        ASSERT_EQ(got.size(), reference.size());
+        for (std::size_t i = 0; i < got.size(); ++i) {
+          ASSERT_EQ(got[i].size(), reference[i].size());
+          for (std::size_t j = 0; j < got[i].size(); ++j) {
+            EXPECT_EQ(got[i][j].id, reference[i][j].id);
+            EXPECT_EQ(got[i][j].distance2, reference[i][j].distance2);
+          }
+        }
+      }
+    }
+  }
+  ASSERT_TRUE(set_distance_kernel(dist_original));
+  ASSERT_TRUE(set_adc_kernel(adc_original));
+}
+
+// Recall-regression guard (acceptance bar: >= 0.95). The coarse ADC scan
+// may only reorder candidates before the exact rerank; against the
+// exact-only index's top-1 on perturbed stored descriptors it must stay
+// essentially lossless at the default rerank depth.
+TEST(PqIndex, RecallAtOneVsExactOnlyAboveGuard) {
+  LshIndex pq(pq_config(64)), exact([] {
+    LshIndexConfig cfg;
+    cfg.multiprobe = true;
+    return cfg;
+  }());
+  Rng rng(36);
+  std::vector<Descriptor> bases;
+  for (int i = 0; i < 8; ++i) bases.push_back(random_descriptor(rng));
+  for (int i = 0; i < 2000; ++i) {
+    const Descriptor d = perturb(bases[static_cast<std::size_t>(i % 8)], rng, 4);
+    pq.insert(d);
+    exact.insert(d);
+  }
+  pq.train_pq();
+  ASSERT_TRUE(pq.pq_ready());
+  int total = 0, hit = 0;
+  bool pruned = false;
+  for (int i = 0; i < 200; ++i) {
+    const Descriptor q = perturb(bases[static_cast<std::size_t>(i % 8)], rng, 4);
+    const auto e = exact.query(q, 1);
+    if (e.empty()) continue;
+    const auto p = pq.query(q, 1);
+    ASSERT_FALSE(p.empty());
+    ++total;
+    hit += (p[0].id == e[0].id);
+    pruned = true;  // every query sees ~250 clustered candidates > depth 64
+  }
+  ASSERT_TRUE(pruned);
+  ASSERT_GE(total, 150);
+  EXPECT_GE(static_cast<double>(hit), 0.95 * static_cast<double>(total));
+}
+
+#if VP_OBS_ENABLED
+TEST(PqIndex, AdcScanCounterTracksScannedCandidates) {
+  LshIndex index(pq_config(8));
+  Rng rng(37);
+  const Descriptor base = random_descriptor(rng);
+  for (int i = 0; i < 300; ++i) index.insert(perturb(base, rng, 1));
+  index.train_pq();
+  ASSERT_TRUE(index.pq_ready());
+  auto& counter = obs::Registry::global().counter("index.adc_scans");
+  const std::uint64_t before = counter.value();
+  const auto matches = index.query(base, 4);
+  EXPECT_EQ(matches.size(), 4u);
+  EXPECT_GT(counter.value(), before);
+}
+#endif
 
 #if VP_OBS_ENABLED
 TEST(LshIndex, CandidateCapTruncatesBeforeRankingAndCounts) {
