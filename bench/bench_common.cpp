@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 
 #include "core/client.hpp"
 #include "core/server.hpp"
@@ -243,16 +244,26 @@ void print_figure_header(const std::string& figure, const std::string& what) {
   std::printf("==========================================================\n");
 }
 
-void emit_metrics_jsonl(const std::string& bench) {
+void emit_metrics_jsonl(const std::string& bench, bool include_zeros) {
   obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
-  std::erase_if(snap.counters,
-                [](const obs::CounterSample& c) { return c.value == 0; });
-  std::erase_if(snap.gauges,
-                [](const obs::GaugeSample& g) { return g.value == 0; });
-  std::erase_if(snap.histograms,
-                [](const obs::HistogramSample& h) { return h.count == 0; });
+  if (!include_zeros) {
+    std::erase_if(snap.counters,
+                  [](const obs::CounterSample& c) { return c.value == 0; });
+    std::erase_if(snap.gauges,
+                  [](const obs::GaugeSample& g) { return g.value == 0; });
+    std::erase_if(snap.histograms,
+                  [](const obs::HistogramSample& h) { return h.count == 0; });
+  }
   const std::string lines = obs::to_json_lines(snap, bench);
   if (!lines.empty()) std::fputs(lines.c_str(), stdout);
+}
+
+void emit_trace_json(const std::string& path,
+                     std::span<const obs::StitchedTrace> traces) {
+  std::ofstream out(path, std::ios::trunc);
+  out << obs::to_chrome_trace(traces);
+  std::printf("chrome trace (%zu frames) written to %s\n", traces.size(),
+              path.c_str());
 }
 
 }  // namespace vp::bench

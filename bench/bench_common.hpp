@@ -8,10 +8,12 @@
 // bench to run closer to the paper's sizes.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
 #include "features/sift.hpp"
+#include "obs/trace.hpp"
 #include "scene/environments.hpp"
 #include "scene/render.hpp"
 #include "util/rng.hpp"
@@ -87,9 +89,19 @@ void print_figure_header(const std::string& figure, const std::string& what);
 
 /// The shared metrics emitter: print the global registry as JSON lines
 /// tagged "bench":"<bench>" (see src/obs/export.hpp) — one format across
-/// every bench, so downstream tooling parses a single stream. Metrics with
-/// zero recorded events are skipped to keep the output focused; prints
-/// nothing when the registry is empty (e.g. VP_OBS=OFF builds).
-void emit_metrics_jsonl(const std::string& bench);
+/// every bench, so downstream tooling parses a single stream. By default
+/// metrics with zero recorded events are skipped to keep the output
+/// focused; pass include_zeros=true when a zero is itself the signal
+/// (e.g. `index.adc_scans` staying 0 proves the exact path served every
+/// query — silently dropping it makes "didn't run" indistinguishable from
+/// "didn't happen"). Prints nothing when the registry is empty (e.g.
+/// VP_OBS=OFF builds).
+void emit_metrics_jsonl(const std::string& bench, bool include_zeros = false);
+
+/// Render stitched traces as a Chrome-trace JSON file next to the bench's
+/// stdout stream (see obs::to_chrome_trace); prints a pointer line so the
+/// artifact is discoverable from the log.
+void emit_trace_json(const std::string& path,
+                     std::span<const obs::StitchedTrace> traces);
 
 }  // namespace vp::bench

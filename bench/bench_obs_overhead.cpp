@@ -7,15 +7,26 @@
 // the call sites out entirely, so its pipeline overhead is exactly zero
 // (reported as such — the primitives below still exist in the library).
 //
-// Usage: bench_obs_overhead [--scale=<f>]
+// A second section measures the end-to-end cost of wire-level tracing
+// sampled at 100%: the same query served through an in-process server,
+// untraced (v2 frames) vs traced (v3 trace context + echoed server span
+// block + client-side stitching).
+//
+// Usage: bench_obs_overhead [--scale=<f>] [--check]
+// --check exits nonzero when a VP_OBS=ON build exceeds the 2% budget —
+// the CI smoke job runs it as a regression gate.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/client.hpp"
+#include "core/remote.hpp"
+#include "core/server.hpp"
 #include "obs/trace.hpp"
+#include "slam/mapping.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -24,12 +35,21 @@ double ns_per_op(vp::Timer& t, std::size_t ops) {
   return t.lap() * 1e9 / static_cast<double>(ops);
 }
 
+double median_of(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  return values.empty() ? 0.0 : values[values.size() / 2];
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace vp;
   using namespace vp::bench;
   const double scale = parse_scale(argc, argv);
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) check = true;
+  }
   print_figure_header("obs overhead",
                       "instrumentation cost on the client frame path");
 
@@ -98,8 +118,7 @@ int main(int argc, char** argv) {
     frame_ms.push_back(t.lap() * 1e3);
     spans_per_frame = trace.records().size();
   }
-  std::sort(frame_ms.begin(), frame_ms.end());
-  const double median_frame_ms = frame_ms[frame_ms.size() / 2];
+  const double median_frame_ms = median_of(frame_ms);
 
   // Per-frame instrumentation cost: every span pays the traced-span price
   // (trace append + histogram record); a handful of counters ride along.
@@ -110,16 +129,102 @@ int main(int argc, char** argv) {
           ? per_frame_ns / (median_frame_ms * 1e6) * 100.0
           : 0.0;  // call sites compiled out: nothing runs on the frame path
 
+  // End-to-end wire tracing at 100% sampling: the same query, served by an
+  // in-process server, untraced (v2 frames) vs traced (v3 trace context,
+  // the server's echoed span block, client-side stitching). Alternating
+  // the two modes keeps thermal/cache drift out of the comparison.
+  std::vector<KeypointMapping> mappings;
+  {
+    Rng map_rng(99);
+    std::uint32_t snap = 0;
+    for (const auto& f : frames) {
+      for (const auto& feat : sift_detect(to_gray(f))) {
+        mappings.push_back({feat,
+                            {map_rng.uniform(0.0, 10.0),
+                             map_rng.uniform(0.0, 10.0), 1.5},
+                            snap});
+      }
+      ++snap;
+    }
+  }
+  ServerConfig scfg;
+  scfg.oracle.capacity = std::max<std::size_t>(50'000, mappings.size() * 2);
+  // Short solver budget: the comparison needs identical work in both
+  // modes, not a good fix.
+  scfg.localize.de.time_budget_sec = 0.02;
+  VisualPrintServer server(scfg);
+  server.ingest_wardrive(mappings);
+
+  double e2e_untraced_ms = 0, e2e_traced_ms = 0, e2e_overhead_pct = 0;
+  const auto fr = client.process_frame(frame, 0.0, 0.0);
+  if (fr.query) {
+    RemoteLocalizer::Transport transport =
+        [&](std::span<const std::uint8_t> req) {
+          return server.handle_request(req, /*solver_seed=*/7);
+        };
+    RemoteLocalizer plain(transport);
+    RemoteLocalizer traced(transport);
+    traced.enable_tracing(/*sample_rate=*/1.0);
+    (void)plain.localize(*fr.query);  // warm-up both paths
+    (void)traced.localize(*fr.query);
+    const int queries = std::max(8, static_cast<int>(std::lround(16 * scale)));
+    std::vector<double> plain_ms, traced_ms;
+    for (int i = 0; i < queries; ++i) {
+      t.lap();
+      (void)plain.localize(*fr.query);
+      plain_ms.push_back(t.lap() * 1e3);
+      (void)traced.localize(*fr.query);
+      traced_ms.push_back(t.lap() * 1e3);
+    }
+    e2e_untraced_ms = median_of(plain_ms);
+    e2e_traced_ms = median_of(traced_ms);
+    e2e_overhead_pct = e2e_untraced_ms > 0
+                           ? (e2e_traced_ms - e2e_untraced_ms) /
+                                 e2e_untraced_ms * 100.0
+                           : 0.0;
+    std::printf("e2e query: untraced %.3f ms, traced@100%% %.3f ms "
+                "(%+.2f%%), %zu stitched traces\n\n",
+                e2e_untraced_ms, e2e_traced_ms, e2e_overhead_pct,
+                traced.traces().size());
+  } else {
+    std::printf("e2e query skipped: frame did not queue a query\n\n");
+  }
+
   std::printf(
       "{\"bench\":\"obs_overhead\",\"obs_enabled\":%d,"
       "\"counter_add_ns\":%.1f,\"hist_record_ns\":%.1f,"
       "\"span_ns\":%.1f,\"span_in_trace_ns\":%.1f,"
       "\"frame_ms\":%.2f,\"spans_per_frame\":%zu,"
-      "\"overhead_pct\":%.4f}\n",
+      "\"overhead_pct\":%.4f,"
+      "\"e2e_untraced_ms\":%.3f,\"e2e_traced_ms\":%.3f,"
+      "\"e2e_overhead_pct\":%.2f}\n",
       VP_OBS_ENABLED, counter_ns, record_ns, span_ns, traced_span_ns,
-      median_frame_ms, spans_per_frame, overhead_pct);
+      median_frame_ms, spans_per_frame, overhead_pct, e2e_untraced_ms,
+      e2e_traced_ms, e2e_overhead_pct);
   std::printf("\nframe path %.1f ms, %zu spans/frame -> %.4f%% overhead "
               "(budget: 2%%)\n",
               median_frame_ms, spans_per_frame, overhead_pct);
+
+  if (check && VP_OBS_ENABLED != 0) {
+    // CI regression gate. The frame-path model is the primary budget; the
+    // e2e delta also gates, but only past an absolute floor (0.05 ms) so
+    // scheduler jitter on a fast query can't fail the job.
+    bool failed = false;
+    if (overhead_pct > 2.0) {
+      std::fprintf(stderr, "FAIL: frame-path overhead %.4f%% > 2%% budget\n",
+                   overhead_pct);
+      failed = true;
+    }
+    if (e2e_overhead_pct > 2.0 &&
+        e2e_traced_ms - e2e_untraced_ms > 0.05) {
+      std::fprintf(stderr,
+                   "FAIL: e2e tracing overhead %.2f%% (%.3f -> %.3f ms) "
+                   "> 2%% budget\n",
+                   e2e_overhead_pct, e2e_untraced_ms, e2e_traced_ms);
+      failed = true;
+    }
+    if (failed) return 1;
+    std::printf("check passed: within the 2%% budget\n");
+  }
   return 0;
 }

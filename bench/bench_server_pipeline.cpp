@@ -483,6 +483,9 @@ int main(int argc, char** argv) {
       "(identical cost at every pool size regardless); pipeline stage\n"
       "splits shift from retrieve-bound to solve-bound as the pool\n"
       "absorbs the retrieval sweep.\n");
-  emit_metrics_jsonl("server_pipeline");
+  // include_zeros: this bench runs both exact and ADC ranking paths, so a
+  // zero `index.adc_scans` is evidence (the exact path served the mix),
+  // not noise — it must survive into the artifact.
+  emit_metrics_jsonl("server_pipeline", /*include_zeros=*/true);
   return 0;
 }

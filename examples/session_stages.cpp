@@ -4,10 +4,13 @@
 //   1. the per-frame stage breakdown the tracer stored in
 //      SessionFrame::stages,
 //   2. the aggregated stage histograms as JSON-lines,
-//   3. the same snapshot as a Prometheus text exposition.
+//   3. the same snapshot as a Prometheus text exposition,
+//   4. stitched client/link/server traces written as Chrome-trace JSON
+//      (load session_trace.json in chrome://tracing or Perfetto).
 //
 // Run:  ./session_stages
 #include <cstdio>
+#include <fstream>
 
 #include "core/session.hpp"
 #include "obs/export.hpp"
@@ -52,6 +55,7 @@ int main() {
   cfg.client.blur_threshold = 2.0;
   cfg.localize_on_server = true;
   cfg.phone_slowdown = 8.0;
+  cfg.collect_traces = true;
   Session session(world, server, cfg);
   const SessionStats stats = session.run();
 
@@ -75,5 +79,21 @@ int main() {
   std::printf("\n--- json-lines export ---\n%s",
               obs::to_json_lines(snap, "session_stages").c_str());
   std::printf("\n--- prometheus export ---\n%s", obs::to_prometheus(snap).c_str());
+
+  // 4. Stitched traces: one timeline per offloaded frame, client lane in
+  // phone-scaled ms, link lane from the simulated network, server lane
+  // from the real handler spans.
+  if (!stats.traces.empty()) {
+    const auto& first = stats.traces.front();
+    std::printf("\n%zu stitched traces (first: trace %016llx, frame %u: "
+                "%zu client / %zu link / %zu server spans)\n",
+                stats.traces.size(),
+                static_cast<unsigned long long>(first.trace_id),
+                first.frame_id, first.client.size(), first.link.size(),
+                first.server.size());
+    std::ofstream out("session_trace.json", std::ios::trunc);
+    out << obs::to_chrome_trace(stats.traces);
+    std::printf("chrome trace written to session_trace.json\n");
+  }
   return 0;
 }

@@ -12,13 +12,16 @@
 //
 // Run:   ./vp_server         (first, in another terminal)
 //        ./vp_client [--port N] [--views N] [--place ID]
+//                    [--trace-out FILE] [--metrics-out FILE]
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "core/client.hpp"
 #include "core/remote.hpp"
 #include "net/retry.hpp"
+#include "obs/export.hpp"
 #include "scene/environments.hpp"
 #include "scene/render.hpp"
 #include "util/table.hpp"
@@ -28,6 +31,8 @@ int main(int argc, char** argv) {
   std::uint16_t port = 47001;
   int views = 6;
   std::string place;  // "" = the server's default place
+  std::string trace_out;    // Chrome-trace JSON of the stitched traces
+  std::string metrics_out;  // write the stats scrape here too
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
@@ -35,6 +40,10 @@ int main(int argc, char** argv) {
       views = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--place") == 0 && i + 1 < argc) {
       place = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
     }
   }
 
@@ -60,6 +69,10 @@ int main(int argc, char** argv) {
 
   RemoteLocalizer localizer(
       [&net](std::span<const std::uint8_t> req) { return net.request(req); });
+  // End-to-end tracing: every query carries a trace_id and asks the server
+  // to echo its span block, which the localizer stitches with its own
+  // spans and the measured round trip.
+  if (!trace_out.empty()) localizer.enable_tracing(1.0);
   // Every oracle the localizer downloads — first fetch or mid-session
   // stale refresh — lands in the client's per-place cache.
   localizer.on_oracle_refresh(
@@ -112,6 +125,20 @@ int main(int argc, char** argv) {
   const Bytes reply = net.request(sw.bytes());
   const StatsResponse stats = StatsResponse::decode(reply);
   std::printf("\nserver metrics (prometheus):\n%s", stats.text.c_str());
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out, std::ios::trunc);
+    out << stats.text;
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out, std::ios::trunc);
+    out << obs::to_chrome_trace(localizer.traces());
+    std::printf(
+        "%zu stitched traces written to %s (open in chrome://tracing "
+        "or Perfetto)\n",
+        localizer.traces().size(), trace_out.c_str());
+  }
 
   const RetryStats& rs = net.stats();
   if (rs.retries > 0 || rs.timeouts > 0 || rs.conn_dropped > 0 ||

@@ -21,7 +21,12 @@
 // top rerank_depth survivors touch the raw 128-byte descriptors. Loaded
 // databases keep whatever storage mode they were saved with.
 //
+// `--slow-log` prints the worst-N slow-query log (per-stage milliseconds,
+// trace ids, candidate counts) at exit; clients can fetch the same data
+// live as StatsRequest format 2.
+//
 // Run:   ./vp_server [--port N] [--db FILE]... [--threads N] [--pq] [--once]
+//                    [--slow-log]
 // Pair:  ./vp_client [--place ID] (in another terminal)
 #include <atomic>
 #include <cstdio>
@@ -82,6 +87,7 @@ int main(int argc, char** argv) {
   std::size_t threads = 4;
   bool once = false;
   bool pq = false;
+  bool slow_log = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
@@ -93,6 +99,8 @@ int main(int argc, char** argv) {
       pq = true;  // demo database stores PQ codes + ADC coarse ranking
     } else if (std::strcmp(argv[i], "--once") == 0) {
       once = true;  // serve a single connection then exit (used in tests)
+    } else if (std::strcmp(argv[i], "--slow-log") == 0) {
+      slow_log = true;  // print the worst-N slow-query log at exit
     }
   }
   if (db_paths.empty()) db_paths.push_back("vp_demo.db");
@@ -152,5 +160,11 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.decode_errors.load()),
       static_cast<unsigned long long>(stats.timeouts.load()),
       static_cast<unsigned long long>(stats.io_errors.load()));
+  if (slow_log) {
+    std::printf("\nslow-query log (worst %zu of %llu):\n%s",
+                server.slow_log().capacity(),
+                static_cast<unsigned long long>(server.slow_log().seen()),
+                server.slow_log().to_json_lines().c_str());
+  }
   return 0;
 }

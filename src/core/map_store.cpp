@@ -43,6 +43,7 @@ LocationResponse PlaceShard::localize(const FingerprintQuery& query,
       }
     }
   }
+  VP_OBS_TRACE_NOTE("server.candidates", candidates.size());
   if (candidates.size() < 3) return resp;  // found = false
 
   // Largest spatial cluster; discard everything else (repetitions
@@ -52,6 +53,7 @@ LocationResponse PlaceShard::localize(const FingerprintQuery& query,
     VP_OBS_SPAN("cluster");
     keep = largest_cluster(points, config.clustering);
   }
+  VP_OBS_TRACE_NOTE("server.clustered", keep.size());
   if (keep.size() < 3) return resp;
   std::vector<Observation> obs;
   obs.reserve(keep.size());

@@ -1,11 +1,21 @@
 #include "core/remote.hpp"
 
+#include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace vp {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point from, Clock::time_point to) noexcept {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+}  // namespace
 
 RemoteLocalizer::RemoteLocalizer(Transport transport)
     : transport_(std::move(transport)) {
@@ -44,15 +54,37 @@ OracleDownload RemoteLocalizer::fetch_oracle(const std::string& place) {
   return download;
 }
 
+void RemoteLocalizer::enable_tracing(double sample_rate) {
+  tracing_ = true;
+  sample_rate_ = std::clamp(sample_rate, 0.0, 1.0);
+  sample_accum_ = 0.0;
+}
+
 LocationResponse RemoteLocalizer::localize(FingerprintQuery query) {
+  std::optional<obs::FrameTrace> trace;
+  if (tracing_) {
+    if (query.trace_id == 0) query.trace_id = obs::next_trace_id();
+    sample_accum_ += sample_rate_;
+    if (sample_accum_ >= 1.0) {
+      sample_accum_ -= 1.0;
+      query.trace_flags |= obs::kTraceSampled;
+    }
+    trace.emplace();
+  }
   for (int attempt = 0;; ++attempt) {
     ByteWriter w(1 + query.wire_size());
     w.u8(kQueryRequest);
     w.raw(query.encode());
     Bytes reply;
     std::string message;
+    const auto sent = Clock::now();
     const std::uint16_t code = exchange(w.bytes(), reply, message);
-    if (code == 0) return LocationResponse::decode(reply);
+    const auto received = Clock::now();
+    if (code == 0) {
+      LocationResponse resp = LocationResponse::decode(reply);
+      if (trace) stitch(query, resp, sent, received);
+      return resp;
+    }
     if (code == ErrorResponse::kStaleOracle && attempt == 0) {
       ++stale_refreshes_;
       VP_OBS_COUNT("client.stale_refreshes", 1);
@@ -62,6 +94,51 @@ LocationResponse RemoteLocalizer::localize(FingerprintQuery query) {
     }
     throw RemoteError{code, message};
   }
+}
+
+void RemoteLocalizer::stitch(const FingerprintQuery& query,
+                             const LocationResponse& resp,
+                             Clock::time_point sent,
+                             Clock::time_point received) {
+  obs::StitchedTrace st;
+  st.trace_id = query.trace_id;
+  st.frame_id = query.frame_id;
+  st.place = resp.place;
+  // base = this trace's epoch on the localizer's session timeline.
+  const auto now = Clock::now();
+  st.base_ms = ms_between(epoch_, now) - obs::active_trace_ms_at(now);
+
+  // Client lane: everything the FrameTrace saw on this thread (encode,
+  // plus any spans the transport itself opened).
+  const std::vector<obs::SpanRecord>* records = obs::active_trace_records();
+  if (records != nullptr) st.client = obs::to_stitched_spans(*records);
+
+  // Link lane. The transport is opaque, so the split is inferred: the
+  // server block's envelope (max span end) is compute time; the rest of
+  // the measured round trip is wire time, charged half to each direction.
+  const double t_sent = obs::active_trace_ms_at(sent);
+  const double t_received = obs::active_trace_ms_at(received);
+  const double rtt = t_received - t_sent;
+  double envelope = 0;
+  for (const WireSpan& s : resp.server_spans) {
+    envelope = std::max(envelope, static_cast<double>(s.start_ms) +
+                                      static_cast<double>(s.duration_ms));
+  }
+  const double net = std::max(0.0, rtt - envelope);
+  st.link.push_back({"link.rtt", -1, t_sent, rtt});
+  st.link.push_back({"link.uplink", 0, t_sent, net / 2});
+  st.link.push_back({"link.downlink", 0, t_received - net / 2, net / 2});
+
+  // Server lane: echoed spans shifted onto this timeline — the server's
+  // epoch is placed after the inferred uplink.
+  const double server_base = t_sent + net / 2;
+  st.server.reserve(resp.server_spans.size());
+  for (const WireSpan& s : resp.server_spans) {
+    st.server.push_back({s.name, s.parent,
+                         server_base + static_cast<double>(s.start_ms),
+                         static_cast<double>(s.duration_ms)});
+  }
+  traces_.push_back(std::move(st));
 }
 
 std::uint32_t RemoteLocalizer::known_epoch(const std::string& place) const {

@@ -11,12 +11,15 @@
 // frames and the RemoteError that RetryingClient turns them into.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "net/wire.hpp"
+#include "obs/trace.hpp"
 #include "util/bytes.hpp"
 
 namespace vp {
@@ -53,16 +56,46 @@ class RemoteLocalizer {
   /// Transparent stale-oracle recoveries performed so far.
   std::uint64_t stale_refreshes() const noexcept { return stale_refreshes_; }
 
+  /// Turn on end-to-end tracing: every subsequent localize() runs under
+  /// its own FrameTrace, stamps the query with a fresh trace_id, and
+  /// stitches client, link, and (when the sampled bit was set) echoed
+  /// server spans into one StitchedTrace per query. `sample_rate` is the
+  /// fraction of queries asking the server to echo its span block back
+  /// (deterministic accumulator, not random: 0.25 samples exactly every
+  /// 4th query). All queries carry a trace_id once tracing is on.
+  void enable_tracing(double sample_rate = 1.0);
+
+  /// Stitched traces collected since enable_tracing, one per completed
+  /// localize() (render with obs::to_chrome_trace).
+  const std::vector<obs::StitchedTrace>& traces() const noexcept {
+    return traces_;
+  }
+
  private:
   /// Run the transport and normalize both error styles into a pair
   /// (code, message); code 0 means `reply` holds the expected frame.
   std::uint16_t exchange(std::span<const std::uint8_t> request, Bytes& reply,
                          std::string& message);
 
+  /// Assemble one StitchedTrace from the query's FrameTrace (client lane),
+  /// the measured send/receive instants (link lane), and the server span
+  /// block echoed on `resp` (server lane). Must run while the query's
+  /// FrameTrace is still the thread's active trace.
+  void stitch(const FingerprintQuery& query, const LocationResponse& resp,
+              std::chrono::steady_clock::time_point sent,
+              std::chrono::steady_clock::time_point received);
+
   Transport transport_;
   std::function<void(const OracleDownload&)> on_refresh_;
   std::map<std::string, std::uint32_t> epochs_;
   std::uint64_t stale_refreshes_ = 0;
+  bool tracing_ = false;
+  double sample_rate_ = 1.0;
+  double sample_accum_ = 0.0;
+  std::vector<obs::StitchedTrace> traces_;
+  /// Session-relative time base for StitchedTrace::base_ms.
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
 };
 
 }  // namespace vp

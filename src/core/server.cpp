@@ -1,13 +1,49 @@
 #include "core/server.hpp"
 
+#include "features/distance.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace vp {
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) noexcept {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// RAII server.inflight gauge: counts 'Q' requests currently inside the
+/// handler, exception-safe.
+struct InflightGuard {
+  obs::Gauge& gauge;
+  explicit InflightGuard(obs::Gauge& g) : gauge(g) { gauge.add(1); }
+  ~InflightGuard() { gauge.add(-1); }
+  InflightGuard(const InflightGuard&) = delete;
+  InflightGuard& operator=(const InflightGuard&) = delete;
+};
+
+}  // namespace
 
 VisualPrintServer::VisualPrintServer(ServerConfig config)
-    : store_(std::make_unique<MapStore>(std::move(config))) {}
+    : store_(std::make_unique<MapStore>(std::move(config))),
+      runtime_(std::make_unique<ServerRuntime>()) {
+  // Self-describing build gauges (direct registry calls, not macros: they
+  // must appear in scrapes of a VP_OBS=OFF binary too — that a scrape
+  // self-reports "tracing compiled out" is the point).
+  auto& registry = obs::Registry::global();
+#if VP_OBS_ENABLED
+  registry.gauge("build.vp_obs").set(1);
+#else
+  registry.gauge("build.vp_obs").set(0);
+#endif
+  // Compiled SIMD distance-kernel variants beyond the scalar reference
+  // (0 = portable-only build).
+  registry.gauge("build.simd")
+      .set(static_cast<double>(compiled_distance_kernels().size() - 1));
+}
 
 const PlaceShard& VisualPrintServer::default_builder() const {
   return store_->builder_shard(store_->default_place());
@@ -56,40 +92,106 @@ Bytes VisualPrintServer::handle_request(std::span<const std::uint8_t> request,
     return store_->oracle_snapshot(req.place).encode();
   }
   if (tag == kQueryRequest) {
-    const FingerprintQuery query = FingerprintQuery::decode(body);
-    if (query.oracle_epoch != 0) {
-      // The client ranked its keypoints against an epoch'd oracle; if the
-      // place has republished since, tell it to refresh instead of
-      // localizing against selections an outdated uniqueness table made.
-      const std::string& place =
-          query.place.empty() ? store_->default_place() : query.place;
-      const auto shard = store_->snapshot(place);
-      if (shard != nullptr && shard->epoch != query.oracle_epoch) {
-        VP_OBS_COUNT("server.stale_oracle", 1);
-        ErrorResponse err;
-        err.code = ErrorResponse::kStaleOracle;
-        err.message = "oracle epoch " + std::to_string(query.oracle_epoch) +
-                      " for place '" + place + "' superseded by epoch " +
-                      std::to_string(shard->epoch);
-        return err.encode();
-      }
-    }
-    // Per-query rng: deterministic for a given (seed, frame) and safe when
-    // serve() runs handlers concurrently on pool workers.
-    Rng solver_rng(solver_seed ^ (0x51ULL << 56) ^ query.frame_id);
-    return store_->localize(query, solver_rng).encode();
+    return handle_query(body, solver_seed);
   }
   if (tag == kStatsRequest) {
     const StatsRequest req = StatsRequest::decode(body);
     StatsResponse resp;
     resp.format = req.format;
-    const auto snap = obs::Registry::global().snapshot();
+    if (req.format == StatsRequest::kFormatSlowLog) {
+      resp.text = runtime_->slow_log.to_json_lines();
+      return resp.encode();
+    }
+    // Refresh the scrape-time gauges so every export self-describes the
+    // serving process, not just its build.
+    auto& registry = obs::Registry::global();
+    registry.gauge("server.uptime_ms").set(ms_since(runtime_->start));
+    const auto seen = runtime_->queries_seen.load(std::memory_order_relaxed);
+    const auto traced =
+        runtime_->queries_traced.load(std::memory_order_relaxed);
+    registry.gauge("server.trace_sample_rate")
+        .set(seen == 0 ? 0.0
+                       : static_cast<double>(traced) /
+                             static_cast<double>(seen));
+    const auto snap = registry.snapshot();
     resp.text = req.format == StatsRequest::kFormatPrometheus
                     ? obs::to_prometheus(snap)
                     : obs::to_json_lines(snap);
     return resp.encode();
   }
   throw DecodeError{"unknown request tag"};
+}
+
+Bytes VisualPrintServer::handle_query(std::span<const std::uint8_t> body,
+                                      std::uint64_t solver_seed) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  runtime_->queries_seen.fetch_add(1, std::memory_order_relaxed);
+  const InflightGuard inflight(obs::Registry::global().gauge("server.inflight"));
+  // The handler trace opens before decode so the wire "decode" span lands
+  // in it. Cheap either way (two thread-local stores), so it is opened for
+  // untraced queries too — their spans still feed the slow-query log.
+  obs::FrameTrace trace;
+  obs::SlowQuery slow;
+  Bytes reply;
+  const FingerprintQuery query = FingerprintQuery::decode(body);
+  slow.trace_id = query.trace_id;
+  slow.frame_id = query.frame_id;
+  if (query.trace_id != 0) {
+    runtime_->queries_traced.fetch_add(1, std::memory_order_relaxed);
+  }
+  bool stale = false;
+  if (query.oracle_epoch != 0) {
+    // The client ranked its keypoints against an epoch'd oracle; if the
+    // place has republished since, tell it to refresh instead of
+    // localizing against selections an outdated uniqueness table made.
+    const std::string& place =
+        query.place.empty() ? store_->default_place() : query.place;
+    const auto shard = store_->snapshot(place);
+    if (shard != nullptr && shard->epoch != query.oracle_epoch) {
+      VP_OBS_COUNT("server.stale_oracle", 1);
+      ErrorResponse err;
+      err.code = ErrorResponse::kStaleOracle;
+      err.message = "oracle epoch " + std::to_string(query.oracle_epoch) +
+                    " for place '" + place + "' superseded by epoch " +
+                    std::to_string(shard->epoch);
+      slow.error_code = ErrorResponse::kStaleOracle;
+      slow.place = place;
+      reply = err.encode();
+      stale = true;
+    }
+  }
+  if (!stale) {
+    // Per-query rng: deterministic for a given (seed, frame) and safe when
+    // serve() runs handlers concurrently on pool workers.
+    Rng solver_rng(solver_seed ^ (0x51ULL << 56) ^ query.frame_id);
+    LocationResponse resp = store_->localize(query, solver_rng);
+    resp.trace_id = query.trace_id;
+    if (query.trace_id != 0 && (query.trace_flags & obs::kTraceSampled)) {
+      // Echo this handler's span tree as the v3 timing block. Spans run on
+      // pool workers (multi-shard fan-out) are histogram-only and absent
+      // here — the block shows the coordinating thread's structure.
+      for (const obs::SpanRecord& rec : trace.records()) {
+        WireSpan s;
+        s.name = rec.name;
+        s.parent = static_cast<std::int16_t>(rec.parent);
+        s.start_ms = static_cast<float>(rec.start_ms);
+        s.duration_ms = static_cast<float>(rec.duration_ms);
+        resp.server_spans.push_back(std::move(s));
+      }
+    }
+    slow.place = resp.place;
+    reply = resp.encode();
+  }
+  slow.total_ms = ms_since(t0);
+  const obs::StageTimings stage_totals = trace.stage_timings();
+  for (const auto& [stage, ms] : stage_totals.entries()) {
+    slow.stages.emplace_back(stage, ms);
+  }
+  for (const auto& [key, value] : trace.notes()) {
+    slow.notes.emplace_back(key, value);
+  }
+  runtime_->slow_log.record(std::move(slow));
+  return reply;
 }
 
 OracleDownload VisualPrintServer::oracle_snapshot() const {

@@ -10,14 +10,28 @@
 // exact semantics; the place-aware API routes to named shards.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/map_store.hpp"
+#include "obs/slow_log.hpp"
 
 namespace vp {
+
+/// Per-process serving state that is not map data: the slow-query log and
+/// the counters behind the self-describing gauges (uptime, trace sampling
+/// rate). Behind a unique_ptr so the server stays movable.
+struct ServerRuntime {
+  obs::SlowQueryLog slow_log;
+  std::atomic<std::uint64_t> queries_seen{0};
+  std::atomic<std::uint64_t> queries_traced{0};
+  std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+};
 
 class VisualPrintServer {
  public:
@@ -92,6 +106,12 @@ class VisualPrintServer {
   const MapStore& store() const noexcept { return *store_; }
   std::vector<std::string> places() const { return store_->places(); }
 
+  /// Worst-N slow-query log fed by every handled 'Q' request (also
+  /// rendered over the wire as StatsRequest format 2).
+  const obs::SlowQueryLog& slow_log() const noexcept {
+    return runtime_->slow_log;
+  }
+
   /// Persist the full database — every shard's configuration, stored
   /// keypoints (descriptor + 3-D position + labels), and oracle — to one
   /// file. The LSH indexes are rebuilt on load from the stored
@@ -112,9 +132,16 @@ class VisualPrintServer {
  private:
   const PlaceShard& default_builder() const;
 
+  /// The 'Q' branch of handle_request: runs decode + localize under a
+  /// server-side FrameTrace, echoes trace context on v3 replies, and
+  /// feeds the slow-query log.
+  Bytes handle_query(std::span<const std::uint8_t> body,
+                     std::uint64_t solver_seed) const;
+
   // Behind unique_ptr so the server stays movable (load/deserialize return
   // by value); the store itself pins a mutex and atomics.
   std::unique_ptr<MapStore> store_;
+  std::unique_ptr<ServerRuntime> runtime_;
 };
 
 }  // namespace vp

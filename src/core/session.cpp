@@ -138,6 +138,7 @@ SessionStats Session::run() {
 
     std::size_t payload = 0;
     std::optional<FingerprintQuery> query;
+    std::vector<obs::SpanRecord> client_records;
     {
       // The tracer collects every span the client pipeline opens on this
       // thread; its flattened stage record becomes the frame's latency
@@ -189,6 +190,9 @@ SessionStats Session::run() {
           sf.stages.add("encode", encode_timer.millis());
         }
       }
+      // Copy before the trace closes: the records back the client lane of
+      // this frame's stitched trace.
+      if (config_.collect_traces) client_records = trace.records();
     }
 
     if (sf.status == FrameResult::Status::kQueued) {
@@ -205,20 +209,58 @@ SessionStats Session::run() {
 
       if (config_.localize_on_server && query.has_value() &&
           config_.mode == OffloadMode::kVisualPrint) {
+        if (config_.collect_traces) {
+          // Deterministic per-frame trace context (wire v3): reruns with
+          // the same seed produce identical trace ids.
+          const std::uint64_t id = config_.seed ^ (0x7aceULL << 48) ^
+                                   (query->frame_id + std::uint64_t{1});
+          query->trace_id = id == 0 ? 1 : id;
+          query->trace_flags = obs::kTraceSampled;
+        }
         // Round-trip through the wire format, as the deployed system
         // would. The format is lossless for everything localization reads
         // (u8 descriptors, pixel coordinates, camera geometry), so results
         // match the direct call; it also exercises the encode/decode
         // stages every real upload pays.
-        const FingerprintQuery delivered =
-            FingerprintQuery::decode(query->encode());
-        Rng server_rng(config_.seed ^ delivered.frame_id);
-        const auto resp = server_.localize_query(delivered, server_rng);
+        const Bytes wire_bytes = query->encode();
+        std::vector<obs::SpanRecord> server_records;
+        LocationResponse resp;
+        {
+          // Server-side handler trace: wire decode + the localize spans
+          // run inline on this thread, mirroring what handle_request
+          // echoes to remote clients.
+          obs::FrameTrace server_trace;
+          const FingerprintQuery delivered =
+              FingerprintQuery::decode(wire_bytes);
+          Rng server_rng(config_.seed ^ delivered.frame_id);
+          resp = server_.localize_query(delivered, server_rng);
+          if (config_.collect_traces) server_records = server_trace.records();
+        }
         if (resp.found) {
           sf.localized = true;
           sf.estimated_position = resp.position;
           sf.position_error =
               (resp.position - sf.true_position).norm();
+        }
+        if (config_.collect_traces) {
+          // Stitch the three lanes onto the session clock (ms since t=0):
+          // client stages phone-scaled from the frame's processing start,
+          // link stages straight from the simulated transfer, server
+          // stages in real handler ms placed at delivery time.
+          obs::StitchedTrace st;
+          st.trace_id = query->trace_id;
+          st.frame_id = query->frame_id;
+          st.place = resp.place;
+          st.base_ms = t * 1e3;
+          st.client = obs::to_stitched_spans(
+              client_records, config_.phone_slowdown, (start - t) * 1e3);
+          st.link.push_back({"queue_wait", -1, (rec.submit_time - t) * 1e3,
+                             (rec.start_time - rec.submit_time) * 1e3});
+          st.link.push_back({"transfer", -1, (rec.start_time - t) * 1e3,
+                             (rec.complete_time - rec.start_time) * 1e3});
+          st.server = obs::to_stitched_spans(server_records, 1.0,
+                                             (rec.complete_time - t) * 1e3);
+          stats.traces.push_back(std::move(st));
         }
       }
     }

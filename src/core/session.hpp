@@ -44,6 +44,11 @@ struct SessionConfig {
   double pan_period_s = 9.0;
   double pan_amplitude_rad = 1.0;
   bool localize_on_server = true;
+  /// Collect one StitchedTrace per server-localized frame (client, link,
+  /// and server lanes on the simulated session timeline) into
+  /// SessionStats::traces. Trace ids derive from `seed` and the frame id,
+  /// so runs are reproducible.
+  bool collect_traces = false;
   std::uint64_t seed = 99;
 };
 
@@ -82,6 +87,12 @@ struct SessionStats {
   std::vector<SessionFrame> frames;
   std::vector<TransferRecord> uploads;
   std::vector<ActivitySlot> activity;  ///< one per second, for PowerModel
+  /// One stitched end-to-end trace per server-localized frame (only when
+  /// SessionConfig::collect_traces): client stages phone-scaled, link
+  /// stages from the simulated link, server stages in real handler
+  /// milliseconds, all placed on the session clock. Render with
+  /// obs::to_chrome_trace.
+  std::vector<obs::StitchedTrace> traces;
   std::size_t total_upload_bytes = 0;
   double duration_s = 0;
 

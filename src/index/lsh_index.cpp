@@ -5,6 +5,7 @@
 #include "features/distance.hpp"
 #include "hashing/murmur3.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -162,6 +163,7 @@ void LshIndex::query_into(const Descriptor& descriptor, std::size_t k,
              candidates.size(), s.adc_dists.data());
     VP_OBS_COUNT("index.adc_scans",
                  static_cast<std::uint64_t>(candidates.size()));
+    VP_OBS_TRACE_NOTE("index.adc_scans", candidates.size());
     auto& coarse = s.adc_matches;
     coarse.clear();
     for (std::size_t i = 0; i < candidates.size(); ++i) {

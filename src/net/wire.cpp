@@ -1,5 +1,6 @@
 #include "net/wire.hpp"
 
+#include <algorithm>
 #include <string_view>
 
 #include "imaging/codec.hpp"
@@ -22,6 +23,10 @@ constexpr std::uint16_t kVersion = 1;
 /// Messages that grew place/epoch fields for the sharded MapStore encode
 /// at v2; their decoders still accept v1 frames (fields default).
 constexpr std::uint16_t kPlacedVersion = 2;
+/// Query/response pairs carrying cross-process trace context encode at v3
+/// — but only when a nonzero trace_id is present, so untraced messages
+/// stay byte-identical to v2 and pre-trace peers interoperate untouched.
+constexpr std::uint16_t kTracedVersion = 3;
 
 void expect_header(ByteReader& r, std::uint32_t magic, const char* what) {
   if (r.u32() != magic) throw DecodeError{std::string(what) + ": bad magic"};
@@ -48,7 +53,7 @@ Bytes FingerprintQuery::encode() const {
   VP_OBS_SPAN("encode");
   ByteWriter w(wire_size());
   w.u32(kQueryMagic);
-  w.u16(kPlacedVersion);
+  w.u16(trace_id != 0 ? kTracedVersion : kPlacedVersion);
   w.u32(frame_id);
   w.f64(capture_time);
   w.u16(image_width);
@@ -58,6 +63,10 @@ Bytes FingerprintQuery::encode() const {
   w.u32(oracle_epoch);
   w.u32(static_cast<std::uint32_t>(features.size()));
   for (const auto& f : features) serialize_feature(f, w);
+  if (trace_id != 0) {
+    w.u64(trace_id);
+    w.u8(trace_flags);
+  }
   return w.take();
 }
 
@@ -65,7 +74,7 @@ FingerprintQuery FingerprintQuery::decode(std::span<const std::uint8_t> data) {
   VP_OBS_SPAN("decode");
   ByteReader r(data);
   const std::uint16_t version =
-      read_header_upto(r, kQueryMagic, kPlacedVersion, "fingerprint query");
+      read_header_upto(r, kQueryMagic, kTracedVersion, "fingerprint query");
   FingerprintQuery q;
   q.frame_id = r.u32();
   q.capture_time = r.f64();
@@ -87,13 +96,20 @@ FingerprintQuery FingerprintQuery::decode(std::span<const std::uint8_t> data) {
   for (std::uint32_t i = 0; i < n; ++i) {
     q.features.push_back(deserialize_feature(r));
   }
+  if (version >= 3) {
+    q.trace_id = r.u64();
+    q.trace_flags = r.u8();
+    if (q.trace_id == 0) {
+      throw DecodeError{"fingerprint query: v3 frame with zero trace_id"};
+    }
+  }
   if (!r.done()) throw DecodeError{"fingerprint query: trailing bytes"};
   return q;
 }
 
 std::size_t FingerprintQuery::wire_size() const noexcept {
   return 4 + 2 + 4 + 8 + 2 + 2 + 4 + (4 + place.size()) + 4 + 4 +
-         features.size() * kFeatureWireBytes;
+         features.size() * kFeatureWireBytes + (trace_id != 0 ? 8 + 1 : 0);
 }
 
 Bytes FrameUpload::encode() const {
@@ -121,9 +137,10 @@ FrameUpload FrameUpload::decode(std::span<const std::uint8_t> data) {
 }
 
 Bytes LocationResponse::encode() const {
-  ByteWriter w(96 + place_label.size() + place.size());
+  ByteWriter w(96 + place_label.size() + place.size() +
+               (trace_id != 0 ? 16 + server_spans.size() * 32 : 0));
   w.u32(kLocMagic);
-  w.u16(kPlacedVersion);
+  w.u16(trace_id != 0 ? kTracedVersion : kPlacedVersion);
   w.u32(frame_id);
   w.u8(found ? 1 : 0);
   w.f64(position.x);
@@ -136,13 +153,30 @@ Bytes LocationResponse::encode() const {
   w.u32(matched_keypoints);
   w.str(place_label);
   w.str(place);
+  if (trace_id != 0) {
+    w.u64(trace_id);
+    const std::size_t count =
+        std::min(server_spans.size(), WireSpan::kMaxWireSpans);
+    w.u8(static_cast<std::uint8_t>(count));
+    for (std::size_t i = 0; i < count; ++i) {
+      const WireSpan& s = server_spans[i];
+      // Stage names are short literals; 255 bytes is generous headroom.
+      const std::string_view name = std::string_view(s.name).substr(0, 255);
+      w.u8(static_cast<std::uint8_t>(name.size()));
+      w.raw(std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(name.data()), name.size()));
+      w.u16(static_cast<std::uint16_t>(s.parent));
+      w.f32(s.start_ms);
+      w.f32(s.duration_ms);
+    }
+  }
   return w.take();
 }
 
 LocationResponse LocationResponse::decode(std::span<const std::uint8_t> data) {
   ByteReader r(data);
   const std::uint16_t version =
-      read_header_upto(r, kLocMagic, kPlacedVersion, "location response");
+      read_header_upto(r, kLocMagic, kTracedVersion, "location response");
   LocationResponse resp;
   resp.frame_id = r.u32();
   resp.found = r.u8() != 0;
@@ -154,6 +188,32 @@ LocationResponse LocationResponse::decode(std::span<const std::uint8_t> data) {
   resp.matched_keypoints = r.u32();
   resp.place_label = r.str();
   if (version >= 2) resp.place = r.str();
+  if (version >= 3) {
+    resp.trace_id = r.u64();
+    if (resp.trace_id == 0) {
+      throw DecodeError{"location response: v3 frame with zero trace_id"};
+    }
+    const std::uint8_t count = r.u8();
+    if (count > WireSpan::kMaxWireSpans) {
+      throw DecodeError{"location response: span block too large"};
+    }
+    resp.server_spans.reserve(count);
+    for (std::uint8_t i = 0; i < count; ++i) {
+      WireSpan s;
+      const std::uint8_t name_len = r.u8();
+      const auto name = r.raw(name_len);
+      s.name.assign(reinterpret_cast<const char*>(name.data()), name.size());
+      s.parent = static_cast<std::int16_t>(r.u16());
+      // A parent must precede its child in the block (-1 = root); anything
+      // else is corruption and would break tree reconstruction downstream.
+      if (s.parent < -1 || s.parent >= static_cast<std::int16_t>(i)) {
+        throw DecodeError{"location response: span parent out of range"};
+      }
+      s.start_ms = r.f32();
+      s.duration_ms = r.f32();
+      resp.server_spans.push_back(std::move(s));
+    }
+  }
   if (!r.done()) throw DecodeError{"location response: trailing bytes"};
   return resp;
 }
@@ -315,7 +375,7 @@ StatsRequest StatsRequest::decode(std::span<const std::uint8_t> data) {
   expect_header(r, kStatsReqMagic, "stats request");
   StatsRequest q;
   q.format = r.u8();
-  if (q.format > kFormatPrometheus) {
+  if (q.format > kFormatSlowLog) {
     throw DecodeError{"stats request: unknown format"};
   }
   if (!r.done()) throw DecodeError{"stats request: trailing bytes"};

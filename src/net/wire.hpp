@@ -36,6 +36,16 @@ struct FingerprintQuery {
   /// ranked by an outdated uniqueness table.
   std::uint32_t oracle_epoch = 0;
   std::vector<Feature> features;
+  /// Cross-process trace context (v3). A nonzero id correlates this query
+  /// with the client's FrameTrace; the server keys its handler trace and
+  /// slow-query log entry by it. 0 = untraced — the query encodes as v2,
+  /// byte-identical to a pre-trace client, so traced and untraced peers
+  /// interoperate without negotiation.
+  std::uint64_t trace_id = 0;
+  /// Bit 0 (`obs::kTraceSampled`): ask the server to echo its span block
+  /// back on the LocationResponse. Other bits reserved (must decode, are
+  /// ignored).
+  std::uint8_t trace_flags = 0;
 
   Bytes encode() const;
   static FingerprintQuery decode(std::span<const std::uint8_t> data);
@@ -55,6 +65,21 @@ struct FrameUpload {
   static FrameUpload decode(std::span<const std::uint8_t> data);
 };
 
+/// One server-side span echoed back on a LocationResponse v3: a compact
+/// projection of obs::SpanRecord (f32 times, i16 parent) sized for the
+/// wire — a full server trace is ~5 spans, so the block stays under 200
+/// bytes.
+struct WireSpan {
+  std::string name;          ///< stage name ("decode", "lsh.retrieve", ...)
+  std::int16_t parent = -1;  ///< index within the same block; -1 for roots
+  float start_ms = 0;        ///< offset from the server trace epoch
+  float duration_ms = 0;
+
+  /// Decode rejects blocks claiming more spans than this — a handler
+  /// trace is ~5 spans deep, so anything larger is corruption.
+  static constexpr std::size_t kMaxWireSpans = 64;
+};
+
 /// Server -> client: estimated 6-DoF pose for a query.
 struct LocationResponse {
   std::uint32_t frame_id = 0;
@@ -67,6 +92,13 @@ struct LocationResponse {
   /// Shard id that answered (matters for fan-out queries; echoes the
   /// request's place for targeted ones, "" for a miss on an empty store).
   std::string place;
+  /// Echo of the query's trace_id (v3). 0 = untraced — encodes as v2, so
+  /// a v2 client that sent no trace context gets a v2 reply.
+  std::uint64_t trace_id = 0;
+  /// Server handler span block (v3, present only when the query set the
+  /// sampled flag). Empty blocks encode as zero spans, not as v2: the
+  /// trace_id echo alone is worth the 9 bytes.
+  std::vector<WireSpan> server_spans;
 
   Bytes encode() const;
   static LocationResponse decode(std::span<const std::uint8_t> data);
@@ -139,11 +171,13 @@ bool is_error_frame(std::span<const std::uint8_t> frame) noexcept;
 
 /// Client -> server: scrape the server's metrics registry.
 struct StatsRequest {
-  /// Export format: 0 = JSON lines, 1 = Prometheus text.
+  /// Export format: 0 = JSON lines, 1 = Prometheus text, 2 = slow-query
+  /// log (JSON lines; see obs::SlowQueryLog::to_json_lines).
   std::uint8_t format = 0;
 
   static constexpr std::uint8_t kFormatJsonLines = 0;
   static constexpr std::uint8_t kFormatPrometheus = 1;
+  static constexpr std::uint8_t kFormatSlowLog = 2;
 
   Bytes encode() const;
   static StatsRequest decode(std::span<const std::uint8_t> data);

@@ -105,4 +105,56 @@ std::string to_prometheus(const MetricsSnapshot& snapshot) {
   return out;
 }
 
+namespace {
+
+/// Microsecond timestamp with sub-µs precision preserved (%.3f keeps the
+/// output stable and chrome://tracing accepts fractional ts).
+std::string usec(double ms) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", ms * 1000.0);
+  return buf;
+}
+
+constexpr int kClientLane = 1;
+constexpr int kLinkLane = 2;
+constexpr int kServerLane = 3;
+
+void append_lane(std::string& out, const StitchedTrace& trace, int lane,
+                 std::span<const StitchedSpan> spans) {
+  char id[32];
+  std::snprintf(id, sizeof id, "%016llx",
+                static_cast<unsigned long long>(trace.trace_id));
+  for (const StitchedSpan& s : spans) {
+    if (!out.empty()) out += ",\n";
+    out += "{\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(lane);
+    out += ",\"name\":\"" + json_escape(s.name) + "\"";
+    out += ",\"ts\":" + usec(trace.base_ms + s.start_ms);
+    out += ",\"dur\":" + usec(s.duration_ms);
+    out += ",\"args\":{\"trace_id\":\"";
+    out += id;
+    out += "\",\"frame_id\":" + std::to_string(trace.frame_id);
+    out += ",\"place\":\"" + json_escape(trace.place) + "\"}}";
+  }
+}
+
+}  // namespace
+
+std::string to_chrome_trace(std::span<const StitchedTrace> traces) {
+  std::string events;
+  constexpr std::pair<int, const char*> kLanes[] = {
+      {kClientLane, "client"}, {kLinkLane, "link"}, {kServerLane, "server"}};
+  for (const auto& [lane, label] : kLanes) {
+    if (!events.empty()) events += ",\n";
+    events += "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(lane) +
+              ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+              std::string(label) + "\"}}";
+  }
+  for (const StitchedTrace& trace : traces) {
+    append_lane(events, trace, kClientLane, trace.client);
+    append_lane(events, trace, kLinkLane, trace.link);
+    append_lane(events, trace, kServerLane, trace.server);
+  }
+  return "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n" + events + "\n]}\n";
+}
+
 }  // namespace vp::obs

@@ -3,10 +3,12 @@
 // the example server returns for a kStatsRequest scrape).
 #pragma once
 
+#include <span>
 #include <string>
 #include <string_view>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace vp::obs {
 
@@ -25,5 +27,14 @@ std::string to_json_lines(const MetricsSnapshot& snapshot,
 /// vp_<name>_ms with cumulative le-labelled buckets, _sum, and _count.
 /// Metric names are sanitized to [a-zA-Z0-9_].
 std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+/// Chrome trace event format (the JSON object variant with "traceEvents"),
+/// loadable in Perfetto or chrome://tracing. Each StitchedTrace renders as
+/// complete ("ph":"X") events on three named lanes — client (tid 1),
+/// link (tid 2), server (tid 3) — under one pid, with per-event args
+/// carrying the hex trace_id, frame_id, and place so frames remain
+/// correlatable after sorting. Timestamps are microseconds:
+/// base_ms + span.start_ms converted to µs.
+std::string to_chrome_trace(std::span<const StitchedTrace> traces);
 
 }  // namespace vp::obs

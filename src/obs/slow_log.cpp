@@ -1,0 +1,110 @@
+#include "obs/slow_log.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace vp::obs {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+// Place labels and stage names are code- or config-controlled; escape the
+// two characters that could break a JSON string anyway.
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string kv_array(const std::vector<std::pair<std::string, double>>& kvs) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < kvs.size(); ++i) {
+    if (i != 0) out += ",";
+    out += "[\"" + json_escape(kvs[i].first) + "\"," + fmt(kvs[i].second) + "]";
+  }
+  return out + "]";
+}
+
+}  // namespace
+
+SlowQueryLog::SlowQueryLog(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  entries_.reserve(capacity_);
+}
+
+void SlowQueryLog::record(SlowQuery query) {
+  seen_.fetch_add(1, std::memory_order_relaxed);
+  // Fast path: once the log is full, anything at or below the published
+  // Nth-worst total can't displace an entry. A stale (too-low) threshold
+  // only sends a borderline query through the mutex, never drops one
+  // that belongs.
+  if (query.total_ms <= threshold_ms_.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.size() < capacity_) {
+    entries_.push_back(std::move(query));
+  } else {
+    auto fastest = std::min_element(
+        entries_.begin(), entries_.end(),
+        [](const SlowQuery& a, const SlowQuery& b) {
+          return a.total_ms < b.total_ms;
+        });
+    if (query.total_ms <= fastest->total_ms) return;
+    *fastest = std::move(query);
+  }
+  if (entries_.size() == capacity_) {
+    auto fastest = std::min_element(
+        entries_.begin(), entries_.end(),
+        [](const SlowQuery& a, const SlowQuery& b) {
+          return a.total_ms < b.total_ms;
+        });
+    threshold_ms_.store(fastest->total_ms, std::memory_order_relaxed);
+  }
+}
+
+std::vector<SlowQuery> SlowQueryLog::worst() const {
+  std::vector<SlowQuery> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = entries_;
+  }
+  std::sort(out.begin(), out.end(), [](const SlowQuery& a, const SlowQuery& b) {
+    return a.total_ms > b.total_ms;
+  });
+  return out;
+}
+
+std::string SlowQueryLog::to_json_lines() const {
+  const std::vector<SlowQuery> queries = worst();
+  std::string out;
+  char id[32];
+  for (const SlowQuery& q : queries) {
+    std::snprintf(id, sizeof id, "%016llx",
+                  static_cast<unsigned long long>(q.trace_id));
+    out += "{\"type\":\"slow_query\",\"trace_id\":\"";
+    out += id;
+    out += "\",\"frame_id\":" + std::to_string(q.frame_id);
+    out += ",\"place\":\"" + json_escape(q.place) + "\"";
+    out += ",\"total_ms\":" + fmt(q.total_ms);
+    out += ",\"error_code\":" + std::to_string(q.error_code);
+    out += ",\"stages\":" + kv_array(q.stages);
+    out += ",\"notes\":" + kv_array(q.notes);
+    out += "}\n";
+  }
+  out += "{\"type\":\"slow_query_summary\",\"retained\":" +
+         std::to_string(queries.size()) +
+         ",\"capacity\":" + std::to_string(capacity_) +
+         ",\"seen\":" + std::to_string(seen()) +
+         ",\"threshold_ms\":" + fmt(threshold_ms()) + "}\n";
+  return out;
+}
+
+}  // namespace vp::obs

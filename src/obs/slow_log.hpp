@@ -1,0 +1,71 @@
+// Lock-light worst-N slow-query log for the server. The handler records
+// every query's total milliseconds plus its stage breakdown and trace
+// annotations; the log keeps only the N slowest. The common case — a
+// query faster than the current Nth-worst — is rejected by a single
+// relaxed atomic load without taking the mutex, so steady-state serving
+// pays one load per query once the ring is warm. Insertions (rare by
+// construction) take a short mutex to swap out the fastest resident
+// entry and republish the admission threshold.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vp::obs {
+
+/// One retained slow query.
+struct SlowQuery {
+  std::uint64_t trace_id = 0;  ///< 0 when the client sent no trace context
+  std::uint32_t frame_id = 0;
+  std::string place;
+  double total_ms = 0;
+  std::uint16_t error_code = 0;  ///< wire ErrorResponse code; 0 = success
+  /// Per-stage milliseconds in first-seen order (from FrameTrace).
+  std::vector<std::pair<std::string, double>> stages;
+  /// Numeric annotations (candidate counts, ADC scans) from trace notes.
+  std::vector<std::pair<std::string, double>> notes;
+};
+
+/// Fixed-capacity worst-N log. Thread-safe; `record` is wait-free for
+/// queries below the admission threshold once the log is full.
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(std::size_t capacity = 32);
+
+  /// Consider one completed query for retention.
+  void record(SlowQuery query);
+
+  /// Retained queries, slowest first.
+  std::vector<SlowQuery> worst() const;
+
+  /// Total queries offered to `record` (retained or not).
+  std::uint64_t seen() const noexcept {
+    return seen_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Current admission threshold: queries at or below this total are
+  /// dropped without locking. 0 until the log fills.
+  double threshold_ms() const noexcept {
+    return threshold_ms_.load(std::memory_order_relaxed);
+  }
+
+  /// Render as JSON lines: one `{"type":"slow_query",...}` object per
+  /// retained query (slowest first) followed by a summary line.
+  std::string to_json_lines() const;
+
+ private:
+  std::size_t capacity_;
+  std::atomic<std::uint64_t> seen_{0};
+  std::atomic<double> threshold_ms_{0.0};
+  mutable std::mutex mutex_;
+  std::vector<SlowQuery> entries_;  ///< unordered; sorted on read
+};
+
+}  // namespace vp::obs

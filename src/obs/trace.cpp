@@ -1,6 +1,7 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 namespace vp::obs {
 
@@ -12,7 +13,25 @@ double ms_between(Clock::time_point from, Clock::time_point to) noexcept {
   return std::chrono::duration<double, std::milli>(to - from).count();
 }
 
+std::uint64_t splitmix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 }  // namespace
+
+std::uint64_t next_trace_id() noexcept {
+  // Seeded from the clock once so concurrent processes (client + server on
+  // one host) draw from different streams; the atomic counter keeps ids
+  // unique within the process.
+  static std::atomic<std::uint64_t> counter{static_cast<std::uint64_t>(
+      Clock::now().time_since_epoch().count())};
+  const std::uint64_t id =
+      splitmix64(counter.fetch_add(1, std::memory_order_relaxed));
+  return id == 0 ? 1 : id;
+}
 
 void StageTimings::add(std::string_view stage, double ms) {
   for (auto& [name, total] : entries_) {
@@ -50,6 +69,37 @@ TraceState*& active_trace() noexcept {
 }
 
 }  // namespace detail
+
+void trace_note(const char* key, double value) {
+  detail::TraceState* state = detail::active_trace();
+  if (state == nullptr) return;
+  state->notes.emplace_back(key, value);
+}
+
+const std::vector<SpanRecord>* active_trace_records() noexcept {
+  detail::TraceState* state = detail::active_trace();
+  return state == nullptr ? nullptr : &state->records;
+}
+
+double active_trace_ms_at(Clock::time_point at) noexcept {
+  detail::TraceState* state = detail::active_trace();
+  return state == nullptr ? 0.0 : ms_between(state->epoch, at);
+}
+
+std::vector<StitchedSpan> to_stitched_spans(std::span<const SpanRecord> records,
+                                            double scale, double offset_ms) {
+  std::vector<StitchedSpan> out;
+  out.reserve(records.size());
+  for (const SpanRecord& rec : records) {
+    StitchedSpan s;
+    s.name = rec.name;
+    s.parent = rec.parent;
+    s.start_ms = offset_ms + rec.start_ms * scale;
+    s.duration_ms = rec.duration_ms * scale;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
 
 FrameTrace::FrameTrace() : previous_(detail::active_trace()) {
   state_.epoch = Clock::now();

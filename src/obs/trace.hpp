@@ -13,6 +13,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -30,6 +31,16 @@ struct SpanRecord {
   double start_ms = 0;       ///< offset from the trace epoch
   double duration_ms = 0;    ///< 0 until the span closes
 };
+
+/// Per-frame trace context carried across the wire (FingerprintQuery v3):
+/// a nonzero id correlates client, link, and server records of the same
+/// frame; the sampled bit asks the server to echo its span block back.
+inline constexpr std::uint8_t kTraceSampled = 0x01;
+
+/// Fresh process-unique nonzero trace id (splitmix64 over an atomic
+/// counter seeded from the clock at first use). Deterministic callers
+/// (the session simulator) derive ids from their own seeds instead.
+std::uint64_t next_trace_id() noexcept;
 
 /// Ordered (stage name, milliseconds) record assembled from a trace.
 /// Repeated stage names accumulate. Lookup is linear — a frame has on the
@@ -56,10 +67,30 @@ struct TraceState {
   std::chrono::steady_clock::time_point epoch;
   std::vector<SpanRecord> records;
   std::vector<std::int32_t> open;  ///< indices of currently open spans
+  /// Named numeric annotations (candidate counts, scan sizes) attached by
+  /// trace_note(). Keys have static storage; repeated keys accumulate at
+  /// read time, not append time.
+  std::vector<std::pair<const char*, double>> notes;
 };
 /// The thread's active trace, or nullptr.
 TraceState*& active_trace() noexcept;
 }  // namespace detail
+
+/// Attach a named numeric annotation to the thread's active FrameTrace
+/// (no-op without one). `key` must have static storage duration — the
+/// VP_OBS_TRACE_NOTE macro passes string literals. Like spans, notes made
+/// on ThreadPool workers while the coordinating thread holds the trace are
+/// dropped rather than raced.
+void trace_note(const char* key, double value);
+
+/// Span records of the thread's active FrameTrace; nullptr when none.
+/// Borrowed view — valid only while the trace stays alive and no further
+/// spans open (callers copy immediately).
+const std::vector<SpanRecord>* active_trace_records() noexcept;
+
+/// Milliseconds from the active trace's epoch to `at` (0 when no trace is
+/// active) — lets transports place wire events on the trace's timeline.
+double active_trace_ms_at(std::chrono::steady_clock::time_point at) noexcept;
 
 /// Collects every Span opened on this thread between construction and
 /// destruction. Nests: constructing a second FrameTrace shadows the first
@@ -73,6 +104,11 @@ class FrameTrace {
 
   const std::vector<SpanRecord>& records() const noexcept {
     return state_.records;
+  }
+
+  /// Annotations attached via trace_note() while this trace was active.
+  const std::vector<std::pair<const char*, double>>& notes() const noexcept {
+    return state_.notes;
   }
 
   /// Flatten into per-stage totals, in first-seen order. Open spans are
@@ -102,6 +138,42 @@ class Span {
   std::int32_t index_ = -1;    ///< slot in that trace; -1 if none
 };
 
+// ---------------------------------------------------------------------------
+// Stitched cross-process traces
+//
+// One frame's journey through the offload pipeline, assembled on the
+// client from three sources: its own FrameTrace, the (simulated or
+// measured) link timing, and the server span block echoed back on a
+// LocationResponse v3. Rendered by obs::to_chrome_trace (export.hpp) as
+// client/link/server lanes loadable in Perfetto or chrome://tracing.
+
+/// One span inside a stitched lane. Times are milliseconds relative to
+/// the owning StitchedTrace's base; `parent` indexes within the same lane.
+struct StitchedSpan {
+  std::string name;
+  std::int32_t parent = -1;
+  double start_ms = 0;
+  double duration_ms = 0;
+};
+
+/// One frame's stitched, cross-process trace.
+struct StitchedTrace {
+  std::uint64_t trace_id = 0;
+  std::uint32_t frame_id = 0;
+  std::string place;       ///< place that answered (response place)
+  double base_ms = 0;      ///< session-relative start of this frame's trace
+  std::vector<StitchedSpan> client;  ///< phone-side pipeline spans
+  std::vector<StitchedSpan> link;    ///< uplink/downlink or queue/transfer
+  std::vector<StitchedSpan> server;  ///< echoed server span block
+};
+
+/// Copy a FrameTrace's records into stitched spans: `scale` multiplies
+/// start/duration (host→phone latency modeling), `offset_ms` shifts every
+/// start. Spans still open at copy time carry their (zero) duration.
+std::vector<StitchedSpan> to_stitched_spans(std::span<const SpanRecord> records,
+                                            double scale = 1.0,
+                                            double offset_ms = 0.0);
+
 }  // namespace vp::obs
 
 #if VP_OBS_ENABLED
@@ -109,6 +181,9 @@ class Span {
 #define VP_OBS_SPAN_CONCAT_(a, b) VP_OBS_SPAN_CONCAT2_(a, b)
 #define VP_OBS_SPAN(name) \
   const ::vp::obs::Span VP_OBS_SPAN_CONCAT_(vp_obs_span_, __LINE__)(name)
+#define VP_OBS_TRACE_NOTE(key, v) \
+  ::vp::obs::trace_note(key, static_cast<double>(v))
 #else
 #define VP_OBS_SPAN(name) static_cast<void>(0)
+#define VP_OBS_TRACE_NOTE(key, v) static_cast<void>(0)
 #endif

@@ -999,6 +999,232 @@ TEST(MapStoreSoak, IngestWhileServingIsRaceFree) {
   EXPECT_EQ(server.store().epoch("annex"), 1u + kPublishes / 2);
 }
 
+// ---------------------------------------------------------------------------
+// Wire-level trace propagation through the server handler (v3) and the
+// slow-query log it feeds.
+
+Bytes framed_query(const FingerprintQuery& q) {
+  ByteWriter w;
+  w.u8(kQueryRequest);
+  w.raw(q.encode());
+  return w.take();
+}
+
+TEST(MapStore, TracedQueryEchoesServerSpans) {
+  Rng rng(61);
+  VisualPrintServer server(localizing_server());
+  PlaceFixture fx = make_place_fixture(rng, {2, 3, 1.5});
+  server.ingest_wardrive("hall", fx.mappings);
+  fx.query.place = "hall";
+  fx.query.trace_id = 0xFACEull;
+  fx.query.trace_flags = obs::kTraceSampled;
+
+  const Bytes reply = server.handle_request(framed_query(fx.query), 7);
+  ASSERT_FALSE(is_error_frame(reply));
+  const LocationResponse resp = LocationResponse::decode(reply);
+  EXPECT_EQ(resp.trace_id, 0xFACEull);
+#if VP_OBS_ENABLED
+  // The echoed block is the handler's span tree: wire decode plus the
+  // localization stages, parents always preceding children.
+  ASSERT_FALSE(resp.server_spans.empty());
+  std::vector<std::string> names;
+  for (const auto& s : resp.server_spans) names.push_back(s.name);
+  for (const char* stage : {"decode", "lsh.retrieve", "localize.solve"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), stage), names.end())
+        << "missing stage " << stage;
+  }
+  for (std::size_t i = 0; i < resp.server_spans.size(); ++i) {
+    EXPECT_GE(resp.server_spans[i].parent, -1);
+    EXPECT_LT(resp.server_spans[i].parent, static_cast<std::int16_t>(i));
+    EXPECT_GE(resp.server_spans[i].duration_ms, 0.0f);
+  }
+#else
+  EXPECT_TRUE(resp.server_spans.empty());
+#endif
+}
+
+TEST(MapStore, UntracedQueryAnswersByteCompatibleV2) {
+  Rng rng(62);
+  VisualPrintServer server(small_server());
+  server.ingest_wardrive("hall", random_mappings(rng, 10, {0, 0, 0}));
+  FingerprintQuery q;
+  q.place = "hall";
+  q.features.push_back(make_feature(rng));
+
+  const Bytes reply = server.handle_request(framed_query(q), 7);
+  ASSERT_FALSE(is_error_frame(reply));
+  // A pre-trace client must see exactly what it always saw: a v2 frame
+  // with no trailing trace fields.
+  EXPECT_EQ(reply[4] | (reply[5] << 8), 2);
+  const LocationResponse resp = LocationResponse::decode(reply);
+  EXPECT_EQ(resp.trace_id, 0u);
+  EXPECT_TRUE(resp.server_spans.empty());
+}
+
+TEST(MapStore, TracedUnsampledQueryOmitsSpanBlock) {
+  Rng rng(63);
+  VisualPrintServer server(small_server());
+  server.ingest_wardrive("hall", random_mappings(rng, 10, {0, 0, 0}));
+  FingerprintQuery q;
+  q.place = "hall";
+  q.trace_id = 5;  // correlate, but sampled bit clear: no echo requested
+  q.features.push_back(make_feature(rng));
+
+  const LocationResponse resp =
+      LocationResponse::decode(server.handle_request(framed_query(q), 7));
+  EXPECT_EQ(resp.trace_id, 5u);
+  EXPECT_TRUE(resp.server_spans.empty());
+}
+
+TEST(MapStore, SlowQueryLogServedAsStatsFormat2) {
+  Rng rng(64);
+  VisualPrintServer server(localizing_server());
+  PlaceFixture fx = make_place_fixture(rng, {2, 3, 1.5});
+  server.ingest_wardrive("hall", fx.mappings);
+  fx.query.place = "hall";
+  fx.query.trace_id = 0xBEEFull;
+  fx.query.trace_flags = obs::kTraceSampled;
+  (void)server.handle_request(framed_query(fx.query), 7);
+
+  EXPECT_EQ(server.slow_log().seen(), 1u);
+  const auto worst = server.slow_log().worst();
+  ASSERT_EQ(worst.size(), 1u);
+  EXPECT_EQ(worst[0].trace_id, 0xBEEFull);
+  EXPECT_EQ(worst[0].place, "hall");
+  EXPECT_GT(worst[0].total_ms, 0.0);
+#if VP_OBS_ENABLED
+  EXPECT_FALSE(worst[0].stages.empty());
+#endif
+
+  StatsRequest req;
+  req.format = StatsRequest::kFormatSlowLog;
+  ByteWriter w;
+  w.u8(kStatsRequest);
+  w.raw(req.encode());
+  const StatsResponse stats =
+      StatsResponse::decode(server.handle_request(w.bytes(), 7));
+  EXPECT_EQ(stats.format, StatsRequest::kFormatSlowLog);
+  EXPECT_NE(stats.text.find("\"type\":\"slow_query\""), std::string::npos);
+  EXPECT_NE(stats.text.find("\"trace_id\":\"000000000000beef\""),
+            std::string::npos);
+  EXPECT_NE(stats.text.find("\"type\":\"slow_query_summary\""),
+            std::string::npos);
+  EXPECT_NE(stats.text.find("\"seen\":1"), std::string::npos);
+}
+
+TEST(MapStore, RemoteLocalizerStitchesClientLinkServerLanes) {
+  Rng rng(65);
+  VisualPrintServer server(localizing_server());
+  PlaceFixture fx = make_place_fixture(rng, {2, 3, 1.5});
+  server.ingest_wardrive("hall", fx.mappings);
+  fx.query.place = "hall";
+
+  RemoteLocalizer localizer([&server](std::span<const std::uint8_t> req) {
+    return server.handle_request(req, 7);
+  });
+  localizer.enable_tracing(1.0);
+  const LocationResponse resp = localizer.localize(fx.query);
+  EXPECT_NE(resp.trace_id, 0u);
+
+  ASSERT_EQ(localizer.traces().size(), 1u);
+  const obs::StitchedTrace& st = localizer.traces().front();
+  EXPECT_EQ(st.trace_id, resp.trace_id);
+  EXPECT_EQ(st.frame_id, fx.query.frame_id);
+  ASSERT_EQ(st.link.size(), 3u);
+  EXPECT_EQ(st.link[0].name, "link.rtt");
+  const double rtt = st.link[0].duration_ms;
+  EXPECT_GE(rtt, 0.0);
+  // Inferred uplink + downlink never exceed the measured round trip.
+  EXPECT_LE(st.link[1].duration_ms + st.link[2].duration_ms, rtt + 1e-9);
+#if VP_OBS_ENABLED
+  // Client lane saw the query encode; server lane is the echoed block,
+  // placed inside the round trip on the stitched timeline.
+  std::vector<std::string> client_names;
+  for (const auto& s : st.client) client_names.push_back(s.name);
+  EXPECT_NE(std::find(client_names.begin(), client_names.end(), "encode"),
+            client_names.end());
+  ASSERT_FALSE(st.server.empty());
+  for (const auto& s : st.server) {
+    EXPECT_GE(s.start_ms, st.link[0].start_ms - 1e-9);
+  }
+#endif
+}
+
+TEST(MapStore, TraceSamplingRateControlsServerEcho) {
+  Rng rng(66);
+  VisualPrintServer server(localizing_server());
+  PlaceFixture fx = make_place_fixture(rng, {2, 3, 1.5});
+  server.ingest_wardrive("hall", fx.mappings);
+  fx.query.place = "hall";
+
+  RemoteLocalizer localizer([&server](std::span<const std::uint8_t> req) {
+    return server.handle_request(req, 7);
+  });
+  // Deterministic accumulator: at 0.5 exactly every 2nd query crosses 1.0
+  // and carries the sampled bit (queries 2 and 4 of 4).
+  localizer.enable_tracing(0.5);
+  for (int i = 0; i < 4; ++i) (void)localizer.localize(fx.query);
+  ASSERT_EQ(localizer.traces().size(), 4u);
+  std::size_t echoed = 0;
+  for (const auto& st : localizer.traces()) {
+    EXPECT_NE(st.trace_id, 0u);  // ids flow even for unsampled queries
+    if (!st.server.empty()) ++echoed;
+  }
+#if VP_OBS_ENABLED
+  EXPECT_EQ(echoed, 2u);
+#else
+  EXPECT_EQ(echoed, 0u);
+#endif
+}
+
+TEST(MapStore, ConcurrentTracedServingKeepsSlowLogConsistent) {
+  // Mixed traced/untraced queries from many threads: every reply must
+  // decode, every echo must match its query, and the slow-query log must
+  // come out complete (seen == queries) and sorted without duplicates.
+  VisualPrintServer server(small_server());
+  {
+    Rng rng(67);
+    server.ingest_wardrive("hall", random_mappings(rng, 12, {0, 0, 0}));
+  }
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> workers;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    workers.emplace_back([&server, &failed, tid] {
+      Rng rng(100 + static_cast<std::uint64_t>(tid));
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        FingerprintQuery q;
+        q.place = "hall";
+        q.frame_id = static_cast<std::uint32_t>(i);
+        // Every other query traced + sampled; the rest stay v2.
+        if (i % 2 == 0) {
+          q.trace_id = static_cast<std::uint64_t>(tid) * kPerThread + i + 1;
+          q.trace_flags = obs::kTraceSampled;
+        }
+        q.features.push_back(make_feature(rng));
+        try {
+          const Bytes reply = server.handle_request(framed_query(q), 7);
+          const LocationResponse resp = LocationResponse::decode(reply);
+          if (resp.trace_id != q.trace_id) failed = true;
+        } catch (...) {
+          failed = true;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(server.slow_log().seen(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const auto worst = server.slow_log().worst();
+  EXPECT_LE(worst.size(), server.slow_log().capacity());
+  EXPECT_TRUE(std::is_sorted(
+      worst.begin(), worst.end(),
+      [](const auto& a, const auto& b) { return a.total_ms > b.total_ms; }));
+  for (const auto& q : worst) EXPECT_GT(q.total_ms, 0.0);
+}
+
 TEST(Retrieval, PredictsCorrectScene) {
   RetrievalConfig cfg;
   cfg.min_votes = 3;

@@ -198,6 +198,75 @@ TEST(Integration, SessionProducesTimeline) {
   }
 }
 
+TEST(Integration, SessionCollectsStitchedTraces) {
+  Rng rng(4);
+  GalleryConfig gc;
+  gc.num_scenes = 4;
+  gc.hall_length = 14;
+  gc.hall_width = 6;
+  const World world = build_gallery(gc, rng);
+
+  ServerConfig sc;
+  sc.oracle = small_oracle();
+  world.bounds(sc.localize.search_lo, sc.localize.search_hi);
+  sc.localize.de.time_budget_sec = 0.05;  // traces, not fixes, are under test
+  VisualPrintServer server(sc);
+  WardriveConfig wc;
+  wc.intrinsics = {160, 120, 1.15192};
+  wc.stop_spacing = 4.0;
+  wc.lane_spacing = 4.0;
+  wc.views_per_stop = 1;
+  auto snaps = wardrive(world, wc, rng);
+  std::vector<Pose> poses;
+  for (const auto& s : snaps) poses.push_back(s.reported_pose);
+  server.ingest_wardrive(extract_mappings(snaps, poses));
+
+  SessionConfig cfg;
+  cfg.duration_s = 3.0;
+  cfg.camera_fps = 2.0;
+  cfg.intrinsics = {320, 240, 1.15192};
+  cfg.client.top_k = 100;
+  cfg.client.blur_threshold = 2.0;
+  cfg.localize_on_server = true;
+  cfg.collect_traces = true;
+  cfg.phone_slowdown = 1.0;
+  Session session(world, server, cfg);
+  const auto stats = session.run();
+
+  std::size_t queued = 0;
+  for (const auto& f : stats.frames) {
+    queued += f.status == FrameResult::Status::kQueued;
+  }
+  ASSERT_GT(queued, 0u);
+  // One stitched trace per offloaded frame, on the session clock.
+  ASSERT_EQ(stats.traces.size(), queued);
+  for (const auto& st : stats.traces) {
+    EXPECT_NE(st.trace_id, 0u);
+    EXPECT_GE(st.base_ms, 0.0);
+    ASSERT_EQ(st.link.size(), 2u);  // queue_wait + transfer
+    EXPECT_EQ(st.link[0].name, "queue_wait");
+    EXPECT_EQ(st.link[1].name, "transfer");
+    // The simulated transfer starts no earlier than it was queued.
+    EXPECT_GE(st.link[1].start_ms, st.link[0].start_ms - 1e-9);
+#if VP_OBS_ENABLED
+    EXPECT_FALSE(st.client.empty());
+    EXPECT_FALSE(st.server.empty());
+    // Server work is placed at delivery: after the transfer completes.
+    for (const auto& s : st.server) {
+      EXPECT_GE(s.start_ms, st.link[1].start_ms - 1e-9);
+    }
+#endif
+  }
+
+  // Trace ids derive from the session seed: a rerun stitches the same ids.
+  Session rerun(world, server, cfg);
+  const auto stats2 = rerun.run();
+  ASSERT_EQ(stats2.traces.size(), stats.traces.size());
+  for (std::size_t i = 0; i < stats.traces.size(); ++i) {
+    EXPECT_EQ(stats2.traces[i].trace_id, stats.traces[i].trace_id);
+  }
+}
+
 TEST(Integration, FrameModeSkipsClientVision) {
   // Whole-frame offload must not run SIFT or require an oracle, and every
   // non-stale frame ships.

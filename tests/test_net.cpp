@@ -69,6 +69,48 @@ TEST(Wire, FingerprintQueryV1FrameDecodes) {
   EXPECT_TRUE(back.features.empty());
 }
 
+TEST(Wire, FingerprintQueryV3TraceRoundtrip) {
+  FingerprintQuery q = sample_query(3);
+  q.place = "atrium";
+  q.oracle_epoch = 4;
+  q.trace_id = 0xDEADBEEFCAFE0123ull;
+  q.trace_flags = 0x01;  // sampled
+  const Bytes b = q.encode();
+  EXPECT_EQ(b.size(), q.wire_size());
+  const FingerprintQuery back = FingerprintQuery::decode(b);
+  EXPECT_EQ(back.trace_id, 0xDEADBEEFCAFE0123ull);
+  EXPECT_EQ(back.trace_flags, 0x01);
+  EXPECT_EQ(back.place, "atrium");
+  EXPECT_EQ(back.oracle_epoch, 4u);
+  ASSERT_EQ(back.features.size(), 3u);
+}
+
+TEST(Wire, UntracedQueryEncodesAsV2) {
+  // trace_id == 0 must encode byte-identically to a pre-trace client: the
+  // version stays 2 and no trailing trace fields appear, so traced and
+  // untraced peers interoperate without negotiation.
+  FingerprintQuery q = sample_query(2);
+  const Bytes untraced = q.encode();
+  EXPECT_EQ(untraced[4] | (untraced[5] << 8), 2);  // version u16, LE
+  q.trace_id = 77;
+  const Bytes traced = q.encode();
+  EXPECT_EQ(traced[4] | (traced[5] << 8), 3);
+  EXPECT_EQ(traced.size(), untraced.size() + 8 + 1);  // id + flags
+  const FingerprintQuery back = FingerprintQuery::decode(untraced);
+  EXPECT_EQ(back.trace_id, 0u);
+  EXPECT_EQ(back.trace_flags, 0);
+}
+
+TEST(Wire, QueryV3RejectsZeroTraceId) {
+  // A frame claiming v3 but carrying trace_id 0 violates the encode
+  // invariant (0 would silently downgrade on re-encode) and is rejected.
+  FingerprintQuery q = sample_query(1);
+  q.trace_id = 1;
+  Bytes b = q.encode();
+  for (std::size_t i = 9; i >= 2; --i) b[b.size() - i] = 0;  // zero the id
+  EXPECT_THROW(FingerprintQuery::decode(b), DecodeError);
+}
+
 TEST(Wire, QuerySizeMatchesPaperScale) {
   // 200 keypoints at 144 B each ~ 29 KB: the paper's "short description
   // (~30KB) of the scene".
@@ -126,6 +168,77 @@ TEST(Wire, LocationResponseCarriesPlace) {
   const LocationResponse back = LocationResponse::decode(r.encode());
   EXPECT_EQ(back.place, "louvre-denon");
   EXPECT_EQ(back.place_label, "Louvre, Denon Wing");
+}
+
+LocationResponse traced_response() {
+  LocationResponse r;
+  r.frame_id = 12;
+  r.found = true;
+  r.position = {0.5, 1.5, 2.5};
+  r.place = "atrium";
+  r.trace_id = 0xABCDULL;
+  r.server_spans = {
+      {"server.handle_query", -1, 0.0f, 5.5f},
+      {"decode", 0, 0.1f, 0.4f},
+      {"lsh.retrieve", 0, 0.6f, 2.0f},
+      {"localize.solve", 0, 2.7f, 2.6f},
+  };
+  return r;
+}
+
+TEST(Wire, LocationResponseV3SpanBlockRoundtrip) {
+  const LocationResponse r = traced_response();
+  const LocationResponse back = LocationResponse::decode(r.encode());
+  EXPECT_EQ(back.trace_id, 0xABCDULL);
+  ASSERT_EQ(back.server_spans.size(), 4u);
+  EXPECT_EQ(back.server_spans[0].name, "server.handle_query");
+  EXPECT_EQ(back.server_spans[0].parent, -1);
+  EXPECT_EQ(back.server_spans[2].name, "lsh.retrieve");
+  EXPECT_EQ(back.server_spans[2].parent, 0);
+  EXPECT_FLOAT_EQ(back.server_spans[3].start_ms, 2.7f);
+  EXPECT_FLOAT_EQ(back.server_spans[3].duration_ms, 2.6f);
+  EXPECT_EQ(back.place, "atrium");
+}
+
+TEST(Wire, UntracedLocationResponseEncodesAsV2) {
+  LocationResponse r;
+  r.place = "atrium";
+  // Spans without a trace id have no correlation key; the frame encodes
+  // as v2 and the block is dropped rather than sent unattributable.
+  r.server_spans = {{"orphan", -1, 0.0f, 1.0f}};
+  const Bytes b = r.encode();
+  EXPECT_EQ(b[4] | (b[5] << 8), 2);  // version u16, LE
+  const LocationResponse back = LocationResponse::decode(b);
+  EXPECT_EQ(back.trace_id, 0u);
+  EXPECT_TRUE(back.server_spans.empty());
+}
+
+TEST(Wire, SpanBlockRejectsBadParent) {
+  // A parent must precede its child (-1 = root): forward and < -1
+  // references both break tree reconstruction and are rejected.
+  LocationResponse r = traced_response();
+  r.server_spans[1].parent = 5;  // forward reference
+  EXPECT_THROW(LocationResponse::decode(r.encode()), DecodeError);
+  r = traced_response();
+  r.server_spans[0].parent = -2;
+  EXPECT_THROW(LocationResponse::decode(r.encode()), DecodeError);
+}
+
+TEST(Wire, SpanBlockCapsAtMaxWireSpans) {
+  // Encode clamps to kMaxWireSpans; a frame *claiming* more is corrupt.
+  LocationResponse r = traced_response();
+  r.server_spans.assign(WireSpan::kMaxWireSpans + 20, {"s", -1, 0.0f, 0.1f});
+  const LocationResponse back = LocationResponse::decode(r.encode());
+  EXPECT_EQ(back.server_spans.size(), WireSpan::kMaxWireSpans);
+
+  LocationResponse one = traced_response();
+  one.server_spans.resize(1);
+  Bytes b = one.encode();
+  // Count byte sits before the single 12-byte span record at the tail
+  // (u8 name_len + 1-char name + u16 parent + two f32s).
+  const std::size_t span_bytes = 1 + one.server_spans[0].name.size() + 2 + 8;
+  b[b.size() - span_bytes - 1] = 200;
+  EXPECT_THROW(LocationResponse::decode(b), DecodeError);
 }
 
 TEST(Wire, OracleDownloadRoundtrip) {
@@ -210,6 +323,17 @@ TEST(Wire, OracleDiffEncodeRoundtrip) {
   EXPECT_EQ(back.apply(old_blob), new_blob);
 }
 
+TEST(Wire, StatsRequestSlowLogFormatRoundtrips) {
+  StatsRequest req;
+  req.format = StatsRequest::kFormatSlowLog;
+  const StatsRequest back = StatsRequest::decode(req.encode());
+  EXPECT_EQ(back.format, StatsRequest::kFormatSlowLog);
+  // One past the newest format is still unknown and must be rejected.
+  Bytes b = req.encode();
+  b[b.size() - 1] = StatsRequest::kFormatSlowLog + 1;
+  EXPECT_THROW(StatsRequest::decode(b), DecodeError);
+}
+
 TEST(Wire, ErrorResponseRoundtrip) {
   ErrorResponse e;
   e.code = ErrorResponse::kBadRequest;
@@ -266,6 +390,13 @@ std::vector<std::pair<std::string, Bytes>> wire_specimens() {
   std::vector<std::pair<std::string, Bytes>> specimens;
   specimens.emplace_back("FingerprintQuery", sample_query(3).encode());
 
+  FingerprintQuery traced_q = sample_query(3);
+  traced_q.trace_id = 0x1234ABCDull;
+  traced_q.trace_flags = 0x01;
+  specimens.emplace_back("FingerprintQueryV3", traced_q.encode());
+
+  specimens.emplace_back("LocationResponseV3", traced_response().encode());
+
   FrameUpload frame;
   frame.frame_id = 11;
   frame.codec = 1;
@@ -316,11 +447,11 @@ std::vector<std::pair<std::string, Bytes>> wire_specimens() {
 /// Decode dispatch by specimen name; throws whatever decode() throws.
 void decode_specimen(const std::string& name,
                      std::span<const std::uint8_t> data) {
-  if (name == "FingerprintQuery") {
+  if (name == "FingerprintQuery" || name == "FingerprintQueryV3") {
     (void)FingerprintQuery::decode(data);
   } else if (name == "FrameUpload") {
     (void)FrameUpload::decode(data);
-  } else if (name == "LocationResponse") {
+  } else if (name == "LocationResponse" || name == "LocationResponseV3") {
     (void)LocationResponse::decode(data);
   } else if (name == "OracleDownload") {
     (void)OracleDownload::decode(data);

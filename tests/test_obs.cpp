@@ -4,14 +4,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slow_log.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -352,6 +355,253 @@ TEST(ObsMacros, CompileInBothConfigurations) {
 #else
   SUCCEED();
 #endif
+}
+
+TEST(ObsHistogram, CumulativeBucketsMonotonicUnderConcurrentObserves) {
+  // A scraper racing a writer must never see a cumulative bucket series go
+  // backwards between scrapes (Prometheus counters are monotone), and the
+  // quiescent totals must reconcile exactly.
+  obs::LatencyHistogram h(obs::HistogramBuckets::exponential(0.5, 2.0, 8));
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    Rng rng(3);
+    while (!stop.load(std::memory_order_relaxed)) {
+      h.record(rng.uniform(0.0, 200.0));
+    }
+  });
+  std::vector<std::uint64_t> prev(h.upper_bounds().size() + 1, 0);
+  for (int scrape = 0; scrape < 200; ++scrape) {
+    const auto counts = h.bucket_counts();
+    ASSERT_EQ(counts.size(), prev.size());
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+      cum += counts[b];
+      EXPECT_GE(cum, prev[b]) << "bucket " << b << " went backwards";
+      prev[b] = cum;
+    }
+  }
+  stop = true;
+  writer.join();
+  std::uint64_t total = 0;
+  for (const auto c : h.bucket_counts()) total += c;
+  EXPECT_EQ(total, h.total_count());
+}
+
+TEST(ObsExport, PrometheusSanitizationCollisionsSurfaceBothSeries) {
+  // "col.a" and "col_a" sanitize to the same Prometheus name. The exporter
+  // renders the snapshot verbatim — both series appear, neither is merged
+  // or silently dropped; the collision is the operator's to resolve (and
+  // this test pins that contract so a future dedup is a deliberate change).
+  obs::MetricsSnapshot snap;
+  snap.counters.push_back({"col.a", 1});
+  snap.counters.push_back({"col_a", 2});
+  const std::string out = obs::to_prometheus(snap);
+  EXPECT_NE(out.find("vp_col_a_total 1\n"), std::string::npos);
+  EXPECT_NE(out.find("vp_col_a_total 2\n"), std::string::npos);
+  std::size_t series = 0;
+  for (std::size_t pos = 0;
+       (pos = out.find("# TYPE vp_col_a_total counter\n", pos)) !=
+       std::string::npos;
+       ++pos) {
+    ++series;
+  }
+  EXPECT_EQ(series, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Trace propagation plumbing: ids, notes, stitching, the Chrome exporter.
+
+TEST(ObsTraceId, NonZeroAndUniqueAcrossThreads) {
+  constexpr int kThreads = 4;
+  constexpr std::size_t kPerThread = 10'000;
+  std::vector<std::vector<std::uint64_t>> ids(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ids, t] {
+      ids[static_cast<std::size_t>(t)].reserve(kPerThread);
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        ids[static_cast<std::size_t>(t)].push_back(obs::next_trace_id());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::vector<std::uint64_t> all;
+  for (const auto& v : ids) all.insert(all.end(), v.begin(), v.end());
+  EXPECT_TRUE(std::none_of(all.begin(), all.end(),
+                           [](std::uint64_t id) { return id == 0; }));
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+}
+
+TEST(ObsTrace, NotesAttachToActiveTrace) {
+  obs::FrameTrace trace;
+  obs::trace_note("server.candidates", 42.0);
+  obs::trace_note("server.clustered", 7.0);
+  ASSERT_EQ(trace.notes().size(), 2u);
+  EXPECT_STREQ(trace.notes()[0].first, "server.candidates");
+  EXPECT_DOUBLE_EQ(trace.notes()[0].second, 42.0);
+  EXPECT_STREQ(trace.notes()[1].first, "server.clustered");
+}
+
+TEST(ObsTrace, NotesWithoutActiveTraceAreDropped) {
+  obs::trace_note("orphan.note", 1.0);  // must not crash or leak anywhere
+  obs::FrameTrace trace;
+  EXPECT_TRUE(trace.notes().empty());
+}
+
+TEST(ObsTrace, ToStitchedSpansScalesAndOffsets) {
+  std::vector<obs::SpanRecord> recs(2);
+  recs[0].name = "a";
+  recs[0].parent = -1;
+  recs[0].start_ms = 1.0;
+  recs[0].duration_ms = 2.0;
+  recs[1].name = "b";
+  recs[1].parent = 0;
+  recs[1].start_ms = 1.5;
+  recs[1].duration_ms = 0.5;
+  const auto spans = obs::to_stitched_spans(recs, /*scale=*/10.0,
+                                            /*offset_ms=*/100.0);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "a");
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_DOUBLE_EQ(spans[0].start_ms, 110.0);
+  EXPECT_DOUBLE_EQ(spans[0].duration_ms, 20.0);
+  EXPECT_EQ(spans[1].parent, 0);
+  EXPECT_DOUBLE_EQ(spans[1].start_ms, 115.0);
+  EXPECT_DOUBLE_EQ(spans[1].duration_ms, 5.0);
+}
+
+TEST(ObsExport, ChromeTraceLanesAndEvents) {
+  obs::StitchedTrace st;
+  st.trace_id = 0xABC;
+  st.frame_id = 7;
+  st.place = "atrium";
+  st.base_ms = 10.0;
+  st.client = {{"encode", -1, 0.0, 1.5}};
+  st.link = {{"link.rtt", -1, 1.5, 4.0}};
+  st.server = {{"decode", -1, 2.0, 0.5}};
+  const std::string out = obs::to_chrome_trace(std::span(&st, 1));
+
+  EXPECT_NE(out.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // Three lane-naming metadata events, one complete event per lane.
+  for (const char* lane : {"client", "link", "server"}) {
+    EXPECT_NE(out.find("\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+                       std::string(lane) + "\"}"),
+              std::string::npos);
+  }
+  std::size_t x_events = 0;
+  for (std::size_t pos = 0;
+       (pos = out.find("\"ph\":\"X\"", pos)) != std::string::npos; ++pos) {
+    ++x_events;
+  }
+  EXPECT_EQ(x_events, 3u);
+  // Timestamps are µs: base 10 ms + start 2 ms = 12000 µs on the server
+  // lane (tid 3), duration 500 µs.
+  EXPECT_NE(out.find("\"tid\":3,\"name\":\"decode\",\"ts\":12000.000,"
+                     "\"dur\":500.000"),
+            std::string::npos);
+  // Every event carries the zero-padded hex trace id and the place.
+  EXPECT_NE(out.find("\"trace_id\":\"0000000000000abc\""), std::string::npos);
+  EXPECT_NE(out.find("\"place\":\"atrium\""), std::string::npos);
+}
+
+TEST(ObsExport, ChromeTraceEmptyInputStillWellFormed) {
+  const std::string out = obs::to_chrome_trace({});
+  EXPECT_NE(out.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_EQ(out.find("\"ph\":\"X\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Slow-query log: worst-N retention, thresholds, JSON rendering, races.
+
+obs::SlowQuery make_slow(std::uint64_t id, double total_ms) {
+  obs::SlowQuery q;
+  q.trace_id = id;
+  q.frame_id = static_cast<std::uint32_t>(id);
+  q.place = "atrium";
+  q.total_ms = total_ms;
+  q.stages = {{"decode", total_ms / 2}, {"localize.solve", total_ms / 2}};
+  q.notes = {{"server.candidates", 12.0}};
+  return q;
+}
+
+TEST(ObsSlowLog, RetainsWorstNSortedDescending) {
+  obs::SlowQueryLog log(4);
+  EXPECT_EQ(log.capacity(), 4u);
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    log.record(make_slow(i, static_cast<double>(i)));
+  }
+  EXPECT_EQ(log.seen(), 10u);
+  const auto worst = log.worst();
+  ASSERT_EQ(worst.size(), 4u);
+  EXPECT_DOUBLE_EQ(worst[0].total_ms, 10.0);
+  EXPECT_DOUBLE_EQ(worst[1].total_ms, 9.0);
+  EXPECT_DOUBLE_EQ(worst[2].total_ms, 8.0);
+  EXPECT_DOUBLE_EQ(worst[3].total_ms, 7.0);
+  // Threshold tracks the weakest retained entry once full.
+  EXPECT_DOUBLE_EQ(log.threshold_ms(), 7.0);
+}
+
+TEST(ObsSlowLog, FastPathRejectCountsButDoesNotRetain) {
+  obs::SlowQueryLog log(2);
+  log.record(make_slow(1, 50.0));
+  log.record(make_slow(2, 60.0));
+  log.record(make_slow(3, 1.0));  // below threshold: counted, not kept
+  EXPECT_EQ(log.seen(), 3u);
+  const auto worst = log.worst();
+  ASSERT_EQ(worst.size(), 2u);
+  EXPECT_DOUBLE_EQ(worst[1].total_ms, 50.0);
+}
+
+TEST(ObsSlowLog, JsonLinesCarryStagesNotesAndSummary) {
+  obs::SlowQueryLog log(4);
+  obs::SlowQuery q = make_slow(0xBEEF, 12.5);
+  q.error_code = 3;
+  log.record(std::move(q));
+  const std::string out = log.to_json_lines();
+  EXPECT_NE(out.find("\"type\":\"slow_query\""), std::string::npos);
+  EXPECT_NE(out.find("\"trace_id\":\"000000000000beef\""), std::string::npos);
+  EXPECT_NE(out.find("\"place\":\"atrium\""), std::string::npos);
+  EXPECT_NE(out.find("\"error_code\":3"), std::string::npos);
+  EXPECT_NE(out.find("[\"decode\",6.25]"), std::string::npos);
+  EXPECT_NE(out.find("[\"server.candidates\",12]"), std::string::npos);
+  EXPECT_NE(out.find("\"type\":\"slow_query_summary\""), std::string::npos);
+  EXPECT_NE(out.find("\"retained\":1"), std::string::npos);
+  EXPECT_NE(out.find("\"seen\":1"), std::string::npos);
+}
+
+TEST(ObsSlowLog, ConcurrentRecordsKeepInvariants) {
+  // Distinct totals from many threads: the retained set must be exactly
+  // the top-N, the global maximum always survives, and seen() counts all.
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 2'000;
+  obs::SlowQueryLog log(16);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      Rng rng(static_cast<std::uint64_t>(t) + 1);
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        const std::uint64_t id =
+            static_cast<std::uint64_t>(t) * kPerThread + i + 1;
+        // Distinct totals; ordering across threads is scrambled.
+        log.record(make_slow(id, static_cast<double>(id) +
+                                     rng.uniform(0.0, 0.4)));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(log.seen(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const auto worst = log.worst();
+  ASSERT_EQ(worst.size(), 16u);
+  EXPECT_TRUE(std::is_sorted(
+      worst.begin(), worst.end(),
+      [](const auto& a, const auto& b) { return a.total_ms > b.total_ms; }));
+  // The largest id carries the largest total and must have been retained.
+  EXPECT_EQ(worst.front().trace_id,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  for (const auto& q : worst) {
+    EXPECT_GE(q.total_ms, log.threshold_ms());
+  }
 }
 
 TEST(ObsStats, EmptySafeQuantiles) {
