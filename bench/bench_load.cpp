@@ -1,0 +1,366 @@
+// Population-scale load harness: does admission control actually hold the
+// paper's sub-second fix contract once thousands of phones pile on?
+//
+// Builds a multi-place VisualPrintServer, serves it over real TCP on a
+// worker pool, and drives closed-loop client fleets (src/net/loadgen) at
+// stepped offered loads — once with the query admission gate engaged
+// (--cap inflight queries, excess shed with structured kOverloaded) and
+// once uncapped. Per row it reports served-request SLO percentiles,
+// goodput, the shed/retry ledgers, and per-stage attribution from the obs
+// stage histograms as JSON lines. The row pair the artifact exists for:
+// past saturation the admission-controlled server holds served p99 near
+// its unloaded p99 while shedding the excess; the uncapped server's p99
+// grows with every client added, because every query queues instead.
+//
+// The query workload reuses stored descriptors per place with the cluster
+// acceptance threshold set beyond any candidate count, so every query runs
+// the full decode + LSH retrieval + clustering path and returns a
+// structured miss before the solver — per-query service cost is stable,
+// which is what an SLO bench needs (solver benches live elsewhere).
+//
+// --smoke additionally emits the deterministic harness ledger (seeded
+// request schedule, saturated-gate admission accounting, retry/backoff
+// contract): two runs with the same --seed print byte-identical "ledger"
+// JSON lines, so CI diffs them to prove harness regressions are
+// attributable (tests/test_load.cpp pins the same invariant in-process).
+//
+// Usage: bench_load [--scale=<f>] [--smoke] [--seed=<n>] [--fault-rate=<f>]
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/server.hpp"
+#include "net/fault.hpp"
+#include "net/loadgen.hpp"
+#include "net/tcp.hpp"
+#include "net/wire.hpp"
+#include "obs/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace vp;
+
+std::vector<KeypointMapping> synthetic_mappings(Rng& rng, std::size_t n,
+                                                double base_x) {
+  std::vector<KeypointMapping> ms;
+  ms.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Feature f;
+    f.keypoint = {10.0f, 10.0f, 2.0f, 0.0f, 1.0f, 0};
+    for (auto& v : f.descriptor) {
+      v = static_cast<std::uint8_t>(rng.uniform_u64(80));
+    }
+    ms.push_back({f,
+                  {base_x + rng.uniform(0, 20), rng.uniform(0, 20),
+                   rng.uniform(0, 3)},
+                  static_cast<std::uint32_t>(i)});
+  }
+  return ms;
+}
+
+/// p50 of one stage histogram from the current registry snapshot.
+double stage_p50_ms(const obs::MetricsSnapshot& snap, const char* name) {
+  for (const auto& h : snap.histograms) {
+    if (h.name == name) {
+      return obs::estimate_percentile(h.upper_bounds, h.counts, 50.0);
+    }
+  }
+  return 0.0;
+}
+
+struct Row {
+  std::string mode;
+  std::size_t clients = 0;
+  double fault_rate = 0;
+  load::LoadReport report;
+  std::uint64_t gate_admitted = 0, gate_shed = 0;
+  double p50 = 0, p95 = 0, p99 = 0;
+  double stage_decode = 0, stage_retrieve = 0, stage_cluster = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vp::bench;
+  const double scale = parse_scale(argc, argv);
+  bool smoke = false;
+  std::uint64_t seed = 2026;
+  double fault_rate = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[i] + 7));
+    }
+    if (std::strncmp(argv[i], "--fault-rate=", 13) == 0) {
+      fault_rate = std::atof(argv[i] + 13);
+    }
+  }
+  print_figure_header("load harness",
+                      "SLO percentiles vs offered load, admission on/off");
+
+  // --- Server: 2 places of synthetic keypoints, full retrieval+cluster
+  // query cost, structured miss before the solver (see header comment).
+  constexpr int kPlaces = 2;
+  const auto kp_per_place = static_cast<std::size_t>(
+      std::lround((smoke ? 1200 : 2500) * std::max(scale, 0.1)));
+  constexpr std::size_t kFeaturesPerQuery = 100;
+  ServerConfig cfg;
+  cfg.oracle.capacity = std::max<std::size_t>(50'000, 2 * kp_per_place);
+  cfg.clustering.min_points = 1'000'000;  // structured miss after clustering
+  VisualPrintServer server(cfg);
+  Rng rng(seed);
+  std::vector<std::vector<KeypointMapping>> place_mappings;
+  for (int p = 0; p < kPlaces; ++p) {
+    auto mappings = synthetic_mappings(rng, kp_per_place, 100.0 * p);
+    server.ingest_wardrive("place-" + std::to_string(p), mappings, &cfg);
+    place_mappings.push_back(std::move(mappings));
+  }
+
+  // --- Payloads: per place, framed 'Q' queries reusing that place's own
+  // stored descriptors, so every shard does real candidate work.
+  std::vector<Bytes> payloads;
+  for (int p = 0; p < kPlaces; ++p) {
+    for (int q = 0; q < 4; ++q) {
+      FingerprintQuery query;
+      query.frame_id = static_cast<std::uint32_t>(p * 100 + q);
+      query.place = "place-" + std::to_string(p);
+      const auto& source = place_mappings[p];
+      for (std::size_t i = 0; i < kFeaturesPerQuery; ++i) {
+        query.features.push_back(
+            source[(static_cast<std::size_t>(q) * kFeaturesPerQuery + i * 7) %
+                   source.size()]
+                .feature);
+      }
+      ByteWriter w;
+      w.u8(kQueryRequest);
+      w.raw(query.encode());
+      payloads.push_back(w.take());
+    }
+  }
+
+  // --- Serve on a deliberately *over-provisioned* pool: the worker count
+  // no longer governs concurrency, the admission gate does — that is the
+  // experiment. max_connections exceeds any fleet size below.
+  TcpListener listener(0);
+  ThreadPool pool(16);
+  ServeOptions options;
+  options.pool = &pool;
+  options.max_connections = 64;
+  options.io_timeout_ms = 20'000;
+  options.poll_interval_ms = 5;
+  std::atomic<bool> run{true};
+  std::thread serve_thread([&] {
+    listener.serve(
+        [&](std::span<const std::uint8_t> request) {
+          return server.handle_request(request, /*solver_seed=*/7);
+        },
+        [&] { return run.load(); }, options);
+  });
+
+  // Admitted inflight queries when gated. The cap tracks compute capacity:
+  // on a single-core box two concurrent queries each run at half speed, so
+  // admitting a second one doubles p99 without adding goodput — exactly
+  // the queueing the gate exists to refuse.
+  const std::size_t cap =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency() / 2);
+  std::vector<std::size_t> fleet_sizes = smoke
+                                             ? std::vector<std::size_t>{1, 4, 16}
+                                             : std::vector<std::size_t>{1, 2, 4,
+                                                                        8, 16,
+                                                                        32};
+  const int requests_per_client =
+      std::max(10, static_cast<int>((smoke ? 30 : 60) * scale));
+
+  const auto run_phase = [&](const std::string& mode, std::size_t clients,
+                             double rate) {
+    Row row;
+    row.mode = mode;
+    row.clients = clients;
+    row.fault_rate = rate;
+    server.set_max_inflight(mode == "admission" ? cap : 0);
+    obs::Registry::global().reset_values();
+    const std::uint64_t admitted0 = server.admission().admitted();
+    const std::uint64_t shed0 = server.admission().shed();
+
+    load::Workload w;
+    w.host = "127.0.0.1";
+    w.payloads = payloads;
+    w.clients = clients;
+    w.seed = seed ^ (clients << 8) ^ (mode == "admission" ? 1 : 0);
+    w.client.requests = requests_per_client;
+    // A shed client sits out ~several service times before re-offering —
+    // real clients honor the shed as a backoff signal, and on small boxes
+    // the pause also keeps shed churn from stealing CPU from admitted
+    // queries (which would recreate the very queueing the gate prevents).
+    w.client.shed_pause_ms = 15.0;
+    w.client.policy.io_timeout_ms = 20'000;
+    w.client.policy.connect_timeout_ms = 5000;
+    if (rate > 0) {
+      // Faulty rows measure the retry ledger, not clean SLO: transport
+      // retries and overload retries are both on.
+      w.client.policy.max_attempts = 10;
+      w.client.policy.backoff_ms = 2.0;
+      w.client.policy.max_backoff_ms = 20.0;
+      w.client.policy.io_timeout_ms = 500;
+      w.client.policy.retry_overloaded = true;
+      FaultProxy proxy(listener.port(), FaultConfig::uniform(rate, seed));
+      w.port = proxy.port();
+      row.report = load::run_closed_loop(w);
+      proxy.stop();
+    } else {
+      // Clean SLO rows: a shed is an outcome to count, not to hide.
+      w.client.policy.retry_overloaded = false;
+      w.port = listener.port();
+      row.report = load::run_closed_loop(w);
+    }
+
+    row.gate_admitted = server.admission().admitted() - admitted0;
+    row.gate_shed = server.admission().shed() - shed0;
+    row.p50 = row.report.served_percentile_ms(50);
+    row.p95 = row.report.served_percentile_ms(95);
+    row.p99 = row.report.served_percentile_ms(99);
+    const auto snap = obs::Registry::global().snapshot();
+    row.stage_decode = stage_p50_ms(snap, "stage.decode");
+    row.stage_retrieve = stage_p50_ms(snap, "stage.lsh.retrieve");
+    row.stage_cluster = stage_p50_ms(snap, "stage.cluster");
+    return row;
+  };
+
+  std::printf(
+      "%2d places x %zu keypoints, %zu-feature queries, pool=16, cap=%zu\n\n",
+      kPlaces, kp_per_place, kFeaturesPerQuery, cap);
+  std::printf("%10s %8s %8s %9s %9s %9s %8s %8s %9s\n", "mode", "clients",
+              "offered", "p50 ms", "p95 ms", "p99 ms", "shed", "retries",
+              "good/s");
+
+  bool invariants_ok = true;
+  std::vector<Row> rows;
+  double unloaded_p99 = 0;
+  for (const std::string mode : {"admission", "none"}) {
+    for (const std::size_t clients : fleet_sizes) {
+      Row row = run_phase(mode, clients, 0.0);
+      const auto& r = row.report;
+      if (mode == "admission" && clients == 1) unloaded_p99 = row.p99;
+
+      // Ledger identities every clean row must satisfy: each offered
+      // request has exactly one outcome, and the server's gate accounted
+      // for exactly the requests the clients saw answered or shed.
+      if (r.offered() != r.served() + r.shed() + r.errors()) {
+        std::printf("INVARIANT VIOLATION: offered %llu != %llu+%llu+%llu\n",
+                    static_cast<unsigned long long>(r.offered()),
+                    static_cast<unsigned long long>(r.served()),
+                    static_cast<unsigned long long>(r.shed()),
+                    static_cast<unsigned long long>(r.errors()));
+        invariants_ok = false;
+      }
+      if (r.errors() == 0 &&
+          (row.gate_admitted != r.served() || row.gate_shed != r.shed())) {
+        std::printf(
+            "INVARIANT VIOLATION: gate admitted/shed %llu/%llu vs client "
+            "served/shed %llu/%llu\n",
+            static_cast<unsigned long long>(row.gate_admitted),
+            static_cast<unsigned long long>(row.gate_shed),
+            static_cast<unsigned long long>(r.served()),
+            static_cast<unsigned long long>(r.shed()));
+        invariants_ok = false;
+      }
+
+      std::printf("%10s %8zu %8llu %9.2f %9.2f %9.2f %8llu %8llu %9.1f\n",
+                  row.mode.c_str(), clients,
+                  static_cast<unsigned long long>(r.offered()), row.p50,
+                  row.p95, row.p99,
+                  static_cast<unsigned long long>(r.shed()),
+                  static_cast<unsigned long long>(r.retries()),
+                  r.goodput_rps());
+      rows.push_back(std::move(row));
+    }
+  }
+
+  // One faulty row: the retry machinery and the admission gate working the
+  // same fleet (loss/jitter from the seeded FaultProxy).
+  const double faulty_rate = fault_rate > 0 ? fault_rate : 0.05;
+  Row faulty = run_phase("admission", smoke ? 4 : 8, faulty_rate);
+  std::printf("%10s %8zu %8llu %9.2f %9.2f %9.2f %8llu %8llu %9.1f  "
+              "(fault rate %.0f%%)\n",
+              "adm+fault", faulty.clients,
+              static_cast<unsigned long long>(faulty.report.offered()),
+              faulty.p50, faulty.p95, faulty.p99,
+              static_cast<unsigned long long>(faulty.report.shed()),
+              static_cast<unsigned long long>(faulty.report.retries()),
+              faulty.report.goodput_rps(), faulty_rate * 100);
+  rows.push_back(std::move(faulty));
+
+  run.store(false);
+  serve_thread.join();
+
+  // --- JSON artifact rows.
+  for (const Row& row : rows) {
+    const auto& r = row.report;
+    std::printf(
+        "{\"bench\":\"load\",\"section\":\"sweep\",\"mode\":\"%s\","
+        "\"clients\":%zu,\"cap\":%zu,\"fault_rate\":%.2f,"
+        "\"offered\":%llu,\"served\":%llu,\"shed\":%llu,\"errors\":%llu,"
+        "\"retries\":%llu,\"overloaded_replies\":%llu,"
+        "\"gate_admitted\":%llu,\"gate_shed\":%llu,"
+        "\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f,"
+        "\"p99_vs_unloaded\":%.2f,\"goodput_rps\":%.1f,\"wall_ms\":%.1f,"
+        "\"stage_decode_p50_ms\":%.4f,\"stage_retrieve_p50_ms\":%.4f,"
+        "\"stage_cluster_p50_ms\":%.4f}\n",
+        row.mode.c_str(), row.clients,
+        row.mode == "none" ? std::size_t{0} : cap, row.fault_rate,
+        static_cast<unsigned long long>(r.offered()),
+        static_cast<unsigned long long>(r.served()),
+        static_cast<unsigned long long>(r.shed()),
+        static_cast<unsigned long long>(r.errors()),
+        static_cast<unsigned long long>(r.retries()),
+        static_cast<unsigned long long>(r.overloaded_replies()),
+        static_cast<unsigned long long>(row.gate_admitted),
+        static_cast<unsigned long long>(row.gate_shed), row.p50, row.p95,
+        row.p99, unloaded_p99 > 0 ? row.p99 / unloaded_p99 : 0.0,
+        r.goodput_rps(), r.wall_ms, row.stage_decode, row.stage_retrieve,
+        row.stage_cluster);
+  }
+
+  // --- The saturation verdict the artifact exists to show.
+  const auto saturated = [&](const std::string& mode) -> const Row* {
+    const Row* best = nullptr;
+    for (const Row& row : rows) {
+      if (row.mode == mode && row.fault_rate == 0 &&
+          (best == nullptr || row.clients > best->clients)) {
+        best = &row;
+      }
+    }
+    return best;
+  };
+  const Row* adm = saturated("admission");
+  const Row* none = saturated("none");
+  if (adm != nullptr && none != nullptr && unloaded_p99 > 0) {
+    std::printf(
+        "\nsaturated (%zu clients): admission p99 %.2f ms (%.1fx unloaded, "
+        "shed %llu), uncapped p99 %.2f ms (%.1fx unloaded, shed %llu)\n",
+        adm->clients, adm->p99, adm->p99 / unloaded_p99,
+        static_cast<unsigned long long>(adm->report.shed()), none->p99,
+        none->p99 / unloaded_p99,
+        static_cast<unsigned long long>(none->report.shed()));
+  }
+
+  // --- Deterministic harness ledger (diffed across CI runs).
+  if (smoke) {
+    const load::DeterministicLedger ledger = load::deterministic_smoke(seed);
+    std::printf("%s\n", ledger.to_json().c_str());
+  }
+
+  emit_metrics_jsonl("load");
+  if (!invariants_ok) {
+    std::printf("\nFAILED: ledger invariants violated (see above)\n");
+    return 1;
+  }
+  return 0;
+}

@@ -25,8 +25,14 @@
 // trace ids, candidate counts) at exit; clients can fetch the same data
 // live as StatsRequest format 2.
 //
+// `--max-inflight` bounds concurrently executing queries (DESIGN.md §13):
+// excess 'Q' requests are shed with a structured kOverloaded reply that
+// clients retry with backoff, instead of queueing until their deadline
+// blows out. Defaults to 4x the worker count; 0 disables the gate. Oracle
+// downloads and stats scrapes are never shed.
+//
 // Run:   ./vp_server [--port N] [--db FILE]... [--threads N] [--pq] [--once]
-//                    [--slow-log]
+//                    [--slow-log] [--max-inflight N]
 // Pair:  ./vp_client [--place ID] (in another terminal)
 #include <atomic>
 #include <cstdio>
@@ -88,6 +94,8 @@ int main(int argc, char** argv) {
   bool once = false;
   bool pq = false;
   bool slow_log = false;
+  std::size_t max_inflight = 0;
+  bool max_inflight_set = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
@@ -101,6 +109,9 @@ int main(int argc, char** argv) {
       once = true;  // serve a single connection then exit (used in tests)
     } else if (std::strcmp(argv[i], "--slow-log") == 0) {
       slow_log = true;  // print the worst-N slow-query log at exit
+    } else if (std::strcmp(argv[i], "--max-inflight") == 0 && i + 1 < argc) {
+      max_inflight = static_cast<std::size_t>(std::atoll(argv[++i]));
+      max_inflight_set = true;
     }
   }
   if (db_paths.empty()) db_paths.push_back("vp_demo.db");
@@ -132,9 +143,15 @@ int main(int argc, char** argv) {
   // Unplaced queries fan out across shards on the same borrowed pool that
   // serves connections.
   server.store().set_pool(&pool);
-  std::printf("listening on 127.0.0.1:%u (%zu workers, %zu places) ...\n",
-              listener.port(), pool.thread_count(),
-              server.store().place_count());
+  // Default cap: enough concurrency to keep every worker busy, small
+  // enough that a population spike sheds instead of queueing (§13).
+  server.set_max_inflight(max_inflight_set ? max_inflight
+                                           : 4 * pool.thread_count());
+  std::printf(
+      "listening on 127.0.0.1:%u (%zu workers, %zu places, "
+      "max inflight queries %zu) ...\n",
+      listener.port(), pool.thread_count(), server.store().place_count(),
+      server.admission().max_inflight());
 
   ServeOptions options;
   options.pool = &pool;
@@ -160,6 +177,13 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.decode_errors.load()),
       static_cast<unsigned long long>(stats.timeouts.load()),
       static_cast<unsigned long long>(stats.io_errors.load()));
+  std::printf(
+      "admission: %llu queries admitted, %llu shed (peak %zu inflight, "
+      "cap %zu)\n",
+      static_cast<unsigned long long>(server.admission().admitted()),
+      static_cast<unsigned long long>(server.admission().shed()),
+      server.admission().peak_inflight(),
+      server.admission().max_inflight());
   if (slow_log) {
     std::printf("\nslow-query log (worst %zu of %llu):\n%s",
                 server.slow_log().capacity(),

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + test suite, then a ThreadSanitizer pass
 # over the threading-sensitive test binaries (test_util, test_obs,
-# test_features, test_net, test_tcp, test_faults, test_index) plus the
-# MapStore ingest-while-serving soak from test_core and the pool-parallel
-# differential-evolution suite from test_geometry.
+# test_features, test_net, test_tcp, test_faults, test_load, test_index)
+# plus the MapStore ingest-while-serving soak from test_core and the
+# pool-parallel differential-evolution suite from test_geometry.
 #
 # Usage: scripts/tier1.sh [build-dir] [tsan-build-dir]
 set -euo pipefail
@@ -20,7 +20,7 @@ ctest --test-dir "$build_dir" --output-on-failure -j
 echo "== tier-1: ThreadSanitizer pass (threaded + network suites) =="
 # Benchmarks/examples are irrelevant to the TSan pass; skip them for speed.
 tsan_targets=(test_util test_obs test_features test_net test_tcp test_faults
-              test_index test_core test_geometry)
+              test_load test_index test_core test_geometry)
 cmake -B "$tsan_dir" -S "$repo_root" \
   -DVP_SANITIZE=thread \
   -DVP_BUILD_BENCHMARKS=OFF \

@@ -113,6 +113,9 @@ Bytes VisualPrintServer::handle_request(std::span<const std::uint8_t> request,
         .set(seen == 0 ? 0.0
                        : static_cast<double>(traced) /
                              static_cast<double>(seen));
+    registry.gauge("server.admission_cap")
+        .set(static_cast<double>(runtime_->admission.max_inflight()));
+    registry.gauge("server.shed_rate").set(runtime_->admission.shed_rate());
     const auto snap = registry.snapshot();
     resp.text = req.format == StatsRequest::kFormatPrometheus
                     ? obs::to_prometheus(snap)
@@ -126,6 +129,19 @@ Bytes VisualPrintServer::handle_query(std::span<const std::uint8_t> body,
                                       std::uint64_t solver_seed) const {
   const auto t0 = std::chrono::steady_clock::now();
   runtime_->queries_seen.fetch_add(1, std::memory_order_relaxed);
+  // Admission first, before any decode work: a shed query must cost the
+  // server almost nothing, or shedding would not shield the admitted ones.
+  const AdmissionTicket ticket(&runtime_->admission);
+  if (!ticket.admitted()) {
+    VP_OBS_COUNT("server.shed", 1);
+    ErrorResponse err;
+    err.code = ErrorResponse::kOverloaded;
+    err.message = "query shed: admission cap " +
+                  std::to_string(runtime_->admission.max_inflight()) +
+                  " inflight queries reached";
+    return err.encode();
+  }
+  VP_OBS_COUNT("server.admitted", 1);
   const InflightGuard inflight(obs::Registry::global().gauge("server.inflight"));
   // The handler trace opens before decode so the wire "decode" span lands
   // in it. Cheap either way (two thread-local stores), so it is opened for

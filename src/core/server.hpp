@@ -18,15 +18,22 @@
 #include <vector>
 
 #include "core/map_store.hpp"
+#include "net/admission.hpp"
 #include "obs/slow_log.hpp"
 
 namespace vp {
 
-/// Per-process serving state that is not map data: the slow-query log and
-/// the counters behind the self-describing gauges (uptime, trace sampling
-/// rate). Behind a unique_ptr so the server stays movable.
+/// Per-process serving state that is not map data: the slow-query log,
+/// the query admission gate, and the counters behind the self-describing
+/// gauges (uptime, trace sampling rate). Behind a unique_ptr so the server
+/// stays movable.
 struct ServerRuntime {
   obs::SlowQueryLog slow_log;
+  /// Query admission control (DESIGN.md §13): bounds concurrently
+  /// executing 'Q' handlers; excess queries are answered with a
+  /// structured ErrorResponse{kOverloaded} before any decode work.
+  /// Cap 0 (the default) admits everything.
+  AdmissionGate admission;
   std::atomic<std::uint64_t> queries_seen{0};
   std::atomic<std::uint64_t> queries_traced{0};
   std::chrono::steady_clock::time_point start =
@@ -110,6 +117,22 @@ class VisualPrintServer {
   /// rendered over the wire as StatsRequest format 2).
   const obs::SlowQueryLog& slow_log() const noexcept {
     return runtime_->slow_log;
+  }
+
+  /// Bound on concurrently executing 'Q' handlers; queries beyond it are
+  /// shed with ErrorResponse{kOverloaded} instead of queueing until their
+  /// deadline blows out. 0 = unlimited (the default). Oracle downloads and
+  /// stats scrapes are never shed — an overloaded server must still be
+  /// observable.
+  void set_max_inflight(std::size_t cap) noexcept {
+    runtime_->admission.set_max_inflight(cap);
+  }
+
+  /// The query admission gate (inflight/admitted/shed counters; tests
+  /// hold tickets on it to pin the shed path deterministically).
+  AdmissionGate& admission() noexcept { return runtime_->admission; }
+  const AdmissionGate& admission() const noexcept {
+    return runtime_->admission;
   }
 
   /// Persist the full database — every shard's configuration, stored

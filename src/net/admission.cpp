@@ -1,0 +1,40 @@
+#include "net/admission.hpp"
+
+namespace vp {
+
+bool AdmissionGate::try_enter() noexcept {
+  const std::size_t cap = cap_.load(std::memory_order_relaxed);
+  std::size_t cur = inflight_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (cap != 0 && cur >= cap) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    // CAS keeps the cap strict: two racing admitters cannot both move
+    // inflight past it, so `inflight() <= cap` holds at every instant.
+    if (inflight_.compare_exchange_weak(cur, cur + 1,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t now = cur + 1;
+  std::size_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  return true;
+}
+
+void AdmissionGate::exit() noexcept {
+  inflight_.fetch_sub(1, std::memory_order_release);
+}
+
+double AdmissionGate::shed_rate() const noexcept {
+  const double a = static_cast<double>(admitted());
+  const double s = static_cast<double>(shed());
+  return a + s == 0.0 ? 0.0 : s / (a + s);
+}
+
+}  // namespace vp

@@ -1,0 +1,290 @@
+#include "net/loadgen.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "net/admission.hpp"
+#include "net/tcp.hpp"
+#include "net/wire.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace vp::load {
+namespace {
+
+/// Per-client RNG stream: decorrelated from neighbouring clients and from
+/// the RetryingClient jitter stream (which uses its own derivation below).
+Rng client_rng(std::uint64_t seed, std::size_t client) {
+  return Rng(seed ^ (0x10adULL << 40) ^
+             (static_cast<std::uint64_t>(client) * 0x9e3779b97f4a7c15ULL));
+}
+
+void sleep_ms(double ms) {
+  if (ms <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> payload_pick_sequence(std::uint64_t seed,
+                                                 std::size_t client,
+                                                 int requests,
+                                                 std::size_t n_payloads) {
+  std::vector<std::uint32_t> seq;
+  seq.reserve(static_cast<std::size_t>(std::max(requests, 0)));
+  Rng rng = client_rng(seed, client);
+  for (int r = 0; r < requests; ++r) {
+    seq.push_back(static_cast<std::uint32_t>(
+        n_payloads == 0 ? 0 : rng.uniform_u64(n_payloads)));
+  }
+  return seq;
+}
+
+std::uint64_t LoadReport::offered() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& c : clients) n += c.payload_sequence.size();
+  return n;
+}
+std::uint64_t LoadReport::served() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& c : clients) n += c.ok + c.no_fix;
+  return n;
+}
+std::uint64_t LoadReport::ok() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& c : clients) n += c.ok;
+  return n;
+}
+std::uint64_t LoadReport::shed() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& c : clients) n += c.shed;
+  return n;
+}
+std::uint64_t LoadReport::errors() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& c : clients) n += c.errors;
+  return n;
+}
+std::uint64_t LoadReport::retries() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& c : clients) n += c.net.retries;
+  return n;
+}
+std::uint64_t LoadReport::overloaded_replies() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& c : clients) n += c.net.overloaded;
+  return n;
+}
+double LoadReport::goodput_rps() const noexcept {
+  return wall_ms <= 0 ? 0.0
+                      : static_cast<double>(served()) / (wall_ms / 1e3);
+}
+double LoadReport::served_percentile_ms(double p) const {
+  std::vector<double> all;
+  for (const auto& c : clients) {
+    all.insert(all.end(), c.served_latency_ms.begin(),
+               c.served_latency_ms.end());
+  }
+  if (all.empty()) return 0.0;
+  std::sort(all.begin(), all.end());
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 *
+                      static_cast<double>(all.size() - 1);
+  return all[static_cast<std::size_t>(rank)];
+}
+
+LoadReport run_closed_loop(const Workload& workload) {
+  LoadReport report;
+  report.clients.resize(workload.clients);
+
+  // Start barrier: every client connects and computes its schedule first,
+  // then all are released together so the phase's offered load steps up as
+  // one front instead of a ragged ramp.
+  std::mutex start_mutex;
+  std::condition_variable start_cv;
+  bool go = false;
+  std::size_t ready = 0;
+
+  std::vector<std::thread> threads;
+  threads.reserve(workload.clients);
+  for (std::size_t c = 0; c < workload.clients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientLedger& ledger = report.clients[c];
+      ledger.payload_sequence = payload_pick_sequence(
+          workload.seed, c, workload.client.requests,
+          workload.payloads.size());
+      RetryingClient net(workload.host, workload.port, workload.client.policy,
+                         workload.seed ^ (0xc11eULL << 32) ^ c);
+      {
+        std::unique_lock lock(start_mutex);
+        ++ready;
+        start_cv.notify_all();
+        start_cv.wait(lock, [&] { return go; });
+      }
+      for (const std::uint32_t pick : ledger.payload_sequence) {
+        Timer t;
+        try {
+          const Bytes reply = net.request(workload.payloads[pick]);
+          const double ms = t.millis();
+          const LocationResponse resp = LocationResponse::decode(reply);
+          ledger.served_latency_ms.push_back(ms);
+          if (resp.found) {
+            ++ledger.ok;
+          } else {
+            ++ledger.no_fix;
+          }
+          sleep_ms(workload.client.think_ms);
+        } catch (const RemoteError& e) {
+          if (e.code() == ErrorResponse::kOverloaded) {
+            ++ledger.shed;
+            sleep_ms(workload.client.shed_pause_ms);
+          } else {
+            ++ledger.errors;
+          }
+        } catch (const Error&) {
+          // Transport budget exhausted or a fault-mangled reply; the
+          // request is charged to the ledger either way.
+          ++ledger.errors;
+        }
+      }
+      ledger.net = net.stats();
+    });
+  }
+
+  Timer wall;
+  {
+    std::unique_lock lock(start_mutex);
+    start_cv.wait(lock, [&] { return ready == workload.clients; });
+    go = true;
+    wall.reset();
+    start_cv.notify_all();
+  }
+  for (auto& t : threads) t.join();
+  report.wall_ms = wall.millis();
+  return report;
+}
+
+std::uint64_t DeterministicLedger::crc() const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = fnv1a(h, seed);
+  h = fnv1a(h, clients);
+  h = fnv1a(h, static_cast<std::uint64_t>(requests_per_client));
+  for (const std::uint32_t v : request_sequence) h = fnv1a(h, v);
+  h = fnv1a(h, offered);
+  h = fnv1a(h, admitted);
+  h = fnv1a(h, shed);
+  h = fnv1a(h, retries);
+  for (const double b : backoff_ms) h = fnv1a(h, std::bit_cast<std::uint64_t>(b));
+  return h;
+}
+
+std::string DeterministicLedger::to_json() const {
+  std::uint64_t sequence_crc = 0xcbf29ce484222325ULL;
+  for (const std::uint32_t v : request_sequence) {
+    sequence_crc = fnv1a(sequence_crc, v);
+  }
+  std::ostringstream out;
+  out << "{\"bench\":\"load\",\"section\":\"ledger\",\"seed\":" << seed
+      << ",\"clients\":" << clients
+      << ",\"requests_per_client\":" << requests_per_client
+      << ",\"sequence_crc\":" << sequence_crc << ",\"offered\":" << offered
+      << ",\"admitted\":" << admitted << ",\"shed\":" << shed
+      << ",\"retries\":" << retries << ",\"backoff_ms\":[";
+  char buf[32];
+  for (std::size_t i = 0; i < backoff_ms.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%.4f", backoff_ms[i]);
+    out << (i == 0 ? "" : ",") << buf;
+  }
+  out << "],\"crc\":" << crc() << "}";
+  return out.str();
+}
+
+DeterministicLedger deterministic_smoke(std::uint64_t seed) {
+  DeterministicLedger ledger;
+  ledger.seed = seed;
+  ledger.clients = 4;
+  ledger.requests_per_client = 10;
+
+  // 1. The seeded request schedule — exactly what run_closed_loop's
+  // clients would send against a 5-payload workload.
+  for (std::size_t c = 0; c < ledger.clients; ++c) {
+    const auto seq = payload_pick_sequence(
+        seed, c, ledger.requests_per_client, /*n_payloads=*/5);
+    ledger.request_sequence.insert(ledger.request_sequence.end(), seq.begin(),
+                                   seq.end());
+  }
+
+  // 2. Admission accounting with the gate pinned at capacity: outcomes
+  // depend only on the gate's state, never on timing.
+  constexpr std::size_t kCap = 4;
+  constexpr std::size_t kBurst = 8;
+  AdmissionGate gate(kCap);
+  for (std::size_t i = 0; i < kCap; ++i) gate.try_enter();  // fill to cap
+  for (std::size_t i = 0; i < kBurst; ++i) gate.try_enter();  // all shed
+  for (std::size_t i = 0; i < kCap; ++i) gate.exit();  // drain
+  for (std::size_t i = 0; i < kBurst; ++i) {  // all admitted
+    gate.try_enter();
+    gate.exit();
+  }
+  ledger.offered = gate.admitted() + gate.shed();
+  ledger.admitted = gate.admitted();
+  ledger.shed = gate.shed();
+
+  // 3. The retry/backoff contract against a scripted shedding server: the
+  // first k replies are kOverloaded, then the request is echoed. k and
+  // every recorded backoff delay derive from the seed alone.
+  const int k = 2 + static_cast<int>(seed % 3);
+  TcpListener listener(0);
+  std::thread server([&] {
+    Socket conn = listener.accept_one();
+    Bytes request;
+    int replies = 0;
+    while (conn.recv_message(request)) {
+      if (replies < k) {
+        ErrorResponse err;
+        err.code = ErrorResponse::kOverloaded;
+        err.message = "scripted shed";
+        conn.send_message(err.encode());
+      } else {
+        conn.send_message(request);
+      }
+      ++replies;
+    }
+  });
+
+  RetryPolicy policy;
+  policy.max_attempts = k + 2;
+  policy.backoff_ms = 5.0;
+  policy.backoff_factor = 2.0;
+  policy.max_backoff_ms = 40.0;
+  policy.jitter = 0.25;
+  policy.io_timeout_ms = 5000;
+  policy.connect_timeout_ms = 5000;
+  RetryingClient client("127.0.0.1", listener.port(), policy, seed);
+  client.set_sleep_fn(
+      [&](double ms) { ledger.backoff_ms.push_back(ms); });
+  const Bytes probe{0xAB, 0xCD};
+  const Bytes reply = client.request(probe);
+  VP_ASSERT(reply == probe);
+  ledger.retries = client.stats().retries;
+  client.close();
+  server.join();
+  return ledger;
+}
+
+}  // namespace vp::load

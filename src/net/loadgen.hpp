@@ -1,0 +1,128 @@
+// Closed-loop population load generator (DESIGN.md §13).
+//
+// Drives N simulated clients — each a real RetryingClient on its own
+// thread, real sockets, real deadlines — against a served port, cycling a
+// set of pre-encoded request payloads chosen by a per-client seeded RNG.
+// Closed loop: every client waits for its reply (or structured shed)
+// before issuing the next request, so offered load is governed by client
+// count and think time, exactly like a fleet of phones.
+//
+// Determinism story (the part CI leans on): the *request ledger* — which
+// payload every client sends, in which order — is a pure function of the
+// workload seed (`payload_pick_sequence`), and `deterministic_smoke` runs
+// the timing-independent slices of the harness (seeded schedule, admission
+// accounting on a saturated gate, the retry/backoff contract against a
+// scripted shedding server) into a ledger whose serialization is
+// byte-identical across runs with the same seed. Wall-clock measurements
+// (latency percentiles, goodput) are reported next to it but never enter
+// the ledger. bench/bench_load.cpp is the CLI; tests/test_load.cpp pins
+// the invariants.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/retry.hpp"
+#include "util/bytes.hpp"
+
+namespace vp::load {
+
+/// Per-client closed-loop behaviour.
+struct ClientOptions {
+  int requests = 30;         ///< requests issued per client (fixed, so
+                             ///< offered load is exact: clients * requests)
+  double think_ms = 0.0;     ///< pause after every answered request
+  double shed_pause_ms = 2.0;  ///< extra pause after a shed reply — a real
+                               ///< client backs off; also keeps shed churn
+                               ///< from starving admitted work of CPU
+  RetryPolicy policy;  ///< transport policy; measurement loops usually set
+                       ///< retry_overloaded=false so sheds are counted,
+                       ///< not hidden inside retries
+};
+
+/// One load phase: who to hammer, with what, how hard.
+struct Workload {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Pre-encoded request frames (tag byte + body); each client picks per
+  /// request via its seeded RNG.
+  std::vector<Bytes> payloads;
+  std::size_t clients = 4;
+  ClientOptions client;
+  std::uint64_t seed = 1;
+};
+
+/// Everything one client did. `payload_sequence` is seed-derived and
+/// timing-independent; the outcome counters and latencies are measured.
+struct ClientLedger {
+  std::vector<std::uint32_t> payload_sequence;
+  std::uint64_t ok = 0;      ///< LocationResponse with found=true
+  std::uint64_t no_fix = 0;  ///< LocationResponse with found=false
+  std::uint64_t shed = 0;    ///< RemoteError{kOverloaded} (server shed us)
+  std::uint64_t errors = 0;  ///< transport/decoding failures
+  RetryStats net;            ///< the client's full retry ledger
+  std::vector<double> served_latency_ms;  ///< per answered request
+};
+
+/// Aggregated result of run_closed_loop.
+struct LoadReport {
+  std::vector<ClientLedger> clients;
+  double wall_ms = 0;
+
+  std::uint64_t offered() const noexcept;  ///< requests issued
+  std::uint64_t served() const noexcept;   ///< ok + no_fix
+  std::uint64_t ok() const noexcept;
+  std::uint64_t shed() const noexcept;
+  std::uint64_t errors() const noexcept;
+  std::uint64_t retries() const noexcept;
+  std::uint64_t overloaded_replies() const noexcept;
+  /// Served requests per second over the phase wall time.
+  double goodput_rps() const noexcept;
+  /// Percentile (p in [0,100]) over every served request latency.
+  double served_percentile_ms(double p) const;
+};
+
+/// The seed-derived payload pick sequence for one client: request r of
+/// client c is payloads[sequence[r]]. Pure function of its arguments —
+/// this IS the request ledger's determinism guarantee.
+std::vector<std::uint32_t> payload_pick_sequence(std::uint64_t seed,
+                                                 std::size_t client,
+                                                 int requests,
+                                                 std::size_t n_payloads);
+
+/// Run one closed-loop phase: spawn `clients` threads, release them
+/// together, join when every client has issued its full request budget.
+LoadReport run_closed_loop(const Workload& workload);
+
+/// The timing-independent smoke ledger: identical across runs for a given
+/// seed ("modulo wall-clock timings" — nothing wall-clock enters it).
+struct DeterministicLedger {
+  std::uint64_t seed = 0;
+  std::size_t clients = 0;
+  int requests_per_client = 0;
+  std::vector<std::uint32_t> request_sequence;  ///< client-major picks
+  std::uint64_t offered = 0;   ///< gate phase: try_enter calls
+  std::uint64_t admitted = 0;  ///< gate phase: admissions
+  std::uint64_t shed = 0;      ///< gate phase: sheds (gate held full)
+  std::uint64_t retries = 0;   ///< retry phase: resends after kOverloaded
+  std::vector<double> backoff_ms;  ///< retry phase: honored backoff delays
+
+  /// FNV-1a over every field above; two runs with one seed must agree.
+  std::uint64_t crc() const noexcept;
+  /// One JSON line (section "ledger") — the CI artifact row that gets
+  /// diffed across runs.
+  std::string to_json() const;
+};
+
+/// Run the deterministic slices of the harness:
+///   1. the seeded request schedule (no I/O),
+///   2. admission accounting against a gate held at capacity — every
+///      offer while full sheds, every offer after drain admits,
+///   3. the retry/backoff contract: a RetryingClient against a scripted
+///      server that sheds the first k replies with kOverloaded, recording
+///      the honored backoff schedule.
+/// Real sockets are used in (3), but no outcome depends on timing.
+DeterministicLedger deterministic_smoke(std::uint64_t seed);
+
+}  // namespace vp::load

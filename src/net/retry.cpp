@@ -41,9 +41,10 @@ void RetryingClient::ensure_connected() {
 }
 
 Bytes RetryingClient::request(std::span<const std::uint8_t> payload) {
-  enum class Fail { kTimeout, kIo, kRemoteRetryable };
+  enum class Fail { kTimeout, kIo, kRemoteRetryable, kOverloaded };
   Fail fail = Fail::kIo;
   std::string why;
+  std::uint16_t last_remote_code = 0;
 
   for (int attempt = 1;; ++attempt) {
     ++stats_.attempts;
@@ -66,15 +67,26 @@ Bytes RetryingClient::request(std::span<const std::uint8_t> payload) {
         VP_OBS_COUNT("net.stale_oracle", 1);
         throw RemoteError{err.code, err.message};
       }
-      if (!policy_.retry_bad_request ||
-          err.code != ErrorResponse::kBadRequest) {
+      if (err.code == ErrorResponse::kOverloaded) {
+        // The server shed this request at its admission gate. The reply
+        // arrived intact, so the connection is healthy: back off for the
+        // pause the server asked for, then resend the same bytes.
+        ++stats_.overloaded;
+        VP_OBS_COUNT("net.overloaded", 1);
+        if (!policy_.retry_overloaded) throw RemoteError{err.code, err.message};
+        fail = Fail::kOverloaded;
+        last_remote_code = err.code;
+        why = err.message;
+      } else if (!policy_.retry_bad_request ||
+                 err.code != ErrorResponse::kBadRequest) {
         throw RemoteError{err.code, err.message};
+      } else {
+        // The server answered but could not decode our bytes — almost
+        // certainly in-flight corruption. The connection itself is
+        // healthy; resend without reconnecting.
+        fail = Fail::kRemoteRetryable;
+        why = err.message;
       }
-      // The server answered but could not decode our bytes — almost
-      // certainly in-flight corruption. The connection itself is healthy;
-      // resend without reconnecting.
-      fail = Fail::kRemoteRetryable;
-      why = err.message;
     } catch (const RemoteError&) {
       throw;
     } catch (const TimeoutError& e) {
@@ -88,13 +100,20 @@ Bytes RetryingClient::request(std::span<const std::uint8_t> payload) {
       fail = Fail::kIo;
       why = e.what();
     }
-    if (fail != Fail::kRemoteRetryable) {
+    if (fail != Fail::kRemoteRetryable && fail != Fail::kOverloaded) {
       // The exchange may be half-complete; only a fresh connection
-      // restores request/response pairing.
+      // restores request/response pairing. (A structured error reply was
+      // read in full, so those paths keep the socket.)
       sock_.close();
     }
     if (attempt >= policy_.max_attempts) {
       if (fail == Fail::kTimeout) throw TimeoutError{why};
+      if (fail == Fail::kOverloaded) {
+        throw RemoteError{last_remote_code,
+                          "still overloaded after " +
+                              std::to_string(policy_.max_attempts) +
+                              " attempts: " + why};
+      }
       throw IoError{"request failed after " +
                     std::to_string(policy_.max_attempts) +
                     " attempts: " + why};

@@ -33,6 +33,13 @@ struct RetryPolicy {
   /// in flight (the server could not even decode it); since queries are
   /// idempotent, resending the original bytes is worth the attempts.
   bool retry_bad_request = true;
+  /// A kOverloaded ErrorResponse is the server shedding load (admission
+  /// control, DESIGN.md §13): transient by definition, so the default is
+  /// to resend on the same connection after the honored backoff — exactly
+  /// the pause the server is asking for. Load-measurement clients set
+  /// this false to count sheds instead of hiding them behind retries;
+  /// exhaustion then throws RemoteError{kOverloaded} either way.
+  bool retry_overloaded = true;
 };
 
 /// Per-client counters (exact, independent of VP_OBS).
@@ -44,6 +51,7 @@ struct RetryStats {
   std::uint64_t remote_errors = 0;  ///< structured ErrorResponse replies
   std::uint64_t stale_oracles = 0;  ///< kStaleOracle replies (never retried
                                     ///< here; RemoteLocalizer refreshes)
+  std::uint64_t overloaded = 0;     ///< kOverloaded replies (server shed us)
   std::uint64_t reconnects = 0;     ///< sockets (re-)established
 };
 

@@ -14,6 +14,7 @@
 #include <memory>
 #include <mutex>
 
+#include "net/admission.hpp"
 #include "net/wire.hpp"
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
@@ -259,22 +260,39 @@ void service_connection(Socket& client, const TcpListener::Handler& handler,
         return;
       }
       Bytes response;
-      try {
-        response = handler(request);
-      } catch (const DecodeError& e) {
-        stats.handler_errors.fetch_add(1, std::memory_order_relaxed);
-        VP_OBS_COUNT("net.server.handler_errors", 1);
-        ErrorResponse err;
-        err.code = ErrorResponse::kBadRequest;
-        err.message = e.what();
-        response = err.encode();
-      } catch (const std::exception& e) {
-        stats.handler_errors.fetch_add(1, std::memory_order_relaxed);
-        VP_OBS_COUNT("net.server.handler_errors", 1);
-        ErrorResponse err;
-        err.code = ErrorResponse::kHandlerFailure;
-        err.message = e.what();
-        response = err.encode();
+      {
+        // The admission slot spans only handler execution: the reply is
+        // sent after the ticket releases, so a slow-reading client cannot
+        // hold server capacity through its own socket.
+        const AdmissionTicket ticket(options.admission);
+        if (!ticket.admitted()) {
+          stats.shed.fetch_add(1, std::memory_order_relaxed);
+          VP_OBS_COUNT("net.server.shed", 1);
+          ErrorResponse err;
+          err.code = ErrorResponse::kOverloaded;
+          err.message = "server at capacity (" +
+                        std::to_string(options.admission->max_inflight()) +
+                        " inflight requests)";
+          response = err.encode();
+        } else {
+          try {
+            response = handler(request);
+          } catch (const DecodeError& e) {
+            stats.handler_errors.fetch_add(1, std::memory_order_relaxed);
+            VP_OBS_COUNT("net.server.handler_errors", 1);
+            ErrorResponse err;
+            err.code = ErrorResponse::kBadRequest;
+            err.message = e.what();
+            response = err.encode();
+          } catch (const std::exception& e) {
+            stats.handler_errors.fetch_add(1, std::memory_order_relaxed);
+            VP_OBS_COUNT("net.server.handler_errors", 1);
+            ErrorResponse err;
+            err.code = ErrorResponse::kHandlerFailure;
+            err.message = e.what();
+            response = err.encode();
+          }
+        }
       }
       client.send_message(response);
       stats.responses.fetch_add(1, std::memory_order_relaxed);
@@ -318,6 +336,9 @@ void TcpListener::serve(const Handler& handler,
       std::unique_lock lock(mutex);
       cv.wait(lock, [&] { return active < options.max_connections; });
       ++active;
+      // Connections currently handed to workers (servicing or queued on
+      // the pool): the backlog signal behind admission decisions.
+      VP_OBS_GAUGE_SET("server.queue_depth", static_cast<double>(active));
     }
     // shared_ptr because std::function requires copyable captures.
     auto conn = std::make_shared<Socket>(std::move(*client));
@@ -330,6 +351,7 @@ void TcpListener::serve(const Handler& handler,
       // fully returned.
       std::lock_guard lock(mutex);
       --active;
+      VP_OBS_GAUGE_SET("server.queue_depth", static_cast<double>(active));
       cv.notify_all();
     });
   }

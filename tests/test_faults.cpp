@@ -209,6 +209,97 @@ TEST(Faults, BadRequestIsRetriedOnTheSameConnection) {
   EXPECT_EQ(client.stats().reconnects, 1u);
 }
 
+TEST(Faults, OverloadedRepliesAreRetriedWithBackoffOnTheSameConnection) {
+  // Scripted shedding server: the first two replies are structured
+  // kOverloaded, then the request is echoed — the shape of a server whose
+  // admission gate drains between a client's attempts.
+  std::atomic<int> calls{0};
+  EchoServer server([&](std::span<const std::uint8_t> req) -> Bytes {
+    if (calls.fetch_add(1) < 2) {
+      ErrorResponse err;
+      err.code = ErrorResponse::kOverloaded;
+      err.message = "busy";
+      return err.encode();
+    }
+    return Bytes(req.begin(), req.end());
+  });
+
+  RetryPolicy p;
+  p.max_attempts = 5;
+  p.backoff_ms = 25.0;
+  p.backoff_factor = 2.0;
+  p.max_backoff_ms = 1000.0;
+  p.jitter = 0.25;
+  p.io_timeout_ms = 2000;
+  p.connect_timeout_ms = 2000;
+  RetryingClient client("127.0.0.1", server.port(), p, /*seed=*/3);
+  std::vector<double> slept;
+  client.set_sleep_fn([&](double ms) { slept.push_back(ms); });
+
+  const Bytes payload{0x42, 0x43};
+  EXPECT_EQ(client.request(payload), payload);
+
+  EXPECT_EQ(client.stats().attempts, 3u);
+  EXPECT_EQ(client.stats().retries, 2u);
+  EXPECT_EQ(client.stats().overloaded, 2u);
+  EXPECT_EQ(client.stats().remote_errors, 2u);
+  // A shed reply was read in full off a healthy connection: the resends
+  // reuse the socket instead of reconnecting.
+  EXPECT_EQ(client.stats().reconnects, 1u);
+  // The backoff schedule was honored and grows: with jitter 0.25 the first
+  // delay lies in [18.75, 31.25] and the second in [37.5, 62.5] — disjoint
+  // ranges, so growth is strict, not probabilistic.
+  ASSERT_EQ(slept.size(), 2u);
+  EXPECT_GE(slept[0], 25.0 * 0.75);
+  EXPECT_LE(slept[0], 25.0 * 1.25);
+  EXPECT_GE(slept[1], 50.0 * 0.75);
+  EXPECT_LE(slept[1], 50.0 * 1.25);
+  EXPECT_GT(slept[1], slept[0]);
+}
+
+TEST(Faults, PersistentOverloadExhaustsAttemptsAndSurfacesTheCode) {
+  EchoServer server([](std::span<const std::uint8_t>) -> Bytes {
+    ErrorResponse err;
+    err.code = ErrorResponse::kOverloaded;
+    err.message = "always full";
+    return err.encode();
+  });
+  RetryingClient client("127.0.0.1", server.port(), fast_policy(3));
+  client.set_sleep_fn([](double) {});
+
+  try {
+    client.request(Bytes{0x01});
+    FAIL() << "expected RemoteError";
+  } catch (const RemoteError& e) {
+    // Exhaustion keeps the structured code so callers can distinguish "the
+    // server kept shedding me" from a transport failure.
+    EXPECT_EQ(e.code(), ErrorResponse::kOverloaded);
+  }
+  EXPECT_EQ(client.stats().attempts, 3u);
+  EXPECT_EQ(client.stats().overloaded, 3u);
+}
+
+TEST(Faults, OverloadRetryCanBeDisabledForMeasurementClients) {
+  EchoServer server([](std::span<const std::uint8_t>) -> Bytes {
+    ErrorResponse err;
+    err.code = ErrorResponse::kOverloaded;
+    err.message = "shed";
+    return err.encode();
+  });
+  RetryPolicy p = fast_policy(5);
+  p.retry_overloaded = false;  // a load generator counts sheds, not hides them
+  RetryingClient client("127.0.0.1", server.port(), p);
+
+  try {
+    client.request(Bytes{0x02});
+    FAIL() << "expected RemoteError";
+  } catch (const RemoteError& e) {
+    EXPECT_EQ(e.code(), ErrorResponse::kOverloaded);
+  }
+  EXPECT_EQ(client.stats().attempts, 1u);  // surfaced immediately
+  EXPECT_EQ(client.stats().overloaded, 1u);
+}
+
 TEST(Faults, StalledClientCannotWedgeAWorker) {
   ThreadPool pool(1);  // a single worker the stalled client could hog
   EchoServer server(
