@@ -1,0 +1,186 @@
+// Tiered shard residency: what does paging place shards cost?
+//
+// A server carrying thousands of places cannot keep every shard resident
+// (DESIGN.md §14). This bench quantifies the machinery on one axis at a
+// time, over a saved v4 database of equally-sized synthetic places:
+//
+//   - registration: `--lazy` startup (mmap + manifest scan, no payloads)
+//     vs eager load of the same file;
+//   - cold fault: first-query latency per place (segment checksum, bucket
+//     rebuild over the mmap'd descriptors, oracle inflate);
+//   - warm hit: the same lookup once resident (one atomic map load);
+//   - budget sweep: round-robin queries over all places under resident-
+//     byte budgets of 100/50/25% of the full working set — the 100% row
+//     never evicts (faults = places), the tighter rows churn, and the
+//     hit/miss/evict ledger quantifies the thrash.
+//
+// Queries here are direct fault_in probes: the bench isolates the paging
+// machinery, not retrieval or the solver (bench_map_scale covers those).
+//
+// Usage: bench_shard_residency [--scale=<f>] [--smoke]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/server.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace vp;
+
+std::vector<KeypointMapping> synthetic_mappings(Rng& rng, std::size_t n,
+                                                double base_x) {
+  std::vector<KeypointMapping> ms;
+  ms.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Feature f;
+    f.keypoint = {10.0f, 10.0f, 2.0f, 0.0f, 1.0f, 0};
+    for (auto& v : f.descriptor) {
+      v = static_cast<std::uint8_t>(rng.uniform_u64(80));
+    }
+    ms.push_back({f,
+                  {base_x + rng.uniform(0, 20), rng.uniform(0, 20),
+                   rng.uniform(0, 3)},
+                  static_cast<std::uint32_t>(i)});
+  }
+  return ms;
+}
+
+double median_ms(std::vector<double>& ms) {
+  std::sort(ms.begin(), ms.end());
+  return ms.empty() ? 0.0 : ms[ms.size() / 2];
+}
+
+std::string place_name(int p) { return "place-" + std::to_string(p); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vp::bench;
+  const double scale = parse_scale(argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  print_figure_header("shard residency",
+                      "mmap-backed cold shards, LRU resident budget");
+
+  const int places = smoke ? 6 : 12;
+  const auto kp_per_place = static_cast<std::size_t>(
+      std::lround((smoke ? 800 : 2000) * std::max(scale, 0.1)));
+  const int rounds = smoke ? 2 : 4;
+  std::printf("%d places x %zu keypoints, %d sweep rounds\n\n", places,
+              kp_per_place, rounds);
+
+  const std::string db_path =
+      (std::filesystem::temp_directory_path() / "vp_bench_residency.db")
+          .string();
+  {
+    ServerConfig cfg;
+    cfg.oracle.capacity = std::max<std::size_t>(50'000, 2 * kp_per_place);
+    cfg.place_label = place_name(0);
+    VisualPrintServer builder(cfg);
+    Rng rng(2016);
+    for (int p = 0; p < places; ++p) {
+      builder.ingest_wardrive(place_name(p),
+                              synthetic_mappings(rng, kp_per_place, 20.0 * p),
+                              &cfg);
+    }
+    builder.save(db_path);
+  }
+  const auto file_bytes =
+      static_cast<double>(std::filesystem::file_size(db_path));
+
+  // Eager load vs lazy registration of the same file.
+  Timer eager_timer;
+  double eager_ms = 0;
+  {
+    VisualPrintServer eager = VisualPrintServer::load(db_path);
+    eager_ms = eager_timer.millis();
+  }
+  DbLoadOptions lazy_opts;
+  lazy_opts.lazy = true;
+  Timer lazy_timer;
+  VisualPrintServer server = VisualPrintServer::load(db_path, lazy_opts);
+  const double lazy_ms = lazy_timer.millis();
+
+  // Cold faults (first touch per place), then warm hits.
+  std::vector<double> cold_ms, warm_ms;
+  for (int p = 0; p < places; ++p) {
+    Timer t;
+    if (server.store().fault_in(place_name(p)) == nullptr) return 1;
+    cold_ms.push_back(t.millis());
+  }
+  for (int p = 0; p < places; ++p) {
+    Timer t;
+    if (server.store().fault_in(place_name(p)) == nullptr) return 1;
+    warm_ms.push_back(t.millis());
+  }
+  const std::size_t full_bytes =
+      server.store().residency().stats().resident_bytes;
+
+  std::printf("file %.1f MB on disk, %.1f MB resident when fully loaded\n",
+              file_bytes / 1e6, static_cast<double>(full_bytes) / 1e6);
+  std::printf("eager load %8.2f ms | lazy registration %8.2f ms (%.0fx)\n",
+              eager_ms, lazy_ms, eager_ms / std::max(lazy_ms, 1e-6));
+  std::printf("cold fault %8.3f ms | warm hit %10.4f ms (medians)\n\n",
+              median_ms(cold_ms), median_ms(warm_ms));
+  std::printf("{\"bench\":\"shard_residency\",\"section\":\"load\","
+              "\"places\":%d,\"file_mb\":%.3f,\"resident_mb\":%.3f,"
+              "\"eager_ms\":%.3f,\"lazy_ms\":%.3f,"
+              "\"cold_fault_ms\":%.4f,\"warm_hit_ms\":%.5f}\n",
+              places, file_bytes / 1e6,
+              static_cast<double>(full_bytes) / 1e6, eager_ms, lazy_ms,
+              median_ms(cold_ms), median_ms(warm_ms));
+
+  // Budget sweep: round-robin over every place (the LRU-adversarial order)
+  // under shrinking budgets.
+  std::printf("\n%8s %12s %10s %8s %8s %8s %10s\n", "budget", "resident MB",
+              "fault ms", "hits", "misses", "evicts", "loads");
+  for (const double frac : {1.0, 0.5, 0.25}) {
+    const auto budget = static_cast<std::size_t>(
+        std::max(1.0, static_cast<double>(full_bytes) * frac));
+    DbLoadOptions opts = lazy_opts;
+    opts.resident_budget = budget;
+    VisualPrintServer swept = VisualPrintServer::load(db_path, opts);
+    std::vector<double> fault_ms;
+    for (int r = 0; r < rounds; ++r) {
+      for (int p = 0; p < places; ++p) {
+        Timer t;
+        if (swept.store().fault_in(place_name(p)) == nullptr) return 1;
+        fault_ms.push_back(t.millis());
+      }
+    }
+    const auto st = swept.store().residency().stats();
+    std::printf("%7.0f%% %12.1f %10.3f %8llu %8llu %8llu %10llu\n",
+                frac * 100, static_cast<double>(st.resident_bytes) / 1e6,
+                median_ms(fault_ms),
+                static_cast<unsigned long long>(st.hits),
+                static_cast<unsigned long long>(st.misses),
+                static_cast<unsigned long long>(st.evictions),
+                static_cast<unsigned long long>(st.loads));
+    std::printf("{\"bench\":\"shard_residency\",\"section\":\"sweep\","
+                "\"budget_frac\":%.2f,\"budget_mb\":%.3f,"
+                "\"resident_mb\":%.3f,\"median_fault_ms\":%.4f,"
+                "\"hits\":%llu,\"misses\":%llu,\"evictions\":%llu,"
+                "\"loads\":%llu}\n",
+                frac, static_cast<double>(budget) / 1e6,
+                static_cast<double>(st.resident_bytes) / 1e6,
+                median_ms(fault_ms),
+                static_cast<unsigned long long>(st.hits),
+                static_cast<unsigned long long>(st.misses),
+                static_cast<unsigned long long>(st.evictions),
+                static_cast<unsigned long long>(st.loads));
+  }
+
+  emit_metrics_jsonl("shard_residency");
+  std::filesystem::remove(db_path);
+  return 0;
+}

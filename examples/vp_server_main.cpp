@@ -31,8 +31,16 @@
 // blows out. Defaults to 4x the worker count; 0 disables the gate. Oracle
 // downloads and stats scrapes are never shed.
 //
+// `--lazy` registers every shard of every --db file cold (DESIGN.md §14):
+// the process mmaps the files and serves place metadata immediately; the
+// first query naming a place faults its shard in. `--resident-budget N`
+// (bytes, k/m/g suffixes accepted; implies --lazy) caps resident shard
+// bytes with LRU eviction, so a server carrying thousands of places runs
+// in a bounded memory envelope.
+//
 // Run:   ./vp_server [--port N] [--db FILE]... [--threads N] [--pq] [--once]
-//                    [--slow-log] [--max-inflight N]
+//                    [--slow-log] [--max-inflight N] [--lazy]
+//                    [--resident-budget BYTES]
 // Pair:  ./vp_client [--place ID] (in another terminal)
 #include <atomic>
 #include <cstdio>
@@ -84,6 +92,48 @@ vp::VisualPrintServer build_demo_database(const std::string& db_path,
   return server;
 }
 
+/// "1500000", "512k", "64m", "2g" -> bytes. Returns 0 on parse failure.
+std::size_t parse_byte_size(const char* arg) {
+  char* end = nullptr;
+  const double value = std::strtod(arg, &end);
+  if (end == arg || value < 0) return 0;
+  double scale = 1;
+  switch (*end) {
+    case 'k': case 'K': scale = 1024.0; break;
+    case 'm': case 'M': scale = 1024.0 * 1024.0; break;
+    case 'g': case 'G': scale = 1024.0 * 1024.0 * 1024.0; break;
+    default: break;
+  }
+  return static_cast<std::size_t>(value * scale);
+}
+
+const char* residency_state_name(vp::ShardResidencyManager::State s) {
+  using State = vp::ShardResidencyManager::State;
+  switch (s) {
+    case State::kCold: return "cold";
+    case State::kLoading: return "loading";
+    case State::kResident: return "resident";
+    case State::kPinned: return "pinned";
+  }
+  return "?";
+}
+
+/// Per-place residency table: resident shards with their measured bytes,
+/// cold shards with their manifest estimate. Printed at startup (what the
+/// process actually holds vs. merely catalogs) and at exit.
+void print_residency(const vp::VisualPrintServer& server) {
+  using namespace vp;
+  for (const auto& st : server.store().residency().statuses()) {
+    std::printf("place '%s': %s, %s %s, epoch %u, storage %s, loads %llu\n",
+                st.place.c_str(), residency_state_name(st.state),
+                Table::bytes_human(static_cast<double>(st.bytes)).c_str(),
+                st.state == ShardResidencyManager::State::kCold ? "on disk"
+                                                                : "resident",
+                st.epoch, st.storage.c_str(),
+                static_cast<unsigned long long>(st.loads));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -96,6 +146,8 @@ int main(int argc, char** argv) {
   bool slow_log = false;
   std::size_t max_inflight = 0;
   bool max_inflight_set = false;
+  bool lazy = false;
+  std::size_t resident_budget = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
@@ -112,13 +164,22 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--max-inflight") == 0 && i + 1 < argc) {
       max_inflight = static_cast<std::size_t>(std::atoll(argv[++i]));
       max_inflight_set = true;
+    } else if (std::strcmp(argv[i], "--lazy") == 0) {
+      lazy = true;  // register shards cold; first query faults them in
+    } else if (std::strcmp(argv[i], "--resident-budget") == 0 &&
+               i + 1 < argc) {
+      resident_budget = parse_byte_size(argv[++i]);
+      lazy = true;  // a budget only means something for managed shards
     }
   }
   if (db_paths.empty()) db_paths.push_back("vp_demo.db");
 
+  DbLoadOptions load_opts;
+  load_opts.lazy = lazy;
+  load_opts.resident_budget = resident_budget;
   VisualPrintServer server =
       std::filesystem::exists(db_paths[0])
-          ? VisualPrintServer::load(db_paths[0])
+          ? VisualPrintServer::load(db_paths[0], load_opts)
           : build_demo_database(db_paths[0], pq);
   for (std::size_t i = 1; i < db_paths.size(); ++i) {
     if (!std::filesystem::exists(db_paths[i])) {
@@ -126,16 +187,27 @@ int main(int argc, char** argv) {
                   db_paths[i].c_str());
       continue;
     }
-    server.load_shards(db_paths[i]);
+    server.load_shards(db_paths[i], load_opts);
     std::printf("merged shards from %s\n", db_paths[i].c_str());
   }
-  for (const auto& shard : server.store().snapshots()) {
-    std::printf(
-        "place '%s' (%s): %zu keypoints, epoch %u, oracle %s, storage %s\n",
-        shard->place.c_str(), shard->config.place_label.c_str(),
-        shard->stored.size(), shard->epoch,
-        Table::bytes_human(static_cast<double>(shard->oracle.byte_size())).c_str(),
-        shard->index.pq_ready() ? "pq" : "exact");
+  if (lazy) {
+    // Cold shards must not be faulted in just to print a banner: report
+    // from the residency manifests instead of materialized snapshots.
+    print_residency(server);
+    if (resident_budget != 0) {
+      std::printf("resident budget: %s (LRU eviction)\n",
+                  Table::bytes_human(static_cast<double>(resident_budget))
+                      .c_str());
+    }
+  } else {
+    for (const auto& shard : server.store().snapshots()) {
+      std::printf(
+          "place '%s' (%s): %zu keypoints, epoch %u, oracle %s, storage %s\n",
+          shard->place.c_str(), shard->config.place_label.c_str(),
+          shard->stored.size(), shard->epoch,
+          Table::bytes_human(static_cast<double>(shard->oracle.byte_size())).c_str(),
+          shard->index.pq_ready() ? "pq" : "exact");
+    }
   }
 
   TcpListener listener(port);
@@ -184,6 +256,25 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(server.admission().shed()),
       server.admission().peak_inflight(),
       server.admission().max_inflight());
+  {
+    const auto rs = server.store().residency().stats();
+    if (rs.registered > 0) {
+      std::printf(
+          "residency: %zu/%zu places resident (%s of %s budget), "
+          "%llu hits, %llu misses, %llu loads, %llu evictions\n",
+          rs.resident, rs.registered,
+          Table::bytes_human(static_cast<double>(rs.resident_bytes)).c_str(),
+          rs.budget_bytes == 0
+              ? "unlimited"
+              : Table::bytes_human(static_cast<double>(rs.budget_bytes))
+                    .c_str(),
+          static_cast<unsigned long long>(rs.hits),
+          static_cast<unsigned long long>(rs.misses),
+          static_cast<unsigned long long>(rs.loads),
+          static_cast<unsigned long long>(rs.evictions));
+      print_residency(server);
+    }
+  }
   if (slow_log) {
     std::printf("\nslow-query log (worst %zu of %llu):\n%s",
                 server.slow_log().capacity(),

@@ -2,8 +2,9 @@
 # Tier-1 verification: full build + test suite, then a ThreadSanitizer pass
 # over the threading-sensitive test binaries (test_util, test_obs,
 # test_features, test_net, test_tcp, test_faults, test_load, test_index)
-# plus the MapStore ingest-while-serving soak from test_core and the
-# pool-parallel differential-evolution suite from test_geometry.
+# plus the MapStore ingest-while-serving soak from test_core, the
+# pool-parallel differential-evolution suite from test_geometry, and the
+# shard-residency fault/evict churn soak from test_residency.
 #
 # Usage: scripts/tier1.sh [build-dir] [tsan-build-dir]
 set -euo pipefail
@@ -20,7 +21,7 @@ ctest --test-dir "$build_dir" --output-on-failure -j
 echo "== tier-1: ThreadSanitizer pass (threaded + network suites) =="
 # Benchmarks/examples are irrelevant to the TSan pass; skip them for speed.
 tsan_targets=(test_util test_obs test_features test_net test_tcp test_faults
-              test_load test_index test_core test_geometry)
+              test_load test_index test_core test_geometry test_residency)
 cmake -B "$tsan_dir" -S "$repo_root" \
   -DVP_SANITIZE=thread \
   -DVP_BUILD_BENCHMARKS=OFF \
@@ -36,6 +37,12 @@ for t in "${tsan_targets[@]}"; do
     # Only the DE suite: its pool-size bit-identity test runs the chunked
     # objective evaluation across 1/4/16 workers.
     "$tsan_dir/tests/$t" --gtest_filter='DifferentialEvolution*'
+  elif [ "$t" = test_residency ]; then
+    # The threaded residency suites: single-flight cold faults and the
+    # fault/evict churn soak (queries racing eviction + unmap). The format
+    # fuzz tests are single-threaded and slow under TSan.
+    "$tsan_dir/tests/$t" \
+      --gtest_filter='Residency.SingleFlight*:Residency.Concurrent*:Residency.QueryRacing*'
   else
     "$tsan_dir/tests/$t"
   fi

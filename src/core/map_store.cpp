@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <optional>
+#include <thread>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace vp {
 
@@ -112,19 +114,32 @@ void ingest_into(PlaceShard& shard, const Feature& feature,
   ++shard.oracle_version;
 }
 
+/// What one resident shard costs against the LRU byte budget: index
+/// (descriptors + bucket maps + PQ payload; borrowed mmap spans count at
+/// face value — the budget bounds address space, not just heap), oracle
+/// tables, and the stored-keypoint array.
+std::size_t shard_resident_bytes(const PlaceShard& shard) {
+  return shard.index.byte_size() + shard.oracle.byte_size() +
+         shard.stored.capacity() * sizeof(StoredKeypoint);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
 // MapStore
 
-MapStore::MapStore(ServerConfig default_config)
+MapStore::MapStore(ServerConfig default_config, bool eager_default_builder)
     : default_config_(std::move(default_config)),
       default_place_(default_config_.place_label),
-      state_(std::make_shared<const ShardMap>()) {
+      state_(std::make_shared<const ShardMap>()),
+      residency_(std::make_unique<ShardResidencyManager>()) {
   // The default place always exists: the monolithic-server API (ingest
-  // with no place, oracle()/index() accessors) reads and writes it.
-  std::lock_guard lock(write_mutex_);
-  builder_locked(default_place_, &default_config_);
+  // with no place, oracle()/index() accessors) reads and writes it. The
+  // lazy load path defers it (see header) — registration replaces it.
+  if (eager_default_builder) {
+    std::lock_guard lock(write_mutex_);
+    builder_locked(default_place_, &default_config_);
+  }
 }
 
 MapStore::Builder& MapStore::builder_locked(const std::string& place,
@@ -143,6 +158,7 @@ MapStore::Builder& MapStore::builder_locked(const std::string& place,
 void MapStore::ingest(const std::string& place, const Feature& feature,
                       Vec3 world_position, std::int32_t scene_id,
                       std::uint32_t source_id) {
+  prepare_write(place);
   std::lock_guard lock(write_mutex_);
   Builder& b = builder_locked(place, nullptr);
   ingest_into(*b.shard, feature, world_position, scene_id, source_id);
@@ -153,6 +169,7 @@ void MapStore::ingest(const std::string& place, const Feature& feature,
 void MapStore::ingest_wardrive(const std::string& place,
                                std::span<const KeypointMapping> mappings,
                                const ServerConfig* config) {
+  prepare_write(place);
   std::lock_guard lock(write_mutex_);
   Builder& b = builder_locked(place, config);
   for (const auto& m : mappings) {
@@ -163,6 +180,7 @@ void MapStore::ingest_wardrive(const std::string& place,
 }
 
 void MapStore::publish(const std::string& place) {
+  prepare_write(place);
   std::lock_guard lock(write_mutex_);
   Builder& b = builder_locked(place, nullptr);
   publish_locked(place, b);
@@ -205,6 +223,9 @@ void MapStore::restore_shard(std::unique_ptr<PlaceShard> shard) {
   VP_ASSERT(shard != nullptr);
   std::lock_guard lock(write_mutex_);
   const std::string place = shard->place;
+  // An eagerly-restored shard supersedes any cold registration: the
+  // manager must not later fault a stale disk copy over it.
+  residency_->forget(place);
   auto published = std::make_shared<const PlaceShard>(*shard);
   builders_[place] = Builder{std::move(shard), false};
   auto next = std::make_shared<ShardMap>(*state());
@@ -214,6 +235,151 @@ void MapStore::restore_shard(std::unique_ptr<PlaceShard> shard) {
                std::memory_order_release);
   swap_count_.fetch_add(1, std::memory_order_relaxed);
   VP_OBS_GAUGE_SET("store.shards", static_cast<double>(shards));
+}
+
+void MapStore::register_cold_shard(ShardResidencyManager::Manifest manifest) {
+  std::lock_guard lock(write_mutex_);
+  const std::string& place = manifest.place;
+  // Replace semantics (mirrors restore_shard): drop the place's builder
+  // and published snapshot so the first fault loads the file's version.
+  // The default place always carries an empty builder from construction;
+  // dropping it here is what arms lazy loading for it.
+  if (builders_.erase(place) != 0) {
+    bool dirty = false;
+    for (const auto& [_, b] : builders_) dirty |= b.dirty;
+    any_dirty_.store(dirty, std::memory_order_release);
+  }
+  if (state()->find(place) != state()->end()) {
+    auto next = std::make_shared<ShardMap>(*state());
+    next->erase(place);
+    state_.store(std::shared_ptr<const ShardMap>(std::move(next)),
+                 std::memory_order_release);
+    swap_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  residency_->register_cold(std::move(manifest));
+  VP_OBS_GAUGE_SET(
+      "store.resident_bytes",
+      static_cast<double>(residency_->stats().resident_bytes));
+}
+
+std::shared_ptr<const PlaceShard> MapStore::fault_in(
+    const std::string& place) const {
+  flush();
+  for (;;) {
+    {
+      const auto map = state();
+      const auto it = map->find(place);
+      if (it != map->end()) {
+        if (residency_->registered(place)) {
+          residency_->touch(place);
+          VP_OBS_COUNT("store.lru.hits", 1);
+        }
+        return it->second;
+      }
+    }
+    switch (residency_->begin_fault(place)) {
+      case ShardResidencyManager::Fault::kNotManaged:
+        return nullptr;
+      case ShardResidencyManager::Fault::kResident: {
+        // Another thread finished the load (or we raced an install).
+        // Usually the map now has it; an immediate eviction loops us back
+        // into a fresh fault. A spurious cv wakeup can land in the tiny
+        // window between finish_load and the installer's map store —
+        // yield instead of hammering the manager mutex.
+        const auto map = state();
+        const auto it = map->find(place);
+        if (it != map->end()) return it->second;
+        std::this_thread::yield();
+        continue;
+      }
+      case ShardResidencyManager::Fault::kMustLoad:
+        break;
+    }
+    // This thread won the single-flight race: run the loader with no
+    // locks held, then install under the writer mutex. Waiters wake in
+    // finish_load/abort_load.
+    VP_OBS_COUNT("store.lru.misses", 1);
+    auto loader = residency_->loader(place);
+    std::unique_ptr<PlaceShard> loaded;
+    Timer timer;
+    try {
+      loaded = loader();
+      VP_ASSERT(loaded != nullptr && loaded->place == place);
+    } catch (...) {
+      residency_->abort_load(place);
+      throw;
+    }
+    VP_OBS_OBSERVE("store.reload_latency", timer.millis());
+    return install_loaded(place, std::move(loaded));
+  }
+}
+
+std::shared_ptr<const PlaceShard> MapStore::install_loaded(
+    const std::string& place, std::unique_ptr<PlaceShard> loaded) const {
+  auto* self = const_cast<MapStore*>(this);
+  std::lock_guard lock(self->write_mutex_);
+  std::shared_ptr<const PlaceShard> published(std::move(loaded));
+  const std::size_t bytes = shard_resident_bytes(*published);
+  auto next = std::make_shared<ShardMap>(*state());
+  (*next)[place] = published;
+  const auto victims = self->residency_->finish_load(place, bytes);
+  for (const auto& victim : victims) next->erase(victim);
+  const std::size_t shards = next->size();
+  self->state_.store(std::shared_ptr<const ShardMap>(std::move(next)),
+                     std::memory_order_release);
+  // Wake single-flight waiters only now that the map store is visible:
+  // they re-read the map on wakeup and must find the shard there.
+  self->residency_->notify_waiters();
+  self->swap_count_.fetch_add(1, std::memory_order_relaxed);
+  VP_OBS_COUNT("store.swaps", 1);
+  if (!victims.empty()) {
+    VP_OBS_COUNT("store.lru.evictions",
+                 static_cast<std::uint64_t>(victims.size()));
+  }
+  VP_OBS_GAUGE_SET("store.shards", static_cast<double>(shards));
+  VP_OBS_GAUGE_SET(
+      "store.resident_bytes",
+      static_cast<double>(residency_->stats().resident_bytes));
+  return published;
+}
+
+void MapStore::set_resident_budget(std::size_t bytes) {
+  std::lock_guard lock(write_mutex_);
+  const auto victims = residency_->set_budget(bytes);
+  if (!victims.empty()) {
+    auto next = std::make_shared<ShardMap>(*state());
+    for (const auto& victim : victims) next->erase(victim);
+    state_.store(std::shared_ptr<const ShardMap>(std::move(next)),
+                 std::memory_order_release);
+    swap_count_.fetch_add(1, std::memory_order_relaxed);
+    VP_OBS_COUNT("store.lru.evictions",
+                 static_cast<std::uint64_t>(victims.size()));
+  }
+  VP_OBS_GAUGE_SET(
+      "store.resident_bytes",
+      static_cast<double>(residency_->stats().resident_bytes));
+}
+
+void MapStore::prepare_write(const std::string& place) {
+  if (!residency_->registered(place)) return;
+  for (;;) {
+    const auto shard = fault_in(place);
+    if (shard == nullptr) return;  // registration dropped concurrently
+    residency_->pin(place);
+    if (residency_->state(place) != ShardResidencyManager::State::kPinned) {
+      continue;  // evicted between fault and pin; refault and retry
+    }
+    // Seed the builder from the resident snapshot so the write extends
+    // the loaded state instead of an empty shard. Reloads of the same
+    // file are bit-identical, so it does not matter which load's snapshot
+    // seeds it.
+    std::lock_guard lock(write_mutex_);
+    if (builders_.find(place) == builders_.end()) {
+      builders_.emplace(place,
+                        Builder{std::make_unique<PlaceShard>(*shard), false});
+    }
+    return;
+  }
 }
 
 void MapStore::flush() const {
@@ -237,10 +403,18 @@ std::shared_ptr<const PlaceShard> MapStore::snapshot(
 
 std::vector<std::shared_ptr<const PlaceShard>> MapStore::snapshots() const {
   flush();
-  const auto map = state();
+  // Capture each place's shard individually through fault_in: the
+  // returned shared_ptrs pin shards that a tight budget evicts while
+  // later places load, so the caller still gets the complete set.
+  std::map<std::string, std::shared_ptr<const PlaceShard>, std::less<>> all;
+  for (const auto& [place, shard] : *state()) all.emplace(place, shard);
+  for (const auto& st : residency_->statuses()) {
+    if (all.find(st.place) != all.end()) continue;
+    if (auto shard = fault_in(st.place)) all.emplace(st.place, shard);
+  }
   std::vector<std::shared_ptr<const PlaceShard>> out;
-  out.reserve(map->size());
-  for (const auto& [_, shard] : *map) out.push_back(shard);
+  out.reserve(all.size());
+  for (auto& [_, shard] : all) out.push_back(std::move(shard));
   return out;
 }
 
@@ -255,14 +429,17 @@ LocationResponse MapStore::localize(const FingerprintQuery& query,
 
   ThreadPool* pool = default_config_.pool;
   if (!query.place.empty()) {
-    const auto it = map->find(query.place);
-    if (it == map->end()) {
+    // fault_in loads a registered-but-cold shard on first query (single-
+    // flight) and refreshes LRU recency on hits; unmanaged places are a
+    // plain map lookup.
+    const auto shard = fault_in(query.place);
+    if (shard == nullptr) {
       // Unknown place is an expected client condition (wrong venue id,
       // venue not yet wardriven) — a structured no-fix, never a throw.
       VP_OBS_COUNT("store.unknown_place", 1);
       return miss;
     }
-    return it->second->localize(query, rng, pool);
+    return shard->localize(query, rng, pool);
   }
 
   if (map->empty()) return miss;
@@ -314,7 +491,8 @@ LocationResponse MapStore::localize(const FingerprintQuery& query,
 
 OracleDownload MapStore::oracle_snapshot(const std::string& place) const {
   const std::string& id = place.empty() ? default_place_ : place;
-  const auto shard = snapshot(id);
+  // A client download is a first-class read: fault the shard in if cold.
+  const auto shard = fault_in(id);
   VP_REQUIRE(shard != nullptr, "oracle snapshot of unknown place: " + id);
   return OracleDownload::pack(shard->oracle, shard->epoch, shard->place);
 }
@@ -324,10 +502,7 @@ void MapStore::set_pool(ThreadPool* pool) {
   default_config_.pool = pool;
 }
 
-std::size_t MapStore::place_count() const {
-  flush();
-  return state()->size();
-}
+std::size_t MapStore::place_count() const { return places().size(); }
 
 std::vector<std::string> MapStore::places() const {
   flush();
@@ -335,27 +510,45 @@ std::vector<std::string> MapStore::places() const {
   std::vector<std::string> out;
   out.reserve(map->size());
   for (const auto& [place, _] : *map) out.push_back(place);
+  // Registered-but-cold places are part of the catalog too (resident ones
+  // are already in the map).
+  for (const auto& st : residency_->statuses()) {
+    if (map->find(st.place) == map->end()) out.push_back(st.place);
+  }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 std::uint32_t MapStore::epoch(const std::string& place) const {
-  const auto shard = snapshot(place.empty() ? default_place_ : place);
-  return shard ? shard->epoch : 0;
+  const std::string& id = place.empty() ? default_place_ : place;
+  const auto shard = snapshot(id);
+  if (shard) return shard->epoch;
+  // Cold registered shards answer from the manifest — metadata reads must
+  // not page a shard in.
+  return residency_->manifest_epoch(id);
 }
 
 std::string_view MapStore::storage_mode(const std::string& place) const {
-  const auto shard = snapshot(place.empty() ? default_place_ : place);
-  if (!shard) return {};
-  return shard->index.pq_ready() ? "pq" : "exact";
+  const std::string& id = place.empty() ? default_place_ : place;
+  const auto shard = snapshot(id);
+  if (shard) return shard->index.pq_ready() ? "pq" : "exact";
+  // Manifest answer for cold shards, pinned to static storage so the
+  // string_view cannot dangle.
+  const std::string mode = residency_->manifest_storage(id);
+  if (mode == "pq") return "pq";
+  if (mode == "exact") return "exact";
+  return {};
 }
 
 PlaceShard& MapStore::builder_shard(const std::string& place) {
+  prepare_write(place);
   std::lock_guard lock(write_mutex_);
   return *builder_locked(place, nullptr).shard;
 }
 
 const PlaceShard& MapStore::builder_shard(const std::string& place) const {
   auto* self = const_cast<MapStore*>(this);
+  self->prepare_write(place);
   std::lock_guard lock(self->write_mutex_);
   return *self->builder_locked(place, nullptr).shard;
 }

@@ -32,6 +32,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/residency.hpp"
 #include "geometry/clustering.hpp"
 #include "geometry/localize.hpp"
 #include "hashing/oracle.hpp"
@@ -110,7 +111,14 @@ struct PlaceShard {
 ///     the original monolithic server's accessors.
 class MapStore {
  public:
-  explicit MapStore(ServerConfig default_config);
+  /// `eager_default_builder` (the default) creates the default place's
+  /// builder — and its full-capacity oracle — at construction, so the
+  /// monolithic-server accessors work immediately. The lazy database
+  /// load path passes false: its registration replaces the builder
+  /// anyway, and a large oracle allocation would defeat the near-zero
+  /// registration cost that lazy loading promises.
+  explicit MapStore(ServerConfig default_config,
+                    bool eager_default_builder = true);
 
   /// The place id writes and reads use when none is given: the default
   /// config's place_label.
@@ -138,20 +146,52 @@ class MapStore {
 
   /// Install a fully-built shard (persistence load path): builder and
   /// published snapshot are set to exactly this state, epoch preserved.
+  /// A residency registration for the place (if any) is dropped — the
+  /// eager shard replaces the managed one.
   void restore_shard(std::unique_ptr<PlaceShard> shard);
+
+  // --- tiered residency (core/residency.hpp) ----------------------------
+
+  /// Register a shard cold: known to the store (places(), epoch(),
+  /// storage_mode() answer from the manifest) but not loaded until the
+  /// first query faults it in. Replaces any previous registration,
+  /// published snapshot, or stateless builder for the place.
+  void register_cold_shard(ShardResidencyManager::Manifest manifest);
+
+  /// Snapshot of `place`, faulting it in if registered but cold (single-
+  /// flight: concurrent callers run one loader). nullptr for places that
+  /// are neither published nor registered. The returned shared_ptr pins
+  /// the shard even if the budget evicts it immediately after.
+  std::shared_ptr<const PlaceShard> fault_in(const std::string& place) const;
+
+  /// LRU resident-byte budget for registered shards; 0 = unlimited.
+  /// Shrinking below current residency evicts immediately (under the
+  /// usual snapshot discipline: in-flight queries keep their shard).
+  void set_resident_budget(std::size_t bytes);
+
+  ShardResidencyManager& residency() noexcept { return *residency_; }
+  const ShardResidencyManager& residency() const noexcept {
+    return *residency_;
+  }
 
   // --- reader API (lock-free once pending writes are flushed) -----------
 
-  /// Current immutable snapshot of one place; nullptr when unknown.
+  /// Current immutable snapshot of one place; nullptr when unknown OR
+  /// registered but cold (metadata readers must not fault shards in —
+  /// use fault_in for that).
   std::shared_ptr<const PlaceShard> snapshot(const std::string& place) const;
 
   /// Current immutable snapshots of every place, in place-name order.
+  /// Faults every registered cold shard in (persistence needs complete
+  /// data); each returned shared_ptr pins its shard against eviction.
   std::vector<std::shared_ptr<const PlaceShard>> snapshots() const;
 
-  /// Answer a localization query. A named place routes to that shard
-  /// (unknown place → structured no-fix response, never a throw); an empty
-  /// place fans out across all shards — on the borrowed pool when
-  /// configured — and returns the best-scoring place's answer.
+  /// Answer a localization query. A named place routes to that shard,
+  /// faulting it in if registered but cold (unknown place → structured
+  /// no-fix response, never a throw); an empty place fans out across the
+  /// *resident* shards — on the borrowed pool when configured — and
+  /// returns the best-scoring place's answer. Cold shards never join the
+  /// fan-out: one anonymous query must not page the whole tier in.
   LocationResponse localize(const FingerprintQuery& query, Rng& rng) const;
 
   /// Epoch'd oracle snapshot for client download. Empty `place` means the
@@ -165,13 +205,17 @@ class MapStore {
   /// query path.
   void set_pool(ThreadPool* pool);
 
+  /// Place counts/ids include registered-but-cold shards: a place does
+  /// not disappear from the catalog just because it was evicted.
   std::size_t place_count() const;
   std::vector<std::string> places() const;
-  /// Published epoch of a place (0 when unknown/never published).
+  /// Published epoch of a place (0 when unknown/never published). Cold
+  /// registered places answer from the manifest without faulting.
   std::uint32_t epoch(const std::string& place) const;
   /// Descriptor storage mode of a place's published shard: "pq" when its
   /// index answers queries through the coarse ADC scan, "exact" otherwise,
   /// empty for an unknown place. Empty `place` means the default place.
+  /// Cold registered places answer from the manifest without faulting.
   std::string_view storage_mode(const std::string& place) const;
   /// Total atomic shard-map swaps since construction.
   std::uint64_t swap_count() const noexcept {
@@ -206,6 +250,19 @@ class MapStore {
     return state_.load(std::memory_order_acquire);
   }
 
+  /// Write-path prologue for residency-managed places: fault the shard in,
+  /// pin it (a written shard diverges from its backing file and must never
+  /// be evicted), and seed its builder from the resident snapshot. MUST be
+  /// called before taking write_mutex_ — the fault may block on another
+  /// thread's load, whose install needs that mutex (lock order is always
+  /// write_mutex_ -> manager mutex, and waits happen under neither).
+  void prepare_write(const std::string& place);
+
+  /// Publish a freshly-loaded shard into the snapshot map and apply any
+  /// budget evictions the manager orders (one atomic swap for both).
+  std::shared_ptr<const PlaceShard> install_loaded(
+      const std::string& place, std::unique_ptr<PlaceShard> loaded) const;
+
   ServerConfig default_config_;
   std::string default_place_;
 
@@ -215,6 +272,11 @@ class MapStore {
 
   std::atomic<std::shared_ptr<const ShardMap>> state_;
   std::atomic<std::uint64_t> swap_count_{0};
+
+  // Residency policy + accounting for lazily-registered shards. Behind a
+  // unique_ptr (shallow const) so const read paths can fault shards in;
+  // the manager is internally synchronized.
+  std::unique_ptr<ShardResidencyManager> residency_;
 };
 
 }  // namespace vp

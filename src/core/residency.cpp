@@ -1,0 +1,230 @@
+#include "core/residency.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace vp {
+
+std::vector<std::string> ShardResidencyManager::set_budget(std::size_t bytes) {
+  std::lock_guard lock(mu_);
+  budget_ = bytes;
+  return plan_evictions_locked(/*keep=*/{});
+}
+
+std::size_t ShardResidencyManager::budget() const {
+  std::lock_guard lock(mu_);
+  return budget_;
+}
+
+void ShardResidencyManager::register_cold(Manifest manifest) {
+  VP_REQUIRE(!manifest.place.empty(), "residency: empty place id");
+  VP_REQUIRE(manifest.loader != nullptr, "residency: null loader");
+  std::lock_guard lock(mu_);
+  auto& e = entries_[manifest.place];
+  if (e.state == State::kResident || e.state == State::kPinned) {
+    resident_bytes_ -= e.bytes;
+  }
+  e = Entry{};
+  e.manifest = std::move(manifest);
+}
+
+void ShardResidencyManager::forget(const std::string& place) {
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(place);
+  if (it == entries_.end()) return;
+  if (it->second.state == State::kResident ||
+      it->second.state == State::kPinned) {
+    resident_bytes_ -= it->second.bytes;
+  }
+  entries_.erase(it);
+}
+
+bool ShardResidencyManager::registered(const std::string& place) const {
+  std::lock_guard lock(mu_);
+  return entries_.find(place) != entries_.end();
+}
+
+ShardResidencyManager::Fault ShardResidencyManager::begin_fault(
+    const std::string& place) {
+  std::unique_lock lock(mu_);
+  // Each begin_fault counts exactly one hit or miss: a waiter that piles
+  // onto an in-flight load missed, even though it returns kResident.
+  bool counted_miss = false;
+  for (;;) {
+    // Re-find after every wait: forget() may erase entries while we sleep,
+    // so a held iterator would dangle.
+    auto it = entries_.find(place);
+    if (it == entries_.end()) return Fault::kNotManaged;
+    switch (it->second.state) {
+      case State::kResident:
+      case State::kPinned:
+        it->second.last_touch = ++clock_;
+        if (!counted_miss) ++hits_;
+        return Fault::kResident;
+      case State::kCold:
+        it->second.state = State::kLoading;
+        if (!counted_miss) ++misses_;
+        return Fault::kMustLoad;
+      case State::kLoading:
+        if (!counted_miss) {
+          ++misses_;
+          counted_miss = true;
+        }
+        cv_.wait(lock);
+        // Loop: the load may have aborted (back to kCold — we take over)
+        // or succeeded (kResident).
+        break;
+    }
+  }
+}
+
+ShardResidencyManager::Loader ShardResidencyManager::loader(
+    const std::string& place) const {
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(place);
+  VP_REQUIRE(it != entries_.end(), "residency: loader for unknown place");
+  return it->second.manifest.loader;
+}
+
+std::vector<std::string> ShardResidencyManager::finish_load(
+    const std::string& place, std::size_t bytes) {
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(place);
+  VP_ASSERT(it != entries_.end());
+  Entry& e = it->second;
+  VP_ASSERT(e.state == State::kLoading);
+  e.state = State::kResident;
+  e.bytes = bytes;
+  e.last_touch = ++clock_;
+  e.loads += 1;
+  loads_ += 1;
+  resident_bytes_ += bytes;
+  // No notify here: waiters woken now would observe kResident before the
+  // caller publishes the shard map and spin on the gap. The caller wakes
+  // them with notify_waiters() once the map store is visible.
+  return plan_evictions_locked(/*keep=*/place);
+}
+
+void ShardResidencyManager::notify_waiters() noexcept { cv_.notify_all(); }
+
+void ShardResidencyManager::abort_load(const std::string& place) noexcept {
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(place);
+  if (it == entries_.end()) return;
+  if (it->second.state == State::kLoading) it->second.state = State::kCold;
+  cv_.notify_all();
+}
+
+void ShardResidencyManager::touch(const std::string& place) {
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(place);
+  if (it == entries_.end()) return;
+  it->second.last_touch = ++clock_;
+  ++hits_;
+}
+
+void ShardResidencyManager::pin(const std::string& place) {
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(place);
+  if (it == entries_.end()) return;
+  if (it->second.state == State::kResident) it->second.state = State::kPinned;
+}
+
+std::uint32_t ShardResidencyManager::manifest_epoch(
+    const std::string& place) const {
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(place);
+  return it == entries_.end() ? 0 : it->second.manifest.epoch;
+}
+
+std::string ShardResidencyManager::manifest_storage(
+    const std::string& place) const {
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(place);
+  return it == entries_.end() ? std::string{} : it->second.manifest.storage;
+}
+
+std::size_t ShardResidencyManager::manifest_bytes(
+    const std::string& place) const {
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(place);
+  return it == entries_.end() ? 0 : it->second.manifest.bytes;
+}
+
+ShardResidencyManager::State ShardResidencyManager::state(
+    const std::string& place) const {
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(place);
+  return it == entries_.end() ? State::kCold : it->second.state;
+}
+
+ShardResidencyManager::Stats ShardResidencyManager::stats() const {
+  std::lock_guard lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.loads = loads_;
+  s.resident_bytes = resident_bytes_;
+  s.budget_bytes = budget_;
+  s.registered = entries_.size();
+  for (const auto& [place, e] : entries_) {
+    if (e.state == State::kResident || e.state == State::kPinned) ++s.resident;
+  }
+  return s;
+}
+
+std::vector<ShardResidencyManager::PlaceStatus>
+ShardResidencyManager::statuses() const {
+  std::lock_guard lock(mu_);
+  std::vector<PlaceStatus> out;
+  out.reserve(entries_.size());
+  for (const auto& [place, e] : entries_) {
+    PlaceStatus st;
+    st.place = place;
+    st.state = e.state;
+    st.bytes = (e.state == State::kResident || e.state == State::kPinned)
+                   ? e.bytes
+                   : e.manifest.bytes;
+    st.epoch = e.manifest.epoch;
+    st.storage = e.manifest.storage;
+    st.loads = e.loads;
+    out.push_back(std::move(st));
+  }
+  return out;
+}
+
+std::vector<std::string> ShardResidencyManager::plan_evictions_locked(
+    const std::string& keep) {
+  std::vector<std::string> victims;
+  if (budget_ == 0) return victims;
+  // LRU scan: repeatedly drop the stalest evictable entry. Pinned shards
+  // diverged from disk and the `keep` place was just installed on behalf
+  // of a waiting query — evicting either would be incorrect or would
+  // thrash the fault that triggered this pass.
+  while (resident_bytes_ > budget_) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.state != State::kResident) continue;
+      if (it->first == keep) continue;
+      if (victim == entries_.end() ||
+          it->second.last_touch < victim->second.last_touch) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) break;  // nothing evictable; over budget
+    make_cold_locked(victim->second);
+    ++evictions_;
+    victims.push_back(victim->first);
+  }
+  return victims;
+}
+
+void ShardResidencyManager::make_cold_locked(Entry& e) {
+  resident_bytes_ -= e.bytes;
+  e.bytes = 0;
+  e.state = State::kCold;
+}
+
+}  // namespace vp

@@ -28,7 +28,12 @@ struct InflightGuard {
 }  // namespace
 
 VisualPrintServer::VisualPrintServer(ServerConfig config)
-    : store_(std::make_unique<MapStore>(std::move(config))),
+    : VisualPrintServer(std::move(config), /*eager_default_builder=*/true) {}
+
+VisualPrintServer::VisualPrintServer(ServerConfig config,
+                                     bool eager_default_builder)
+    : store_(std::make_unique<MapStore>(std::move(config),
+                                        eager_default_builder)),
       runtime_(std::make_unique<ServerRuntime>()) {
   // Self-describing build gauges (direct registry calls, not macros: they
   // must appear in scrapes of a VP_OBS=OFF binary too — that a scrape

@@ -40,6 +40,17 @@ struct ServerRuntime {
       std::chrono::steady_clock::now();
 };
 
+/// How load()/load_shards() bring a database file into the store.
+struct DbLoadOptions {
+  /// Register every shard cold (mmap'd manifest only) instead of loading
+  /// it; the first query naming a place faults it in. See
+  /// core/residency.hpp.
+  bool lazy = false;
+  /// LRU resident-byte budget for lazily-registered shards; 0 (default)
+  /// keeps everything resident once faulted.
+  std::size_t resident_budget = 0;
+};
+
 class VisualPrintServer {
  public:
   explicit VisualPrintServer(ServerConfig config);
@@ -141,18 +152,29 @@ class VisualPrintServer {
   /// descriptors, so the file stays an order of magnitude smaller than
   /// resident memory.
   void save(const std::string& path) const;
-  static VisualPrintServer load(const std::string& path);
+  /// Restore a saved database. Default options load every shard eagerly
+  /// (v4 files borrow their bulk segments from the mmap'd file);
+  /// opts.lazy registers shards cold for first-query fault-in under
+  /// opts.resident_budget.
+  static VisualPrintServer load(const std::string& path,
+                                const DbLoadOptions& opts = {});
 
   /// Merge every shard of another database file into this server
   /// (repeatable `--db`). A place already present is replaced by the
-  /// file's version of it.
-  void load_shards(const std::string& path);
+  /// file's version of it. opts.lazy registers the file's shards cold
+  /// instead of loading them.
+  void load_shards(const std::string& path, const DbLoadOptions& opts = {});
 
   /// In-memory equivalents of save/load (used by tests and by save/load).
   Bytes serialize() const;
   static VisualPrintServer deserialize(std::span<const std::uint8_t> data);
 
  private:
+  /// Lazy-load constructor: skips the default place's builder (and its
+  /// full-capacity oracle allocation) because the caller is about to
+  /// register the database's shards cold, replacing it anyway.
+  VisualPrintServer(ServerConfig config, bool eager_default_builder);
+
   const PlaceShard& default_builder() const;
 
   /// The 'Q' branch of handle_request: runs decode + localize under a

@@ -233,4 +233,10 @@ Bytes zlib_decompress(std::span<const std::uint8_t> data) {
   return out;
 }
 
+std::uint32_t crc32_of(std::span<const std::uint8_t> data) noexcept {
+  return static_cast<std::uint32_t>(
+      ::crc32(0L, data.empty() ? Z_NULL : data.data(),
+              static_cast<uInt>(data.size())));
+}
+
 }  // namespace vp

@@ -30,4 +30,9 @@ Bytes zlib_compress(std::span<const std::uint8_t> data, int level = 9);
 /// Inverse of zlib_compress. Throws DecodeError on corrupt input.
 Bytes zlib_decompress(std::span<const std::uint8_t> data);
 
+/// CRC-32 (zlib polynomial) of a byte span; 0 for an empty span. Used to
+/// checksum the uncompressed v4 database segments, which bypass zlib's
+/// own integrity check precisely because they are stored raw for mmap.
+std::uint32_t crc32_of(std::span<const std::uint8_t> data) noexcept;
+
 }  // namespace vp

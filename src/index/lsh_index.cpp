@@ -60,6 +60,7 @@ void LshIndex::reserve(std::size_t n) {
 
 std::uint32_t LshIndex::insert(const Descriptor& descriptor) {
   VP_REQUIRE(size_ < UINT32_MAX, "index full");
+  if (borrows_storage()) materialize();  // copy-on-write for mmap'd shards
   const auto id = static_cast<std::uint32_t>(size_);
   flat_.insert(flat_.end(), descriptor.begin(), descriptor.end());
   ++size_;
@@ -77,19 +78,61 @@ std::uint32_t LshIndex::insert(const Descriptor& descriptor) {
   return id;
 }
 
+void LshIndex::materialize() {
+  if (!borrowed_flat_.empty()) {
+    flat_.assign(borrowed_flat_.begin(), borrowed_flat_.end());
+    borrowed_flat_ = {};
+  }
+  if (!borrowed_codes_.empty()) {
+    codes_.assign(borrowed_codes_.begin(), borrowed_codes_.end());
+    borrowed_codes_ = {};
+  }
+  keepalive_.reset();
+}
+
+void LshIndex::index_descriptor(std::uint32_t id) {
+  Descriptor d;
+  std::copy_n(descriptor_ptr(id), kDescriptorDims, d.begin());
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    tables_[t][bucket_key(lsh_.bucket(d, t), t)].push_back(id);
+  }
+}
+
+void LshIndex::bulk_load(std::span<const std::uint8_t> descriptors,
+                         std::size_t count,
+                         std::shared_ptr<const void> keepalive) {
+  VP_REQUIRE(size_ == 0, "bulk_load: index not empty");
+  VP_REQUIRE(descriptors.size() == count * kDescriptorDims,
+             "bulk_load: descriptor bytes do not match count");
+  VP_REQUIRE(count < UINT32_MAX, "bulk_load: too many descriptors");
+  if (keepalive != nullptr && !descriptors.empty()) {
+    borrowed_flat_ = descriptors;
+    keepalive_ = std::move(keepalive);
+  } else {
+    flat_.assign(descriptors.begin(), descriptors.end());
+  }
+  size_ = count;
+  // The bucket maps are the only derived state rebuilt here — the whole
+  // point of the borrowed path: a cold-shard fault is hash work, not a
+  // payload copy.
+  for (auto& table : tables_) table.reserve(count);
+  for (std::uint32_t id = 0; id < count; ++id) index_descriptor(id);
+}
+
 void LshIndex::train_pq() {
   if (!config_.pq.enabled || size_ == 0) return;
   if (!codebook_.trained()) {
-    codebook_ = PqCodebook::train(flat_.data(), size_, config_.pq.train);
+    codebook_ = PqCodebook::train(flat_data(), size_, config_.pq.train);
   }
   // Encode everything the codes buffer does not cover yet (all of it on
   // the first call; nothing on later calls, since insert() encodes
   // incrementally once the codebook exists).
-  const std::size_t encoded = codes_.size() / kPqCodeBytes;
+  const std::size_t encoded = codes_span().size() / kPqCodeBytes;
   if (encoded < size_) {
+    if (!borrowed_codes_.empty()) materialize();
     codes_.resize(size_ * kPqCodeBytes);
     for (std::size_t id = encoded; id < size_; ++id) {
-      codebook_.encode(flat_.data() + id * kDescriptorDims,
+      codebook_.encode(flat_data() + id * kDescriptorDims,
                        codes_.data() + id * kPqCodeBytes);
     }
   }
@@ -102,6 +145,26 @@ void LshIndex::restore_pq(PqCodebook codebook,
              "restore_pq: code bytes do not cover the stored descriptors");
   codebook_ = std::move(codebook);
   codes_ = std::move(codes);
+  borrowed_codes_ = {};
+}
+
+void LshIndex::restore_pq(PqCodebook codebook,
+                          std::span<const std::uint8_t> codes,
+                          std::shared_ptr<const void> keepalive) {
+  if (keepalive == nullptr || codes.empty()) {
+    restore_pq(std::move(codebook),
+               std::vector<std::uint8_t>(codes.begin(), codes.end()));
+    return;
+  }
+  VP_REQUIRE(codebook.trained(), "restore_pq: untrained codebook");
+  VP_REQUIRE(codes.size() == size_ * kPqCodeBytes,
+             "restore_pq: code bytes do not cover the stored descriptors");
+  codebook_ = std::move(codebook);
+  codes_.clear();
+  borrowed_codes_ = codes;
+  // Either payload may already borrow from the same mapping; the single
+  // keepalive slot pins both (same underlying file).
+  keepalive_ = std::move(keepalive);
 }
 
 Descriptor LshIndex::descriptor(std::uint32_t id) const {
@@ -159,7 +222,7 @@ void LshIndex::query_into(const Descriptor& descriptor, std::size_t k,
   if (pq_ready() && candidates.size() > rerank) {
     codebook_.build_adc_table(q, s.adc_table);
     s.adc_dists.resize(candidates.size());
-    adc_scan(s.adc_table, codes_.data(), candidates.data(),
+    adc_scan(s.adc_table, codes_span().data(), candidates.data(),
              candidates.size(), s.adc_dists.data());
     VP_OBS_COUNT("index.adc_scans",
                  static_cast<std::uint64_t>(candidates.size()));
@@ -224,7 +287,12 @@ std::size_t LshIndex::reference_e2lsh_byte_size() const noexcept {
 }
 
 std::size_t LshIndex::byte_size() const noexcept {
-  std::size_t bytes = flat_.capacity() + codes_.capacity() +
+  // Borrowed (mmap'd) payloads count at face value: their pages become
+  // resident as queries touch them, and the residency budget is about
+  // what a hot shard costs, not what a cold mapping reserves.
+  std::size_t bytes = (borrowed_flat_.empty() ? flat_.capacity()
+                                              : borrowed_flat_.size()) +
+                      codes_span().size() +
                       (codebook_.trained() ? kPqCodebookBytes : 0);
   for (const auto& table : tables_) {
     // Per-node overhead of unordered_map (bucket array + node allocation)

@@ -23,9 +23,20 @@
 // code keeps the top R in deterministic (adc, id) order, then only those
 // R pay the exact 128-dim u8-L2 rerank. Exact-only mode is untouched and
 // stays the bit-identity baseline.
+//
+// Storage ownership: the flat descriptor buffer (and the PQ code buffer)
+// can be *owned* (grown by insert) or *borrowed* — a `std::span` over
+// bytes someone else keeps alive, typically an mmap'd v4 database segment
+// (util/mmap_file.hpp). `bulk_load` installs a borrowed buffer plus a
+// type-erased keepalive and rebuilds only the bucket maps, so a cold
+// shard faults in without copying its descriptor payload. A borrowed
+// index is read-only in spirit; the first insert() transparently
+// materializes private copies (copy-on-write), so every mutating caller
+// keeps working.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -87,12 +98,26 @@ class LshIndex {
   /// inserts (bulk shard rebuilds on database load).
   void reserve(std::size_t n);
 
+  /// Install `count` descriptors at once from a contiguous 128-byte-stride
+  /// buffer and rebuild the bucket maps. With a `keepalive` the buffer is
+  /// *borrowed* — the index stores only the span and the keepalive keeps
+  /// the bytes (an mmap'd segment) valid for the index's lifetime; without
+  /// one the bytes are copied into owned storage. Requires an empty index.
+  void bulk_load(std::span<const std::uint8_t> descriptors, std::size_t count,
+                 std::shared_ptr<const void> keepalive = nullptr);
+
+  /// True when the descriptor (or code) payload is a borrowed span rather
+  /// than owned vectors. insert() on a borrowed index copies first.
+  bool borrows_storage() const noexcept {
+    return !borrowed_flat_.empty() || !borrowed_codes_.empty();
+  }
+
   std::size_t size() const noexcept { return size_; }
   /// Copy of a stored descriptor (the storage itself is a flat byte array).
   Descriptor descriptor(std::uint32_t id) const;
   /// Borrowed pointer to a stored descriptor's 128 contiguous bytes.
   const std::uint8_t* descriptor_ptr(std::uint32_t id) const noexcept {
-    return flat_.data() + static_cast<std::size_t>(id) * kDescriptorDims;
+    return flat_data() + static_cast<std::size_t>(id) * kDescriptorDims;
   }
 
   // --- PQ storage (coarse-scan-then-exact-rerank) -----------------------
@@ -103,7 +128,7 @@ class LshIndex {
   /// falls back to exact scans until the next publish.
   bool pq_ready() const noexcept {
     return config_.pq.enabled && codebook_.trained() &&
-           codes_.size() == size_ * kPqCodeBytes;
+           codes_span().size() == size_ * kPqCodeBytes;
   }
 
   /// Train the codebook from the stored descriptors (first call with a
@@ -116,11 +141,19 @@ class LshIndex {
   /// InvalidArgument unless codes covers exactly size() descriptors.
   void restore_pq(PqCodebook codebook, std::vector<std::uint8_t> codes);
 
+  /// Borrowed-buffer variant: the code bytes stay where they are (an
+  /// mmap'd v4 segment) and `keepalive` pins them; a null keepalive
+  /// copies. Same size contract as the owning overload.
+  void restore_pq(PqCodebook codebook, std::span<const std::uint8_t> codes,
+                  std::shared_ptr<const void> keepalive);
+
   const PqCodebook& pq_codebook() const noexcept { return codebook_; }
   /// All codes, kPqCodeBytes stride, id order (empty before training).
-  std::span<const std::uint8_t> pq_codes() const noexcept { return codes_; }
+  std::span<const std::uint8_t> pq_codes() const noexcept {
+    return codes_span();
+  }
   const std::uint8_t* code_ptr(std::uint32_t id) const noexcept {
-    return codes_.data() + static_cast<std::size_t>(id) * kPqCodeBytes;
+    return codes_span().data() + static_cast<std::size_t>(id) * kPqCodeBytes;
   }
 
   /// Raw descriptor payload bytes (size() * 128).
@@ -129,7 +162,7 @@ class LshIndex {
   }
   /// PQ payload bytes: codes + codebook (0 when untrained).
   std::size_t pq_bytes() const noexcept {
-    return codes_.size() + (codebook_.trained() ? kPqCodebookBytes : 0);
+    return codes_span().size() + (codebook_.trained() ? kPqCodebookBytes : 0);
   }
 
   const LshIndexConfig& config() const noexcept { return config_; }
@@ -169,13 +202,31 @@ class LshIndex {
   void query_into(const Descriptor& descriptor, std::size_t k, Scratch& s,
                   std::vector<Match>& out) const;
 
+  /// Base of the descriptor payload, owned or borrowed.
+  const std::uint8_t* flat_data() const noexcept {
+    return borrowed_flat_.empty() ? flat_.data() : borrowed_flat_.data();
+  }
+  /// The code payload view, owned or borrowed.
+  std::span<const std::uint8_t> codes_span() const noexcept {
+    return borrowed_codes_.empty()
+               ? std::span<const std::uint8_t>(codes_)
+               : borrowed_codes_;
+  }
+  /// Copy any borrowed payloads into owned vectors (first mutation).
+  void materialize();
+  /// Hash descriptor `id` into every table's bucket map.
+  void index_descriptor(std::uint32_t id);
+
   LshIndexConfig config_;
   E2Lsh lsh_;
-  std::vector<std::uint8_t> flat_;  ///< size_ descriptors, 128-byte stride
+  std::vector<std::uint8_t> flat_;  ///< owned descriptors (empty if borrowed)
+  std::span<const std::uint8_t> borrowed_flat_;  ///< mmap'd descriptors
   std::size_t size_ = 0;
   std::vector<BucketMap> tables_;
   PqCodebook codebook_;             ///< untrained unless PQ mode trained
-  std::vector<std::uint8_t> codes_; ///< kPqCodeBytes stride, id order
+  std::vector<std::uint8_t> codes_; ///< owned codes (empty if borrowed)
+  std::span<const std::uint8_t> borrowed_codes_;  ///< mmap'd codes
+  std::shared_ptr<const void> keepalive_;  ///< pins both borrowed spans
 };
 
 }  // namespace vp

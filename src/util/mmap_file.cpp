@@ -1,0 +1,67 @@
+#include "util/mmap_file.hpp"
+
+#include <fstream>
+
+#include "util/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define VP_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define VP_HAVE_MMAP 0
+#endif
+
+namespace vp {
+
+std::shared_ptr<const MappedFile> MappedFile::open(const std::string& path) {
+  auto file = std::shared_ptr<MappedFile>(new MappedFile());
+  file->path_ = path;
+#if VP_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) throw IoError{"cannot open for mmap: " + path};
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw IoError{"cannot stat: " + path};
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    file->mapped_ = false;
+    return file;
+  }
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The fd is not needed once mapped; the mapping pins the inode.
+  ::close(fd);
+  if (addr == MAP_FAILED) throw IoError{"mmap failed: " + path};
+  file->data_ = static_cast<const std::uint8_t*>(addr);
+  file->size_ = size;
+  file->mapped_ = true;
+#else
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) throw IoError{"cannot open for read: " + path};
+  const auto size = static_cast<std::size_t>(f.tellg());
+  f.seekg(0);
+  file->fallback_.resize(size);
+  f.read(reinterpret_cast<char*>(file->fallback_.data()),
+         static_cast<std::streamsize>(size));
+  if (!f) throw IoError{"short read: " + path};
+  file->data_ = file->fallback_.data();
+  file->size_ = size;
+  file->mapped_ = false;
+#endif
+  return file;
+}
+
+MappedFile::~MappedFile() {
+#if VP_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+  }
+#endif
+}
+
+}  // namespace vp

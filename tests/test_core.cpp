@@ -690,12 +690,14 @@ TEST(MapStore, TruncatedShardBlobRejected) {
     EXPECT_THROW(VisualPrintServer::deserialize(t), DecodeError) << cut;
   }
 
-  // A lying shard-blob length field (first shard starts after magic +
-  // version + default place string + shard count).
+  // A lying shard-record length field (the first record starts after
+  // magic + version + the v4 total-file-size field + default place
+  // string + shard count).
   Bytes lie = blob;
   ByteReader r(lie);
   r.u32();
   r.u16();
+  r.u64();
   (void)r.str();
   r.u32();
   const std::size_t len_off = lie.size() - r.remaining();
