@@ -10,9 +10,17 @@
 // server that republished its map mid-session (kStaleOracle) costs one
 // transparent oracle refresh — never a crash.
 //
+// With --compact-uplink, queries to a PQ-serving place go out as v4
+// compact frames: 16-byte PQ codes (encoded against the codebook that
+// rode the oracle download) plus quantized keypoint coordinates — 20
+// bytes per feature on the wire instead of 144. The exit summary prints
+// the measured per-frame uplink/downlink split from the net.bytes.*
+// counters.
+//
 // Run:   ./vp_server         (first, in another terminal)
 //        ./vp_client [--port N] [--views N] [--place ID]
 //                    [--trace-out FILE] [--metrics-out FILE]
+//                    [--compact-uplink]
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -22,6 +30,7 @@
 #include "core/remote.hpp"
 #include "net/retry.hpp"
 #include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "scene/environments.hpp"
 #include "scene/render.hpp"
 #include "util/table.hpp"
@@ -33,6 +42,7 @@ int main(int argc, char** argv) {
   std::string place;  // "" = the server's default place
   std::string trace_out;    // Chrome-trace JSON of the stitched traces
   std::string metrics_out;  // write the stats scrape here too
+  bool compact_uplink = false;  // v4 PQ-coded query fingerprints
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
@@ -44,6 +54,8 @@ int main(int argc, char** argv) {
       trace_out = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--compact-uplink") == 0) {
+      compact_uplink = true;
     }
   }
 
@@ -73,6 +85,7 @@ int main(int argc, char** argv) {
   // to echo its span block, which the localizer stitches with its own
   // spans and the measured round trip.
   if (!trace_out.empty()) localizer.enable_tracing(1.0);
+  if (compact_uplink) localizer.enable_compact_uplink();
   // Every oracle the localizer downloads — first fetch or mid-session
   // stale refresh — lands in the client's per-place cache.
   localizer.on_oracle_refresh(
@@ -83,9 +96,22 @@ int main(int argc, char** argv) {
   std::printf("oracle for place '%s' @ epoch %u downloaded: %s compressed\n",
               download.place.c_str(), download.epoch,
               Table::bytes_human(static_cast<double>(download.compressed.size())).c_str());
+  if (compact_uplink) {
+    if (download.codebook.empty()) {
+      std::printf(
+          "compact uplink requested, but the place serves no PQ codebook; "
+          "queries stay raw\n");
+    } else {
+      std::printf(
+          "compact uplink on: %s codebook cached, queries go out PQ-coded\n",
+          Table::bytes_human(static_cast<double>(download.codebook.size()))
+              .c_str());
+    }
+  }
 
   Table table("Localization over TCP");
   table.header({"view", "uploaded", "server says", "truth", "error (m)"});
+  std::uint64_t queries_sent = 0;
   for (int v = 0; v < views; ++v) {
     Rng view_rng(9100 + v);
     const std::size_t scene = static_cast<std::size_t>(v) % quads.size();
@@ -98,6 +124,7 @@ int main(int argc, char** argv) {
       continue;
     }
     const LocationResponse resp = localizer.localize(*fr.query);
+    ++queries_sent;
 
     char est[64], truth[64];
     std::snprintf(est, sizeof est, "(%.1f, %.1f, %.1f)", resp.position.x,
@@ -138,6 +165,29 @@ int main(int argc, char** argv) {
         "%zu stitched traces written to %s (open in chrome://tracing "
         "or Perfetto)\n",
         localizer.traces().size(), trace_out.c_str());
+  }
+
+  // Measured traffic split from this process's net.bytes.* counters (the
+  // localizer counts every request/reply it exchanges, by message kind).
+  {
+    auto& reg = obs::Registry::global();
+    const auto up_q = reg.counter("net.bytes.up.query").value();
+    const auto down_q = reg.counter("net.bytes.down.query").value();
+    const auto up_o = reg.counter("net.bytes.up.oracle").value();
+    const auto down_o = reg.counter("net.bytes.down.oracle").value();
+    const std::uint64_t frames = queries_sent > 0 ? queries_sent : 1;
+    std::printf(
+        "\nuplink:   %s total (%s/frame over %llu frames; %llu compact)\n"
+        "downlink: %s query replies + %s oracle (oracle requests: %s)\n",
+        Table::bytes_human(static_cast<double>(up_q)).c_str(),
+        Table::bytes_human(static_cast<double>(up_q) /
+                           static_cast<double>(frames))
+            .c_str(),
+        static_cast<unsigned long long>(frames),
+        static_cast<unsigned long long>(localizer.compact_queries()),
+        Table::bytes_human(static_cast<double>(down_q)).c_str(),
+        Table::bytes_human(static_cast<double>(down_o)).c_str(),
+        Table::bytes_human(static_cast<double>(up_o)).c_str());
   }
 
   const RetryStats& rs = net.stats();

@@ -38,9 +38,15 @@
 // bytes with LRU eviction, so a server carrying thousands of places runs
 // in a bounded memory envelope.
 //
+// `--symmetric` serves compact (v4, PQ-coded) queries through the
+// symmetric-ADC coarse stage: the per-query lookup table is gathered from
+// the codebook's precomputed centroid-distance matrix instead of being
+// rebuilt from the reconstructed descriptor. Bit-identical answers —
+// purely a serving-cost knob, meaningful only for PQ shards.
+//
 // Run:   ./vp_server [--port N] [--db FILE]... [--threads N] [--pq] [--once]
 //                    [--slow-log] [--max-inflight N] [--lazy]
-//                    [--resident-budget BYTES]
+//                    [--resident-budget BYTES] [--symmetric]
 // Pair:  ./vp_client [--place ID] (in another terminal)
 #include <atomic>
 #include <cstdio>
@@ -147,6 +153,7 @@ int main(int argc, char** argv) {
   std::size_t max_inflight = 0;
   bool max_inflight_set = false;
   bool lazy = false;
+  bool symmetric = false;
   std::size_t resident_budget = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
@@ -164,6 +171,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--max-inflight") == 0 && i + 1 < argc) {
       max_inflight = static_cast<std::size_t>(std::atoll(argv[++i]));
       max_inflight_set = true;
+    } else if (std::strcmp(argv[i], "--symmetric") == 0) {
+      symmetric = true;  // compact queries use the symmetric-ADC fast path
     } else if (std::strcmp(argv[i], "--lazy") == 0) {
       lazy = true;  // register shards cold; first query faults them in
     } else if (std::strcmp(argv[i], "--resident-budget") == 0 &&
@@ -215,6 +224,9 @@ int main(int argc, char** argv) {
   // Unplaced queries fan out across shards on the same borrowed pool that
   // serves connections.
   server.store().set_pool(&pool);
+  // Like the pool, symmetric-ADC serving is runtime plumbing — never
+  // persisted, so a loaded database re-opts in per process.
+  if (symmetric) server.store().set_compact_symmetric(true);
   // Default cap: enough concurrency to keep every worker busy, small
   // enough that a population spike sheds instead of queueing (§13).
   server.set_max_inflight(max_inflight_set ? max_inflight

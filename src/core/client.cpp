@@ -22,7 +22,9 @@ void VisualPrintClient::install_oracle(const OracleDownload& download) {
       UniquenessOracle::deserialize(oracle_blob_));
   place_ = download.place;
   oracle_epoch_ = download.epoch;
-  oracle_cache_[place_] = {oracle_epoch_, oracle_, oracle_blob_};
+  codebook_blob_ = download.codebook;
+  oracle_cache_[place_] = {oracle_epoch_, oracle_, oracle_blob_,
+                           codebook_blob_};
 }
 
 void VisualPrintClient::install_oracle(UniquenessOracle oracle) {
@@ -30,6 +32,7 @@ void VisualPrintClient::install_oracle(UniquenessOracle oracle) {
   oracle_blob_ = oracle_->serialize();
   place_.clear();
   oracle_epoch_ = 0;
+  codebook_blob_.clear();
 }
 
 bool VisualPrintClient::select_place(const std::string& place) {
@@ -39,6 +42,7 @@ bool VisualPrintClient::select_place(const std::string& place) {
   oracle_blob_ = it->second.blob;
   place_ = place;
   oracle_epoch_ = it->second.epoch;
+  codebook_blob_ = it->second.codebook;
   return true;
 }
 
@@ -53,7 +57,7 @@ void VisualPrintClient::apply_oracle_diff(const OracleDiff& diff) {
   oracle_epoch_ = 0;
   const auto it = oracle_cache_.find(place_);
   if (it != oracle_cache_.end()) {
-    it->second = {oracle_epoch_, oracle_, oracle_blob_};
+    it->second = {oracle_epoch_, oracle_, oracle_blob_, codebook_blob_};
   }
 }
 

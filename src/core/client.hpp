@@ -100,6 +100,12 @@ class VisualPrintClient {
   /// Serialized form of the installed oracle (the diff base).
   const Bytes& oracle_blob() const noexcept { return oracle_blob_; }
 
+  /// The active place's PQ codebook payload as downloaded with its oracle
+  /// (empty when the place is not PQ-indexed). Cached per place alongside
+  /// the oracle, so select_place() restores it. Compact-uplink callers
+  /// encode query descriptors against this.
+  const Bytes& codebook_blob() const noexcept { return codebook_blob_; }
+
   /// Process one camera frame captured at `capture_time` (seconds since
   /// session start); `now` models the realtime clock when processing
   /// starts (stale-frame rejection). Grayscale [0,255] input.
@@ -123,11 +129,13 @@ class VisualPrintClient {
     std::uint32_t epoch = 0;
     std::shared_ptr<UniquenessOracle> oracle;
     Bytes blob;
+    Bytes codebook;
   };
 
   ClientConfig config_;
   std::shared_ptr<UniquenessOracle> oracle_;  ///< active oracle
   Bytes oracle_blob_;  ///< serialized snapshot, kept as the diff base
+  Bytes codebook_blob_;  ///< active place's PQ codebook ("" when absent)
   std::string place_;               ///< active place ("" = fan out)
   std::uint32_t oracle_epoch_ = 0;  ///< active epoch (0 = unchecked)
   std::map<std::string, CachedOracle> oracle_cache_;

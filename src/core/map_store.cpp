@@ -16,13 +16,24 @@ namespace vp {
 // PlaceShard
 
 LocationResponse PlaceShard::localize(const FingerprintQuery& query,
-                                      Rng& rng, ThreadPool* pool) const {
+                                      Rng& rng, ThreadPool* pool,
+                                      bool symmetric_adc) const {
   LocationResponse resp;
   resp.frame_id = query.frame_id;
   resp.place = place;
   resp.place_label = config.place_label;
   VP_OBS_COUNT("server.queries", 1);
   VP_OBS_COUNT("store.queries." + place, 1);
+
+  // A compact query carries PQ codes, no raw descriptors; it can only be
+  // ranked against a PQ-ready index (the server's codebook-epoch gate
+  // normally guarantees this — a shard that lost PQ mode answers a
+  // structured no-fix rather than ranking zeroed descriptors).
+  const bool compact = query.compact();
+  if (compact && !index.pq_ready()) {
+    VP_OBS_COUNT("server.compact_unrankable", 1);
+    return resp;  // found = false
+  }
 
   // Retrieval: |K| * n candidate (pixel, 3-D point) pairs, scored as one
   // batch so the pool and the per-worker scratch both apply.
@@ -32,9 +43,25 @@ LocationResponse PlaceShard::localize(const FingerprintQuery& query,
     VP_OBS_SPAN("lsh.retrieve");
     std::vector<Descriptor> qd;
     qd.reserve(query.features.size());
-    for (const auto& f : query.features) qd.push_back(f.descriptor);
+    if (compact) {
+      // Reconstruct each code from its centroids: the reconstructed
+      // descriptor drives LSH bucketing and the exact rerank, so the
+      // compact path rejoins the raw pipeline right here. The symmetric
+      // mode additionally reuses the codes for the coarse ADC tables.
+      const PqCodebook& book = index.pq_codebook();
+      for (std::size_t i = 0; i < query.features.size(); ++i) {
+        Descriptor d;
+        book.reconstruct(query.codes.data() + i * kPqCodeBytes, d.data());
+        qd.push_back(d);
+      }
+    } else {
+      for (const auto& f : query.features) qd.push_back(f.descriptor);
+    }
     const auto batch =
-        index.query_batch(qd, config.neighbors_per_keypoint, pool);
+        compact && (symmetric_adc || config.compact_symmetric)
+            ? index.query_batch_codes(qd, query.codes,
+                                      config.neighbors_per_keypoint, pool)
+            : index.query_batch(qd, config.neighbors_per_keypoint, pool);
     for (std::size_t i = 0; i < batch.size(); ++i) {
       const auto& f = query.features[i];
       for (const auto& m : batch[i]) {
@@ -428,18 +455,24 @@ LocationResponse MapStore::localize(const FingerprintQuery& query,
   miss.place = query.place;
 
   ThreadPool* pool = default_config_.pool;
-  if (!query.place.empty()) {
+  // Compact queries are always targeted: their codes only mean something
+  // against one place's codebook, so a place-less compact query routes to
+  // the default place instead of fanning out across shards whose codebooks
+  // it was not encoded with. (Clients keep fan-out queries raw.)
+  if (!query.place.empty() || query.compact()) {
     // fault_in loads a registered-but-cold shard on first query (single-
     // flight) and refreshes LRU recency on hits; unmanaged places are a
     // plain map lookup.
-    const auto shard = fault_in(query.place);
+    const auto shard =
+        fault_in(query.place.empty() ? default_place_ : query.place);
     if (shard == nullptr) {
       // Unknown place is an expected client condition (wrong venue id,
       // venue not yet wardriven) — a structured no-fix, never a throw.
       VP_OBS_COUNT("store.unknown_place", 1);
       return miss;
     }
-    return shard->localize(query, rng, pool);
+    return shard->localize(query, rng, pool,
+                           default_config_.compact_symmetric);
   }
 
   if (map->empty()) return miss;
@@ -494,12 +527,22 @@ OracleDownload MapStore::oracle_snapshot(const std::string& place) const {
   // A client download is a first-class read: fault the shard in if cold.
   const auto shard = fault_in(id);
   VP_REQUIRE(shard != nullptr, "oracle snapshot of unknown place: " + id);
-  return OracleDownload::pack(shard->oracle, shard->epoch, shard->place);
+  // A PQ-ready shard ships its codebook with the oracle, so the client can
+  // encode compact (v4) query fingerprints against this exact epoch.
+  return OracleDownload::pack(shard->oracle, shard->epoch, shard->place,
+                              shard->index.pq_ready()
+                                  ? shard->index.pq_codebook().raw()
+                                  : std::span<const std::uint8_t>{});
 }
 
 void MapStore::set_pool(ThreadPool* pool) {
   std::lock_guard lock(write_mutex_);
   default_config_.pool = pool;
+}
+
+void MapStore::set_compact_symmetric(bool on) {
+  std::lock_guard lock(write_mutex_);
+  default_config_.compact_symmetric = on;
 }
 
 std::size_t MapStore::place_count() const { return places().size(); }

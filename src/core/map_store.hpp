@@ -54,6 +54,12 @@ struct ServerConfig {
   /// points across the whole building into one meaningless mega-cluster.
   ClusteringConfig clustering{.radius = 1.5, .min_points = 4};
   LocalizeConfig localize{};     ///< Fig. 12 solver parameters
+  /// Compact (v4) queries: rank through the symmetric ADC fast path —
+  /// gather each query code's precomputed table rows instead of rebuilding
+  /// the table from the reconstructed descriptor. Bit-identical results
+  /// either way (see PqCodebook::build_symmetric_adc_table), so this is a
+  /// pure serving-speed knob. Runtime-only, like `pool`: not persisted.
+  bool compact_symmetric = false;
   std::string place_label = "indoor";
   /// Borrowed worker pool (never owned). When set, queries that name no
   /// place fan retrieval out across shards in parallel.
@@ -91,9 +97,12 @@ struct PlaceShard {
   /// `pool`, when given, parallelizes the retrieval batch and the DE
   /// objective sweep — borrowed runtime plumbing (never persisted), hence
   /// a parameter rather than shard state. Results are identical for any
-  /// pool size.
+  /// pool size. `symmetric_adc` (ORed with config.compact_symmetric)
+  /// serves compact queries through the symmetric-ADC coarse stage —
+  /// bit-identical answers, one ADC table build cheaper per descriptor.
   LocationResponse localize(const FingerprintQuery& query, Rng& rng,
-                            ThreadPool* pool = nullptr) const;
+                            ThreadPool* pool = nullptr,
+                            bool symmetric_adc = false) const;
 
   /// Scene votes for a feature set (retrieval experiments): vote[s] =
   /// query features whose accepted nearest neighbor belongs to scene s.
@@ -204,6 +213,12 @@ class MapStore {
   /// before queries start — the pointer is read unsynchronized on the
   /// query path.
   void set_pool(ThreadPool* pool);
+
+  /// Serve compact queries through the symmetric-ADC coarse stage on every
+  /// shard. Runtime plumbing like the pool (never persisted — a loaded
+  /// server re-opts in); answers are bit-identical either way, so this is
+  /// purely a serving-cost knob. Call during setup, before queries start.
+  void set_compact_symmetric(bool on);
 
   /// Place counts/ids include registered-but-cold shards: a place does
   /// not disappear from the catalog just because it was evicted.

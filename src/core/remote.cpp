@@ -1,6 +1,7 @@
 #include "core/remote.hpp"
 
 #include <algorithm>
+#include <array>
 #include <optional>
 #include <utility>
 
@@ -23,13 +24,16 @@ RemoteLocalizer::RemoteLocalizer(Transport transport)
 }
 
 std::uint16_t RemoteLocalizer::exchange(std::span<const std::uint8_t> request,
-                                        Bytes& reply, std::string& message) {
+                                        Bytes& reply, std::string& message,
+                                        const char* kind) {
+  VP_OBS_COUNT(std::string("net.bytes.up.") + kind, request.size());
   try {
     reply = transport_(request);
   } catch (const RemoteError& e) {
     message = e.what();
     return e.code();
   }
+  VP_OBS_COUNT(std::string("net.bytes.down.") + kind, reply.size());
   if (is_error_frame(reply)) {
     const ErrorResponse err = ErrorResponse::decode(reply);
     message = err.message;
@@ -46,12 +50,39 @@ OracleDownload RemoteLocalizer::fetch_oracle(const std::string& place) {
   if (!place.empty()) w.raw(OracleRequest{place}.encode());
   Bytes reply;
   std::string message;
-  const std::uint16_t code = exchange(w.bytes(), reply, message);
+  const std::uint16_t code = exchange(w.bytes(), reply, message, "oracle");
   if (code != 0) throw RemoteError{code, message};
   OracleDownload download = OracleDownload::decode(reply);
   epochs_[download.place] = download.epoch;
+  if (!download.codebook.empty()) {
+    // The place serves PQ: cache its codebook so subsequent compact-uplink
+    // queries can encode against exactly this epoch.
+    codebooks_[download.place] = PqCodebook::from_raw(download.codebook);
+  } else {
+    // A republish may drop PQ (e.g. rebuilt exact-only); forget the stale
+    // codebook so localize() falls back to the raw wire format.
+    codebooks_.erase(download.place);
+  }
   if (on_refresh_) on_refresh_(download);
   return download;
+}
+
+bool RemoteLocalizer::stamp_compact(FingerprintQuery& query) {
+  query.codes.clear();
+  query.codebook_epoch = 0;
+  if (!compact_uplink_ || query.place.empty()) return false;
+  const auto it = codebooks_.find(query.place);
+  if (it == codebooks_.end()) return false;
+  const std::uint32_t epoch = known_epoch(query.place);
+  if (epoch == 0) return false;
+  query.codes.reserve(query.features.size() * kPqCodeBytes);
+  std::array<std::uint8_t, kPqCodeBytes> code;
+  for (const Feature& f : query.features) {
+    it->second.encode(f.descriptor.data(), code.data());
+    query.codes.insert(query.codes.end(), code.begin(), code.end());
+  }
+  query.codebook_epoch = epoch;
+  return true;
 }
 
 void RemoteLocalizer::enable_tracing(double sample_rate) {
@@ -72,13 +103,19 @@ LocationResponse RemoteLocalizer::localize(FingerprintQuery query) {
     trace.emplace();
   }
   for (int attempt = 0;; ++attempt) {
+    // Re-stamped every attempt: a stale-codebook resend must encode
+    // against the codebook the refresh just installed, not the old one.
+    if (stamp_compact(query)) {
+      ++compact_queries_;
+      VP_OBS_COUNT("client.compact_queries", 1);
+    }
     ByteWriter w(1 + query.wire_size());
     w.u8(kQueryRequest);
     w.raw(query.encode());
     Bytes reply;
     std::string message;
     const auto sent = Clock::now();
-    const std::uint16_t code = exchange(w.bytes(), reply, message);
+    const std::uint16_t code = exchange(w.bytes(), reply, message, "query");
     const auto received = Clock::now();
     if (code == 0) {
       LocationResponse resp = LocationResponse::decode(reply);

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "features/pq.hpp"
 #include "net/wire.hpp"
 #include "obs/trace.hpp"
 #include "util/bytes.hpp"
@@ -56,6 +57,24 @@ class RemoteLocalizer {
   /// Transparent stale-oracle recoveries performed so far.
   std::uint64_t stale_refreshes() const noexcept { return stale_refreshes_; }
 
+  /// Opt in to the compact uplink: when the query names a place whose
+  /// downloaded oracle carried a PQ codebook, localize() encodes each
+  /// feature's descriptor into its 16-byte code and sends the v4 compact
+  /// frame (20 bytes/feature on the wire instead of 144). Fan-out queries
+  /// (empty place) and places without a cached codebook stay raw — the
+  /// codes would be meaningless against another place's centroids. A
+  /// kStaleOracle reply re-encodes against the refreshed codebook before
+  /// the resend, so epoch churn stays invisible to callers.
+  void enable_compact_uplink(bool on = true) { compact_uplink_ = on; }
+
+  /// Queries that actually went out compact (v4) so far.
+  std::uint64_t compact_queries() const noexcept { return compact_queries_; }
+
+  /// True when `place`'s last downloaded oracle carried a codebook.
+  bool has_codebook(const std::string& place) const {
+    return codebooks_.count(place) != 0;
+  }
+
   /// Turn on end-to-end tracing: every subsequent localize() runs under
   /// its own FrameTrace, stamps the query with a fresh trace_id, and
   /// stitches client, link, and (when the sampled bit was set) echoed
@@ -74,8 +93,15 @@ class RemoteLocalizer {
  private:
   /// Run the transport and normalize both error styles into a pair
   /// (code, message); code 0 means `reply` holds the expected frame.
+  /// `kind` labels the request type for the net.bytes.{up,down}.<kind>
+  /// traffic counters ("query" / "oracle").
   std::uint16_t exchange(std::span<const std::uint8_t> request, Bytes& reply,
-                         std::string& message);
+                         std::string& message, const char* kind);
+
+  /// Encode query.features into query.codes against the place's cached
+  /// codebook when the compact uplink applies; clears the compact fields
+  /// otherwise. Returns whether the query goes out compact.
+  bool stamp_compact(FingerprintQuery& query);
 
   /// Assemble one StitchedTrace from the query's FrameTrace (client lane),
   /// the measured send/receive instants (link lane), and the server span
@@ -88,7 +114,10 @@ class RemoteLocalizer {
   Transport transport_;
   std::function<void(const OracleDownload&)> on_refresh_;
   std::map<std::string, std::uint32_t> epochs_;
+  std::map<std::string, PqCodebook> codebooks_;
   std::uint64_t stale_refreshes_ = 0;
+  std::uint64_t compact_queries_ = 0;
+  bool compact_uplink_ = false;
   bool tracing_ = false;
   double sample_rate_ = 1.0;
   double sample_accum_ = 0.0;

@@ -155,13 +155,40 @@ Bytes VisualPrintServer::handle_query(std::span<const std::uint8_t> body,
   obs::SlowQuery slow;
   Bytes reply;
   const FingerprintQuery query = FingerprintQuery::decode(body);
+  VP_OBS_OBSERVE("net.query_bytes", static_cast<double>(body.size()));
   slow.trace_id = query.trace_id;
   slow.frame_id = query.frame_id;
   if (query.trace_id != 0) {
     runtime_->queries_traced.fetch_add(1, std::memory_order_relaxed);
   }
   bool stale = false;
-  if (query.oracle_epoch != 0) {
+  if (query.compact()) {
+    VP_OBS_COUNT("server.compact_decode", 1);
+    // A compact query's codes are only rankable against the codebook epoch
+    // the client encoded with. Epoch/mode come from metadata (manifest for
+    // cold shards) so the gate never faults a shard in; an unknown place
+    // falls through to localize() and its structured miss.
+    const std::string& place =
+        query.place.empty() ? store_->default_place() : query.place;
+    const std::uint32_t current = store_->epoch(place);
+    const std::string_view mode = store_->storage_mode(place);
+    if (current != 0 &&
+        (mode != "pq" || current != query.codebook_epoch)) {
+      VP_OBS_COUNT("server.stale_codebook", 1);
+      ErrorResponse err;
+      err.code = ErrorResponse::kStaleOracle;
+      err.message = "codebook epoch " + std::to_string(query.codebook_epoch) +
+                    " for place '" + place + "' cannot rank compact codes: " +
+                    (mode == "pq" ? "superseded by epoch " +
+                                        std::to_string(current)
+                                  : "place is not PQ-indexed");
+      slow.error_code = ErrorResponse::kStaleOracle;
+      slow.place = place;
+      reply = err.encode();
+      stale = true;
+    }
+  }
+  if (!stale && query.oracle_epoch != 0) {
     // The client ranked its keypoints against an epoch'd oracle; if the
     // place has republished since, tell it to refresh instead of
     // localizing against selections an outdated uniqueness table made.

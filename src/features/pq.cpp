@@ -421,6 +421,14 @@ void PqCodebook::encode(const std::uint8_t* descriptor,
   }
 }
 
+void PqCodebook::reconstruct(const std::uint8_t* code,
+                             std::uint8_t* descriptor) const noexcept {
+  for (std::size_t s = 0; s < kPqSubspaces; ++s) {
+    std::copy_n(centroid(s, code[s]), kPqSubDims,
+                descriptor + s * kPqSubDims);
+  }
+}
+
 void PqCodebook::build_adc_table(const std::uint8_t* query,
                                  AdcTable& out) const noexcept {
   for (std::size_t s = 0; s < kPqSubspaces; ++s) {
@@ -437,6 +445,49 @@ void PqCodebook::build_adc_table(const std::uint8_t* query,
       row[c] = static_cast<std::uint16_t>(std::min<std::uint32_t>(
           sub_distance2(q, cents + c * kPqSubDims), 0xFFFFu));
     }
+  }
+}
+
+std::shared_ptr<const PqCodebook::SymmetricLut> PqCodebook::symmetric_lut()
+    const {
+  auto lut = symmetric_.load(std::memory_order_acquire);
+  if (lut != nullptr) return lut;
+  // First use: compute every centroid-vs-centroid subspace distance with
+  // the exact arithmetic (and u16 saturation) of build_adc_table, so a
+  // gathered row is bit-identical to a table built from the reconstructed
+  // query. Concurrent first callers may both build; the CAS keeps one and
+  // the loser's copy is dropped — wasted work, never a wrong answer.
+  auto built = std::make_shared<SymmetricLut>(kPqSubspaces * kPqCentroids *
+                                              kPqCentroids);
+  for (std::size_t s = 0; s < kPqSubspaces; ++s) {
+    const std::uint8_t* cents = centroids_.data() + s * kPqCentroids * kPqSubDims;
+    std::uint16_t* plane = built->data() + s * kPqCentroids * kPqCentroids;
+    for (std::size_t a = 0; a < kPqCentroids; ++a) {
+      std::uint16_t* row = plane + a * kPqCentroids;
+      for (std::size_t b = 0; b < kPqCentroids; ++b) {
+        row[b] = static_cast<std::uint16_t>(std::min<std::uint32_t>(
+            sub_distance2(cents + a * kPqSubDims, cents + b * kPqSubDims),
+            0xFFFFu));
+      }
+    }
+  }
+  std::shared_ptr<const SymmetricLut> expected;
+  std::shared_ptr<const SymmetricLut> install = std::move(built);
+  if (symmetric_.compare_exchange_strong(expected, install,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+    return install;
+  }
+  return expected;  // another thread won the race; use its matrix
+}
+
+void PqCodebook::build_symmetric_adc_table(const std::uint8_t* code,
+                                           AdcTable& out) const {
+  const auto lut = symmetric_lut();
+  for (std::size_t s = 0; s < kPqSubspaces; ++s) {
+    const std::uint16_t* row =
+        lut->data() + (s * kPqCentroids + code[s]) * kPqCentroids;
+    std::copy_n(row, kPqCentroids, out.d.data() + s * kPqCentroids);
   }
 }
 

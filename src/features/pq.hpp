@@ -24,7 +24,9 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -90,9 +92,26 @@ class PqCodebook {
   void encode(const std::uint8_t* descriptor,
               std::uint8_t* code) const noexcept;
 
+  /// Inverse of encode up to quantization: concatenate the code's 16
+  /// centroid subvectors into a 128-byte descriptor. This is how a compact
+  /// (v4) query re-enters the exact ranking pipeline server-side.
+  void reconstruct(const std::uint8_t* code,
+                   std::uint8_t* descriptor) const noexcept;
+
   /// Build the per-query lookup table for asymmetric scans.
   void build_adc_table(const std::uint8_t* query,
                        AdcTable& out) const noexcept;
+
+  /// Symmetric variant for code-only queries: fill `out` with the rows of
+  /// the precomputed centroid-vs-centroid distance matrix selected by the
+  /// query's code — 16 row copies instead of 16 x 256 subvector distance
+  /// evaluations. Bit-identical to build_adc_table over the reconstructed
+  /// descriptor (the query subvector IS a centroid), so the fast path can
+  /// never change a ranking. The 2 MiB matrix is built lazily on first use
+  /// (thread-safe; a lost race wastes one redundant build) and shared by
+  /// codebook copies.
+  void build_symmetric_adc_table(const std::uint8_t* code,
+                                 AdcTable& out) const;
 
   const std::uint8_t* centroid(std::size_t subspace,
                                std::size_t c) const noexcept {
@@ -106,7 +125,43 @@ class PqCodebook {
   static PqCodebook from_raw(std::span<const std::uint8_t> raw);
 
  private:
+  /// [subspace][a][b] u16 saturated squared L2 between centroids a and b —
+  /// the symmetric-ADC row source (kPqSubspaces * 256 * 256 entries, 2 MiB).
+  using SymmetricLut = std::vector<std::uint16_t>;
+
+  std::shared_ptr<const SymmetricLut> symmetric_lut() const;
+
   std::vector<std::uint8_t> centroids_;  ///< [subspace][centroid][dim]
+  /// Lazily-built symmetric matrix. Atomic so concurrent readers of one
+  /// published shard can race the first build safely; copies of the
+  /// codebook share the already-built matrix (see the copy operations).
+  mutable std::atomic<std::shared_ptr<const SymmetricLut>> symmetric_{};
+
+ public:
+  // Copy/move preserve the built symmetric matrix (std::atomic members
+  // delete the defaults). Declared after the members they copy.
+  PqCodebook(const PqCodebook& other)
+      : centroids_(other.centroids_),
+        symmetric_(other.symmetric_.load(std::memory_order_acquire)) {}
+  PqCodebook(PqCodebook&& other) noexcept
+      : centroids_(std::move(other.centroids_)),
+        symmetric_(other.symmetric_.load(std::memory_order_acquire)) {}
+  PqCodebook& operator=(const PqCodebook& other) {
+    if (this != &other) {
+      centroids_ = other.centroids_;
+      symmetric_.store(other.symmetric_.load(std::memory_order_acquire),
+                       std::memory_order_release);
+    }
+    return *this;
+  }
+  PqCodebook& operator=(PqCodebook&& other) noexcept {
+    if (this != &other) {
+      centroids_ = std::move(other.centroids_);
+      symmetric_.store(other.symmetric_.load(std::memory_order_acquire),
+                       std::memory_order_release);
+    }
+    return *this;
+  }
 };
 
 // --- ADC scan kernel dispatch (same pattern as set_distance_kernel) -----

@@ -182,7 +182,8 @@ void LshIndex::gather(const LshBucket& bucket, std::size_t table,
 }
 
 void LshIndex::query_into(const Descriptor& descriptor, std::size_t k,
-                          Scratch& s, std::vector<Match>& out) const {
+                          Scratch& s, std::vector<Match>& out,
+                          const std::uint8_t* query_code) const {
   out.clear();
   auto& candidates = s.candidates;
   candidates.clear();
@@ -220,7 +221,15 @@ void LshIndex::query_into(const Descriptor& descriptor, std::size_t k,
   const std::size_t rerank =
       std::max<std::size_t>(config_.pq.rerank_depth, k);
   if (pq_ready() && candidates.size() > rerank) {
-    codebook_.build_adc_table(q, s.adc_table);
+    if (query_code != nullptr) {
+      // Compact query: its code names 16 centroids, whose precomputed
+      // distance rows ARE this query's ADC table — gather instead of
+      // recompute (bit-identical by construction).
+      codebook_.build_symmetric_adc_table(query_code, s.adc_table);
+      VP_OBS_COUNT("index.symmetric_tables", 1);
+    } else {
+      codebook_.build_adc_table(q, s.adc_table);
+    }
     s.adc_dists.resize(candidates.size());
     adc_scan(s.adc_table, codes_span().data(), candidates.data(),
              candidates.size(), s.adc_dists.data());
@@ -277,6 +286,38 @@ std::vector<std::vector<Match>> LshIndex::query_batch(
     const std::size_t lo = c * per;
     const std::size_t hi = std::min(queries.size(), lo + per);
     for (std::size_t i = lo; i < hi; ++i) query_into(queries[i], k, s, out[i]);
+  });
+  return out;
+}
+
+std::vector<std::vector<Match>> LshIndex::query_batch_codes(
+    std::span<const Descriptor> queries, std::span<const std::uint8_t> codes,
+    std::size_t k, ThreadPool* pool) const {
+  if (!pq_ready()) return query_batch(queries, k, pool);
+  VP_REQUIRE(codes.size() == queries.size() * kPqCodeBytes,
+             "query_batch_codes: codes do not cover the queries");
+  std::vector<std::vector<Match>> out(queries.size());
+  if (queries.empty()) return out;
+  const auto code_of = [&codes](std::size_t i) {
+    return codes.data() + i * kPqCodeBytes;
+  };
+  if (pool == nullptr) {
+    Scratch s;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      query_into(queries[i], k, s, out[i], code_of(i));
+    }
+    return out;
+  }
+  const std::size_t chunks = std::min<std::size_t>(
+      queries.size(), std::max<std::size_t>(1, pool->thread_count()));
+  const std::size_t per = (queries.size() + chunks - 1) / chunks;
+  pool->parallel_for(chunks, [&](std::size_t c) {
+    Scratch s;
+    const std::size_t lo = c * per;
+    const std::size_t hi = std::min(queries.size(), lo + per);
+    for (std::size_t i = lo; i < hi; ++i) {
+      query_into(queries[i], k, s, out[i], code_of(i));
+    }
   });
   return out;
 }

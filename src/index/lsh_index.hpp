@@ -94,6 +94,19 @@ class LshIndex {
       std::span<const Descriptor> queries, std::size_t k,
       ThreadPool* pool = nullptr) const;
 
+  /// query_batch for compact (PQ-coded) queries: `queries` holds the
+  /// reconstructed descriptors (the LSH bucketing and the exact rerank use
+  /// them) and `codes` the original 16-byte codes, kPqCodeBytes stride,
+  /// index-parallel. The coarse ADC stage gathers each query's table rows
+  /// from the codebook's precomputed symmetric matrix instead of building
+  /// the table from the descriptor — bit-identical results (a reconstructed
+  /// subvector IS a centroid), one table-build cheaper per query
+  /// descriptor. Requires pq_ready(); falls back to query_batch otherwise.
+  std::vector<std::vector<Match>> query_batch_codes(
+      std::span<const Descriptor> queries,
+      std::span<const std::uint8_t> codes, std::size_t k,
+      ThreadPool* pool = nullptr) const;
+
   /// Pre-size the descriptor array and per-table bucket maps for `n`
   /// inserts (bulk shard rebuilds on database load).
   void reserve(std::size_t n);
@@ -199,8 +212,12 @@ class LshIndex {
   std::uint64_t bucket_key(const LshBucket& bucket, std::size_t table) const;
   void gather(const LshBucket& bucket, std::size_t table,
               std::vector<std::uint32_t>& out) const;
+  /// `query_code`, when non-null, is the query's own 16-byte PQ code: the
+  /// coarse ADC table is then gathered from the symmetric matrix rather
+  /// than built from `descriptor` (same table, cheaper).
   void query_into(const Descriptor& descriptor, std::size_t k, Scratch& s,
-                  std::vector<Match>& out) const;
+                  std::vector<Match>& out,
+                  const std::uint8_t* query_code = nullptr) const;
 
   /// Base of the descriptor payload, owned or borrowed.
   const std::uint8_t* flat_data() const noexcept {

@@ -27,6 +27,21 @@ constexpr std::uint16_t kPlacedVersion = 2;
 /// — but only when a nonzero trace_id is present, so untraced messages
 /// stay byte-identical to v2 and pre-trace peers interoperate untouched.
 constexpr std::uint16_t kTracedVersion = 3;
+/// Compact-uplink queries (PQ codes instead of raw descriptors) encode at
+/// v4 — only when codes are present, so raw queries keep their v2/v3
+/// bytes. The v4 trace tail is unconditional (trace_id 0 allowed).
+constexpr std::uint16_t kCompactVersion = 4;
+/// Oracle downloads carrying the place's PQ codebook encode at v3; the
+/// codebook-less message stays byte-identical v2.
+constexpr std::uint16_t kCodebookVersion = 3;
+
+/// Quarter-pixel fixed-point coordinate for the v4 compact feature.
+std::uint16_t quantize_coord(float v) noexcept {
+  const float scaled = v * kCompactCoordScale + 0.5f;
+  if (!(scaled > 0.0f)) return 0;  // negatives and NaN clamp to 0
+  if (scaled >= 65535.0f) return 65535;
+  return static_cast<std::uint16_t>(scaled);
+}
 
 void expect_header(ByteReader& r, std::uint32_t magic, const char* what) {
   if (r.u32() != magic) throw DecodeError{std::string(what) + ": bad magic"};
@@ -51,9 +66,16 @@ std::uint16_t read_header_upto(ByteReader& r, std::uint32_t magic,
 
 Bytes FingerprintQuery::encode() const {
   VP_OBS_SPAN("encode");
+  if (compact()) {
+    VP_REQUIRE(codes.size() == features.size() * kPqCodeBytes,
+               "fingerprint query: codes do not cover the features");
+    VP_REQUIRE(codebook_epoch != 0,
+               "fingerprint query: compact encode needs a codebook epoch");
+  }
   ByteWriter w(wire_size());
   w.u32(kQueryMagic);
-  w.u16(trace_id != 0 ? kTracedVersion : kPlacedVersion);
+  w.u16(compact() ? kCompactVersion
+                  : (trace_id != 0 ? kTracedVersion : kPlacedVersion));
   w.u32(frame_id);
   w.f64(capture_time);
   w.u16(image_width);
@@ -61,6 +83,22 @@ Bytes FingerprintQuery::encode() const {
   w.f32(fov_h);
   w.str(place);
   w.u32(oracle_epoch);
+  if (compact()) {
+    w.u32(codebook_epoch);
+    w.u32(static_cast<std::uint32_t>(features.size()));
+    for (std::size_t i = 0; i < features.size(); ++i) {
+      w.u16(quantize_coord(features[i].keypoint.x));
+      w.u16(quantize_coord(features[i].keypoint.y));
+      w.raw(std::span<const std::uint8_t>(codes.data() + i * kPqCodeBytes,
+                                          kPqCodeBytes));
+    }
+    // The trace tail is unconditional in v4: the version byte already
+    // departed from the v2/v3 stream, so there is no compat reason to
+    // make the tail optional, and trace_id 0 (untraced) stays encodable.
+    w.u64(trace_id);
+    w.u8(trace_flags);
+    return w.take();
+  }
   w.u32(static_cast<std::uint32_t>(features.size()));
   for (const auto& f : features) serialize_feature(f, w);
   if (trace_id != 0) {
@@ -74,7 +112,7 @@ FingerprintQuery FingerprintQuery::decode(std::span<const std::uint8_t> data) {
   VP_OBS_SPAN("decode");
   ByteReader r(data);
   const std::uint16_t version =
-      read_header_upto(r, kQueryMagic, kTracedVersion, "fingerprint query");
+      read_header_upto(r, kQueryMagic, kCompactVersion, "fingerprint query");
   FingerprintQuery q;
   q.frame_id = r.u32();
   q.capture_time = r.f64();
@@ -84,6 +122,35 @@ FingerprintQuery FingerprintQuery::decode(std::span<const std::uint8_t> data) {
   if (version >= 2) {
     q.place = r.str();
     q.oracle_epoch = r.u32();
+  }
+  if (version == kCompactVersion) {
+    q.codebook_epoch = r.u32();
+    if (q.codebook_epoch == 0) {
+      throw DecodeError{"fingerprint query: v4 frame with zero codebook epoch"};
+    }
+    const std::uint32_t n = r.u32();
+    if (static_cast<std::uint64_t>(n) * kCompactFeatureWireBytes >
+        r.remaining()) {
+      throw DecodeError{"fingerprint query: compact feature count " +
+                        std::to_string(n) + " exceeds payload"};
+    }
+    q.features.resize(n);
+    q.codes.reserve(static_cast<std::size_t>(n) * kPqCodeBytes);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      // Only pixel position survives the compact format; scale/orientation
+      // default to 0 (the localization pipeline never reads them) and the
+      // raw descriptor stays zeroed — ranking goes through the codes.
+      q.features[i].keypoint.x =
+          static_cast<float>(r.u16()) / kCompactCoordScale;
+      q.features[i].keypoint.y =
+          static_cast<float>(r.u16()) / kCompactCoordScale;
+      const auto code = r.raw(kPqCodeBytes);
+      q.codes.insert(q.codes.end(), code.begin(), code.end());
+    }
+    q.trace_id = r.u64();
+    q.trace_flags = r.u8();
+    if (!r.done()) throw DecodeError{"fingerprint query: trailing bytes"};
+    return q;
   }
   const std::uint32_t n = r.u32();
   // Validate the count against the bytes actually present before reserving:
@@ -108,8 +175,12 @@ FingerprintQuery FingerprintQuery::decode(std::span<const std::uint8_t> data) {
 }
 
 std::size_t FingerprintQuery::wire_size() const noexcept {
-  return 4 + 2 + 4 + 8 + 2 + 2 + 4 + (4 + place.size()) + 4 + 4 +
-         features.size() * kFeatureWireBytes + (trace_id != 0 ? 8 + 1 : 0);
+  const std::size_t head = 4 + 2 + 4 + 8 + 2 + 2 + 4 + (4 + place.size()) + 4;
+  if (compact()) {
+    return head + 4 + 4 + features.size() * kCompactFeatureWireBytes + 8 + 1;
+  }
+  return head + 4 + features.size() * kFeatureWireBytes +
+         (trace_id != 0 ? 8 + 1 : 0);
 }
 
 Bytes FrameUpload::encode() const {
@@ -219,11 +290,13 @@ LocationResponse LocationResponse::decode(std::span<const std::uint8_t> data) {
 }
 
 OracleDownload OracleDownload::pack(const UniquenessOracle& oracle,
-                                    std::uint32_t epoch, std::string place) {
+                                    std::uint32_t epoch, std::string place,
+                                    std::span<const std::uint8_t> codebook) {
   OracleDownload d;
   d.epoch = epoch;
   d.place = std::move(place);
   d.compressed = zlib_compress(oracle.serialize(), 9);
+  d.codebook.assign(codebook.begin(), codebook.end());
   return d;
 }
 
@@ -232,24 +305,36 @@ UniquenessOracle OracleDownload::unpack() const {
 }
 
 Bytes OracleDownload::encode() const {
-  ByteWriter w(16 + place.size() + compressed.size());
+  ByteWriter w(16 + place.size() + compressed.size() + codebook.size());
   w.u32(kOracleMagic);
-  w.u16(kPlacedVersion);
+  w.u16(codebook.empty() ? kPlacedVersion : kCodebookVersion);
   w.u32(epoch);
   w.str(place);
   w.blob(compressed);
+  if (!codebook.empty()) w.blob(codebook);
   return w.take();
 }
 
 OracleDownload OracleDownload::decode(std::span<const std::uint8_t> data) {
   ByteReader r(data);
   const std::uint16_t version =
-      read_header_upto(r, kOracleMagic, kPlacedVersion, "oracle download");
+      read_header_upto(r, kOracleMagic, kCodebookVersion, "oracle download");
   OracleDownload d;
   d.epoch = r.u32();  // v1 frames: the old `version` counter reads as epoch
   if (version >= 2) d.place = r.str();
   const auto b = r.blob();
   d.compressed.assign(b.begin(), b.end());
+  if (version >= kCodebookVersion) {
+    const auto cb = r.blob();
+    // The v3 codebook payload has exactly one valid size; anything else is
+    // corruption (a codebook-less download encodes as v2, never as an
+    // empty v3 blob).
+    if (cb.size() != kPqCodebookBytes) {
+      throw DecodeError{"oracle download: codebook payload of " +
+                        std::to_string(cb.size()) + " bytes"};
+    }
+    d.codebook.assign(cb.begin(), cb.end());
+  }
   if (!r.done()) throw DecodeError{"oracle download: trailing bytes"};
   return d;
 }

@@ -12,11 +12,23 @@
 #include <vector>
 
 #include "features/keypoint.hpp"
+#include "features/pq.hpp"
 #include "geometry/pose.hpp"
 #include "hashing/oracle.hpp"
 #include "util/bytes.hpp"
 
 namespace vp {
+
+/// One compact (v4) query feature on the wire: quantized pixel position
+/// (2 x u16, quarter-pixel fixed point) plus the 16-byte PQ code — 20
+/// bytes instead of the 144-byte raw feature (7.2x). Scale and
+/// orientation are dropped: the server-side localization pipeline reads
+/// only pixel position and descriptor.
+inline constexpr std::size_t kCompactFeatureWireBytes = 2 * 2 + kPqCodeBytes;
+
+/// Fixed-point scale of compact keypoint coordinates: quarter pixels
+/// (u16 range covers images up to 16383 px wide).
+inline constexpr float kCompactCoordScale = 4.0f;
 
 /// Client -> server: selected keypoints of one frame, plus the camera
 /// geometry the Fig. 12 localization needs (image size and field of view).
@@ -36,6 +48,18 @@ struct FingerprintQuery {
   /// ranked by an outdated uniqueness table.
   std::uint32_t oracle_epoch = 0;
   std::vector<Feature> features;
+  /// Compact uplink (v4): one kPqCodeBytes PQ code per feature, flat
+  /// kPqCodeBytes stride, index-parallel with `features`. Non-empty codes
+  /// switch encode() to the v4 compact wire format — quantized keypoint
+  /// positions plus codes, no raw descriptors — cutting the per-feature
+  /// payload from 144 to 20 bytes. Empty codes (the default) keep the raw
+  /// v2/v3 format, so compact and raw clients interoperate untouched.
+  Bytes codes;
+  /// Epoch of the place's codebook the codes were encoded against (the
+  /// OracleDownload that carried it). Required nonzero on the v4 wire; a
+  /// mismatch with the place's published epoch makes the server answer
+  /// `kStaleOracle` so the client refreshes codebook + oracle and resends.
+  std::uint32_t codebook_epoch = 0;
   /// Cross-process trace context (v3). A nonzero id correlates this query
   /// with the client's FrameTrace; the server keys its handler trace and
   /// slow-query log entry by it. 0 = untraced — the query encodes as v2,
@@ -46,6 +70,9 @@ struct FingerprintQuery {
   /// back on the LocationResponse. Other bits reserved (must decode, are
   /// ignored).
   std::uint8_t trace_flags = 0;
+
+  /// True when this query ships PQ codes instead of raw descriptors.
+  bool compact() const noexcept { return !codes.empty(); }
 
   Bytes encode() const;
   static FingerprintQuery decode(std::span<const std::uint8_t> data);
@@ -112,9 +139,16 @@ struct OracleDownload {
   std::uint32_t epoch = 0;  ///< shard publish epoch at pack time
   std::string place;        ///< owning shard ("" = pre-shard snapshot)
   Bytes compressed;  ///< zlib stream of UniquenessOracle::serialize()
+  /// The place's PQ codebook (exactly kPqCodebookBytes), present when the
+  /// shard serves product-quantized storage — the client encodes compact
+  /// (v4) query fingerprints against it. Empty when the shard is exact-
+  /// only; the message then encodes as v2, byte-identical to a pre-compact
+  /// server, so old clients and codebook-less servers interoperate.
+  Bytes codebook;
 
   static OracleDownload pack(const UniquenessOracle& oracle,
-                             std::uint32_t epoch, std::string place = {});
+                             std::uint32_t epoch, std::string place = {},
+                             std::span<const std::uint8_t> codebook = {});
   UniquenessOracle unpack() const;
 
   Bytes encode() const;

@@ -549,6 +549,112 @@ TEST(MapStore, RemoteLocalizerRecoversFromStaleOracle) {
   EXPECT_EQ(client.oracle_epoch(), 2u);
 }
 
+TEST(CompactUplink, CompactQueryLocalizesEndToEnd) {
+  Rng rng(60);
+  ServerConfig cfg = localizing_server();
+  cfg.index.pq.enabled = true;
+  VisualPrintServer server(cfg);
+  PlaceFixture fx = make_place_fixture(rng, {2, 3, 1.5});
+  ASSERT_GE(fx.query.features.size(), 10u);
+  server.ingest_wardrive("hall", fx.mappings);
+  ASSERT_EQ(server.store().storage_mode("hall"), "pq");
+
+  RemoteLocalizer localizer([&server](std::span<const std::uint8_t> req) {
+    return server.handle_request(req, 7);
+  });
+  localizer.enable_compact_uplink();
+  const OracleDownload download = localizer.fetch_oracle("hall");
+  // A PQ place ships its codebook with the oracle.
+  ASSERT_EQ(download.codebook.size(), kPqCodebookBytes);
+  EXPECT_TRUE(localizer.has_codebook("hall"));
+
+  fx.query.place = "hall";
+  fx.query.oracle_epoch = download.epoch;
+  const LocationResponse resp = localizer.localize(fx.query);
+  ASSERT_TRUE(resp.found);
+  // Few stored descriptors -> every one is (close to) its own centroid, so
+  // the reconstructed query ranks like the raw one and the solve succeeds.
+  EXPECT_LT(resp.position.distance(fx.true_position), 0.5);
+  EXPECT_EQ(localizer.compact_queries(), 1u);
+
+  // Symmetric-ADC serving is bit-identical: flipping the runtime knob and
+  // re-asking the same frame must reproduce the very same fix.
+  server.store().set_compact_symmetric(true);
+  const LocationResponse resp2 = localizer.localize(fx.query);
+  ASSERT_TRUE(resp2.found);
+  EXPECT_DOUBLE_EQ(resp2.position.x, resp.position.x);
+  EXPECT_DOUBLE_EQ(resp2.position.y, resp.position.y);
+  EXPECT_DOUBLE_EQ(resp2.position.z, resp.position.z);
+  EXPECT_DOUBLE_EQ(resp2.residual, resp.residual);
+  EXPECT_EQ(localizer.compact_queries(), 2u);
+}
+
+TEST(CompactUplink, StaleCodebookRefreshesTransparently) {
+  Rng rng(61);
+  ServerConfig cfg = localizing_server();
+  cfg.index.pq.enabled = true;
+  VisualPrintServer server(cfg);
+  PlaceFixture fx = make_place_fixture(rng, {2, 3, 1.5});
+  ASSERT_GE(fx.query.features.size(), 10u);
+  server.ingest_wardrive("hall", fx.mappings);
+
+  RemoteLocalizer localizer([&server](std::span<const std::uint8_t> req) {
+    return server.handle_request(req, 7);
+  });
+  localizer.enable_compact_uplink();
+  VisualPrintClient client({});
+  localizer.on_oracle_refresh(
+      [&client](const OracleDownload& d) { client.install_oracle(d); });
+  const OracleDownload first = localizer.fetch_oracle("hall");
+  EXPECT_EQ(first.epoch, 1u);
+  // The codebook rides the download into the client's per-place cache too.
+  EXPECT_EQ(client.codebook_blob().size(), kPqCodebookBytes);
+
+  // Republish behind the client's back: epoch 2. The client's cached
+  // codebook epoch is now stale; the server must refuse to guess.
+  server.ingest_wardrive("hall", fx.mappings);
+  EXPECT_EQ(server.store().epoch("hall"), 2u);
+
+  fx.query.place = "hall";
+  fx.query.oracle_epoch = first.epoch;  // stale, like the codebook
+  const LocationResponse resp = localizer.localize(fx.query);
+  ASSERT_TRUE(resp.found);
+  EXPECT_LT(resp.position.distance(fx.true_position), 0.5);
+  // One transparent refresh; both the first attempt and the re-encoded
+  // resend went out compact.
+  EXPECT_EQ(localizer.stale_refreshes(), 1u);
+  EXPECT_EQ(localizer.known_epoch("hall"), 2u);
+  EXPECT_EQ(localizer.compact_queries(), 2u);
+  EXPECT_EQ(client.oracle_epoch(), 2u);
+}
+
+TEST(CompactUplink, FallsBackToRawWithoutCodebook) {
+  Rng rng(62);
+  ServerConfig cfg = localizing_server();  // exact storage: no codebook
+  VisualPrintServer server(cfg);
+  PlaceFixture fx = make_place_fixture(rng, {2, 3, 1.5});
+  ASSERT_GE(fx.query.features.size(), 10u);
+  server.ingest_wardrive("hall", fx.mappings);
+
+  RemoteLocalizer localizer([&server](std::span<const std::uint8_t> req) {
+    return server.handle_request(req, 7);
+  });
+  localizer.enable_compact_uplink();
+  const OracleDownload download = localizer.fetch_oracle("hall");
+  EXPECT_TRUE(download.codebook.empty());
+  EXPECT_FALSE(localizer.has_codebook("hall"));
+
+  // Compact uplink is enabled but unusable for this place: the query must
+  // fall back to the raw wire format and still localize.
+  fx.query.place = "hall";
+  fx.query.oracle_epoch = download.epoch;
+  const LocationResponse resp = localizer.localize(fx.query);
+  ASSERT_TRUE(resp.found);
+  EXPECT_LT(resp.position.distance(fx.true_position), 0.5);
+  EXPECT_EQ(localizer.compact_queries(), 0u);
+  EXPECT_EQ(localizer.stale_refreshes(), 0u);
+}
+
 TEST(MapStore, ClientCachesOraclePerPlace) {
   VisualPrintServer server(small_server());
   Rng rng(54);

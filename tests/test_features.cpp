@@ -240,6 +240,60 @@ TEST(Pq, FromRawRoundtripAndRejectsBadSize) {
   EXPECT_THROW(PqCodebook::from_raw({}), DecodeError);
 }
 
+TEST(Pq, ReconstructConcatenatesTheCodesCentroids) {
+  const auto flat = random_flat_descriptors(400, 0x9008ul);
+  const PqCodebook book = PqCodebook::train(flat.data(), 400);
+  std::array<std::uint8_t, kPqCodeBytes> code{};
+  book.encode(flat.data() + 11 * kDescriptorDims, code.data());
+  Descriptor rebuilt{};
+  book.reconstruct(code.data(), rebuilt.data());
+  for (std::size_t s = 0; s < kPqSubspaces; ++s) {
+    const std::uint8_t* cent = book.centroid(s, code[s]);
+    for (std::size_t d = 0; d < kPqSubDims; ++d) {
+      EXPECT_EQ(rebuilt[s * kPqSubDims + d], cent[d]);
+    }
+  }
+  // Encoding the reconstruction is a fixed point: the nearest centroid of
+  // a centroid is itself (ties to the lowest id can only pick an equal
+  // centroid, which leaves the reconstruction unchanged).
+  std::array<std::uint8_t, kPqCodeBytes> again{};
+  book.encode(rebuilt.data(), again.data());
+  Descriptor rebuilt2{};
+  book.reconstruct(again.data(), rebuilt2.data());
+  EXPECT_EQ(rebuilt, rebuilt2);
+}
+
+TEST(Pq, SymmetricAdcTableMatchesAsymmetricOnReconstruction) {
+  // The compact-uplink fast path: gathering rows of the precomputed
+  // centroid-distance matrix must equal building the table from the
+  // reconstructed descriptor, entry for entry — that identity is what
+  // lets the server skip the table build without changing any ranking.
+  const auto flat = random_flat_descriptors(500, 0x9009ul);
+  const PqCodebook book = PqCodebook::train(flat.data(), 500);
+  for (const std::size_t pick : {std::size_t{0}, std::size_t{123},
+                                 std::size_t{499}}) {
+    SCOPED_TRACE(pick);
+    std::array<std::uint8_t, kPqCodeBytes> code{};
+    book.encode(flat.data() + pick * kDescriptorDims, code.data());
+    Descriptor rebuilt{};
+    book.reconstruct(code.data(), rebuilt.data());
+    AdcTable asym, sym;
+    book.build_adc_table(rebuilt.data(), asym);
+    book.build_symmetric_adc_table(code.data(), sym);
+    for (std::size_t i = 0; i < kPqSubspaces * kPqCentroids; ++i) {
+      ASSERT_EQ(sym.d[i], asym.d[i]) << "entry " << i;
+    }
+  }
+  // Codebook copies share the lazily built matrix and agree with it.
+  const PqCodebook copy = book;
+  std::array<std::uint8_t, kPqCodeBytes> code{};
+  book.encode(flat.data(), code.data());
+  AdcTable a, b;
+  book.build_symmetric_adc_table(code.data(), a);
+  copy.build_symmetric_adc_table(code.data(), b);
+  EXPECT_EQ(a.d, b.d);
+}
+
 TEST(AdcKernels, ScalarAlwaysCompiledAndActiveIsCompiled) {
   const auto kernels = compiled_adc_kernels();
   ASSERT_FALSE(kernels.empty());

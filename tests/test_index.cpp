@@ -442,6 +442,134 @@ TEST(PqIndex, RecallAtOneVsExactOnlyAboveGuard) {
   EXPECT_GE(static_cast<double>(hit), 0.95 * static_cast<double>(total));
 }
 
+// Recall-regression guard for the compact uplink (acceptance bar:
+// >= 0.95 vs raw). The client-side PQ encode is lossy — the server ranks
+// a reconstructed (quantized) query instead of the raw descriptor — so
+// this guard measures that quantization's end-to-end retrieval cost: the
+// compact pipeline's top-1 must agree with the raw pipeline's top-1 on at
+// least 95% of queries.
+TEST(CompactUplink, RecallAtOneVsRawAboveGuard) {
+  // Distinct stored descriptors, queries perturbed off stored ones: the
+  // regime the uplink actually runs in (SIFT descriptors of distinct
+  // keypoints are far apart relative to view-to-view jitter). Quantization
+  // noise must stay well inside that margin. Dense near-duplicate blobs
+  // are deliberately NOT the corpus here — when hundreds of neighbors are
+  // nearly equidistant, top-1 identity under any lossy code is a coin
+  // flip, which measures the corpus, not the codec.
+  LshIndex index(pq_config(64));
+  Rng rng(38);
+  std::vector<Descriptor> db;
+  for (int i = 0; i < 2000; ++i) {
+    db.push_back(random_descriptor(rng));
+    index.insert(db.back());
+  }
+  index.train_pq();
+  ASSERT_TRUE(index.pq_ready());
+  const PqCodebook& book = index.pq_codebook();
+  int total = 0, hit = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Descriptor q = perturb(db[static_cast<std::size_t>(i * 9)], rng, 3);
+    const auto raw = index.query(q, 1);
+    if (raw.empty()) continue;
+    // The compact path: client encodes, server reconstructs and ranks.
+    std::array<std::uint8_t, kPqCodeBytes> code{};
+    book.encode(q.data(), code.data());
+    Descriptor rebuilt{};
+    book.reconstruct(code.data(), rebuilt.data());
+    const auto compact = index.query(rebuilt, 1);
+    ASSERT_FALSE(compact.empty());
+    ++total;
+    hit += (compact[0].id == raw[0].id);
+  }
+  ASSERT_GE(total, 150);
+  EXPECT_GE(static_cast<double>(hit), 0.95 * static_cast<double>(total));
+}
+
+// Bit-identity of the compact serving paths: for reconstructed queries,
+// query_batch_codes (symmetric-ADC rows gathered from the precomputed
+// centroid matrix) must equal query_batch (table built from the
+// reconstructed descriptor), match for match, across every compiled ADC
+// kernel, exact-distance kernel, and pool size.
+TEST(CompactUplink, SymmetricCodesPathBitIdenticalAcrossKernelsAndPools) {
+  LshIndex index(pq_config(8));
+  Rng rng(39);
+  std::vector<Descriptor> bases;
+  for (int i = 0; i < 4; ++i) bases.push_back(random_descriptor(rng));
+  for (int i = 0; i < 600; ++i) {
+    index.insert(perturb(bases[static_cast<std::size_t>(i % 4)], rng, 2));
+  }
+  index.train_pq();
+  ASSERT_TRUE(index.pq_ready());
+  const PqCodebook& book = index.pq_codebook();
+
+  // Compact queries as the server sees them: codes + reconstructions.
+  std::vector<Descriptor> queries;
+  std::vector<std::uint8_t> codes;
+  for (int i = 0; i < 24; ++i) {
+    const Descriptor q =
+        perturb(bases[static_cast<std::size_t>(i % 4)], rng, 2);
+    std::array<std::uint8_t, kPqCodeBytes> code{};
+    book.encode(q.data(), code.data());
+    codes.insert(codes.end(), code.begin(), code.end());
+    Descriptor rebuilt{};
+    book.reconstruct(code.data(), rebuilt.data());
+    queries.push_back(rebuilt);
+  }
+
+  const DistanceKernel dist_original = active_distance_kernel();
+  const DistanceKernel adc_original = active_adc_kernel();
+  ASSERT_TRUE(set_distance_kernel(DistanceKernel::kScalar));
+  ASSERT_TRUE(set_adc_kernel(DistanceKernel::kScalar));
+  const auto reference = index.query_batch(queries, 4, nullptr);
+
+  for (const DistanceKernel adc : compiled_adc_kernels()) {
+    ASSERT_TRUE(set_adc_kernel(adc));
+    for (const DistanceKernel dist : compiled_distance_kernels()) {
+      ASSERT_TRUE(set_distance_kernel(dist));
+      SCOPED_TRACE("adc=" + std::string(kernel_name(adc)) +
+                   " dist=" + std::string(kernel_name(dist)));
+      for (const std::size_t threads : {0u, 1u, 4u}) {
+        std::unique_ptr<ThreadPool> pool;
+        if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+        const auto got = index.query_batch_codes(queries, codes, 4, pool.get());
+        ASSERT_EQ(got.size(), reference.size());
+        for (std::size_t i = 0; i < got.size(); ++i) {
+          ASSERT_EQ(got[i].size(), reference[i].size());
+          for (std::size_t j = 0; j < got[i].size(); ++j) {
+            EXPECT_EQ(got[i][j].id, reference[i][j].id);
+            EXPECT_EQ(got[i][j].distance2, reference[i][j].distance2);
+          }
+        }
+      }
+    }
+  }
+  ASSERT_TRUE(set_distance_kernel(dist_original));
+  ASSERT_TRUE(set_adc_kernel(adc_original));
+}
+
+TEST(CompactUplink, QueryBatchCodesFallsBackWhenPqUnready) {
+  // A plain exact index has no codebook: the codes overload must serve the
+  // batch through the ordinary path instead of crashing or mis-ranking.
+  LshIndex index;
+  Rng rng(40);
+  std::vector<Descriptor> db;
+  for (int i = 0; i < 100; ++i) {
+    db.push_back(random_descriptor(rng));
+    index.insert(db.back());
+  }
+  std::vector<Descriptor> queries{db[3], db[42]};
+  const std::vector<std::uint8_t> codes(queries.size() * kPqCodeBytes, 0);
+  const auto via_codes = index.query_batch_codes(queries, codes, 2, nullptr);
+  const auto via_batch = index.query_batch(queries, 2, nullptr);
+  ASSERT_EQ(via_codes.size(), via_batch.size());
+  for (std::size_t i = 0; i < via_codes.size(); ++i) {
+    ASSERT_EQ(via_codes[i].size(), via_batch[i].size());
+    for (std::size_t j = 0; j < via_codes[i].size(); ++j) {
+      EXPECT_EQ(via_codes[i][j].id, via_batch[i][j].id);
+    }
+  }
+}
+
 #if VP_OBS_ENABLED
 TEST(PqIndex, AdcScanCounterTracksScannedCandidates) {
   LshIndex index(pq_config(8));

@@ -24,6 +24,24 @@ FingerprintQuery sample_query(std::size_t n_features) {
   return q;
 }
 
+/// A v4 compact query: arbitrary code bytes (wire tests need no trained
+/// codebook), quarter-pixel-friendly coordinates, and a codebook epoch.
+FingerprintQuery sample_compact_query(std::size_t n_features) {
+  FingerprintQuery q = sample_query(n_features);
+  q.place = "atrium";
+  q.oracle_epoch = 2;
+  q.codebook_epoch = 2;
+  for (std::size_t i = 0; i < n_features; ++i) {
+    q.features[i].keypoint.x = static_cast<float>(i) + 0.25f;
+    q.features[i].keypoint.y = 3.5f;
+  }
+  q.codes.resize(n_features * kPqCodeBytes);
+  for (std::size_t b = 0; b < q.codes.size(); ++b) {
+    q.codes[b] = static_cast<std::uint8_t>(b * 37 + 5);
+  }
+  return q;
+}
+
 TEST(Wire, FingerprintQueryRoundtrip) {
   const FingerprintQuery q = sample_query(5);
   const Bytes b = q.encode();
@@ -108,6 +126,79 @@ TEST(Wire, QueryV3RejectsZeroTraceId) {
   q.trace_id = 1;
   Bytes b = q.encode();
   for (std::size_t i = 9; i >= 2; --i) b[b.size() - i] = 0;  // zero the id
+  EXPECT_THROW(FingerprintQuery::decode(b), DecodeError);
+}
+
+TEST(Wire, CompactQueryRoundtrip) {
+  FingerprintQuery q = sample_compact_query(5);
+  const Bytes b = q.encode();
+  EXPECT_EQ(b.size(), q.wire_size());
+  EXPECT_EQ(b[4] | (b[5] << 8), 4);  // version u16, LE
+  const FingerprintQuery back = FingerprintQuery::decode(b);
+  EXPECT_TRUE(back.compact());
+  EXPECT_EQ(back.place, "atrium");
+  EXPECT_EQ(back.oracle_epoch, 2u);
+  EXPECT_EQ(back.codebook_epoch, 2u);
+  ASSERT_EQ(back.features.size(), 5u);
+  EXPECT_EQ(back.codes, q.codes);
+  // Coordinates survive at quarter-pixel precision; the raw-only fields
+  // (scale, orientation, descriptor) come back zeroed.
+  EXPECT_FLOAT_EQ(back.features[3].keypoint.x, 3.25f);
+  EXPECT_FLOAT_EQ(back.features[3].keypoint.y, 3.5f);
+  EXPECT_EQ(back.features[3].keypoint.scale, 0.0f);
+  EXPECT_EQ(back.features[4].descriptor,
+            Descriptor{});  // codes replace descriptors on the wire
+}
+
+TEST(Wire, CompactQueryCarriesTrace) {
+  FingerprintQuery q = sample_compact_query(2);
+  q.trace_id = 0xABCDEF01ull;
+  q.trace_flags = 0x01;
+  const Bytes b = q.encode();
+  EXPECT_EQ(b[4] | (b[5] << 8), 4);  // compact subsumes the trace version
+  const FingerprintQuery back = FingerprintQuery::decode(b);
+  EXPECT_EQ(back.trace_id, 0xABCDEF01ull);
+  EXPECT_EQ(back.trace_flags, 0x01);
+  EXPECT_TRUE(back.compact());
+}
+
+TEST(Wire, CompactQueryShrinksFeaturePayloadSixfold) {
+  // The tentpole claim: 20 bytes per feature (u16 quarter-pixel x, y +
+  // 16-byte PQ code) against 144 raw bytes — a 7.2x feature payload cut,
+  // comfortably above the 6x acceptance floor.
+  EXPECT_EQ(kCompactFeatureWireBytes, 20u);
+  const std::size_t n = 200;
+  FingerprintQuery raw = sample_query(n);
+  FingerprintQuery compact = sample_compact_query(n);
+  const std::size_t raw_payload = n * kFeatureWireBytes;
+  const std::size_t compact_payload = n * kCompactFeatureWireBytes;
+  EXPECT_GE(raw_payload, 6 * compact_payload);
+  // And end to end, whole frames included, a 200-keypoint upload drops
+  // from ~29 KB to ~4 KB.
+  EXPECT_GT(raw.wire_size(), 28'000u);
+  EXPECT_LT(compact.wire_size(), 4'500u);
+  EXPECT_GE(raw.wire_size(), 6 * (compact.wire_size() - 64));
+}
+
+TEST(Wire, CompactQueryRejectsZeroCodebookEpoch) {
+  // v4 with codebook_epoch 0 violates the encode invariant (0 means "no
+  // codebook", which encodes as raw) — a frame claiming otherwise lies.
+  FingerprintQuery q = sample_compact_query(1);
+  Bytes b = q.encode();
+  // codebook_epoch sits after magic(4)+ver(2)+frame(4)+time(8)+w(2)+h(2)+
+  // fov(4)+place str(4+6)+oracle_epoch(4).
+  const std::size_t epoch_off = 4 + 2 + 4 + 8 + 2 + 2 + 4 + 4 + 6 + 4;
+  for (std::size_t i = 0; i < 4; ++i) b[epoch_off + i] = 0;
+  EXPECT_THROW(FingerprintQuery::decode(b), DecodeError);
+}
+
+TEST(Wire, CompactQueryRejectsCodeCountLies) {
+  // Feature count claiming more entries than the remaining bytes hold must
+  // throw before any allocation sized by the count.
+  FingerprintQuery q = sample_compact_query(3);
+  Bytes b = q.encode();
+  const std::size_t count_off = 4 + 2 + 4 + 8 + 2 + 2 + 4 + 4 + 6 + 4 + 4;
+  for (std::size_t i = 0; i < 4; ++i) b[count_off + i] = 0xFF;
   EXPECT_THROW(FingerprintQuery::decode(b), DecodeError);
 }
 
@@ -276,6 +367,42 @@ TEST(Wire, OracleDownloadV1FrameDecodes) {
   EXPECT_EQ(back.unpack().byte_size(), oracle.byte_size());
 }
 
+TEST(Wire, OracleDownloadCodebookRoundtrip) {
+  OracleConfig cfg;
+  cfg.capacity = 2'000;
+  UniquenessOracle oracle(cfg);
+  Bytes codebook(kPqCodebookBytes);
+  for (std::size_t i = 0; i < codebook.size(); ++i) {
+    codebook[i] = static_cast<std::uint8_t>(i * 7 + 3);
+  }
+  const OracleDownload down =
+      OracleDownload::pack(oracle, 4, "atrium", codebook);
+  const Bytes wire = down.encode();
+  EXPECT_EQ(wire[4] | (wire[5] << 8), 3);  // codebook promotes to v3
+  const OracleDownload back = OracleDownload::decode(wire);
+  EXPECT_EQ(back.epoch, 4u);
+  EXPECT_EQ(back.place, "atrium");
+  EXPECT_EQ(back.codebook, codebook);
+
+  // Without a codebook the frame stays byte-identical v2, so pre-compact
+  // clients keep decoding downloads unmodified.
+  const Bytes plain = OracleDownload::pack(oracle, 4, "atrium").encode();
+  EXPECT_EQ(plain[4] | (plain[5] << 8), 2);
+  EXPECT_TRUE(OracleDownload::decode(plain).codebook.empty());
+
+  // A v3 frame whose codebook is not exactly kPqCodebookBytes is rejected
+  // even when the blob length field tells the truth about the short blob
+  // (the codebook is the last field; shrink both consistently).
+  Bytes bad = wire;
+  const std::size_t len_off = bad.size() - kPqCodebookBytes - 4;
+  const std::uint32_t short_len = kPqCodebookBytes - 1;
+  for (std::size_t i = 0; i < 4; ++i) {
+    bad[len_off + i] = static_cast<std::uint8_t>(short_len >> (8 * i));
+  }
+  bad.resize(bad.size() - 1);
+  EXPECT_THROW(OracleDownload::decode(bad), DecodeError);
+}
+
 TEST(Wire, OracleRequestRoundtrip) {
   OracleRequest req;
   req.place = "louvre-denon";
@@ -395,6 +522,9 @@ std::vector<std::pair<std::string, Bytes>> wire_specimens() {
   traced_q.trace_flags = 0x01;
   specimens.emplace_back("FingerprintQueryV3", traced_q.encode());
 
+  specimens.emplace_back("FingerprintQueryV4",
+                         sample_compact_query(3).encode());
+
   specimens.emplace_back("LocationResponseV3", traced_response().encode());
 
   FrameUpload frame;
@@ -418,6 +548,14 @@ std::vector<std::pair<std::string, Bytes>> wire_specimens() {
   oracle.insert(d);
   specimens.emplace_back("OracleDownload",
                          OracleDownload::pack(oracle, 3).encode());
+
+  Bytes codebook(kPqCodebookBytes);
+  for (std::size_t i = 0; i < codebook.size(); ++i) {
+    codebook[i] = static_cast<std::uint8_t>(i * 13 + 1);
+  }
+  specimens.emplace_back(
+      "OracleDownloadV3",
+      OracleDownload::pack(oracle, 3, "atrium", codebook).encode());
 
   const Bytes old_blob{1, 2, 3, 4};
   const Bytes new_blob{1, 9, 3, 4, 5};
@@ -447,13 +585,14 @@ std::vector<std::pair<std::string, Bytes>> wire_specimens() {
 /// Decode dispatch by specimen name; throws whatever decode() throws.
 void decode_specimen(const std::string& name,
                      std::span<const std::uint8_t> data) {
-  if (name == "FingerprintQuery" || name == "FingerprintQueryV3") {
+  if (name == "FingerprintQuery" || name == "FingerprintQueryV3" ||
+      name == "FingerprintQueryV4") {
     (void)FingerprintQuery::decode(data);
   } else if (name == "FrameUpload") {
     (void)FrameUpload::decode(data);
   } else if (name == "LocationResponse" || name == "LocationResponseV3") {
     (void)LocationResponse::decode(data);
-  } else if (name == "OracleDownload") {
+  } else if (name == "OracleDownload" || name == "OracleDownloadV3") {
     (void)OracleDownload::decode(data);
   } else if (name == "OracleDiff") {
     (void)OracleDiff::decode(data);
